@@ -1,0 +1,590 @@
+//! Descriptive statistics: streaming (Welford) accumulators, quantiles,
+//! five-number/boxplot summaries with the 1.5 IQR outlier rule used
+//! throughout the paper (Section 6.2, Figure 17), and weighted percentile
+//! helpers for the Figure 7 CDF red-lines.
+
+use serde::{Deserialize, Serialize};
+
+/// Streaming accumulator for count/min/max/mean/std using Welford's
+/// algorithm — the exact statistic set the paper stores per 10-second
+/// window ("min., max., mean, and standard deviation", Section 3).
+///
+/// ```
+/// use summit_analysis::stats::Welford;
+/// let mut w = Welford::new();
+/// for x in [1.0, 2.0, 3.0] { w.push(x); }
+/// assert_eq!(w.mean(), 2.0);
+/// assert_eq!(w.finish().count, 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample. Non-finite samples are ignored (the telemetry layer
+    /// models dropped/NaN sensor reads and aggregation must stay robust,
+    /// mirroring the paper's missing-data handling).
+    pub fn push(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of (finite) samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean; NaN when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (`/n`); NaN when empty.
+    pub fn variance_population(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (`/(n-1)`); NaN for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation; NaN for fewer than two samples.
+    pub fn std(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum; NaN when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum; NaN when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Freezes into the compact window statistic record.
+    pub fn finish(&self) -> WindowStats {
+        WindowStats {
+            count: self.count,
+            min: self.min(),
+            max: self.max(),
+            mean: self.mean(),
+            std: if self.count < 2 { 0.0 } else { self.std() },
+        }
+    }
+}
+
+/// The `count/min/max/mean/std` record stored per coarsened window —
+/// the paper's Dataset 0 column quintuple.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Samples in the window.
+    pub count: u64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Mean sample.
+    pub mean: f64,
+    /// Sample standard deviation (0 for fewer than two samples).
+    pub std: f64,
+}
+
+impl WindowStats {
+    /// An empty (all-missing) window.
+    pub fn empty() -> Self {
+        Self {
+            count: 0,
+            min: f64::NAN,
+            max: f64::NAN,
+            mean: f64::NAN,
+            std: f64::NAN,
+        }
+    }
+
+    /// True if the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// Computes a linear-interpolated quantile (`q` in [0, 1]) of unsorted data.
+///
+/// Matches numpy's default ("linear") method. NaNs are filtered first.
+/// Returns NaN for empty input.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    quantile_sorted(&v, q)
+}
+
+/// Quantile of already-sorted, finite data (linear interpolation).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q));
+    let n = sorted.len();
+    if n == 0 {
+        return f64::NAN;
+    }
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median of unsorted data.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+/// Boxplot summary with the 1.5 IQR whisker/outlier rule, the rule the
+/// paper uses to define "non-outlier" spreads (Section 6.2: 62 W power
+/// spread, 15.8 °C temperature spread over 27,648 GPUs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoxStats {
+    /// Number of finite samples.
+    pub count: usize,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Lowest datum above `q1 - 1.5*IQR`.
+    pub whisker_lo: f64,
+    /// Highest datum below `q3 + 1.5*IQR`.
+    pub whisker_hi: f64,
+    /// Count of low outliers (below the lower fence).
+    pub outliers_lo: usize,
+    /// Count of high outliers (above the upper fence).
+    pub outliers_hi: usize,
+    /// Smallest sample (including outliers).
+    pub min: f64,
+    /// Largest sample (including outliers).
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl BoxStats {
+    /// Computes the boxplot summary of `data` (NaNs dropped).
+    /// Returns `None` for empty (post-filter) input.
+    pub fn compute(data: &[f64]) -> Option<Self> {
+        let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let q1 = quantile_sorted(&v, 0.25);
+        let med = quantile_sorted(&v, 0.5);
+        let q3 = quantile_sorted(&v, 0.75);
+        let iqr = q3 - q1;
+        let fence_lo = q1 - 1.5 * iqr;
+        let fence_hi = q3 + 1.5 * iqr;
+        let whisker_lo = v
+            .iter()
+            .copied()
+            .find(|&x| x >= fence_lo)
+            .unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= fence_hi)
+            .unwrap_or(v[v.len() - 1]);
+        let outliers_lo = v.iter().take_while(|&&x| x < fence_lo).count();
+        let outliers_hi = v.iter().rev().take_while(|&&x| x > fence_hi).count();
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        Some(Self {
+            count: v.len(),
+            q1,
+            median: med,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers_lo,
+            outliers_hi,
+            min: v[0],
+            max: v[v.len() - 1],
+            mean,
+        })
+    }
+
+    /// The non-outlier spread (whisker-to-whisker range) — the paper's
+    /// "spread of non-outlier" metric for Figure 17.
+    pub fn non_outlier_spread(&self) -> f64 {
+        self.whisker_hi - self.whisker_lo
+    }
+}
+
+/// Full descriptive summary of a slice.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of finite samples.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 5th percentile.
+    pub p05: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary (NaNs dropped); `None` if no finite values.
+    pub fn compute(data: &[f64]) -> Option<Self> {
+        let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let mut w = Welford::new();
+        for &x in &v {
+            w.push(x);
+        }
+        Some(Self {
+            count: v.len(),
+            mean: w.mean(),
+            std: if v.len() > 1 { w.std() } else { 0.0 },
+            min: v[0],
+            p05: quantile_sorted(&v, 0.05),
+            p25: quantile_sorted(&v, 0.25),
+            median: quantile_sorted(&v, 0.5),
+            p75: quantile_sorted(&v, 0.75),
+            p95: quantile_sorted(&v, 0.95),
+            max: v[v.len() - 1],
+        })
+    }
+}
+
+/// Fisher-Pearson sample skewness (g1). NaN for fewer than 3 samples or
+/// zero variance. Used to classify the left/right skew of the failure
+/// thermal-extremity distributions (Figure 15).
+pub fn skewness(data: &[f64]) -> f64 {
+    let v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    let n = v.len();
+    if n < 3 {
+        return f64::NAN;
+    }
+    let mean = v.iter().sum::<f64>() / n as f64;
+    let m2 = v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    let m3 = v.iter().map(|x| (x - mean).powi(3)).sum::<f64>() / n as f64;
+    if m2 <= 0.0 {
+        return f64::NAN;
+    }
+    m3 / m2.powf(1.5)
+}
+
+/// Mean of a slice ignoring NaNs; NaN if empty.
+pub fn nanmean(data: &[f64]) -> f64 {
+    let mut w = Welford::new();
+    for &x in data {
+        w.push(x);
+    }
+    w.mean()
+}
+
+/// Sum of a slice ignoring NaNs.
+pub fn nansum(data: &[f64]) -> f64 {
+    data.iter().copied().filter(|x| x.is_finite()).sum()
+}
+
+/// Maximum ignoring NaNs; NaN if empty.
+pub fn nanmax(data: &[f64]) -> f64 {
+    data.iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .fold(f64::NAN, |acc, x| if acc.is_nan() || x > acc { x } else { acc })
+}
+
+/// Minimum ignoring NaNs; NaN if empty.
+pub fn nanmin(data: &[f64]) -> f64 {
+    data.iter()
+        .copied()
+        .filter(|x| x.is_finite())
+        .fold(f64::NAN, |acc, x| if acc.is_nan() || x < acc { x } else { acc })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance_population() - 4.0).abs() < 1e-12);
+        assert!((w.std() - (32.0 / 7.0_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64 * 0.37).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn welford_merge_with_empty() {
+        let mut a = Welford::new();
+        a.push(1.0);
+        a.push(3.0);
+        let b = Welford::new();
+        let snapshot = a;
+        a.merge(&b);
+        assert_eq!(a, snapshot);
+
+        let mut c = Welford::new();
+        c.merge(&a);
+        assert_eq!(c.mean(), 2.0);
+    }
+
+    #[test]
+    fn welford_ignores_nan() {
+        let mut w = Welford::new();
+        w.push(1.0);
+        w.push(f64::NAN);
+        w.push(3.0);
+        w.push(f64::INFINITY);
+        assert_eq!(w.count(), 2);
+        assert_eq!(w.mean(), 2.0);
+    }
+
+    #[test]
+    fn empty_welford_is_nan() {
+        let w = Welford::new();
+        assert!(w.mean().is_nan());
+        assert!(w.min().is_nan());
+        assert!(w.max().is_nan());
+        assert!(w.std().is_nan());
+    }
+
+    #[test]
+    fn quantile_linear_interpolation() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+        // numpy.percentile([1,2,3,4], 25) = 1.75
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[42.0], 0.3), 42.0);
+    }
+
+    #[test]
+    fn quantile_empty_is_nan() {
+        assert!(quantile(&[], 0.5).is_nan());
+        assert!(quantile(&[f64::NAN], 0.5).is_nan());
+    }
+
+    #[test]
+    fn boxstats_basic() {
+        let data: Vec<f64> = (1..=11).map(|x| x as f64).collect();
+        let b = BoxStats::compute(&data).unwrap();
+        assert_eq!(b.median, 6.0);
+        assert_eq!(b.q1, 3.5);
+        assert_eq!(b.q3, 8.5);
+        assert_eq!(b.outliers_lo + b.outliers_hi, 0);
+        assert_eq!(b.whisker_lo, 1.0);
+        assert_eq!(b.whisker_hi, 11.0);
+    }
+
+    #[test]
+    fn boxstats_flags_outliers() {
+        let mut data: Vec<f64> = (1..=11).map(|x| x as f64).collect();
+        data.push(1000.0);
+        data.push(-1000.0);
+        let b = BoxStats::compute(&data).unwrap();
+        assert_eq!(b.outliers_hi, 1);
+        assert_eq!(b.outliers_lo, 1);
+        assert!(b.whisker_hi <= 11.0);
+        assert!(b.whisker_lo >= 1.0);
+        assert!(b.non_outlier_spread() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn boxstats_empty_is_none() {
+        assert!(BoxStats::compute(&[]).is_none());
+        assert!(BoxStats::compute(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_percentiles_ordered() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let s = Summary::compute(&data).unwrap();
+        assert!(s.min <= s.p05);
+        assert!(s.p05 <= s.p25);
+        assert!(s.p25 <= s.median);
+        assert!(s.median <= s.p75);
+        assert!(s.p75 <= s.p95);
+        assert!(s.p95 <= s.max);
+        assert_eq!(s.count, 1000);
+    }
+
+    #[test]
+    fn skewness_signs() {
+        // Right-skewed: long tail to the right.
+        let right: Vec<f64> = vec![1.0, 1.0, 1.0, 2.0, 2.0, 3.0, 10.0];
+        assert!(skewness(&right) > 0.5);
+        // Left-skewed.
+        let left: Vec<f64> = right.iter().map(|x| -x).collect();
+        assert!(skewness(&left) < -0.5);
+        // Symmetric.
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert!(skewness(&sym).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewness_degenerate() {
+        assert!(skewness(&[1.0, 2.0]).is_nan());
+        assert!(skewness(&[3.0, 3.0, 3.0]).is_nan());
+    }
+
+    #[test]
+    fn nan_aggregations() {
+        let data = [1.0, f64::NAN, 3.0];
+        assert_eq!(nanmean(&data), 2.0);
+        assert_eq!(nansum(&data), 4.0);
+        assert_eq!(nanmax(&data), 3.0);
+        assert_eq!(nanmin(&data), 1.0);
+        assert!(nanmax(&[]).is_nan());
+        assert!(nanmin(&[f64::NAN]).is_nan());
+    }
+
+    #[test]
+    fn window_stats_empty() {
+        let w = WindowStats::empty();
+        assert!(w.is_empty());
+        assert!(w.mean.is_nan());
+    }
+}

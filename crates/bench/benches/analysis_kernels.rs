@@ -1,0 +1,100 @@
+//! Criterion benchmarks for the analysis kernels backing the figures:
+//! FFT (Fig 10), KDE (Figs 6/9), edge detection (Figs 10/11), Pearson
+//! matrix (Fig 13), snapshot superposition (Figs 11/12), CDF (Fig 7).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use summit_analysis::cdf::Ecdf;
+use summit_analysis::correlation::CorrelationMatrix;
+use summit_analysis::edges::detect_edges;
+use summit_analysis::fft::{amplitude_spectrum, fft_padded};
+use summit_analysis::kde::{Bandwidth, Kde1d, Kde2d};
+use summit_analysis::series::Series;
+use summit_analysis::snapshot::superimpose;
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            5e6 + 2e6 * (2.0 * std::f64::consts::PI * t / 20.0).sin()
+                + 5e5 * ((t * 1.7).sin())
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let data = signal(8640); // one day at 10 s
+    c.bench_function("fft_amplitude_spectrum_8640", |b| {
+        b.iter(|| amplitude_spectrum(black_box(&data), 0.1))
+    });
+    c.bench_function("fft_padded_4096", |b| {
+        b.iter(|| fft_padded(black_box(&data[..4096])))
+    });
+}
+
+fn bench_kde(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..2000).map(|i| ((i * 7919) % 1000) as f64).collect();
+    let ys: Vec<f64> = (0..2000).map(|i| ((i * 104729) % 1000) as f64).collect();
+    c.bench_function("kde1d_grid_256", |b| {
+        let kde = Kde1d::fit(&xs, Bandwidth::Scott).unwrap();
+        b.iter(|| kde.grid(black_box(256), 3.0))
+    });
+    c.bench_function("kde2d_grid_64x64_n2000", |b| {
+        let kde = Kde2d::fit(&xs, &ys, Bandwidth::Scott).unwrap();
+        b.iter(|| kde.grid(black_box(64), 64))
+    });
+}
+
+fn bench_edges(c: &mut Criterion) {
+    let s = Series::new(0.0, 10.0, signal(8640));
+    c.bench_function("edge_detection_day_series", |b| {
+        b.iter(|| detect_edges(black_box(&s), 1e6))
+    });
+}
+
+fn bench_correlation(c: &mut Criterion) {
+    // Figure 13 shape: 16 kinds x 4,626 nodes.
+    let vars: Vec<Vec<f64>> = (0..16)
+        .map(|k| {
+            (0..4626)
+                .map(|n| ((n * (k + 3) * 2654435761_usize) % 100) as f64)
+                .collect()
+        })
+        .collect();
+    c.bench_function("pearson_matrix_16x4626_bonferroni", |b| {
+        b.iter(|| CorrelationMatrix::compute(black_box(&vars), 0.05))
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let s = Series::new(0.0, 10.0, signal(8640));
+    let aligns: Vec<f64> = (1..100).map(|k| k as f64 * 860.0).collect();
+    c.bench_function("snapshot_superposition_99_events", |b| {
+        b.iter(|| superimpose(black_box(&s), &aligns, 60.0, 240.0, 0.95))
+    });
+}
+
+fn bench_cdf(c: &mut Criterion) {
+    let data = signal(100_000);
+    c.bench_function("ecdf_build_100k", |b| {
+        b.iter(|| Ecdf::new(black_box(&data)))
+    });
+    let e = Ecdf::new(&data).unwrap();
+    c.bench_function("ecdf_percentile_queries", |b| {
+        b.iter(|| {
+            for i in 1..100 {
+                black_box(e.percentile(i as f64 / 100.0));
+            }
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_kde,
+    bench_edges,
+    bench_correlation,
+    bench_snapshot,
+    bench_cdf
+);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! One Criterion benchmark per paper table/figure: measures the cost of
+//! regenerating each artifact at reduced scale, so pipeline regressions
+//! that would blow up the paper-scale runs are caught early.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use summit_core::experiments::*;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+    g.bench_function("table1_3", |b| {
+        b.iter(|| (tables::render_table1(), tables::render_table3()))
+    });
+    g.bench_function("table2_pipeline", |b| {
+        let cfg = table2::Config {
+            cabinets: 2,
+            duration_s: 60,
+            producers: 2,
+        };
+        b.iter(|| table2::run(&cfg))
+    });
+    g.bench_function("table4_failures", |b| {
+        let cfg = table4::Config {
+            weeks: 2.0,
+            seed: 1,
+        };
+        b.iter(|| table4::run(&cfg))
+    });
+    g.finish();
+}
+
+fn bench_population_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("population_figures");
+    g.sample_size(10);
+    g.bench_function("fig05_year_trend", |b| {
+        let cfg = fig05::Config {
+            population_scale: 0.001,
+            dt_s: 7200.0,
+            maintenance_days: Some((34.0, 41.0)),
+        };
+        b.iter(|| fig05::run(&cfg))
+    });
+    g.bench_function("fig06_kde", |b| {
+        let cfg = fig06::Config {
+            population_scale: 0.001,
+            grid: 32,
+            max_samples: 500,
+        };
+        b.iter(|| fig06::run(&cfg))
+    });
+    g.bench_function("fig07_cdfs", |b| {
+        let cfg = fig07::Config {
+            population_scale: 0.005,
+        };
+        b.iter(|| fig07::run(&cfg))
+    });
+    g.bench_function("fig08_domains", |b| {
+        let cfg = fig08::Config {
+            population_scale: 0.01,
+            class: 2,
+        };
+        b.iter(|| fig08::run(&cfg))
+    });
+    g.bench_function("fig09_cpu_gpu", |b| {
+        let cfg = fig09::Config {
+            population_scale: 0.001,
+            max_samples: 500,
+        };
+        b.iter(|| fig09::run(&cfg))
+    });
+    g.bench_function("fig10_dynamics", |b| {
+        let cfg = fig10::Config {
+            population_scale: 0.001,
+            dt_s: 10.0,
+        };
+        b.iter(|| fig10::run(&cfg))
+    });
+    g.finish();
+}
+
+fn bench_dynamics_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynamics_figures");
+    g.sample_size(10);
+    let burst = fig11::Config {
+        cabinets: 6,
+        amplitudes_mw: vec![0.08],
+        repeats: 1,
+        burst_duration_s: 100.0,
+        spacing_s: 300.0,
+    };
+    g.bench_function("fig04_msb_validation", |b| {
+        let cfg = fig04::Config {
+            cabinets: 3,
+            duration_s: 60,
+            busy_fraction: 1.0,
+        };
+        b.iter(|| fig04::run(&cfg))
+    });
+    g.bench_function("fig11_edge_snapshots", |b| {
+        b.iter(|| fig11::run(&burst))
+    });
+    g.bench_function("fig12_thermal_response", |b| {
+        b.iter(|| {
+            fig12::run(&fig12::Config {
+                burst: burst.clone(),
+            })
+        })
+    });
+    g.bench_function("fig17_job_variability", |b| {
+        let cfg = fig17::Config {
+            cabinets: 6,
+            job_duration_s: 180.0,
+            stride_s: 20.0,
+            missing_cabinet: None,
+            seed: 1,
+        };
+        b.iter(|| fig17::run(&cfg))
+    });
+    g.finish();
+}
+
+fn bench_failure_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("failure_figures");
+    g.sample_size(10);
+    g.bench_function("fig13_cooccurrence", |b| {
+        let cfg = fig13::Config {
+            weeks: 2.0,
+            alpha: 0.05,
+            seed: 1,
+        };
+        b.iter(|| fig13::run(&cfg))
+    });
+    g.bench_function("fig14_projects", |b| {
+        let cfg = fig14::Config {
+            weeks: 2.0,
+            top: 15,
+            min_node_hours: 500.0,
+            seed: 1,
+        };
+        b.iter(|| fig14::run(&cfg))
+    });
+    g.bench_function("fig15_thermal_extremity", |b| {
+        let cfg = fig15::Config {
+            weeks: 2.0,
+            seed: 1,
+        };
+        b.iter(|| fig15::run(&cfg))
+    });
+    g.bench_function("fig16_slots", |b| {
+        let cfg = fig16::Config {
+            weeks: 2.0,
+            seed: 1,
+        };
+        b.iter(|| fig16::run(&cfg))
+    });
+    g.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extensions");
+    g.sample_size(10);
+    g.bench_function("fingerprint_evaluate_300_jobs", |b| {
+        use rand::SeedableRng;
+        let scenario = summit_core::pipeline::PopulationScenario::paper_year(0.0004);
+        let jobs = scenario.generate();
+        let pm = summit_sim::power::PowerModel::new(scenario.seed);
+        b.iter(|| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            summit_core::fingerprint::evaluate(&mut rng, &jobs, &pm, 4)
+        })
+    });
+    g.bench_function("power_aware_cap_sweep", |b| {
+        let cfg = power_aware::Config {
+            population_scale: 0.002,
+            caps_w: vec![f64::INFINITY, 8.0e6],
+            dt_s: 3600.0,
+        };
+        b.iter(|| power_aware::run(&cfg))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tables,
+    bench_population_figures,
+    bench_dynamics_figures,
+    bench_failure_figures,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benchmarks for the telemetry pipeline and the simulation
+//! engine: codec throughput (Table 2), window coarsening, fan-in ingest,
+//! cluster aggregation (Datasets 0-1), and the per-tick engine cost that
+//! bounds every dynamics figure.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use summit_sim::engine::{Engine, EngineConfig, StepOptions};
+use summit_telemetry::cluster::cluster_power;
+use summit_telemetry::codec::{decode_column, encode_column, ColumnBlock};
+use summit_telemetry::ids::NodeId;
+use summit_telemetry::records::NodeFrame;
+use summit_telemetry::window::{coarsen_parallel, WindowAggregator};
+
+fn frames_for(nodes: usize, seconds: usize) -> Vec<Vec<NodeFrame>> {
+    let mut engine = Engine::new(EngineConfig::small(nodes.div_ceil(18).max(1)), 0.0);
+    let n = engine.topology().node_count();
+    let mut out = vec![Vec::with_capacity(seconds); n];
+    for _ in 0..seconds {
+        let tick = engine.step_opts(&StepOptions {
+            frames: true,
+            ..Default::default()
+        });
+        for f in tick.frames.unwrap() {
+            out[f.node.index()].push(f);
+        }
+    }
+    out
+}
+
+fn bench_codec(c: &mut Criterion) {
+    // A realistic sensor column: slow-moving integer watts.
+    let col: Vec<i64> = (0..86_400)
+        .map(|i| 1500 + ((i / 37) % 40) as i64 - ((i / 113) % 17) as i64)
+        .collect();
+    let mut g = c.benchmark_group("codec");
+    g.throughput(Throughput::Bytes((col.len() * 8) as u64));
+    g.bench_function("encode_day_column", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::new();
+            encode_column(black_box(&col), &mut buf);
+            buf
+        })
+    });
+    let mut buf = bytes::BytesMut::new();
+    encode_column(&col, &mut buf);
+    let encoded = buf.freeze();
+    g.bench_function("decode_day_column", |b| {
+        b.iter(|| {
+            let mut bytes = encoded.clone();
+            decode_column(black_box(&mut bytes))
+        })
+    });
+    let block = ColumnBlock {
+        columns: (0..106).map(|_| col[..600].to_vec()).collect(),
+    };
+    g.bench_function("encode_node_10min_block", |b| b.iter(|| block.encode()));
+    g.finish();
+}
+
+fn bench_window(c: &mut Criterion) {
+    let frames = frames_for(54, 60);
+    let mut g = c.benchmark_group("window");
+    g.throughput(Throughput::Elements((54 * 60) as u64));
+    g.bench_function("coarsen_54_nodes_60s_parallel", |b| {
+        b.iter(|| coarsen_parallel(black_box(&frames), 10.0))
+    });
+    g.bench_function("coarsen_single_node_60s", |b| {
+        b.iter(|| {
+            let mut agg = WindowAggregator::paper(NodeId(0));
+            for f in &frames[0] {
+                agg.push(f);
+            }
+            agg.finish()
+        })
+    });
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let frames = frames_for(180, 60);
+    let windows = coarsen_parallel(&frames, 10.0);
+    c.bench_function("cluster_power_180_nodes", |b| {
+        b.iter(|| cluster_power(black_box(&windows)))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    for cabinets in [10usize, 60] {
+        g.bench_function(format!("tick_{}_nodes", cabinets * 18), |b| {
+            let mut engine = Engine::new(EngineConfig::small(cabinets), 0.0);
+            b.iter(|| black_box(engine.step()))
+        });
+    }
+    g.bench_function("tick_full_floor_4626", |b| {
+        let mut engine = Engine::new(EngineConfig::default(), 0.0);
+        b.iter(|| black_box(engine.step()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_window, bench_cluster, bench_engine);
+criterion_main!(benches);

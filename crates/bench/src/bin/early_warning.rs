@@ -1,0 +1,18 @@
+//! Evaluates uC warnings as early diagnostics for fatal driver errors
+//! (extension of the paper's Figure 13 discussion).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::early_warning;
+
+fn main() {
+    let f = fidelity();
+    header("early-warning evaluation (Fig 13 extension)", f);
+    let cfg = match f {
+        Fidelity::Quick => early_warning::Config {
+            weeks: 16.0,
+            horizon_s: 3600.0,
+            seed: 2020,
+        },
+        Fidelity::Full => early_warning::Config::default(),
+    };
+    println!("{}", early_warning::run(&cfg).render());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 4 (power meter vs per-node sensor summation).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig04;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 4 (meter vs summation)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig04::Config {
+            cabinets: 20,
+            duration_s: 600,
+            busy_fraction: 1.0,
+        },
+        Fidelity::Full => fig04::Config {
+            cabinets: 257,
+            duration_s: 3600,
+            busy_fraction: 1.0,
+        },
+    };
+    println!("{}", fig04::run(&cfg).render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 5 (yearly power and PUE trend).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig05;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 5 (yearly trend)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig05::Config {
+            population_scale: 0.25,
+            dt_s: 3600.0,
+            maintenance_days: Some((34.0, 41.0)),
+        },
+        Fidelity::Full => fig05::Config::default(),
+    };
+    println!("{}", fig05::run(&cfg).render());
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 6 (energy vs max power KDE per class).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig06;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 6 (energy x max power density)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig06::Config {
+            population_scale: 0.01,
+            grid: 48,
+            max_samples: 2000,
+        },
+        Fidelity::Full => fig06::Config {
+            population_scale: 0.1,
+            grid: 96,
+            max_samples: 8000,
+        },
+    };
+    println!("{}", fig06::run(&cfg).render());
+}

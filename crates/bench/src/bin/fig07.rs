@@ -1,0 +1,17 @@
+//! Regenerates Figure 7 (leadership job feature CDFs).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig07;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 7 (feature CDFs)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig07::Config {
+            population_scale: 0.02,
+        },
+        Fidelity::Full => fig07::Config {
+            population_scale: 0.25,
+        },
+    };
+    println!("{}", fig07::run(&cfg).render());
+}

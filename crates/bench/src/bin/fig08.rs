@@ -1,0 +1,19 @@
+//! Regenerates Figure 8 (power/energy by science domain).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig08;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 8 (science domains)", f);
+    let scale = match f {
+        Fidelity::Quick => 0.03,
+        Fidelity::Full => 0.25,
+    };
+    for class in [1u8, 2] {
+        let cfg = fig08::Config {
+            population_scale: scale,
+            class,
+        };
+        println!("{}", fig08::run(&cfg).render());
+    }
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 9 (CPU vs GPU per-node power density).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig09;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 9 (CPU x GPU density)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig09::Config {
+            population_scale: 0.01,
+            max_samples: 2000,
+        },
+        Fidelity::Full => fig09::Config {
+            population_scale: 0.1,
+            max_samples: 8000,
+        },
+    };
+    println!("{}", fig09::run(&cfg).render());
+}

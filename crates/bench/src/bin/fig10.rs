@@ -1,0 +1,19 @@
+//! Regenerates Figure 10 (edge counts/durations and FFT distributions).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig10;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 10 (power dynamics)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig10::Config {
+            population_scale: 0.005,
+            dt_s: 10.0,
+        },
+        Fidelity::Full => fig10::Config {
+            population_scale: 0.05,
+            dt_s: 10.0,
+        },
+    };
+    println!("{}", fig10::run(&cfg).render());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 11 (rising-edge snapshots per MW class).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig11;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 11 (edge snapshots)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig11::Config {
+            cabinets: 40,
+            amplitudes_mw: vec![0.25, 0.5, 0.75, 1.0],
+            repeats: 2,
+            burst_duration_s: 150.0,
+            spacing_s: 480.0,
+        },
+        Fidelity::Full => fig11::Config::default(),
+    };
+    println!("{}", fig11::run(&cfg).render());
+}

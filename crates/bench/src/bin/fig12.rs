@@ -1,0 +1,21 @@
+//! Regenerates Figure 12 (thermal response of the cooling system).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::{fig11, fig12};
+
+fn main() {
+    let f = fidelity();
+    header("Figure 12 (thermal response)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig12::Config {
+            burst: fig11::Config {
+                cabinets: 40,
+                amplitudes_mw: vec![0.5, 1.0],
+                repeats: 2,
+                burst_duration_s: 150.0,
+                spacing_s: 480.0,
+            },
+        },
+        Fidelity::Full => fig12::Config::default(),
+    };
+    println!("{}", fig12::run(&cfg).render());
+}

@@ -1,0 +1,17 @@
+//! Regenerates Figure 13 (failure co-occurrence matrix).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig13;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 13 (failure co-occurrence)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig13::Config {
+            weeks: 12.0,
+            alpha: 0.05,
+            seed: 2020,
+        },
+        Fidelity::Full => fig13::Config::default(),
+    };
+    println!("{}", fig13::run(&cfg).render());
+}

@@ -1,0 +1,18 @@
+//! Regenerates Figure 14 (failures per node-hour by project).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig14;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 14 (failures by project)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig14::Config {
+            weeks: 8.0,
+            top: 15,
+            min_node_hours: 1000.0,
+            seed: 2020,
+        },
+        Fidelity::Full => fig14::Config::default(),
+    };
+    println!("{}", fig14::run(&cfg).render());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 15 (thermal extremity of failures).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig15;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 15 (thermal extremity)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig15::Config {
+            weeks: 16.0,
+            seed: 2020,
+        },
+        Fidelity::Full => fig15::Config::default(),
+    };
+    println!("{}", fig15::run(&cfg).render());
+}

@@ -1,0 +1,16 @@
+//! Regenerates Figure 16 (failures per GPU slot).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig16;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 16 (slot placement)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig16::Config {
+            weeks: 16.0,
+            seed: 2020,
+        },
+        Fidelity::Full => fig16::Config::default(),
+    };
+    println!("{}", fig16::run(&cfg).render());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 17 (GPU variability during a full-machine job).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::fig17;
+
+fn main() {
+    let f = fidelity();
+    header("Figure 17 (job variability + floor heatmap)", f);
+    let cfg = match f {
+        Fidelity::Quick => fig17::Config {
+            cabinets: 40,
+            job_duration_s: 420.0,
+            stride_s: 10.0,
+            missing_cabinet: Some(22),
+            seed: 2020,
+        },
+        Fidelity::Full => fig17::Config::default(),
+    };
+    println!("{}", fig17::run(&cfg).render());
+}

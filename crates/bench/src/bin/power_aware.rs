@@ -1,0 +1,20 @@
+//! Runs the power-aware admission sweep (the paper's concluding policy
+//! suggestion).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::power_aware;
+
+fn main() {
+    let f = fidelity();
+    header("power-aware scheduling sweep", f);
+    let cfg = match f {
+        Fidelity::Quick => power_aware::Config {
+            population_scale: 0.02,
+            ..Default::default()
+        },
+        Fidelity::Full => power_aware::Config {
+            population_scale: 0.25,
+            ..Default::default()
+        },
+    };
+    println!("{}", power_aware::run(&cfg).render());
+}

@@ -1,0 +1,9 @@
+//! Regenerates Tables 1 and 3 (system spec / scheduling classes).
+use summit_bench::{fidelity, header};
+use summit_core::experiments::tables;
+
+fn main() {
+    header("Tables 1 and 3", fidelity());
+    println!("{}", tables::render_table1());
+    println!("{}", tables::render_table3());
+}

@@ -1,0 +1,22 @@
+//! Regenerates Table 2 (telemetry data specification) by running the
+//! real pipeline over a measured window and extrapolating.
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::table2;
+
+fn main() {
+    let f = fidelity();
+    header("Table 2 (data specification)", f);
+    let cfg = match f {
+        Fidelity::Quick => table2::Config {
+            cabinets: 10,
+            duration_s: 120,
+            producers: 8,
+        },
+        Fidelity::Full => table2::Config {
+            cabinets: 257,
+            duration_s: 300,
+            producers: 16,
+        },
+    };
+    println!("{}", table2::run(&cfg).render());
+}

@@ -1,0 +1,17 @@
+//! Contrasts Summit's liquid-cooled failure thermal signatures against a
+//! Titan-like air-cooled regime (paper Section 6 summary).
+use summit_bench::{fidelity, header, Fidelity};
+use summit_core::experiments::titan_contrast;
+
+fn main() {
+    let f = fidelity();
+    header("Summit vs Titan thermal regimes", f);
+    let cfg = match f {
+        Fidelity::Quick => titan_contrast::Config {
+            weeks: 12.0,
+            seed: 2020,
+        },
+        Fidelity::Full => titan_contrast::Config::default(),
+    };
+    println!("{}", titan_contrast::run(&cfg).render());
+}

@@ -1,0 +1,288 @@
+//! Figure 5: Summit power and energy trends over the year 2020.
+//!
+//! The paper's anchors: average power between 5 and 6 MW with constant
+//! small extremes touching idle (2.5 MW) and peak (13 MW); average PUE
+//! 1.11; summer average 1.22 (chilled water trimming); a ~1.3 spike in
+//! early February when cooling-tower maintenance forced 100 % chilled
+//! water; chilled water needed only ~20 % of the year.
+
+use crate::pipeline::PopulationScenario;
+use crate::report::{sparkline, Table};
+use serde::{Deserialize, Serialize};
+use summit_analysis::pue::average_pue;
+use summit_analysis::series::Series;
+use summit_analysis::stats::BoxStats;
+use summit_sim::facility::{Facility, FacilityConfig};
+use summit_sim::spec;
+use summit_sim::weather::Weather;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Config {
+    /// Fraction of the paper's 840k jobs to draw.
+    pub population_scale: f64,
+    /// Facility simulation step (s).
+    pub dt_s: f64,
+    /// February cooling-tower maintenance window (day-of-year range).
+    pub maintenance_days: Option<(f64, f64)>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            population_scale: 1.0,
+            dt_s: 600.0,
+            maintenance_days: Some((34.0, 41.0)),
+        }
+    }
+}
+
+/// One weekly summary row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WeekRow {
+    /// Week index (0-based).
+    pub week: usize,
+    /// Power distribution statistics.
+    pub power: BoxStats,
+    /// Weekly maximum power (W).
+    pub week_max_power_w: f64,
+    /// PUE distribution statistics.
+    pub pue: BoxStats,
+    /// Fraction of the week the chillers carried any load.
+    pub chiller_active_fraction: f64,
+    /// Mean wet-bulb temperature (C).
+    pub mean_wet_bulb_c: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig05Result {
+    /// Observation span in weeks.
+    pub weeks: Vec<WeekRow>,
+    /// Energy-weighted annual PUE.
+    pub annual_avg_pue: f64,
+    /// Energy-weighted summer PUE.
+    pub summer_avg_pue: f64,
+    /// Peak PUE during the maintenance window.
+    pub maintenance_peak_pue: f64,
+    /// Fraction of the year with meaningful chiller duty.
+    pub chiller_year_fraction: f64,
+    /// Minimum power (W).
+    pub min_power_w: f64,
+    /// Maximum power (W).
+    pub max_power_w: f64,
+    /// Mean power (W).
+    pub mean_power_w: f64,
+    /// Total IT energy for the year (J).
+    pub it_energy_j: f64,
+}
+
+/// Runs the yearly-trend experiment.
+pub fn run(config: &Config) -> Fig05Result {
+    let scenario = PopulationScenario::paper_year(config.population_scale);
+    let (rows, _) = scenario.generate_with_stats();
+    // At full scale (the default; ~5 s of compute) the sweep lands in the
+    // paper's 5-6 MW band directly. Sub-scaled test populations inflate
+    // their above-idle contribution to stay in-band.
+    let sweep = crate::pipeline::cluster_power_sweep(&rows, 0.0, spec::YEAR_S, config.dt_s);
+    let inflate = 1.0 / config.population_scale;
+    let idle = spec::SYSTEM_IDLE_POWER_W;
+    let cap = spec::TOTAL_NODES as f64 * spec::NODE_MAX_POWER_W;
+    let it_values: Vec<f64> = sweep
+        .values()
+        .iter()
+        .map(|&v| (idle + (v - idle) * inflate).min(cap))
+        .collect();
+    let it = Series::new(0.0, config.dt_s, it_values);
+
+    // Facility loop over the year.
+    let weather = Weather::oak_ridge(2020);
+    let maintenance = config
+        .maintenance_days
+        .map(|(a, b)| (a * 86_400.0, b * 86_400.0));
+    let fac_cfg = FacilityConfig {
+        maintenance,
+        ..Default::default()
+    };
+    let infra = 0.6e6;
+    let mut facility = Facility::new(fac_cfg, it.values()[0] + infra);
+    let mut facility_series = Vec::with_capacity(it.len());
+    let mut chiller_series = Vec::with_capacity(it.len());
+    let mut wet_bulb_series = Vec::with_capacity(it.len());
+    for (i, &p) in it.values().iter().enumerate() {
+        let t = i as f64 * config.dt_s;
+        let wb = weather.wet_bulb_c(t);
+        let rec = facility.step(t, p + infra, wb, config.dt_s);
+        facility_series.push(rec.facility_power_w);
+        chiller_series.push(rec.chiller_tons);
+        wet_bulb_series.push(wb);
+    }
+    let it_total = Series::new(0.0, config.dt_s, it.values().iter().map(|v| v + infra).collect());
+    let facility_s = Series::new(0.0, config.dt_s, facility_series);
+
+    // Weekly summaries.
+    let steps_per_week = (7.0 * 86_400.0 / config.dt_s) as usize;
+    let n_weeks = it.len().div_ceil(steps_per_week);
+    let mut weeks = Vec::with_capacity(n_weeks);
+    for w in 0..n_weeks {
+        let a = w * steps_per_week;
+        let b = ((w + 1) * steps_per_week).min(it.len());
+        let p_slice = &it_total.values()[a..b];
+        let f_slice = &facility_s.values()[a..b];
+        let pues: Vec<f64> = f_slice
+            .iter()
+            .zip(p_slice)
+            .map(|(&f, &p)| summit_analysis::pue::pue(f, p))
+            .collect();
+        let chill = &chiller_series[a..b];
+        let active = chill.iter().filter(|&&c| c > 25.0).count() as f64 / chill.len() as f64;
+        weeks.push(WeekRow {
+            week: w,
+            power: BoxStats::compute(p_slice).expect("non-empty week"),
+            week_max_power_w: summit_analysis::stats::nanmax(p_slice),
+            pue: BoxStats::compute(&pues).expect("non-empty week"),
+            chiller_active_fraction: active,
+            mean_wet_bulb_c: summit_analysis::stats::nanmean(&wet_bulb_series[a..b]),
+        });
+    }
+
+    // Seasonal aggregates.
+    let annual_avg_pue = average_pue(&facility_s, &it_total);
+    let summer_idx: Vec<usize> = (0..it.len())
+        .filter(|&i| Weather::is_summer(i as f64 * config.dt_s))
+        .collect();
+    let summer_fac: Vec<f64> = summer_idx.iter().map(|&i| facility_s.values()[i]).collect();
+    let summer_it: Vec<f64> = summer_idx.iter().map(|&i| it_total.values()[i]).collect();
+    let summer_avg_pue = summer_fac.iter().sum::<f64>() / summer_it.iter().sum::<f64>();
+    let maintenance_peak_pue = match maintenance {
+        Some((a, b)) => {
+            let idx_a = (a / config.dt_s) as usize;
+            let idx_b = ((b / config.dt_s) as usize).min(it.len());
+            (idx_a..idx_b)
+                .map(|i| facility_s.values()[i] / it_total.values()[i])
+                .fold(f64::NEG_INFINITY, f64::max)
+        }
+        None => f64::NAN,
+    };
+    let chiller_year_fraction =
+        chiller_series.iter().filter(|&&c| c > 25.0).count() as f64 / chiller_series.len() as f64;
+
+    Fig05Result {
+        weeks,
+        annual_avg_pue,
+        summer_avg_pue,
+        maintenance_peak_pue,
+        chiller_year_fraction,
+        min_power_w: summit_analysis::stats::nanmin(it_total.values()),
+        max_power_w: summit_analysis::stats::nanmax(it_total.values()),
+        mean_power_w: summit_analysis::stats::nanmean(it_total.values()),
+        it_energy_j: summit_analysis::pue::integrate_energy(&it_total).energy_j,
+    }
+}
+
+impl Fig05Result {
+    /// Renders the weekly trend plus annual anchors.
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Figure 5: Summit power and PUE trend (weekly, year 2020)",
+            &["week", "P med (MW)", "P max (MW)", "PUE med", "chiller", "wet-bulb C"],
+        );
+        for w in &self.weeks {
+            t.row(vec![
+                w.week.to_string(),
+                format!("{:.2}", w.power.median / 1e6),
+                format!("{:.2}", w.week_max_power_w / 1e6),
+                format!("{:.3}", w.pue.median),
+                format!("{:.0}%", w.chiller_active_fraction * 100.0),
+                format!("{:.1}", w.mean_wet_bulb_c),
+            ]);
+        }
+        let mut s = t.render();
+        let medians: Vec<f64> = self.weeks.iter().map(|w| w.pue.median).collect();
+        s.push_str(&format!("PUE trend:   {}\n", sparkline(&medians)));
+        let powers: Vec<f64> = self.weeks.iter().map(|w| w.power.median).collect();
+        s.push_str(&format!("power trend: {}\n", sparkline(&powers)));
+        s.push_str(&format!(
+            "\nannual: mean power {:.2} MW (range {:.2}-{:.2}), avg PUE {:.3}, summer PUE {:.3}, \
+             maintenance peak PUE {:.3}, chiller time {:.0}%, IT energy {:.1} GWh\n\
+             paper:  mean 5-6 MW (idle 2.5, peak 13), avg PUE 1.11, summer 1.22, Feb ~1.3, \
+             chillers ~20% of year\n",
+            self.mean_power_w / 1e6,
+            self.min_power_w / 1e6,
+            self.max_power_w / 1e6,
+            self.annual_avg_pue,
+            self.summer_avg_pue,
+            self.maintenance_peak_pue,
+            self.chiller_year_fraction * 100.0,
+            self.it_energy_j / 3.6e12,
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result() -> Fig05Result {
+        run(&Config {
+            population_scale: 0.005,
+            dt_s: 3600.0,
+            maintenance_days: Some((34.0, 41.0)),
+        })
+    }
+
+    #[test]
+    fn annual_pue_near_paper() {
+        let r = result();
+        assert!(
+            (1.06..1.17).contains(&r.annual_avg_pue),
+            "annual PUE {} should be near 1.11",
+            r.annual_avg_pue
+        );
+        assert!(
+            r.summer_avg_pue > r.annual_avg_pue + 0.02,
+            "summer PUE {} must exceed annual {}",
+            r.summer_avg_pue,
+            r.annual_avg_pue
+        );
+        assert!(
+            (1.15..1.35).contains(&r.summer_avg_pue),
+            "summer PUE {} near 1.22",
+            r.summer_avg_pue
+        );
+    }
+
+    #[test]
+    fn maintenance_spike_visible() {
+        let r = result();
+        assert!(
+            r.maintenance_peak_pue > 1.22,
+            "Feb maintenance PUE {} should approach 1.3",
+            r.maintenance_peak_pue
+        );
+    }
+
+    #[test]
+    fn chiller_fraction_near_20_percent() {
+        let r = result();
+        assert!(
+            (0.10..0.40).contains(&r.chiller_year_fraction),
+            "chiller fraction {}",
+            r.chiller_year_fraction
+        );
+    }
+
+    #[test]
+    fn power_band_matches_paper() {
+        let r = result();
+        assert!(
+            (3.0e6..8.0e6).contains(&r.mean_power_w),
+            "mean power {} should sit in the paper's 5-6 MW band",
+            r.mean_power_w
+        );
+        assert!(r.min_power_w >= 2.4e6, "idle floor {}", r.min_power_w);
+        assert!(r.max_power_w > 7.0e6, "peaks {}", r.max_power_w);
+        assert_eq!(r.weeks.len(), 53);
+    }
+}

@@ -1,0 +1,176 @@
+//! Figure 13: GPU failure co-occurrence — Pearson correlation between
+//! per-node count vectors of every failure-type pair, Bonferroni-corrected
+//! at 0.05.
+//!
+//! Paper anchors: expected co-occurrence between double-bit errors,
+//! preemptive cleanups and page-retirement events; an extremely strong
+//! correlation between internal micro-controller warnings and driver
+//! error handling exceptions (soft errors as early diagnostics).
+
+use crate::experiments::table4::{generate_events, Config as GenConfig};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use summit_analysis::correlation::CorrelationMatrix;
+use summit_sim::failures::node_count_matrix;
+use summit_sim::spec::TOTAL_NODES;
+use summit_telemetry::records::XidErrorKind;
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Config {
+    /// Observation span (weeks).
+    pub weeks: f64,
+    /// Significance level before Bonferroni correction.
+    pub alpha: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            weeks: 52.3,
+            alpha: 0.05,
+            seed: 2020,
+        }
+    }
+}
+
+/// One significant pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SignificantPair {
+    /// First kind of the pair.
+    pub a: XidErrorKind,
+    /// Second kind of the pair.
+    pub b: XidErrorKind,
+    /// Pearson correlation coefficient.
+    pub r: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+/// Full result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13Result {
+    /// Significant correlation pairs.
+    pub pairs: Vec<SignificantPair>,
+    /// Bonferroni-corrected significance threshold.
+    pub corrected_alpha: f64,
+    /// Total pairs tested.
+    pub total_pairs: usize,
+}
+
+/// Runs the Figure 13 analysis.
+pub fn run(config: &Config) -> Fig13Result {
+    let events = generate_events(&GenConfig {
+        weeks: config.weeks,
+        seed: config.seed,
+    });
+    let matrix = node_count_matrix(&events, TOTAL_NODES);
+    let corr = CorrelationMatrix::compute(&matrix, config.alpha);
+    let pairs = corr
+        .significant_pairs()
+        .into_iter()
+        .map(|p| SignificantPair {
+            a: XidErrorKind::ALL[p.i],
+            b: XidErrorKind::ALL[p.j],
+            r: p.r,
+            p_value: p.p_value,
+        })
+        .collect();
+    Fig13Result {
+        pairs,
+        corrected_alpha: corr.corrected_alpha,
+        total_pairs: corr.pairs.len(),
+    }
+}
+
+impl Fig13Result {
+    /// Finds a specific pair's r, if significant.
+    pub fn r_of(&self, a: XidErrorKind, b: XidErrorKind) -> Option<f64> {
+        self.pairs
+            .iter()
+            .find(|p| (p.a == a && p.b == b) || (p.a == b && p.b == a))
+            .map(|p| p.r)
+    }
+
+    /// Renders the significant-pair list (the non-empty matrix cells).
+    pub fn render(&self) -> String {
+        let mut t = Table::new(
+            "Figure 13: significant failure co-occurrences (Bonferroni 0.05)",
+            &["pair", "r", "p"],
+        );
+        for p in &self.pairs {
+            t.row(vec![
+                format!("{} x {}", p.a.name(), p.b.name()),
+                format!("{:.2}", p.r),
+                format!("{:.1e}", p.p_value),
+            ]);
+        }
+        let mut s = t.render();
+        s.push_str(&format!(
+            "\n{} of {} pairs significant at corrected alpha {:.1e}\n\
+             paper: uC warning x driver error extremely strong; double-bit x preemptive \
+             cleanup x page retirement cluster\n",
+            self.pairs.len(),
+            self.total_pairs,
+            self.corrected_alpha
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use XidErrorKind::*;
+
+    fn result() -> Fig13Result {
+        run(&Config {
+            weeks: 16.0,
+            alpha: 0.05,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn uc_warning_driver_error_strongest() {
+        let r = result();
+        let v = r
+            .r_of(InternalMicrocontrollerWarning, DriverErrorHandlingException)
+            .expect("pair must be significant");
+        assert!(v > 0.8, "paper: extremely strong correlation, got {v}");
+    }
+
+    #[test]
+    fn memory_cluster_significant() {
+        let r = result();
+        assert!(
+            r.r_of(DoubleBitError, PageRetirementEvent).unwrap_or(0.0) > 0.3,
+            "double-bit x page-retirement must co-occur"
+        );
+        assert!(
+            r.r_of(DoubleBitError, PreemptiveCleanup).unwrap_or(0.0) > 0.3,
+            "double-bit x preemptive-cleanup must co-occur"
+        );
+    }
+
+    #[test]
+    fn bonferroni_applied() {
+        let r = result();
+        assert_eq!(r.total_pairs, 16 * 15 / 2);
+        assert!((r.corrected_alpha - 0.05 / r.total_pairs as f64).abs() < 1e-12);
+        for p in &r.pairs {
+            assert!(p.p_value <= r.corrected_alpha);
+        }
+    }
+
+    #[test]
+    fn unrelated_pairs_absent() {
+        let r = result();
+        // Page faults spread everywhere; driver errors on one defect node.
+        if let Some(v) = r.r_of(MemoryPageFault, DriverErrorHandlingException) {
+            assert!(v.abs() < 0.5, "spurious correlation {v}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Each module exposes a `Config` (with a `scale`/size knob so the same
+//! experiment runs in CI seconds or at bench fidelity), a `run` function
+//! returning a typed result, and a `render` on the result that prints the
+//! same rows/series the paper reports, annotated with the paper's own
+//! numbers for side-by-side comparison (recorded in EXPERIMENTS.md).
+
+pub mod early_warning;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod power_aware;
+pub mod table2;
+pub mod titan_contrast;
+pub mod table4;
+pub mod tables;

@@ -1,0 +1,100 @@
+//! Tables 1 and 3: system specification and scheduling classes.
+//!
+//! These are configuration tables; the reproduction prints the constants
+//! the simulator is built from so they can be diffed against the paper.
+
+use crate::report::Table;
+use summit_sim::spec;
+
+/// Renders Table 1 (Summit system specification).
+pub fn render_table1() -> String {
+    let mut t = Table::new("Table 1: Summit system specification", &["item", "value"]);
+    let rows: Vec<(&str, String)> = vec![
+        ("Nodes", format!("{} IBM AC922 8335-GTX nodes", spec::TOTAL_NODES)),
+        (
+            "Cabinets",
+            format!(
+                "{} watercooled cabinets, {} nodes each",
+                spec::TOTAL_CABINETS,
+                spec::NODES_PER_CABINET
+            ),
+        ),
+        (
+            "Power consumption",
+            format!("{:.0} Megawatts peak", spec::SYSTEM_PEAK_POWER_W / 1e6),
+        ),
+        (
+            "Secondary loop",
+            format!(
+                "supply {:.1}-{:.1} C, return {:.1}-{:.1} C",
+                spec::MTW_SUPPLY_MIN_C,
+                spec::MTW_SUPPLY_MAX_C,
+                spec::MTW_RETURN_MIN_C,
+                spec::MTW_RETURN_MAX_C
+            ),
+        ),
+        ("Processor", "2 x IBM Power9 22C, direct water-cooled".into()),
+        ("GPU", "6 x NVIDIA Volta V100, direct water-cooled".into()),
+        (
+            "Node max power",
+            format!("{:.0} Watts", spec::NODE_MAX_POWER_W),
+        ),
+        ("CPU TDP", format!("{:.0} Watts", spec::CPU_TDP_W)),
+        ("GPU TDP", format!("{:.0} Watts", spec::GPU_TDP_W)),
+        ("Total GPUs", format!("{}", spec::TOTAL_GPUS)),
+        ("Total CPUs", format!("{}", spec::TOTAL_CPUS)),
+        (
+            "System idle power",
+            format!("{:.1} MW", spec::SYSTEM_IDLE_POWER_W / 1e6),
+        ),
+        (
+            "Facility capacity",
+            format!("{:.0} MW", spec::FACILITY_CAPACITY_W / 1e6),
+        ),
+    ];
+    for (k, v) in rows {
+        t.row(vec![k.to_string(), v]);
+    }
+    t.render()
+}
+
+/// Renders Table 3 (scheduling classes).
+pub fn render_table3() -> String {
+    let mut t = Table::new(
+        "Table 3: Summit scheduling classes by job node count",
+        &["class", "node range", "max walltime (h)"],
+    );
+    for c in spec::SCHEDULING_CLASSES {
+        t.row(vec![
+            c.class.to_string(),
+            format!("{} - {}", c.node_range.0, c.node_range.1),
+            format!("{:.0}", c.max_walltime_h),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_paper_anchors() {
+        let s = render_table1();
+        assert!(s.contains("4626"));
+        assert!(s.contains("257"));
+        assert!(s.contains("13 Megawatts"));
+        assert!(s.contains("2300 Watts"));
+        assert!(s.contains("27756"));
+    }
+
+    #[test]
+    fn table3_lists_all_classes() {
+        let s = render_table3();
+        assert!(s.contains("2765 - 4608"));
+        assert!(s.contains("1 - 45"));
+        for line in ["24", "12", "6", "2"] {
+            assert!(s.contains(line));
+        }
+    }
+}

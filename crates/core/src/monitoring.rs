@@ -1,0 +1,358 @@
+//! Near-real-time operations console.
+//!
+//! The paper's telemetry system exists to support MTW operations: data is
+//! "processed, summarized, and rendered to engineers in near real-time",
+//! cross-checking MTW supply/return and flow against component-wise
+//! temperature histograms (Section 2). This module is that product for
+//! the digital twin: feed it engine ticks, get a live dashboard and an
+//! alert stream.
+
+use crate::report::{pct, sparkline, watts, Table};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use summit_sim::engine::TickOutput;
+
+/// Alert kinds the console raises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlertKind {
+    /// A GPU crossed the hot threshold.
+    GpuOverTemp,
+    /// PUE exceeded the alarm level.
+    PueHigh,
+    /// Cluster power ramped faster than the swing threshold (the violent
+    /// MW-scale transitions of Section 4.2).
+    PowerSwing,
+    /// Sensor summation diverged from true power beyond tolerance
+    /// (telemetry path degradation).
+    TelemetryDivergence,
+    /// MTW return temperature left the design band.
+    MtwReturnOutOfBand,
+}
+
+/// One raised alert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Alert {
+    /// Event/error kind.
+    pub kind: AlertKind,
+    /// Simulation time (s).
+    pub t: f64,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// Alert thresholds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Hot-GPU threshold (°C).
+    pub gpu_hot_c: f64,
+    /// PUE alarm level.
+    pub pue_alarm: f64,
+    /// Power swing alarm (W per minute).
+    pub swing_w_per_min: f64,
+    /// Allowed relative gap between sensor summation and expectation.
+    pub telemetry_gap: f64,
+    /// MTW return band (°C).
+    pub mtw_return_band_c: (f64, f64),
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Self {
+            gpu_hot_c: 63.0,
+            pue_alarm: 1.35,
+            swing_w_per_min: 2.0e6,
+            telemetry_gap: 0.08,
+            mtw_return_band_c: (
+                summit_sim::spec::MTW_RETURN_MIN_C - 4.0,
+                summit_sim::spec::MTW_RETURN_MAX_C,
+            ),
+        }
+    }
+}
+
+/// The console state.
+pub struct OpsConsole {
+    thresholds: Thresholds,
+    history: usize,
+    power: VecDeque<f64>,
+    pue: VecDeque<f64>,
+    gpu_max: VecDeque<f64>,
+    mtw_return: VecDeque<f64>,
+    last: Option<TickOutput>,
+    last_minute_power: VecDeque<(f64, f64)>,
+    alerts: Vec<Alert>,
+    ticks_seen: u64,
+}
+
+impl OpsConsole {
+    /// Creates a console keeping `history` samples of each signal.
+    pub fn new(thresholds: Thresholds, history: usize) -> Self {
+        assert!(history >= 2, "history must hold at least two samples");
+        Self {
+            thresholds,
+            history,
+            power: VecDeque::with_capacity(history),
+            pue: VecDeque::with_capacity(history),
+            gpu_max: VecDeque::with_capacity(history),
+            mtw_return: VecDeque::with_capacity(history),
+            last: None,
+            last_minute_power: VecDeque::new(),
+            alerts: Vec::new(),
+            ticks_seen: 0,
+        }
+    }
+
+    /// Creates a console with default thresholds and a 5-minute history
+    /// at 1 Hz.
+    pub fn with_defaults() -> Self {
+        Self::new(Thresholds::default(), 300)
+    }
+
+    fn push_capped(dq: &mut VecDeque<f64>, cap: usize, v: f64) {
+        dq.push_back(v);
+        if dq.len() > cap {
+            dq.pop_front();
+        }
+    }
+
+    /// Feeds one engine tick; raises any alerts it implies.
+    pub fn observe(&mut self, tick: &TickOutput) {
+        self.ticks_seen += 1;
+        let th = self.thresholds;
+        Self::push_capped(&mut self.power, self.history, tick.true_compute_power_w);
+        Self::push_capped(&mut self.pue, self.history, tick.cep.pue());
+        Self::push_capped(&mut self.gpu_max, self.history, tick.gpu_temp_max_c);
+        Self::push_capped(&mut self.mtw_return, self.history, tick.cep.mtw_return_c);
+
+        if tick.gpu_temp_max_c.is_finite() && tick.gpu_temp_max_c > th.gpu_hot_c {
+            self.alerts.push(Alert {
+                kind: AlertKind::GpuOverTemp,
+                t: tick.t,
+                detail: format!("max GPU core {:.1} C > {:.1} C", tick.gpu_temp_max_c, th.gpu_hot_c),
+            });
+        }
+        let pue = tick.cep.pue();
+        if pue.is_finite() && pue > th.pue_alarm {
+            self.alerts.push(Alert {
+                kind: AlertKind::PueHigh,
+                t: tick.t,
+                detail: format!("PUE {pue:.3} > {:.2}", th.pue_alarm),
+            });
+        }
+        // Swing detection over a one-minute window.
+        self.last_minute_power
+            .push_back((tick.t, tick.true_compute_power_w));
+        while let Some(&(t0, _)) = self.last_minute_power.front() {
+            if tick.t - t0 > 60.0 {
+                self.last_minute_power.pop_front();
+            } else {
+                break;
+            }
+        }
+        if let (Some(&(t0, p0)), Some(&(t1, p1))) = (
+            self.last_minute_power.front(),
+            self.last_minute_power.back(),
+        ) {
+            if t1 > t0 {
+                let rate = (p1 - p0).abs() / (t1 - t0) * 60.0;
+                if rate > th.swing_w_per_min {
+                    self.alerts.push(Alert {
+                        kind: AlertKind::PowerSwing,
+                        t: tick.t,
+                        detail: format!("{} per minute", watts(rate)),
+                    });
+                    self.last_minute_power.clear(); // one alert per swing
+                }
+            }
+        }
+        // Telemetry divergence: sensors read low by design (~2.7 %); a
+        // larger gap means dropped cabinets or path failures.
+        if tick.true_compute_power_w > 0.0 {
+            let gap = (tick.true_compute_power_w - tick.sensor_compute_power_w)
+                / tick.true_compute_power_w;
+            if gap.abs() > th.telemetry_gap {
+                self.alerts.push(Alert {
+                    kind: AlertKind::TelemetryDivergence,
+                    t: tick.t,
+                    detail: format!("sensor summation {} off truth", pct(gap)),
+                });
+            }
+        }
+        let ret = tick.cep.mtw_return_c;
+        if ret < th.mtw_return_band_c.0 || ret > th.mtw_return_band_c.1 {
+            self.alerts.push(Alert {
+                kind: AlertKind::MtwReturnOutOfBand,
+                t: tick.t,
+                detail: format!("MTW return {ret:.1} C outside band"),
+            });
+        }
+        self.last = Some(tick.clone());
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> &[Alert] {
+        &self.alerts
+    }
+
+    /// Drains the alert queue.
+    pub fn drain_alerts(&mut self) -> Vec<Alert> {
+        std::mem::take(&mut self.alerts)
+    }
+
+    /// Ticks observed.
+    pub fn ticks_seen(&self) -> u64 {
+        self.ticks_seen
+    }
+
+    /// Renders the dashboard.
+    pub fn render(&self) -> String {
+        let Some(last) = &self.last else {
+            return "no telemetry yet".into();
+        };
+        let mut t = Table::new(
+            format!("operations console @ t={:.0}s", last.t),
+            &["signal", "now", "trend"],
+        );
+        let spark = |dq: &VecDeque<f64>| {
+            let v: Vec<f64> = dq.iter().copied().collect();
+            // Thin to at most 40 chars.
+            let step = (v.len() / 40).max(1);
+            sparkline(&v.iter().step_by(step).copied().collect::<Vec<_>>())
+        };
+        t.row(vec![
+            "compute power".into(),
+            watts(last.true_compute_power_w),
+            spark(&self.power),
+        ]);
+        t.row(vec![
+            "PUE".into(),
+            format!("{:.3}", last.cep.pue()),
+            spark(&self.pue),
+        ]);
+        t.row(vec![
+            "max GPU temp".into(),
+            format!("{:.1} C", last.gpu_temp_max_c),
+            spark(&self.gpu_max),
+        ]);
+        t.row(vec![
+            "MTW return".into(),
+            format!("{:.1} C", last.cep.mtw_return_c),
+            spark(&self.mtw_return),
+        ]);
+        t.row(vec![
+            "cooling".into(),
+            format!(
+                "{:.0} tons tower / {:.0} tons chiller",
+                last.cep.tower_tons, last.cep.chiller_tons
+            ),
+            String::new(),
+        ]);
+        t.row(vec![
+            "jobs".into(),
+            format!("{} running / {} busy nodes", last.running_jobs, last.busy_nodes),
+            String::new(),
+        ]);
+        let mut s = t.render();
+        if self.alerts.is_empty() {
+            s.push_str("\nno active alerts\n");
+        } else {
+            s.push_str(&format!("\n{} alerts (latest 5):\n", self.alerts.len()));
+            for a in self.alerts.iter().rev().take(5) {
+                s.push_str(&format!("  [{:?}] t={:.0}s {}\n", a.kind, a.t, a.detail));
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use summit_sim::engine::{Engine, EngineConfig};
+
+    fn tick_with(
+        t: f64,
+        power: f64,
+        sensor: f64,
+        gpu_max: f64,
+        pue_fac: f64,
+    ) -> TickOutput {
+        let mut engine = Engine::new(EngineConfig::small(1), t);
+        let mut tick = engine.step();
+        tick.t = t;
+        tick.true_compute_power_w = power;
+        tick.sensor_compute_power_w = sensor;
+        tick.gpu_temp_max_c = gpu_max;
+        tick.cep.facility_power_w = power * pue_fac;
+        tick.cep.it_power_w = power;
+        tick
+    }
+
+    #[test]
+    fn quiet_stream_raises_nothing() {
+        let mut console = OpsConsole::with_defaults();
+        for i in 0..30 {
+            console.observe(&tick_with(i as f64, 1.0e5, 0.973e5, 45.0, 1.1));
+        }
+        assert!(console.alerts().is_empty(), "{:?}", console.alerts());
+        assert_eq!(console.ticks_seen(), 30);
+        assert!(console.render().contains("operations console"));
+    }
+
+    #[test]
+    fn hot_gpu_alert() {
+        let mut console = OpsConsole::with_defaults();
+        console.observe(&tick_with(0.0, 1e5, 0.97e5, 70.0, 1.1));
+        assert!(console
+            .alerts()
+            .iter()
+            .any(|a| a.kind == AlertKind::GpuOverTemp));
+    }
+
+    #[test]
+    fn pue_alert() {
+        let mut console = OpsConsole::with_defaults();
+        console.observe(&tick_with(0.0, 1e5, 0.97e5, 40.0, 1.5));
+        assert!(console.alerts().iter().any(|a| a.kind == AlertKind::PueHigh));
+    }
+
+    #[test]
+    fn swing_alert_fires_on_fast_ramp() {
+        let mut console = OpsConsole::with_defaults();
+        for i in 0..10 {
+            console.observe(&tick_with(i as f64, 1.0e6, 0.97e6, 40.0, 1.1));
+        }
+        // +3 MW in ten seconds => 18 MW/min rate.
+        for i in 10..20 {
+            console.observe(&tick_with(i as f64, 4.0e6, 3.88e6, 40.0, 1.1));
+        }
+        assert!(console
+            .alerts()
+            .iter()
+            .any(|a| a.kind == AlertKind::PowerSwing));
+    }
+
+    #[test]
+    fn telemetry_divergence_alert() {
+        let mut console = OpsConsole::with_defaults();
+        // Sensor reads 20 % low: a dark cabinet.
+        console.observe(&tick_with(0.0, 1.0e6, 0.8e6, 40.0, 1.1));
+        assert!(console
+            .alerts()
+            .iter()
+            .any(|a| a.kind == AlertKind::TelemetryDivergence));
+    }
+
+    #[test]
+    fn live_engine_stream_renders() {
+        let mut engine = Engine::new(EngineConfig::small(2), 0.0);
+        let mut console = OpsConsole::with_defaults();
+        for _ in 0..60 {
+            let tick = engine.step();
+            console.observe(&tick);
+        }
+        let s = console.render();
+        assert!(s.contains("compute power"));
+        assert!(s.contains("MTW return"));
+    }
+}

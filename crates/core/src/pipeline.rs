@@ -1,0 +1,321 @@
+//! Scenario presets and shared experiment plumbing.
+//!
+//! Three reusable paths feed the experiments, mirroring how the paper's
+//! analyses divide:
+//!
+//! 1. **Population path** — the scaled 840k-job statistical year plus
+//!    closed-form job statistics (Figures 5-10, 14; Table 4).
+//! 2. **Dynamics path** — full time-domain engine runs at 1 Hz/10 s for
+//!    edge, snapshot and thermal-response studies (Figures 4, 11, 12, 17).
+//! 3. **Telemetry path** — frame generation, fan-in, compression and
+//!    coarsening measurements (Table 2).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use summit_analysis::series::Series;
+use summit_sim::engine::{Engine, EngineConfig, StepOptions, TickOutput};
+use summit_sim::jobs::{JobGenerator, SyntheticJob};
+use summit_sim::jobstats::{population_stats, JobStatsRow};
+use summit_sim::power::PowerModel;
+use summit_sim::spec;
+
+/// The scaled statistical-year scenario.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PopulationScenario {
+    /// Number of jobs to draw (paper year = 840,000).
+    pub job_count: usize,
+    /// Span of arrivals (paper year = 366 days).
+    pub span_s: f64,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl PopulationScenario {
+    /// The paper year scaled by `scale` (job count scales, span stays a
+    /// full year so seasonal structure is preserved).
+    pub fn paper_year(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        Self {
+            job_count: (840_000.0 * scale) as usize,
+            span_s: spec::YEAR_S,
+            seed: 2020,
+        }
+    }
+
+    /// Generates the population.
+    pub fn generate(&self) -> Vec<SyntheticJob> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut g = JobGenerator::new();
+        g.generate_population(&mut rng, self.job_count, 0.0, self.span_s)
+    }
+
+    /// Generates the population together with its closed-form stats.
+    pub fn generate_with_stats(&self) -> (Vec<JobStatsRow>, PowerModel) {
+        let pm = PowerModel::new(self.seed);
+        let jobs = self.generate();
+        (population_stats(&jobs, &pm), pm)
+    }
+}
+
+/// Builds the cluster power series over a window from a job population by
+/// event sweep: each active job contributes its mean power above idle;
+/// the total is floored at system idle and capped at compute capacity.
+/// This is the coarse path behind the Figure 5 yearly trend.
+pub fn cluster_power_sweep(
+    rows: &[JobStatsRow],
+    t0: f64,
+    t1: f64,
+    dt: f64,
+) -> Series {
+    assert!(t1 > t0 && dt > 0.0);
+    let idle_w = spec::SYSTEM_IDLE_POWER_W;
+    let cap_w = spec::TOTAL_NODES as f64 * spec::NODE_MAX_POWER_W;
+    let n = ((t1 - t0) / dt).ceil() as usize;
+
+    // Event sweep: delta at job begin/end.
+    let mut events: Vec<(f64, f64)> = Vec::with_capacity(rows.len() * 2);
+    for r in rows {
+        let above_idle = (r.stats.mean_power_w
+            - r.job.record.node_count as f64 * spec::NODE_IDLE_POWER_W)
+            .max(0.0);
+        events.push((r.job.record.begin_time, above_idle));
+        events.push((r.job.record.end_time, -above_idle));
+    }
+    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+
+    let mut values = vec![0.0f64; n];
+    let mut level = 0.0;
+    let mut e = 0;
+    for (i, v) in values.iter_mut().enumerate() {
+        let t = t0 + i as f64 * dt;
+        while e < events.len() && events[e].0 <= t {
+            level += events[e].1;
+            e += 1;
+        }
+        *v = (idle_w + level).min(cap_w);
+    }
+    Series::new(t0, dt, values)
+}
+
+/// A completed time-domain engine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DynamicsRun {
+    /// Per-tick outputs (summary level).
+    pub ticks: Vec<TickOutput>,
+    /// Tick interval (s).
+    pub dt_s: f64,
+}
+
+impl DynamicsRun {
+    fn series_of(&self, f: impl Fn(&TickOutput) -> f64) -> Series {
+        let t0 = self.ticks.first().map_or(0.0, |o| o.t);
+        Series::new(t0, self.dt_s, self.ticks.iter().map(f).collect())
+    }
+
+    /// Sensor-summed compute power series (W) — what the telemetry sees.
+    pub fn power_series(&self) -> Series {
+        self.series_of(|o| o.sensor_compute_power_w)
+    }
+
+    /// True compute power series (W).
+    pub fn true_power_series(&self) -> Series {
+        self.series_of(|o| o.true_compute_power_w)
+    }
+
+    /// PUE series.
+    pub fn pue_series(&self) -> Series {
+        self.series_of(|o| o.cep.pue())
+    }
+
+    /// Cluster GPU mean/max temperature series (°C).
+    pub fn gpu_temp_mean_series(&self) -> Series {
+        self.series_of(|o| o.gpu_temp_mean_c)
+    }
+
+    /// Max-GPU temperature series (°C).
+    pub fn gpu_temp_max_series(&self) -> Series {
+        self.series_of(|o| o.gpu_temp_max_c)
+    }
+
+    /// Cluster CPU mean temperature series (°C).
+    pub fn cpu_temp_mean_series(&self) -> Series {
+        self.series_of(|o| o.cpu_temp_mean_c)
+    }
+
+    /// Max-CPU temperature series (°C).
+    pub fn cpu_temp_max_series(&self) -> Series {
+        self.series_of(|o| o.cpu_temp_max_c)
+    }
+
+    /// MTW return temperature series (°C).
+    pub fn mtw_return_series(&self) -> Series {
+        self.series_of(|o| o.cep.mtw_return_c)
+    }
+
+    /// MTW supply temperature series (°C).
+    pub fn mtw_supply_series(&self) -> Series {
+        self.series_of(|o| o.cep.mtw_supply_c)
+    }
+
+    /// Tower cooling series (tons of refrigeration).
+    pub fn tower_tons_series(&self) -> Series {
+        self.series_of(|o| o.cep.tower_tons)
+    }
+
+    /// Chiller cooling series (tons of refrigeration).
+    pub fn chiller_tons_series(&self) -> Series {
+        self.series_of(|o| o.cep.chiller_tons)
+    }
+}
+
+/// A staged burst: one job sized to produce a clean power edge.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Burst {
+    /// Start offset from the run start (s).
+    pub at_s: f64,
+    /// Node count of the burst job.
+    pub nodes: u32,
+    /// Duration (s).
+    pub duration_s: f64,
+    /// Peak GPU utilization of the burst job.
+    pub gpu_intensity: f64,
+}
+
+/// Runs the engine over `duration_s` with a staged burst schedule —
+/// the controlled-workload path behind the Figure 11/12 edge snapshots.
+/// `t0` positions the run in the year (e.g. summer for chiller activity).
+pub fn run_burst_schedule(
+    config: EngineConfig,
+    t0: f64,
+    duration_s: f64,
+    bursts: &[Burst],
+) -> DynamicsRun {
+    let dt = config.dt_s;
+    let seed = config.seed;
+    let mut engine = Engine::new(config, t0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB0057);
+    let mut gen = JobGenerator::new();
+    // Jobs cannot exceed the largest schedulable size (Table 3).
+    let max_nodes = (engine.topology().node_count() as u32).min(spec::MAX_JOB_NODES);
+    for b in bursts {
+        let mut job = gen.generate_with_class(&mut rng, t0 + b.at_s, 5);
+        job.record.node_count = b.nodes.min(max_nodes);
+        // Re-derive class from the actual node count for consistency.
+        job.record.class = spec::class_of_node_count(job.record.node_count);
+        job.record.end_time = job.record.begin_time + b.duration_s;
+        job.profile.gpu_intensity = b.gpu_intensity;
+        job.profile.cpu_intensity = 0.35;
+        job.profile.oscillation_depth = 0.05;
+        job.profile.ramp_s = 15.0;
+        job.profile.checkpoint_interval_s = 0.0;
+        engine.scheduler().submit(job);
+    }
+    let n_ticks = (duration_s / dt).ceil() as usize;
+    let ticks = engine.run(n_ticks);
+    DynamicsRun { ticks, dt_s: dt }
+}
+
+/// Mid-summer timestamp (Jul 24, the start of the paper's summer
+/// snapshot window).
+pub fn summer_t0() -> f64 {
+    // Jul 24 2020 = day-of-year 205 (leap year).
+    205.0 * 86_400.0
+}
+
+/// Runs a small standard dynamics scenario (used by tests and the
+/// quickstart example): a few bursts on a scaled floor at 1 Hz.
+pub fn quick_dynamics(cabinets: usize, duration_s: f64) -> DynamicsRun {
+    let config = EngineConfig::small(cabinets);
+    let nodes = (cabinets * 18) as u32;
+    let bursts = vec![
+        Burst {
+            at_s: 120.0,
+            nodes: nodes / 2,
+            duration_s: 300.0,
+            gpu_intensity: 0.95,
+        },
+        Burst {
+            at_s: 600.0,
+            nodes,
+            duration_s: 300.0,
+            gpu_intensity: 0.95,
+        },
+    ];
+    run_burst_schedule(config, summer_t0(), duration_s, &bursts)
+}
+
+/// Collects per-step detailed outputs for one engine run with options.
+pub fn run_detailed(
+    config: EngineConfig,
+    t0: f64,
+    n_ticks: usize,
+    opts: StepOptions,
+) -> (Vec<TickOutput>, f64) {
+    let dt = config.dt_s;
+    let mut engine = Engine::new(config, t0);
+    let ticks = (0..n_ticks).map(|_| engine.step_opts(&opts)).collect();
+    (ticks, dt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_scenario_scales() {
+        let s = PopulationScenario::paper_year(0.001);
+        assert_eq!(s.job_count, 840);
+        let jobs = s.generate();
+        assert_eq!(jobs.len(), 840);
+        assert!(jobs.iter().all(|j| j.record.begin_time < spec::YEAR_S));
+    }
+
+    #[test]
+    fn sweep_power_within_physical_bounds() {
+        let s = PopulationScenario::paper_year(0.002);
+        let (rows, _) = s.generate_with_stats();
+        let series = cluster_power_sweep(&rows, 0.0, 30.0 * 86400.0, 3600.0);
+        for &v in series.values() {
+            assert!(v >= spec::SYSTEM_IDLE_POWER_W - 1.0);
+            assert!(v <= spec::TOTAL_NODES as f64 * spec::NODE_MAX_POWER_W + 1.0);
+        }
+        // With jobs running, power must exceed idle somewhere.
+        assert!(series
+            .values()
+            .iter()
+            .any(|&v| v > spec::SYSTEM_IDLE_POWER_W * 1.05));
+    }
+
+    #[test]
+    fn burst_schedule_creates_power_swing() {
+        let run = quick_dynamics(6, 1000.0);
+        let p = run.power_series();
+        let lo = p.values()[..100]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = p.values().iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // 108 nodes swinging to near-peak: amplitude should exceed 80 kW.
+        assert!(
+            hi - lo > 80_000.0,
+            "burst amplitude too small: {} -> {}",
+            lo,
+            hi
+        );
+        // Thermal and facility series come along.
+        assert_eq!(run.pue_series().len(), p.len());
+        assert!(run.gpu_temp_max_series().values().iter().any(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn dynamics_series_share_time_axis() {
+        let run = quick_dynamics(3, 200.0);
+        let p = run.power_series();
+        let q = run.mtw_return_series();
+        assert_eq!(p.t0(), q.t0());
+        assert_eq!(p.dt(), q.dt());
+        assert_eq!(p.len(), q.len());
+        assert_eq!(p.t0(), summer_t0());
+    }
+}

@@ -1,0 +1,272 @@
+//! Terminal rendering: aligned text tables, ASCII sparklines, bar charts
+//! and floor heatmaps — the output medium for every experiment binary
+//! ("prints the same rows/series the paper reports").
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width must match header"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("== {} ==\n", self.title));
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a number in engineering style (k/M/G suffixes).
+pub fn eng(value: f64) -> String {
+    if !value.is_finite() {
+        return "n/a".into();
+    }
+    let abs = value.abs();
+    let (scaled, suffix) = if abs >= 1e9 {
+        (value / 1e9, "G")
+    } else if abs >= 1e6 {
+        (value / 1e6, "M")
+    } else if abs >= 1e3 {
+        (value / 1e3, "k")
+    } else {
+        (value, "")
+    };
+    format!("{scaled:.2}{suffix}")
+}
+
+/// Formats watts with MW/kW units.
+pub fn watts(value: f64) -> String {
+    if !value.is_finite() {
+        return "n/a".into();
+    }
+    if value.abs() >= 1e6 {
+        format!("{:.2} MW", value / 1e6)
+    } else if value.abs() >= 1e3 {
+        format!("{:.1} kW", value / 1e3)
+    } else {
+        format!("{value:.0} W")
+    }
+}
+
+/// Formats joules with MJ/GJ/TJ units.
+pub fn joules(value: f64) -> String {
+    if !value.is_finite() {
+        return "n/a".into();
+    }
+    let abs = value.abs();
+    if abs >= 1e12 {
+        format!("{:.2} TJ", value / 1e12)
+    } else if abs >= 1e9 {
+        format!("{:.2} GJ", value / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.2} MJ", value / 1e6)
+    } else {
+        format!("{value:.0} J")
+    }
+}
+
+/// Renders a sparkline of values using eighth-block characters.
+/// NaNs render as spaces.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return " ".repeat(values.len());
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                ' '
+            } else {
+                let idx = (((v - lo) / span) * 7.0).round() as usize;
+                BLOCKS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders a horizontal bar scaled to `max_width` characters.
+pub fn bar(value: f64, max_value: f64, max_width: usize) -> String {
+    if !value.is_finite() || !max_value.is_finite() || max_value <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max_value).clamp(0.0, 1.0) * max_width as f64).round() as usize;
+    "#".repeat(n)
+}
+
+/// Renders a 2-D grid as an ASCII heatmap with a 10-level ramp.
+/// `NaN` cells print `.` (missing — the Figure 17 grey/green cabinets).
+pub fn heatmap(grid: &[Vec<f64>]) -> String {
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let finite: Vec<f64> = grid
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return String::new();
+    }
+    let lo = finite.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = finite.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (hi - lo).max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    for row in grid {
+        for &v in row {
+            if !v.is_finite() {
+                out.push('·');
+            } else {
+                let idx = (((v - lo) / span) * 9.0).round() as usize;
+                out.push(RAMP[idx.min(9)]);
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("scale: {} = {:.1} .. {} = {:.1}\n", RAMP[0], lo, RAMP[9], hi));
+    out
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(fraction: f64) -> String {
+    if !fraction.is_finite() {
+        return "n/a".into();
+    }
+    format!("{:.1}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "12345".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // All data lines have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+        assert!(s.contains("long-name"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn eng_formatting() {
+        assert_eq!(eng(1234.0), "1.23k");
+        assert_eq!(eng(12.0), "12.00");
+        assert_eq!(eng(2.5e7), "25.00M");
+        assert_eq!(eng(3.1e9), "3.10G");
+        assert_eq!(eng(f64::NAN), "n/a");
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(watts(5.5e6), "5.50 MW");
+        assert_eq!(watts(1500.0), "1.5 kW");
+        assert_eq!(watts(42.0), "42 W");
+        assert_eq!(joules(2.0e12), "2.00 TJ");
+        assert_eq!(joules(3.0e9), "3.00 GJ");
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], '▁');
+        assert_eq!(chars[2], '█');
+        // NaN becomes a space.
+        assert_eq!(sparkline(&[0.0, f64::NAN, 1.0]).chars().nth(1), Some(' '));
+    }
+
+    #[test]
+    fn bar_scaling() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(20.0, 10.0, 10).len(), 10, "clamps at max");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+    }
+
+    #[test]
+    fn heatmap_renders_missing() {
+        let grid = vec![vec![1.0, 2.0], vec![f64::NAN, 3.0]];
+        let h = heatmap(&grid);
+        assert!(h.contains('·'));
+        let lines: Vec<&str> = h.lines().collect();
+        assert_eq!(lines.len(), 3); // two rows + scale line
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(0.969), "96.9%");
+        assert_eq!(pct(f64::NAN), "n/a");
+    }
+}

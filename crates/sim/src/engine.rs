@@ -1,0 +1,629 @@
+//! The time-domain simulation driver.
+//!
+//! Advances the whole data center one tick (default 1 Hz, the paper's
+//! native telemetry rate) at a time: scheduler state, per-node workload
+//! utilization, component power, component thermals, facility cooling,
+//! and the measurement layer (BMC sensors, MSB meters). Node updates run
+//! in parallel with rayon.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use summit_telemetry::catalog;
+use summit_telemetry::ids::{CabinetId, GpuSlot, NodeId, Socket};
+use summit_telemetry::records::{CepRecord, NodeFrame};
+
+use crate::facility::{Facility, FacilityConfig};
+use crate::msb::MsbMeterModel;
+use crate::power::{NodeUtilization, PowerModel};
+use crate::scheduler::Scheduler;
+use crate::spec::TOTAL_NODES;
+use crate::thermal::{NodeThermals, ThermalModel};
+use crate::topology::Topology;
+use crate::weather::Weather;
+use crate::workload::WorkloadSignal;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Number of cabinets on the floor (257 = full Summit).
+    pub cabinets: usize,
+    /// Tick length in seconds (1.0 = the paper's native rate).
+    pub dt_s: f64,
+    /// Master seed for all stochastic submodels.
+    pub seed: u64,
+    /// Facility configuration.
+    pub facility: FacilityConfig,
+    /// Non-compute IT power (storage, network, service nodes) included in
+    /// the PUE's IT denominator, scaled to the floor fraction.
+    pub infrastructure_it_w: f64,
+    /// Cabinet whose telemetry is missing (the Figure 17 bright-green
+    /// cabinet), if any.
+    pub missing_cabinet: Option<CabinetId>,
+    /// Window `[start, end)` during which temperature telemetry is lost
+    /// (the paper's spring-2020 aggregation-path outage), if any.
+    pub temp_outage: Option<(f64, f64)>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cabinets: 257,
+            dt_s: 1.0,
+            seed: 2020,
+            facility: FacilityConfig::default(),
+            infrastructure_it_w: 0.6e6,
+            missing_cabinet: None,
+            temp_outage: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A small-floor config for tests and examples: facility hydraulics
+    /// and base loads scale with the floor fraction so PUE stays
+    /// representative.
+    pub fn small(cabinets: usize) -> Self {
+        let frac = cabinets as f64 / 257.0;
+        let mut facility = FacilityConfig::default();
+        facility.mtw_flow_kg_s *= frac;
+        facility.pump_base_w *= frac;
+        Self {
+            cabinets,
+            facility,
+            infrastructure_it_w: 0.6e6 * frac,
+            ..Default::default()
+        }
+    }
+}
+
+/// What to collect on a tick beyond the always-on summary.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StepOptions {
+    /// Emit full telemetry frames (one per node, ~106 metrics).
+    pub frames: bool,
+    /// Collect the per-node sensor input power vector.
+    pub node_power: bool,
+    /// Collect per-GPU power and core temperature vectors (len nodes*6).
+    pub gpu_state: bool,
+}
+
+/// Output of one tick.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TickOutput {
+    /// Tick start time (s).
+    pub t: f64,
+    /// True total compute power (W).
+    pub true_compute_power_w: f64,
+    /// Sensor-summed compute power (what the telemetry path reports, W).
+    pub sensor_compute_power_w: f64,
+    /// Total IT power (compute + infrastructure, W).
+    pub it_power_w: f64,
+    /// Facility record for this tick.
+    pub cep: CepRecord,
+    /// Per-MSB physical meter readings (W).
+    pub msb_meter_w: [f64; 5],
+    /// Cluster GPU core temperature mean/max (°C; NaN during outages).
+    pub gpu_temp_mean_c: f64,
+    /// Gpu temp max c.
+    pub gpu_temp_max_c: f64,
+    /// Cluster CPU temperature mean/max (°C; NaN during outages).
+    pub cpu_temp_mean_c: f64,
+    /// Cpu temp max c.
+    pub cpu_temp_max_c: f64,
+    /// Running job count and busy-node count.
+    pub running_jobs: usize,
+    /// Busy nodes.
+    pub busy_nodes: usize,
+    /// Optional payloads per [`StepOptions`].
+    pub frames: Option<Vec<NodeFrame>>,
+    /// Node sensor power w.
+    pub node_sensor_power_w: Option<Vec<f32>>,
+    /// Per-GPU power (len nodes*6), if requested.
+    pub gpu_power_w: Option<Vec<f32>>,
+    /// Per-GPU core temperature (len nodes*6), if requested.
+    pub gpu_temp_c: Option<Vec<f32>>,
+}
+
+/// The simulation engine.
+///
+/// ```
+/// use summit_sim::engine::{Engine, EngineConfig};
+/// // Two cabinets (36 nodes) at 1 Hz.
+/// let mut engine = Engine::new(EngineConfig::small(2), 0.0);
+/// let tick = engine.step();
+/// assert_eq!(tick.t, 0.0);
+/// assert!(tick.true_compute_power_w > 36.0 * 400.0);
+/// assert!(tick.cep.pue() > 1.0);
+/// ```
+pub struct Engine {
+    config: EngineConfig,
+    topology: Topology,
+    power_model: PowerModel,
+    thermal_model: ThermalModel,
+    weather: Weather,
+    facility: Facility,
+    msb_model: MsbMeterModel,
+    scheduler: Scheduler,
+    thermals: Vec<NodeThermals>,
+    t: f64,
+    tick: u64,
+}
+
+struct NodeTick {
+    true_power: f64,
+    sensor_power: f64,
+    gpu_power: [f64; 6],
+    cpu_power: [f64; 2],
+    gpu_temp: [f64; 6],
+    cpu_temp: [f64; 2],
+    thermals: NodeThermals,
+    busy: bool,
+}
+
+impl Engine {
+    /// Builds an engine from config, starting at `t0` seconds.
+    pub fn new(config: EngineConfig, t0: f64) -> Self {
+        let topology = if config.cabinets == 257 {
+            Topology::summit()
+        } else {
+            Topology::scaled(config.cabinets)
+        };
+        let node_count = topology.node_count();
+        let power_model = PowerModel::new(config.seed);
+        let thermal_model = ThermalModel::new(config.seed);
+        let weather = Weather::oak_ridge(config.seed);
+        let idle_estimate = node_count as f64 * crate::spec::NODE_IDLE_POWER_W
+            + config.infrastructure_it_w;
+        let facility = Facility::new(config.facility, idle_estimate);
+        let supply = crate::spec::MTW_SUPPLY_NOMINAL_C;
+        Self {
+            config,
+            power_model,
+            thermal_model,
+            weather,
+            facility,
+            msb_model: MsbMeterModel::with_seed(0x1157),
+            scheduler: Scheduler::new(node_count),
+            thermals: vec![NodeThermals::at_water(supply + 8.0); node_count],
+            topology,
+            t: t0,
+            tick: 0,
+        }
+    }
+
+    /// Current simulation time (s).
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// The floor topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Scheduler access (submit jobs, inspect allocations).
+    pub fn scheduler(&mut self) -> &mut Scheduler {
+        &mut self.scheduler
+    }
+
+    /// Immutable scheduler access.
+    pub fn scheduler_ref(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// Power model access.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// Thermal model access.
+    pub fn thermal_model(&self) -> &ThermalModel {
+        &self.thermal_model
+    }
+
+    fn temps_available(&self) -> bool {
+        match self.config.temp_outage {
+            Some((a, b)) => !(self.t >= a && self.t < b),
+            None => true,
+        }
+    }
+
+    fn cabinet_missing(&self, node: NodeId) -> bool {
+        match self.config.missing_cabinet {
+            Some(c) => self.topology.cabinet_of(node) == c,
+            None => false,
+        }
+    }
+
+    /// Advances one tick and returns its output.
+    pub fn step(&mut self) -> TickOutput {
+        self.step_opts(&StepOptions::default())
+    }
+
+    /// Advances one tick collecting the requested detail.
+    pub fn step_opts(&mut self, opts: &StepOptions) -> TickOutput {
+        let dt = self.config.dt_s;
+        let t = self.t;
+        let tick = self.tick;
+        self.scheduler.advance(t);
+
+        // node -> (signal, t_rel, rank) assignment table.
+        let node_count = self.topology.node_count();
+        let mut assignment: Vec<Option<(WorkloadSignal, f64, u32)>> = vec![None; node_count];
+        for p in self.scheduler.running() {
+            let sig = p.signal();
+            let t_rel = t - p.start_time;
+            for (rank, n) in p.nodes.iter().enumerate() {
+                assignment[n.index()] = Some((sig, t_rel, rank as u32));
+            }
+        }
+
+        let pm = self.power_model;
+        let tm = self.thermal_model;
+        let supply_c = crate::spec::MTW_SUPPLY_NOMINAL_C;
+        let msb = self.msb_model;
+        let thermals_in = std::mem::take(&mut self.thermals);
+
+        let results: Vec<NodeTick> = thermals_in
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, mut th)| {
+                let node = NodeId(i as u32);
+                let (util, busy) = match &assignment[i] {
+                    Some((sig, t_rel, rank)) => (sig.node_utilization(*t_rel, *rank), true),
+                    None => (NodeUtilization::idle(), false),
+                };
+                let power = pm.node_power(node, &util);
+                tm.step(node, &mut th, &power, supply_c, dt);
+                let sensor = msb.sensor_reading(node, tick, power.input_w);
+                NodeTick {
+                    true_power: power.input_w,
+                    sensor_power: sensor,
+                    gpu_power: power.gpu_w,
+                    cpu_power: power.cpu_w,
+                    gpu_temp: th.gpu_core_c,
+                    cpu_temp: th.cpu_c,
+                    thermals: th,
+                    busy,
+                }
+            })
+            .collect();
+
+        self.thermals = results.iter().map(|r| r.thermals).collect();
+
+        let true_compute: f64 = results.iter().map(|r| r.true_power).sum();
+        let temps_ok = self.temps_available();
+        let mut sensor_compute = 0.0;
+        let mut gpu_t_sum = 0.0;
+        let mut gpu_t_max = f64::NEG_INFINITY;
+        let mut gpu_t_n = 0usize;
+        let mut cpu_t_sum = 0.0;
+        let mut cpu_t_max = f64::NEG_INFINITY;
+        let mut cpu_t_n = 0usize;
+        let mut busy_nodes = 0usize;
+        for (i, r) in results.iter().enumerate() {
+            if r.busy {
+                busy_nodes += 1;
+            }
+            if self.cabinet_missing(NodeId(i as u32)) {
+                continue;
+            }
+            sensor_compute += r.sensor_power;
+            if temps_ok {
+                for &g in &r.gpu_temp {
+                    gpu_t_sum += g;
+                    gpu_t_max = gpu_t_max.max(g);
+                    gpu_t_n += 1;
+                }
+                for &c in &r.cpu_temp {
+                    cpu_t_sum += c;
+                    cpu_t_max = cpu_t_max.max(c);
+                    cpu_t_n += 1;
+                }
+            }
+        }
+
+        let it_power = true_compute + self.config.infrastructure_it_w;
+        let wet_bulb = self.weather.wet_bulb_c(t);
+        let cep = self.facility.step(t, it_power, wet_bulb, dt);
+
+        // MSB meters read the true power plus distribution overheads.
+        let true_node_power: Vec<f64> = results.iter().map(|r| r.true_power).collect();
+        let mut msb_meter_w = [0.0f64; 5];
+        for m in summit_telemetry::ids::Msb::ALL {
+            msb_meter_w[m.index()] =
+                self.msb_model
+                    .meter_reading(&self.topology, m, &true_node_power);
+        }
+
+        // Optional payloads.
+        let frames = opts.frames.then(|| {
+            results
+                .iter()
+                .enumerate()
+                .map(|(i, r)| self.build_frame(NodeId(i as u32), r, temps_ok))
+                .collect()
+        });
+        let node_sensor_power_w = opts.node_power.then(|| {
+            results
+                .iter()
+                .enumerate()
+                .map(|(i, r)| {
+                    if self.cabinet_missing(NodeId(i as u32)) {
+                        f32::NAN
+                    } else {
+                        r.sensor_power as f32
+                    }
+                })
+                .collect()
+        });
+        let (gpu_power_w, gpu_temp_c) = if opts.gpu_state {
+            let mut pw = Vec::with_capacity(node_count * 6);
+            let mut tc = Vec::with_capacity(node_count * 6);
+            for (i, r) in results.iter().enumerate() {
+                let missing = self.cabinet_missing(NodeId(i as u32));
+                for s in 0..6 {
+                    pw.push(if missing { f32::NAN } else { r.gpu_power[s] as f32 });
+                    tc.push(if missing || !temps_ok {
+                        f32::NAN
+                    } else {
+                        r.gpu_temp[s] as f32
+                    });
+                }
+            }
+            (Some(pw), Some(tc))
+        } else {
+            (None, None)
+        };
+
+        self.t += dt;
+        self.tick += 1;
+
+        TickOutput {
+            t,
+            true_compute_power_w: true_compute,
+            sensor_compute_power_w: sensor_compute,
+            it_power_w: it_power,
+            cep,
+            msb_meter_w,
+            gpu_temp_mean_c: if temps_ok && gpu_t_n > 0 {
+                gpu_t_sum / gpu_t_n as f64
+            } else {
+                f64::NAN
+            },
+            gpu_temp_max_c: if temps_ok && gpu_t_n > 0 {
+                gpu_t_max
+            } else {
+                f64::NAN
+            },
+            cpu_temp_mean_c: if temps_ok && cpu_t_n > 0 {
+                cpu_t_sum / cpu_t_n as f64
+            } else {
+                f64::NAN
+            },
+            cpu_temp_max_c: if temps_ok && cpu_t_n > 0 {
+                cpu_t_max
+            } else {
+                f64::NAN
+            },
+            running_jobs: self.scheduler.running().len(),
+            busy_nodes,
+            frames,
+            node_sensor_power_w,
+            gpu_power_w,
+            gpu_temp_c,
+        }
+    }
+
+    fn build_frame(&self, node: NodeId, r: &NodeTick, temps_ok: bool) -> NodeFrame {
+        let mut f = NodeFrame::empty(node, self.t);
+        if self.cabinet_missing(node) {
+            return f; // all-NaN frame: the bright-green cabinet
+        }
+        f.set(catalog::input_power(), r.sensor_power);
+        f.set(catalog::ps_input_power(0), r.sensor_power * 0.5);
+        f.set(catalog::ps_input_power(1), r.sensor_power * 0.5);
+        for s in Socket::ALL {
+            f.set(catalog::cpu_power(s), r.cpu_power[s.index()]);
+        }
+        for g in GpuSlot::ALL {
+            f.set(catalog::gpu_power(g), r.gpu_power[g.index()]);
+            if temps_ok {
+                f.set(catalog::gpu_core_temp(g), r.gpu_temp[g.index()]);
+                f.set(
+                    catalog::gpu_mem_temp(g),
+                    r.thermals.gpu_mem_c[g.index()],
+                );
+            }
+        }
+        if temps_ok {
+            for s in Socket::ALL {
+                f.set(catalog::cpu_pkg_temp(s), r.cpu_temp[s.index()]);
+            }
+        }
+        f
+    }
+
+    /// Runs `n` ticks, returning their outputs (summary level).
+    pub fn run(&mut self, n: usize) -> Vec<TickOutput> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+/// Reference scale: full Summit floor node count.
+pub fn full_floor_nodes() -> usize {
+    TOTAL_NODES
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jobs::JobGenerator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_engine() -> Engine {
+        Engine::new(EngineConfig::small(10), 0.0)
+    }
+
+    #[test]
+    fn idle_cluster_power_scales_with_floor() {
+        let mut e = small_engine();
+        let out = e.step();
+        let per_node = out.true_compute_power_w / 180.0;
+        assert!(
+            (450.0..650.0).contains(&per_node),
+            "idle per-node power {per_node}"
+        );
+        assert_eq!(out.running_jobs, 0);
+        assert_eq!(out.busy_nodes, 0);
+    }
+
+    #[test]
+    fn job_raises_power_then_completes() {
+        let mut e = small_engine();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = JobGenerator::new();
+        let mut job = g.generate_with_class(&mut rng, 5.0, 5);
+        job.record.node_count = 40;
+        job.record.end_time = job.record.begin_time + 120.0;
+        job.profile.gpu_intensity = 0.9;
+        job.profile.ramp_s = 10.0;
+        e.scheduler().submit(job);
+
+        let idle = e.step().true_compute_power_w;
+        let mut peak: f64 = 0.0;
+        for _ in 0..80 {
+            peak = peak.max(e.step().true_compute_power_w);
+        }
+        assert!(
+            peak > idle + 40.0 * 800.0,
+            "40 GPU-heavy nodes must add tens of kW: idle {idle}, peak {peak}"
+        );
+        // After walltime the job completes and power returns.
+        for _ in 0..120 {
+            e.step();
+        }
+        let back = e.step();
+        assert_eq!(back.running_jobs, 0);
+        assert!(back.true_compute_power_w < idle + 10_000.0);
+    }
+
+    #[test]
+    fn sensor_power_tracks_true_power() {
+        let mut e = small_engine();
+        let out = e.step();
+        let ratio = out.sensor_compute_power_w / out.true_compute_power_w;
+        assert!((0.96..1.0).contains(&ratio), "sensor/true ratio {ratio}");
+    }
+
+    #[test]
+    fn gpu_temps_warm_up_under_load() {
+        let mut e = small_engine();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = JobGenerator::new();
+        let mut job = g.generate_with_class(&mut rng, 5.0, 5);
+        job.record.node_count = 45;
+        job.record.end_time = job.record.begin_time + 600.0;
+        job.profile.gpu_intensity = 0.95;
+        job.profile.oscillation_depth = 0.0;
+        e.scheduler().submit(job);
+        let first = e.step();
+        for _ in 0..120 {
+            e.step();
+        }
+        let later = e.step();
+        assert!(
+            later.gpu_temp_max_c > first.gpu_temp_max_c + 3.0,
+            "max GPU temp should rise under load: {} -> {}",
+            first.gpu_temp_max_c,
+            later.gpu_temp_max_c
+        );
+        assert!(later.gpu_temp_max_c < 65.0);
+    }
+
+    #[test]
+    fn missing_cabinet_blanks_telemetry_but_not_truth() {
+        let mut cfg = EngineConfig::small(3);
+        cfg.missing_cabinet = Some(CabinetId(1));
+        let mut e = Engine::new(cfg, 0.0);
+        let out = e.step_opts(&StepOptions {
+            frames: true,
+            node_power: true,
+            gpu_state: true,
+        });
+        let frames = out.frames.as_ref().unwrap();
+        // Nodes 18..36 are in cabinet 1: their frames are all-NaN.
+        assert!(frames[20].get(catalog::input_power()).is_nan());
+        assert!(!frames[2].get(catalog::input_power()).is_nan());
+        let np = out.node_sensor_power_w.as_ref().unwrap();
+        assert!(np[20].is_nan() && !np[0].is_nan());
+        // Sensor sum excludes the cabinet; true power includes it.
+        assert!(out.sensor_compute_power_w < out.true_compute_power_w * 0.95);
+    }
+
+    #[test]
+    fn temp_outage_blanks_temperatures() {
+        let mut cfg = EngineConfig::small(2);
+        cfg.temp_outage = Some((0.0, 100.0));
+        let mut e = Engine::new(cfg, 0.0);
+        let out = e.step();
+        assert!(out.gpu_temp_mean_c.is_nan());
+        assert!(out.cpu_temp_max_c.is_nan());
+        // Power is unaffected.
+        assert!(out.true_compute_power_w > 0.0);
+        // After the outage, temps return.
+        for _ in 0..100 {
+            e.step();
+        }
+        let later = e.step();
+        assert!(later.gpu_temp_mean_c.is_finite());
+    }
+
+    #[test]
+    fn frames_carry_catalog_metrics() {
+        let mut e = Engine::new(EngineConfig::small(1), 0.0);
+        let out = e.step_opts(&StepOptions {
+            frames: true,
+            ..Default::default()
+        });
+        let frames = out.frames.unwrap();
+        assert_eq!(frames.len(), 18);
+        let f = &frames[0];
+        assert!(f.get(catalog::input_power()) > 100.0);
+        assert!(f.get(catalog::gpu_core_temp(GpuSlot(0))) > 15.0);
+        assert!(f.get(catalog::gpu_power(GpuSlot(3))) > 10.0);
+    }
+
+    #[test]
+    fn msb_meters_cover_all_power() {
+        let mut e = small_engine();
+        let out = e.step();
+        let meter_total: f64 = out.msb_meter_w.iter().sum();
+        // Meters include overheads: above true compute power.
+        assert!(meter_total > out.true_compute_power_w);
+        assert!(meter_total < out.true_compute_power_w * 1.2);
+    }
+
+    #[test]
+    fn pue_reasonable_from_engine() {
+        let mut e = small_engine();
+        let mut last = e.step();
+        for _ in 0..300 {
+            last = e.step();
+        }
+        let pue = last.cep.pue();
+        assert!((1.0..1.45).contains(&pue), "engine PUE {pue}");
+    }
+
+    #[test]
+    fn time_advances_by_dt() {
+        let mut cfg = EngineConfig::small(1);
+        cfg.dt_s = 10.0;
+        let mut e = Engine::new(cfg, 100.0);
+        assert_eq!(e.time(), 100.0);
+        let o = e.step();
+        assert_eq!(o.t, 100.0);
+        assert_eq!(e.time(), 110.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Random-distribution helpers built on `rand`'s uniform primitives.
+//!
+//! The approved dependency set includes `rand` but not `rand_distr`, so
+//! the distributions the simulator needs — normal (Box-Muller),
+//! log-normal, truncated normal, exponential, and weighted categorical —
+//! are implemented here and validated statistically in the tests.
+
+use rand::Rng;
+
+/// Samples a standard normal via the Box-Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid u1 == 0 which would produce ln(0).
+    let u1: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples `N(mean, std^2)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    assert!(std >= 0.0, "std must be non-negative");
+    mean + std * standard_normal(rng)
+}
+
+/// Samples a normal truncated to `[lo, hi]` by rejection (falls back to
+/// clamping after 64 rejections to stay O(1) under extreme truncation).
+pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
+    for _ in 0..64 {
+        let x = normal(rng, mean, std);
+        if x >= lo && x <= hi {
+            return x;
+        }
+    }
+    mean.clamp(lo, hi)
+}
+
+/// Samples `LogNormal(mu, sigma)` — i.e. `exp(N(mu, sigma^2))`.
+///
+/// Note `mu`/`sigma` are the parameters of the underlying normal, not the
+/// mean/std of the log-normal itself.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Samples `Exp(rate)` (mean `1/rate`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "rate must be positive");
+    let u: f64 = loop {
+        let u: f64 = rng.gen();
+        if u > f64::MIN_POSITIVE {
+            break u;
+        }
+    };
+    -u.ln() / rate
+}
+
+/// Samples a Poisson count with the given mean.
+///
+/// Knuth's algorithm for small means; normal approximation above 64 (the
+/// simulator only uses large means for aggregate failure batches).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0, "poisson mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 64.0 {
+        let x = normal(rng, mean, mean.sqrt());
+        return x.max(0.0).round() as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        // Numerical guard: p can underflow only if mean is huge, which the
+        // branch above excludes; cap iterations anyway.
+        if k > 10_000 {
+            return k;
+        }
+    }
+}
+
+/// Picks an index with probability proportional to `weights[i]`.
+///
+/// # Panics
+/// If weights are empty, negative, or all zero.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+    let total: f64 = weights
+        .iter()
+        .map(|&w| {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            w
+        })
+        .sum();
+    assert!(total > 0.0, "weights must not all be zero");
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+/// Deterministic per-entity jitter in `[-1, 1]` from a hash of `seed` and
+/// `entity` — used for manufacturing variation that must be stable across
+/// simulation runs with the same seed.
+pub fn stable_jitter(seed: u64, entity: u64) -> f64 {
+    let mut h = seed
+        .wrapping_mul(0x9e3779b97f4a7c15)
+        .wrapping_add(entity.wrapping_mul(0xbf58476d1ce4e5b9));
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xdecafbad)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut r, 0.0, 5.0, -1.0, 2.0);
+            assert!((-1.0..=2.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_extreme_truncation_clamps() {
+        let mut r = rng();
+        // Interval far in the tail: rejection will fail, clamp must apply.
+        let x = truncated_normal(&mut r, 0.0, 0.001, 10.0, 11.0);
+        assert_eq!(x, 10.0);
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let mut r = rng();
+        let n = 100_000;
+        let mut samples: Vec<f64> = (0..n).map(|_| lognormal(&mut r, 1.0, 0.8)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Median of LogNormal(mu, sigma) = e^mu.
+        let median = samples[n / 2];
+        assert!(
+            (median - std::f64::consts::E).abs() < 0.06,
+            "median {median}"
+        );
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 3.5) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 3.5).abs() < 0.05, "mean {mean}");
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| poisson(&mut r, 1000.0) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 1000.0).abs() < 2.0, "mean {mean}");
+        assert!((var - 1000.0).abs() < 60.0, "var {var}");
+    }
+
+    #[test]
+    fn weighted_index_distribution() {
+        let mut r = rng();
+        let weights = [1.0, 3.0, 6.0];
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[weighted_index(&mut r, &weights)] += 1;
+        }
+        assert!((counts[0] as f64 / n as f64 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / n as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn weighted_index_handles_zero_prefix() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(weighted_index(&mut r, &[0.0, 0.0, 1.0]), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn weighted_index_rejects_all_zero() {
+        let mut r = rng();
+        weighted_index(&mut r, &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn stable_jitter_deterministic_and_bounded() {
+        let a = stable_jitter(42, 7);
+        let b = stable_jitter(42, 7);
+        assert_eq!(a, b);
+        assert_ne!(stable_jitter(42, 7), stable_jitter(42, 8));
+        let mut sum = 0.0;
+        for e in 0..10_000 {
+            let j = stable_jitter(1, e);
+            assert!((-1.0..=1.0).contains(&j));
+            sum += j;
+        }
+        assert!((sum / 10_000.0).abs() < 0.02, "jitter should be centered");
+    }
+}

@@ -1,0 +1,273 @@
+//! Cluster-level collapse of per-node windows (Datasets 1 and 2 of the
+//! paper's artifact appendix).
+//!
+//! Dataset 1: "cluster-level aggregated power values at every 10 seconds
+//! ... the sum of input power from all the nodes at that instance"
+//! (`timestamp, count_inp, sum_inp, mean_inp, max_inp`).
+//! Dataset 2: the same collapse for CPU and GPU component power
+//! (`mean_cpu_power, std_cpu_power, ..., max_gpu_power`).
+
+use crate::catalog;
+use crate::ids::{GpuSlot, Socket};
+use crate::window::NodeWindow;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use summit_analysis::series::Series;
+use summit_analysis::stats::Welford;
+
+/// One Dataset-1 row: cluster-level input power at one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterPowerRow {
+    /// Start of the 10-second window (seconds since epoch).
+    pub window_start: f64,
+    /// Nodes reporting in this window.
+    pub count_inp: u32,
+    /// Sum of per-node mean input power (W) — the cluster power estimate.
+    pub sum_inp: f64,
+    /// Mean per-node input power (W).
+    pub mean_inp: f64,
+    /// Max per-node input power (W).
+    pub max_inp: f64,
+}
+
+/// One Dataset-2 row: cluster-level component power at one window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComponentPowerRow {
+    /// Start of the 10-second window (seconds since epoch).
+    pub window_start: f64,
+    /// Per-CPU-socket power stats across the cluster (W).
+    pub mean_cpu_power: f64,
+    /// Std of per-socket CPU power (W).
+    pub std_cpu_power: f64,
+    /// Minimum per-socket CPU power (W).
+    pub min_cpu_power: f64,
+    /// Maximum per-socket CPU power (W).
+    pub max_cpu_power: f64,
+    /// Per-GPU power stats across the cluster (W).
+    pub mean_gpu_power: f64,
+    /// Std of per-GPU power (W).
+    pub std_gpu_power: f64,
+    /// Maximum per-GPU power (W).
+    pub max_gpu_power: f64,
+    /// Sum of all CPU power (W).
+    pub sum_cpu_power: f64,
+    /// Sum of all GPU power (W).
+    pub sum_gpu_power: f64,
+}
+
+#[derive(Clone, Default)]
+struct InputAcc {
+    w: Welford,
+}
+
+/// Collapses per-node windows into the Dataset-1 cluster input-power
+/// time-series, sorted by window start. Node batches are reduced in
+/// parallel.
+pub fn cluster_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow> {
+    let maps: Vec<HashMap<i64, InputAcc>> = windows_by_node
+        .par_iter()
+        .map(|windows| {
+            let mut map: HashMap<i64, InputAcc> = HashMap::new();
+            for w in windows {
+                let s = w.metric(catalog::input_power());
+                if s.count == 0 {
+                    continue;
+                }
+                let key = w.window_start.round() as i64;
+                map.entry(key).or_default().w.push(s.mean);
+            }
+            map
+        })
+        .collect();
+
+    let mut merged: HashMap<i64, InputAcc> = HashMap::new();
+    for map in maps {
+        for (k, acc) in map {
+            merged.entry(k).or_default().w.merge(&acc.w);
+        }
+    }
+
+    let mut rows: Vec<ClusterPowerRow> = merged
+        .into_iter()
+        .map(|(k, acc)| ClusterPowerRow {
+            window_start: k as f64,
+            count_inp: acc.w.count() as u32,
+            sum_inp: acc.w.sum(),
+            mean_inp: acc.w.mean(),
+            max_inp: acc.w.max(),
+        })
+        .collect();
+    rows.sort_by(|a, b| a.window_start.partial_cmp(&b.window_start).expect("finite"));
+    rows
+}
+
+#[derive(Clone, Default)]
+struct ComponentAcc {
+    cpu: Welford,
+    gpu: Welford,
+}
+
+/// Collapses per-node windows into the Dataset-2 component time-series.
+pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ComponentPowerRow> {
+    let maps: Vec<HashMap<i64, ComponentAcc>> = windows_by_node
+        .par_iter()
+        .map(|windows| {
+            let mut map: HashMap<i64, ComponentAcc> = HashMap::new();
+            for w in windows {
+                let key = w.window_start.round() as i64;
+                let acc = map.entry(key).or_default();
+                for s in Socket::ALL {
+                    let st = w.metric(catalog::cpu_power(s));
+                    if st.count > 0 {
+                        acc.cpu.push(st.mean);
+                    }
+                }
+                for g in GpuSlot::ALL {
+                    let st = w.metric(catalog::gpu_power(g));
+                    if st.count > 0 {
+                        acc.gpu.push(st.mean);
+                    }
+                }
+            }
+            map
+        })
+        .collect();
+
+    let mut merged: HashMap<i64, ComponentAcc> = HashMap::new();
+    for map in maps {
+        for (k, acc) in map {
+            let m = merged.entry(k).or_default();
+            m.cpu.merge(&acc.cpu);
+            m.gpu.merge(&acc.gpu);
+        }
+    }
+
+    let mut rows: Vec<ComponentPowerRow> = merged
+        .into_iter()
+        .map(|(k, acc)| ComponentPowerRow {
+            window_start: k as f64,
+            mean_cpu_power: acc.cpu.mean(),
+            std_cpu_power: acc.cpu.std(),
+            min_cpu_power: acc.cpu.min(),
+            max_cpu_power: acc.cpu.max(),
+            mean_gpu_power: acc.gpu.mean(),
+            std_gpu_power: acc.gpu.std(),
+            max_gpu_power: acc.gpu.max(),
+            sum_cpu_power: acc.cpu.sum(),
+            sum_gpu_power: acc.gpu.sum(),
+        })
+        .collect();
+    rows.sort_by(|a, b| a.window_start.partial_cmp(&b.window_start).expect("finite"));
+    rows
+}
+
+/// Converts Dataset-1 rows into a uniform [`Series`] of cluster power
+/// (`sum_inp`), filling missing windows with NaN.
+pub fn cluster_power_series(rows: &[ClusterPowerRow], window_s: f64) -> Option<Series> {
+    let first = rows.first()?;
+    let last = rows.last()?;
+    let n = ((last.window_start - first.window_start) / window_s).round() as usize + 1;
+    let mut values = vec![f64::NAN; n];
+    for r in rows {
+        let idx = ((r.window_start - first.window_start) / window_s).round() as usize;
+        if idx < n {
+            values[idx] = r.sum_inp;
+        }
+    }
+    Some(Series::new(first.window_start, window_s, values))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+    use crate::records::NodeFrame;
+    use crate::window::WindowAggregator;
+
+    fn windows_for(node: u32, powers: &[(f64, f64, f64)]) -> Vec<NodeWindow> {
+        // (t, input_power, gpu0_power)
+        let mut agg = WindowAggregator::paper(NodeId(node));
+        for &(t, inp, gpu) in powers {
+            let mut f = NodeFrame::empty(NodeId(node), t);
+            f.set(catalog::input_power(), inp);
+            f.set(catalog::gpu_power(GpuSlot(0)), gpu);
+            f.set(catalog::cpu_power(Socket::P0), inp / 10.0);
+            agg.push(&f);
+        }
+        agg.finish()
+    }
+
+    #[test]
+    fn cluster_power_sums_nodes() {
+        let n0 = windows_for(0, &[(0.0, 1000.0, 200.0), (10.0, 1100.0, 200.0)]);
+        let n1 = windows_for(1, &[(0.0, 2000.0, 300.0), (10.0, 2200.0, 300.0)]);
+        let rows = cluster_power(&[n0, n1]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].window_start, 0.0);
+        assert_eq!(rows[0].count_inp, 2);
+        assert!((rows[0].sum_inp - 3000.0).abs() < 0.01);
+        assert!((rows[0].mean_inp - 1500.0).abs() < 0.01);
+        assert!((rows[0].max_inp - 2000.0).abs() < 0.01);
+        assert!((rows[1].sum_inp - 3300.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn cluster_power_skips_missing_nodes() {
+        let n0 = windows_for(0, &[(0.0, 1000.0, 0.0)]);
+        let n1 = windows_for(1, &[(10.0, 2000.0, 0.0)]); // different window
+        let rows = cluster_power(&[n0, n1]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].count_inp, 1);
+        assert_eq!(rows[1].count_inp, 1);
+    }
+
+    #[test]
+    fn component_power_aggregates_both_kinds() {
+        let n0 = windows_for(0, &[(0.0, 1000.0, 250.0)]);
+        let n1 = windows_for(1, &[(0.0, 2000.0, 150.0)]);
+        let rows = cluster_component_power(&[n0, n1]);
+        assert_eq!(rows.len(), 1);
+        let r = &rows[0];
+        // Two GPU samples: 250, 150.
+        assert!((r.mean_gpu_power - 200.0).abs() < 0.01);
+        assert!((r.max_gpu_power - 250.0).abs() < 0.01);
+        assert!((r.sum_gpu_power - 400.0).abs() < 0.01);
+        // Two CPU samples: 100, 200.
+        assert!((r.mean_cpu_power - 150.0).abs() < 0.01);
+        assert!((r.sum_cpu_power - 300.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn power_series_fills_gaps_with_nan() {
+        let rows = vec![
+            ClusterPowerRow {
+                window_start: 0.0,
+                count_inp: 1,
+                sum_inp: 100.0,
+                mean_inp: 100.0,
+                max_inp: 100.0,
+            },
+            ClusterPowerRow {
+                window_start: 30.0,
+                count_inp: 1,
+                sum_inp: 200.0,
+                mean_inp: 200.0,
+                max_inp: 200.0,
+            },
+        ];
+        let s = cluster_power_series(&rows, 10.0).unwrap();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.values()[0], 100.0);
+        assert!(s.values()[1].is_nan());
+        assert!(s.values()[2].is_nan());
+        assert_eq!(s.values()[3], 200.0);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(cluster_power(&[]).is_empty());
+        assert!(cluster_component_power(&[]).is_empty());
+        assert!(cluster_power_series(&[], 10.0).is_none());
+    }
+}

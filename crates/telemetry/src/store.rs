@@ -1,0 +1,267 @@
+//! In-memory columnar telemetry store.
+//!
+//! The paper archives the 1 Hz stream losslessly ("we have decided to
+//! store the high-frequency datasets in their original form") and serves
+//! coarsened views for analysis. This store mirrors that split: raw
+//! frames are archived as compressed column blocks per (node, partition),
+//! while coarsened windows are kept queryable by time range. Writers and
+//! readers synchronize through `parking_lot` locks.
+
+use crate::catalog::{full_catalog, MetricDef, METRIC_COUNT};
+use crate::codec::{quant, ColumnBlock, CompressionStats};
+use crate::ids::NodeId;
+use crate::records::NodeFrame;
+use crate::window::NodeWindow;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// Length of one archive partition in seconds (the artifact appendix
+/// partitions daily files by the minute; we default to one minute).
+pub const PARTITION_S: f64 = 60.0;
+
+/// A compressed archive partition for one node.
+#[derive(Debug, Clone)]
+pub struct ArchivedPartition {
+    /// Compute node identifier.
+    pub node: NodeId,
+    /// Partition start time (multiple of [`PARTITION_S`]).
+    pub partition_start: f64,
+    /// Sample timestamps offsets (seconds, delta from partition start)
+    /// stored as the first column; metric columns follow in catalog order.
+    pub encoded: bytes::Bytes,
+    /// Frames contained.
+    pub frames: usize,
+}
+
+/// The telemetry store.
+pub struct TelemetryStore {
+    catalog: Vec<MetricDef>,
+    raw: RwLock<BTreeMap<(u32, i64), ArchivedPartition>>,
+    windows: RwLock<BTreeMap<(i64, u32), NodeWindow>>,
+    compression: RwLock<CompressionStats>,
+}
+
+impl Default for TelemetryStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self {
+            catalog: full_catalog(),
+            raw: RwLock::new(BTreeMap::new()),
+            windows: RwLock::new(BTreeMap::new()),
+            compression: RwLock::new(CompressionStats::default()),
+        }
+    }
+
+    /// The metric catalog this store indexes by.
+    pub fn catalog(&self) -> &[MetricDef] {
+        &self.catalog
+    }
+
+    /// Archives a batch of frames from one node covering one partition.
+    /// Frames must be time-ordered and within a single partition.
+    pub fn archive_partition(&self, node: NodeId, frames: &[NodeFrame]) {
+        let Some(first) = frames.first() else { return };
+        let pstart = (first.t_sample / PARTITION_S).floor() * PARTITION_S;
+        debug_assert!(
+            frames
+                .iter()
+                .all(|f| f.t_sample >= pstart && f.t_sample < pstart + PARTITION_S),
+            "frames must fall inside one partition"
+        );
+
+        // Column 0: integer sample offsets in milliseconds.
+        let mut columns: Vec<Vec<i64>> = Vec::with_capacity(METRIC_COUNT + 1);
+        columns.push(
+            frames
+                .iter()
+                .map(|f| ((f.t_sample - pstart) * 1000.0).round() as i64)
+                .collect(),
+        );
+        for m in 0..METRIC_COUNT {
+            let unit = self.catalog[m].unit;
+            columns.push(
+                frames
+                    .iter()
+                    .map(|f| quant::to_fixed(unit, f.values[m] as f64))
+                    .collect(),
+            );
+        }
+        let block = ColumnBlock { columns };
+        let encoded = block.encode();
+        self.compression.write().record(&block, encoded.len());
+        self.raw.write().insert(
+            (node.0, pstart.round() as i64),
+            ArchivedPartition {
+                node,
+                partition_start: pstart,
+                encoded,
+                frames: frames.len(),
+            },
+        );
+    }
+
+    /// Restores the frames of one archived partition (exact roundtrip of
+    /// the quantized readings). `None` if the partition is absent or the
+    /// archive is corrupt.
+    pub fn load_partition(&self, node: NodeId, partition_start: f64) -> Option<Vec<NodeFrame>> {
+        let key = (node.0, partition_start.round() as i64);
+        let encoded = {
+            let raw = self.raw.read();
+            raw.get(&key)?.encoded.clone()
+        };
+        let block = ColumnBlock::decode(encoded)?;
+        if block.columns.len() != METRIC_COUNT + 1 {
+            return None;
+        }
+        let times = &block.columns[0];
+        let mut frames = Vec::with_capacity(times.len());
+        for (i, &t_ms) in times.iter().enumerate() {
+            let mut f = NodeFrame::empty(node, partition_start + t_ms as f64 / 1000.0);
+            for m in 0..METRIC_COUNT {
+                let unit = self.catalog[m].unit;
+                f.values[m] = quant::from_fixed(unit, block.columns[m + 1][i]) as f32;
+            }
+            frames.push(f);
+        }
+        Some(frames)
+    }
+
+    /// Inserts coarsened windows.
+    pub fn insert_windows(&self, windows: Vec<NodeWindow>) {
+        let mut map = self.windows.write();
+        for w in windows {
+            map.insert((w.window_start.round() as i64, w.node.0), w);
+        }
+    }
+
+    /// Queries coarsened windows with `t_start <= window_start < t_end`,
+    /// in (time, node) order.
+    pub fn query_windows(&self, t_start: f64, t_end: f64) -> Vec<NodeWindow> {
+        let map = self.windows.read();
+        map.range((t_start.round() as i64, 0)..(t_end.round() as i64, 0))
+            .map(|(_, w)| w.clone())
+            .collect()
+    }
+
+    /// Current compression accounting.
+    pub fn compression_stats(&self) -> CompressionStats {
+        *self.compression.read()
+    }
+
+    /// Total archived raw partitions.
+    pub fn partition_count(&self) -> usize {
+        self.raw.read().len()
+    }
+
+    /// Total coarsened windows held.
+    pub fn window_count(&self) -> usize {
+        self.windows.read().len()
+    }
+
+    /// Total encoded archive bytes.
+    pub fn archive_bytes(&self) -> u64 {
+        self.raw.read().values().map(|p| p.encoded.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+    use crate::window::WindowAggregator;
+
+    fn make_frames(node: u32, t0: f64, n: usize) -> Vec<NodeFrame> {
+        (0..n)
+            .map(|i| {
+                let mut f = NodeFrame::empty(NodeId(node), t0 + i as f64);
+                f.set(catalog::input_power(), 600.0 + (i % 5) as f64 * 10.0);
+                f.set(
+                    catalog::gpu_core_temp(crate::ids::GpuSlot(0)),
+                    35.5 + (i % 3) as f64 * 0.1,
+                );
+                f
+            })
+            .collect()
+    }
+
+    #[test]
+    fn archive_roundtrip_is_lossless() {
+        let store = TelemetryStore::new();
+        let frames = make_frames(3, 120.0, 60);
+        store.archive_partition(NodeId(3), &frames);
+        let restored = store.load_partition(NodeId(3), 120.0).unwrap();
+        assert_eq!(restored.len(), 60);
+        for (orig, rest) in frames.iter().zip(&restored) {
+            assert_eq!(orig.t_sample, rest.t_sample);
+            let p_orig = orig.get(catalog::input_power());
+            let p_rest = rest.get(catalog::input_power());
+            assert!((p_orig - p_rest).abs() < 1e-6);
+            // Temperatures are quantized to 0.1 degC — exact at that grid.
+            let t_orig = orig.get(catalog::gpu_core_temp(crate::ids::GpuSlot(0)));
+            let t_rest = rest.get(catalog::gpu_core_temp(crate::ids::GpuSlot(0)));
+            assert!((t_orig - t_rest).abs() < 0.05 + 1e-9);
+            // Missing metrics stay missing.
+            assert!(rest.get(catalog::nvme_temp()).is_nan());
+        }
+    }
+
+    #[test]
+    fn missing_partition_is_none() {
+        let store = TelemetryStore::new();
+        assert!(store.load_partition(NodeId(0), 0.0).is_none());
+    }
+
+    #[test]
+    fn compression_beats_raw_on_stable_sensors() {
+        let store = TelemetryStore::new();
+        // Near-constant sensors: compression must be dramatic.
+        let frames = make_frames(0, 0.0, 60);
+        store.archive_partition(NodeId(0), &frames);
+        let stats = store.compression_stats();
+        assert!(
+            stats.ratio() > 20.0,
+            "expected >20x on stable sensors, got {:.1}x",
+            stats.ratio()
+        );
+        assert!(store.archive_bytes() > 0);
+    }
+
+    #[test]
+    fn window_insert_and_range_query() {
+        let store = TelemetryStore::new();
+        let mut agg = WindowAggregator::paper(NodeId(1));
+        for f in make_frames(1, 0.0, 30) {
+            agg.push(&f);
+        }
+        store.insert_windows(agg.finish());
+        assert_eq!(store.window_count(), 3);
+        let q = store.query_windows(0.0, 20.0);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q[0].window_start, 0.0);
+        assert_eq!(q[1].window_start, 10.0);
+    }
+
+    #[test]
+    fn concurrent_archive_and_query() {
+        let store = std::sync::Arc::new(TelemetryStore::new());
+        std::thread::scope(|scope| {
+            for n in 0..8u32 {
+                let store = std::sync::Arc::clone(&store);
+                scope.spawn(move || {
+                    let frames = make_frames(n, 60.0 * n as f64, 60);
+                    store.archive_partition(NodeId(n), &frames);
+                });
+            }
+        });
+        assert_eq!(store.partition_count(), 8);
+        for n in 0..8u32 {
+            assert!(store.load_partition(NodeId(n), 60.0 * n as f64).is_some());
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Out-of-band telemetry fan-in (paper Section 2, Figure 3).
+//!
+//! Summit's BMCs push metric changes over the out-of-band management
+//! network through a websocket-based 288:1 fan-in into the monitoring
+//! cluster, reaching the point of analysis with an average 4.1-second
+//! delay at a 460k metrics/sec ingest rate. This module models that
+//! path with crossbeam channels: many producers (node BMC emitters)
+//! fan into one collector that timestamps frames at ingest, tracks
+//! rate/delay statistics, and hands ordered batches to a consumer.
+
+use crate::records::NodeFrame;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Propagation-delay model: payloads are timestamped at the aggregation
+/// point "after an average 2.5-second delay (max. 5 seconds)". The delay
+/// is a deterministic hash of (node, sample-time) so replays are exact.
+pub fn propagation_delay_s(node: u32, t_sample: f64) -> f64 {
+    let mut h = (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
+        ^ (t_sample.to_bits()).wrapping_mul(0xbf58476d1ce4e5b9);
+    // splitmix64 finalizer
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    // Uniform in [0, 5) seconds -> mean 2.5 s, max < 5 s.
+    (h >> 11) as f64 / (1u64 << 53) as f64 * 5.0
+}
+
+/// Ingest-side statistics, matching the rates the paper reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Frames received.
+    pub frames: u64,
+    /// Individual metric readings received (frames x catalog size).
+    pub metrics: u64,
+    /// Sum of per-frame propagation delays (s).
+    pub total_delay_s: f64,
+    /// Maximum observed delay (s).
+    pub max_delay_s: f64,
+    /// Earliest and latest sample timestamps seen.
+    pub t_first: f64,
+    /// Latest sample timestamp seen.
+    pub t_last: f64,
+}
+
+impl IngestStats {
+    /// Mean propagation delay (s).
+    pub fn mean_delay_s(&self) -> f64 {
+        if self.frames == 0 {
+            f64::NAN
+        } else {
+            self.total_delay_s / self.frames as f64
+        }
+    }
+
+    /// Metrics ingested per second of covered sample time.
+    pub fn metrics_per_second(&self) -> f64 {
+        let span = self.t_last - self.t_first;
+        if span <= 0.0 {
+            f64::NAN
+        } else {
+            self.metrics as f64 / span
+        }
+    }
+
+    fn observe(&mut self, frame: &NodeFrame) {
+        if self.frames == 0 {
+            self.t_first = frame.t_sample;
+            self.t_last = frame.t_sample;
+        } else {
+            self.t_first = self.t_first.min(frame.t_sample);
+            self.t_last = self.t_last.max(frame.t_sample);
+        }
+        self.frames += 1;
+        self.metrics += frame.values.len() as u64;
+        let d = frame.delay();
+        self.total_delay_s += d;
+        if d > self.max_delay_s {
+            self.max_delay_s = d;
+        }
+    }
+}
+
+/// Handle used by producers (BMC emitters) to push frames into the fan-in.
+#[derive(Clone)]
+pub struct FrameSender {
+    tx: Sender<NodeFrame>,
+}
+
+impl FrameSender {
+    /// Sends a frame, stamping its ingest time from the delay model.
+    /// Returns `false` if the collector has shut down.
+    pub fn send(&self, mut frame: NodeFrame) -> bool {
+        frame.t_ingest = frame.t_sample + propagation_delay_s(frame.node.0, frame.t_sample);
+        self.tx.send(frame).is_ok()
+    }
+}
+
+/// The fan-in collector: consumes frames on a dedicated thread, updates
+/// ingest statistics, and forwards each frame to the supplied sink.
+pub struct Collector {
+    stats: Arc<Mutex<IngestStats>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Collector {
+    /// Spawns a collector with a bounded channel of `capacity` frames.
+    /// `sink` is invoked for every frame, on the collector thread.
+    pub fn spawn<F>(capacity: usize, mut sink: F) -> (FrameSender, Collector)
+    where
+        F: FnMut(NodeFrame) + Send + 'static,
+    {
+        let (tx, rx): (Sender<NodeFrame>, Receiver<NodeFrame>) = bounded(capacity);
+        let stats = Arc::new(Mutex::new(IngestStats::default()));
+        let stats_thread = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("telemetry-collector".into())
+            .spawn(move || {
+                for frame in rx {
+                    stats_thread.lock().observe(&frame);
+                    sink(frame);
+                }
+            })
+            .expect("spawn collector thread");
+        (
+            FrameSender { tx },
+            Collector {
+                stats,
+                handle: Some(handle),
+            },
+        )
+    }
+
+    /// Snapshot of the ingest statistics.
+    pub fn stats(&self) -> IngestStats {
+        *self.stats.lock()
+    }
+
+    /// Waits for all producers to disconnect and the queue to drain,
+    /// returning the final statistics.
+    pub fn join(mut self) -> IngestStats {
+        if let Some(h) = self.handle.take() {
+            h.join().expect("collector thread panicked");
+        }
+        let stats = *self.stats.lock();
+        stats
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Runs a multi-producer fan-in over pre-generated per-node frame batches:
+/// `producers` worker threads each push a shard of the batches, mimicking
+/// the 288:1 BMC fan-in. Returns the collected frames (ingest order) and
+/// final statistics. Used by the Table 2 ingest benchmark.
+pub fn fan_in_batches(
+    frames_by_node: Vec<Vec<NodeFrame>>,
+    producers: usize,
+    capacity: usize,
+) -> (Vec<NodeFrame>, IngestStats) {
+    assert!(producers > 0);
+    let collected = Arc::new(Mutex::new(Vec::new()));
+    let collected_sink = Arc::clone(&collected);
+    let (sender, collector) = Collector::spawn(capacity, move |frame| {
+        collected_sink.lock().push(frame);
+    });
+
+    let shards: Vec<Vec<Vec<NodeFrame>>> = {
+        let mut shards: Vec<Vec<Vec<NodeFrame>>> = (0..producers).map(|_| Vec::new()).collect();
+        for (i, batch) in frames_by_node.into_iter().enumerate() {
+            shards[i % producers].push(batch);
+        }
+        shards
+    };
+
+    std::thread::scope(|scope| {
+        for shard in shards {
+            let sender = sender.clone();
+            scope.spawn(move || {
+                for batch in shard {
+                    for frame in batch {
+                        sender.send(frame);
+                    }
+                }
+            });
+        }
+    });
+    drop(sender); // disconnect producers so the collector drains and exits
+
+    let stats = collector.join();
+    let frames = Arc::try_unwrap(collected)
+        .expect("all sinks dropped")
+        .into_inner();
+    (frames, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NodeId;
+
+    #[test]
+    fn delay_model_bounds_and_mean() {
+        let mut sum = 0.0;
+        let mut max: f64 = 0.0;
+        let n = 10_000;
+        for i in 0..n {
+            let d = propagation_delay_s(i % 100, (i / 100) as f64);
+            assert!((0.0..5.0).contains(&d), "delay {d} out of bounds");
+            sum += d;
+            max = max.max(d);
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 2.5).abs() < 0.1,
+            "paper: average 2.5 s delay, got {mean}"
+        );
+        assert!(max < 5.0, "paper: max 5 s delay");
+        assert!(max > 4.5, "uniform sampling should approach the bound");
+    }
+
+    #[test]
+    fn delay_model_is_deterministic() {
+        assert_eq!(propagation_delay_s(7, 1234.0), propagation_delay_s(7, 1234.0));
+        assert_ne!(propagation_delay_s(7, 1234.0), propagation_delay_s(8, 1234.0));
+    }
+
+    #[test]
+    fn collector_counts_everything() {
+        let frames_by_node: Vec<Vec<NodeFrame>> = (0..16)
+            .map(|n| {
+                (0..50)
+                    .map(|t| NodeFrame::empty(NodeId(n), t as f64))
+                    .collect()
+            })
+            .collect();
+        let (frames, stats) = fan_in_batches(frames_by_node, 4, 64);
+        assert_eq!(frames.len(), 16 * 50);
+        assert_eq!(stats.frames, 800);
+        assert_eq!(stats.metrics, 800 * crate::catalog::METRIC_COUNT as u64);
+        assert!(stats.mean_delay_s() > 0.0 && stats.mean_delay_s() < 5.0);
+        assert!(stats.max_delay_s < 5.0);
+        assert_eq!(stats.t_first, 0.0);
+        assert_eq!(stats.t_last, 49.0);
+    }
+
+    #[test]
+    fn ingest_rate_computation() {
+        let mut stats = IngestStats::default();
+        let mut f0 = NodeFrame::empty(NodeId(0), 0.0);
+        f0.t_ingest = 2.0;
+        let mut f1 = NodeFrame::empty(NodeId(0), 10.0);
+        f1.t_ingest = 13.0;
+        stats.observe(&f0);
+        stats.observe(&f1);
+        assert_eq!(stats.frames, 2);
+        assert!((stats.mean_delay_s() - 2.5).abs() < 1e-9);
+        assert_eq!(stats.max_delay_s, 3.0);
+        let per_s = stats.metrics_per_second();
+        assert!((per_s - (2.0 * crate::catalog::METRIC_COUNT as f64 / 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_shutdown_after_senders_disconnect() {
+        let (sender, collector) = Collector::spawn(4, |_frame| {});
+        assert!(sender.send(NodeFrame::empty(NodeId(0), 0.0)));
+        drop(sender); // disconnect => collector thread drains and exits
+        let stats = collector.join();
+        assert_eq!(stats.frames, 1);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let s = IngestStats::default();
+        assert!(s.mean_delay_s().is_nan());
+        assert!(s.metrics_per_second().is_nan());
+    }
+}

@@ -1,0 +1,284 @@
+//! 10-second window coarsening (paper Section 3, Dataset 0).
+//!
+//! "We have coarsened the data to a 10-second window, but we have avoided
+//! information loss by storing statistical information such as min., max.,
+//! mean, and standard deviation values of the samples in each window per
+//! time-series from each node."
+
+use crate::catalog::METRIC_COUNT;
+use crate::ids::NodeId;
+use crate::records::NodeFrame;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use summit_analysis::stats::{Welford, WindowStats};
+
+/// The paper's coarsening window in seconds.
+pub const PAPER_WINDOW_S: f64 = 10.0;
+
+/// One coarsened window for one node: the `count/min/max/mean/std`
+/// quintuple for every catalog metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeWindow {
+    /// Compute node identifier.
+    pub node: NodeId,
+    /// Window start (seconds since epoch, multiple of the window length).
+    pub window_start: f64,
+    /// Per-metric statistics in catalog order.
+    pub stats: Vec<WindowStats>,
+}
+
+impl NodeWindow {
+    /// Statistics for one metric.
+    #[inline]
+    pub fn metric(&self, id: crate::catalog::MetricId) -> &WindowStats {
+        &self.stats[id.index()]
+    }
+}
+
+/// Streaming coarsener for a single node's frame sequence.
+///
+/// Frames must arrive in non-decreasing `t_sample` order; the aggregator
+/// closes a window whenever a frame beyond its end arrives, and
+/// [`WindowAggregator::finish`] closes the trailing window.
+///
+/// ```
+/// use summit_telemetry::{catalog, ids::NodeId, records::NodeFrame};
+/// use summit_telemetry::window::WindowAggregator;
+/// let mut agg = WindowAggregator::paper(NodeId(0));
+/// for t in 0..20 {
+///     let mut frame = NodeFrame::empty(NodeId(0), t as f64);
+///     frame.set(catalog::input_power(), 600.0 + t as f64);
+///     agg.push(&frame);
+/// }
+/// let windows = agg.finish();
+/// assert_eq!(windows.len(), 2);
+/// assert_eq!(windows[0].metric(catalog::input_power()).count, 10);
+/// ```
+#[derive(Debug)]
+pub struct WindowAggregator {
+    node: NodeId,
+    window_s: f64,
+    current_start: Option<f64>,
+    acc: Vec<Welford>,
+    out: Vec<NodeWindow>,
+}
+
+impl WindowAggregator {
+    /// Creates a coarsener with the given window length (seconds).
+    pub fn new(node: NodeId, window_s: f64) -> Self {
+        assert!(window_s > 0.0, "window length must be positive");
+        Self {
+            node,
+            window_s,
+            current_start: None,
+            acc: vec![Welford::new(); METRIC_COUNT],
+            out: Vec::new(),
+        }
+    }
+
+    /// Creates a coarsener with the paper's 10-second window.
+    pub fn paper(node: NodeId) -> Self {
+        Self::new(node, PAPER_WINDOW_S)
+    }
+
+    fn window_start_of(&self, t: f64) -> f64 {
+        (t / self.window_s).floor() * self.window_s
+    }
+
+    fn flush_current(&mut self) {
+        if let Some(start) = self.current_start.take() {
+            let stats: Vec<WindowStats> = self.acc.iter().map(Welford::finish).collect();
+            for a in &mut self.acc {
+                *a = Welford::new();
+            }
+            self.out.push(NodeWindow {
+                node: self.node,
+                window_start: start,
+                stats,
+            });
+        }
+    }
+
+    /// Feeds one frame.
+    ///
+    /// # Panics
+    /// If the frame belongs to a different node or arrives out of order
+    /// (before the current window).
+    pub fn push(&mut self, frame: &NodeFrame) {
+        assert_eq!(frame.node, self.node, "frame routed to wrong aggregator");
+        let ws = self.window_start_of(frame.t_sample);
+        match self.current_start {
+            None => self.current_start = Some(ws),
+            Some(cur) => {
+                assert!(
+                    ws >= cur,
+                    "out-of-order frame: t_sample {} before window start {}",
+                    frame.t_sample,
+                    cur
+                );
+                if ws > cur {
+                    self.flush_current();
+                    self.current_start = Some(ws);
+                }
+            }
+        }
+        for (a, &v) in self.acc.iter_mut().zip(frame.values.iter()) {
+            a.push(v as f64); // Welford ignores NaN (missing sensors)
+        }
+    }
+
+    /// Closes the trailing window and returns all coarsened windows.
+    pub fn finish(mut self) -> Vec<NodeWindow> {
+        self.flush_current();
+        self.out
+    }
+
+    /// Drains completed windows without closing the current one
+    /// (streaming consumption).
+    pub fn drain_completed(&mut self) -> Vec<NodeWindow> {
+        std::mem::take(&mut self.out)
+    }
+}
+
+/// Coarsens per-node frame batches in parallel: `frames_by_node[i]` is the
+/// time-ordered frame sequence of one node. Returns the coarsened windows
+/// per node (same outer order).
+pub fn coarsen_parallel(frames_by_node: &[Vec<NodeFrame>], window_s: f64) -> Vec<Vec<NodeWindow>> {
+    frames_by_node
+        .par_iter()
+        .map(|frames| {
+            let Some(first) = frames.first() else {
+                return Vec::new();
+            };
+            let mut agg = WindowAggregator::new(first.node, window_s);
+            for f in frames {
+                agg.push(f);
+            }
+            agg.finish()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    fn frame(node: u32, t: f64, power: f64) -> NodeFrame {
+        let mut f = NodeFrame::empty(NodeId(node), t);
+        f.set(catalog::input_power(), power);
+        f
+    }
+
+    #[test]
+    fn ten_second_windows_close_correctly() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        for i in 0..25 {
+            agg.push(&frame(0, i as f64, 100.0 + i as f64));
+        }
+        let windows = agg.finish();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].window_start, 0.0);
+        assert_eq!(windows[1].window_start, 10.0);
+        assert_eq!(windows[2].window_start, 20.0);
+
+        let w0 = windows[0].metric(catalog::input_power());
+        assert_eq!(w0.count, 10);
+        assert_eq!(w0.min, 100.0);
+        assert_eq!(w0.max, 109.0);
+        assert!((w0.mean - 104.5).abs() < 1e-9);
+
+        let w2 = windows[2].metric(catalog::input_power());
+        assert_eq!(w2.count, 5);
+    }
+
+    #[test]
+    fn missing_metrics_have_zero_count() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        agg.push(&frame(0, 0.0, 500.0));
+        let windows = agg.finish();
+        let gpu = windows[0].metric(catalog::gpu_power(crate::ids::GpuSlot(0)));
+        assert_eq!(gpu.count, 0);
+        assert!(gpu.mean.is_nan());
+    }
+
+    #[test]
+    fn window_gaps_skip_empty_windows() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        agg.push(&frame(0, 5.0, 1.0));
+        agg.push(&frame(0, 95.0, 2.0)); // 80-second gap
+        let windows = agg.finish();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].window_start, 0.0);
+        assert_eq!(windows[1].window_start, 90.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order frame")]
+    fn out_of_order_rejected() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        agg.push(&frame(0, 50.0, 1.0));
+        agg.push(&frame(0, 10.0, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong aggregator")]
+    fn wrong_node_rejected() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        agg.push(&frame(1, 0.0, 1.0));
+    }
+
+    #[test]
+    fn drain_supports_streaming() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        for i in 0..15 {
+            agg.push(&frame(0, i as f64, 1.0));
+        }
+        let drained = agg.drain_completed();
+        assert_eq!(drained.len(), 1); // first window complete
+        let rest = agg.finish();
+        assert_eq!(rest.len(), 1); // trailing window
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mk_frames = |node: u32| -> Vec<NodeFrame> {
+            (0..100)
+                .map(|i| frame(node, i as f64, (node * 100 + i) as f64))
+                .collect()
+        };
+        let batches: Vec<Vec<NodeFrame>> = (0..8).map(mk_frames).collect();
+        let par = coarsen_parallel(&batches, 10.0);
+        let nan_eq = |a: f64, b: f64| (a.is_nan() && b.is_nan()) || a == b;
+        for (node, frames) in batches.iter().enumerate() {
+            let mut agg = WindowAggregator::new(NodeId(node as u32), 10.0);
+            for f in frames {
+                agg.push(f);
+            }
+            let seq = agg.finish();
+            assert_eq!(par[node].len(), seq.len());
+            for (p, s) in par[node].iter().zip(&seq) {
+                assert_eq!(p.window_start, s.window_start);
+                for (ps, ss) in p.stats.iter().zip(&s.stats) {
+                    assert_eq!(ps.count, ss.count);
+                    assert!(nan_eq(ps.mean, ss.mean));
+                    assert!(nan_eq(ps.min, ss.min));
+                    assert!(nan_eq(ps.max, ss.max));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn std_matches_two_pass_within_window() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        for (i, &v) in vals.iter().enumerate() {
+            agg.push(&frame(0, i as f64, v));
+        }
+        let windows = agg.finish();
+        let s = windows[0].metric(catalog::input_power());
+        let expect = (32.0f64 / 7.0).sqrt();
+        assert!((s.std - expect).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: simulate a slice of the Summit data center and read its
+//! power, thermal and efficiency signals.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use summit_repro::core::pipeline::{run_burst_schedule, summer_t0, Burst};
+use summit_repro::core::report::{watts, Table};
+use summit_repro::sim::engine::EngineConfig;
+
+fn main() {
+    // A 12-cabinet (216-node) floor slice for one simulated hour at 1 Hz,
+    // positioned in late July (summer cooling conditions).
+    let cabinets = 12;
+    let bursts = vec![
+        Burst {
+            at_s: 300.0,
+            nodes: 108,
+            duration_s: 600.0,
+            gpu_intensity: 0.9,
+        },
+        Burst {
+            at_s: 1500.0,
+            nodes: 216,
+            duration_s: 900.0,
+            gpu_intensity: 0.95,
+        },
+        Burst {
+            at_s: 3000.0,
+            nodes: 54,
+            duration_s: 400.0,
+            gpu_intensity: 0.7,
+        },
+    ];
+    println!("simulating {cabinets} cabinets for 1 hour at 1 Hz ...");
+    let run = run_burst_schedule(EngineConfig::small(cabinets), summer_t0(), 3600.0, &bursts);
+
+    let power = run.power_series();
+    let pue = run.pue_series();
+    let gpu_t = run.gpu_temp_max_series();
+
+    let mut t = Table::new("hourly summary (10-minute rows)", &[
+        "minute", "power", "PUE", "max GPU temp C", "MTW return C",
+    ]);
+    let per_row = 600; // seconds
+    for (i, chunk) in power.values().chunks(per_row).enumerate() {
+        let p = summit_repro::analysis::stats::nanmean(chunk);
+        let q = summit_repro::analysis::stats::nanmean(
+            &pue.values()[i * per_row..(i * per_row + chunk.len())],
+        );
+        let g = summit_repro::analysis::stats::nanmax(
+            &gpu_t.values()[i * per_row..(i * per_row + chunk.len())],
+        );
+        let m = summit_repro::analysis::stats::nanmean(
+            &run.mtw_return_series().values()[i * per_row..(i * per_row + chunk.len())],
+        );
+        t.row(vec![
+            format!("{}-{}", i * 10, i * 10 + 10),
+            watts(p),
+            format!("{q:.3}"),
+            format!("{g:.1}"),
+            format!("{m:.1}"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let total = summit_repro::analysis::pue::integrate_energy(&power);
+    println!(
+        "energy: {:.1} kWh over the hour; idle floor {:.0} W/node; peak {:.0} W/node",
+        total.energy_j / 3.6e6,
+        summit_repro::analysis::stats::nanmin(power.values()) / (cabinets as f64 * 18.0),
+        summit_repro::analysis::stats::nanmax(power.values()) / (cabinets as f64 * 18.0),
+    );
+    println!(
+        "power sparkline: {}",
+        summit_repro::core::report::sparkline(
+            power.downsample_mean(60).values()
+        )
+    );
+}

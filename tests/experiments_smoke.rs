@@ -1,0 +1,141 @@
+//! Smoke tests: every experiment runs at reduced scale and renders a
+//! non-trivial report mentioning its paper anchors.
+
+use summit_repro::core::experiments::*;
+
+#[test]
+fn tables_1_and_3_render() {
+    assert!(tables::render_table1().contains("4626"));
+    assert!(tables::render_table3().contains("2765 - 4608"));
+}
+
+#[test]
+fn table2_renders() {
+    let r = table2::run(&table2::Config {
+        cabinets: 2,
+        duration_s: 60,
+        producers: 2,
+    });
+    let s = r.render();
+    assert!(s.contains("8.5 TB"));
+    assert!(s.contains("compression ratio"));
+}
+
+#[test]
+fn fig04_renders() {
+    let r = fig04::run(&fig04::Config {
+        cabinets: 5,
+        duration_s: 120,
+        busy_fraction: 1.0,
+    });
+    let s = r.render();
+    assert!(s.contains("MSB A"));
+    assert!(s.contains("128.83 kW"));
+}
+
+#[test]
+fn fig05_renders() {
+    let r = fig05::run(&fig05::Config {
+        population_scale: 0.002,
+        dt_s: 7200.0,
+        maintenance_days: Some((34.0, 41.0)),
+    });
+    let s = r.render();
+    assert!(s.contains("PUE"));
+    assert!(r.weeks.len() >= 52);
+}
+
+#[test]
+fn fig06_fig07_render() {
+    let r6 = fig06::run(&fig06::Config {
+        population_scale: 0.002,
+        grid: 32,
+        max_samples: 1000,
+    });
+    assert!(r6.render().contains("class"));
+    let r7 = fig07::run(&fig07::Config {
+        population_scale: 0.01,
+    });
+    assert!(r7.render().contains("80% under 1500"));
+}
+
+#[test]
+fn fig08_fig09_render() {
+    let r8 = fig08::run(&fig08::Config {
+        population_scale: 0.02,
+        class: 2,
+    });
+    assert!(r8.render().contains("class 2"));
+    let r9 = fig09::run(&fig09::Config {
+        population_scale: 0.002,
+        max_samples: 800,
+    });
+    assert!(r9.render().contains("GPU-focused"));
+}
+
+#[test]
+fn fig10_renders() {
+    let r = fig10::run(&fig10::Config {
+        population_scale: 0.001,
+        dt_s: 10.0,
+    });
+    let s = r.render();
+    assert!(s.contains("96.9%"));
+    assert!(s.contains("edge-free"));
+}
+
+#[test]
+fn fig11_fig12_render() {
+    let cfg = fig11::Config {
+        cabinets: 12,
+        amplitudes_mw: vec![0.15, 0.3],
+        repeats: 2,
+        burst_duration_s: 120.0,
+        spacing_s: 420.0,
+    };
+    let r11 = fig11::run(&cfg);
+    assert!(r11.render().contains("MW"));
+    let r12 = fig12::run(&fig12::Config { burst: cfg });
+    let s = r12.render();
+    assert!(s.contains("MTW return"));
+    assert!(s.contains("half-response"));
+}
+
+#[test]
+fn failure_experiments_render() {
+    let weeks = 6.0;
+    let t4 = table4::run(&table4::Config { weeks, seed: 1 });
+    assert!(t4.render().contains("NVLINK"));
+    let f13 = fig13::run(&fig13::Config {
+        weeks,
+        alpha: 0.05,
+        seed: 1,
+    });
+    assert!(f13.render().contains("Bonferroni"));
+    let f14 = fig14::run(&fig14::Config {
+        weeks,
+        top: 10,
+        min_node_hours: 500.0,
+        seed: 1,
+    });
+    assert!(f14.render().contains("node-hour"));
+    let f15 = fig15::run(&fig15::Config { weeks, seed: 1 });
+    assert!(f15.render().contains("46.1"));
+    let f16 = fig16::run(&fig16::Config { weeks, seed: 1 });
+    assert!(f16.render().contains("GPU slot"));
+}
+
+#[test]
+fn fig17_renders_with_heatmap() {
+    let r = fig17::run(&fig17::Config {
+        cabinets: 12,
+        job_duration_s: 300.0,
+        stride_s: 10.0,
+        missing_cabinet: Some(5),
+        seed: 2,
+    });
+    let s = r.render();
+    assert!(s.contains("62 W"));
+    assert!(s.contains("heatmap"));
+    assert!(s.contains("·"), "missing cabinet must appear in the heatmap");
+}

@@ -1,0 +1,74 @@
+//! Paper-fidelity smoke tests (full floor / year populations).
+//!
+//! These take minutes each, so they are `#[ignore]`d by default; run
+//! them with `cargo test --release --test full_fidelity -- --ignored`.
+
+use summit_repro::core::experiments::*;
+
+#[test]
+#[ignore = "paper-scale: full 840k-job year (~30 s)"]
+fn full_year_trend_hits_paper_anchors() {
+    let r = fig05::run(&fig05::Config::default());
+    assert!((1.08..1.16).contains(&r.annual_avg_pue), "PUE {}", r.annual_avg_pue);
+    assert!(r.summer_avg_pue > r.annual_avg_pue);
+    assert!(r.maintenance_peak_pue > 1.25);
+    assert!((4.5e6..7.5e6).contains(&r.mean_power_w), "mean {}", r.mean_power_w);
+    assert!(r.max_power_w > 9.0e6, "peak {}", r.max_power_w);
+    assert!(r.min_power_w >= 2.4e6);
+}
+
+#[test]
+#[ignore = "paper-scale: full floor, 1-7 MW edges (~1 min)"]
+fn full_floor_edge_snapshots() {
+    let r = fig11::run(&fig11::Config::default());
+    assert!(r.classes.len() >= 5, "most MW classes detected");
+    let biggest = r.classes.last().unwrap();
+    assert!(biggest.amplitude_mw >= 6.0);
+    assert!(biggest.rise_in_60s_w > 5.0e6, "7 MW swing rises fast");
+    for c in &r.classes {
+        assert!(c.power_pue_r < -0.5, "inverse PUE at {} MW", c.amplitude_mw);
+    }
+    assert!(r.pue_at_peak < r.pue_at_baseline);
+}
+
+#[test]
+#[ignore = "paper-scale: full floor thermal response (~1 min)"]
+fn full_floor_thermal_response() {
+    let r = fig12::run(&fig12::Config::default());
+    assert!(r.gpu_swing_c > 10.0, "GPU swing {}", r.gpu_swing_c);
+    assert!(r.gpu_swing_c > 3.0 * r.cpu_swing_c.abs());
+    assert!(
+        (30.0..200.0).contains(&r.cooling_half_response_s),
+        "cooling response {}",
+        r.cooling_half_response_s
+    );
+}
+
+#[test]
+#[ignore = "paper-scale: 4,608-node exemplar job (~2 min)"]
+fn full_floor_job_variability() {
+    let r = fig17::run(&fig17::Config::default());
+    assert_eq!(r.job_nodes, 4608);
+    assert!((30.0..90.0).contains(&r.peak_power_spread_w), "62 W anchor, got {}", r.peak_power_spread_w);
+    assert!((8.0..25.0).contains(&r.peak_temp_spread_c), "15.8 C anchor, got {}", r.peak_temp_spread_c);
+    assert!(r.frac_over_60c < 0.02);
+    assert!(r.transition_s < 30.0, "under half a minute");
+}
+
+#[test]
+#[ignore = "paper-scale: full failure year (~30 s)"]
+fn full_year_failure_composition() {
+    let r = table4::run(&table4::Config::default());
+    assert!(
+        (r.total_annual / r.paper_total as f64 - 1.0).abs() < 0.2,
+        "annual total {} vs paper {}",
+        r.total_annual,
+        r.paper_total
+    );
+    let nvlink = r
+        .rows
+        .iter()
+        .find(|row| row.kind == summit_repro::telemetry::records::XidErrorKind::NvlinkError)
+        .unwrap();
+    assert!(nvlink.max_node_share > 0.9);
+}

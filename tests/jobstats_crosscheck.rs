@@ -1,0 +1,128 @@
+//! Cross-validation of the closed-form job statistics (the population
+//! fast path) against a true 1 Hz engine replay of the same job — the
+//! reproduction's equivalent of validating derived datasets against the
+//! raw stream.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use summit_repro::sim::engine::{Engine, EngineConfig};
+use summit_repro::sim::jobs::JobGenerator;
+use summit_repro::sim::jobstats::{job_power_series, job_stats, mean_envelope};
+use summit_repro::sim::power::PowerModel;
+
+#[test]
+fn closed_form_matches_engine_replay() {
+    let cabinets = 5; // 90 nodes
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut gen = JobGenerator::new();
+    let mut job = gen.generate_with_class(&mut rng, 30.0, 5);
+    job.record.node_count = 45;
+    job.record.end_time = job.record.begin_time + 600.0;
+    job.profile.gpu_intensity = 0.8;
+    job.profile.cpu_intensity = 0.3;
+    job.profile.oscillation_depth = 0.3;
+    job.profile.oscillation_period_s = 200.0;
+    job.profile.checkpoint_interval_s = 0.0;
+    job.profile.ramp_s = 20.0;
+
+    // Closed form.
+    let pm = PowerModel::new(2020);
+    let stats = job_stats(&job, &pm);
+
+    // Engine replay at 1 Hz.
+    let mut engine_cfg = EngineConfig::small(cabinets);
+    engine_cfg.seed = 2020;
+    let mut engine = Engine::new(engine_cfg, 0.0);
+    let idle_per_node = {
+        let out = engine.step();
+        out.true_compute_power_w / (cabinets as f64 * 18.0)
+    };
+    engine.scheduler().submit(job.clone());
+    let mut job_power = Vec::new();
+    for _ in 0..700 {
+        let out = engine.step();
+        // Busy nodes carry the job; subtract the idle remainder to get
+        // the job's own power footprint.
+        if out.busy_nodes > 0 {
+            let idle_nodes = (cabinets * 18 - out.busy_nodes) as f64;
+            job_power.push(out.true_compute_power_w - idle_nodes * idle_per_node);
+        }
+    }
+    assert!(
+        job_power.len() >= 590,
+        "job should run for its walltime, saw {} busy ticks",
+        job_power.len()
+    );
+    let replay_mean: f64 = job_power.iter().sum::<f64>() / job_power.len() as f64;
+    let replay_max: f64 = job_power.iter().cloned().fold(f64::MIN, f64::max);
+
+    let mean_rel = (stats.mean_power_w - replay_mean).abs() / replay_mean;
+    assert!(
+        mean_rel < 0.08,
+        "closed-form mean {} vs replay {} ({mean_rel})",
+        stats.mean_power_w,
+        replay_mean
+    );
+    let max_rel = (stats.max_power_w - replay_max).abs() / replay_max;
+    assert!(
+        max_rel < 0.08,
+        "closed-form max {} vs replay {} ({max_rel})",
+        stats.max_power_w,
+        replay_max
+    );
+}
+
+#[test]
+fn synthetic_series_consistent_with_stats() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut gen = JobGenerator::new();
+    let pm = PowerModel::new(2020);
+    for _ in 0..30 {
+        let job = gen.generate(&mut rng, 0.0);
+        let stats = job_stats(&job, &pm);
+        let series = job_power_series(&job, &pm, 10.0);
+        let series_mean =
+            series.values().iter().sum::<f64>() / series.len().max(1) as f64;
+        let series_max = series.values().iter().cloned().fold(f64::MIN, f64::max);
+        // The series samples the same model the stats integrate: means
+        // agree within a few percent (discretization + rep-node averaging),
+        // maxima within the peak-jitter band.
+        let mean_rel = (stats.mean_power_w - series_mean).abs() / series_mean.max(1.0);
+        assert!(
+            mean_rel < 0.10,
+            "job {:?}: stats mean {} vs series mean {}",
+            job.record.allocation_id,
+            stats.mean_power_w,
+            series_mean
+        );
+        assert!(
+            series_max <= stats.max_power_w * 1.10 + 1.0,
+            "series max {} exceeds stats max {}",
+            series_max,
+            stats.max_power_w
+        );
+    }
+}
+
+#[test]
+fn mean_envelope_matches_numeric_integration() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut gen = JobGenerator::new();
+    for _ in 0..50 {
+        let job = gen.generate(&mut rng, 0.0);
+        let closed = mean_envelope(&job);
+        // Numeric average of the envelope at 1 s resolution.
+        let sig = summit_repro::sim::workload::WorkloadSignal::new(
+            job.profile,
+            job.record.walltime_s(),
+            job.seed,
+        );
+        let n = job.record.walltime_s() as usize;
+        let num: f64 = (0..n).map(|i| sig.envelope(i as f64)).sum::<f64>() / n.max(1) as f64;
+        assert!(
+            (closed - num).abs() < 0.06,
+            "closed {closed} vs numeric {num} for {:?}",
+            job.profile
+        );
+    }
+}
