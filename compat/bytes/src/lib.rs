@@ -1,0 +1,191 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements [`BytesMut`] (growable write buffer), [`Bytes`]
+//! (cheaply-cloneable read cursor over shared immutable data) and the
+//! [`Buf`]/[`BufMut`] trait subset used by the telemetry codec:
+//! `put_u8`, `get_u8`, `has_remaining`, `freeze`, `from_static`, `len`.
+
+use std::sync::Arc;
+
+/// Read-only byte buffer with a consuming cursor.
+///
+/// Cloning is O(1): the underlying storage is shared via [`Arc`].
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Self {
+            data: data.into(),
+            pos: 0,
+        }
+    }
+
+    /// Unconsumed length (mirrors `bytes::Bytes::len`).
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `true` if no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self {
+            data: v.into(),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// Growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, other: &[u8]) {
+        self.buf.extend_from_slice(other);
+    }
+
+    /// Converts the accumulated bytes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+/// Read access with an internal cursor (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Number of unread bytes.
+    fn remaining(&self) -> usize;
+
+    /// `true` while unread bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Consumes and returns the next byte.
+    ///
+    /// # Panics
+    /// If no bytes remain.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.pos < self.data.len(), "get_u8 past end of buffer");
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+/// Write access (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.buf.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut m = BytesMut::new();
+        m.put_u8(1);
+        m.put_u8(2);
+        m.extend_from_slice(&[3, 4]);
+        assert_eq!(m.len(), 4);
+        let mut b = m.freeze();
+        assert_eq!(b.len(), 4);
+        assert!(b.has_remaining());
+        assert_eq!(
+            (b.get_u8(), b.get_u8(), b.get_u8(), b.get_u8()),
+            (1, 2, 3, 4)
+        );
+        assert!(!b.has_remaining());
+        assert_eq!(b.len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_data_but_not_cursor() {
+        let mut a: Bytes = vec![9, 8, 7].into();
+        let b = a.clone();
+        a.get_u8();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn from_static_and_eq() {
+        let a = Bytes::from_static(&[1, 2, 3]);
+        let b: Bytes = vec![1, 2, 3].into();
+        assert_eq!(a, b);
+    }
+}

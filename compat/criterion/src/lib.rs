@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements just enough of criterion's API surface for this
+//! workspace's benches to compile and produce useful wall-clock
+//! numbers: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! with `sample_size`/`throughput`, [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. There is no
+//! statistical analysis — each benchmark reports min/mean over a small
+//! fixed number of timed samples.
+
+use std::time::Instant;
+
+/// Opaque-value hint to defeat constant folding (std implementation).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of a benchmark, printed alongside timings.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Per-benchmark measurement driver passed to the closure.
+pub struct Bencher {
+    samples: usize,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, then timed samples.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.results_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+fn report(name: &str, results_ns: &[f64], throughput: Option<Throughput>) {
+    if results_ns.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    let min = results_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = results_ns.iter().sum::<f64>() / results_ns.len() as f64;
+    let human = |ns: f64| {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.0} ns")
+        }
+    };
+    let mut line = format!(
+        "{name:<40} min {:>12}  mean {:>12}  ({} samples)",
+        human(min),
+        human(mean),
+        results_ns.len()
+    );
+    if let Some(tp) = throughput {
+        let per_s = |count: u64| count as f64 / (min / 1e9);
+        match tp {
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.1} MiB/s", per_s(n) / (1024.0 * 1024.0)));
+            }
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.0} elem/s", per_s(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark registry, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.results_ns, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+}
+
+/// Group of benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs a named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            results_ns: Vec::new(),
+        };
+        f(&mut b);
+        report(name, &b.results_ns, self.throughput);
+        self
+    }
+
+    /// Ends the group (printing nothing; present for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner, like criterion's.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups, like criterion's.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        // 1 warm-up + sample_size timed calls.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn group_respects_sample_size() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(10));
+        let mut calls = 0u32;
+        g.bench_function("counted", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 4);
+    }
+}

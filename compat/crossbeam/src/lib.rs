@@ -1,0 +1,98 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{bounded, Sender, Receiver}` backed by
+//! [`std::sync::mpsc::sync_channel`]. The semantics the telemetry fan-in
+//! relies on hold: bounded capacity with blocking sends, cloneable
+//! senders, receiver iteration that ends when all senders disconnect.
+
+/// Multi-producer channels (std-backed).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Cloneable producer handle of a bounded channel.
+    #[derive(Debug)]
+    pub struct Sender<T> {
+        tx: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors if the receiving side has hung up.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.tx
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    /// Consumer handle of a bounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; `None`-like error once all senders are gone.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.rx.recv()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+
+        fn into_iter(self) -> Self::IntoIter {
+            self.rx.into_iter()
+        }
+    }
+
+    /// Creates a bounded channel with the given capacity.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender { tx }, Receiver { rx })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_in_from_multiple_producers() {
+            let (tx, rx) = bounded::<u32>(4);
+            let mut handles = Vec::new();
+            for p in 0..3u32 {
+                let tx = tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    for i in 0..10 {
+                        tx.send(p * 100 + i).expect("receiver alive");
+                    }
+                }));
+            }
+            drop(tx);
+            let got: Vec<u32> = rx.into_iter().collect();
+            for h in handles {
+                h.join().expect("producer panicked");
+            }
+            assert_eq!(got.len(), 30);
+        }
+
+        #[test]
+        fn send_fails_after_receiver_drop() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this crate maps the
+//! `par_iter`/`into_par_iter` entry points onto plain sequential
+//! iterators. All downstream adaptor chains (`map`, `collect`, …) are
+//! ordinary [`Iterator`] methods, so call sites compile unchanged and
+//! produce identical (deterministically ordered) results — just without
+//! the parallel speedup. Swap in real rayon by deleting the vendored
+//! crate from `[workspace.dependencies]` once a registry is available.
+
+/// Parallel-iterator entry-point traits (sequential fallbacks).
+pub mod prelude {
+    /// By-reference parallel iteration (`.par_iter()`).
+    pub trait IntoParallelRefIterator<'data> {
+        /// Iterator yielded by [`par_iter`](Self::par_iter).
+        type Iter: Iterator;
+
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// By-value parallel iteration (`.into_par_iter()`).
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// Iterator yielded by [`into_par_iter`](Self::into_par_iter).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Item = usize;
+        type Iter = std::ops::Range<usize>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+
+    /// Rayon-only adaptors mapped onto their sequential equivalents,
+    /// blanket-implemented so they are available on every iterator a
+    /// `par_iter()` call produces.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Sequential stand-in for rayon's `flat_map_iter`.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+
+        /// Sequential no-op stand-in for rayon's `with_min_len`.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_on_vec_and_slice() {
+        let v = vec![1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+        let s: &[i32] = &v;
+        assert_eq!(s.par_iter().count(), 3);
+    }
+
+    #[test]
+    fn into_par_iter_on_vec_and_range() {
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 6);
+        let idx: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+}

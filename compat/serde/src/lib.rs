@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Exposes `Serialize`/`Deserialize` as (a) empty marker traits and
+//! (b) no-op derive macros, so `use serde::{Deserialize, Serialize};`
+//! plus `#[derive(Serialize, Deserialize)]` compile exactly as with the
+//! real crate. Nothing in this workspace performs actual serialization
+//! (no format crate is in the tree), so no trait methods are needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -28,7 +28,7 @@ impl Ecdf {
         if sorted.is_empty() {
             return None;
         }
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Some(Self { sorted })
     }
 
@@ -57,7 +57,10 @@ impl Ecdf {
     /// This is the query behind the paper's "80 % of Class 2 jobs take
     /// almost up to 3 hours" style statements.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "percentile p must be in [0,1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "percentile p must be in [0,1], got {p}"
+        );
         if p == 0.0 {
             return self.sorted[0];
         }
@@ -71,9 +74,10 @@ impl Ecdf {
         self.sorted[0]
     }
 
-    /// Maximum sample value.
+    /// Maximum sample value (NaN for an impossible empty sample — the
+    /// constructor rejects empty input).
     pub fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty")
+        self.sorted.last().copied().unwrap_or(f64::NAN)
     }
 
     /// Evaluates the CDF on a uniform grid of `points` x-values spanning
@@ -104,6 +108,7 @@ impl Ecdf {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -145,7 +150,10 @@ mod tests {
         for i in 1..=20 {
             let p = i as f64 / 20.0;
             let v = e.percentile(p);
-            assert!(e.eval(v) >= p - 1e-12, "F(percentile(p)) >= p violated at p={p}");
+            assert!(
+                e.eval(v) >= p - 1e-12,
+                "F(percentile(p)) >= p violated at p={p}"
+            );
         }
     }
 

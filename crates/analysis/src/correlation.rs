@@ -94,7 +94,11 @@ impl CorrelationMatrix {
             assert_eq!(v.len(), observations, "all variables need equal length");
         }
         let n_pairs = vars * vars.saturating_sub(1) / 2;
-        let corrected_alpha = if n_pairs > 0 { alpha / n_pairs as f64 } else { alpha };
+        let corrected_alpha = if n_pairs > 0 {
+            alpha / n_pairs as f64
+        } else {
+            alpha
+        };
 
         let index_pairs: Vec<(usize, usize)> = (0..vars)
             .flat_map(|i| ((i + 1)..vars).map(move |j| (i, j)))
@@ -131,15 +135,15 @@ impl CorrelationMatrix {
 
     /// Only the significant pairs, sorted by |r| descending.
     pub fn significant_pairs(&self) -> Vec<&PairCorrelation> {
-        let mut v: Vec<&PairCorrelation> =
-            self.pairs.iter().filter(|p| p.significant).collect();
-        v.sort_by(|a, b| b.r.abs().partial_cmp(&a.r.abs()).expect("finite r"));
+        let mut v: Vec<&PairCorrelation> = self.pairs.iter().filter(|p| p.significant).collect();
+        v.sort_by(|a, b| b.r.abs().total_cmp(&a.r.abs()));
         v
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -154,8 +158,12 @@ mod tests {
     #[test]
     fn pearson_independent_is_small() {
         // Deterministic pseudo-independent sequences.
-        let x: Vec<f64> = (0..1000).map(|i| ((i * 2654435761_usize) % 997) as f64).collect();
-        let y: Vec<f64> = (0..1000).map(|i| ((i * 40503 + 12345) % 1009) as f64).collect();
+        let x: Vec<f64> = (0..1000)
+            .map(|i| ((i * 2654435761_usize) % 997) as f64)
+            .collect();
+        let y: Vec<f64> = (0..1000)
+            .map(|i| ((i * 40503 + 12345) % 1009) as f64)
+            .collect();
         assert!(pearson(&x, &y).abs() < 0.1);
     }
 
@@ -205,7 +213,11 @@ mod tests {
         let p01 = m.get(0, 1).unwrap();
         assert!(p01.significant && p01.r > 0.999);
         let p02 = m.get(0, 2).unwrap();
-        assert!(!p02.significant, "independent pair flagged: r={} p={}", p02.r, p02.p_value);
+        assert!(
+            !p02.significant,
+            "independent pair flagged: r={} p={}",
+            p02.r, p02.p_value
+        );
     }
 
     #[test]
@@ -240,7 +252,10 @@ mod tests {
             .map(|k| (0..10).map(|i| ((i + k) * 3 % 7) as f64).collect())
             .collect();
         let m = CorrelationMatrix::compute(&vars, 0.05);
-        assert_eq!(m.get(0, 2).map(|p| (p.i, p.j)), m.get(2, 0).map(|p| (p.i, p.j)));
+        assert_eq!(
+            m.get(0, 2).map(|p| (p.i, p.j)),
+            m.get(2, 0).map(|p| (p.i, p.j))
+        );
     }
 
     #[test]

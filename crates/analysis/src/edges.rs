@@ -79,7 +79,11 @@ pub fn detect_edges(power: &Series, threshold_w: f64) -> Vec<Edge> {
             i += 1;
             continue;
         }
-        let kind = if step > 0.0 { EdgeKind::Rising } else { EdgeKind::Falling };
+        let kind = if step > 0.0 {
+            EdgeKind::Rising
+        } else {
+            EdgeKind::Falling
+        };
         let start_index = i;
         let initial = v[i];
 
@@ -183,10 +187,7 @@ pub fn job_edge_stats(power: &Series, node_count: usize) -> JobEdgeStats {
     } else {
         durations.iter().sum::<f64>() / durations.len() as f64
     };
-    let max_amp = edges
-        .iter()
-        .map(|e| e.amplitude())
-        .fold(0.0f64, f64::max);
+    let max_amp = edges.iter().map(|e| e.amplitude()).fold(0.0f64, f64::max);
     JobEdgeStats {
         edge_count: edges.len(),
         rising_count: rising,
@@ -198,6 +199,7 @@ pub fn job_edge_stats(power: &Series, node_count: usize) -> JobEdgeStats {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     /// Builds a 10 s-interval series from values.
@@ -227,7 +229,10 @@ mod tests {
         // Ramp up over two big steps -> one edge.
         let s = series(&[1e6, 3e6, 6e6, 6e6, 6e6, 1e6]);
         let edges = detect_edges(&s, 1.5e6);
-        let rising: Vec<_> = edges.iter().filter(|e| e.kind == EdgeKind::Rising).collect();
+        let rising: Vec<_> = edges
+            .iter()
+            .filter(|e| e.kind == EdgeKind::Rising)
+            .collect();
         assert_eq!(rising.len(), 1, "ramp should merge into one rising edge");
         assert_eq!(rising[0].peak_power, 6e6);
     }

@@ -52,7 +52,10 @@ impl Complex {
 /// lengths).
 pub fn fft_in_place(data: &mut [Complex]) {
     let n = data.len();
-    assert!(n.is_power_of_two(), "fft length must be a power of two, got {n}");
+    assert!(
+        n.is_power_of_two(),
+        "fft length must be a power of two, got {n}"
+    );
     if n <= 1 {
         return;
     }
@@ -166,10 +169,7 @@ pub fn dominant_component(data: &[f64], sample_hz: f64) -> Option<DominantCompon
     if freqs.is_empty() {
         return None;
     }
-    let (idx, &amp) = amps
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite amplitude"))?;
+    let (idx, &amp) = amps.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1))?;
     let f = freqs[idx];
     Some(DominantComponent {
         frequency_hz: f,
@@ -203,7 +203,7 @@ impl Spectrogram {
                 let row = &self.amps[w * self.freqs_hz.len()..(w + 1) * self.freqs_hz.len()];
                 row.iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(k, _)| self.freqs_hz[k])
                     .unwrap_or(f64::NAN)
             })
@@ -229,10 +229,7 @@ pub fn spectrogram(data: &[f64], sample_hz: f64, window: usize, hop: usize) -> S
     let mut times_s = Vec::new();
     let mut amps = Vec::new();
     let hann: Vec<f64> = (0..window)
-        .map(|i| {
-            0.5 * (1.0
-                - (2.0 * std::f64::consts::PI * i as f64 / (window - 1) as f64).cos())
-        })
+        .map(|i| 0.5 * (1.0 - (2.0 * std::f64::consts::PI * i as f64 / (window - 1) as f64).cos()))
         .collect();
     let mut start = 0usize;
     while start + window <= data.len() {
@@ -266,6 +263,7 @@ pub fn spectral_energy(spec: &[Complex]) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
@@ -289,7 +287,9 @@ mod tests {
 
     #[test]
     fn fft_matches_naive_dft() {
-        let data: Vec<f64> = (0..32).map(|i| (i as f64 * 0.7).sin() + 0.3 * i as f64).collect();
+        let data: Vec<f64> = (0..32)
+            .map(|i| (i as f64 * 0.7).sin() + 0.3 * i as f64)
+            .collect();
         let mut fast: Vec<Complex> = data.iter().map(|&x| Complex::new(x, 0.0)).collect();
         fft_in_place(&mut fast);
         let slow = dft(&data);

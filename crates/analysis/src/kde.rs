@@ -95,8 +95,12 @@ impl Kde1d {
     pub fn grid(&self, points: usize, pad: f64) -> (Vec<f64>, Vec<f64>) {
         assert!(points >= 2);
         let lo = self.samples.iter().copied().fold(f64::INFINITY, f64::min) - pad * self.bandwidth;
-        let hi =
-            self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max) + pad * self.bandwidth;
+        let hi = self
+            .samples
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + pad * self.bandwidth;
         let xs: Vec<f64> = (0..points)
             .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
             .collect();
@@ -145,14 +149,17 @@ impl DensityGrid {
         self.density[yi * self.x_axis.len() + xi]
     }
 
-    /// Location `(x, y)` and value of the global density peak.
+    /// Location `(x, y)` and value of the global density peak, or NaNs
+    /// for a zero-sized grid.
     pub fn peak(&self) -> (f64, f64, f64) {
-        let (idx, &v) = self
+        let Some((idx, &v)) = self
             .density
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite density"))
-            .expect("non-empty grid");
+            .max_by(|a, b| a.1.total_cmp(b.1))
+        else {
+            return (f64::NAN, f64::NAN, f64::NAN);
+        };
         let nx = self.x_axis.len();
         (self.x_axis[idx % nx], self.y_axis[idx / nx], v)
     }
@@ -181,9 +188,7 @@ impl DensityGrid {
                     self.at(xi - 1, yi + 1),
                     self.at(xi + 1, yi + 1),
                 ];
-                if neighbors.iter().all(|&n| v >= n)
-                    && neighbors.iter().any(|&n| v > n)
-                {
+                if neighbors.iter().all(|&n| v >= n) && neighbors.iter().any(|&n| v > n) {
                     count += 1;
                 }
             }
@@ -298,6 +303,7 @@ impl Kde2d {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -317,7 +323,9 @@ mod tests {
 
     #[test]
     fn kde1d_peak_near_data_center() {
-        let data: Vec<f64> = (0..100).map(|i| 5.0 + ((i % 10) as f64 - 4.5) * 0.1).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| 5.0 + ((i % 10) as f64 - 4.5) * 0.1)
+            .collect();
         let kde = Kde1d::fit(&data, Bandwidth::Silverman).unwrap();
         assert!(kde.eval(5.0) > kde.eval(3.0));
         assert!(kde.eval(5.0) > kde.eval(7.0));
@@ -371,8 +379,12 @@ mod tests {
 
     #[test]
     fn kde2d_peak_location() {
-        let x: Vec<f64> = (0..100).map(|i| 3.0 + ((i % 7) as f64 - 3.0) * 0.1).collect();
-        let y: Vec<f64> = (0..100).map(|i| -2.0 + ((i % 5) as f64 - 2.0) * 0.1).collect();
+        let x: Vec<f64> = (0..100)
+            .map(|i| 3.0 + ((i % 7) as f64 - 3.0) * 0.1)
+            .collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| -2.0 + ((i % 5) as f64 - 2.0) * 0.1)
+            .collect();
         let kde = Kde2d::fit(&x, &y, Bandwidth::Silverman).unwrap();
         let g = kde.grid(64, 64);
         let (px, py, pv) = g.peak();

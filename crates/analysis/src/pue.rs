@@ -98,6 +98,7 @@ pub fn average_pue(facility: &Series, it: &Series) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -25,14 +25,17 @@ pub fn rolling_mean(values: &[f64], w: usize) -> Vec<f64> {
             sum += v;
             count += 1;
         }
-        if q.len() > w {
-            let old = q.pop_front().expect("non-empty");
+        if let Some(old) = (q.len() > w).then(|| q.pop_front()).flatten() {
             if old.is_finite() {
                 sum -= old;
                 count -= 1;
             }
         }
-        out.push(if count > 0 { sum / count as f64 } else { f64::NAN });
+        out.push(if count > 0 {
+            sum / count as f64
+        } else {
+            f64::NAN
+        });
     }
     out
 }
@@ -122,6 +125,7 @@ pub fn rolling_mean_series(series: &Series, window_s: f64) -> Series {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -99,7 +99,8 @@ impl Series {
     /// Clamps to the available range.
     pub fn window(&self, t_start: f64, t_end: f64) -> Series {
         let start = (((t_start - self.t0) / self.dt).ceil().max(0.0)) as usize;
-        let end = ((((t_end - self.t0) / self.dt).floor()).max(0.0) as usize).min(self.values.len());
+        let end =
+            ((((t_end - self.t0) / self.dt).floor()).max(0.0) as usize).min(self.values.len());
         let start = start.min(end);
         Series::new(
             self.t0 + start as f64 * self.dt,
@@ -112,11 +113,7 @@ impl Series {
     ///
     /// This is the de-trending step the paper applies before the FFT.
     pub fn diff(&self) -> Series {
-        let values = self
-            .values
-            .windows(2)
-            .map(|w| w[1] - w[0])
-            .collect();
+        let values = self.values.windows(2).map(|w| w[1] - w[0]).collect();
         Series::new(self.t0 + self.dt, self.dt, values)
     }
 
@@ -169,7 +166,11 @@ impl Series {
 
     /// Scales every sample by a constant.
     pub fn scale(&self, k: f64) -> Series {
-        Series::new(self.t0, self.dt, self.values.iter().map(|v| v * k).collect())
+        Series::new(
+            self.t0,
+            self.dt,
+            self.values.iter().map(|v| v * k).collect(),
+        )
     }
 
     /// Fraction of NaN samples — the paper's telemetry had documented gaps
@@ -213,6 +214,7 @@ pub fn sum_aligned(series: &[&Series]) -> Option<Series> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -42,19 +42,11 @@ impl Superposition {
         if self.offsets_s.is_empty() {
             return f64::NAN;
         }
-        let idx = self
-            .offsets_s
+        self.offsets_s
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                (a.1 - t)
-                    .abs()
-                    .partial_cmp(&(b.1 - t).abs())
-                    .expect("finite offsets")
-            })
-            .map(|(i, _)| i)
-            .expect("non-empty");
-        self.mean[idx]
+            .min_by(|a, b| (a.1 - t).abs().total_cmp(&(b.1 - t).abs()))
+            .map_or(f64::NAN, |(i, _)| self.mean[i])
     }
 
     /// Peak of the mean envelope within `[t_lo, t_hi]` offsets.
@@ -64,7 +56,10 @@ impl Superposition {
             .zip(&self.mean)
             .filter(|(&t, _)| t >= t_lo && t <= t_hi)
             .map(|(_, &m)| m)
-            .fold(f64::NAN, |acc, m| if acc.is_nan() || m > acc { m } else { acc })
+            .fold(
+                f64::NAN,
+                |acc, m| if acc.is_nan() || m > acc { m } else { acc },
+            )
     }
 }
 
@@ -158,6 +153,7 @@ pub fn superimpose_paper_window(series: &Series, align_times: &[f64]) -> Superpo
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -85,28 +85,71 @@ pub fn ln_gamma(x: f64) -> f64 {
     0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
 }
 
-/// Regularized incomplete beta function `I_x(a, b)`.
+/// Domain error raised by the special functions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpecialFnError {
+    /// A shape parameter that must be strictly positive was not.
+    NonPositiveShape {
+        /// The offending `a` parameter.
+        a: f64,
+        /// The offending `b` parameter.
+        b: f64,
+    },
+    /// The evaluation point fell outside the function's domain.
+    OutOfDomain {
+        /// The offending argument.
+        x: f64,
+    },
+}
+
+impl std::fmt::Display for SpecialFnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NonPositiveShape { a, b } => {
+                write!(f, "shape parameters must be > 0 (got a={a}, b={b})")
+            }
+            Self::OutOfDomain { x } => write!(f, "argument x must be in [0, 1], got {x}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecialFnError {}
+
+/// Regularized incomplete beta function `I_x(a, b)`, with domain checks.
 ///
 /// Computed via the continued-fraction expansion (Numerical Recipes
-/// `betacf`), with the symmetry transform for fast convergence.
-pub fn betai(a: f64, b: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && b > 0.0, "betai requires a, b > 0 (got a={a}, b={b})");
+/// `betacf`), with the symmetry transform for fast convergence. Returns
+/// [`SpecialFnError`] when `a <= 0`, `b <= 0`, or `x` is outside `[0, 1]`.
+pub fn try_betai(a: f64, b: f64, x: f64) -> Result<f64, SpecialFnError> {
+    if !(a > 0.0 && b > 0.0) {
+        return Err(SpecialFnError::NonPositiveShape { a, b });
+    }
     if !(0.0..=1.0).contains(&x) {
-        panic!("betai requires x in [0, 1], got {x}");
+        return Err(SpecialFnError::OutOfDomain { x });
     }
     if x == 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
     if x == 1.0 {
-        return 1.0;
+        return Ok(1.0);
     }
     let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
     let front = ln_front.exp();
-    if x < (a + 1.0) / (a + b + 2.0) {
+    Ok(if x < (a + 1.0) / (a + b + 2.0) {
         front * beta_cont_frac(a, b, x) / a
     } else {
         1.0 - front * beta_cont_frac(b, a, 1.0 - x) / b
-    }
+    })
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// Infallible convenience wrapper over [`try_betai`]: domain violations
+/// (`a <= 0`, `b <= 0`, or `x` outside `[0, 1]`) yield NaN instead of an
+/// error, matching the NaN-propagation convention of the rest of the
+/// toolkit.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    try_betai(a, b, x).unwrap_or(f64::NAN)
 }
 
 /// Continued fraction for the incomplete beta function (modified Lentz).
@@ -267,6 +310,7 @@ pub fn student_t_critical(df: f64, confidence: f64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
@@ -396,8 +440,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "betai requires x in [0, 1]")]
     fn betai_rejects_out_of_range() {
-        betai(1.0, 1.0, 1.5);
+        assert_eq!(
+            try_betai(1.0, 1.0, 1.5),
+            Err(SpecialFnError::OutOfDomain { x: 1.5 })
+        );
+        assert_eq!(
+            try_betai(-1.0, 1.0, 0.5),
+            Err(SpecialFnError::NonPositiveShape { a: -1.0, b: 1.0 })
+        );
+        // The infallible wrapper maps domain errors to NaN.
+        assert!(betai(1.0, 1.0, 1.5).is_nan());
+        assert!(betai(0.0, 1.0, 0.5).is_nan());
     }
 }

@@ -194,12 +194,15 @@ impl WindowStats {
 /// Matches numpy's default ("linear") method. NaNs are filtered first.
 /// Returns NaN for empty input.
 pub fn quantile(data: &[f64], q: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile q must be in [0,1], got {q}"
+    );
     let mut v: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
     if v.is_empty() {
         return f64::NAN;
     }
-    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    v.sort_by(|a, b| a.total_cmp(b));
     quantile_sorted(&v, q)
 }
 
@@ -266,18 +269,14 @@ impl BoxStats {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let q1 = quantile_sorted(&v, 0.25);
         let med = quantile_sorted(&v, 0.5);
         let q3 = quantile_sorted(&v, 0.75);
         let iqr = q3 - q1;
         let fence_lo = q1 - 1.5 * iqr;
         let fence_hi = q3 + 1.5 * iqr;
-        let whisker_lo = v
-            .iter()
-            .copied()
-            .find(|&x| x >= fence_lo)
-            .unwrap_or(v[0]);
+        let whisker_lo = v.iter().copied().find(|&x| x >= fence_lo).unwrap_or(v[0]);
         let whisker_hi = v
             .iter()
             .rev()
@@ -341,7 +340,7 @@ impl Summary {
         if v.is_empty() {
             return None;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        v.sort_by(|a, b| a.total_cmp(b));
         let mut w = Welford::new();
         for &x in &v {
             w.push(x);
@@ -398,7 +397,10 @@ pub fn nanmax(data: &[f64]) -> f64 {
     data.iter()
         .copied()
         .filter(|x| x.is_finite())
-        .fold(f64::NAN, |acc, x| if acc.is_nan() || x > acc { x } else { acc })
+        .fold(
+            f64::NAN,
+            |acc, x| if acc.is_nan() || x > acc { x } else { acc },
+        )
 }
 
 /// Minimum ignoring NaNs; NaN if empty.
@@ -406,11 +408,15 @@ pub fn nanmin(data: &[f64]) -> f64 {
     data.iter()
         .copied()
         .filter(|x| x.is_finite())
-        .fold(f64::NAN, |acc, x| if acc.is_nan() || x < acc { x } else { acc })
+        .fold(
+            f64::NAN,
+            |acc, x| if acc.is_nan() || x < acc { x } else { acc },
+        )
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -22,7 +22,11 @@ pub fn zscore(x: f64, mean: f64, std: f64) -> f64 {
 /// `population` (NaNs in the population are dropped). Returns NaN when the
 /// population is degenerate (fewer than 2 finite values or zero spread).
 pub fn zscore_in(x: f64, population: &[f64]) -> f64 {
-    let v: Vec<f64> = population.iter().copied().filter(|p| p.is_finite()).collect();
+    let v: Vec<f64> = population
+        .iter()
+        .copied()
+        .filter(|p| p.is_finite())
+        .collect();
     if v.len() < 2 {
         return f64::NAN;
     }
@@ -100,6 +104,7 @@ impl ExtremitySummary {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -2,6 +2,8 @@
 //! FFT (Fig 10), KDE (Figs 6/9), edge detection (Figs 10/11), Pearson
 //! matrix (Fig 13), snapshot superposition (Figs 11/12), CDF (Fig 7).
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use summit_analysis::cdf::Ecdf;
 use summit_analysis::correlation::CorrelationMatrix;
@@ -15,8 +17,7 @@ fn signal(n: usize) -> Vec<f64> {
     (0..n)
         .map(|i| {
             let t = i as f64;
-            5e6 + 2e6 * (2.0 * std::f64::consts::PI * t / 20.0).sin()
-                + 5e5 * ((t * 1.7).sin())
+            5e6 + 2e6 * (2.0 * std::f64::consts::PI * t / 20.0).sin() + 5e5 * ((t * 1.7).sin())
         })
         .collect()
 }
@@ -55,7 +56,7 @@ fn bench_correlation(c: &mut Criterion) {
     // Figure 13 shape: 16 kinds x 4,626 nodes.
     let vars: Vec<Vec<f64>> = (0..16)
         .map(|k| {
-            (0..4626)
+            (0..summit_sim::spec::TOTAL_NODES)
                 .map(|n| ((n * (k + 3) * 2654435761_usize) % 100) as f64)
                 .collect()
         })

@@ -2,6 +2,8 @@
 //! regenerating each artifact at reduced scale, so pipeline regressions
 //! that would blow up the paper-scale runs are caught early.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use summit_core::experiments::*;
 
@@ -96,9 +98,7 @@ fn bench_dynamics_figures(c: &mut Criterion) {
         };
         b.iter(|| fig04::run(&cfg))
     });
-    g.bench_function("fig11_edge_snapshots", |b| {
-        b.iter(|| fig11::run(&burst))
-    });
+    g.bench_function("fig11_edge_snapshots", |b| b.iter(|| fig11::run(&burst)));
     g.bench_function("fig12_thermal_response", |b| {
         b.iter(|| {
             fig12::run(&fig12::Config {

@@ -3,6 +3,8 @@
 //! cluster aggregation (Datasets 0-1), and the per-tick engine cost that
 //! bounds every dynamics figure.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use summit_sim::engine::{Engine, EngineConfig, StepOptions};
 use summit_telemetry::cluster::cluster_power;
@@ -88,7 +90,7 @@ fn bench_engine(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine");
     g.sample_size(20);
     for cabinets in [10usize, 60] {
-        g.bench_function(format!("tick_{}_nodes", cabinets * 18), |b| {
+        g.bench_function(&format!("tick_{}_nodes", cabinets * 18), |b| {
             let mut engine = Engine::new(EngineConfig::small(cabinets), 0.0);
             b.iter(|| black_box(engine.step()))
         });
@@ -100,5 +102,11 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_codec, bench_window, bench_cluster, bench_engine);
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_window,
+    bench_cluster,
+    bench_engine
+);
 criterion_main!(benches);

@@ -19,9 +19,7 @@ use summit_sim::engine::{Engine, EngineConfig, StepOptions};
 use summit_sim::facility::{Facility, FacilityConfig};
 use summit_sim::jobstats::job_power_series;
 use summit_sim::power::PowerModel;
-use summit_telemetry::codec::{
-    encode_column, encode_column_delta_only, encode_column_raw_varint,
-};
+use summit_telemetry::codec::{encode_column, encode_column_delta_only, encode_column_raw_varint};
 
 fn codec_ablation(cabinets: usize) {
     // Real telemetry columns from an engine run.
@@ -33,9 +31,10 @@ fn codec_ablation(cabinets: usize) {
             frames: true,
             ..Default::default()
         });
-        let f = &out.frames.as_ref().unwrap()[0];
-        engine_col
-            .push(f.get(summit_telemetry::catalog::input_power()).round() as i64);
+        let Some(f) = out.frames.as_ref().and_then(|fs| fs.first()) else {
+            continue;
+        };
+        engine_col.push(f.get(summit_telemetry::catalog::input_power()).round() as i64);
         temp_col.push(
             (f.get(summit_telemetry::catalog::gpu_core_temp(
                 summit_telemetry::ids::GpuSlot(0),
@@ -47,7 +46,10 @@ fn codec_ablation(cabinets: usize) {
         "ablation 1: compression stages (bytes per 600-sample column)",
         &["column", "raw 8B", "varint", "+delta", "+delta+RLE"],
     );
-    for (name, col) in [("input_power (W)", &engine_col), ("gpu0_core_temp (0.1C)", &temp_col)] {
+    for (name, col) in [
+        ("input_power (W)", &engine_col),
+        ("gpu0_core_temp (0.1C)", &temp_col),
+    ] {
         let sz = |f: &dyn Fn(&[i64], &mut bytes::BytesMut)| {
             let mut b = bytes::BytesMut::new();
             f(col, &mut b);
@@ -106,11 +108,8 @@ fn edge_threshold_ablation(scale: f64) {
             .iter()
             .filter(|job| {
                 let series = job_power_series(job, &pm, 10.0);
-                summit_analysis::edges::detect_edges(
-                    &series,
-                    thr * job.record.node_count as f64,
-                )
-                .is_empty()
+                summit_analysis::edges::detect_edges(&series, thr * job.record.node_count as f64)
+                    .is_empty()
             })
             .count();
         t.row(vec![
@@ -129,7 +128,10 @@ fn destaging_ablation() {
     // destaging time constants.
     let mut t = Table::new(
         "ablation 4: cooling destaging time constant",
-        &["stage_down_tau (s)", "overcooling after 4 MW fall (ton-minutes)"],
+        &[
+            "stage_down_tau (s)",
+            "overcooling after 4 MW fall (ton-minutes)",
+        ],
     );
     for tau in [60.0, 120.0, 200.0, 400.0] {
         let cfg = FacilityConfig {

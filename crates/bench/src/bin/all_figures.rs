@@ -14,18 +14,34 @@ fn main() {
     println!(
         "{}",
         table2::run(&if quick {
-            table2::Config { cabinets: 6, duration_s: 60, producers: 4 }
+            table2::Config {
+                cabinets: 6,
+                duration_s: 60,
+                producers: 4,
+            }
         } else {
-            table2::Config { cabinets: 257, duration_s: 300, producers: 16 }
+            table2::Config {
+                cabinets: 257,
+                duration_s: 300,
+                producers: 16,
+            }
         })
         .render()
     );
     println!(
         "{}",
         fig04::run(&if quick {
-            fig04::Config { cabinets: 10, duration_s: 300, busy_fraction: 1.0 }
+            fig04::Config {
+                cabinets: 10,
+                duration_s: 300,
+                busy_fraction: 1.0,
+            }
         } else {
-            fig04::Config { cabinets: 257, duration_s: 3600, busy_fraction: 1.0 }
+            fig04::Config {
+                cabinets: 257,
+                duration_s: 3600,
+                busy_fraction: 1.0,
+            }
         })
         .render()
     );
@@ -45,26 +61,45 @@ fn main() {
     let pop = if quick { 0.005 } else { 0.1 };
     println!(
         "{}",
-        fig06::run(&fig06::Config { population_scale: pop, grid: 48, max_samples: 2000 }).render()
+        fig06::run(&fig06::Config {
+            population_scale: pop,
+            grid: 48,
+            max_samples: 2000
+        })
+        .render()
     );
     println!(
         "{}",
-        fig07::run(&fig07::Config { population_scale: pop.max(0.02) }).render()
+        fig07::run(&fig07::Config {
+            population_scale: pop.max(0.02)
+        })
+        .render()
     );
     for class in [1u8, 2] {
         println!(
             "{}",
-            fig08::run(&fig08::Config { population_scale: pop.max(0.03), class }).render()
+            fig08::run(&fig08::Config {
+                population_scale: pop.max(0.03),
+                class
+            })
+            .render()
         );
     }
     println!(
         "{}",
-        fig09::run(&fig09::Config { population_scale: pop, max_samples: 2000 }).render()
+        fig09::run(&fig09::Config {
+            population_scale: pop,
+            max_samples: 2000
+        })
+        .render()
     );
     println!(
         "{}",
-        fig10::run(&fig10::Config { population_scale: if quick { 0.003 } else { 0.03 }, dt_s: 10.0 })
-            .render()
+        fig10::run(&fig10::Config {
+            population_scale: if quick { 0.003 } else { 0.03 },
+            dt_s: 10.0
+        })
+        .render()
     );
     let burst = if quick {
         fig11::Config {
@@ -80,17 +115,45 @@ fn main() {
     println!("{}", fig11::run(&burst).render());
     println!("{}", fig12::run(&fig12::Config { burst }).render());
     let weeks = if quick { 8.0 } else { 52.3 };
-    println!("{}", table4::run(&table4::Config { weeks, seed: 2020 }).render());
     println!(
         "{}",
-        fig13::run(&fig13::Config { weeks, alpha: 0.05, seed: 2020 }).render()
+        table4::run(&table4::Config { weeks, seed: 2020 }).render()
     );
     println!(
         "{}",
-        fig14::run(&fig14::Config { weeks, top: 15, min_node_hours: 1000.0, seed: 2020 }).render()
+        fig13::run(&fig13::Config {
+            weeks,
+            alpha: 0.05,
+            seed: 2020
+        })
+        .render()
     );
-    println!("{}", fig15::run(&fig15::Config { weeks: weeks.max(16.0), seed: 2020 }).render());
-    println!("{}", fig16::run(&fig16::Config { weeks: weeks.max(16.0), seed: 2020 }).render());
+    println!(
+        "{}",
+        fig14::run(&fig14::Config {
+            weeks,
+            top: 15,
+            min_node_hours: 1000.0,
+            seed: 2020
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        fig15::run(&fig15::Config {
+            weeks: weeks.max(16.0),
+            seed: 2020
+        })
+        .render()
+    );
+    println!(
+        "{}",
+        fig16::run(&fig16::Config {
+            weeks: weeks.max(16.0),
+            seed: 2020
+        })
+        .render()
+    );
     println!(
         "{}",
         fig17::run(&if quick {

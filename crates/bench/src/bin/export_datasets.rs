@@ -53,7 +53,7 @@ fn main() -> std::io::Result<()> {
             ..Default::default()
         });
         ceps.push(out.cep);
-        for f in out.frames.unwrap() {
+        for f in out.frames.unwrap_or_default() {
             frames_by_node[f.node.index()].push(f);
         }
     }
@@ -105,7 +105,9 @@ fn main() -> std::io::Result<()> {
     write("datasetC_job_records.csv", &|w| {
         export::write_job_records(w, &job_records)
     })?;
-    write("dataset8_thermal.csv", &|w| export::write_thermal(w, &thermal))?;
+    write("dataset8_thermal.csv", &|w| {
+        export::write_thermal(w, &thermal)
+    })?;
     write("datasetE_xid_events.csv", &|w| {
         export::write_xid_events(w, &failures)
     })?;

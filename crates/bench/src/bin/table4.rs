@@ -6,7 +6,10 @@ fn main() {
     let f = fidelity();
     header("Table 4 (GPU failure composition)", f);
     let cfg = match f {
-        Fidelity::Quick => table4::Config { weeks: 8.0, seed: 2020 },
+        Fidelity::Quick => table4::Config {
+            weeks: 8.0,
+            seed: 2020,
+        },
         Fidelity::Full => table4::Config::default(),
     };
     println!("{}", table4::run(&cfg).render());

@@ -42,6 +42,7 @@ pub fn header(artifact: &str, fidelity: Fidelity) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -76,9 +76,9 @@ pub fn run(config: &Config) -> EarlyWarningResult {
     let mut true_pos = 0usize;
     let mut leads = Vec::new();
     for w in &warnings {
-        let hit = errors.iter().find(|e| {
-            e.node == w.node && e.time >= w.time && e.time <= w.time + config.horizon_s
-        });
+        let hit = errors
+            .iter()
+            .find(|e| e.node == w.node && e.time >= w.time && e.time <= w.time + config.horizon_s);
         if let Some(e) = hit {
             true_pos += 1;
             leads.push(e.time - w.time);
@@ -125,7 +125,10 @@ impl EarlyWarningResult {
         );
         t.row(vec!["uC warnings".into(), self.warnings.to_string()]);
         t.row(vec!["driver errors".into(), self.driver_errors.to_string()]);
-        t.row(vec!["warnings confirmed (TP)".into(), self.true_positives.to_string()]);
+        t.row(vec![
+            "warnings confirmed (TP)".into(),
+            self.true_positives.to_string(),
+        ]);
         t.row(vec!["alert precision".into(), pct(self.precision)]);
         t.row(vec!["error recall".into(), pct(self.recall)]);
         t.row(vec![
@@ -143,6 +146,7 @@ impl EarlyWarningResult {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> EarlyWarningResult {

@@ -117,7 +117,11 @@ pub fn run(config: &Config) -> Fig05Result {
         chiller_series.push(rec.chiller_tons);
         wet_bulb_series.push(wb);
     }
-    let it_total = Series::new(0.0, config.dt_s, it.values().iter().map(|v| v + infra).collect());
+    let it_total = Series::new(
+        0.0,
+        config.dt_s,
+        it.values().iter().map(|v| v + infra).collect(),
+    );
     let facility_s = Series::new(0.0, config.dt_s, facility_series);
 
     // Weekly summaries.
@@ -136,11 +140,15 @@ pub fn run(config: &Config) -> Fig05Result {
             .collect();
         let chill = &chiller_series[a..b];
         let active = chill.iter().filter(|&&c| c > 25.0).count() as f64 / chill.len() as f64;
+        let (Some(power), Some(pue)) = (BoxStats::compute(p_slice), BoxStats::compute(&pues))
+        else {
+            continue;
+        };
         weeks.push(WeekRow {
             week: w,
-            power: BoxStats::compute(p_slice).expect("non-empty week"),
+            power,
             week_max_power_w: summit_analysis::stats::nanmax(p_slice),
-            pue: BoxStats::compute(&pues).expect("non-empty week"),
+            pue,
             chiller_active_fraction: active,
             mean_wet_bulb_c: summit_analysis::stats::nanmean(&wet_bulb_series[a..b]),
         });
@@ -185,7 +193,14 @@ impl Fig05Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 5: Summit power and PUE trend (weekly, year 2020)",
-            &["week", "P med (MW)", "P max (MW)", "PUE med", "chiller", "wet-bulb C"],
+            &[
+                "week",
+                "P med (MW)",
+                "P max (MW)",
+                "PUE med",
+                "chiller",
+                "wet-bulb C",
+            ],
         );
         for w in &self.weeks {
             t.row(vec![
@@ -222,6 +237,7 @@ impl Fig05Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig05Result {

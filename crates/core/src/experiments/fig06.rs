@@ -91,7 +91,9 @@ pub fn run(config: &Config) -> Fig06Result {
         let step = (pts.len() / config.max_samples).max(1);
         let log_e: Vec<f64> = pts.iter().step_by(step).map(|p| p.0.log10()).collect();
         let log_p: Vec<f64> = pts.iter().step_by(step).map(|p| p.1.log10()).collect();
-        let kde = Kde2d::fit(&log_e, &log_p, Bandwidth::Scott).expect("enough spread");
+        let Some(kde) = Kde2d::fit(&log_e, &log_p, Bandwidth::Scott) else {
+            continue;
+        };
         let grid = kde.grid(config.grid, config.grid);
         let (pe, pp, _) = grid.peak();
         let mode_count = grid.count_modes(0.1);
@@ -138,7 +140,15 @@ impl Fig06Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 6: energy vs max input power density per class",
-            &["class", "jobs", "peak energy", "peak power", "modes", "power range", "energy range"],
+            &[
+                "class",
+                "jobs",
+                "peak energy",
+                "peak power",
+                "modes",
+                "power range",
+                "energy range",
+            ],
         );
         for c in &self.classes {
             t.row(vec![
@@ -147,8 +157,16 @@ impl Fig06Result {
                 joules(c.peak_energy_j),
                 watts(c.peak_power_w),
                 c.mode_count.to_string(),
-                format!("{} - {}", watts(c.power_range_w.0), watts(c.power_range_w.1)),
-                format!("{} - {}", joules(c.energy_range_j.0), joules(c.energy_range_j.1)),
+                format!(
+                    "{} - {}",
+                    watts(c.power_range_w.0),
+                    watts(c.power_range_w.1)
+                ),
+                format!(
+                    "{} - {}",
+                    joules(c.energy_range_j.0),
+                    joules(c.energy_range_j.1)
+                ),
             ]);
         }
         let mut s = t.render();
@@ -160,7 +178,10 @@ impl Fig06Result {
         ));
         // Render the extreme panels as density heatmaps (x: log10 energy,
         // y: log10 max power) — the textual cousins of the contour plots.
-        for c in [self.classes.first(), self.classes.last()].into_iter().flatten() {
+        for c in [self.classes.first(), self.classes.last()]
+            .into_iter()
+            .flatten()
+        {
             s.push_str(&format!(
                 "\nclass {} density (x: log10 J {:.1}-{:.1}, y: log10 W {:.1}-{:.1}):\n",
                 c.class,
@@ -178,7 +199,12 @@ impl Fig06Result {
             let rows: Vec<Vec<f64>> = (0..ny)
                 .step_by(step_y)
                 .rev()
-                .map(|yi| (0..nx).step_by(step_x).map(|xi| c.grid.at(xi, yi)).collect())
+                .map(|yi| {
+                    (0..nx)
+                        .step_by(step_x)
+                        .map(|xi| c.grid.at(xi, yi))
+                        .collect()
+                })
                 .collect();
             s.push_str(&crate::report::heatmap(&rows));
         }
@@ -188,6 +214,7 @@ impl Fig06Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig06Result {

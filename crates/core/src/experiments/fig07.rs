@@ -43,14 +43,24 @@ pub struct FeatureCdf {
 }
 
 impl FeatureCdf {
-    fn from(values: &[f64]) -> Option<Self> {
-        let e = Ecdf::new(values)?;
-        Some(Self {
+    /// All-NaN placeholder used when a class selects no jobs.
+    const EMPTY: Self = Self {
+        p20: f64::NAN,
+        p50: f64::NAN,
+        p80: f64::NAN,
+        max: f64::NAN,
+    };
+
+    fn from(values: &[f64]) -> Self {
+        let Some(e) = Ecdf::new(values) else {
+            return Self::EMPTY;
+        };
+        Self {
             p20: e.percentile(0.2),
             p50: e.percentile(0.5),
             p80: e.percentile(0.8),
             max: e.max(),
-        })
+        }
     }
 }
 
@@ -102,11 +112,11 @@ fn class_cdfs(rows: &[summit_sim::jobstats::JobStatsRow], class: u8) -> ClassCdf
     ClassCdfs {
         class,
         jobs: sel.len(),
-        nodes: FeatureCdf::from(&nodes).expect("jobs present"),
-        walltime_s: FeatureCdf::from(&wall).expect("jobs present"),
-        mean_power_w: FeatureCdf::from(&mean_p).expect("jobs present"),
-        max_power_w: FeatureCdf::from(&max_p).expect("jobs present"),
-        power_diff_w: FeatureCdf::from(&diff).expect("jobs present"),
+        nodes: FeatureCdf::from(&nodes),
+        walltime_s: FeatureCdf::from(&wall),
+        mean_power_w: FeatureCdf::from(&mean_p),
+        max_power_w: FeatureCdf::from(&max_p),
+        power_diff_w: FeatureCdf::from(&diff),
         frac_over_4000_nodes: over4000,
         frac_under_1500_nodes: under1500,
     }
@@ -179,11 +189,23 @@ impl Fig07Result {
         };
         add(
             &self.class1,
-            [">60% over 4000", "~0.72 h", "-", "6.6 MW (max 10.7)", "large variation"],
+            [
+                ">60% over 4000",
+                "~0.72 h",
+                "-",
+                "6.6 MW (max 10.7)",
+                "large variation",
+            ],
         );
         add(
             &self.class2,
-            ["80% under 1500", "~3 h", "-", "1.6 MW (max 5.6)", "smaller variation"],
+            [
+                "80% under 1500",
+                "~3 h",
+                "-",
+                "1.6 MW (max 5.6)",
+                "smaller variation",
+            ],
         );
         let mut s = t.render();
         s.push_str(&format!(
@@ -198,6 +220,7 @@ impl Fig07Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig07Result {
@@ -220,7 +243,10 @@ mod tests {
             (25.0..70.0).contains(&p80_min),
             "class-1 P80 walltime {p80_min} min vs paper ~43"
         );
-        assert!(r.class1.max_power_w.max > 8.0e6, "class-1 peak should approach 10.7 MW");
+        assert!(
+            r.class1.max_power_w.max > 8.0e6,
+            "class-1 peak should approach 10.7 MW"
+        );
     }
 
     #[test]
@@ -231,7 +257,10 @@ mod tests {
             "paper: ~80 % of class-2 jobs under 1,500 nodes"
         );
         let p80_h = r.class2.walltime_s.p80 / 3600.0;
-        assert!((1.5..4.5).contains(&p80_h), "class-2 P80 walltime {p80_h} h vs paper ~3");
+        assert!(
+            (1.5..4.5).contains(&p80_h),
+            "class-2 P80 walltime {p80_h} h vs paper ~3"
+        );
         assert!(
             r.class2.max_power_w.p80 < r.class1.max_power_w.p80,
             "class-2 power sits below class 1"

@@ -69,11 +69,16 @@ pub fn run(config: &Config) -> Fig08Result {
         }
         let power: Vec<f64> = sel.iter().map(|r| r.stats.max_power_w).collect();
         let energy: Vec<f64> = sel.iter().map(|r| r.stats.energy_j).collect();
+        let (Some(max_power), Some(energy)) =
+            (BoxStats::compute(&power), BoxStats::compute(&energy))
+        else {
+            continue;
+        };
         out.push(DomainRow {
             domain,
             jobs: sel.len(),
-            max_power: BoxStats::compute(&power).expect("non-empty"),
-            energy: BoxStats::compute(&energy).expect("non-empty"),
+            max_power,
+            energy,
         });
     }
     // Sort by job count descending (the paper orders axes by traffic).
@@ -88,8 +93,13 @@ impl Fig08Result {
     /// Renders the per-domain boxplot table.
     pub fn render(&self) -> String {
         let mut t = Table::new(
-            format!("Figure 8: class {} power/energy by science domain", self.class),
-            &["domain", "jobs", "maxP q1", "maxP med", "maxP q3", "E med", "E q3"],
+            format!(
+                "Figure 8: class {} power/energy by science domain",
+                self.class
+            ),
+            &[
+                "domain", "jobs", "maxP q1", "maxP med", "maxP q3", "E med", "E q3",
+            ],
         );
         for r in &self.rows {
             t.row(vec![
@@ -113,6 +123,7 @@ impl Fig08Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result(class: u8) -> Fig08Result {
@@ -154,7 +165,10 @@ mod tests {
             .iter()
             .map(|d| d.max_power.max)
             .fold(f64::NEG_INFINITY, f64::max);
-        assert!(peak > 8.0e6, "class-1 domain peaks should approach 10 MW, got {peak}");
+        assert!(
+            peak > 8.0e6,
+            "class-1 domain peaks should approach 10 MW, got {peak}"
+        );
     }
 
     #[test]

@@ -123,7 +123,16 @@ impl Fig09Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 9: per-node CPU vs GPU power density",
-            &["stat", "classes", "jobs", "peak CPU", "peak GPU", "GPU-focused", "CPU-intensive", "both heavy"],
+            &[
+                "stat",
+                "classes",
+                "jobs",
+                "peak CPU",
+                "peak GPU",
+                "GPU-focused",
+                "CPU-intensive",
+                "both heavy",
+            ],
         );
         for p in &self.panels {
             t.row(vec![
@@ -148,6 +157,7 @@ impl Fig09Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig09Result {

@@ -108,8 +108,8 @@ pub fn run(config: &Config) -> Fig10Result {
         })
         .collect();
 
-    let edge_free = per_job.iter().filter(|j| j.edges.is_empty()).count() as f64
-        / per_job.len().max(1) as f64;
+    let edge_free =
+        per_job.iter().filter(|j| j.edges.is_empty()).count() as f64 / per_job.len().max(1) as f64;
 
     let mut classes = Vec::new();
     for class in 1..=5u8 {
@@ -162,8 +162,15 @@ impl Fig10Result {
         let mut t = Table::new(
             "Figure 10: power dynamics per class",
             &[
-                "class", "jobs", "w/ edges", "edges p50", "edges p95",
-                "dur p50 (min)", "dur p95 (min)", "freq p50 (Hz)", "near 200 s",
+                "class",
+                "jobs",
+                "w/ edges",
+                "edges p50",
+                "edges p95",
+                "dur p50 (min)",
+                "dur p95 (min)",
+                "freq p50 (Hz)",
+                "near 200 s",
             ],
         );
         for c in &self.classes {
@@ -192,6 +199,7 @@ impl Fig10Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig10Result {

@@ -137,8 +137,7 @@ pub fn run(config: &Config) -> Fig11Result {
                     .min_by(|a, b| {
                         (*a * 1e6 - e.amplitude())
                             .abs()
-                            .partial_cmp(&(*b * 1e6 - e.amplitude()).abs())
-                            .expect("finite")
+                            .total_cmp(&(*b * 1e6 - e.amplitude()).abs())
                     })
                     .copied()
                     .unwrap_or(mw);
@@ -191,7 +190,13 @@ impl Fig11Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 11: rising-edge snapshots per amplitude class",
-            &["class", "snapshots", "rise in 60 s", "power-PUE r", "PUE dip"],
+            &[
+                "class",
+                "snapshots",
+                "rise in 60 s",
+                "power-PUE r",
+                "PUE dip",
+            ],
         );
         for c in &self.classes {
             let dip = c.pue.mean_at(-40.0) - c.pue.mean_at(120.0);
@@ -218,6 +223,7 @@ impl Fig11Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig11Result {

@@ -77,11 +77,7 @@ pub struct Fig12Result {
     pub cpu_swing_c: f64,
 }
 
-fn panel(
-    run: &crate::pipeline::DynamicsRun,
-    times: &[f64],
-    kind: EdgeKind,
-) -> ResponsePanel {
+fn panel(run: &crate::pipeline::DynamicsRun, times: &[f64], kind: EdgeKind) -> ResponsePanel {
     let before = 60.0;
     let after = 240.0;
     let conf = 0.95;
@@ -135,10 +131,8 @@ pub fn run(config: &Config) -> Fig12Result {
 
     // Swing measured at the in-burst peak: the paper notes GPU maximums
     // keep rising after the edge while the burst holds.
-    let gpu_swing =
-        rising.gpu_temp_mean.peak_in(0.0, 235.0) - rising.gpu_temp_mean.mean_at(-30.0);
-    let cpu_swing =
-        rising.cpu_temp_mean.peak_in(0.0, 235.0) - rising.cpu_temp_mean.mean_at(-30.0);
+    let gpu_swing = rising.gpu_temp_mean.peak_in(0.0, 235.0) - rising.gpu_temp_mean.mean_at(-30.0);
+    let cpu_swing = rising.cpu_temp_mean.peak_in(0.0, 235.0) - rising.cpu_temp_mean.mean_at(-30.0);
 
     Fig12Result {
         rising,
@@ -154,7 +148,13 @@ impl Fig12Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 12: thermal response around rising/falling edges",
-            &["observable", "rising: -30s", "rising: +180s", "falling: -30s", "falling: +180s"],
+            &[
+                "observable",
+                "rising: -30s",
+                "rising: +180s",
+                "falling: -30s",
+                "falling: +180s",
+            ],
         );
         let mut row = |name: &str, r: &Superposition, f: &Superposition, unit: &str| {
             t.row(vec![
@@ -236,6 +236,7 @@ fn scale(sp: &Superposition, k: f64) -> Superposition {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig12Result {
@@ -283,9 +284,11 @@ mod tests {
     #[test]
     fn mtw_return_rises_with_load() {
         let r = result();
-        let rise =
-            r.rising.mtw_return.mean_at(200.0) - r.rising.mtw_return.mean_at(-30.0);
-        assert!(rise > 0.0, "return water must warm after a rising edge: {rise}");
+        let rise = r.rising.mtw_return.mean_at(200.0) - r.rising.mtw_return.mean_at(-30.0);
+        assert!(
+            rise > 0.0,
+            "return water must warm after a rising edge: {rise}"
+        );
     }
 
     #[test]

@@ -122,6 +122,7 @@ impl Fig13Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use XidErrorKind::*;
 

@@ -86,8 +86,12 @@ pub fn run(config: &Config) -> Fig14Result {
 
     let mut all_counts: HashMap<String, Vec<u64>> = HashMap::new();
     for e in &events {
-        let Some(alloc) = e.allocation_id else { continue };
-        let Some(project) = by_alloc.get(&alloc.0) else { continue };
+        let Some(alloc) = e.allocation_id else {
+            continue;
+        };
+        let Some(project) = by_alloc.get(&alloc.0) else {
+            continue;
+        };
         all_counts
             .entry(project.clone())
             .or_insert_with(|| vec![0u64; 16])[e.kind.index()] += 1;
@@ -126,8 +130,7 @@ pub fn run(config: &Config) -> Fig14Result {
             .collect();
         rows.sort_by(|a, b| {
             b.failures_per_node_hour
-                .partial_cmp(&a.failures_per_node_hour)
-                .expect("finite rates")
+                .total_cmp(&a.failures_per_node_hour)
         });
         rows.truncate(config.top);
         rows
@@ -141,11 +144,10 @@ pub fn run(config: &Config) -> Fig14Result {
         .iter()
         .filter_map(|(p, ks)| {
             let nh = node_hours.get(p).copied().unwrap_or(0.0);
-            (nh >= config.min_node_hours)
-                .then(|| ks.iter().sum::<u64>() as f64 / nh)
+            (nh >= config.min_node_hours).then(|| ks.iter().sum::<u64>() as f64 / nh)
         })
         .collect();
-    rates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    rates.sort_by(|a, b| a.total_cmp(b));
     let top_to_median_ratio = if rates.len() >= 3 {
         rates[rates.len() - 1] / summit_analysis::stats::median(&rates).max(1e-12)
     } else {
@@ -164,7 +166,10 @@ impl Fig14Result {
     pub fn render(&self) -> String {
         let mut s = String::new();
         for (title, rows) in [
-            ("Figure 14a: all failures per node-hour, top projects", &self.all_failures),
+            (
+                "Figure 14a: all failures per node-hour, top projects",
+                &self.all_failures,
+            ),
             (
                 "Figure 14b: hardware failures per node-hour, top projects",
                 &self.hardware_failures,
@@ -199,6 +204,7 @@ impl Fig14Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig14Result {

@@ -85,8 +85,8 @@ pub fn run(config: &Config) -> Fig15Result {
             continue;
         };
         let max_temp = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        let over60 = temps.iter().filter(|&&t| t >= 60.0).count() as f64
-            / temps.len().max(1) as f64;
+        let over60 =
+            temps.iter().filter(|&&t| t >= 60.0).count() as f64 / temps.len().max(1) as f64;
         kinds.push(KindThermal {
             kind,
             events: sel.len(),
@@ -112,7 +112,15 @@ impl Fig15Result {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Figure 15: thermal extremity of GPU failures",
-            &["kind", "events", "mean z", "skew", "label", "max temp C", ">=60C"],
+            &[
+                "kind",
+                "events",
+                "mean z",
+                "skew",
+                "label",
+                "max temp C",
+                ">=60C",
+            ],
         );
         for k in &self.kinds {
             t.row(vec![
@@ -139,6 +147,7 @@ impl Fig15Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use XidErrorKind::*;
 
@@ -171,7 +180,11 @@ mod tests {
     #[test]
     fn cold_start_kinds_right_skewed() {
         let r = result();
-        for kind in [DoubleBitError, FallenOffTheBus, InternalMicrocontrollerWarning] {
+        for kind in [
+            DoubleBitError,
+            FallenOffTheBus,
+            InternalMicrocontrollerWarning,
+        ] {
             if let Some(k) = r.kind(kind) {
                 assert!(
                     k.z.skewness > 0.2,

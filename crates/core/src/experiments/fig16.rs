@@ -126,6 +126,7 @@ impl Fig16Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use XidErrorKind::*;
 

@@ -111,7 +111,7 @@ pub fn run(config: &Config) -> Fig17Result {
     engine_cfg.missing_cabinet = config.missing_cabinet.map(CabinetId);
     let mut engine = Engine::new(engine_cfg, 0.0);
     let node_count = engine.topology().node_count();
-    let job_nodes = (node_count as u32).min(4608);
+    let job_nodes = (node_count as u32).min(summit_sim::spec::MAX_JOB_NODES);
 
     // The exemplar job: near-full GPU utilization, tiny variability.
     let job_start = 120.0;
@@ -184,12 +184,7 @@ pub fn run(config: &Config) -> Fig17Result {
     for &ti in &instants {
         let Some((_, pw, tc)) = raw_samples
             .iter()
-            .min_by(|a, b| {
-                (a.0 - ti)
-                    .abs()
-                    .partial_cmp(&(b.0 - ti).abs())
-                    .expect("finite")
-            })
+            .min_by(|a, b| (a.0 - ti).abs().total_cmp(&(b.0 - ti).abs()))
             .cloned()
         else {
             continue;
@@ -221,35 +216,27 @@ pub fn run(config: &Config) -> Fig17Result {
         });
     }
 
-    // Peak-instant spreads.
-    let peak_sample = samples
+    // Peak-instant spreads (NaN/empty if no samples were collected).
+    let (peak_power_spread, peak_temp_spread) = samples
         .iter()
-        .min_by(|a, b| {
-            (a.t - plateau_t)
-                .abs()
-                .partial_cmp(&(b.t - plateau_t).abs())
-                .expect("finite")
-        })
-        .expect("samples collected");
-    let peak_power_spread = peak_sample.power.non_outlier_spread();
-    let peak_temp_spread = peak_sample.temp.non_outlier_spread();
+        .min_by(|a, b| (a.t - plateau_t).abs().total_cmp(&(b.t - plateau_t).abs()))
+        .map_or((f64::NAN, f64::NAN), |s| {
+            (s.power.non_outlier_spread(), s.temp.non_outlier_spread())
+        });
     let peak_raw = raw_samples
         .iter()
-        .min_by(|a, b| {
-            (a.0 - plateau_t)
-                .abs()
-                .partial_cmp(&(b.0 - plateau_t).abs())
-                .expect("finite")
-        })
-        .expect("samples collected");
+        .min_by(|a, b| (a.0 - plateau_t).abs().total_cmp(&(b.0 - plateau_t).abs()));
     let temps: Vec<f64> = peak_raw
-        .2
-        .iter()
-        .map(|&v| v as f64)
-        .filter(|v| v.is_finite())
-        .collect();
-    let frac_over_60 = temps.iter().filter(|&&t| t > 60.0).count() as f64
-        / temps.len().max(1) as f64;
+        .map(|raw| {
+            raw.2
+                .iter()
+                .map(|&v| v as f64)
+                .filter(|v| v.is_finite())
+                .collect()
+        })
+        .unwrap_or_default();
+    let frac_over_60 =
+        temps.iter().filter(|&&t| t > 60.0).count() as f64 / temps.len().max(1) as f64;
 
     // Transition time: from job start to 90 % of the plateau power.
     let idle_p = power_series[60];
@@ -273,12 +260,15 @@ pub fn run(config: &Config) -> Fig17Result {
     };
 
     let peak_scatter: Vec<(f32, f32)> = peak_raw
-        .1
-        .iter()
-        .zip(&peak_raw.2)
-        .filter(|(p, t)| p.is_finite() && t.is_finite())
-        .map(|(&p, &t)| (p, t))
-        .collect();
+        .map(|raw| {
+            raw.1
+                .iter()
+                .zip(&raw.2)
+                .filter(|(p, t)| p.is_finite() && t.is_finite())
+                .map(|(&p, &t)| (p, t))
+                .collect()
+        })
+        .unwrap_or_default();
 
     Fig17Result {
         peak_scatter,
@@ -301,7 +291,14 @@ impl Fig17Result {
                 "Figure 17: GPU variability during a {}-node compute-intense job",
                 self.job_nodes
             ),
-            &["t (s)", "P med (W)", "P q1-q3", "T med (C)", "T q1-q3", "P-T r"],
+            &[
+                "t (s)",
+                "P med (W)",
+                "P q1-q3",
+                "T med (C)",
+                "T q1-q3",
+                "P-T r",
+            ],
         );
         // Thin the play-by-play to ~12 rows.
         let step = (self.samples.len() / 12).max(1);
@@ -362,7 +359,10 @@ per-GPU power ({x_lo:.0}-{x_hi:.0} W) vs core temp ({y_lo:.1}-{y_hi:.1} C) at pe
                 .flatten()
                 .any(|v| v.is_finite() && *v > 30.0)
         }) {
-            out.push_str(&format!("\nfloor mean-GPU-temp heatmap at t={:.0}s ('·' = no data):\n", snap.t));
+            out.push_str(&format!(
+                "\nfloor mean-GPU-temp heatmap at t={:.0}s ('·' = no data):\n",
+                snap.t
+            ));
             out.push_str(&heatmap(&snap.mean_grid));
         }
         out
@@ -371,6 +371,7 @@ per-GPU power ({x_lo:.0}-{x_hi:.0} W) vs core temp ({y_lo:.1}-{y_hi:.1} C) at pe
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> Fig17Result {
@@ -467,6 +468,9 @@ mod tests {
         let med_p: Vec<f64> = r.samples.iter().map(|s| s.power.median).collect();
         let med_t: Vec<f64> = r.samples.iter().map(|s| s.temp.median).collect();
         let rr = pearson(&med_p, &med_t);
-        assert!(rr > 0.8, "median temp must track median power over time, r={rr}");
+        assert!(
+            rr > 0.8,
+            "median temp must track median power over time, r={rr}"
+        );
     }
 }

@@ -23,6 +23,6 @@ pub mod fig16;
 pub mod fig17;
 pub mod power_aware;
 pub mod table2;
-pub mod titan_contrast;
 pub mod table4;
 pub mod tables;
+pub mod titan_contrast;

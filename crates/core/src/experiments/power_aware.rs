@@ -51,9 +51,11 @@ pub struct CapOutcome {
     pub completed: usize,
     /// Jobs still queued at the end (starved by the cap).
     pub unfinished: usize,
-    /// Mean queue wait (s).
+    /// Mean queue wait (s). Jobs never admitted within the horizon are
+    /// censored at the horizon, so starvation under tight caps shows up
+    /// here instead of silently dropping out of the average.
     pub mean_wait_s: f64,
-    /// 95th percentile queue wait (s).
+    /// 95th percentile queue wait (s), censored like `mean_wait_s`.
     pub p95_wait_s: f64,
     /// Node-hours delivered.
     pub node_hours: f64,
@@ -92,7 +94,7 @@ fn simulate_cap(rows: &[JobStatsRow], cap_w: f64, dt: f64, horizon_s: f64) -> Ca
                 .max(0.0),
         })
         .collect();
-    queue.sort_by(|a, b| a.arrival.partial_cmp(&b.arrival).expect("finite"));
+    queue.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
 
     let mut running: Vec<Running> = Vec::new();
     let mut free_nodes = total_nodes;
@@ -153,10 +155,18 @@ fn simulate_cap(rows: &[JobStatsRow], cap_w: f64, dt: f64, horizon_s: f64) -> Ca
         powers.push(power);
     }
 
-    powers.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    // Censor jobs that never started: their wait is at least the time
+    // from arrival to the end of the horizon. Without this, a tight cap
+    // that starves its most power-hungry jobs would *lower* the mean
+    // wait by excluding them.
+    for p in &waiting {
+        waits.push((horizon_s - p.arrival).max(0.0));
+    }
+
+    powers.sort_by(|a, b| a.total_cmp(b));
     let p99 = powers[(powers.len() as f64 * 0.99) as usize - 1];
     let mut sorted_waits = waits.clone();
-    sorted_waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    sorted_waits.sort_by(|a, b| a.total_cmp(b));
     let mean_wait = if waits.is_empty() {
         f64::NAN
     } else {
@@ -207,7 +217,16 @@ impl PowerAwareResult {
     pub fn render(&self) -> String {
         let mut t = Table::new(
             "Power-aware admission: peak shed vs queue wait",
-            &["cap", "peak", "p99", "mean", "completed", "starved", "mean wait", "p95 wait"],
+            &[
+                "cap",
+                "peak",
+                "p99",
+                "mean",
+                "completed",
+                "starved",
+                "mean wait",
+                "p95 wait",
+            ],
         );
         let uncapped = self.outcomes.first();
         for o in &self.outcomes {
@@ -231,7 +250,8 @@ impl PowerAwareResult {
             // The tightest cap that costs under ten minutes of mean wait.
             if let Some(knee) = self
                 .outcomes
-                .iter().rfind(|o| o.cap_w.is_finite() && o.mean_wait_s < base.mean_wait_s + 600.0)
+                .iter()
+                .rfind(|o| o.cap_w.is_finite() && o.mean_wait_s < base.mean_wait_s + 600.0)
             {
                 s.push_str(&format!(
                     "\nknee: capping at {} sheds {} of peak for <10 min extra mean wait\n",
@@ -250,6 +270,7 @@ impl PowerAwareResult {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> PowerAwareResult {

@@ -88,7 +88,7 @@ pub fn run(config: &Config) -> Table2Result {
                 frames: true,
                 ..Default::default()
             });
-            for f in out.frames.unwrap() {
+            for f in out.frames.unwrap_or_default() {
                 frames_by_node[f.node.index()].push(f);
             }
         }
@@ -102,7 +102,7 @@ pub fn run(config: &Config) -> Table2Result {
             by_node[f.node.index()].push(f);
         }
         for (n, mut frames) in by_node.into_iter().enumerate() {
-            frames.sort_by(|a, b| a.t_sample.partial_cmp(&b.t_sample).expect("finite"));
+            frames.sort_by(|a, b| a.t_sample.total_cmp(&b.t_sample));
             store.archive_partition(NodeId(n as u32), &frames);
             let mut agg = summit_telemetry::window::WindowAggregator::paper(NodeId(n as u32));
             for f in &frames {
@@ -162,11 +162,7 @@ impl Table2Result {
             "Table 2 (stream a): per-node OpenBMC telemetry",
             &["quantity", "measured", "paper"],
         );
-        t.row(vec![
-            "sample interval".into(),
-            "1 s".into(),
-            "1 s".into(),
-        ]);
+        t.row(vec!["sample interval".into(), "1 s".into(), "1 s".into()]);
         t.row(vec![
             format!("window frames ({} nodes, {} s)", self.nodes, self.window_s),
             eng(self.frames as f64),
@@ -213,6 +209,7 @@ impl Table2Result {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -10,7 +10,10 @@ use summit_sim::spec;
 pub fn render_table1() -> String {
     let mut t = Table::new("Table 1: Summit system specification", &["item", "value"]);
     let rows: Vec<(&str, String)> = vec![
-        ("Nodes", format!("{} IBM AC922 8335-GTX nodes", spec::TOTAL_NODES)),
+        (
+            "Nodes",
+            format!("{} IBM AC922 8335-GTX nodes", spec::TOTAL_NODES),
+        ),
         (
             "Cabinets",
             format!(
@@ -33,7 +36,10 @@ pub fn render_table1() -> String {
                 spec::MTW_RETURN_MAX_C
             ),
         ),
-        ("Processor", "2 x IBM Power9 22C, direct water-cooled".into()),
+        (
+            "Processor",
+            "2 x IBM Power9 22C, direct water-cooled".into(),
+        ),
         ("GPU", "6 x NVIDIA Volta V100, direct water-cooled".into()),
         (
             "Node max power",
@@ -76,6 +82,7 @@ pub fn render_table3() -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -154,6 +154,7 @@ impl TitanContrastResult {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn result() -> TitanContrastResult {

@@ -11,10 +11,10 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
 use summit_sim::apps::{domain_character, project_failure_multiplier};
 use summit_sim::jobs::SyntheticJob;
 use summit_telemetry::records::XidEvent;
-use std::collections::HashSet;
 
 /// Number of model features (plus intercept handled internally).
 pub const FEATURES: usize = 6;
@@ -135,8 +135,7 @@ impl LogisticModel {
                 w[f] -= learning_rate * grad_w[f];
             }
             b -= learning_rate * grad_b;
-            let new_loss =
-                nll / n + 0.5 * l2 * w.iter().map(|wi| wi * wi).sum::<f64>();
+            let new_loss = nll / n + 0.5 * l2 * w.iter().map(|wi| wi * wi).sum::<f64>();
             if (loss - new_loss).abs() < 1e-9 {
                 loss = new_loss;
                 break;
@@ -179,7 +178,7 @@ impl LogisticModel {
 pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
     assert_eq!(scores.len(), labels.len());
     let mut pairs: Vec<(f64, bool)> = scores.iter().copied().zip(labels.iter().copied()).collect();
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
     let n_pos = labels.iter().filter(|&&l| l).count() as f64;
     let n_neg = labels.len() as f64 - n_pos;
     if n_pos == 0.0 || n_neg == 0.0 {
@@ -248,8 +247,7 @@ pub fn evaluate<R: Rng + ?Sized>(
         .zip(test_labels)
         .filter(|(s, &l)| (**s >= 0.5) == l)
         .count();
-    let prevalence =
-        test_labels.iter().filter(|&&l| l).count() as f64 / test_labels.len() as f64;
+    let prevalence = test_labels.iter().filter(|&&l| l).count() as f64 / test_labels.len() as f64;
 
     FailurePredictionReport {
         train_jobs: split,
@@ -268,10 +266,19 @@ impl FailurePredictionReport {
             "GPU failure prediction from queue-time features (related work [23])",
             &["quantity", "value"],
         );
-        t.row(vec!["train / test jobs".into(), format!("{} / {}", self.train_jobs, self.test_jobs)]);
-        t.row(vec!["failure prevalence".into(), crate::report::pct(self.prevalence)]);
+        t.row(vec![
+            "train / test jobs".into(),
+            format!("{} / {}", self.train_jobs, self.test_jobs),
+        ]);
+        t.row(vec![
+            "failure prevalence".into(),
+            crate::report::pct(self.prevalence),
+        ]);
         t.row(vec!["ROC AUC".into(), format!("{:.3}", self.auc)]);
-        t.row(vec!["accuracy @ 0.5".into(), crate::report::pct(self.accuracy_at_half)]);
+        t.row(vec![
+            "accuracy @ 0.5".into(),
+            crate::report::pct(self.accuracy_at_half),
+        ]);
         let names = [
             "ln(node-hours)",
             "ln(nodes)",
@@ -289,6 +296,7 @@ impl FailurePredictionReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

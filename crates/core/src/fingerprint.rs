@@ -16,12 +16,12 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use summit_analysis::edges::detect_edges_for_job;
 use summit_analysis::fft::dominant_component;
 use summit_sim::jobs::SyntheticJob;
 use summit_sim::jobstats::job_power_series;
 use summit_sim::power::PowerModel;
-use std::collections::HashMap;
 
 /// Number of fingerprint features.
 pub const FEATURES: usize = 8;
@@ -187,11 +187,9 @@ impl KMeans {
             for (i, x) in data.iter().enumerate() {
                 let best = (0..k)
                     .min_by(|&a, &b| {
-                        sq_dist(x, &centroids[a])
-                            .partial_cmp(&sq_dist(x, &centroids[b]))
-                            .expect("finite")
+                        sq_dist(x, &centroids[a]).total_cmp(&sq_dist(x, &centroids[b]))
                     })
-                    .expect("k > 0");
+                    .unwrap_or(0);
                 if assignment[i] != best {
                     assignment[i] = best;
                     changed = true;
@@ -230,15 +228,14 @@ impl KMeans {
         }
     }
 
-    /// Index of the nearest centroid.
+    /// Index of the nearest centroid (0 for a degenerate centroid-free
+    /// model, which the constructor prevents).
     pub fn assign(&self, x: &[f64; FEATURES]) -> usize {
         (0..self.centroids.len())
             .min_by(|&a, &b| {
-                sq_dist(x, &self.centroids[a])
-                    .partial_cmp(&sq_dist(x, &self.centroids[b]))
-                    .expect("finite")
+                sq_dist(x, &self.centroids[a]).total_cmp(&sq_dist(x, &self.centroids[b]))
             })
-            .expect("at least one centroid")
+            .unwrap_or(0)
     }
 }
 
@@ -283,8 +280,7 @@ impl PortraitModel {
         assert!(!jobs.is_empty(), "training set must not be empty");
         let raw: Vec<[f64; FEATURES]> = prints.iter().map(|p| p.to_vec()).collect();
         let normalizer = Normalizer::fit(&raw);
-        let normalized: Vec<[f64; FEATURES]> =
-            raw.iter().map(|x| normalizer.apply(x)).collect();
+        let normalized: Vec<[f64; FEATURES]> = raw.iter().map(|x| normalizer.apply(x)).collect();
         let kmeans = KMeans::fit(rng, &normalized, k.min(jobs.len()), 50);
 
         let mut acc: HashMap<String, (usize, f64, f64, Vec<usize>)> = HashMap::new();
@@ -323,10 +319,8 @@ impl PortraitModel {
             })
             .collect();
 
-        let global_mean =
-            prints.iter().map(|p| p.mean_node_w).sum::<f64>() / prints.len() as f64;
-        let global_max =
-            prints.iter().map(|p| p.max_node_w).sum::<f64>() / prints.len() as f64;
+        let global_mean = prints.iter().map(|p| p.mean_node_w).sum::<f64>() / prints.len() as f64;
+        let global_max = prints.iter().map(|p| p.max_node_w).sum::<f64>() / prints.len() as f64;
         Self {
             portraits,
             global_mean_node_w: global_mean,
@@ -421,10 +415,7 @@ pub fn evaluate<R: Rng + ?Sized>(
 ) -> PredictionReport {
     assert!(jobs.len() >= 20, "need a meaningful population");
     use rayon::prelude::*;
-    let prints: Vec<Fingerprint> = jobs
-        .par_iter()
-        .map(|j| extract(j, power_model))
-        .collect();
+    let prints: Vec<Fingerprint> = jobs.par_iter().map(|j| extract(j, power_model)).collect();
 
     let split = jobs.len() * 7 / 10;
     let train_jobs: Vec<&SyntheticJob> = jobs[..split].iter().collect();
@@ -495,6 +486,7 @@ impl PredictionReport {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -554,8 +546,7 @@ mod tests {
     #[test]
     fn kmeans_inertia_decreases_with_k() {
         let (jobs, pm) = population(150);
-        let raw: Vec<[f64; FEATURES]> =
-            jobs.iter().map(|j| extract(j, &pm).to_vec()).collect();
+        let raw: Vec<[f64; FEATURES]> = jobs.iter().map(|j| extract(j, &pm).to_vec()).collect();
         let norm = Normalizer::fit(&raw);
         let data: Vec<[f64; FEATURES]> = raw.iter().map(|x| norm.apply(x)).collect();
         let mut rng = StdRng::seed_from_u64(2);

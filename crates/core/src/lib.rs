@@ -50,10 +50,12 @@ pub(crate) fn weighted_pick<R: rand::Rng + ?Sized>(rng: &mut R, weights: &[f64])
 /// Convenient re-exports.
 pub mod prelude {
     pub use crate::experiments;
+    pub use crate::fingerprint::{
+        evaluate as evaluate_fingerprints, extract, Fingerprint, KMeans, PortraitModel,
+    };
     pub use crate::pipeline::{
         cluster_power_sweep, quick_dynamics, run_burst_schedule, summer_t0, Burst, DynamicsRun,
         PopulationScenario,
     };
-    pub use crate::fingerprint::{evaluate as evaluate_fingerprints, extract, Fingerprint, KMeans, PortraitModel};
     pub use crate::report::{bar, eng, heatmap, joules, pct, sparkline, watts, Table};
 }

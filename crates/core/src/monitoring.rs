@@ -128,7 +128,10 @@ impl OpsConsole {
             self.alerts.push(Alert {
                 kind: AlertKind::GpuOverTemp,
                 t: tick.t,
-                detail: format!("max GPU core {:.1} C > {:.1} C", tick.gpu_temp_max_c, th.gpu_hot_c),
+                detail: format!(
+                    "max GPU core {:.1} C > {:.1} C",
+                    tick.gpu_temp_max_c, th.gpu_hot_c
+                ),
             });
         }
         let pue = tick.cep.pue();
@@ -249,7 +252,10 @@ impl OpsConsole {
         ]);
         t.row(vec![
             "jobs".into(),
-            format!("{} running / {} busy nodes", last.running_jobs, last.busy_nodes),
+            format!(
+                "{} running / {} busy nodes",
+                last.running_jobs, last.busy_nodes
+            ),
             String::new(),
         ]);
         let mut s = t.render();
@@ -267,16 +273,11 @@ impl OpsConsole {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use summit_sim::engine::{Engine, EngineConfig};
 
-    fn tick_with(
-        t: f64,
-        power: f64,
-        sensor: f64,
-        gpu_max: f64,
-        pue_fac: f64,
-    ) -> TickOutput {
+    fn tick_with(t: f64, power: f64, sensor: f64, gpu_max: f64, pue_fac: f64) -> TickOutput {
         let mut engine = Engine::new(EngineConfig::small(1), t);
         let mut tick = engine.step();
         tick.t = t;
@@ -313,7 +314,10 @@ mod tests {
     fn pue_alert() {
         let mut console = OpsConsole::with_defaults();
         console.observe(&tick_with(0.0, 1e5, 0.97e5, 40.0, 1.5));
-        assert!(console.alerts().iter().any(|a| a.kind == AlertKind::PueHigh));
+        assert!(console
+            .alerts()
+            .iter()
+            .any(|a| a.kind == AlertKind::PueHigh));
     }
 
     #[test]

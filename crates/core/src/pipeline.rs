@@ -62,12 +62,7 @@ impl PopulationScenario {
 /// event sweep: each active job contributes its mean power above idle;
 /// the total is floored at system idle and capped at compute capacity.
 /// This is the coarse path behind the Figure 5 yearly trend.
-pub fn cluster_power_sweep(
-    rows: &[JobStatsRow],
-    t0: f64,
-    t1: f64,
-    dt: f64,
-) -> Series {
+pub fn cluster_power_sweep(rows: &[JobStatsRow], t0: f64, t1: f64, dt: f64) -> Series {
     assert!(t1 > t0 && dt > 0.0);
     let idle_w = spec::SYSTEM_IDLE_POWER_W;
     let cap_w = spec::TOTAL_NODES as f64 * spec::NODE_MAX_POWER_W;
@@ -82,7 +77,7 @@ pub fn cluster_power_sweep(
         events.push((r.job.record.begin_time, above_idle));
         events.push((r.job.record.end_time, -above_idle));
     }
-    events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    events.sort_by(|a, b| a.0.total_cmp(&b.0));
 
     let mut values = vec![0.0f64; n];
     let mut level = 0.0;
@@ -260,6 +255,7 @@ pub fn run_detailed(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -305,7 +301,11 @@ mod tests {
         );
         // Thermal and facility series come along.
         assert_eq!(run.pue_series().len(), p.len());
-        assert!(run.gpu_temp_max_series().values().iter().any(|v| v.is_finite()));
+        assert!(run
+            .gpu_temp_max_series()
+            .values()
+            .iter()
+            .any(|v| v.is_finite()));
     }
 
     #[test]

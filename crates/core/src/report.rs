@@ -183,7 +183,10 @@ pub fn heatmap(grid: &[Vec<f64>]) -> String {
         }
         out.push('\n');
     }
-    out.push_str(&format!("scale: {} = {:.1} .. {} = {:.1}\n", RAMP[0], lo, RAMP[9], hi));
+    out.push_str(&format!(
+        "scale: {} = {:.1} .. {} = {:.1}\n",
+        RAMP[0], lo, RAMP[9], hi
+    ));
     out
 }
 
@@ -197,6 +200,7 @@ pub fn pct(fraction: f64) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

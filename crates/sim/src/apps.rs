@@ -257,6 +257,7 @@ pub fn sample_profile<R: Rng + ?Sized>(rng: &mut R, domain: ScienceDomain) -> Ap
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -172,8 +172,8 @@ impl Engine {
         let power_model = PowerModel::new(config.seed);
         let thermal_model = ThermalModel::new(config.seed);
         let weather = Weather::oak_ridge(config.seed);
-        let idle_estimate = node_count as f64 * crate::spec::NODE_IDLE_POWER_W
-            + config.infrastructure_it_w;
+        let idle_estimate =
+            node_count as f64 * crate::spec::NODE_IDLE_POWER_W + config.infrastructure_it_w;
         let facility = Facility::new(config.facility, idle_estimate);
         let supply = crate::spec::MTW_SUPPLY_NOMINAL_C;
         Self {
@@ -363,7 +363,11 @@ impl Engine {
             for (i, r) in results.iter().enumerate() {
                 let missing = self.cabinet_missing(NodeId(i as u32));
                 for s in 0..6 {
-                    pw.push(if missing { f32::NAN } else { r.gpu_power[s] as f32 });
+                    pw.push(if missing {
+                        f32::NAN
+                    } else {
+                        r.gpu_power[s] as f32
+                    });
                     tc.push(if missing || !temps_ok {
                         f32::NAN
                     } else {
@@ -430,10 +434,7 @@ impl Engine {
             f.set(catalog::gpu_power(g), r.gpu_power[g.index()]);
             if temps_ok {
                 f.set(catalog::gpu_core_temp(g), r.gpu_temp[g.index()]);
-                f.set(
-                    catalog::gpu_mem_temp(g),
-                    r.thermals.gpu_mem_c[g.index()],
-                );
+                f.set(catalog::gpu_mem_temp(g), r.thermals.gpu_mem_c[g.index()]);
             }
         }
         if temps_ok {
@@ -457,6 +458,7 @@ pub fn full_floor_nodes() -> usize {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::jobs::JobGenerator;
     use rand::rngs::StdRng;

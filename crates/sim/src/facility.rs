@@ -96,8 +96,7 @@ pub struct Facility {
 impl Facility {
     /// Creates the facility at thermal equilibrium with a given idle load.
     pub fn new(config: FacilityConfig, initial_it_w: f64) -> Self {
-        let return_c =
-            MTW_SUPPLY_NOMINAL_C + initial_it_w / (config.mtw_flow_kg_s * WATER_CP);
+        let return_c = MTW_SUPPLY_NOMINAL_C + initial_it_w / (config.mtw_flow_kg_s * WATER_CP);
         Self {
             config,
             return_c,
@@ -158,9 +157,7 @@ impl Facility {
         self.chiller_share += a_share * (share_target - self.chiller_share);
 
         // Total cooling duty follows the (lagged) return temperature.
-        let cooling_target = (self.return_c - MTW_SUPPLY_NOMINAL_C)
-            * cfg.mtw_flow_kg_s
-            * WATER_CP;
+        let cooling_target = (self.return_c - MTW_SUPPLY_NOMINAL_C) * cfg.mtw_flow_kg_s * WATER_CP;
         let tau_cool = if cooling_target > self.cooling_w {
             cfg.stage_up_tau_s
         } else {
@@ -182,9 +179,10 @@ impl Facility {
         // Supply temperature: nominal, drifting up slightly when cooling
         // lags the heat load (bounded by the paper's 64-71 °F band).
         let deficit = (heat_w - self.cooling_w).max(0.0);
-        let supply_c = (MTW_SUPPLY_NOMINAL_C
-            + deficit / (cfg.mtw_flow_kg_s * WATER_CP))
-            .clamp(crate::spec::MTW_SUPPLY_MIN_C, crate::spec::MTW_SUPPLY_MAX_C + 1.0);
+        let supply_c = (MTW_SUPPLY_NOMINAL_C + deficit / (cfg.mtw_flow_kg_s * WATER_CP)).clamp(
+            crate::spec::MTW_SUPPLY_MIN_C,
+            crate::spec::MTW_SUPPLY_MAX_C + 1.0,
+        );
 
         CepRecord {
             time: t,
@@ -201,6 +199,7 @@ impl Facility {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn settle(fac: &mut Facility, t0: f64, it_w: f64, wb: f64, steps: usize) -> CepRecord {
@@ -283,7 +282,10 @@ mod tests {
         // After ~5 minutes it should have mostly caught up.
         let caught_up = settle(&mut fac, 5020.0, 8e6, 10.0, 30);
         let total_late = caught_up.tower_tons + caught_up.chiller_tons;
-        assert!(total_late > 0.9 * needed, "cooling catches up: {total_late} vs {needed}");
+        assert!(
+            total_late > 0.9 * needed,
+            "cooling catches up: {total_late} vs {needed}"
+        );
     }
 
     #[test]

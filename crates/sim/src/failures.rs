@@ -115,7 +115,9 @@ fn sample_thermal_z<R: Rng + ?Sized>(
     }
     match kind {
         // Right-skewed: most events on not-yet-warm GPUs, long tail up.
-        DoubleBitError | FallenOffTheBus | InternalMicrocontrollerWarning
+        DoubleBitError
+        | FallenOffTheBus
+        | InternalMicrocontrollerWarning
         | PageRetirementFailure => -0.9 + exponential(rng, 1.0),
         // Graphics engine faults: the one potentially left-skewed type.
         GraphicsEngineFault => 0.7 - exponential(rng, 1.0),
@@ -175,7 +177,10 @@ impl FailureModel {
     pub fn new(config: FailureConfig, node_count: usize) -> Self {
         assert!(node_count > 2, "need a plausible floor");
         let pick = |salt: u64| {
-            NodeId((crate::rng::stable_jitter(config.seed ^ salt, 1).abs() * (node_count - 1) as f64) as u32)
+            NodeId(
+                (crate::rng::stable_jitter(config.seed ^ salt, 1).abs() * (node_count - 1) as f64)
+                    as u32,
+            )
         };
         // ~32 weak-memory nodes with geometric weights: the head nodes
         // dominate, which yields the paper's 18-42 % concentrations.
@@ -211,12 +216,7 @@ impl FailureModel {
 
     /// Samples an in-job GPU core temperature consistent with the job's
     /// workload (used when the engine's thermal state is not available).
-    fn sketch_temperature<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        job: &SyntheticJob,
-        z: f64,
-    ) -> f64 {
+    fn sketch_temperature<R: Rng + ?Sized>(&self, rng: &mut R, job: &SyntheticJob, z: f64) -> f64 {
         // Mean in-job GPU temp from intensity: idle ~25 C, full ~50 C.
         let gi = job.profile.gpu_intensity;
         let mean = 24.0 + 27.0 * gi;
@@ -443,7 +443,11 @@ impl FailureModel {
         let defect_warnings = poisson(rng, 33.0 * scale);
         for _ in 0..defect_warnings {
             let time = t0 + rng.gen::<f64>() * span_s;
-            let z = sample_thermal_z(rng, InternalMicrocontrollerWarning, self.config.thermal_regime);
+            let z = sample_thermal_z(
+                rng,
+                InternalMicrocontrollerWarning,
+                self.config.thermal_regime,
+            );
             let slot = GpuSlot(3);
             let temp = 27.0 + 4.5 * z;
             out.push(XidEvent {
@@ -473,11 +477,17 @@ impl FailureModel {
         // Background warnings spread thinly.
         let background = poisson(rng, 41.0 * scale);
         for _ in 0..background {
-            let z = sample_thermal_z(rng, InternalMicrocontrollerWarning, self.config.thermal_regime);
+            let z = sample_thermal_z(
+                rng,
+                InternalMicrocontrollerWarning,
+                self.config.thermal_regime,
+            );
             out.push(XidEvent {
                 kind: InternalMicrocontrollerWarning,
                 node: NodeId(rng.gen_range(0..TOTAL_NODES as u32)),
-                slot: GpuSlot(weighted_index(rng, &slot_weights(InternalMicrocontrollerWarning)) as u8),
+                slot: GpuSlot(
+                    weighted_index(rng, &slot_weights(InternalMicrocontrollerWarning)) as u8,
+                ),
                 time: t0 + rng.gen::<f64>() * span_s,
                 allocation_id: None,
                 gpu_core_temp: 27.0 + 4.5 * z,
@@ -513,7 +523,7 @@ impl FailureModel {
         self.super_offender_events(rng, t0, span_s, year_fraction, &mut out);
         self.memory_incidents(rng, t0, span_s, year_fraction, &mut out);
         self.microcontroller_events(rng, t0, span_s, year_fraction, &mut out);
-        out.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("finite times"));
+        out.sort_by(|a, b| a.time.total_cmp(&b.time));
         out
     }
 }
@@ -555,6 +565,7 @@ pub fn max_node_share(events: &[XidEvent], node_count: usize) -> [f64; 16] {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::jobs::JobGenerator;
     use rand::rngs::StdRng;
@@ -660,7 +671,10 @@ mod tests {
             &m[MemoryPageFault.index()],
             &m[DriverErrorHandlingException.index()],
         );
-        assert!(r3.abs() < 0.3, "unrelated pair should not correlate, r={r3}");
+        assert!(
+            r3.abs() < 0.3,
+            "unrelated pair should not correlate, r={r3}"
+        );
     }
 
     #[test]
@@ -704,7 +718,10 @@ mod tests {
         {
             slots[e.slot.index()] += 1;
         }
-        assert!(slots[0] > slots[1] && slots[1] > slots[2], "slots {slots:?}");
+        assert!(
+            slots[0] > slots[1] && slots[1] > slots[2],
+            "slots {slots:?}"
+        );
         assert!(slots[0] > slots[5]);
     }
 
@@ -712,10 +729,9 @@ mod tests {
     fn slot_four_elevated_for_double_bit() {
         let (events, _) = events_and_jobs(24.0);
         let mut slots = [0u64; 6];
-        for e in events
-            .iter()
-            .filter(|e| e.kind == XidErrorKind::DoubleBitError || e.kind == XidErrorKind::PageRetirementEvent)
-        {
+        for e in events.iter().filter(|e| {
+            e.kind == XidErrorKind::DoubleBitError || e.kind == XidErrorKind::PageRetirementEvent
+        }) {
             slots[e.slot.index()] += 1;
         }
         let others_max = slots

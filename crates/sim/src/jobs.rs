@@ -16,9 +16,9 @@ use summit_telemetry::records::{JobRecord, ScienceDomain};
 
 use crate::apps::{sample_domain, sample_profile_for_project, sample_project};
 use crate::rng::{lognormal, weighted_index};
-use crate::spec::{class_of_node_count, class_spec};
 #[cfg(test)]
 use crate::spec::MAX_JOB_NODES;
+use crate::spec::{class_of_node_count, class_spec};
 use crate::workload::AppProfile;
 
 /// Paper job count for 2020 ("over 840k Summit jobs").
@@ -74,7 +74,7 @@ impl JobGenerator {
         let n = match class {
             1 => match weighted_index(rng, &[0.35, 0.25, 0.40]) {
                 0 => 4096,
-                1 => 4608,
+                1 => hi, // full machine: spec::MAX_JOB_NODES
                 _ => rng.gen_range(lo..=hi),
             },
             2 => match weighted_index(rng, &[0.30, 0.20, 0.50]) {
@@ -152,20 +152,18 @@ impl JobGenerator {
         // the most, shortest edges; leadership-class edges are rarer but
         // sustained for a large fraction of the (longer) job.
         match class {
-            4
-                if rng.gen::<f64>() < 0.30 => {
-                    profile.checkpoint_interval_s =
-                        crate::rng::truncated_normal(rng, 500.0, 150.0, 200.0, 900.0);
-                    profile.checkpoint_duration_s =
-                        crate::rng::truncated_normal(rng, 40.0, 15.0, 20.0, 90.0);
-                }
-            1 | 2
-                if profile.checkpoint_interval_s > 0.0 => {
-                    let frac = crate::rng::truncated_normal(rng, 0.15, 0.10, 0.02, 0.45);
-                    profile.checkpoint_duration_s = (walltime * frac)
-                        .max(profile.checkpoint_duration_s)
-                        .min(profile.checkpoint_interval_s * 0.8);
-                }
+            4 if rng.gen::<f64>() < 0.30 => {
+                profile.checkpoint_interval_s =
+                    crate::rng::truncated_normal(rng, 500.0, 150.0, 200.0, 900.0);
+                profile.checkpoint_duration_s =
+                    crate::rng::truncated_normal(rng, 40.0, 15.0, 20.0, 90.0);
+            }
+            1 | 2 if profile.checkpoint_interval_s > 0.0 => {
+                let frac = crate::rng::truncated_normal(rng, 0.15, 0.10, 0.02, 0.45);
+                profile.checkpoint_duration_s = (walltime * frac)
+                    .max(profile.checkpoint_duration_s)
+                    .min(profile.checkpoint_interval_s * 0.8);
+            }
             _ => {}
         }
         let id = self.next_id;
@@ -201,12 +199,7 @@ impl JobGenerator {
                 self.generate(rng, t)
             })
             .collect();
-        jobs.sort_by(|a, b| {
-            a.record
-                .begin_time
-                .partial_cmp(&b.record.begin_time)
-                .expect("finite times")
-        });
+        jobs.sort_by(|a, b| a.record.begin_time.total_cmp(&b.record.begin_time));
         jobs
     }
 }
@@ -222,6 +215,7 @@ pub fn count_by_domain(jobs: &[SyntheticJob]) -> Vec<(ScienceDomain, usize)> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -93,13 +93,9 @@ pub fn job_stats(job: &SyntheticJob, power_model: &PowerModel) -> JobStats {
     let mut peak_gpu = 0.0;
     for r in 0..REPS {
         // Stable pseudo-placement of this job on the floor.
-        let nid = NodeId(
-            ((stable_jitter(job.seed, r as u64).abs() * 4625.0) as u32).min(4625),
-        );
-        let u_mean = NodeUtilization::uniform(
-            p.cpu_intensity * env_mean,
-            p.gpu_intensity * env_mean,
-        );
+        let nid = NodeId(((stable_jitter(job.seed, r as u64).abs() * 4625.0) as u32).min(4625));
+        let u_mean =
+            NodeUtilization::uniform(p.cpu_intensity * env_mean, p.gpu_intensity * env_mean);
         let u_peak = NodeUtilization::uniform(p.cpu_intensity, p.gpu_intensity);
         let pw_mean = power_model.node_power(nid, &u_mean);
         let pw_peak = power_model.node_power(nid, &u_peak);
@@ -141,13 +137,10 @@ pub fn job_power_series(
     dt_s: f64,
 ) -> summit_analysis::series::Series {
     assert!(dt_s > 0.0);
-    let signal = crate::workload::WorkloadSignal::new(
-        job.profile,
-        job.record.walltime_s(),
-        job.seed,
-    );
+    let signal =
+        crate::workload::WorkloadSignal::new(job.profile, job.record.walltime_s(), job.seed);
     let n = (job.record.walltime_s() / dt_s).ceil() as usize;
-    let nid = NodeId((job.seed % 4626) as u32);
+    let nid = NodeId((job.seed % crate::spec::TOTAL_NODES as u64) as u32);
     let nodes = job.record.node_count as f64;
     let values: Vec<f64> = (0..n)
         .map(|i| {
@@ -184,6 +177,7 @@ pub fn population_stats(jobs: &[SyntheticJob], power_model: &PowerModel) -> Vec<
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::jobs::JobGenerator;
     use rand::rngs::StdRng;
@@ -304,8 +298,14 @@ mod tests {
         let m2 = median_max(2, &mut rng, &mut g);
         let m3 = median_max(3, &mut rng, &mut g);
         let m5 = median_max(5, &mut rng, &mut g);
-        assert!(m1 > m2 && m2 > m3 && m3 > m5, "m1={m1} m2={m2} m3={m3} m5={m5}");
-        assert!(m1 / m5 > 50.0, "leadership and small jobs differ by orders of magnitude");
+        assert!(
+            m1 > m2 && m2 > m3 && m3 > m5,
+            "m1={m1} m2={m2} m3={m3} m5={m5}"
+        );
+        assert!(
+            m1 / m5 > 50.0,
+            "leadership and small jobs differ by orders of magnitude"
+        );
     }
 
     #[test]

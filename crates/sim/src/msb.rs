@@ -66,8 +66,8 @@ impl MsbMeterModel {
     /// low plus deterministic per-(node, tick) sampling noise (the 500 µs
     /// instantaneous sample of a varying waveform).
     pub fn sensor_reading(&self, node: NodeId, tick: u64, true_power_w: f64) -> f64 {
-        let noise = self.sensor_noise
-            * stable_jitter(self.seed ^ tick.rotate_left(17), node.0 as u64);
+        let noise =
+            self.sensor_noise * stable_jitter(self.seed ^ tick.rotate_left(17), node.0 as u64);
         (true_power_w * (1.0 - self.sensor_bias) * (1.0 + noise)).max(0.0)
     }
 
@@ -89,6 +89,7 @@ impl MsbMeterModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn uniform_power(topology: &Topology, w: f64) -> Vec<f64> {
@@ -126,7 +127,10 @@ mod tests {
         }
         let min = diffs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = diffs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-        assert!(max - min > 0.005, "per-MSB means must differ subtly: {diffs:?}");
+        assert!(
+            max - min > 0.005,
+            "per-MSB means must differ subtly: {diffs:?}"
+        );
     }
 
     #[test]
@@ -158,7 +162,10 @@ mod tests {
         assert_ne!(a, model.sensor_reading(NodeId(5), 43, 1000.0));
         for tick in 0..100 {
             let r = model.sensor_reading(NodeId(9), tick, 1000.0);
-            assert!((r - 988.0).abs() < 30.0, "reading {r} too far from biased truth");
+            assert!(
+                (r - 988.0).abs() < 30.0,
+                "reading {r} too far from biased truth"
+            );
         }
     }
 

@@ -216,6 +216,7 @@ pub fn paper_idle_anchor_w() -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     fn model() -> PowerModel {
@@ -250,7 +251,11 @@ mod tests {
         let m = model();
         let p = m.node_power(NodeId(0), &NodeUtilization::uniform(0.3, 1.0));
         assert!(p.input_w <= NODE_MAX_POWER_W);
-        assert!(p.input_w > 2000.0, "GPU-saturated node should be >2 kW, got {}", p.input_w);
+        assert!(
+            p.input_w > 2000.0,
+            "GPU-saturated node should be >2 kW, got {}",
+            p.input_w
+        );
     }
 
     #[test]
@@ -293,7 +298,11 @@ mod tests {
         let a = m.gpu_power(NodeId(1), GpuSlot(0), 0.8);
         let b = m.gpu_power(NodeId(2), GpuSlot(0), 0.8);
         assert_ne!(a, b, "different chips should differ");
-        assert_eq!(a, m.gpu_power(NodeId(1), GpuSlot(0), 0.8), "stable per chip");
+        assert_eq!(
+            a,
+            m.gpu_power(NodeId(1), GpuSlot(0), 0.8),
+            "stable per chip"
+        );
         // Spread across many chips is bounded by the variation constant.
         let powers: Vec<f64> = (0..1000)
             .map(|n| m.gpu_power(NodeId(n), GpuSlot(0), 1.0))
@@ -303,7 +312,10 @@ mod tests {
         assert!(max / min < 1.0 + 2.5 * CHIP_POWER_VARIATION);
         // Paper Fig 17: non-outlier GPU power spread ~62 W at full load.
         assert!(max - min > 10.0, "variation should be visible");
-        assert!(max - min < 80.0, "variation should stay near the paper's 62 W");
+        assert!(
+            max - min < 80.0,
+            "variation should stay near the paper's 62 W"
+        );
     }
 
     #[test]

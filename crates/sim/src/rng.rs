@@ -28,7 +28,13 @@ pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
 
 /// Samples a normal truncated to `[lo, hi]` by rejection (falls back to
 /// clamping after 64 rejections to stay O(1) under extreme truncation).
-pub fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64, lo: f64, hi: f64) -> f64 {
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    std: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
     assert!(lo <= hi, "invalid truncation interval [{lo}, {hi}]");
     for _ in 0..64 {
         let x = normal(rng, mean, std);
@@ -94,11 +100,17 @@ pub fn poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
 /// # Panics
 /// If weights are empty, negative, or all zero.
 pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
-    assert!(!weights.is_empty(), "weighted_index needs at least one weight");
+    assert!(
+        !weights.is_empty(),
+        "weighted_index needs at least one weight"
+    );
     let total: f64 = weights
         .iter()
         .map(|&w| {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
             w
         })
         .sum();
@@ -130,6 +142,7 @@ pub fn stable_jitter(seed: u64, entity: u64) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -33,7 +33,11 @@ impl PlacedJob {
 
     /// The workload signal for this placement.
     pub fn signal(&self) -> WorkloadSignal {
-        WorkloadSignal::new(self.job.profile, self.job.record.walltime_s(), self.job.seed)
+        WorkloadSignal::new(
+            self.job.profile,
+            self.job.record.walltime_s(),
+            self.job.seed,
+        )
     }
 
     /// Rank of a node within the job, if assigned.
@@ -125,12 +129,7 @@ impl Scheduler {
             }
             let want = job.record.node_count as usize;
             if want <= self.free.len() {
-                let nodes: Vec<NodeId> = self
-                    .free
-                    .iter()
-                    .take(want)
-                    .map(|&n| NodeId(n))
-                    .collect();
+                let nodes: Vec<NodeId> = self.free.iter().take(want).map(|&n| NodeId(n)).collect();
                 for n in &nodes {
                     self.free.remove(&n.0);
                 }
@@ -178,12 +177,15 @@ impl Scheduler {
 
     /// Finds a running job by allocation id.
     pub fn find(&self, id: AllocationId) -> Option<&PlacedJob> {
-        self.running.iter().find(|p| p.job.record.allocation_id == id)
+        self.running
+            .iter()
+            .find(|p| p.job.record.allocation_id == id)
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::jobs::JobGenerator;
     use rand::rngs::StdRng;
@@ -253,7 +255,11 @@ mod tests {
         s.advance(10.0);
         assert_eq!(s.running().len(), 1, "second job must wait");
         s.advance(wall1 + 1.0);
-        assert_eq!(s.running().len(), 1, "second job starts after the first ends");
+        assert_eq!(
+            s.running().len(),
+            1,
+            "second job starts after the first ends"
+        );
         assert_eq!(s.completed().len(), 1);
     }
 

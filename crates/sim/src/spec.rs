@@ -95,10 +95,17 @@ pub const SCHEDULING_CLASSES: [SchedulingClass; 5] = [
 /// Largest schedulable job (class 1 upper bound).
 pub const MAX_JOB_NODES: u32 = 4608;
 
+/// GPUs visible to jobs: the paper counts 27,648 job-visible GPUs
+/// (4,608 schedulable nodes x 6), while the floor holds 27,756 across
+/// all 4,626 nodes — the extra cabinet is held out of the batch
+/// partition. Use this, not [`TOTAL_GPUS`], when sizing job placement.
+pub const JOB_VISIBLE_GPUS: usize = MAX_JOB_NODES as usize * GPUS_PER_NODE;
+
 /// Classifies a node count into its scheduling class (1..=5).
 ///
 /// # Panics
 /// If `nodes` is zero or above [`MAX_JOB_NODES`].
+#[allow(clippy::panic)] // documented API contract; tracked in xtask/panic_allowlist.txt
 pub fn class_of_node_count(nodes: u32) -> u8 {
     for c in SCHEDULING_CLASSES {
         if nodes >= c.node_range.0 && nodes <= c.node_range.1 {
@@ -109,6 +116,10 @@ pub fn class_of_node_count(nodes: u32) -> u8 {
 }
 
 /// The scheduling class record for a class number.
+///
+/// # Panics
+/// If `class` is not one of the paper's Table 3 classes (1..=5).
+#[allow(clippy::panic)] // documented API contract; tracked in xtask/panic_allowlist.txt
 pub fn class_spec(class: u8) -> SchedulingClass {
     SCHEDULING_CLASSES
         .iter()
@@ -130,6 +141,7 @@ pub const PAPER_SUMMER_PUE: f64 = 1.22;
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -138,6 +150,19 @@ mod tests {
         assert_eq!(TOTAL_CABINETS * NODES_PER_CABINET, TOTAL_NODES);
         assert_eq!(TOTAL_GPUS, 27_756);
         assert_eq!(TOTAL_CPUS, 9_252);
+    }
+
+    #[test]
+    fn job_visible_gpus_match_paper() {
+        // The paper's 27,648 job-visible GPUs are the schedulable
+        // subset of the 27,756 installed: one cabinet (18 nodes, 108
+        // GPUs) is held out of the batch partition.
+        assert_eq!(JOB_VISIBLE_GPUS, 27_648);
+        assert_eq!(JOB_VISIBLE_GPUS, MAX_JOB_NODES as usize * GPUS_PER_NODE);
+        assert_eq!(
+            TOTAL_GPUS - JOB_VISIBLE_GPUS,
+            (TOTAL_NODES - MAX_JOB_NODES as usize) * GPUS_PER_NODE
+        );
     }
 
     #[test]

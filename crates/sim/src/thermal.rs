@@ -59,7 +59,10 @@ impl NodeThermals {
 
     /// Hottest GPU core (°C).
     pub fn max_gpu_core(&self) -> f64 {
-        self.gpu_core_c.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        self.gpu_core_c
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 }
 
@@ -84,7 +87,10 @@ impl ThermalModel {
 
     /// Per-chip CPU thermal resistance (K/W).
     pub fn cpu_resistance(&self, node: NodeId, socket: Socket) -> f64 {
-        let j = stable_jitter(self.seed ^ 0x11c7, node.0 as u64 * 8 + socket.index() as u64);
+        let j = stable_jitter(
+            self.seed ^ 0x11c7,
+            node.0 as u64 * 8 + socket.index() as u64,
+        );
         CPU_THERMAL_RESISTANCE * (1.0 + CPU_RESISTANCE_SPREAD * j)
     }
 
@@ -145,6 +151,7 @@ impl ThermalModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::power::{NodeUtilization, PowerModel};
 
@@ -200,7 +207,7 @@ mod tests {
         assert_eq!(w0, 21.0);
         assert!(w1 > w0 && w2 > w1);
         assert!((w1 - w0 - 0.9).abs() < 1e-9); // 300 W * 0.003 K/W
-        // Slot 3 starts a fresh branch.
+                                               // Slot 3 starts a fresh branch.
         let w3 = tm.water_at_slot(21.0, GpuSlot(3), &powers);
         assert_eq!(w3, 21.0);
     }
@@ -214,7 +221,10 @@ mod tests {
         let t_busy = tm.steady_state(NodeId(0), &busy, 21.0);
         for i in 0..6 {
             assert!(t_busy.gpu_core_c[i] > t_idle.gpu_core_c[i]);
-            assert!(t_busy.gpu_mem_c[i] > t_busy.gpu_core_c[i], "HBM runs hotter");
+            assert!(
+                t_busy.gpu_mem_c[i] > t_busy.gpu_core_c[i],
+                "HBM runs hotter"
+            );
         }
         for i in 0..2 {
             assert!(t_busy.cpu_c[i] > t_idle.cpu_c[i]);
@@ -271,7 +281,10 @@ mod tests {
             for g in GpuSlot::ALL {
                 let r = tm.gpu_resistance(NodeId(n), g);
                 assert!(r > 0.0);
-                assert!((r - GPU_THERMAL_RESISTANCE).abs() <= GPU_THERMAL_RESISTANCE * GPU_RESISTANCE_SPREAD + 1e-12);
+                assert!(
+                    (r - GPU_THERMAL_RESISTANCE).abs()
+                        <= GPU_THERMAL_RESISTANCE * GPU_RESISTANCE_SPREAD + 1e-12
+                );
             }
         }
     }

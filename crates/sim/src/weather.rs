@@ -86,6 +86,7 @@ impl Weather {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -94,7 +95,10 @@ mod tests {
         // Mid-January noon vs mid-July noon.
         let jan = w.wet_bulb_c(15.0 * DAY_S + 12.0 * 3600.0);
         let jul = w.wet_bulb_c(197.0 * DAY_S + 12.0 * 3600.0);
-        assert!(jul > jan + 15.0, "summer {jul} must be much warmer than winter {jan}");
+        assert!(
+            jul > jan + 15.0,
+            "summer {jul} must be much warmer than winter {jan}"
+        );
         assert!((-8.0..12.0).contains(&jan), "January wet-bulb {jan}");
         assert!((15.0..28.0).contains(&jul), "July wet-bulb {jul}");
     }
@@ -124,7 +128,10 @@ mod tests {
         let t = 3.0 * DAY_S;
         let before = w.wet_bulb_c(t - eps);
         let after = w.wet_bulb_c(t + eps);
-        assert!((before - after).abs() < 0.1, "front wobble must be continuous");
+        assert!(
+            (before - after).abs() < 0.1,
+            "front wobble must be continuous"
+        );
     }
 
     #[test]

@@ -86,7 +86,10 @@ impl AppProfile {
             ));
         }
         if !in01(self.oscillation_depth) {
-            return Err(format!("oscillation depth {} not in [0,1]", self.oscillation_depth));
+            return Err(format!(
+                "oscillation depth {} not in [0,1]",
+                self.oscillation_depth
+            ));
         }
         if self.oscillation_period_s <= 0.0 && self.oscillation_depth > 0.0 {
             return Err("oscillating profile needs a positive period".into());
@@ -112,7 +115,11 @@ impl WorkloadSignal {
     /// Creates a signal for a job of the given duration.
     pub fn new(profile: AppProfile, duration_s: f64, seed: u64) -> Self {
         assert!(duration_s > 0.0, "job duration must be positive");
-        profile.validate().expect("valid profile");
+        debug_assert!(
+            profile.validate().is_ok(),
+            "workload profile invariants violated: {:?}",
+            profile.validate()
+        );
         Self {
             profile,
             duration_s,
@@ -186,6 +193,7 @@ impl WorkloadSignal {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]

@@ -147,7 +147,10 @@ pub fn hca_temp() -> MetricId {
 
 /// Board air temperature: `0` = inlet, `1` = outlet, Celsius.
 pub fn board_temp(position: usize) -> MetricId {
-    assert!(position < 2, "board temp position must be 0 (inlet) or 1 (outlet)");
+    assert!(
+        position < 2,
+        "board temp position must be 0 (inlet) or 1 (outlet)"
+    );
     MetricId(OFF_BOARD_TEMP + position as u16)
 }
 
@@ -186,7 +189,11 @@ pub fn full_catalog() -> Vec<MetricDef> {
 
     push(input_power(), "input_power".into(), Unit::Watts);
     for ps in 0..2 {
-        push(ps_input_power(ps), format!("ps{ps}_input_power"), Unit::Watts);
+        push(
+            ps_input_power(ps),
+            format!("ps{ps}_input_power"),
+            Unit::Watts,
+        );
     }
     for s in Socket::ALL {
         push(cpu_power(s), format!("p{}_power", s.index()), Unit::Watts);
@@ -201,13 +208,25 @@ pub fn full_catalog() -> Vec<MetricDef> {
         );
     }
     for g in GpuSlot::ALL {
-        push(gpu_core_temp(g), format!("gpu{}_core_temp", g.index()), Unit::Celsius);
+        push(
+            gpu_core_temp(g),
+            format!("gpu{}_core_temp", g.index()),
+            Unit::Celsius,
+        );
     }
     for g in GpuSlot::ALL {
-        push(gpu_mem_temp(g), format!("gpu{}_mem_temp", g.index()), Unit::Celsius);
+        push(
+            gpu_mem_temp(g),
+            format!("gpu{}_mem_temp", g.index()),
+            Unit::Celsius,
+        );
     }
     for s in Socket::ALL {
-        push(cpu_pkg_temp(s), format!("p{}_temp", s.index()), Unit::Celsius);
+        push(
+            cpu_pkg_temp(s),
+            format!("p{}_temp", s.index()),
+            Unit::Celsius,
+        );
     }
     for s in Socket::ALL {
         for c in 0..CORES_PER_SOCKET {
@@ -226,7 +245,11 @@ pub fn full_catalog() -> Vec<MetricDef> {
     }
     push(fan_power(), "fan_power".into(), Unit::Watts);
     for s in Socket::ALL {
-        push(mem_power(s), format!("p{}_mem_power", s.index()), Unit::Watts);
+        push(
+            mem_power(s),
+            format!("p{}_mem_power", s.index()),
+            Unit::Watts,
+        );
     }
     push(nvme_temp(), "nvme_temp".into(), Unit::Celsius);
     push(nvme_power(), "nvme_power".into(), Unit::Watts);
@@ -234,10 +257,18 @@ pub fn full_catalog() -> Vec<MetricDef> {
     push(board_temp(0), "board_inlet_temp".into(), Unit::Celsius);
     push(board_temp(1), "board_outlet_temp".into(), Unit::Celsius);
     for s in Socket::ALL {
-        push(cpu_vrm_temp(s), format!("p{}_vrm_temp", s.index()), Unit::Celsius);
+        push(
+            cpu_vrm_temp(s),
+            format!("p{}_vrm_temp", s.index()),
+            Unit::Celsius,
+        );
     }
     for g in GpuSlot::ALL {
-        push(gpu_vrm_temp(g), format!("gpu{}_vrm_temp", g.index()), Unit::Celsius);
+        push(
+            gpu_vrm_temp(g),
+            format!("gpu{}_vrm_temp", g.index()),
+            Unit::Celsius,
+        );
     }
     push(io_power(), "io_power".into(), Unit::Watts);
 
@@ -246,6 +277,7 @@ pub fn full_catalog() -> Vec<MetricDef> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
@@ -281,7 +313,10 @@ mod tests {
             "p1_gpu1_power",
             "slot 4 is the second GPU on socket 1"
         );
-        assert_eq!(cat[gpu_core_temp(GpuSlot(5)).index()].name, "gpu5_core_temp");
+        assert_eq!(
+            cat[gpu_core_temp(GpuSlot(5)).index()].name,
+            "gpu5_core_temp"
+        );
         assert_eq!(cat[cpu_power(Socket::P1).index()].name, "p1_power");
         assert_eq!(dimm_temp(15).index() - dimm_temp(0).index(), 15);
         assert_eq!(cat[io_power().index()].name, "io_power");

@@ -98,7 +98,7 @@ pub fn cluster_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow
             max_inp: acc.w.max(),
         })
         .collect();
-    rows.sort_by(|a, b| a.window_start.partial_cmp(&b.window_start).expect("finite"));
+    rows.sort_by(|a, b| a.window_start.total_cmp(&b.window_start));
     rows
 }
 
@@ -158,7 +158,7 @@ pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<Compo
             sum_gpu_power: acc.gpu.sum(),
         })
         .collect();
-    rows.sort_by(|a, b| a.window_start.partial_cmp(&b.window_start).expect("finite"));
+    rows.sort_by(|a, b| a.window_start.total_cmp(&b.window_start));
     rows
 }
 
@@ -180,6 +180,7 @@ pub fn cluster_power_series(rows: &[ClusterPowerRow], window_s: f64) -> Option<S
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ids::NodeId;
     use crate::records::NodeFrame;

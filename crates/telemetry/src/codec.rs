@@ -292,11 +292,22 @@ pub mod quant {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
     #[test]
     fn zigzag_roundtrip() {
-        for v in [-1_000_000i64, -3, -1, 0, 1, 2, 7, i64::MAX / 2, i64::MIN / 2] {
+        for v in [
+            -1_000_000i64,
+            -3,
+            -1,
+            0,
+            1,
+            2,
+            7,
+            i64::MAX / 2,
+            i64::MIN / 2,
+        ] {
             assert_eq!(zigzag_decode(zigzag_encode(v)), v);
         }
         // Small magnitudes stay small.
@@ -403,9 +414,7 @@ mod tests {
     #[test]
     fn ablation_variants_order_as_expected() {
         // Telemetry-shaped data: slow-moving values with long flat runs.
-        let col: Vec<i64> = (0..10_000)
-            .map(|i| 1500 + ((i / 500) % 5) as i64)
-            .collect();
+        let col: Vec<i64> = (0..10_000).map(|i| 1500 + ((i / 500) % 5) as i64).collect();
         let size = |f: &dyn Fn(&[i64], &mut BytesMut)| {
             let mut buf = BytesMut::new();
             f(&col, &mut buf);
@@ -414,8 +423,14 @@ mod tests {
         let full = size(&|c, b| encode_column(c, b));
         let delta = size(&encode_column_delta_only);
         let raw = size(&encode_column_raw_varint);
-        assert!(full < delta, "RLE must help on flat runs: {full} vs {delta}");
-        assert!(delta < raw, "delta must help on slow values: {delta} vs {raw}");
+        assert!(
+            full < delta,
+            "RLE must help on flat runs: {full} vs {delta}"
+        );
+        assert!(
+            delta < raw,
+            "delta must help on slow values: {delta} vs {raw}"
+        );
     }
 
     #[test]

@@ -126,21 +126,13 @@ impl ThermalAcc {
 /// cadence; the paper's plant logs every ~15 s).
 fn cep_near(ceps: &[CepRecord], t: f64, tolerance_s: f64) -> Option<CepRecord> {
     ceps.iter()
-        .min_by(|a, b| {
-            (a.time - t)
-                .abs()
-                .partial_cmp(&(b.time - t).abs())
-                .expect("finite")
-        })
+        .min_by(|a, b| (a.time - t).abs().total_cmp(&(b.time - t).abs()))
         .filter(|r| (r.time - t).abs() <= tolerance_s)
         .copied()
 }
 
 /// Builds the cluster-level thermal time series (Datasets 8/9).
-pub fn thermal_cluster(
-    windows_by_node: &[Vec<NodeWindow>],
-    ceps: &[CepRecord],
-) -> Vec<ThermalRow> {
+pub fn thermal_cluster(windows_by_node: &[Vec<NodeWindow>], ceps: &[CepRecord]) -> Vec<ThermalRow> {
     let mut map: HashMap<i64, ThermalAcc> = HashMap::new();
     for windows in windows_by_node {
         for w in windows {
@@ -156,7 +148,7 @@ pub fn thermal_cluster(
             acc.finish(t, None, cep_near(ceps, t, 15.0))
         })
         .collect();
-    rows.sort_by(|a, b| a.window_start.partial_cmp(&b.window_start).expect("finite"));
+    rows.sort_by(|a, b| a.window_start.total_cmp(&b.window_start));
     rows
 }
 
@@ -193,6 +185,7 @@ pub fn thermal_per_job(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::records::{NodeAllocation, NodeFrame};
     use crate::window::WindowAggregator;

@@ -166,6 +166,7 @@ pub fn write_thermal<W: Write>(out: &mut W, rows: &[ThermalRow]) -> io::Result<(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ids::{AllocationId, GpuSlot, NodeId};
     use crate::records::{ScienceDomain, XidErrorKind};
@@ -235,7 +236,11 @@ mod tests {
         let mut buf = Vec::new();
         write_xid_events(&mut buf, &rows).unwrap();
         let s = String::from_utf8(buf).unwrap();
-        assert!(s.lines().nth(1).unwrap().contains("99,Double-bit error,3,4,,40.5,-0.5"));
+        assert!(s
+            .lines()
+            .nth(1)
+            .unwrap()
+            .contains("99,Double-bit error,3,4,,40.5,-0.5"));
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl AllocationIndex {
                 .push((a.begin_time, a.end_time, a.allocation_id));
         }
         for list in by_node.values_mut() {
-            list.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+            list.sort_by(|a, b| a.0.total_cmp(&b.0));
         }
         Self { by_node }
     }
@@ -195,8 +195,7 @@ pub fn join_jobs(
             gpu_nans: acc.gpu_nans,
         });
     }
-    let sort_key =
-        |a: &JobPowerRow| (a.allocation_id.0, a.window_start.round() as i64);
+    let sort_key = |a: &JobPowerRow| (a.allocation_id.0, a.window_start.round() as i64);
     power_rows.sort_by_key(sort_key);
     comp_rows.sort_by_key(|r| (r.allocation_id.0, r.window_start.round() as i64));
     (power_rows, comp_rows)
@@ -208,9 +207,13 @@ pub fn job_level_power(rows: &[JobPowerRow], window_s: f64) -> Vec<JobLevelPower
     let mut map: HashMap<u64, (f64, f64, f64, f64, u64)> = HashMap::new();
     // (max_sum, sum_of_sums, begin, end, n_windows)
     for r in rows {
-        let e = map
-            .entry(r.allocation_id.0)
-            .or_insert((f64::NEG_INFINITY, 0.0, f64::INFINITY, f64::NEG_INFINITY, 0));
+        let e = map.entry(r.allocation_id.0).or_insert((
+            f64::NEG_INFINITY,
+            0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0,
+        ));
         e.0 = e.0.max(r.sum_inp);
         e.1 += r.sum_inp;
         e.2 = e.2.min(r.window_start);
@@ -257,6 +260,7 @@ pub fn job_power_series(rows: &[JobPowerRow], window_s: f64) -> Option<Series> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ids::NodeId;
     use crate::records::NodeFrame;
@@ -303,10 +307,7 @@ mod tests {
     fn join_attributes_windows_to_jobs() {
         let w0 = windows(0, &[(0.0, 1000.0), (10.0, 1200.0)]);
         let w1 = windows(1, &[(0.0, 2000.0), (10.0, 2400.0)]);
-        let idx = AllocationIndex::build(&[
-            alloc(0, 7, 0.0, 1000.0),
-            alloc(1, 7, 0.0, 1000.0),
-        ]);
+        let idx = AllocationIndex::build(&[alloc(0, 7, 0.0, 1000.0), alloc(1, 7, 0.0, 1000.0)]);
         let (power, comp) = join_jobs(&[w0, w1], &idx);
         assert_eq!(power.len(), 2);
         assert_eq!(power[0].count_hostname, 2);

@@ -166,12 +166,17 @@ impl TelemetryStore {
 
     /// Total encoded archive bytes.
     pub fn archive_bytes(&self) -> u64 {
-        self.raw.read().values().map(|p| p.encoded.len() as u64).sum()
+        self.raw
+            .read()
+            .values()
+            .map(|p| p.encoded.len() as u64)
+            .sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::catalog;
     use crate::window::WindowAggregator;

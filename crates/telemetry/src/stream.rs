@@ -111,6 +111,9 @@ pub struct Collector {
 impl Collector {
     /// Spawns a collector with a bounded channel of `capacity` frames.
     /// `sink` is invoked for every frame, on the collector thread.
+    // A failed thread spawn is an unrecoverable infrastructure error;
+    // the panic is intentional (tracked in xtask/panic_allowlist.txt).
+    #[allow(clippy::expect_used)]
     pub fn spawn<F>(capacity: usize, mut sink: F) -> (FrameSender, Collector)
     where
         F: FnMut(NodeFrame) + Send + 'static,
@@ -143,6 +146,11 @@ impl Collector {
 
     /// Waits for all producers to disconnect and the queue to drain,
     /// returning the final statistics.
+    ///
+    /// # Panics
+    /// Propagates a panic from the collector thread (intentional;
+    /// tracked in xtask/panic_allowlist.txt).
+    #[allow(clippy::expect_used)]
     pub fn join(mut self) -> IngestStats {
         if let Some(h) = self.handle.take() {
             h.join().expect("collector thread panicked");
@@ -199,14 +207,18 @@ pub fn fan_in_batches(
     drop(sender); // disconnect producers so the collector drains and exits
 
     let stats = collector.join();
-    let frames = Arc::try_unwrap(collected)
-        .expect("all sinks dropped")
-        .into_inner();
+    // The collector thread has exited, so ours is the last Arc; clone
+    // defensively if a straggling reference ever survives.
+    let frames = match Arc::try_unwrap(collected) {
+        Ok(m) => m.into_inner(),
+        Err(arc) => arc.lock().clone(),
+    };
     (frames, stats)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::ids::NodeId;
 
@@ -232,8 +244,14 @@ mod tests {
 
     #[test]
     fn delay_model_is_deterministic() {
-        assert_eq!(propagation_delay_s(7, 1234.0), propagation_delay_s(7, 1234.0));
-        assert_ne!(propagation_delay_s(7, 1234.0), propagation_delay_s(8, 1234.0));
+        assert_eq!(
+            propagation_delay_s(7, 1234.0),
+            propagation_delay_s(7, 1234.0)
+        );
+        assert_ne!(
+            propagation_delay_s(7, 1234.0),
+            propagation_delay_s(8, 1234.0)
+        );
     }
 
     #[test]

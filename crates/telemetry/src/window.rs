@@ -161,6 +161,7 @@ pub fn coarsen_parallel(frames_by_node: &[Vec<NodeFrame>], window_s: f64) -> Vec
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
     use crate::catalog;
 

@@ -10,6 +10,8 @@
 //! cargo run --release --example capacity_planning
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::analysis::pue::average_pue;
 use summit_repro::analysis::series::Series;
 use summit_repro::core::pipeline::{cluster_power_sweep, PopulationScenario};
@@ -34,7 +36,10 @@ fn annual_pue(it: &Series, cfg: FacilityConfig) -> f64 {
 fn main() {
     // Build the year's IT power profile once (hourly resolution).
     let scale = 0.25;
-    println!("building the statistical year ({}% of 840k jobs) ...", scale * 100.0);
+    println!(
+        "building the statistical year ({}% of 840k jobs) ...",
+        scale * 100.0
+    );
     let (rows, _) = PopulationScenario::paper_year(scale).generate_with_stats();
     let sweep = cluster_power_sweep(&rows, 0.0, spec::YEAR_S, 3600.0);
     let inflate = 1.0 / scale;

@@ -6,6 +6,8 @@
 //! cargo run --release --example failure_forensics
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use summit_repro::analysis::correlation::CorrelationMatrix;
@@ -42,7 +44,11 @@ fn main() {
             kind.name().into(),
             counts[kind.index()].to_string(),
             pct(shares[kind.index()]),
-            bar((counts[kind.index()] as f64).ln().max(0.0), max_count.ln(), 24),
+            bar(
+                (counts[kind.index()] as f64).ln().max(0.0),
+                max_count.ln(),
+                24,
+            ),
         ]);
     }
     println!("{}", t.render());

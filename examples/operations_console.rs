@@ -7,10 +7,13 @@
 //! cargo run --release --example operations_console
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::core::monitoring::{OpsConsole, Thresholds};
 use summit_repro::core::pipeline::summer_t0;
 use summit_repro::sim::engine::{Engine, EngineConfig};
 use summit_repro::sim::jobs::JobGenerator;
+use summit_repro::sim::spec;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -20,8 +23,9 @@ fn main() {
     let mut engine = Engine::new(EngineConfig::small(cabinets), summer_t0());
     // Scale the swing alarm to the floor slice (2 MW/min on 4,626 nodes
     // ~= 78 kW/min on 180).
+    let nodes_in_slice = cabinets as f64 * spec::NODES_PER_CABINET as f64;
     let thresholds = Thresholds {
-        swing_w_per_min: 2.0e6 * (cabinets as f64 * 18.0) / 4626.0,
+        swing_w_per_min: 2.0e6 * nodes_in_slice / spec::TOTAL_NODES as f64,
         ..Default::default()
     };
     let mut console = OpsConsole::new(thresholds, 300);

@@ -6,6 +6,8 @@
 //! cargo run --release --example power_dynamics
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::analysis::edges::{detect_edges_for_job, EDGE_THRESHOLD_W_PER_NODE};
 use summit_repro::analysis::fft::dominant_component;
 use summit_repro::core::pipeline::PopulationScenario;
@@ -45,7 +47,13 @@ fn main() {
 
     let mut t = Table::new(
         "edge behaviour per scheduling class",
-        &["class", "jobs", "with edges", "median edge duration (min)", "median dominant freq (Hz)"],
+        &[
+            "class",
+            "jobs",
+            "with edges",
+            "median edge duration (min)",
+            "median dominant freq (Hz)",
+        ],
     );
     for (i, (jobs_n, with_edges, durations, freqs)) in per_class.iter().enumerate() {
         t.row(vec![

@@ -5,6 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::core::pipeline::{run_burst_schedule, summer_t0, Burst};
 use summit_repro::core::report::{watts, Table};
 use summit_repro::sim::engine::EngineConfig;
@@ -40,9 +42,10 @@ fn main() {
     let pue = run.pue_series();
     let gpu_t = run.gpu_temp_max_series();
 
-    let mut t = Table::new("hourly summary (10-minute rows)", &[
-        "minute", "power", "PUE", "max GPU temp C", "MTW return C",
-    ]);
+    let mut t = Table::new(
+        "hourly summary (10-minute rows)",
+        &["minute", "power", "PUE", "max GPU temp C", "MTW return C"],
+    );
     let per_row = 600; // seconds
     for (i, chunk) in power.values().chunks(per_row).enumerate() {
         let p = summit_repro::analysis::stats::nanmean(chunk);
@@ -74,8 +77,6 @@ fn main() {
     );
     println!(
         "power sparkline: {}",
-        summit_repro::core::report::sparkline(
-            power.downsample_mean(60).values()
-        )
+        summit_repro::core::report::sparkline(power.downsample_mean(60).values())
     );
 }

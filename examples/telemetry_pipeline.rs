@@ -6,8 +6,11 @@
 //! cargo run --release --example telemetry_pipeline
 //! ```
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::core::report::eng;
 use summit_repro::sim::engine::{Engine, EngineConfig, StepOptions};
+use summit_repro::sim::spec;
 use summit_repro::telemetry::catalog::METRIC_COUNT;
 use summit_repro::telemetry::ids::NodeId;
 use summit_repro::telemetry::store::TelemetryStore;
@@ -85,12 +88,11 @@ fn main() {
     );
 
     // Full-floor extrapolation (the paper's Table 2 anchors).
-    let bytes_per_node_s =
-        store.archive_bytes() as f64 / (nodes as f64 * minutes as f64 * 60.0);
-    let year = 366.0 * 86_400.0;
+    let bytes_per_node_s = store.archive_bytes() as f64 / (nodes as f64 * minutes as f64 * 60.0);
+    let full_floor = spec::TOTAL_NODES as f64;
     println!(
         "\nextrapolated to 4,626 nodes x 1 year: {:.2} TB (paper: 8.5 TB), {}/s ingest (paper: 460k)",
-        bytes_per_node_s * 4626.0 * year / 1e12,
-        eng(4626.0 * METRIC_COUNT as f64),
+        bytes_per_node_s * full_floor * spec::YEAR_S / 1e12,
+        eng(full_floor * METRIC_COUNT as f64),
     );
 }

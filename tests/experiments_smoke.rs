@@ -1,6 +1,8 @@
 //! Smoke tests: every experiment runs at reduced scale and renders a
 //! non-trivial report mentioning its paper anchors.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::core::experiments::*;
 
 #[test]
@@ -137,5 +139,43 @@ fn fig17_renders_with_heatmap() {
     let s = r.render();
     assert!(s.contains("62 W"));
     assert!(s.contains("heatmap"));
-    assert!(s.contains("·"), "missing cabinet must appear in the heatmap");
+    assert!(
+        s.contains("·"),
+        "missing cabinet must appear in the heatmap"
+    );
+}
+
+#[test]
+fn early_warning_renders() {
+    let r = early_warning::run(&early_warning::Config {
+        weeks: 8.0,
+        horizon_s: 3600.0,
+        seed: 7,
+    });
+    let s = r.render();
+    assert!(s.contains("uC warnings"));
+    assert!(s.contains("lead time"));
+}
+
+#[test]
+fn titan_contrast_renders() {
+    let r = titan_contrast::run(&titan_contrast::Config {
+        weeks: 6.0,
+        seed: 7,
+    });
+    let s = r.render();
+    assert!(s.contains("Summit"));
+    assert!(s.contains("Titan"));
+}
+
+#[test]
+fn power_aware_renders() {
+    let r = power_aware::run(&power_aware::Config {
+        population_scale: 0.005,
+        caps_w: vec![f64::INFINITY, 8.0e6],
+        dt_s: 3600.0,
+    });
+    let s = r.render();
+    assert!(s.contains("Power-aware admission"));
+    assert!(s.contains("paper conclusion"));
 }

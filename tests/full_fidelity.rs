@@ -3,16 +3,26 @@
 //! These take minutes each, so they are `#[ignore]`d by default; run
 //! them with `cargo test --release --test full_fidelity -- --ignored`.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::core::experiments::*;
 
 #[test]
 #[ignore = "paper-scale: full 840k-job year (~30 s)"]
 fn full_year_trend_hits_paper_anchors() {
     let r = fig05::run(&fig05::Config::default());
-    assert!((1.08..1.16).contains(&r.annual_avg_pue), "PUE {}", r.annual_avg_pue);
+    assert!(
+        (1.08..1.16).contains(&r.annual_avg_pue),
+        "PUE {}",
+        r.annual_avg_pue
+    );
     assert!(r.summer_avg_pue > r.annual_avg_pue);
     assert!(r.maintenance_peak_pue > 1.25);
-    assert!((4.5e6..7.5e6).contains(&r.mean_power_w), "mean {}", r.mean_power_w);
+    assert!(
+        (4.5e6..7.5e6).contains(&r.mean_power_w),
+        "mean {}",
+        r.mean_power_w
+    );
     assert!(r.max_power_w > 9.0e6, "peak {}", r.max_power_w);
     assert!(r.min_power_w >= 2.4e6);
 }
@@ -48,9 +58,17 @@ fn full_floor_thermal_response() {
 #[ignore = "paper-scale: 4,608-node exemplar job (~2 min)"]
 fn full_floor_job_variability() {
     let r = fig17::run(&fig17::Config::default());
-    assert_eq!(r.job_nodes, 4608);
-    assert!((30.0..90.0).contains(&r.peak_power_spread_w), "62 W anchor, got {}", r.peak_power_spread_w);
-    assert!((8.0..25.0).contains(&r.peak_temp_spread_c), "15.8 C anchor, got {}", r.peak_temp_spread_c);
+    assert_eq!(r.job_nodes, summit_repro::sim::spec::MAX_JOB_NODES);
+    assert!(
+        (30.0..90.0).contains(&r.peak_power_spread_w),
+        "62 W anchor, got {}",
+        r.peak_power_spread_w
+    );
+    assert!(
+        (8.0..25.0).contains(&r.peak_temp_spread_c),
+        "15.8 C anchor, got {}",
+        r.peak_temp_spread_c
+    );
     assert!(r.frac_over_60c < 0.02);
     assert!(r.transition_s < 30.0, "under half a minute");
 }

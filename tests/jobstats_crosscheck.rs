@@ -3,6 +3,8 @@
 //! reproduction's equivalent of validating derived datasets against the
 //! raw stream.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use summit_repro::sim::engine::{Engine, EngineConfig};
@@ -81,8 +83,7 @@ fn synthetic_series_consistent_with_stats() {
         let job = gen.generate(&mut rng, 0.0);
         let stats = job_stats(&job, &pm);
         let series = job_power_series(&job, &pm, 10.0);
-        let series_mean =
-            series.values().iter().sum::<f64>() / series.len().max(1) as f64;
+        let series_mean = series.values().iter().sum::<f64>() / series.len().max(1) as f64;
         let series_max = series.values().iter().cloned().fold(f64::MIN, f64::max);
         // The series samples the same model the stats integrate: means
         // agree within a few percent (discretization + rep-node averaging),

@@ -2,6 +2,8 @@
 //! -> coarsening -> cluster/job aggregation, mirroring the paper's Figure 3
 //! data path.
 
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use summit_repro::sim::engine::{Engine, EngineConfig, StepOptions};
 use summit_repro::sim::jobs::JobGenerator;
 use summit_repro::telemetry::catalog;
@@ -132,7 +134,10 @@ fn archive_roundtrip_through_store() {
     for (orig, rest) in frames[0].iter().zip(&restored) {
         let a = orig.get(catalog::input_power());
         let b = rest.get(catalog::input_power());
-        assert!((a - b).abs() <= 0.5, "lossless to integer watts: {a} vs {b}");
+        assert!(
+            (a - b).abs() <= 0.5,
+            "lossless to integer watts: {a} vs {b}"
+        );
     }
     let stats = store.compression_stats();
     assert!(stats.ratio() > 2.0, "compression ratio {}", stats.ratio());

@@ -1,0 +1,20 @@
+//! Fixture analysis crate: seeded, panic-free library code.
+
+/// Mean of the finite samples (NaN when none).
+pub fn mean(xs: &[f64]) -> f64 {
+    let finite: Vec<f64> = xs.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mean_of_one() {
+        // Unit tests may unwrap freely; the ratchet masks this module.
+        let ord = super::mean(&[2.0]).partial_cmp(&2.0).unwrap();
+        assert_eq!(ord, std::cmp::Ordering::Equal);
+    }
+}

@@ -1,0 +1,3 @@
+//! Runner for fig01.
+
+fn main() {}

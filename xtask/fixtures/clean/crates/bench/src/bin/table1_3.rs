@@ -1,0 +1,3 @@
+//! Runner for the `tables` experiment (historical name).
+
+fn main() {}

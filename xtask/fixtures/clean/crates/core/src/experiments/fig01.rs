@@ -1,0 +1,6 @@
+//! Wired experiment.
+
+/// Runs it.
+pub fn run() -> usize {
+    1
+}

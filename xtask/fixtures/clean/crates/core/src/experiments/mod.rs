@@ -1,0 +1,4 @@
+//! Fixture experiment registry: fully wired.
+
+pub mod fig01;
+pub mod tables;

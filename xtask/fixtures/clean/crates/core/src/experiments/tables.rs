@@ -1,0 +1,6 @@
+//! Aliased experiment: its runner binary is named `table1_3`.
+
+/// Runs it.
+pub fn run() -> usize {
+    13
+}

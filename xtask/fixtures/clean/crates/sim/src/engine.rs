@@ -1,0 +1,10 @@
+//! Fixture engine: deterministic, names the spec constant, and carries
+//! exactly the one panic site its allowlist entry budgets.
+
+use crate::spec;
+
+/// Ticks the fixture engine over the full floor.
+pub fn tick(xs: &[f64]) -> f64 {
+    let nodes = spec::TOTAL_NODES;
+    xs.first().copied().expect("engine requires at least one node") + nodes as f64
+}

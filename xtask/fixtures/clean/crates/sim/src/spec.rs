@@ -1,0 +1,24 @@
+//! Fixture spec in agreement with paper_constants.toml.
+
+/// Total compute nodes.
+pub const TOTAL_NODES: usize = 4626;
+
+/// GPUs per node.
+pub const GPUS_PER_NODE: usize = 6;
+
+/// Scheduling class shape mirroring the real spec.
+pub struct SchedulingClass {
+    /// Class number.
+    pub class: u8,
+    /// Inclusive node range.
+    pub node_range: (u32, u32),
+    /// Walltime cap (hours).
+    pub max_walltime_h: f64,
+}
+
+/// Table 3 subset.
+pub const SCHEDULING_CLASSES: [SchedulingClass; 1] = [SchedulingClass {
+    class: 1,
+    node_range: (2765, 4608),
+    max_walltime_h: 24.0,
+}];

@@ -1,0 +1,7 @@
+//! Fixture smoke test: covers every experiment module.
+
+#[test]
+fn all_experiments_run() {
+    let _ = fig01::run();
+    let _ = tables::run();
+}

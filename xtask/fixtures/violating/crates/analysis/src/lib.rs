@@ -1,0 +1,17 @@
+//! Fixture analysis crate: entropy RNG, unlisted unwrap, literal index.
+
+/// Samples with a thread-local RNG (banned).
+pub fn sample(xs: &[f64]) -> f64 {
+    let mut rng = rand::thread_rng();
+    let first = xs[0];
+    first + xs.iter().copied().reduce(f64::max).unwrap() + rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked_out() {
+        // Test-module panics are exempt from the ratchet.
+        super::sample(&[1.0]).partial_cmp(&0.0).unwrap();
+    }
+}

@@ -1,0 +1,6 @@
+//! Orphan experiment: not declared, no runner, no smoke coverage.
+
+/// Runs it.
+pub fn run() -> usize {
+    99
+}

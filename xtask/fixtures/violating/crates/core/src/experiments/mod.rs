@@ -1,0 +1,3 @@
+//! Fixture experiment registry: fig99 is deliberately unregistered.
+
+pub mod fig01;

@@ -1,0 +1,24 @@
+//! Fixture spec with deliberate drift from paper_constants.toml.
+
+/// Wrong on purpose: the TOML transcribes 4,626.
+pub const TOTAL_NODES: usize = 4627;
+
+/// Not transcribed in the TOML on purpose.
+pub const UNTRACKED_CONST: f64 = 9.9e6;
+
+/// Scheduling class shape mirroring the real spec.
+pub struct SchedulingClass {
+    /// Class number.
+    pub class: u8,
+    /// Inclusive node range.
+    pub node_range: (u32, u32),
+    /// Walltime cap (hours).
+    pub max_walltime_h: f64,
+}
+
+/// One class, with a wrong walltime (the TOML says 24.0).
+pub const SCHEDULING_CLASSES: [SchedulingClass; 1] = [SchedulingClass {
+    class: 1,
+    node_range: (2765, 4608),
+    max_walltime_h: 12.0,
+}];

@@ -1,0 +1,6 @@
+//! Fixture smoke test: covers fig01 only.
+
+#[test]
+fn fig01_runs() {
+    let _ = fig01::run();
+}

@@ -1,0 +1,283 @@
+//! Const-expression evaluator for `spec.rs` cross-checking.
+//!
+//! `crates/sim/src/spec.rs` defines some constants in terms of others
+//! (`TOTAL_NODES * GPUS_PER_NODE`, `SYSTEM_IDLE_POWER_W / TOTAL_NODES
+//! as f64`). To compare those against `paper_constants.toml` the lint
+//! evaluates the right-hand side numerically: `+ - * /`, parentheses,
+//! unary minus, numeric literals (underscores, scientific notation,
+//! type suffixes), identifiers resolved from previously evaluated
+//! constants, and `as <type>` casts (ignored — everything is f64).
+//!
+//! Non-numeric initializers (arrays, struct literals) simply fail to
+//! evaluate and the caller skips them.
+
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Num(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+    As,
+}
+
+fn lex(s: &str) -> Option<Vec<Tok>> {
+    let chars: Vec<char> = s.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        match c {
+            '+' => {
+                toks.push(Tok::Plus);
+                i += 1;
+            }
+            '-' => {
+                toks.push(Tok::Minus);
+                i += 1;
+            }
+            '*' => {
+                toks.push(Tok::Star);
+                i += 1;
+            }
+            '/' => {
+                toks.push(Tok::Slash);
+                i += 1;
+            }
+            '(' => {
+                toks.push(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                toks.push(Tok::RParen);
+                i += 1;
+            }
+            '0'..='9' => {
+                let mut lit = String::new();
+                // Integer part (underscores allowed).
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    if chars[i] != '_' {
+                        lit.push(chars[i]);
+                    }
+                    i += 1;
+                }
+                // Fraction: a '.' followed by a digit (not `1..=5` or a
+                // method call).
+                if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                    lit.push('.');
+                    i += 1;
+                    while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                        if chars[i] != '_' {
+                            lit.push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                } else if i < chars.len() && chars[i] == '.' {
+                    // Trailing `.` as in `2.` or a range — treat `2.`
+                    // followed by non-digit as "2.0" only when the next
+                    // char is not another '.' (range) or ident char.
+                    let next = chars.get(i + 1).copied().unwrap_or(' ');
+                    if next != '.' && !next.is_alphabetic() && next != '_' {
+                        lit.push_str(".0");
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                    let mut j = i + 1;
+                    if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                        j += 1;
+                    }
+                    if j < chars.len() && chars[j].is_ascii_digit() {
+                        lit.push('e');
+                        if chars[i + 1] == '+' || chars[i + 1] == '-' {
+                            lit.push(chars[i + 1]);
+                        }
+                        i = j;
+                        while i < chars.len() && chars[i].is_ascii_digit() {
+                            lit.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                }
+                // Type suffix (`u32`, `f64`, `usize`…) — skip.
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok::Num(lit.parse().ok()?));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    ident.push(chars[i]);
+                    i += 1;
+                }
+                if ident == "as" {
+                    toks.push(Tok::As);
+                } else {
+                    toks.push(Tok::Ident(ident));
+                }
+            }
+            _ => return None, // unsupported construct ([, {, ::, …)
+        }
+    }
+    Some(toks)
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+    env: &'a BTreeMap<String, f64>,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expr(&mut self) -> Option<f64> {
+        let mut acc = self.term()?;
+        while let Some(op) = self.peek() {
+            match op {
+                Tok::Plus => {
+                    self.pos += 1;
+                    acc += self.term()?;
+                }
+                Tok::Minus => {
+                    self.pos += 1;
+                    acc -= self.term()?;
+                }
+                _ => break,
+            }
+        }
+        Some(acc)
+    }
+
+    fn term(&mut self) -> Option<f64> {
+        let mut acc = self.factor()?;
+        while let Some(op) = self.peek() {
+            match op {
+                Tok::Star => {
+                    self.pos += 1;
+                    acc *= self.factor()?;
+                }
+                Tok::Slash => {
+                    self.pos += 1;
+                    acc /= self.factor()?;
+                }
+                _ => break,
+            }
+        }
+        Some(acc)
+    }
+
+    fn factor(&mut self) -> Option<f64> {
+        let v = self.primary()?;
+        // Postfix `as <type>` casts: the type ident is consumed and the
+        // value passes through unchanged (all arithmetic is f64; the
+        // spec constants never rely on integer truncation).
+        while matches!(self.peek(), Some(Tok::As)) {
+            self.pos += 1;
+            match self.bump() {
+                Some(Tok::Ident(_)) => {}
+                _ => return None,
+            }
+        }
+        Some(v)
+    }
+
+    fn primary(&mut self) -> Option<f64> {
+        match self.bump()?.clone() {
+            Tok::Num(n) => Some(n),
+            Tok::Ident(name) => self.env.get(&name).copied(),
+            Tok::Minus => Some(-self.primary()?),
+            Tok::LParen => {
+                let v = self.expr()?;
+                match self.bump() {
+                    Some(Tok::RParen) => Some(v),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Evaluates a const initializer against known constants.
+///
+/// Returns `None` for anything the mini-grammar cannot handle (arrays,
+/// struct literals, unknown identifiers) — callers treat that as "not a
+/// scalar constant" and move on.
+pub fn eval(src: &str, env: &BTreeMap<String, f64>) -> Option<f64> {
+    let toks = lex(src)?;
+    if toks.is_empty() {
+        return None;
+    }
+    let mut p = Parser {
+        toks: &toks,
+        pos: 0,
+        env,
+    };
+    let v = p.expr()?;
+    (p.pos == toks.len()).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    fn env(pairs: &[(&str, f64)]) -> BTreeMap<String, f64> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn literals_and_arithmetic() {
+        let e = env(&[]);
+        assert_eq!(eval("4626", &e), Some(4626.0));
+        assert_eq!(eval("4_626", &e), Some(4626.0));
+        assert_eq!(eval("13.0e6", &e), Some(13.0e6));
+        assert_eq!(eval("366.0 * 86_400.0", &e), Some(31_622_400.0));
+        assert_eq!(eval("2 + 3 * 4", &e), Some(14.0));
+        assert_eq!(eval("(2 + 3) * 4", &e), Some(20.0));
+        assert_eq!(eval("-5.0 / 2.0", &e), Some(-2.5));
+    }
+
+    #[test]
+    fn identifiers_and_casts() {
+        let e = env(&[("TOTAL_NODES", 4626.0), ("GPUS_PER_NODE", 6.0)]);
+        assert_eq!(eval("TOTAL_NODES * GPUS_PER_NODE", &e), Some(27_756.0));
+        assert_eq!(eval("2.5e6 / TOTAL_NODES as f64", &e), Some(2.5e6 / 4626.0));
+        assert_eq!(eval("MISSING + 1", &e), None);
+    }
+
+    #[test]
+    fn rejects_non_scalar() {
+        let e = env(&[]);
+        assert_eq!(eval("[1, 2, 3]", &e), None);
+        assert_eq!(eval("SchedulingClass { class: 1 }", &e), None);
+        assert_eq!(eval("", &e), None);
+    }
+
+    #[test]
+    fn numeric_suffixes_ignored() {
+        let e = env(&[]);
+        assert_eq!(eval("4608u32", &e), Some(4608.0));
+        assert_eq!(eval("300.0f64", &e), Some(300.0));
+    }
+}

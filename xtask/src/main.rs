@@ -1,0 +1,113 @@
+//! `cargo xtask` — repo-specific developer tooling.
+//!
+//! The only subcommand today is `lint`, a custom static-analysis pass
+//! enforcing four invariants the compiler cannot check:
+//!
+//! 1. **determinism** — no wall-clock or entropy-seeded randomness in
+//!    the simulation/analysis crates that feed experiment outputs;
+//! 2. **panic-freedom** — no `unwrap()`/`expect()`/bare `panic!` in
+//!    non-test library code outside a ratcheted allowlist;
+//! 3. **spec-constants** — `crates/sim/src/spec.rs` matches the
+//!    machine-readable `paper_constants.toml` (paper Tables 1/3), and
+//!    no spec value is duplicated as a magic literal elsewhere;
+//! 4. **registry** — every experiment module is registered in
+//!    `experiments/mod.rs`, has a bench binary, and smoke coverage.
+//!
+//! Run as `cargo xtask lint` (see `.cargo/config.toml` for the alias).
+
+use std::process::ExitCode;
+use xtask::violation::Violation;
+use xtask::{rules, workspace};
+
+const USAGE: &str = "\
+usage: cargo xtask lint [--rule <name>]... [--strict-indexing]
+
+rules: determinism | panic-freedom | spec-constants | registry
+       (default: all four)
+
+--strict-indexing  also fail on literal slice indexing (`xs[0]`) in
+                   non-test library code; advisory warnings otherwise
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut iter = args.iter();
+    match iter.next().map(String::as_str) {
+        Some("lint") => {}
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => {
+            eprintln!("unknown subcommand `{other}`\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut selected: Vec<String> = Vec::new();
+    let mut strict_indexing = false;
+    let mut iter = iter.peekable();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--rule" => match iter.next() {
+                Some(name) => selected.push(name.clone()),
+                None => {
+                    eprintln!("--rule requires a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--strict-indexing" => strict_indexing = true,
+            other => {
+                eprintln!("unknown flag `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let root = match workspace::workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask: cannot locate workspace root: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let run = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut warnings: Vec<Violation> = Vec::new();
+
+    if run("determinism") {
+        violations.extend(rules::determinism::check(&root));
+    }
+    if run("panic-freedom") {
+        let (errs, warns) = rules::panic_freedom::check(&root, strict_indexing);
+        violations.extend(errs);
+        warnings.extend(warns);
+    }
+    if run("spec-constants") {
+        violations.extend(rules::spec_constants::check(&root));
+    }
+    if run("registry") {
+        violations.extend(rules::registry::check(&root));
+    }
+
+    violations.sort();
+    warnings.sort();
+    for w in &warnings {
+        println!("warning: {w}");
+    }
+    for v in &violations {
+        println!("error: {v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "xtask lint: clean ({} advisory warning{})",
+            warnings.len(),
+            if warnings.len() == 1 { "" } else { "s" }
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,6 @@
+//! The four repo-specific lint rules.
+
+pub mod determinism;
+pub mod panic_freedom;
+pub mod registry;
+pub mod spec_constants;

@@ -1,0 +1,233 @@
+//! Rule: no panics in non-test library code, outside a shrinking
+//! allowlist.
+//!
+//! `.unwrap()`, `.expect(` and bare `panic!(` in shipping code turn
+//! recoverable conditions into aborts mid-experiment. Existing sites
+//! are grandfathered in `xtask/panic_allowlist.txt` as exact per-file
+//! counts; the rule errors both when a file *exceeds* its budget (new
+//! panic site) and when it comes in *under* (the allowlist must be
+//! ratcheted down so fixed sites cannot silently regress).
+//!
+//! Literal slice indexing (`xs[0]`) is reported as an advisory warning
+//! by default and as an error under `--strict-indexing`.
+//!
+//! Scope: non-test code in every `crates/*/src` tree. `assert!`,
+//! `debug_assert!` and `unreachable!` are allowed — they document
+//! invariants rather than handle data.
+
+use crate::source;
+use crate::violation::Violation;
+use crate::workspace::{rel, rust_files};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const RULE: &str = "panic-freedom";
+const RULE_IDX: &str = "unchecked-indexing";
+
+/// Allowlist location, relative to the workspace root.
+pub const ALLOWLIST: &str = "xtask/panic_allowlist.txt";
+
+/// Panic-introducing tokens. `word_start` avoids matching
+/// `.unwrap_or()` via the `(` terminator and `dont_panic!` via the
+/// boundary check.
+const TOKENS: &[(&str, bool)] = &[(".unwrap()", false), (".expect(", false), ("panic!(", true)];
+
+/// Runs the rule. Returns `(errors, warnings)`.
+pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violation>) {
+    let mut errors = Vec::new();
+    let mut warnings = Vec::new();
+
+    let allowed = match load_allowlist(root) {
+        Ok(a) => a,
+        Err(msg) => {
+            errors.push(Violation::new(RULE, ALLOWLIST, 0, msg));
+            return (errors, warnings);
+        }
+    };
+
+    // path (repo-relative, as written in the allowlist) -> found sites.
+    let mut found: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        errors.push(Violation::new(
+            RULE,
+            "crates",
+            0,
+            "missing crates/ directory",
+        ));
+        return (errors, warnings);
+    };
+    let mut crate_srcs: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path().join("src"))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_srcs.sort();
+
+    for src_dir in crate_srcs {
+        for file in rust_files(&src_dir) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                errors.push(Violation::new(RULE, rel(root, &file), 0, "unreadable file"));
+                continue;
+            };
+            let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let rel_path = rel(root, &file).display().to_string();
+            for (token, word_start) in TOKENS {
+                for line in source::find_token_lines(&masked, token, *word_start) {
+                    found
+                        .entry(rel_path.clone())
+                        .or_default()
+                        .push((line, (*token).to_string()));
+                }
+            }
+            for line in literal_index_lines(&masked) {
+                let v = Violation::new(
+                    RULE_IDX,
+                    rel(root, &file),
+                    line,
+                    "literal slice index; prefer `.first()`/`.get(n)` or a destructuring",
+                );
+                if strict_indexing {
+                    errors.push(v);
+                } else {
+                    warnings.push(v);
+                }
+            }
+        }
+    }
+
+    // Compare found counts against the allowlist, both directions.
+    for (path, sites) in &found {
+        let budget = allowed.get(path.as_str()).copied().unwrap_or(0);
+        if sites.len() > budget {
+            for (line, token) in sites {
+                errors.push(Violation::new(
+                    RULE,
+                    path.clone(),
+                    *line,
+                    format!(
+                        "`{token}` — {} site(s) found, allowlist budget is {budget}; \
+                         handle the error instead of adding panic sites",
+                        sites.len()
+                    ),
+                ));
+            }
+        } else if sites.len() < budget {
+            errors.push(Violation::new(
+                RULE,
+                ALLOWLIST,
+                0,
+                format!(
+                    "stale entry: `{path}` allows {budget} but only {} site(s) remain — \
+                     ratchet the budget down",
+                    sites.len()
+                ),
+            ));
+        }
+    }
+    for (path, budget) in &allowed {
+        if !found.contains_key(*path) {
+            errors.push(Violation::new(
+                RULE,
+                ALLOWLIST,
+                0,
+                format!("stale entry: `{path}` allows {budget} but has no panic sites — remove it"),
+            ));
+        }
+    }
+
+    (errors, warnings)
+}
+
+/// Parses `xtask/panic_allowlist.txt`: `<path> <count>` per line, `#`
+/// comments. Returned map borrows from a leaked string only within the
+/// call, so it is keyed by owned strings upstream via `found`.
+fn load_allowlist(root: &Path) -> Result<BTreeMap<&'static str, usize>, String> {
+    // The allowlist is small and read once per run; leaking it gives the
+    // map a simple lifetime without cloning every key twice.
+    let text = std::fs::read_to_string(root.join(ALLOWLIST))
+        .map_err(|e| format!("cannot read allowlist: {e}"))?;
+    let text: &'static str = Box::leak(text.into_boxed_str());
+    let mut map = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "allowlist line {}: expected `<path> <count>`",
+                idx + 1
+            ));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist line {}: bad count `{count}`", idx + 1))?;
+        if count == 0 {
+            return Err(format!(
+                "allowlist line {}: zero-count entry for `{path}` — remove it",
+                idx + 1
+            ));
+        }
+        if map.insert(path, count).is_some() {
+            return Err(format!(
+                "allowlist line {}: duplicate entry `{path}`",
+                idx + 1
+            ));
+        }
+    }
+    Ok(map)
+}
+
+/// Lines containing `expr[<integer literal>]` — an index expression
+/// that panics when the slice is shorter than expected.
+fn literal_index_lines(masked: &str) -> Vec<usize> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut lines = Vec::new();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        // Preceded by something indexable: identifier, `)`, or `]`.
+        let Some(&prev) = chars[..i].last() else {
+            continue;
+        };
+        if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        // Content must be pure digits (underscores allowed) up to `]`.
+        let mut j = i + 1;
+        let mut digits = 0;
+        while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
+            if chars[j].is_ascii_digit() {
+                digits += 1;
+            }
+            j += 1;
+        }
+        if digits > 0 && j < chars.len() && chars[j] == ']' {
+            lines.push(source::line_of(masked, i));
+        }
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn literal_index_detection() {
+        let src = "let a = xs[0]; let b = ys[i]; let c = [0u8; 32]; let d = m[ 1 ];";
+        let m = source::mask_comments_and_strings(src);
+        assert_eq!(literal_index_lines(&m), vec![1]); // only xs[0]
+    }
+
+    #[test]
+    fn tuple_fields_not_flagged() {
+        let m = source::mask_comments_and_strings("let x = pair.0; let y = arr[12];");
+        assert_eq!(literal_index_lines(&m).len(), 1);
+    }
+}

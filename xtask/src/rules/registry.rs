@@ -1,0 +1,114 @@
+//! Rule: every experiment is wired end to end.
+//!
+//! An experiment module that exists but is missing from the module
+//! registry, lacks a runner binary, or has no smoke coverage is dead
+//! weight that silently rots. For every
+//! `crates/core/src/experiments/<name>.rs` this rule requires:
+//!
+//! 1. a `mod <name>;` declaration in `experiments/mod.rs`;
+//! 2. a runner at `crates/bench/src/bin/<name>.rs` (a few modules have
+//!    historically-named binaries, see [`BIN_ALIASES`]);
+//! 3. a `<name>::` reference in `tests/experiments_smoke.rs`.
+
+use crate::source;
+use crate::violation::Violation;
+use std::path::Path;
+
+const RULE: &str = "registry";
+
+/// Experiment modules directory, relative to the workspace root.
+pub const EXPERIMENTS_DIR: &str = "crates/core/src/experiments";
+/// Runner binaries directory.
+pub const BIN_DIR: &str = "crates/bench/src/bin";
+/// Smoke-test file that must exercise every module.
+pub const SMOKE_TEST: &str = "tests/experiments_smoke.rs";
+
+/// module name -> binary name, where they historically differ.
+pub const BIN_ALIASES: &[(&str, &str)] = &[("tables", "table1_3")];
+
+/// Runs the rule over `root` and returns every finding.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let dir = root.join(EXPERIMENTS_DIR);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        out.push(Violation::new(
+            RULE,
+            EXPERIMENTS_DIR,
+            0,
+            "missing experiments directory",
+        ));
+        return out;
+    };
+    let mut modules: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.strip_suffix(".rs")
+                .filter(|stem| *stem != "mod")
+                .map(str::to_string)
+        })
+        .collect();
+    modules.sort();
+
+    let mod_rs = dir.join("mod.rs");
+    let mod_masked = match std::fs::read_to_string(&mod_rs) {
+        Ok(t) => source::mask_comments_and_strings(&t),
+        Err(e) => {
+            out.push(Violation::new(
+                RULE,
+                format!("{EXPERIMENTS_DIR}/mod.rs"),
+                0,
+                format!("cannot read: {e}"),
+            ));
+            return out;
+        }
+    };
+    let smoke_masked = match std::fs::read_to_string(root.join(SMOKE_TEST)) {
+        Ok(t) => source::mask_comments_and_strings(&t),
+        Err(e) => {
+            out.push(Violation::new(
+                RULE,
+                SMOKE_TEST,
+                0,
+                format!("cannot read: {e}"),
+            ));
+            return out;
+        }
+    };
+
+    for name in &modules {
+        if source::find_token_lines(&mod_masked, &format!("mod {name};"), true).is_empty() {
+            out.push(Violation::new(
+                RULE,
+                format!("{EXPERIMENTS_DIR}/mod.rs"),
+                0,
+                format!("experiment `{name}` is not declared (`pub mod {name};`)"),
+            ));
+        }
+        let bin = BIN_ALIASES
+            .iter()
+            .find(|(m, _)| m == name)
+            .map(|&(_, b)| b)
+            .unwrap_or(name.as_str());
+        let bin_path = root.join(BIN_DIR).join(format!("{bin}.rs"));
+        if !bin_path.is_file() {
+            out.push(Violation::new(
+                RULE,
+                format!("{BIN_DIR}/{bin}.rs"),
+                0,
+                format!("experiment `{name}` has no runner binary"),
+            ));
+        }
+        if source::find_token_lines(&smoke_masked, &format!("{name}::"), true).is_empty() {
+            out.push(Violation::new(
+                RULE,
+                SMOKE_TEST,
+                0,
+                format!("experiment `{name}` has no smoke coverage (`{name}::` never referenced)"),
+            ));
+        }
+    }
+
+    out
+}

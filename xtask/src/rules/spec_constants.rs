@@ -1,0 +1,431 @@
+//! Rule: `spec.rs` matches the paper, and nobody bypasses it.
+//!
+//! `paper_constants.toml` is the machine-readable transcription of the
+//! paper's Tables 1 and 3. This rule checks three things:
+//!
+//! 1. every numeric entry in the TOML has a same-named constant in
+//!    `crates/sim/src/spec.rs` with the same value (const initializers
+//!    are evaluated, so derived constants like `TOTAL_NODES *
+//!    GPUS_PER_NODE` are compared by value);
+//! 2. every scalar numeric constant in `spec.rs` is covered by the
+//!    TOML — the two files cannot drift apart in either direction;
+//! 3. no distinctive spec value (any integral TOML value ≥ 2000, e.g.
+//!    `4626`) appears as a magic literal anywhere else in the
+//!    workspace — code must name `spec::TOTAL_NODES`, not repeat it.
+
+use crate::expr;
+use crate::source;
+use crate::toml_lite;
+use crate::violation::Violation;
+use crate::workspace::{rel, rust_files};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const RULE: &str = "spec-constants";
+
+/// Paper constants file, relative to the workspace root.
+pub const TOML_PATH: &str = "paper_constants.toml";
+/// The spec module the TOML is checked against.
+pub const SPEC_PATH: &str = "crates/sim/src/spec.rs";
+
+/// Threshold above which an integral paper value is distinctive enough
+/// to treat as a protected "magic" literal (4626, 27648, …) — small
+/// values like `6` GPUs/node would false-positive everywhere.
+const MAGIC_MIN: f64 = 2000.0;
+
+/// Relative tolerance for value comparison (consts are exact doubles;
+/// this only absorbs decimal-representation noise).
+const TOL: f64 = 1e-9;
+
+/// Runs the rule over `root` and returns every finding.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    let toml_text = match std::fs::read_to_string(root.join(TOML_PATH)) {
+        Ok(t) => t,
+        Err(e) => {
+            out.push(Violation::new(
+                RULE,
+                TOML_PATH,
+                0,
+                format!("cannot read: {e}"),
+            ));
+            return out;
+        }
+    };
+    let entries = match toml_lite::parse(&toml_text) {
+        Ok(e) => e,
+        Err(msg) => {
+            out.push(Violation::new(RULE, TOML_PATH, 0, msg));
+            return out;
+        }
+    };
+
+    let spec_text = match std::fs::read_to_string(root.join(SPEC_PATH)) {
+        Ok(t) => t,
+        Err(e) => {
+            out.push(Violation::new(
+                RULE,
+                SPEC_PATH,
+                0,
+                format!("cannot read: {e}"),
+            ));
+            return out;
+        }
+    };
+    let spec_masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&spec_text));
+    let consts = parse_consts(&spec_masked);
+
+    // 1. TOML -> spec, by value.
+    let mut toml_names: BTreeMap<String, f64> = BTreeMap::new();
+    for e in &entries {
+        if e.section.starts_with("schedule.") {
+            continue;
+        }
+        let Some(want) = e.value.as_f64() else {
+            continue; // strings/bools are annotations, not constants
+        };
+        let name = e.key.to_uppercase();
+        toml_names.insert(name.clone(), want);
+        match consts.get(&name) {
+            None => out.push(Violation::new(
+                RULE,
+                TOML_PATH,
+                e.line,
+                format!(
+                    "`{}` has no matching `pub const {name}` in {SPEC_PATH}",
+                    e.key
+                ),
+            )),
+            Some(&(got, line)) => {
+                if !close(got, want) {
+                    out.push(Violation::new(
+                        RULE,
+                        SPEC_PATH,
+                        line,
+                        format!("`{name}` = {got}, but paper_constants.toml says {want}"),
+                    ));
+                }
+            }
+        }
+    }
+
+    // 2. spec -> TOML: every scalar numeric const must be transcribed.
+    for (name, &(_, line)) in &consts {
+        if !toml_names.contains_key(name) {
+            out.push(Violation::new(
+                RULE,
+                SPEC_PATH,
+                line,
+                format!("`{name}` is not recorded in {TOML_PATH}; add it (paper provenance)"),
+            ));
+        }
+    }
+
+    // Scheduling classes (Table 3) are structured, not scalar.
+    check_schedule(&entries, &spec_masked, &mut out);
+
+    // 3. Magic-literal sweep.
+    let markers: BTreeMap<u64, String> = entries
+        .iter()
+        .filter(|e| e.value.is_integral())
+        .filter_map(|e| {
+            let v = e.value.as_f64()?;
+            (v >= MAGIC_MIN).then(|| (v as u64, e.key.clone()))
+        })
+        .collect();
+    check_magic_literals(root, &markers, &mut out);
+
+    out
+}
+
+fn close(got: f64, want: f64) -> bool {
+    let scale = got.abs().max(want.abs()).max(1.0);
+    (got - want).abs() <= TOL * scale
+}
+
+/// Extracts `pub const NAME: T = <scalar expr>;` definitions, resolving
+/// references to earlier constants. Returns name -> (value, line).
+fn parse_consts(masked: &str) -> BTreeMap<String, (f64, usize)> {
+    let mut env: BTreeMap<String, f64> = BTreeMap::new();
+    let mut found = BTreeMap::new();
+    let mut from = 0;
+    const NEEDLE: &str = "pub const ";
+    while let Some(pos) = masked[from..].find(NEEDLE) {
+        let abs = from + pos;
+        let after = &masked[abs + NEEDLE.len()..];
+        from = abs + NEEDLE.len();
+        let Some(colon) = after.find(':') else {
+            continue;
+        };
+        let name = after[..colon].trim().to_string();
+        let Some(eq_rel) = after.find('=') else {
+            continue;
+        };
+        let Some(semi_rel) = after[eq_rel..].find(';') else {
+            continue;
+        };
+        let init = &after[eq_rel + 1..eq_rel + semi_rel];
+        if let Some(v) = expr::eval(init, &env) {
+            let line = source::line_of(masked, masked[..abs].chars().count());
+            env.insert(name.clone(), v);
+            found.insert(name, (v, line));
+        }
+    }
+    found
+}
+
+/// Cross-checks the `SCHEDULING_CLASSES` array against the
+/// `[schedule.classN]` TOML sections.
+fn check_schedule(entries: &[toml_lite::Entry], spec_masked: &str, out: &mut Vec<Violation>) {
+    // Parse spec: sequences of `class: N`, `node_range: (a, b)`,
+    // `max_walltime_h: X` in source order.
+    let mut spec_classes: BTreeMap<u64, (f64, f64, f64)> = BTreeMap::new();
+    let mut rest = spec_masked;
+    while let Some(pos) = rest.find("class:") {
+        let after = &rest[pos + "class:".len()..];
+        let class = leading_number(after);
+        let (range, walltime) = match (after.find("node_range:"), after.find("max_walltime_h:")) {
+            (Some(r), Some(w)) => (
+                &after[r + "node_range:".len()..],
+                &after[w + "max_walltime_h:".len()..],
+            ),
+            _ => break,
+        };
+        let lo = leading_number(range.trim_start().trim_start_matches('('));
+        let hi = range
+            .find(',')
+            .map(|c| leading_number(&range[c + 1..]))
+            .unwrap_or(None);
+        let wt = leading_number(walltime);
+        if let (Some(c), Some(lo), Some(hi), Some(wt)) = (class, lo, hi, wt) {
+            spec_classes.insert(c as u64, (lo, hi, wt));
+        }
+        rest = &rest[pos + "class:".len()..];
+    }
+
+    let mut toml_classes: BTreeMap<u64, BTreeMap<String, (f64, usize)>> = BTreeMap::new();
+    for e in entries {
+        if let Some(n) = e.section.strip_prefix("schedule.class") {
+            if let (Ok(n), Some(v)) = (n.parse::<u64>(), e.value.as_f64()) {
+                toml_classes
+                    .entry(n)
+                    .or_default()
+                    .insert(e.key.clone(), (v, e.line));
+            }
+        }
+    }
+
+    for (n, keys) in &toml_classes {
+        let Some(&(lo, hi, wt)) = spec_classes.get(n) else {
+            out.push(Violation::new(
+                RULE,
+                TOML_PATH,
+                keys.values().next().map(|&(_, l)| l).unwrap_or(0),
+                format!("schedule.class{n} has no matching entry in SCHEDULING_CLASSES"),
+            ));
+            continue;
+        };
+        for (key, want, got) in [
+            ("min_nodes", keys.get("min_nodes"), lo),
+            ("max_nodes", keys.get("max_nodes"), hi),
+            ("max_walltime_h", keys.get("max_walltime_h"), wt),
+        ] {
+            match want {
+                None => out.push(Violation::new(
+                    RULE,
+                    TOML_PATH,
+                    0,
+                    format!("schedule.class{n} is missing `{key}`"),
+                )),
+                Some(&(w, line)) if !close(got, w) => out.push(Violation::new(
+                    RULE,
+                    TOML_PATH,
+                    line,
+                    format!("schedule.class{n}.{key} = {w}, but SCHEDULING_CLASSES has {got}"),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+    for n in spec_classes.keys() {
+        if !toml_classes.contains_key(n) {
+            out.push(Violation::new(
+                RULE,
+                TOML_PATH,
+                0,
+                format!("SCHEDULING_CLASSES class {n} is not transcribed as [schedule.class{n}]"),
+            ));
+        }
+    }
+}
+
+fn leading_number(s: &str) -> Option<f64> {
+    let s = s.trim_start();
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_ascii_digit() || *c == '.' || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    let cleaned: String = s[..end].chars().filter(|&c| c != '_').collect();
+    let cleaned = cleaned.trim_end_matches('.');
+    cleaned.parse().ok()
+}
+
+/// Directories swept for magic literals. Everything that is not the
+/// spec itself, the vendored compat shims, or xtask's own fixtures.
+///
+/// Unit-test (`#[cfg(test)]`) modules inside `crates/` are exempt:
+/// crates below `sim` in the dependency graph (`analysis`,
+/// `telemetry`) cannot name `spec` constants without a cycle, and unit
+/// tests legitimately construct literal examples. Workspace-level
+/// `tests/` and `examples/` see every crate, so they are swept fully.
+const SWEEP_DIRS: &[&str] = &["crates", "tests", "examples"];
+
+fn check_magic_literals(root: &Path, markers: &BTreeMap<u64, String>, out: &mut Vec<Violation>) {
+    if markers.is_empty() {
+        return;
+    }
+    let spec_abs = root.join(SPEC_PATH);
+    for dir in SWEEP_DIRS {
+        let exempt_unit_tests = *dir == "crates";
+        for file in rust_files(&root.join(dir)) {
+            if file == spec_abs {
+                continue;
+            }
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                continue;
+            };
+            let mut masked = source::mask_comments_and_strings(&text);
+            if exempt_unit_tests {
+                masked = source::mask_cfg_test_items(&masked);
+            }
+            for (value, line) in number_literals(&masked) {
+                if value.fract() != 0.0 || value < MAGIC_MIN {
+                    continue;
+                }
+                if let Some(key) = markers.get(&(value as u64)) {
+                    out.push(Violation::new(
+                        RULE,
+                        rel(root, &file),
+                        line,
+                        format!(
+                            "magic literal {value} duplicates paper constant `{key}`; \
+                             use the `spec` constant instead"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// All numeric literals in masked source, with their lines. Consumes
+/// each literal fully (fraction, exponent, suffix) so `1.4626` is one
+/// token, not two.
+fn number_literals(masked: &str) -> Vec<(f64, usize)> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        let prev_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if !c.is_ascii_digit() || prev_ident {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut lit = String::new();
+        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            if chars[i] != '_' {
+                lit.push(chars[i]);
+            }
+            i += 1;
+        }
+        if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+            lit.push('.');
+            i += 1;
+            while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                if chars[i] != '_' {
+                    lit.push(chars[i]);
+                }
+                i += 1;
+            }
+        } else if i < n && chars[i] == '.' {
+            let next = chars.get(i + 1).copied().unwrap_or(' ');
+            // `4626.0` handled above; bare `4626.` (not a range/method).
+            if next != '.' && !next.is_alphabetic() && next != '_' {
+                i += 1;
+            }
+        }
+        if i < n && (chars[i] == 'e' || chars[i] == 'E') {
+            let mut j = i + 1;
+            if j < n && (chars[j] == '+' || chars[j] == '-') {
+                j += 1;
+            }
+            if j < n && chars[j].is_ascii_digit() {
+                lit.push('e');
+                if chars[i + 1] == '+' || chars[i + 1] == '-' {
+                    lit.push(chars[i + 1]);
+                }
+                i = j;
+                while i < n && chars[i].is_ascii_digit() {
+                    lit.push(chars[i]);
+                    i += 1;
+                }
+            }
+        }
+        // Type suffix.
+        while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+        if let Ok(v) = lit.parse::<f64>() {
+            out.push((v, source::line_of(masked, start)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn const_parsing_resolves_references() {
+        let src = "\
+pub const A: usize = 4626;
+pub const B: usize = A * 6;
+pub const C: f64 = 2.5e6 / A as f64;
+pub const ARR: [u8; 3] = [1, 2, 3];
+";
+        let consts = parse_consts(src);
+        assert_eq!(consts.get("A"), Some(&(4626.0, 1)));
+        assert_eq!(consts.get("B"), Some(&(27_756.0, 2)));
+        let (c, _) = consts["C"];
+        assert!((c - 2.5e6 / 4626.0).abs() < 1e-9);
+        assert!(!consts.contains_key("ARR"));
+    }
+
+    #[test]
+    fn literal_scanner_values_and_lines() {
+        let src =
+            "let a = 4_626;\nlet b = x.4626; // not code\nlet c = 1.4626;\nlet d = 0u32..4608;\n";
+        let masked = source::mask_comments_and_strings(src);
+        let lits = number_literals(&masked);
+        let values: Vec<f64> = lits.iter().map(|&(v, _)| v).collect();
+        assert!(values.contains(&4626.0));
+        assert!(values.contains(&1.4626));
+        assert!(values.contains(&4608.0));
+        // 1.4626 must not contribute a bare 4626 token.
+        assert_eq!(values.iter().filter(|&&v| v == 4626.0).count(), 2); // a + x.4626
+    }
+
+    #[test]
+    fn scientific_notation_is_integral() {
+        let lits = number_literals("let p = 13.0e6;");
+        assert_eq!(lits, vec![(13.0e6, 1)]);
+        assert_eq!(13.0e6_f64.fract(), 0.0);
+    }
+}

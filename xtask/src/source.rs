@@ -1,0 +1,313 @@
+//! Lightweight Rust-source preprocessing shared by the lint rules.
+//!
+//! The rules work on *masked* source text: the scanner below replaces
+//! the contents of comments and string literals with spaces (preserving
+//! byte offsets and line structure exactly), so substring searches
+//! cannot fire inside prose or data. A second pass can additionally
+//! mask `#[cfg(test)]` items so rules only see shipping library code.
+//!
+//! This is deliberately not a full parser: it understands line/block
+//! comments (nested), `"…"` strings with escapes, raw strings
+//! (`r"…"`, `r#"…"#`, any hash depth), byte/char literals well enough
+//! for masking, and brace matching for item bodies. That is sufficient
+//! for token-level rules and keeps xtask dependency-free.
+
+/// Replaces comment and string-literal *contents* with spaces.
+///
+/// Newlines are preserved everywhere so line numbers in findings match
+/// the original file. Delimiters themselves (`//`, quotes) are also
+/// masked — rules never need them.
+pub fn mask_comments_and_strings(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let mut out: Vec<char> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let n = b.len();
+
+    let mask = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = b[i];
+        // Line comment (also covers doc comments).
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(mask(b[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw string r"…" / r#"…"# / byte-raw br"…".
+        let raw_start = if c == 'r' && i + 1 < n && (b[i + 1] == '"' || b[i + 1] == '#') {
+            Some(i + 1)
+        } else if c == 'b' && i + 2 < n && b[i + 1] == 'r' && (b[i + 2] == '"' || b[i + 2] == '#') {
+            Some(i + 2)
+        } else {
+            None
+        };
+        // Only treat as a raw string when `r`/`br` is not part of a
+        // longer identifier (e.g. `for`, `var#`).
+        let prev_ident = i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_');
+        if let (Some(mut j), false) = (raw_start, prev_ident) {
+            let mut hashes = 0;
+            while j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' {
+                // Mask from i through the closing quote + hashes.
+                let closing: String = std::iter::once('"')
+                    .chain(std::iter::repeat_n('#', hashes))
+                    .collect();
+                let rest: String = b[j + 1..].iter().collect();
+                let end_rel = rest.find(&closing);
+                let end = match end_rel {
+                    Some(k) => j + 1 + rest[..k].chars().count() + closing.chars().count(),
+                    None => n,
+                };
+                while i < end.min(n) {
+                    out.push(mask(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Ordinary string / byte string.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(mask(b[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(mask(b[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal — only when it cannot be a lifetime. `'a'` is a
+        // char; `'a` followed by non-quote is a lifetime and passes
+        // through. Escapes: '\n', '\''.
+        if c == '\'' && i + 1 < n {
+            let is_escape = b[i + 1] == '\\';
+            let closes_simple = i + 2 < n && b[i + 2] == '\'';
+            if is_escape || closes_simple {
+                out.push(' ');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(mask(b[i + 1]));
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    }
+                    out.push(mask(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+/// Masks the bodies of `#[cfg(test)]` items (modules or functions) in
+/// already-masked source, so rules only see non-test code.
+///
+/// Line structure is preserved. Call on the output of
+/// [`mask_comments_and_strings`].
+pub fn mask_cfg_test_items(masked: &str) -> String {
+    const MARKER: &str = "#[cfg(test)]";
+    let mut result: Vec<char> = masked.chars().collect();
+    let chars: Vec<char> = masked.chars().collect();
+    let mut search_from = 0;
+
+    loop {
+        let hay: String = chars[search_from..].iter().collect();
+        let Some(rel_pos) = hay.find(MARKER) else {
+            break;
+        };
+        let start = search_from + hay[..rel_pos].chars().count();
+        // Find the first `{` after the marker and mask through its
+        // matching `}`.
+        let mut i = start + MARKER.chars().count();
+        let n = chars.len();
+        while i < n && chars[i] != '{' && chars[i] != ';' {
+            i += 1;
+        }
+        if i >= n || chars[i] == ';' {
+            // `#[cfg(test)] use …;` — nothing to mask.
+            search_from = i.min(n);
+            continue;
+        }
+        let mut depth = 0usize;
+        let body_start = i;
+        while i < n {
+            match chars[i] {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        for (k, slot) in result
+            .iter_mut()
+            .enumerate()
+            .take(i.min(n))
+            .skip(body_start)
+        {
+            if chars[k] != '\n' {
+                *slot = ' ';
+            }
+        }
+        search_from = i.min(n);
+    }
+    result.into_iter().collect()
+}
+
+/// 1-based line number of a character offset in `text`.
+pub fn line_of(text: &str, offset: usize) -> usize {
+    text.chars().take(offset).filter(|&c| c == '\n').count() + 1
+}
+
+/// Finds every occurrence of `needle` in `haystack` (masked source),
+/// returning 1-based line numbers. `word_start` additionally requires
+/// the preceding character not be part of an identifier, so `panic!(`
+/// does not match `dont_panic!(`.
+pub fn find_token_lines(haystack: &str, needle: &str, word_start: bool) -> Vec<usize> {
+    let mut lines = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = haystack[from..].find(needle) {
+        let abs = from + pos;
+        let ok = if word_start {
+            abs == 0
+                || haystack[..abs]
+                    .chars()
+                    .next_back()
+                    .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+        } else {
+            true
+        };
+        if ok {
+            lines.push(line_of(haystack, haystack[..abs].chars().count()));
+        }
+        from = abs + needle.len();
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn masks_line_and_block_comments() {
+        let src = "let x = 1; // unwrap() here\n/* panic!( */ let y = 2;";
+        let m = mask_comments_and_strings(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("let y = 2;"));
+        assert_eq!(src.lines().count(), m.lines().count());
+    }
+
+    #[test]
+    fn masks_nested_block_comments() {
+        let src = "/* outer /* inner unwrap() */ still */ let z = 3;";
+        let m = mask_comments_and_strings(src);
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn masks_strings_and_raw_strings() {
+        let src = r###"let s = "call .unwrap() now"; let r = r#"panic!("x")"#; s.len();"###;
+        let m = mask_comments_and_strings(src);
+        assert!(!m.contains("unwrap"));
+        assert!(!m.contains("panic"));
+        assert!(m.contains("s.len();"));
+    }
+
+    #[test]
+    fn preserves_lifetimes_but_masks_chars() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let m = mask_comments_and_strings(src);
+        assert!(m.contains("<'a>"), "lifetime mangled: {m}");
+        assert!(!m.contains("'x'"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let src = r"let q = '\''; let after = 1;";
+        let m = mask_comments_and_strings(src);
+        assert!(m.contains("let after = 1;"));
+    }
+
+    #[test]
+    fn masks_cfg_test_modules() {
+        let src = "\
+pub fn shipping() { inner(); }
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { x.unwrap(); }
+}
+pub fn also_shipping() {}
+";
+        let m = mask_cfg_test_items(&mask_comments_and_strings(src));
+        assert!(!m.contains("unwrap"));
+        assert!(m.contains("shipping"));
+        assert!(m.contains("also_shipping"));
+        assert_eq!(src.lines().count(), m.lines().count());
+    }
+
+    #[test]
+    fn token_lines_respect_word_boundaries() {
+        let hay = "a\ndont_panic!(x)\npanic!(y)\n";
+        assert_eq!(find_token_lines(hay, "panic!(", true), vec![3]);
+        assert_eq!(find_token_lines(hay, "panic!(", false), vec![2, 3]);
+    }
+}

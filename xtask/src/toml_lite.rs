@@ -1,0 +1,174 @@
+//! Minimal TOML-subset parser for `paper_constants.toml`.
+//!
+//! Supports exactly what that file needs: `[section]` / `[a.b]`
+//! headers, `key = value` pairs with integer (underscore separators
+//! allowed), float (including scientific notation), quoted-string and
+//! boolean values, and `#` comments. Anything else is a parse error —
+//! the constants file is repo-controlled, so failing loudly beats
+//! guessing.
+
+/// A parsed scalar value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer literal (underscores stripped).
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string (no escape processing).
+    Str(String),
+    /// `true` / `false`.
+    Bool(bool),
+}
+
+impl Value {
+    /// Numeric view of the value, if it has one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is numerically an integer (e.g. `13.0e6`).
+    pub fn is_integral(&self) -> bool {
+        match self.as_f64() {
+            Some(f) => f.fract() == 0.0 && f.is_finite(),
+            None => false,
+        }
+    }
+}
+
+/// One `key = value` pair with its section and source line.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Dotted section name (`""` for top level).
+    pub section: String,
+    /// Key within the section.
+    pub key: String,
+    /// Parsed value.
+    pub value: Value,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// Parses the TOML subset; returns entries in file order.
+pub fn parse(text: &str) -> Result<Vec<Entry>, String> {
+    let mut section = String::new();
+    let mut entries = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(format!("line {lineno}: unterminated section header"));
+            };
+            let name = name.trim();
+            if name.is_empty()
+                || !name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '-')
+            {
+                return Err(format!("line {lineno}: bad section name `{name}`"));
+            }
+            section = name.to_string();
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(format!("line {lineno}: expected `key = value`"));
+        };
+        let key = key.trim();
+        if key.is_empty() || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            return Err(format!("line {lineno}: bad key `{key}`"));
+        }
+        let value = parse_value(val.trim())
+            .ok_or_else(|| format!("line {lineno}: cannot parse value `{}`", val.trim()))?;
+        entries.push(Entry {
+            section: section.clone(),
+            key: key.to_string(),
+            value,
+            line: lineno,
+        });
+    }
+    Ok(entries)
+}
+
+/// Removes a `#` comment, respecting a possible quoted string before it.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_value(s: &str) -> Option<Value> {
+    match s {
+        "true" => return Some(Value::Bool(true)),
+        "false" => return Some(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        return body.strip_suffix('"').map(|b| Value::Str(b.to_string()));
+    }
+    let cleaned: String = s.chars().filter(|&c| c != '_').collect();
+    if cleaned.contains(['.', 'e', 'E'])
+        && !cleaned.starts_with("0x")
+        && cleaned.parse::<f64>().is_ok()
+    {
+        return cleaned.parse::<f64>().ok().map(Value::Float);
+    }
+    if let Ok(i) = cleaned.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    cleaned.parse::<f64>().ok().map(Value::Float)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_values() {
+        let text = "\
+# header comment
+top = 1
+[system]
+total_nodes = 4_626   # paper Table 1
+peak_w = 13.0e6
+name = \"summit\"
+leap = true
+[schedule.class1]
+min_nodes = 2765
+";
+        let entries = parse(text).expect("parse");
+        assert_eq!(entries.len(), 6);
+        assert_eq!(entries[0].section, "");
+        assert_eq!(entries[0].value, Value::Int(1));
+        assert_eq!(entries[1].section, "system");
+        assert_eq!(entries[1].key, "total_nodes");
+        assert_eq!(entries[1].value, Value::Int(4626));
+        assert_eq!(entries[2].value, Value::Float(13.0e6));
+        assert!(entries[2].value.is_integral());
+        assert_eq!(entries[3].value, Value::Str("summit".into()));
+        assert_eq!(entries[4].value, Value::Bool(true));
+        assert_eq!(entries[5].section, "schedule.class1");
+        assert_eq!(entries[5].line, 9);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("[unclosed\n").is_err());
+        assert!(parse("key value\n").is_err());
+        assert!(parse("key = what is this\n").is_err());
+    }
+}

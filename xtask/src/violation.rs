@@ -1,0 +1,57 @@
+//! Lint finding record shared by all rules.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// One finding: which rule fired, where, and why.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    /// Repo-relative path of the offending file.
+    pub path: PathBuf,
+    /// 1-based line number; 0 when the finding is file- or repo-level.
+    pub line: usize,
+    /// Rule identifier (`determinism`, `panic-freedom`, …).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    /// Convenience constructor.
+    pub fn new(
+        rule: &'static str,
+        path: impl Into<PathBuf>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            path: path.into(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.path.display(),
+                self.line,
+                self.rule,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}: [{}] {}",
+                self.path.display(),
+                self.rule,
+                self.message
+            )
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Workspace discovery and file walking for the lint rules.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Returns the workspace root (parent of the xtask crate).
+pub fn workspace_root() -> io::Result<PathBuf> {
+    let manifest_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest_dir
+        .parent()
+        .map(Path::to_path_buf)
+        .ok_or_else(|| io::Error::other("xtask manifest dir has no parent"))
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for stable
+/// output), skipping `target/` and hidden directories.
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    collect(dir, &mut out);
+    out.sort();
+    out
+}
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Repo-relative display form of an absolute path.
+pub fn rel(root: &Path, path: &Path) -> PathBuf {
+    path.strip_prefix(root).unwrap_or(path).to_path_buf()
+}

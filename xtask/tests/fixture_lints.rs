@@ -1,0 +1,161 @@
+//! Fixture-based tests for the lint rules: each rule must fire exactly
+//! where the `violating` fixture plants a defect, and stay silent on
+//! the `clean` fixture. The fixtures are mini-workspaces under
+//! `xtask/fixtures/` that only the rule functions read — cargo never
+//! compiles them, and the real lint run never sweeps them.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::{Path, PathBuf};
+use xtask::rules::{determinism, panic_freedom, registry, spec_constants};
+use xtask::violation::Violation;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+/// `(path, line)` pairs, sorted, for compact exact-location asserts.
+fn locations(violations: &[Violation]) -> Vec<(String, usize)> {
+    let mut out: Vec<(String, usize)> = violations
+        .iter()
+        .map(|v| (v.path.display().to_string(), v.line))
+        .collect();
+    out.sort();
+    out
+}
+
+fn message_at<'a>(violations: &'a [Violation], path: &str, line: usize) -> &'a str {
+    &violations
+        .iter()
+        .find(|v| v.path == Path::new(path) && v.line == line)
+        .unwrap_or_else(|| panic!("expected a finding at {path}:{line}"))
+        .message
+}
+
+// --- determinism -------------------------------------------------------
+
+#[test]
+fn determinism_flags_wall_clock_and_entropy() {
+    let v = determinism::check(&fixture("violating"));
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/analysis/src/lib.rs".into(), 5),
+            ("crates/sim/src/engine.rs".into(), 5),
+        ]
+    );
+    assert!(message_at(&v, "crates/analysis/src/lib.rs", 5).contains("thread_rng"));
+    assert!(message_at(&v, "crates/sim/src/engine.rs", 5).contains("Instant::now"));
+}
+
+#[test]
+fn determinism_clean_fixture_passes() {
+    assert_eq!(determinism::check(&fixture("clean")), vec![]);
+}
+
+// --- panic-freedom -----------------------------------------------------
+
+#[test]
+fn panic_freedom_ratchets_both_directions() {
+    let (errors, warnings) = panic_freedom::check(&fixture("violating"), false);
+
+    // One over-budget site (analysis unwrap, no allowlist entry), plus
+    // two stale allowlist entries (engine.rs under budget, gone.rs
+    // missing entirely). The test-module unwrap must NOT be counted.
+    assert_eq!(
+        locations(&errors),
+        vec![
+            ("crates/analysis/src/lib.rs".into(), 7),
+            ("xtask/panic_allowlist.txt".into(), 0),
+            ("xtask/panic_allowlist.txt".into(), 0),
+        ]
+    );
+    assert!(message_at(&errors, "crates/analysis/src/lib.rs", 7).contains(".unwrap()"));
+    let stale: Vec<&str> = errors
+        .iter()
+        .filter(|v| v.path == Path::new("xtask/panic_allowlist.txt"))
+        .map(|v| v.message.as_str())
+        .collect();
+    assert!(stale
+        .iter()
+        .any(|m| m.contains("crates/sim/src/engine.rs") && m.contains("ratchet the budget down")));
+    assert!(stale
+        .iter()
+        .any(|m| m.contains("crates/core/src/gone.rs") && m.contains("remove it")));
+
+    // Literal indexing is advisory by default...
+    assert_eq!(
+        locations(&warnings),
+        vec![("crates/analysis/src/lib.rs".into(), 6)]
+    );
+
+    // ...and an error under --strict-indexing.
+    let (strict_errors, strict_warnings) = panic_freedom::check(&fixture("violating"), true);
+    assert!(strict_warnings.is_empty());
+    assert!(strict_errors
+        .iter()
+        .any(|v| v.rule == "unchecked-indexing" && v.line == 6));
+}
+
+#[test]
+fn panic_freedom_clean_fixture_passes() {
+    // The clean fixture's engine.rs has exactly the one site its
+    // allowlist entry budgets — the exact-match path of the ratchet.
+    let (errors, warnings) = panic_freedom::check(&fixture("clean"), true);
+    assert_eq!(errors, vec![]);
+    assert_eq!(warnings, vec![]);
+}
+
+// --- spec-constants ----------------------------------------------------
+
+#[test]
+fn spec_constants_detects_drift() {
+    let v = spec_constants::check(&fixture("violating"));
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/sim/src/engine.rs".into(), 6), // magic literal 4626
+            ("crates/sim/src/spec.rs".into(), 4),   // TOTAL_NODES mismatch
+            ("crates/sim/src/spec.rs".into(), 7),   // UNTRACKED_CONST not in TOML
+            ("paper_constants.toml".into(), 5),     // total_gpus has no const
+            ("paper_constants.toml".into(), 10),    // class1 walltime mismatch
+        ]
+    );
+    assert!(message_at(&v, "crates/sim/src/spec.rs", 4).contains("4626"));
+    assert!(message_at(&v, "crates/sim/src/spec.rs", 7).contains("UNTRACKED_CONST"));
+    assert!(message_at(&v, "paper_constants.toml", 5).contains("TOTAL_GPUS"));
+    assert!(message_at(&v, "paper_constants.toml", 10).contains("max_walltime_h"));
+    assert!(message_at(&v, "crates/sim/src/engine.rs", 6).contains("total_nodes"));
+}
+
+#[test]
+fn spec_constants_clean_fixture_passes() {
+    assert_eq!(spec_constants::check(&fixture("clean")), vec![]);
+}
+
+// --- registry ----------------------------------------------------------
+
+#[test]
+fn registry_requires_full_wiring() {
+    let v = registry::check(&fixture("violating"));
+    // fig99 exists as a module file but is not declared, has no runner
+    // binary, and no smoke coverage; fig01 is fully wired.
+    assert_eq!(v.len(), 3);
+    assert!(v.iter().all(|f| f.message.contains("fig99")));
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/bench/src/bin/fig99.rs".into(), 0),
+            ("crates/core/src/experiments/mod.rs".into(), 0),
+            ("tests/experiments_smoke.rs".into(), 0),
+        ]
+    );
+}
+
+#[test]
+fn registry_clean_fixture_passes() {
+    // Includes the `tables` -> `table1_3` binary alias.
+    assert_eq!(registry::check(&fixture("clean")), vec![]);
+}
