@@ -70,7 +70,7 @@ fn bench_window(c: &mut Criterion) {
         b.iter(|| {
             let mut agg = WindowAggregator::paper(NodeId(0));
             for f in &frames[0] {
-                agg.push(f);
+                let _ = agg.push(f);
             }
             agg.finish()
         })

@@ -19,6 +19,7 @@ use summit_telemetry::datasets::thermal_cluster;
 use summit_telemetry::export;
 use summit_telemetry::ids::NodeId;
 use summit_telemetry::jobjoin::{job_level_power, join_jobs, AllocationIndex};
+use summit_telemetry::stream::IngestStats;
 use summit_telemetry::window::WindowAggregator;
 
 fn main() -> std::io::Result<()> {
@@ -59,16 +60,20 @@ fn main() -> std::io::Result<()> {
     }
     let allocations = engine.scheduler_ref().all_node_allocations();
 
-    // Coarsen.
+    // Coarsen, tracking ingest health along the way.
+    let mut stats = IngestStats::default();
     let windows: Vec<_> = frames_by_node
         .iter()
         .enumerate()
         .map(|(n, fs)| {
             let mut agg = WindowAggregator::paper(NodeId(n as u32));
             for f in fs {
-                agg.push(f);
+                stats.observe(f);
+                let _ = agg.push(f);
             }
-            agg.finish()
+            let (windows, health) = agg.finish_with_health();
+            stats.health.merge(&health);
+            windows
         })
         .collect();
 
@@ -110,6 +115,9 @@ fn main() -> std::io::Result<()> {
     })?;
     write("datasetE_xid_events.csv", &|w| {
         export::write_xid_events(w, &failures)
+    })?;
+    write("ingest_health.csv", &|w| {
+        export::write_ingest_health(w, &stats)
     })?;
     println!(
         "\n{} cluster windows, {} job windows, {} jobs, {} thermal rows exported to {}",

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use summit_sim::engine::{Engine, EngineConfig, StepOptions};
 use summit_telemetry::catalog::METRIC_COUNT;
 use summit_telemetry::ids::NodeId;
+use summit_telemetry::ingest::IngestHealth;
 use summit_telemetry::store::TelemetryStore;
 use summit_telemetry::stream::fan_in_batches;
 
@@ -66,6 +67,8 @@ pub struct Table2Result {
     pub full_floor_metrics_per_s: f64,
     /// Coarsened (10 s) windows produced.
     pub coarsened_windows: usize,
+    /// Fault-tolerance counters from the coarsening path.
+    pub ingest_health: IngestHealth,
 }
 
 /// Runs the Table 2 pipeline measurement.
@@ -101,14 +104,17 @@ pub fn run(config: &Config) -> Table2Result {
         for f in collected {
             by_node[f.node.index()].push(f);
         }
-        for (n, mut frames) in by_node.into_iter().enumerate() {
-            frames.sort_by(|a, b| a.t_sample.total_cmp(&b.t_sample));
+        for (n, frames) in by_node.into_iter().enumerate() {
+            // The store sorts internally and the aggregator reorders
+            // within its lateness horizon, so no pre-sort is needed.
             store.archive_partition(NodeId(n as u32), &frames);
             let mut agg = summit_telemetry::window::WindowAggregator::paper(NodeId(n as u32));
             for f in &frames {
-                agg.push(f);
+                let _ = agg.push(f);
             }
-            total_windows += agg.finish().len();
+            let (windows, health) = agg.finish_with_health();
+            total_windows += windows.len();
+            all_stats.health.merge(&health);
         }
     }
 
@@ -133,6 +139,7 @@ pub fn run(config: &Config) -> Table2Result {
         year_bytes: bytes_per_node_s * full_nodes * year_s,
         full_floor_metrics_per_s: full_nodes * METRIC_COUNT as f64,
         coarsened_windows: total_windows,
+        ingest_health: all_stats.health,
     }
 }
 
@@ -153,6 +160,7 @@ fn merge_stats(
     into.max_delay_s = into.max_delay_s.max(other.max_delay_s);
     into.t_first = into.t_first.min(other.t_first);
     into.t_last = into.t_last.max(other.t_last);
+    into.health.merge(&other.health);
 }
 
 impl Table2Result {
@@ -203,6 +211,22 @@ impl Table2Result {
             eng(self.coarsened_windows as f64),
             "-".into(),
         ]);
+        let h = &self.ingest_health;
+        t.row(vec![
+            "frames accepted / reordered".into(),
+            format!("{} / {}", h.accepted, h.reordered),
+            "-".into(),
+        ]);
+        t.row(vec![
+            "frames dropped (late / dup / other)".into(),
+            format!(
+                "{} / {} / {}",
+                h.late_dropped,
+                h.duplicates,
+                h.wrong_node + h.invalid
+            ),
+            "-".into(),
+        ]);
         t.render()
     }
 }
@@ -239,8 +263,12 @@ mod tests {
         );
         // 6 windows per node-minute.
         assert_eq!(r.coarsened_windows, 54 * 6);
+        // Clean fabric: every frame accepted, nothing dropped.
+        assert_eq!(r.ingest_health.accepted, r.frames);
+        assert_eq!(r.ingest_health.dropped(), 0);
         let render = r.render();
         assert!(render.contains("8.5 TB"));
+        assert!(render.contains("frames accepted"));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::report::{pct, sparkline, watts, Table};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use summit_sim::engine::TickOutput;
+use summit_telemetry::stream::IngestStats;
 
 /// Alert kinds the console raises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,6 +28,9 @@ pub enum AlertKind {
     TelemetryDivergence,
     /// MTW return temperature left the design band.
     MtwReturnOutOfBand,
+    /// The ingest path dropped more than the allowed fraction of frames
+    /// (late arrivals, wrong-node routing, invalid timestamps).
+    IngestDegraded,
 }
 
 /// One raised alert.
@@ -53,6 +57,9 @@ pub struct Thresholds {
     pub telemetry_gap: f64,
     /// MTW return band (°C).
     pub mtw_return_band_c: (f64, f64),
+    /// Allowed fraction of offered frames the ingest path may drop
+    /// before the console flags telemetry degradation.
+    pub ingest_fault_fraction: f64,
 }
 
 impl Default for Thresholds {
@@ -66,6 +73,7 @@ impl Default for Thresholds {
                 summit_sim::spec::MTW_RETURN_MIN_C - 4.0,
                 summit_sim::spec::MTW_RETURN_MAX_C,
             ),
+            ingest_fault_fraction: 0.05,
         }
     }
 }
@@ -190,6 +198,24 @@ impl OpsConsole {
             });
         }
         self.last = Some(tick.clone());
+    }
+
+    /// Feeds an end-of-run ingest report; raises [`AlertKind::IngestDegraded`]
+    /// when the drop fraction exceeds the threshold.
+    pub fn observe_ingest(&mut self, stats: &IngestStats) {
+        let frac = stats.health.drop_fraction();
+        if frac.is_finite() && frac > self.thresholds.ingest_fault_fraction {
+            self.alerts.push(Alert {
+                kind: AlertKind::IngestDegraded,
+                t: stats.t_last,
+                detail: format!(
+                    "ingest dropped {} of {} frames ({})",
+                    stats.health.dropped(),
+                    stats.health.offered(),
+                    pct(frac)
+                ),
+            });
+        }
     }
 
     /// Alerts raised so far.
@@ -345,6 +371,42 @@ mod tests {
             .alerts()
             .iter()
             .any(|a| a.kind == AlertKind::TelemetryDivergence));
+    }
+
+    #[test]
+    fn degraded_ingest_raises_alert() {
+        use summit_telemetry::ingest::IngestHealth;
+        let mut console = OpsConsole::with_defaults();
+        let healthy = IngestStats {
+            frames: 100,
+            health: IngestHealth {
+                accepted: 99,
+                late_dropped: 1,
+                ..IngestHealth::default()
+            },
+            ..IngestStats::default()
+        };
+        console.observe_ingest(&healthy);
+        assert!(console.alerts().is_empty(), "{:?}", console.alerts());
+        let degraded = IngestStats {
+            frames: 100,
+            t_last: 600.0,
+            health: IngestHealth {
+                accepted: 80,
+                late_dropped: 15,
+                wrong_node: 5,
+                ..IngestHealth::default()
+            },
+            ..IngestStats::default()
+        };
+        console.observe_ingest(&degraded);
+        let alert = console
+            .alerts()
+            .iter()
+            .find(|a| a.kind == AlertKind::IngestDegraded)
+            .expect("degraded ingest must alert");
+        assert_eq!(alert.t, 600.0);
+        assert!(alert.detail.contains("20 of 100"), "{}", alert.detail);
     }
 
     #[test]

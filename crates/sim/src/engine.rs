@@ -13,6 +13,7 @@ use summit_telemetry::ids::{CabinetId, GpuSlot, NodeId, Socket};
 use summit_telemetry::records::{CepRecord, NodeFrame};
 
 use crate::facility::{Facility, FacilityConfig};
+use crate::failures::CabinetOutage;
 use crate::msb::MsbMeterModel;
 use crate::power::{NodeUtilization, PowerModel};
 use crate::scheduler::Scheduler;
@@ -42,6 +43,10 @@ pub struct EngineConfig {
     /// Window `[start, end)` during which temperature telemetry is lost
     /// (the paper's spring-2020 aggregation-path outage), if any.
     pub temp_outage: Option<(f64, f64)>,
+    /// Transient whole-cabinet telemetry outages (typically sampled via
+    /// [`crate::failures::FailureModel::cabinet_outages`]): affected
+    /// nodes emit all-NaN frames while an outage is active.
+    pub cabinet_outages: Vec<CabinetOutage>,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +59,7 @@ impl Default for EngineConfig {
             infrastructure_it_w: 0.6e6,
             missing_cabinet: None,
             temp_outage: None,
+            cabinet_outages: Vec::new(),
         }
     }
 }
@@ -229,10 +235,14 @@ impl Engine {
     }
 
     fn cabinet_missing(&self, node: NodeId) -> bool {
-        match self.config.missing_cabinet {
-            Some(c) => self.topology.cabinet_of(node) == c,
-            None => false,
+        let cab = self.topology.cabinet_of(node);
+        if self.config.missing_cabinet == Some(cab) {
+            return true;
         }
+        self.config
+            .cabinet_outages
+            .iter()
+            .any(|o| o.cabinet == cab && o.is_active(self.t))
     }
 
     /// Advances one tick and returns its output.
@@ -562,6 +572,36 @@ mod tests {
         assert!(np[20].is_nan() && !np[0].is_nan());
         // Sensor sum excludes the cabinet; true power includes it.
         assert!(out.sensor_compute_power_w < out.true_compute_power_w * 0.95);
+    }
+
+    #[test]
+    fn cabinet_outage_burst_blanks_window_only() {
+        let mut cfg = EngineConfig::small(3);
+        cfg.cabinet_outages = vec![CabinetOutage {
+            cabinet: CabinetId(1),
+            start_s: 2.0,
+            end_s: 5.0,
+        }];
+        let mut e = Engine::new(cfg, 0.0);
+        let opts = StepOptions {
+            frames: true,
+            ..StepOptions::default()
+        };
+        let mut dark_ticks = 0;
+        for tick in 0..8 {
+            let out = e.step_opts(&opts);
+            let frames = out.frames.as_ref().unwrap();
+            let dark = frames[20].get(catalog::input_power()).is_nan();
+            assert_eq!(
+                dark,
+                (2..5).contains(&tick),
+                "tick {tick}: outage window is [2, 5)"
+            );
+            // Other cabinets keep reporting throughout.
+            assert!(!frames[2].get(catalog::input_power()).is_nan());
+            dark_ticks += dark as u32;
+        }
+        assert_eq!(dark_ticks, 3);
     }
 
     #[test]

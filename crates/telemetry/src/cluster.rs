@@ -194,7 +194,7 @@ mod tests {
             f.set(catalog::input_power(), inp);
             f.set(catalog::gpu_power(GpuSlot(0)), gpu);
             f.set(catalog::cpu_power(Socket::P0), inp / 10.0);
-            agg.push(&f);
+            agg.push(&f).unwrap();
         }
         agg.finish()
     }

@@ -198,7 +198,7 @@ mod tests {
                 f.set(catalog::gpu_core_temp(g), gpu_temps[g.index()]);
             }
             f.set(catalog::cpu_pkg_temp(crate::ids::Socket::P0), 35.0);
-            agg.push(&f);
+            agg.push(&f).unwrap();
         }
         agg.finish()
     }
@@ -274,7 +274,7 @@ mod tests {
     fn missing_temps_are_not_counted() {
         let mut agg = WindowAggregator::paper(NodeId(0));
         let f = NodeFrame::empty(NodeId(0), 0.0); // all NaN
-        agg.push(&f);
+        agg.push(&f).unwrap();
         let rows = thermal_cluster(&[agg.finish()], &[]);
         assert_eq!(rows[0].nodes_reporting, 0);
         assert_eq!(rows[0].gpu_band_counts, [0; BAND_COUNT]);

@@ -10,6 +10,7 @@ use crate::cluster::ClusterPowerRow;
 use crate::datasets::ThermalRow;
 use crate::jobjoin::{JobLevelPower, JobPowerRow};
 use crate::records::{JobRecord, XidEvent};
+use crate::stream::IngestStats;
 use std::io::{self, Write};
 
 /// Escapes a CSV field (quotes when needed).
@@ -164,6 +165,34 @@ pub fn write_thermal<W: Write>(out: &mut W, rows: &[ThermalRow]) -> io::Result<(
     Ok(())
 }
 
+/// Writes a one-row ingest-health report: throughput, delay, and the
+/// fault-tolerance counters of the run.
+pub fn write_ingest_health<W: Write>(out: &mut W, stats: &IngestStats) -> io::Result<()> {
+    writeln!(
+        out,
+        "frames,metrics,mean_delay_s,max_delay_s,metrics_per_s,\
+         accepted,reordered,duplicates,late_dropped,wrong_node,invalid,gap_windows"
+    )?;
+    let h = &stats.health;
+    writeln!(
+        out,
+        "{},{},{},{},{},{},{},{},{},{},{},{}",
+        stats.frames,
+        stats.metrics,
+        fmt(stats.mean_delay_s()),
+        fmt(stats.max_delay_s),
+        fmt(stats.metrics_per_second()),
+        h.accepted,
+        h.reordered,
+        h.duplicates,
+        h.late_dropped,
+        h.wrong_node,
+        h.invalid,
+        h.gap_windows,
+    )?;
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
@@ -241,6 +270,36 @@ mod tests {
             .nth(1)
             .unwrap()
             .contains("99,Double-bit error,3,4,,40.5,-0.5"));
+    }
+
+    #[test]
+    fn ingest_health_csv_shape() {
+        use crate::ingest::IngestHealth;
+        let stats = IngestStats {
+            frames: 4,
+            metrics: 8,
+            total_delay_s: 4.0,
+            max_delay_s: 2.0,
+            t_first: 0.0,
+            t_last: 2.0,
+            health: IngestHealth {
+                accepted: 3,
+                reordered: 1,
+                duplicates: 1,
+                late_dropped: 0,
+                wrong_node: 0,
+                invalid: 0,
+                gap_windows: 2,
+            },
+        };
+        let mut buf = Vec::new();
+        write_ingest_health(&mut buf, &stats).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("frames,metrics,"));
+        assert!(lines[0].ends_with("gap_windows"));
+        assert_eq!(lines[1], "4,8,1,2,4,3,1,1,0,0,0,2");
     }
 
     #[test]

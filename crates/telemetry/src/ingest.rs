@@ -1,0 +1,234 @@
+//! Fault-tolerant ingestion policy, errors and health accounting.
+//!
+//! The paper's collection fabric delivers 1 Hz frames with real
+//! propagation delay (2.5 s average, 5 s max), sensor dropout, and
+//! whole-cabinet outages (the Section 3 "bright green cabinet"); its
+//! Dataset 0 coarsening is explicitly designed to survive missing
+//! samples. This module is the contract that makes our ingest path
+//! equally tolerant: a typed [`IngestError`] instead of panics, a
+//! configurable [`IngestPolicy`] (lateness horizon, gap-window
+//! emission), and [`IngestHealth`] counters that account for every
+//! frame the pipeline tolerated rather than processed.
+
+use crate::ids::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Why the ingest path rejected a frame. Every variant is handled by
+/// counting and dropping — nothing in the pipeline panics on bad input.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum IngestError {
+    /// Frame routed to an aggregator owned by a different node.
+    WrongNode {
+        /// Node the aggregator coarsens.
+        expected: NodeId,
+        /// Node the frame reports for.
+        got: NodeId,
+    },
+    /// Frame arrived later than the lateness horizon allows: its sample
+    /// time is more than `horizon_s` behind the newest accepted sample.
+    Late {
+        /// Sample timestamp of the rejected frame (s).
+        t_sample: f64,
+        /// Newest accepted sample timestamp (the watermark, s).
+        watermark: f64,
+        /// Configured lateness horizon (s).
+        horizon_s: f64,
+    },
+    /// A frame with the same sample timestamp was already accepted
+    /// (duplicate delivery; timestamps compare at millisecond grain).
+    Duplicate {
+        /// Sample timestamp of the duplicate (s).
+        t_sample: f64,
+    },
+    /// The frame's sample timestamp is NaN or infinite.
+    NonFiniteTimestamp,
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::WrongNode { expected, got } => {
+                write!(f, "frame for node {} routed to node {}", got.0, expected.0)
+            }
+            IngestError::Late {
+                t_sample,
+                watermark,
+                horizon_s,
+            } => write!(
+                f,
+                "frame at t={t_sample} is beyond the {horizon_s} s lateness \
+                 horizon (watermark {watermark})"
+            ),
+            IngestError::Duplicate { t_sample } => {
+                write!(f, "duplicate frame at t={t_sample}")
+            }
+            IngestError::NonFiniteTimestamp => write!(f, "non-finite sample timestamp"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// Ingest tolerance policy.
+///
+/// The default horizon equals the delay model's 5 s maximum
+/// ([`crate::stream::propagation_delay_s`]): any frame the simulated
+/// fabric can deliver in order of sampling is buffered and re-ordered;
+/// anything later is counted and dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IngestPolicy {
+    /// How far behind the newest accepted sample a frame may arrive and
+    /// still be buffered/re-ordered instead of dropped (seconds).
+    pub lateness_horizon_s: f64,
+    /// Emit NaN-filled windows for whole-window gaps so downstream
+    /// series stay uniform (cluster aggregation skips zero-count
+    /// windows either way).
+    pub emit_gap_windows: bool,
+    /// Upper bound of NaN windows emitted per gap, so a pathological
+    /// timestamp jump cannot allocate unbounded output. Longer gaps are
+    /// truncated to this many windows.
+    pub max_gap_windows: usize,
+}
+
+impl Default for IngestPolicy {
+    fn default() -> Self {
+        Self {
+            lateness_horizon_s: crate::stream::MAX_PROPAGATION_DELAY_S,
+            emit_gap_windows: true,
+            max_gap_windows: 1_000,
+        }
+    }
+}
+
+impl IngestPolicy {
+    /// The paper-faithful policy (5 s horizon, gap windows on).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A strict policy that refuses any reordering (horizon zero).
+    pub fn zero_horizon() -> Self {
+        Self {
+            lateness_horizon_s: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// Ingest-health counters: every frame offered to the tolerant path is
+/// accounted for exactly once as accepted or as one fault kind, plus
+/// the gap windows synthesized on the output side.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IngestHealth {
+    /// Frames accepted into a window (includes reordered frames).
+    pub accepted: u64,
+    /// Accepted frames that arrived out of sample order (older than the
+    /// watermark but within the lateness horizon).
+    pub reordered: u64,
+    /// Frames dropped as exact-timestamp duplicates.
+    pub duplicates: u64,
+    /// Frames dropped for arriving beyond the lateness horizon.
+    pub late_dropped: u64,
+    /// Frames dropped for reaching an aggregator of another node.
+    pub wrong_node: u64,
+    /// Frames dropped for a NaN/infinite sample timestamp.
+    pub invalid: u64,
+    /// NaN-filled windows emitted for whole-window gaps.
+    pub gap_windows: u64,
+}
+
+impl IngestHealth {
+    /// Folds another counter set into this one.
+    pub fn merge(&mut self, other: &IngestHealth) {
+        self.accepted += other.accepted;
+        self.reordered += other.reordered;
+        self.duplicates += other.duplicates;
+        self.late_dropped += other.late_dropped;
+        self.wrong_node += other.wrong_node;
+        self.invalid += other.invalid;
+        self.gap_windows += other.gap_windows;
+    }
+
+    /// Total frames dropped (everything offered but not accepted).
+    pub fn dropped(&self) -> u64 {
+        self.duplicates + self.late_dropped + self.wrong_node + self.invalid
+    }
+
+    /// Total frames offered to the ingest path.
+    pub fn offered(&self) -> u64 {
+        self.accepted + self.dropped()
+    }
+
+    /// Fraction of offered frames that were dropped (0 when nothing was
+    /// offered).
+    pub fn drop_fraction(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped() as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn default_policy_matches_delay_model() {
+        let p = IngestPolicy::default();
+        assert_eq!(p.lateness_horizon_s, 5.0);
+        assert!(p.emit_gap_windows);
+        assert_eq!(IngestPolicy::paper(), p);
+        assert_eq!(IngestPolicy::zero_horizon().lateness_horizon_s, 0.0);
+    }
+
+    #[test]
+    fn health_merges_and_accounts() {
+        let mut a = IngestHealth {
+            accepted: 10,
+            reordered: 2,
+            duplicates: 1,
+            late_dropped: 3,
+            wrong_node: 0,
+            invalid: 0,
+            gap_windows: 4,
+        };
+        let b = IngestHealth {
+            accepted: 5,
+            duplicates: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.accepted, 15);
+        assert_eq!(a.duplicates, 3);
+        assert_eq!(a.dropped(), 6);
+        assert_eq!(a.offered(), 21);
+        assert!((a.drop_fraction() - 6.0 / 21.0).abs() < 1e-12);
+        assert_eq!(IngestHealth::default().drop_fraction(), 0.0);
+    }
+
+    #[test]
+    fn errors_render_for_operators() {
+        use crate::ids::NodeId;
+        let e = IngestError::Late {
+            t_sample: 1.0,
+            watermark: 9.0,
+            horizon_s: 5.0,
+        };
+        assert!(e.to_string().contains("lateness"));
+        let w = IngestError::WrongNode {
+            expected: NodeId(1),
+            got: NodeId(2),
+        };
+        assert!(w.to_string().contains("routed"));
+        assert!(IngestError::Duplicate { t_sample: 3.0 }
+            .to_string()
+            .contains("duplicate"));
+        assert!(IngestError::NonFiniteTimestamp
+            .to_string()
+            .contains("non-finite"));
+    }
+}

@@ -135,6 +135,11 @@ pub fn join_jobs(
     let mut map: HashMap<(u64, i64), JoinAcc> = HashMap::new();
     for windows in windows_by_node {
         for w in windows {
+            // Gap windows synthesized for ingest outages carry no
+            // samples at all; they must not count as a reporting node.
+            if w.stats.iter().all(|s| s.count == 0) {
+                continue;
+            }
             let t_mid = w.window_start + 5.0;
             let Some(alloc) = index.lookup(w.node.0, t_mid) else {
                 continue;
@@ -236,24 +241,28 @@ pub fn job_level_power(rows: &[JobPowerRow], window_s: f64) -> Vec<JobLevelPower
 }
 
 /// Extracts one job's power time-series (`sum_inp` per window) as a
-/// uniform [`Series`], filling missing windows with NaN. Rows must all
-/// belong to the same allocation.
+/// uniform [`Series`], filling missing windows with NaN. Rows from
+/// other allocations are ignored (the series follows the first row's
+/// allocation), so a mixed slice degrades gracefully instead of
+/// producing a chimera series.
 pub fn job_power_series(rows: &[JobPowerRow], window_s: f64) -> Option<Series> {
     let first = rows.first()?;
-    debug_assert!(rows.iter().all(|r| r.allocation_id == first.allocation_id));
-    let t0 = rows
+    let rows = rows
         .iter()
-        .map(|r| r.window_start)
-        .fold(f64::INFINITY, f64::min);
-    let t1 = rows
-        .iter()
-        .map(|r| r.window_start)
-        .fold(f64::NEG_INFINITY, f64::max);
+        .filter(|r| r.allocation_id == first.allocation_id);
+    let mut t0 = f64::INFINITY;
+    let mut t1 = f64::NEG_INFINITY;
+    for r in rows.clone() {
+        t0 = t0.min(r.window_start);
+        t1 = t1.max(r.window_start);
+    }
     let n = ((t1 - t0) / window_s).round() as usize + 1;
     let mut values = vec![f64::NAN; n];
     for r in rows {
         let idx = ((r.window_start - t0) / window_s).round() as usize;
-        values[idx] = r.sum_inp;
+        if let Some(slot) = values.get_mut(idx) {
+            *slot = r.sum_inp;
+        }
     }
     Some(Series::new(t0, window_s, values))
 }
@@ -282,7 +291,7 @@ mod tests {
             f.set(catalog::input_power(), inp);
             f.set(catalog::cpu_power(Socket::P0), inp * 0.1);
             f.set(catalog::gpu_power(GpuSlot(0)), inp * 0.3);
-            agg.push(&f);
+            agg.push(&f).unwrap();
         }
         agg.finish()
     }
@@ -371,6 +380,24 @@ mod tests {
         assert_eq!(s.len(), 4);
         assert!(s.values()[1].is_nan());
         assert_eq!(s.values()[3], 400.0);
+    }
+
+    #[test]
+    fn series_ignores_foreign_allocations() {
+        let mk = |id: u64, ws: f64, p: f64| JobPowerRow {
+            allocation_id: AllocationId(id),
+            window_start: ws,
+            count_hostname: 1,
+            sum_inp: p,
+            mean_inp: p,
+            max_inp: p,
+        };
+        // A stray row from another job neither panics nor skews t0/t1.
+        let rows = vec![mk(1, 10.0, 100.0), mk(2, 500.0, 9.0), mk(1, 20.0, 200.0)];
+        let s = job_power_series(&rows, 10.0).unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values()[0], 100.0);
+        assert_eq!(s.values()[1], 200.0);
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod codec;
 pub mod datasets;
 pub mod export;
 pub mod ids;
+pub mod ingest;
 pub mod jobjoin;
 pub mod records;
 pub mod store;
@@ -40,11 +41,14 @@ pub mod prelude {
     pub use crate::codec::{ColumnBlock, CompressionStats};
     pub use crate::datasets::{thermal_cluster, thermal_per_job, ThermalRow};
     pub use crate::ids::{AllocationId, CabinetId, GpuId, GpuSlot, Msb, NodeId, Socket};
+    pub use crate::ingest::{IngestError, IngestHealth, IngestPolicy};
     pub use crate::jobjoin::{job_level_power, job_power_series, join_jobs, AllocationIndex};
     pub use crate::records::{
         CepRecord, JobRecord, NodeAllocation, NodeFrame, ScienceDomain, XidErrorKind, XidEvent,
     };
     pub use crate::store::TelemetryStore;
-    pub use crate::stream::{Collector, FrameSender, IngestStats};
+    pub use crate::stream::{
+        Collector, FaultConfig, FaultInjector, FrameSender, IngestStats, InjectedFaults,
+    };
     pub use crate::window::{NodeWindow, WindowAggregator, PAPER_WINDOW_S};
 }

@@ -117,12 +117,29 @@ impl ScienceDomain {
         ScienceDomain::Other,
     ];
 
-    /// Dense index. `ALL` enumerates every variant, so the lookup cannot
-    /// miss; a (debug-asserted) fallback of 0 keeps the API panic-free.
+    /// Dense index matching the position in [`ScienceDomain::ALL`]. The
+    /// exhaustive match makes index/`ALL` drift a compile error instead
+    /// of a silent alias onto variant 0.
     pub fn index(self) -> usize {
-        let idx = Self::ALL.iter().position(|&d| d == self);
-        debug_assert!(idx.is_some(), "ScienceDomain::ALL must list every variant");
-        idx.unwrap_or(0)
+        match self {
+            ScienceDomain::Materials => 0,
+            ScienceDomain::Physics => 1,
+            ScienceDomain::Chemistry => 2,
+            ScienceDomain::Engineering => 3,
+            ScienceDomain::Fusion => 4,
+            ScienceDomain::Biophysics => 5,
+            ScienceDomain::Astrophysics => 6,
+            ScienceDomain::ComputerScience => 7,
+            ScienceDomain::EarthScience => 8,
+            ScienceDomain::NuclearPhysics => 9,
+            ScienceDomain::HighEnergyPhysics => 10,
+            ScienceDomain::Biology => 11,
+            ScienceDomain::Seismology => 12,
+            ScienceDomain::Combustion => 13,
+            ScienceDomain::Medical => 14,
+            ScienceDomain::AiMl => 15,
+            ScienceDomain::Other => 16,
+        }
     }
 
     /// Display name.
@@ -254,13 +271,28 @@ impl XidErrorKind {
         XidErrorKind::GraphicsEngineClassError,
     ];
 
-    /// Dense index in Table 4 order. `ALL` enumerates every variant, so
-    /// the lookup cannot miss; a (debug-asserted) fallback of 0 keeps the
-    /// API panic-free.
+    /// Dense index in Table 4 order, matching the position in
+    /// [`XidErrorKind::ALL`]. The exhaustive match makes index/`ALL`
+    /// drift a compile error instead of a silent alias onto variant 0.
     pub fn index(self) -> usize {
-        let idx = Self::ALL.iter().position(|&k| k == self);
-        debug_assert!(idx.is_some(), "XidErrorKind::ALL must list every variant");
-        idx.unwrap_or(0)
+        match self {
+            XidErrorKind::MemoryPageFault => 0,
+            XidErrorKind::GraphicsEngineException => 1,
+            XidErrorKind::StoppedProcessing => 2,
+            XidErrorKind::NvlinkError => 3,
+            XidErrorKind::PageRetirementEvent => 4,
+            XidErrorKind::PageRetirementFailure => 5,
+            XidErrorKind::DoubleBitError => 6,
+            XidErrorKind::PreemptiveCleanup => 7,
+            XidErrorKind::InternalMicrocontrollerWarning => 8,
+            XidErrorKind::GraphicsEngineFault => 9,
+            XidErrorKind::FallenOffTheBus => 10,
+            XidErrorKind::InternalMicrocontrollerHalt => 11,
+            XidErrorKind::DriverFirmwareError => 12,
+            XidErrorKind::DriverErrorHandlingException => 13,
+            XidErrorKind::CorruptedPushBufferStream => 14,
+            XidErrorKind::GraphicsEngineClassError => 15,
+        }
     }
 
     /// Display name matching the paper's Table 4.
@@ -397,6 +429,31 @@ mod tests {
             assert_eq!(d.index(), i);
         }
         assert_eq!(ScienceDomain::AiMl.name(), "AI/ML");
+    }
+
+    #[test]
+    fn domain_indices_form_a_permutation() {
+        // Every index in 0..ALL.len(), each exactly once — no aliasing.
+        let mut seen = vec![false; ScienceDomain::ALL.len()];
+        for d in ScienceDomain::ALL {
+            let i = d.index();
+            assert!(i < seen.len(), "{d:?} index {i} out of range");
+            assert!(!seen[i], "{d:?} aliases index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn xid_indices_form_a_permutation() {
+        let mut seen = vec![false; XidErrorKind::ALL.len()];
+        for k in XidErrorKind::ALL {
+            let i = k.index();
+            assert!(i < seen.len(), "{k:?} index {i} out of range");
+            assert!(!seen[i], "{k:?} aliases index {i}");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

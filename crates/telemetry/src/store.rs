@@ -63,18 +63,30 @@ impl TelemetryStore {
         &self.catalog
     }
 
-    /// Archives a batch of frames from one node covering one partition.
-    /// Frames must be time-ordered and within a single partition.
+    /// Archives a batch of frames from one node. Frames may arrive in
+    /// any order and span multiple partitions: they are sorted and split
+    /// on [`PARTITION_S`] boundaries internally. Frames for other nodes
+    /// or with non-finite timestamps are skipped (the fault-tolerant
+    /// ingest path counts them upstream). Re-archiving a partition
+    /// replaces it.
     pub fn archive_partition(&self, node: NodeId, frames: &[NodeFrame]) {
-        let Some(first) = frames.first() else { return };
-        let pstart = (first.t_sample / PARTITION_S).floor() * PARTITION_S;
-        debug_assert!(
-            frames
-                .iter()
-                .all(|f| f.t_sample >= pstart && f.t_sample < pstart + PARTITION_S),
-            "frames must fall inside one partition"
-        );
+        let mut mine: Vec<&NodeFrame> = frames
+            .iter()
+            .filter(|f| f.node == node && f.t_sample.is_finite())
+            .collect();
+        mine.sort_by(|a, b| a.t_sample.total_cmp(&b.t_sample));
+        let mut rest = mine.as_slice();
+        while let Some(first) = rest.first() {
+            let pstart = (first.t_sample / PARTITION_S).floor() * PARTITION_S;
+            let n = rest.partition_point(|f| f.t_sample < pstart + PARTITION_S);
+            let (part, tail) = rest.split_at(n);
+            self.archive_one_partition(node, pstart, part);
+            rest = tail;
+        }
+    }
 
+    /// Encodes one sorted, single-partition slice of frames.
+    fn archive_one_partition(&self, node: NodeId, pstart: f64, frames: &[&NodeFrame]) {
         // Column 0: integer sample offsets in milliseconds.
         let mut columns: Vec<Vec<i64>> = Vec::with_capacity(METRIC_COUNT + 1);
         columns.push(
@@ -83,8 +95,8 @@ impl TelemetryStore {
                 .map(|f| ((f.t_sample - pstart) * 1000.0).round() as i64)
                 .collect(),
         );
-        for m in 0..METRIC_COUNT {
-            let unit = self.catalog[m].unit;
+        for (m, def) in self.catalog.iter().enumerate() {
+            let unit = def.unit;
             columns.push(
                 frames
                     .iter()
@@ -238,11 +250,30 @@ mod tests {
     }
 
     #[test]
+    fn archive_splits_sorts_and_filters() {
+        let store = TelemetryStore::new();
+        // Two partitions' worth, shuffled, plus a stray wrong-node frame
+        // and a NaN timestamp: the store sorts, splits, and skips.
+        let mut frames = make_frames(2, 0.0, 120);
+        frames.reverse();
+        frames.push(NodeFrame::empty(NodeId(9), 30.0));
+        frames.push(NodeFrame::empty(NodeId(2), f64::NAN));
+        store.archive_partition(NodeId(2), &frames);
+        assert_eq!(store.partition_count(), 2);
+        let p0 = store.load_partition(NodeId(2), 0.0).unwrap();
+        let p1 = store.load_partition(NodeId(2), 60.0).unwrap();
+        assert_eq!(p0.len(), 60);
+        assert_eq!(p1.len(), 60);
+        assert!(p0.windows(2).all(|w| w[0].t_sample < w[1].t_sample));
+        assert!(store.load_partition(NodeId(9), 0.0).is_none());
+    }
+
+    #[test]
     fn window_insert_and_range_query() {
         let store = TelemetryStore::new();
         let mut agg = WindowAggregator::paper(NodeId(1));
         for f in make_frames(1, 0.0, 30) {
-            agg.push(&f);
+            agg.push(&f).unwrap();
         }
         store.insert_windows(agg.finish());
         assert_eq!(store.window_count(), 3);

@@ -8,6 +8,7 @@
 //! fan into one collector that timestamps frames at ingest, tracks
 //! rate/delay statistics, and hands ordered batches to a consumer.
 
+use crate::ingest::IngestHealth;
 use crate::records::NodeFrame;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
@@ -15,20 +16,35 @@ use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Propagation-delay model: payloads are timestamped at the aggregation
-/// point "after an average 2.5-second delay (max. 5 seconds)". The delay
-/// is a deterministic hash of (node, sample-time) so replays are exact.
+/// The paper's maximum propagation delay (s): payloads reach the
+/// aggregation point "after an average 2.5-second delay (max. 5
+/// seconds)". The default ingest lateness horizon equals this bound.
+pub const MAX_PROPAGATION_DELAY_S: f64 = 5.0;
+
+/// Propagation-delay model: a deterministic hash of (node, sample-time)
+/// uniform in `[0, MAX_PROPAGATION_DELAY_S)`, so replays are exact and
+/// the mean matches the paper's 2.5 s.
 pub fn propagation_delay_s(node: u32, t_sample: f64) -> f64 {
-    let mut h = (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
-        ^ (t_sample.to_bits()).wrapping_mul(0xbf58476d1ce4e5b9);
-    // splitmix64 finalizer
+    let h = mix64(
+        (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
+            ^ (t_sample.to_bits()).wrapping_mul(0xbf58476d1ce4e5b9),
+    );
+    unit_f64(h) * MAX_PROPAGATION_DELAY_S
+}
+
+/// splitmix64 finalizer.
+fn mix64(mut h: u64) -> u64 {
     h ^= h >> 30;
     h = h.wrapping_mul(0xbf58476d1ce4e5b9);
     h ^= h >> 27;
     h = h.wrapping_mul(0x94d049bb133111eb);
     h ^= h >> 31;
-    // Uniform in [0, 5) seconds -> mean 2.5 s, max < 5 s.
-    (h >> 11) as f64 / (1u64 << 53) as f64 * 5.0
+    h
+}
+
+/// Maps a hash to a uniform f64 in `[0, 1)`.
+fn unit_f64(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 /// Ingest-side statistics, matching the rates the paper reports.
@@ -46,6 +62,9 @@ pub struct IngestStats {
     pub t_first: f64,
     /// Latest sample timestamp seen.
     pub t_last: f64,
+    /// Fault-tolerance counters from the downstream coarsening path
+    /// (accepted / reordered / duplicate / late-dropped / gap windows).
+    pub health: IngestHealth,
 }
 
 impl IngestStats {
@@ -59,16 +78,20 @@ impl IngestStats {
     }
 
     /// Metrics ingested per second of covered sample time.
+    ///
+    /// The covered span is floored at one 1 Hz sample period, so a
+    /// single-frame stream (span 0) reports its per-second payload
+    /// instead of NaN; only an empty stream is NaN.
     pub fn metrics_per_second(&self) -> f64 {
-        let span = self.t_last - self.t_first;
-        if span <= 0.0 {
-            f64::NAN
-        } else {
-            self.metrics as f64 / span
+        if self.frames == 0 {
+            return f64::NAN;
         }
+        let span = (self.t_last - self.t_first).max(1.0);
+        self.metrics as f64 / span
     }
 
-    fn observe(&mut self, frame: &NodeFrame) {
+    /// Folds one delivered frame into the statistics.
+    pub fn observe(&mut self, frame: &NodeFrame) {
         if self.frames == 0 {
             self.t_first = frame.t_sample;
             self.t_last = frame.t_sample;
@@ -83,6 +106,168 @@ impl IngestStats {
         if d > self.max_delay_s {
             self.max_delay_s = d;
         }
+    }
+}
+
+/// Delivery-fault probabilities for the simulated fan-in.
+///
+/// Faults are mutually exclusive per frame (a single uniform draw picks
+/// at most one class), so the injected counts account exactly for every
+/// affected frame. The draw is a deterministic hash of
+/// `(seed, node, t_sample)` — replays are exact without any RNG state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability a frame is lost in flight.
+    pub drop_p: f64,
+    /// Probability a frame is delivered twice (same sample timestamp).
+    pub duplicate_p: f64,
+    /// Probability a frame suffers extra delay beyond the propagation
+    /// model, uniform in `(0, max_extra_delay_s]` — delays past the
+    /// lateness horizon become late drops downstream.
+    pub delay_p: f64,
+    /// Probability a delivered frame is swapped with its predecessor in
+    /// arrival order (local reordering the delay model alone misses).
+    pub reorder_p: f64,
+    /// Upper bound of injected extra delay (s).
+    pub max_extra_delay_s: f64,
+    /// Seed mixed into every fault draw.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            delay_p: 0.0,
+            reorder_p: 0.0,
+            max_extra_delay_s: 2.0 * MAX_PROPAGATION_DELAY_S,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A mildly lossy fabric: ~1% of each fault class.
+    pub fn light(seed: u64) -> Self {
+        Self {
+            drop_p: 0.01,
+            duplicate_p: 0.01,
+            delay_p: 0.01,
+            reorder_p: 0.01,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Exact counts of the faults a [`FaultInjector`] introduced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedFaults {
+    /// Frames dropped in flight.
+    pub dropped: u64,
+    /// Frames delivered twice.
+    pub duplicated: u64,
+    /// Frames given extra delay beyond the propagation model.
+    pub delayed: u64,
+    /// Adjacent arrival-order swaps applied.
+    pub reordered: u64,
+}
+
+impl InjectedFaults {
+    /// Total fault events injected.
+    pub fn total(&self) -> u64 {
+        self.dropped + self.duplicated + self.delayed + self.reordered
+    }
+
+    /// Folds another count set into this one.
+    pub fn merge(&mut self, other: &InjectedFaults) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.reordered += other.reordered;
+    }
+}
+
+/// Injects delivery faults into per-node frame batches, modelling the
+/// lossy fabric between the BMCs and the point of analysis.
+#[derive(Debug)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    counts: InjectedFaults,
+}
+
+impl FaultInjector {
+    /// Creates an injector for the given fault profile.
+    pub fn new(config: FaultConfig) -> Self {
+        Self {
+            config,
+            counts: InjectedFaults::default(),
+        }
+    }
+
+    /// The active fault profile.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Counts of every fault injected so far.
+    pub fn injected(&self) -> InjectedFaults {
+        self.counts
+    }
+
+    fn draw(&self, node: u32, t_sample: f64, salt: u64) -> f64 {
+        let h = mix64(
+            self.config
+                .seed
+                .wrapping_mul(0xd1342543de82ef95)
+                .wrapping_add(salt)
+                ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                ^ t_sample.to_bits().wrapping_mul(0xbf58476d1ce4e5b9),
+        );
+        unit_f64(h)
+    }
+
+    /// Delivers one node's frame batch through the faulty fabric:
+    /// stamps arrival times from the propagation-delay model, applies
+    /// drop / duplicate / extra-delay faults, and returns the surviving
+    /// frames in *arrival* order (the order the fan-in hands downstream),
+    /// with any local reorder swaps applied on top.
+    pub fn deliver(&mut self, frames: Vec<NodeFrame>) -> Vec<NodeFrame> {
+        let cfg = self.config;
+        let mut arrivals: Vec<(f64, NodeFrame)> = Vec::with_capacity(frames.len());
+        for mut frame in frames {
+            let node = frame.node.0;
+            let t = frame.t_sample;
+            frame.t_ingest = t + propagation_delay_s(node, t);
+            let u = self.draw(node, t, 1);
+            if u < cfg.drop_p {
+                self.counts.dropped += 1;
+                continue;
+            }
+            if u < cfg.drop_p + cfg.duplicate_p {
+                self.counts.duplicated += 1;
+                // The copy trails the original by a fraction of a second.
+                arrivals.push((frame.t_ingest + 0.25, frame.clone()));
+                arrivals.push((frame.t_ingest, frame));
+                continue;
+            }
+            if u < cfg.drop_p + cfg.duplicate_p + cfg.delay_p {
+                self.counts.delayed += 1;
+                let extra = self.draw(node, t, 2) * cfg.max_extra_delay_s;
+                frame.t_ingest += extra;
+            }
+            arrivals.push((frame.t_ingest, frame));
+        }
+        arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut out: Vec<NodeFrame> = arrivals.into_iter().map(|(_, f)| f).collect();
+        for i in 1..out.len() {
+            if self.draw(out[i].node.0, out[i].t_sample, 3) < cfg.reorder_p {
+                out.swap(i - 1, i);
+                self.counts.reordered += 1;
+            }
+        }
+        out
     }
 }
 
@@ -177,7 +362,7 @@ pub fn fan_in_batches(
     producers: usize,
     capacity: usize,
 ) -> (Vec<NodeFrame>, IngestStats) {
-    assert!(producers > 0);
+    let producers = producers.max(1); // zero producers degrades to one
     let collected = Arc::new(Mutex::new(Vec::new()));
     let collected_sink = Arc::clone(&collected);
     let (sender, collector) = Collector::spawn(capacity, move |frame| {
@@ -303,5 +488,81 @@ mod tests {
         let s = IngestStats::default();
         assert!(s.mean_delay_s().is_nan());
         assert!(s.metrics_per_second().is_nan());
+    }
+
+    #[test]
+    fn single_frame_rate_is_finite() {
+        // Degenerate span == 0: the rate floors at a 1 s sample period
+        // rather than reporting NaN for real ingested metrics.
+        let mut stats = IngestStats::default();
+        let mut f = NodeFrame::empty(NodeId(0), 42.0);
+        f.t_ingest = 43.0;
+        stats.observe(&f);
+        let per_s = stats.metrics_per_second();
+        assert!((per_s - crate::catalog::METRIC_COUNT as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_producers_degrades_to_one() {
+        let frames_by_node = vec![vec![NodeFrame::empty(NodeId(0), 0.0)]];
+        let (frames, stats) = fan_in_batches(frames_by_node, 0, 4);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(stats.frames, 1);
+    }
+
+    fn batch(node: u32, n: usize) -> Vec<NodeFrame> {
+        (0..n)
+            .map(|t| NodeFrame::empty(NodeId(node), t as f64))
+            .collect()
+    }
+
+    #[test]
+    fn injector_is_deterministic_and_accounts_exactly() {
+        let cfg = FaultConfig {
+            drop_p: 0.1,
+            duplicate_p: 0.1,
+            delay_p: 0.1,
+            reorder_p: 0.05,
+            ..FaultConfig::default()
+        };
+        let mut a = FaultInjector::new(cfg);
+        let mut b = FaultInjector::new(cfg);
+        let da = a.deliver(batch(3, 500));
+        let db = b.deliver(batch(3, 500));
+        assert_eq!(da.len(), db.len(), "same seed, same delivery");
+        assert!(da
+            .iter()
+            .zip(&db)
+            .all(|(x, y)| x.t_sample == y.t_sample && x.t_ingest == y.t_ingest));
+        let f = a.injected();
+        assert_eq!(
+            da.len() as u64,
+            500 - f.dropped + f.duplicated,
+            "every frame accounted: survivors = offered - dropped + duplicated"
+        );
+        assert!(f.dropped > 0 && f.duplicated > 0 && f.delayed > 0);
+    }
+
+    #[test]
+    fn clean_injector_preserves_arrival_order_only() {
+        let mut inj = FaultInjector::new(FaultConfig::default());
+        let delivered = inj.deliver(batch(0, 100));
+        assert_eq!(delivered.len(), 100);
+        assert_eq!(inj.injected(), InjectedFaults::default());
+        assert!(delivered.windows(2).all(|w| w[0].t_ingest <= w[1].t_ingest));
+        // Propagation delay alone already reorders some sample times.
+        assert!(delivered.windows(2).any(|w| w[0].t_sample > w[1].t_sample));
+    }
+
+    #[test]
+    fn different_seeds_inject_differently() {
+        let mut a = FaultInjector::new(FaultConfig::light(1));
+        let mut b = FaultInjector::new(FaultConfig::light(2));
+        a.deliver(batch(0, 1000));
+        b.deliver(batch(0, 1000));
+        assert_ne!(a.injected(), b.injected());
+        let mut merged = a.injected();
+        merged.merge(&b.injected());
+        assert_eq!(merged.total(), a.injected().total() + b.injected().total());
     }
 }

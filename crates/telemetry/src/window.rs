@@ -4,12 +4,22 @@
 //! information loss by storing statistical information such as min., max.,
 //! mean, and standard deviation values of the samples in each window per
 //! time-series from each node."
+//!
+//! The coarsener is fault-tolerant by construction: the fan-in fabric it
+//! sits behind delivers frames with up-to-5 s propagation delay, so
+//! frames are buffered and re-ordered within a configurable lateness
+//! horizon ([`IngestPolicy`]), duplicates are deduped, late or misrouted
+//! frames are counted and dropped via a typed [`IngestError`] — never a
+//! panic — and whole-window gaps emit the NaN-filled windows the cluster
+//! aggregation already treats as missing.
 
 use crate::catalog::METRIC_COUNT;
 use crate::ids::NodeId;
+use crate::ingest::{IngestError, IngestHealth, IngestPolicy};
 use crate::records::NodeFrame;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use summit_analysis::stats::{Welford, WindowStats};
 
 /// The paper's coarsening window in seconds.
@@ -35,42 +45,91 @@ impl NodeWindow {
     }
 }
 
-/// Streaming coarsener for a single node's frame sequence.
+/// Streaming coarsener for a single node's frame sequence, tolerant of
+/// the delivery faults the stream layer models.
 ///
-/// Frames must arrive in non-decreasing `t_sample` order; the aggregator
-/// closes a window whenever a frame beyond its end arrives, and
-/// [`WindowAggregator::finish`] closes the trailing window.
+/// Frames may arrive out of `t_sample` order: anything within the
+/// [`IngestPolicy::lateness_horizon_s`] of the newest accepted sample is
+/// buffered and re-ordered before it reaches a window; frames beyond the
+/// horizon are counted in [`IngestHealth::late_dropped`] and dropped;
+/// exact-timestamp duplicates are deduped. A window only closes once the
+/// watermark has moved a full horizon past its end, so every in-horizon
+/// frame lands in its correct window. Whole-window gaps emit NaN-filled
+/// windows (count 0) when [`IngestPolicy::emit_gap_windows`] is set.
 ///
 /// ```
 /// use summit_telemetry::{catalog, ids::NodeId, records::NodeFrame};
 /// use summit_telemetry::window::WindowAggregator;
 /// let mut agg = WindowAggregator::paper(NodeId(0));
-/// for t in 0..20 {
-///     let mut frame = NodeFrame::empty(NodeId(0), t as f64);
-///     frame.set(catalog::input_power(), 600.0 + t as f64);
-///     agg.push(&frame);
+/// for i in 0..20 {
+///     let t = (i ^ 1) as f64; // adjacent frames swapped in flight
+///     let mut frame = NodeFrame::empty(NodeId(0), t);
+///     frame.set(catalog::input_power(), 600.0 + t);
+///     assert!(agg.push(&frame).is_ok());
 /// }
-/// let windows = agg.finish();
+/// let (windows, health) = agg.finish_with_health();
 /// assert_eq!(windows.len(), 2);
 /// assert_eq!(windows[0].metric(catalog::input_power()).count, 10);
+/// assert_eq!(health.accepted, 20);
+/// assert_eq!(health.reordered, 10); // every swapped-back frame
 /// ```
 #[derive(Debug)]
 pub struct WindowAggregator {
     node: NodeId,
     window_s: f64,
+    policy: IngestPolicy,
+    health: IngestHealth,
+    /// Newest accepted sample timestamp.
+    watermark: Option<f64>,
+    /// Reorder buffer: sample time (ms grain) -> metric values. Holds at
+    /// most one horizon plus one window of frames at 1 Hz.
+    pending: BTreeMap<i64, Box<[f32]>>,
     current_start: Option<f64>,
+    /// Start of the most recently closed window, for gap emission when
+    /// the next frame opens a non-adjacent window.
+    last_closed: Option<f64>,
     acc: Vec<Welford>,
     out: Vec<NodeWindow>,
 }
 
+/// Sample timestamps are compared at millisecond grain for dedup and
+/// ordering — far below the 1 Hz sample cadence.
+fn time_key(t: f64) -> i64 {
+    (t * 1000.0).round() as i64
+}
+
 impl WindowAggregator {
-    /// Creates a coarsener with the given window length (seconds).
+    /// Creates a coarsener with the given window length (seconds) and
+    /// the default (paper) ingest policy. A non-finite or non-positive
+    /// window length falls back to [`PAPER_WINDOW_S`].
     pub fn new(node: NodeId, window_s: f64) -> Self {
-        assert!(window_s > 0.0, "window length must be positive");
+        Self::with_policy(node, window_s, IngestPolicy::default())
+    }
+
+    /// Creates a coarsener with an explicit ingest policy.
+    pub fn with_policy(node: NodeId, window_s: f64, policy: IngestPolicy) -> Self {
+        debug_assert!(
+            window_s.is_finite() && window_s > 0.0,
+            "window length must be positive"
+        );
+        let window_s = if window_s.is_finite() && window_s > 0.0 {
+            window_s
+        } else {
+            PAPER_WINDOW_S
+        };
+        let mut policy = policy;
+        if !(policy.lateness_horizon_s.is_finite() && policy.lateness_horizon_s >= 0.0) {
+            policy.lateness_horizon_s = 0.0;
+        }
         Self {
             node,
             window_s,
+            policy,
+            health: IngestHealth::default(),
+            watermark: None,
+            pending: BTreeMap::new(),
             current_start: None,
+            last_closed: None,
             acc: vec![Welford::new(); METRIC_COUNT],
             out: Vec::new(),
         }
@@ -79,6 +138,21 @@ impl WindowAggregator {
     /// Creates a coarsener with the paper's 10-second window.
     pub fn paper(node: NodeId) -> Self {
         Self::new(node, PAPER_WINDOW_S)
+    }
+
+    /// The node this aggregator coarsens.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The active ingest policy.
+    pub fn policy(&self) -> &IngestPolicy {
+        &self.policy
+    }
+
+    /// Ingest-health counters accumulated so far.
+    pub fn health(&self) -> IngestHealth {
+        self.health
     }
 
     fn window_start_of(&self, t: f64) -> f64 {
@@ -96,67 +170,179 @@ impl WindowAggregator {
                 window_start: start,
                 stats,
             });
+            self.last_closed = Some(start);
         }
     }
 
-    /// Feeds one frame.
-    ///
-    /// # Panics
-    /// If the frame belongs to a different node or arrives out of order
-    /// (before the current window).
-    pub fn push(&mut self, frame: &NodeFrame) {
-        assert_eq!(frame.node, self.node, "frame routed to wrong aggregator");
-        let ws = self.window_start_of(frame.t_sample);
-        match self.current_start {
-            None => self.current_start = Some(ws),
-            Some(cur) => {
-                assert!(
-                    ws >= cur,
-                    "out-of-order frame: t_sample {} before window start {}",
-                    frame.t_sample,
-                    cur
-                );
-                if ws > cur {
-                    self.flush_current();
-                    self.current_start = Some(ws);
-                }
+    /// Emits NaN-filled windows covering `(closed, next)` exclusive on
+    /// both ends, truncated to the policy's gap cap.
+    fn emit_gap_windows(&mut self, closed: f64, next: f64) {
+        let gaps = ((next - closed) / self.window_s).round() as i64 - 1;
+        if gaps <= 0 {
+            return;
+        }
+        let emit = (gaps as usize).min(self.policy.max_gap_windows);
+        for k in 1..=emit as i64 {
+            let stats: Vec<WindowStats> =
+                (0..METRIC_COUNT).map(|_| Welford::new().finish()).collect();
+            self.out.push(NodeWindow {
+                node: self.node,
+                window_start: closed + k as f64 * self.window_s,
+                stats,
+            });
+        }
+        self.health.gap_windows += emit as u64;
+    }
+
+    /// Folds one buffered frame (already in time order) into the
+    /// current window, closing windows and emitting gaps on crossings.
+    fn accumulate(&mut self, t: f64, values: &[f32]) {
+        let ws = self.window_start_of(t);
+        if let Some(cur) = self.current_start {
+            if ws > cur {
+                self.flush_current();
             }
         }
-        for (a, &v) in self.acc.iter_mut().zip(frame.values.iter()) {
+        if self.current_start.is_none() {
+            if self.policy.emit_gap_windows {
+                if let Some(last) = self.last_closed {
+                    self.emit_gap_windows(last, ws);
+                }
+            }
+            self.current_start = Some(ws);
+        }
+        for (a, &v) in self.acc.iter_mut().zip(values) {
             a.push(v as f64); // Welford ignores NaN (missing sensors)
         }
     }
 
-    /// Closes the trailing window and returns all coarsened windows.
+    /// Moves every buffered frame whose window is complete — its end is
+    /// a full lateness horizon behind the watermark — into the output,
+    /// and closes the current window once the watermark passes its end.
+    fn flush_ready(&mut self) {
+        let Some(wm) = self.watermark else { return };
+        let cutoff_start = self.window_start_of(wm - self.policy.lateness_horizon_s);
+        let cutoff = time_key(cutoff_start);
+        while let Some(entry) = self.pending.first_entry() {
+            if *entry.key() >= cutoff {
+                break;
+            }
+            let (k, values) = entry.remove_entry();
+            self.accumulate(k as f64 / 1000.0, &values);
+        }
+        if let Some(cur) = self.current_start {
+            // No frame at or before the cutoff can arrive any more, so a
+            // current window entirely behind it is complete.
+            if cutoff_start > cur {
+                self.flush_current();
+            }
+        }
+    }
+
+    /// Offers one frame to the coarsener. Faulty frames (wrong node,
+    /// beyond the lateness horizon, duplicate, non-finite timestamp) are
+    /// counted in [`WindowAggregator::health`] and reported as a typed
+    /// [`IngestError`]; the aggregator never panics on input.
+    pub fn push(&mut self, frame: &NodeFrame) -> Result<(), IngestError> {
+        if frame.node != self.node {
+            self.health.wrong_node += 1;
+            return Err(IngestError::WrongNode {
+                expected: self.node,
+                got: frame.node,
+            });
+        }
+        let t = frame.t_sample;
+        if !t.is_finite() {
+            self.health.invalid += 1;
+            return Err(IngestError::NonFiniteTimestamp);
+        }
+        let wm = self.watermark.unwrap_or(t);
+        if t < wm - self.policy.lateness_horizon_s {
+            self.health.late_dropped += 1;
+            return Err(IngestError::Late {
+                t_sample: t,
+                watermark: wm,
+                horizon_s: self.policy.lateness_horizon_s,
+            });
+        }
+        let key = time_key(t);
+        if self.pending.contains_key(&key) {
+            self.health.duplicates += 1;
+            return Err(IngestError::Duplicate { t_sample: t });
+        }
+        if t < wm {
+            self.health.reordered += 1;
+        }
+        self.pending.insert(key, frame.values.clone());
+        self.health.accepted += 1;
+        self.watermark = Some(wm.max(t));
+        self.flush_ready();
+        Ok(())
+    }
+
+    fn drain_pending(&mut self) {
+        while let Some((k, values)) = self.pending.pop_first() {
+            self.accumulate(k as f64 / 1000.0, &values);
+        }
+    }
+
+    /// Closes every remaining window (buffered frames included) and
+    /// returns all coarsened windows.
     pub fn finish(mut self) -> Vec<NodeWindow> {
+        self.drain_pending();
         self.flush_current();
         self.out
     }
 
+    /// Like [`WindowAggregator::finish`], also returning the final
+    /// ingest-health counters.
+    pub fn finish_with_health(mut self) -> (Vec<NodeWindow>, IngestHealth) {
+        self.drain_pending();
+        self.flush_current();
+        (self.out, self.health)
+    }
+
     /// Drains completed windows without closing the current one
-    /// (streaming consumption).
+    /// (streaming consumption). A window completes once the watermark
+    /// passes its end by the full lateness horizon.
     pub fn drain_completed(&mut self) -> Vec<NodeWindow> {
         std::mem::take(&mut self.out)
     }
 }
 
-/// Coarsens per-node frame batches in parallel: `frames_by_node[i]` is the
-/// time-ordered frame sequence of one node. Returns the coarsened windows
-/// per node (same outer order).
+/// Coarsens per-node frame batches in parallel: `frames_by_node[i]` is
+/// one node's frame sequence (any delivery order the fault model allows).
+/// Returns the coarsened windows per node (same outer order).
 pub fn coarsen_parallel(frames_by_node: &[Vec<NodeFrame>], window_s: f64) -> Vec<Vec<NodeWindow>> {
-    frames_by_node
+    coarsen_parallel_with_health(frames_by_node, window_s).0
+}
+
+/// Like [`coarsen_parallel`], also returning the merged ingest-health
+/// counters across all nodes.
+pub fn coarsen_parallel_with_health(
+    frames_by_node: &[Vec<NodeFrame>],
+    window_s: f64,
+) -> (Vec<Vec<NodeWindow>>, IngestHealth) {
+    let per_node: Vec<(Vec<NodeWindow>, IngestHealth)> = frames_by_node
         .par_iter()
         .map(|frames| {
             let Some(first) = frames.first() else {
-                return Vec::new();
+                return (Vec::new(), IngestHealth::default());
             };
             let mut agg = WindowAggregator::new(first.node, window_s);
             for f in frames {
-                agg.push(f);
+                let _ = agg.push(f); // faults are counted in health
             }
-            agg.finish()
+            agg.finish_with_health()
         })
-        .collect()
+        .collect();
+    let mut health = IngestHealth::default();
+    let mut windows = Vec::with_capacity(per_node.len());
+    for (w, h) in per_node {
+        health.merge(&h);
+        windows.push(w);
+    }
+    (windows, health)
 }
 
 #[cfg(test)]
@@ -175,7 +361,7 @@ mod tests {
     fn ten_second_windows_close_correctly() {
         let mut agg = WindowAggregator::paper(NodeId(0));
         for i in 0..25 {
-            agg.push(&frame(0, i as f64, 100.0 + i as f64));
+            agg.push(&frame(0, i as f64, 100.0 + i as f64)).unwrap();
         }
         let windows = agg.finish();
         assert_eq!(windows.len(), 3);
@@ -196,7 +382,7 @@ mod tests {
     #[test]
     fn missing_metrics_have_zero_count() {
         let mut agg = WindowAggregator::paper(NodeId(0));
-        agg.push(&frame(0, 0.0, 500.0));
+        agg.push(&frame(0, 0.0, 500.0)).unwrap();
         let windows = agg.finish();
         let gpu = windows[0].metric(catalog::gpu_power(crate::ids::GpuSlot(0)));
         assert_eq!(gpu.count, 0);
@@ -204,41 +390,200 @@ mod tests {
     }
 
     #[test]
-    fn window_gaps_skip_empty_windows() {
+    fn window_gaps_emit_nan_windows() {
         let mut agg = WindowAggregator::paper(NodeId(0));
-        agg.push(&frame(0, 5.0, 1.0));
-        agg.push(&frame(0, 95.0, 2.0)); // 80-second gap
-        let windows = agg.finish();
+        agg.push(&frame(0, 5.0, 1.0)).unwrap();
+        agg.push(&frame(0, 95.0, 2.0)).unwrap(); // 80-second gap
+        let (windows, health) = agg.finish_with_health();
+        assert_eq!(windows.len(), 10, "0..90 inclusive at 10 s");
+        assert_eq!(windows[0].window_start, 0.0);
+        assert_eq!(windows[9].window_start, 90.0);
+        assert_eq!(health.gap_windows, 8);
+        for w in &windows[1..9] {
+            let s = w.metric(catalog::input_power());
+            assert_eq!(s.count, 0, "gap window must be empty");
+            assert!(s.mean.is_nan());
+        }
+    }
+
+    #[test]
+    fn gap_windows_can_be_disabled() {
+        let policy = IngestPolicy {
+            emit_gap_windows: false,
+            ..IngestPolicy::default()
+        };
+        let mut agg = WindowAggregator::with_policy(NodeId(0), PAPER_WINDOW_S, policy);
+        agg.push(&frame(0, 5.0, 1.0)).unwrap();
+        agg.push(&frame(0, 95.0, 2.0)).unwrap();
+        let (windows, health) = agg.finish_with_health();
         assert_eq!(windows.len(), 2);
         assert_eq!(windows[0].window_start, 0.0);
         assert_eq!(windows[1].window_start, 90.0);
+        assert_eq!(health.gap_windows, 0);
     }
 
     #[test]
-    #[should_panic(expected = "out-of-order frame")]
-    fn out_of_order_rejected() {
-        let mut agg = WindowAggregator::paper(NodeId(0));
-        agg.push(&frame(0, 50.0, 1.0));
-        agg.push(&frame(0, 10.0, 1.0));
+    fn pathological_gap_is_capped() {
+        let policy = IngestPolicy {
+            max_gap_windows: 10,
+            ..IngestPolicy::default()
+        };
+        let mut agg = WindowAggregator::with_policy(NodeId(0), PAPER_WINDOW_S, policy);
+        agg.push(&frame(0, 0.0, 1.0)).unwrap();
+        agg.push(&frame(0, 1.0e9, 2.0)).unwrap();
+        let (windows, health) = agg.finish_with_health();
+        assert_eq!(windows.len(), 12, "two data windows + capped gap");
+        assert_eq!(health.gap_windows, 10);
     }
 
     #[test]
-    #[should_panic(expected = "wrong aggregator")]
-    fn wrong_node_rejected() {
+    fn out_of_order_within_horizon_is_reordered() {
         let mut agg = WindowAggregator::paper(NodeId(0));
-        agg.push(&frame(1, 0.0, 1.0));
+        agg.push(&frame(0, 3.0, 30.0)).unwrap();
+        agg.push(&frame(0, 0.0, 10.0)).unwrap(); // 3 s late: buffered
+        agg.push(&frame(0, 1.0, 20.0)).unwrap();
+        let (windows, health) = agg.finish_with_health();
+        assert_eq!(windows.len(), 1);
+        let s = windows[0].metric(catalog::input_power());
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 10.0);
+        assert_eq!(s.max, 30.0);
+        assert_eq!(health.reordered, 2);
+        assert_eq!(health.accepted, 3);
+    }
+
+    #[test]
+    fn beyond_horizon_is_counted_and_dropped() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        agg.push(&frame(0, 50.0, 1.0)).unwrap();
+        let err = agg.push(&frame(0, 10.0, 1.0)).unwrap_err();
+        assert!(matches!(err, IngestError::Late { .. }));
+        let (windows, health) = agg.finish_with_health();
+        assert_eq!(health.late_dropped, 1);
+        assert_eq!(health.accepted, 1);
+        assert_eq!(windows.len(), 1, "late frame contributes nothing");
+        assert_eq!(windows[0].window_start, 50.0);
+    }
+
+    #[test]
+    fn frame_exactly_at_horizon_is_accepted() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        agg.push(&frame(0, 10.0, 1.0)).unwrap();
+        // Exactly watermark - horizon: the boundary is inclusive.
+        agg.push(&frame(0, 5.0, 2.0)).unwrap();
+        let (_, health) = agg.finish_with_health();
+        assert_eq!(health.accepted, 2);
+        assert_eq!(health.late_dropped, 0);
+        assert_eq!(health.reordered, 1);
+    }
+
+    #[test]
+    fn duplicates_are_deduped() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        agg.push(&frame(0, 4.0, 100.0)).unwrap();
+        let err = agg.push(&frame(0, 4.0, 999.0)).unwrap_err();
+        assert!(matches!(err, IngestError::Duplicate { .. }));
+        let (windows, health) = agg.finish_with_health();
+        assert_eq!(health.duplicates, 1);
+        assert_eq!(health.accepted, 1);
+        let s = windows[0].metric(catalog::input_power());
+        assert_eq!(s.count, 1, "first copy wins");
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn duplicate_timestamp_on_window_boundary() {
+        // Satellite edge case: t = 10.0 sits exactly on a 10 s boundary;
+        // the duplicate must dedup, not double-count into either window.
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        for t in [8.0, 9.0, 10.0] {
+            agg.push(&frame(0, t, t)).unwrap();
+        }
+        assert!(agg.push(&frame(0, 10.0, 999.0)).is_err());
+        let (windows, health) = agg.finish_with_health();
+        assert_eq!(health.duplicates, 1);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].metric(catalog::input_power()).count, 2);
+        let w1 = windows[1].metric(catalog::input_power());
+        assert_eq!(w1.count, 1);
+        assert_eq!(w1.max, 10.0);
+    }
+
+    #[test]
+    fn wrong_node_is_counted_and_dropped() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        let err = agg.push(&frame(1, 0.0, 1.0)).unwrap_err();
+        assert!(matches!(
+            err,
+            IngestError::WrongNode {
+                expected: NodeId(0),
+                got: NodeId(1)
+            }
+        ));
+        let (windows, health) = agg.finish_with_health();
+        assert!(windows.is_empty());
+        assert_eq!(health.wrong_node, 1);
+        assert_eq!(health.accepted, 0);
+    }
+
+    #[test]
+    fn negative_timestamps_coarsen_fine() {
+        // Satellite edge case: t_sample < 0 must floor into negative
+        // window starts, not panic or alias onto window 0.
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        for t in [-15.0, -12.0, -5.0, -1.0] {
+            agg.push(&frame(0, t, 1.0)).unwrap();
+        }
+        let windows = agg.finish();
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0].window_start, -20.0);
+        assert_eq!(windows[1].window_start, -10.0);
+        assert_eq!(windows[1].metric(catalog::input_power()).count, 2);
+    }
+
+    #[test]
+    fn non_finite_timestamp_rejected() {
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        assert!(matches!(
+            agg.push(&frame(0, f64::NAN, 1.0)),
+            Err(IngestError::NonFiniteTimestamp)
+        ));
+        assert!(agg.push(&frame(0, f64::INFINITY, 1.0)).is_err());
+        let (windows, health) = agg.finish_with_health();
+        assert!(windows.is_empty());
+        assert_eq!(health.invalid, 2);
+    }
+
+    #[test]
+    fn all_nan_outage_frames_flow_to_cluster_series() {
+        // Satellite edge case: a dark cabinet emits all-NaN frames; they
+        // must flow through coarsening and cluster_power_series without
+        // panicking and register as missing.
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        for t in 0..30 {
+            agg.push(&NodeFrame::empty(NodeId(0), t as f64)).unwrap();
+        }
+        let windows = agg.finish();
+        assert_eq!(windows.len(), 3);
+        for w in &windows {
+            assert_eq!(w.metric(catalog::input_power()).count, 0);
+        }
+        let rows = crate::cluster::cluster_power(std::slice::from_ref(&windows));
+        assert!(rows.is_empty(), "no reporting node, no cluster rows");
+        assert!(crate::cluster::cluster_power_series(&rows, PAPER_WINDOW_S).is_none());
     }
 
     #[test]
     fn drain_supports_streaming() {
         let mut agg = WindowAggregator::paper(NodeId(0));
-        for i in 0..15 {
-            agg.push(&frame(0, i as f64, 1.0));
+        for i in 0..21 {
+            agg.push(&frame(0, i as f64, 1.0)).unwrap();
         }
+        // Watermark 20; the horizon (5 s) has passed window [0, 10).
         let drained = agg.drain_completed();
-        assert_eq!(drained.len(), 1); // first window complete
+        assert_eq!(drained.len(), 1);
         let rest = agg.finish();
-        assert_eq!(rest.len(), 1); // trailing window
+        assert_eq!(rest.len(), 2); // [10, 20) and the trailing [20, 30)
     }
 
     #[test]
@@ -254,7 +599,7 @@ mod tests {
         for (node, frames) in batches.iter().enumerate() {
             let mut agg = WindowAggregator::new(NodeId(node as u32), 10.0);
             for f in frames {
-                agg.push(f);
+                agg.push(f).unwrap();
             }
             let seq = agg.finish();
             assert_eq!(par[node].len(), seq.len());
@@ -271,15 +616,44 @@ mod tests {
     }
 
     #[test]
+    fn parallel_health_merges_across_nodes() {
+        let mut batches: Vec<Vec<NodeFrame>> = vec![
+            (0..20).map(|i| frame(0, i as f64, 1.0)).collect(),
+            (0..20).map(|i| frame(1, i as f64, 1.0)).collect(),
+        ];
+        batches[0].push(frame(0, 17.0, 9.0)); // in-horizon duplicate
+        batches[1].push(frame(0, 3.0, 9.0)); // wrong node in batch 1
+        let (windows, health) = coarsen_parallel_with_health(&batches, 10.0);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(health.accepted, 40);
+        assert_eq!(health.duplicates, 1);
+        assert_eq!(health.wrong_node, 1);
+    }
+
+    #[test]
     fn std_matches_two_pass_within_window() {
         let mut agg = WindowAggregator::paper(NodeId(0));
         let vals = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
         for (i, &v) in vals.iter().enumerate() {
-            agg.push(&frame(0, i as f64, v));
+            agg.push(&frame(0, i as f64, v)).unwrap();
         }
         let windows = agg.finish();
         let s = windows[0].metric(catalog::input_power());
         let expect = (32.0f64 / 7.0).sqrt();
         assert!((s.std - expect).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_window_length_falls_back() {
+        // Release builds sanitize instead of panicking.
+        let agg = WindowAggregator::with_policy(
+            NodeId(0),
+            PAPER_WINDOW_S,
+            IngestPolicy {
+                lateness_horizon_s: f64::NAN,
+                ..IngestPolicy::default()
+            },
+        );
+        assert_eq!(agg.policy().lateness_horizon_s, 0.0);
     }
 }

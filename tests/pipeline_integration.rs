@@ -62,7 +62,7 @@ fn cluster_aggregation_matches_truth_within_sensor_error() {
         .map(|(n, fs)| {
             let mut agg = WindowAggregator::paper(NodeId(n as u32));
             for f in fs {
-                agg.push(f);
+                agg.push(f).unwrap();
             }
             agg.finish()
         })
@@ -93,7 +93,7 @@ fn job_join_attributes_only_job_windows() {
         .map(|(n, fs)| {
             let mut agg = WindowAggregator::paper(NodeId(n as u32));
             for f in fs {
-                agg.push(f);
+                agg.push(f).unwrap();
             }
             agg.finish()
         })
@@ -179,7 +179,7 @@ fn missing_cabinet_flows_through_aggregation() {
         .map(|(n, fs)| {
             let mut agg = WindowAggregator::paper(NodeId(n as u32));
             for f in fs {
-                agg.push(f);
+                agg.push(f).unwrap();
             }
             agg.finish()
         })

@@ -186,7 +186,7 @@ fn window_stats_bound_samples() {
         for (i, &v) in samples.iter().enumerate() {
             let mut f = NodeFrame::empty(NodeId(0), i as f64);
             f.set(summit_repro::telemetry::catalog::input_power(), v);
-            agg.push(&f);
+            agg.push(&f).unwrap();
         }
         for w in agg.finish() {
             let s = w.metric(summit_repro::telemetry::catalog::input_power());

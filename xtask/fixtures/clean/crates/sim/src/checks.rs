@@ -1,0 +1,17 @@
+//! Fixture checks: exactly the one budgeted assert site; the
+//! `debug_assert!` and the test-module assert must not count.
+
+/// Validates a window length.
+pub fn validate(len: usize) -> usize {
+    assert!(len > 0, "window must be non-empty");
+    debug_assert!(len < 1_000_000);
+    len
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked_out() {
+        assert_eq!(super::validate(3), 3);
+    }
+}

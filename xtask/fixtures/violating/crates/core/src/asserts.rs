@@ -1,0 +1,18 @@
+//! Fixture asserts: two sites against a budget of one, plus exempt
+//! `debug_assert_ne!` and test-module asserts.
+
+/// Checks a count, asserting twice on the way.
+pub fn clamp(n: usize) -> usize {
+    assert!(n > 0, "count must be positive");
+    assert_eq!(n % 2, 0, "count must be even");
+    debug_assert_ne!(n, usize::MAX);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked_out() {
+        assert_eq!(super::clamp(2), 2);
+    }
+}

@@ -6,7 +6,9 @@
 //! 1. **determinism** — no wall-clock or entropy-seeded randomness in
 //!    the simulation/analysis crates that feed experiment outputs;
 //! 2. **panic-freedom** — no `unwrap()`/`expect()`/bare `panic!` in
-//!    non-test library code outside a ratcheted allowlist;
+//!    non-test library code outside a ratcheted allowlist, and
+//!    `assert!`/`assert_eq!`/`assert_ne!` sites held to a second
+//!    ratcheted budget (`debug_assert!` stays free);
 //! 3. **spec-constants** — `crates/sim/src/spec.rs` matches the
 //!    machine-readable `paper_constants.toml` (paper Tables 1/3), and
 //!    no spec value is duplicated as a magic literal elsewhere;

@@ -8,12 +8,17 @@
 //! panic site) and when it comes in *under* (the allowlist must be
 //! ratcheted down so fixed sites cannot silently regress).
 //!
+//! `assert!`, `assert_eq!` and `assert_ne!` in non-test library code
+//! are budgeted the same way in `xtask/assert_allowlist.txt`: each
+//! surviving assert is a deliberate, documented API contract, and the
+//! ratchet keeps the set from growing back after the ingestion path
+//! went panic-free. `debug_assert!` variants and `unreachable!` remain
+//! free — they vanish in release builds or mark dead branches.
+//!
 //! Literal slice indexing (`xs[0]`) is reported as an advisory warning
 //! by default and as an error under `--strict-indexing`.
 //!
-//! Scope: non-test code in every `crates/*/src` tree. `assert!`,
-//! `debug_assert!` and `unreachable!` are allowed — they document
-//! invariants rather than handle data.
+//! Scope: non-test code in every `crates/*/src` tree.
 
 use crate::source;
 use crate::violation::Violation;
@@ -23,30 +28,50 @@ use std::path::Path;
 
 const RULE: &str = "panic-freedom";
 const RULE_IDX: &str = "unchecked-indexing";
+const RULE_ASSERT: &str = "assert-budget";
 
 /// Allowlist location, relative to the workspace root.
 pub const ALLOWLIST: &str = "xtask/panic_allowlist.txt";
+
+/// Assert-budget allowlist location, relative to the workspace root.
+pub const ASSERT_ALLOWLIST: &str = "xtask/assert_allowlist.txt";
 
 /// Panic-introducing tokens. `word_start` avoids matching
 /// `.unwrap_or()` via the `(` terminator and `dont_panic!` via the
 /// boundary check.
 const TOKENS: &[(&str, bool)] = &[(".unwrap()", false), (".expect(", false), ("panic!(", true)];
 
+/// Budgeted assertion tokens. All require a word start, so the
+/// `debug_assert!` family (preceded by `_`) never matches.
+const ASSERT_TOKENS: &[(&str, bool)] = &[
+    ("assert!(", true),
+    ("assert_eq!(", true),
+    ("assert_ne!(", true),
+];
+
 /// Runs the rule. Returns `(errors, warnings)`.
 pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violation>) {
     let mut errors = Vec::new();
     let mut warnings = Vec::new();
 
-    let allowed = match load_allowlist(root) {
+    let allowed = match load_allowlist(root, ALLOWLIST) {
         Ok(a) => a,
         Err(msg) => {
             errors.push(Violation::new(RULE, ALLOWLIST, 0, msg));
             return (errors, warnings);
         }
     };
+    let allowed_asserts = match load_allowlist(root, ASSERT_ALLOWLIST) {
+        Ok(a) => a,
+        Err(msg) => {
+            errors.push(Violation::new(RULE_ASSERT, ASSERT_ALLOWLIST, 0, msg));
+            return (errors, warnings);
+        }
+    };
 
     // path (repo-relative, as written in the allowlist) -> found sites.
     let mut found: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    let mut found_asserts: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
 
     let crates_dir = root.join("crates");
     let Ok(entries) = std::fs::read_dir(&crates_dir) else {
@@ -81,6 +106,14 @@ pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violati
                         .push((line, (*token).to_string()));
                 }
             }
+            for (token, word_start) in ASSERT_TOKENS {
+                for line in source::find_token_lines(&masked, token, *word_start) {
+                    found_asserts
+                        .entry(rel_path.clone())
+                        .or_default()
+                        .push((line, (*token).to_string()));
+                }
+            }
             for line in literal_index_lines(&masked) {
                 let v = Violation::new(
                     RULE_IDX,
@@ -97,26 +130,60 @@ pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violati
         }
     }
 
-    // Compare found counts against the allowlist, both directions.
-    for (path, sites) in &found {
+    // Compare found counts against each allowlist, both directions.
+    ratchet(
+        RULE,
+        ALLOWLIST,
+        "handle the error instead of adding panic sites",
+        "panic",
+        &found,
+        &allowed,
+        &mut errors,
+    );
+    ratchet(
+        RULE_ASSERT,
+        ASSERT_ALLOWLIST,
+        "return a typed error instead of asserting in library code",
+        "assert",
+        &found_asserts,
+        &allowed_asserts,
+        &mut errors,
+    );
+
+    (errors, warnings)
+}
+
+/// Enforces one shrink-only allowlist: errors when a file exceeds its
+/// budget (with `advice`) and when the allowlist overstates reality in
+/// either way (under-budget or orphaned entry).
+#[allow(clippy::too_many_arguments)]
+fn ratchet(
+    rule: &'static str,
+    allowlist: &'static str,
+    advice: &str,
+    kind: &str,
+    found: &BTreeMap<String, Vec<(usize, String)>>,
+    allowed: &BTreeMap<&'static str, usize>,
+    errors: &mut Vec<Violation>,
+) {
+    for (path, sites) in found {
         let budget = allowed.get(path.as_str()).copied().unwrap_or(0);
         if sites.len() > budget {
             for (line, token) in sites {
                 errors.push(Violation::new(
-                    RULE,
+                    rule,
                     path.clone(),
                     *line,
                     format!(
-                        "`{token}` — {} site(s) found, allowlist budget is {budget}; \
-                         handle the error instead of adding panic sites",
+                        "`{token}` — {} site(s) found, allowlist budget is {budget}; {advice}",
                         sites.len()
                     ),
                 ));
             }
         } else if sites.len() < budget {
             errors.push(Violation::new(
-                RULE,
-                ALLOWLIST,
+                rule,
+                allowlist,
                 0,
                 format!(
                     "stale entry: `{path}` allows {budget} but only {} site(s) remain — \
@@ -126,27 +193,27 @@ pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violati
             ));
         }
     }
-    for (path, budget) in &allowed {
+    for (path, budget) in allowed {
         if !found.contains_key(*path) {
             errors.push(Violation::new(
-                RULE,
-                ALLOWLIST,
+                rule,
+                allowlist,
                 0,
-                format!("stale entry: `{path}` allows {budget} but has no panic sites — remove it"),
+                format!(
+                    "stale entry: `{path}` allows {budget} but has no {kind} sites — remove it"
+                ),
             ));
         }
     }
-
-    (errors, warnings)
 }
 
-/// Parses `xtask/panic_allowlist.txt`: `<path> <count>` per line, `#`
-/// comments. Returned map borrows from a leaked string only within the
-/// call, so it is keyed by owned strings upstream via `found`.
-fn load_allowlist(root: &Path) -> Result<BTreeMap<&'static str, usize>, String> {
+/// Parses an allowlist file: `<path> <count>` per line, `#` comments.
+/// Returned map borrows from a leaked string only within the call, so
+/// it is keyed by owned strings upstream via `found`.
+fn load_allowlist(root: &Path, list: &str) -> Result<BTreeMap<&'static str, usize>, String> {
     // The allowlist is small and read once per run; leaking it gives the
     // map a simple lifetime without cloning every key twice.
-    let text = std::fs::read_to_string(root.join(ALLOWLIST))
+    let text = std::fs::read_to_string(root.join(list))
         .map_err(|e| format!("cannot read allowlist: {e}"))?;
     let text: &'static str = Box::leak(text.into_boxed_str());
     let mut map = BTreeMap::new();

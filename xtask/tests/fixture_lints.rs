@@ -61,18 +61,30 @@ fn determinism_clean_fixture_passes() {
 fn panic_freedom_ratchets_both_directions() {
     let (errors, warnings) = panic_freedom::check(&fixture("violating"), false);
 
-    // One over-budget site (analysis unwrap, no allowlist entry), plus
-    // two stale allowlist entries (engine.rs under budget, gone.rs
-    // missing entirely). The test-module unwrap must NOT be counted.
+    // One over-budget panic site (analysis unwrap, no allowlist entry),
+    // two stale panic-allowlist entries (engine.rs under budget, gone.rs
+    // missing entirely), two assert sites against a budget of one, and
+    // one orphaned assert-allowlist entry. Test-module sites and the
+    // `debug_assert_ne!` must NOT be counted.
     assert_eq!(
         locations(&errors),
         vec![
             ("crates/analysis/src/lib.rs".into(), 7),
+            ("crates/core/src/asserts.rs".into(), 6),
+            ("crates/core/src/asserts.rs".into(), 7),
+            ("xtask/assert_allowlist.txt".into(), 0),
             ("xtask/panic_allowlist.txt".into(), 0),
             ("xtask/panic_allowlist.txt".into(), 0),
         ]
     );
     assert!(message_at(&errors, "crates/analysis/src/lib.rs", 7).contains(".unwrap()"));
+    assert!(message_at(&errors, "crates/core/src/asserts.rs", 6).contains("`assert!(`"));
+    assert!(message_at(&errors, "crates/core/src/asserts.rs", 7).contains("`assert_eq!(`"));
+    assert!(errors
+        .iter()
+        .filter(|v| v.path == Path::new("xtask/assert_allowlist.txt"))
+        .all(|v| v.message.contains("crates/analysis/src/missing.rs")
+            && v.message.contains("remove it")));
     let stale: Vec<&str> = errors
         .iter()
         .filter(|v| v.path == Path::new("xtask/panic_allowlist.txt"))
@@ -101,8 +113,9 @@ fn panic_freedom_ratchets_both_directions() {
 
 #[test]
 fn panic_freedom_clean_fixture_passes() {
-    // The clean fixture's engine.rs has exactly the one site its
-    // allowlist entry budgets — the exact-match path of the ratchet.
+    // The clean fixture's engine.rs has exactly the one panic site and
+    // checks.rs exactly the one assert site their allowlist entries
+    // budget — the exact-match path of both ratchets.
     let (errors, warnings) = panic_freedom::check(&fixture("clean"), true);
     assert_eq!(errors, vec![]);
     assert_eq!(warnings, vec![]);
