@@ -24,6 +24,7 @@ pub struct Ecdf {
 impl Ecdf {
     /// Builds the ECDF, dropping NaNs. Returns `None` if no finite values.
     pub fn new(data: &[f64]) -> Option<Self> {
+        let _obs = summit_obs::span("summit_analysis_cdf_build");
         let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
         if sorted.is_empty() {
             return None;

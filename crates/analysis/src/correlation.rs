@@ -88,6 +88,7 @@ impl CorrelationMatrix {
     /// Bonferroni correction. Pairs are computed in parallel.
     pub fn compute(variables: &[Vec<f64>], alpha: f64) -> Self {
         assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+        let _obs = summit_obs::span("summit_analysis_correlation");
         let vars = variables.len();
         let observations = variables.first().map_or(0, |v| v.len());
         for v in variables {

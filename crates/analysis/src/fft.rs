@@ -96,6 +96,8 @@ pub fn fft_padded(data: &[f64]) -> Vec<Complex> {
     if data.is_empty() {
         return Vec::new();
     }
+    let _obs = summit_obs::span("summit_analysis_fft");
+    summit_obs::histogram("summit_analysis_fft_points").observe(data.len() as f64);
     let n = data.len().next_power_of_two();
     let mut buf: Vec<Complex> = Vec::with_capacity(n);
     buf.extend(data.iter().map(|&x| Complex::new(x, 0.0)));
@@ -221,6 +223,7 @@ pub fn spectrogram(data: &[f64], sample_hz: f64, window: usize, hop: usize) -> S
     assert!(window >= 4, "window must hold at least 4 samples");
     assert!(hop > 0, "hop must be positive");
     assert!(sample_hz > 0.0);
+    let _obs = summit_obs::span("summit_analysis_spectrogram");
     let n_fft = window.next_power_of_two();
     let half = n_fft / 2;
     let freqs_hz: Vec<f64> = (1..half)

@@ -48,6 +48,7 @@ impl Kde1d {
     /// Fits a 1-D KDE; NaNs dropped. Returns `None` if fewer than 2 finite
     /// samples or zero spread (degenerate density).
     pub fn fit(data: &[f64], rule: Bandwidth) -> Option<Self> {
+        let _obs = summit_obs::span("summit_analysis_kde_fit");
         let samples: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
         if samples.len() < 2 {
             return None;
@@ -217,6 +218,7 @@ impl Kde2d {
     /// in either dimension.
     pub fn fit(x: &[f64], y: &[f64], rule: Bandwidth) -> Option<Self> {
         assert_eq!(x.len(), y.len(), "x and y must be the same length");
+        let _obs = summit_obs::span("summit_analysis_kde2_fit");
         let pairs: Vec<(f64, f64)> = x
             .iter()
             .zip(y)

@@ -102,11 +102,42 @@ fn bench_engine(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_obs(c: &mut Criterion) {
+    // The observability layer rides every hot path; these baselines
+    // bound the overhead a span or counter adds per stage.
+    let registry = summit_obs::registry::Registry::new();
+    let _scope = registry.install();
+    let mut g = c.benchmark_group("obs");
+    g.bench_function("counter_inc_interned", |b| {
+        let counter = registry.counter("summit_bench_overhead_total");
+        b.iter(|| counter.inc())
+    });
+    g.bench_function("counter_lookup_and_inc", |b| {
+        b.iter(|| summit_obs::counter(black_box("summit_bench_overhead_total")).inc())
+    });
+    g.bench_function("histogram_observe", |b| {
+        let h = registry.histogram("summit_bench_overhead_seconds");
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            h.observe(black_box(x as f64 * 1e-6));
+        })
+    });
+    g.bench_function("span_guard_roundtrip", |b| {
+        b.iter(|| summit_obs::span(black_box("summit_bench_span")))
+    });
+    g.bench_function("snapshot_small_registry", |b| {
+        b.iter(|| registry.snapshot())
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
     bench_window,
     bench_cluster,
-    bench_engine
+    bench_engine,
+    bench_obs
 );
 criterion_main!(benches);

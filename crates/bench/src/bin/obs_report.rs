@@ -1,0 +1,50 @@
+//! Dumps the observability baseline for the default telemetry scenario
+//! as machine-readable `BENCH_obs.json` (see DESIGN.md "Observability").
+//!
+//! Usage: `obs_report [--full] [--out PATH]`. Quick fidelity runs a
+//! 4-cabinet 2-minute window; `--full` runs a 40-cabinet 5-minute one.
+//! The Prometheus exposition of the same snapshot is printed to stdout.
+
+use std::io::Write;
+use summit_bench::obs_report::{build_report, to_json, ReportConfig};
+use summit_bench::{fidelity, header, Fidelity};
+
+fn out_path() -> String {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            if let Some(p) = args.next() {
+                return p;
+            }
+        }
+    }
+    "BENCH_obs.json".into()
+}
+
+fn main() {
+    let f = fidelity();
+    header("observability baseline (BENCH_obs.json)", f);
+    let config = match f {
+        Fidelity::Quick => ReportConfig::default(),
+        Fidelity::Full => ReportConfig {
+            cabinets: 40,
+            duration_s: 300.0,
+        },
+    };
+    let snapshot = build_report(&config);
+
+    let mut prom = Vec::new();
+    if summit_obs::expose::write_prometheus(&mut prom, &snapshot).is_ok() {
+        println!("{}", String::from_utf8_lossy(&prom));
+    }
+
+    let path = out_path();
+    let json = to_json(&snapshot);
+    match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
+        Err(e) => {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

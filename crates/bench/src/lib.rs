@@ -6,6 +6,8 @@
 //! to a quick mode that regenerates the same rows at reduced scale in
 //! seconds.
 
+pub mod obs_report;
+
 /// Run fidelity selected on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Fidelity {

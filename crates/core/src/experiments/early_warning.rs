@@ -60,6 +60,7 @@ pub struct EarlyWarningResult {
 
 /// Runs the early-warning evaluation.
 pub fn run(config: &Config) -> EarlyWarningResult {
+    let _obs = summit_obs::span("summit_core_early_warning");
     let events = generate_events(&GenConfig {
         weeks: config.weeks,
         seed: config.seed,

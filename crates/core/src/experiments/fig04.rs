@@ -70,6 +70,7 @@ pub struct Fig04Result {
 
 /// Runs the Figure 4 validation study.
 pub fn run(config: &Config) -> Fig04Result {
+    let _obs = summit_obs::span("summit_core_fig04");
     let mut engine_cfg = EngineConfig::small(config.cabinets);
     engine_cfg.dt_s = 1.0;
     let mut engine = Engine::new(engine_cfg, 0.0);

@@ -79,6 +79,7 @@ pub struct Fig05Result {
 
 /// Runs the yearly-trend experiment.
 pub fn run(config: &Config) -> Fig05Result {
+    let _obs = summit_obs::span("summit_core_fig05");
     let scenario = PopulationScenario::paper_year(config.population_scale);
     let (rows, _) = scenario.generate_with_stats();
     // At full scale (the default; ~5 s of compute) the sweep lands in the

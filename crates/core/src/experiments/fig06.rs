@@ -77,6 +77,7 @@ fn overlap(a: (f64, f64), b: (f64, f64)) -> f64 {
 
 /// Runs the Figure 6 study.
 pub fn run(config: &Config) -> Fig06Result {
+    let _obs = summit_obs::span("summit_core_fig06");
     let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
     let mut classes = Vec::new();
     for class in 1..=5u8 {

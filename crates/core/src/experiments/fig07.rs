@@ -124,6 +124,7 @@ fn class_cdfs(rows: &[summit_sim::jobstats::JobStatsRow], class: u8) -> ClassCdf
 
 /// Runs the Figure 7 study.
 pub fn run(config: &Config) -> Fig07Result {
+    let _obs = summit_obs::span("summit_core_fig07");
     let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
     Fig07Result {
         class1: class_cdfs(&rows, 1),

@@ -53,6 +53,7 @@ pub struct Fig08Result {
 
 /// Runs the Figure 8 study for one class panel.
 pub fn run(config: &Config) -> Fig08Result {
+    let _obs = summit_obs::span("summit_core_fig08");
     assert!(
         config.class == 1 || config.class == 2,
         "the paper's Figure 8 shows classes 1 and 2"

@@ -103,6 +103,7 @@ fn build_panel(
 
 /// Runs the Figure 9 study.
 pub fn run(config: &Config) -> Fig09Result {
+    let _obs = summit_obs::span("summit_core_fig09");
     let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
     let leadership: Vec<_> = rows.iter().filter(|r| r.job.class() <= 2).collect();
     let small: Vec<_> = rows.iter().filter(|r| r.job.class() >= 3).collect();

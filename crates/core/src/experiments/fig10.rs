@@ -80,6 +80,7 @@ struct JobDyn {
 
 /// Runs the Figure 10 study.
 pub fn run(config: &Config) -> Fig10Result {
+    let _obs = summit_obs::span("summit_core_fig10");
     let scenario = PopulationScenario::paper_year(config.population_scale);
     let jobs = scenario.generate();
     let pm = PowerModel::new(scenario.seed);

@@ -116,6 +116,7 @@ pub struct Fig11Result {
 
 /// Runs the Figure 11 study.
 pub fn run(config: &Config) -> Fig11Result {
+    let _obs = summit_obs::span("summit_core_fig11");
     let (run, edges) = burst_run(config);
     let power10 = run.power_series().downsample_mean(10);
     let pue10 = run.pue_series().downsample_mean(10);

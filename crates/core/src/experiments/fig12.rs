@@ -102,6 +102,7 @@ fn panel(run: &crate::pipeline::DynamicsRun, times: &[f64], kind: EdgeKind) -> R
 
 /// Runs the Figure 12 study.
 pub fn run(config: &Config) -> Fig12Result {
+    let _obs = summit_obs::span("summit_core_fig12");
     let (run, edges) = burst_run(&config.burst);
     let rising_times: Vec<f64> = edges
         .iter()

@@ -62,6 +62,7 @@ pub struct Fig13Result {
 
 /// Runs the Figure 13 analysis.
 pub fn run(config: &Config) -> Fig13Result {
+    let _obs = summit_obs::span("summit_core_fig13");
     let events = generate_events(&GenConfig {
         weeks: config.weeks,
         seed: config.seed,

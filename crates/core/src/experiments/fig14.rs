@@ -68,6 +68,7 @@ pub struct Fig14Result {
 
 /// Runs the Figure 14 analysis.
 pub fn run(config: &Config) -> Fig14Result {
+    let _obs = summit_obs::span("summit_core_fig14");
     let span = config.weeks * 7.0 * 86_400.0;
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut gen = JobGenerator::new();

@@ -59,6 +59,7 @@ pub struct Fig15Result {
 
 /// Runs the Figure 15 analysis.
 pub fn run(config: &Config) -> Fig15Result {
+    let _obs = summit_obs::span("summit_core_fig15");
     let events = generate_events(&GenConfig {
         weeks: config.weeks,
         seed: config.seed,

@@ -69,6 +69,7 @@ pub const PANEL_KINDS: [XidErrorKind; 4] = [
 
 /// Runs the Figure 16 analysis.
 pub fn run(config: &Config) -> Fig16Result {
+    let _obs = summit_obs::span("summit_core_fig16");
     let events = generate_events(&GenConfig {
         weeks: config.weeks,
         seed: config.seed,

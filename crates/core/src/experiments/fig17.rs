@@ -102,6 +102,7 @@ pub struct Fig17Result {
 
 /// Runs the Figure 17 study.
 pub fn run(config: &Config) -> Fig17Result {
+    let _obs = summit_obs::span("summit_core_fig17");
     let mut engine_cfg = if config.cabinets == 257 {
         EngineConfig::default()
     } else {

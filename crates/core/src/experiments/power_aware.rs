@@ -200,6 +200,7 @@ pub struct PowerAwareResult {
 
 /// Runs the power-aware scheduling sweep.
 pub fn run(config: &Config) -> PowerAwareResult {
+    let _obs = summit_obs::span("summit_core_power_aware");
     let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
     // Sub-scaled populations under-fill the machine; horizon covers the
     // arrival span plus drain time.

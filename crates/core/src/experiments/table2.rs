@@ -69,78 +69,127 @@ pub struct Table2Result {
     pub coarsened_windows: usize,
     /// Fault-tolerance counters from the coarsening path.
     pub ingest_health: IngestHealth,
+    /// Hot-path throughput: frames processed per wall-clock second.
+    pub frames_per_wall_s: f64,
+    /// Hot-path throughput: coarsened windows per wall-clock second.
+    pub windows_per_wall_s: f64,
+    /// Per-run observability snapshot (stage timings and counters).
+    pub obs: summit_obs::Snapshot,
 }
 
-/// Runs the Table 2 pipeline measurement.
+/// Runs the Table 2 pipeline measurement. Installs a private
+/// [`summit_obs`] registry for the duration so [`Table2Result::obs`]
+/// holds this run's stage timings in isolation; the snapshot is also
+/// absorbed into the caller's current registry.
 pub fn run(config: &Config) -> Table2Result {
     assert!(config.duration_s >= 60 && config.duration_s.is_multiple_of(60));
-    let mut engine = Engine::new(EngineConfig::small(config.cabinets), 0.0);
-    let nodes = engine.topology().node_count();
-    let store = TelemetryStore::new();
-    let mut total_windows = 0usize;
-    let mut all_stats = summit_telemetry::stream::IngestStats::default();
+    let parent = summit_obs::current();
+    let registry = summit_obs::registry::Registry::new();
+    let mut result = {
+        let _scope = registry.install();
+        let run_span = summit_obs::span("summit_core_table2");
+        let mut engine = Engine::new(EngineConfig::small(config.cabinets), 0.0);
+        let nodes = engine.topology().node_count();
+        let store = TelemetryStore::new();
+        let mut total_windows = 0usize;
+        let mut all_stats = summit_telemetry::stream::IngestStats::default();
 
-    // Stream minute-by-minute: generate frames, fan them in, archive and
-    // coarsen, then drop — bounding memory like the real pipeline.
-    let minutes = config.duration_s / 60;
-    for _ in 0..minutes {
-        let mut frames_by_node: Vec<Vec<summit_telemetry::records::NodeFrame>> =
-            vec![Vec::with_capacity(60); nodes];
-        for _ in 0..60 {
-            let out = engine.step_opts(&StepOptions {
-                frames: true,
-                ..Default::default()
-            });
-            for f in out.frames.unwrap_or_default() {
-                frames_by_node[f.node.index()].push(f);
+        // Stream minute-by-minute: generate frames, fan them in, archive and
+        // coarsen, then drop — bounding memory like the real pipeline.
+        let minutes = config.duration_s / 60;
+        for _ in 0..minutes {
+            let mut frames_by_node: Vec<Vec<summit_telemetry::records::NodeFrame>> =
+                vec![Vec::with_capacity(60); nodes];
+            {
+                let _obs = summit_obs::span("summit_core_frame_generation");
+                for _ in 0..60 {
+                    let out = engine.step_opts(&StepOptions {
+                        frames: true,
+                        ..Default::default()
+                    });
+                    for f in out.frames.unwrap_or_default() {
+                        frames_by_node[f.node.index()].push(f);
+                    }
+                }
             }
-        }
-        // Fan-in through the collector (delay model + rate accounting).
-        let (collected, stats) = fan_in_batches(frames_by_node, config.producers, 4096);
-        merge_stats(&mut all_stats, &stats);
-        // Re-shard by node for archival + coarsening.
-        let mut by_node: Vec<Vec<summit_telemetry::records::NodeFrame>> =
-            vec![Vec::with_capacity(60); nodes];
-        for f in collected {
-            by_node[f.node.index()].push(f);
-        }
-        for (n, frames) in by_node.into_iter().enumerate() {
-            // The store sorts internally and the aggregator reorders
-            // within its lateness horizon, so no pre-sort is needed.
-            store.archive_partition(NodeId(n as u32), &frames);
-            let mut agg = summit_telemetry::window::WindowAggregator::paper(NodeId(n as u32));
-            for f in &frames {
-                let _ = agg.push(f);
+            summit_obs::counter("summit_core_engine_ticks_total").inc_by(60);
+            let offered: usize = frames_by_node.iter().map(Vec::len).sum();
+            summit_obs::counter("summit_core_frames_offered_total").inc_by(offered as u64);
+            // Fan-in through the collector (delay model + rate accounting).
+            let (collected, stats) = {
+                let _obs = summit_obs::span("summit_telemetry_fan_in");
+                fan_in_batches(frames_by_node, config.producers, 4096)
+            };
+            merge_stats(&mut all_stats, &stats);
+            // Re-shard by node for archival + coarsening.
+            let _obs = summit_obs::span("summit_core_archive_coarsen");
+            let mut by_node: Vec<Vec<summit_telemetry::records::NodeFrame>> =
+                vec![Vec::with_capacity(60); nodes];
+            for f in collected {
+                by_node[f.node.index()].push(f);
             }
-            let (windows, health) = agg.finish_with_health();
-            total_windows += windows.len();
-            all_stats.health.merge(&health);
+            let mut minute_windows = 0usize;
+            for (n, frames) in by_node.into_iter().enumerate() {
+                // The store sorts internally and the aggregator reorders
+                // within its lateness horizon, so no pre-sort is needed.
+                store.archive_partition(NodeId(n as u32), &frames);
+                let mut agg = summit_telemetry::window::WindowAggregator::paper(NodeId(n as u32));
+                for f in &frames {
+                    let _ = agg.push(f);
+                }
+                let (windows, health) = agg.finish_with_health();
+                minute_windows += windows.len();
+                all_stats.health.merge(&health);
+            }
+            summit_obs::counter("summit_telemetry_windows_total").inc_by(minute_windows as u64);
+            total_windows += minute_windows;
         }
-    }
+        all_stats.publish_obs();
 
-    let comp = store.compression_stats();
-    let window_s = config.duration_s;
-    let bytes = store.archive_bytes();
-    let bytes_per_node_s = bytes as f64 / (nodes as f64 * window_s as f64);
-    let full_nodes = summit_sim::spec::TOTAL_NODES as f64;
-    let year_s = 366.0 * 86_400.0;
+        let comp = store.compression_stats();
+        let window_s = config.duration_s;
+        let bytes = store.archive_bytes();
+        let bytes_per_node_s = bytes as f64 / (nodes as f64 * window_s as f64);
+        let full_nodes = summit_sim::spec::TOTAL_NODES as f64;
+        let year_s = 366.0 * 86_400.0;
 
-    Table2Result {
-        nodes,
-        window_s,
-        frames: all_stats.frames,
-        metrics: all_stats.metrics,
-        mean_delay_s: all_stats.mean_delay_s(),
-        max_delay_s: all_stats.max_delay_s,
-        metrics_per_s: all_stats.metrics_per_second(),
-        archive_bytes: bytes,
-        compression_ratio: comp.ratio(),
-        year_rows: full_nodes * year_s,
-        year_bytes: bytes_per_node_s * full_nodes * year_s,
-        full_floor_metrics_per_s: full_nodes * METRIC_COUNT as f64,
-        coarsened_windows: total_windows,
-        ingest_health: all_stats.health,
-    }
+        let wall_s = run_span.elapsed_s();
+        let frames_per_wall_s = if wall_s > 0.0 {
+            all_stats.frames as f64 / wall_s
+        } else {
+            f64::NAN
+        };
+        let windows_per_wall_s = if wall_s > 0.0 {
+            total_windows as f64 / wall_s
+        } else {
+            f64::NAN
+        };
+        summit_obs::gauge("summit_core_frames_per_wall_second").set(frames_per_wall_s);
+        summit_obs::gauge("summit_core_windows_per_wall_second").set(windows_per_wall_s);
+
+        Table2Result {
+            nodes,
+            window_s,
+            frames: all_stats.frames,
+            metrics: all_stats.metrics,
+            mean_delay_s: all_stats.mean_delay_s(),
+            max_delay_s: all_stats.max_delay_s,
+            metrics_per_s: all_stats.metrics_per_second(),
+            archive_bytes: bytes,
+            compression_ratio: comp.ratio(),
+            year_rows: full_nodes * year_s,
+            year_bytes: bytes_per_node_s * full_nodes * year_s,
+            full_floor_metrics_per_s: full_nodes * METRIC_COUNT as f64,
+            coarsened_windows: total_windows,
+            ingest_health: all_stats.health,
+            frames_per_wall_s,
+            windows_per_wall_s,
+            obs: summit_obs::Snapshot::default(),
+        }
+    };
+    result.obs = registry.snapshot();
+    parent.absorb(&result.obs);
+    result
 }
 
 fn merge_stats(
@@ -227,7 +276,19 @@ impl Table2Result {
             ),
             "-".into(),
         ]);
-        t.render()
+        t.row(vec![
+            "pipeline throughput (wall clock)".into(),
+            format!(
+                "{}/s frames, {}/s windows",
+                eng(self.frames_per_wall_s),
+                eng(self.windows_per_wall_s)
+            ),
+            "-".into(),
+        ]);
+        let mut s = t.render();
+        s.push('\n');
+        s.push_str(&crate::monitoring::render_stage_timings(&self.obs));
+        s
     }
 }
 
@@ -269,6 +330,16 @@ mod tests {
         let render = r.render();
         assert!(render.contains("8.5 TB"));
         assert!(render.contains("frames accepted"));
+        // Observability: the run carries its own stage timings.
+        assert!(r.frames_per_wall_s > 0.0);
+        assert!(r.windows_per_wall_s > 0.0);
+        assert_eq!(
+            r.obs.counter("summit_core_frames_offered_total"),
+            Some(54 * 60)
+        );
+        assert_eq!(r.obs.counter("summit_core_table2_calls_total"), Some(1));
+        assert!(render.contains("pipeline stage timings"), "{render}");
+        assert!(render.contains("summit_core_frame_generation"), "{render}");
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub fn generate_events(config: &Config) -> Vec<XidEvent> {
 
 /// Runs the Table 4 reproduction.
 pub fn run(config: &Config) -> Table4Result {
+    let _obs = summit_obs::span("summit_core_table4");
     let events = generate_events(config);
     let counts = count_by_kind(&events);
     let shares = max_node_share(&events, TOTAL_NODES);

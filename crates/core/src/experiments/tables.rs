@@ -8,6 +8,7 @@ use summit_sim::spec;
 
 /// Renders Table 1 (Summit system specification).
 pub fn render_table1() -> String {
+    let _obs = summit_obs::span("summit_core_table1");
     let mut t = Table::new("Table 1: Summit system specification", &["item", "value"]);
     let rows: Vec<(&str, String)> = vec![
         (
@@ -66,6 +67,7 @@ pub fn render_table1() -> String {
 
 /// Renders Table 3 (scheduling classes).
 pub fn render_table3() -> String {
+    let _obs = summit_obs::span("summit_core_table3");
     let mut t = Table::new(
         "Table 3: Summit scheduling classes by job node count",
         &["class", "node range", "max walltime (h)"],

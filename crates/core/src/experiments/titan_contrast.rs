@@ -117,6 +117,7 @@ fn profile(config: &Config, regime: ThermalRegime) -> Vec<RegimeKind> {
 
 /// Runs both regimes over the identical job population.
 pub fn run(config: &Config) -> TitanContrastResult {
+    let _obs = summit_obs::span("summit_core_titan_contrast");
     TitanContrastResult {
         summit: profile(config, ThermalRegime::SummitLiquidCooled),
         titan: profile(config, ThermalRegime::TitanAirCooled),

@@ -33,15 +33,20 @@ pub enum AlertKind {
     IngestDegraded,
 }
 
-/// One raised alert.
+/// One raised alert. Consecutive alerts of the same kind within the
+/// cool-down window coalesce into a single entry with a repeat count,
+/// so a sustained condition (a GPU hot for ten minutes at 1 Hz) shows
+/// as one alert x600 instead of flooding the console.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Alert {
     /// Event/error kind.
     pub kind: AlertKind,
-    /// Simulation time (s).
+    /// Simulation time of the most recent coalesced occurrence (s).
     pub t: f64,
-    /// Human-readable detail.
+    /// Human-readable detail (of the most recent occurrence).
     pub detail: String,
+    /// Occurrences coalesced into this alert (1 = no repeats).
+    pub repeat: u32,
 }
 
 /// Alert thresholds.
@@ -60,6 +65,10 @@ pub struct Thresholds {
     /// Allowed fraction of offered frames the ingest path may drop
     /// before the console flags telemetry degradation.
     pub ingest_fault_fraction: f64,
+    /// Cool-down window (s): a new alert of the same kind arriving
+    /// within this long of the previous one coalesces into it instead
+    /// of appending a fresh entry.
+    pub alert_cooldown_s: f64,
 }
 
 impl Default for Thresholds {
@@ -74,6 +83,7 @@ impl Default for Thresholds {
                 summit_sim::spec::MTW_RETURN_MAX_C,
             ),
             ingest_fault_fraction: 0.05,
+            alert_cooldown_s: 60.0,
         }
     }
 }
@@ -123,6 +133,29 @@ impl OpsConsole {
         }
     }
 
+    /// Raises an alert, coalescing with the previous one when it has
+    /// the same kind and falls within the cool-down window. The window
+    /// slides: each coalesced occurrence refreshes the alert's time, so
+    /// a sustained condition stays a single entry however long it lasts.
+    fn raise(&mut self, kind: AlertKind, t: f64, detail: String) {
+        summit_obs::counter("summit_core_alerts_total").inc();
+        if let Some(last) = self.alerts.last_mut() {
+            if last.kind == kind && (t - last.t).abs() <= self.thresholds.alert_cooldown_s {
+                last.repeat += 1;
+                last.t = t;
+                last.detail = detail;
+                summit_obs::counter("summit_core_alerts_coalesced_total").inc();
+                return;
+            }
+        }
+        self.alerts.push(Alert {
+            kind,
+            t,
+            detail,
+            repeat: 1,
+        });
+    }
+
     /// Feeds one engine tick; raises any alerts it implies.
     pub fn observe(&mut self, tick: &TickOutput) {
         self.ticks_seen += 1;
@@ -133,22 +166,22 @@ impl OpsConsole {
         Self::push_capped(&mut self.mtw_return, self.history, tick.cep.mtw_return_c);
 
         if tick.gpu_temp_max_c.is_finite() && tick.gpu_temp_max_c > th.gpu_hot_c {
-            self.alerts.push(Alert {
-                kind: AlertKind::GpuOverTemp,
-                t: tick.t,
-                detail: format!(
+            self.raise(
+                AlertKind::GpuOverTemp,
+                tick.t,
+                format!(
                     "max GPU core {:.1} C > {:.1} C",
                     tick.gpu_temp_max_c, th.gpu_hot_c
                 ),
-            });
+            );
         }
         let pue = tick.cep.pue();
         if pue.is_finite() && pue > th.pue_alarm {
-            self.alerts.push(Alert {
-                kind: AlertKind::PueHigh,
-                t: tick.t,
-                detail: format!("PUE {pue:.3} > {:.2}", th.pue_alarm),
-            });
+            self.raise(
+                AlertKind::PueHigh,
+                tick.t,
+                format!("PUE {pue:.3} > {:.2}", th.pue_alarm),
+            );
         }
         // Swing detection over a one-minute window.
         self.last_minute_power
@@ -167,11 +200,11 @@ impl OpsConsole {
             if t1 > t0 {
                 let rate = (p1 - p0).abs() / (t1 - t0) * 60.0;
                 if rate > th.swing_w_per_min {
-                    self.alerts.push(Alert {
-                        kind: AlertKind::PowerSwing,
-                        t: tick.t,
-                        detail: format!("{} per minute", watts(rate)),
-                    });
+                    self.raise(
+                        AlertKind::PowerSwing,
+                        tick.t,
+                        format!("{} per minute", watts(rate)),
+                    );
                     self.last_minute_power.clear(); // one alert per swing
                 }
             }
@@ -182,20 +215,20 @@ impl OpsConsole {
             let gap = (tick.true_compute_power_w - tick.sensor_compute_power_w)
                 / tick.true_compute_power_w;
             if gap.abs() > th.telemetry_gap {
-                self.alerts.push(Alert {
-                    kind: AlertKind::TelemetryDivergence,
-                    t: tick.t,
-                    detail: format!("sensor summation {} off truth", pct(gap)),
-                });
+                self.raise(
+                    AlertKind::TelemetryDivergence,
+                    tick.t,
+                    format!("sensor summation {} off truth", pct(gap)),
+                );
             }
         }
         let ret = tick.cep.mtw_return_c;
         if ret < th.mtw_return_band_c.0 || ret > th.mtw_return_band_c.1 {
-            self.alerts.push(Alert {
-                kind: AlertKind::MtwReturnOutOfBand,
-                t: tick.t,
-                detail: format!("MTW return {ret:.1} C outside band"),
-            });
+            self.raise(
+                AlertKind::MtwReturnOutOfBand,
+                tick.t,
+                format!("MTW return {ret:.1} C outside band"),
+            );
         }
         self.last = Some(tick.clone());
     }
@@ -205,16 +238,16 @@ impl OpsConsole {
     pub fn observe_ingest(&mut self, stats: &IngestStats) {
         let frac = stats.health.drop_fraction();
         if frac.is_finite() && frac > self.thresholds.ingest_fault_fraction {
-            self.alerts.push(Alert {
-                kind: AlertKind::IngestDegraded,
-                t: stats.t_last,
-                detail: format!(
+            self.raise(
+                AlertKind::IngestDegraded,
+                stats.t_last,
+                format!(
                     "ingest dropped {} of {} frames ({})",
                     stats.health.dropped(),
                     stats.health.offered(),
                     pct(frac)
                 ),
-            });
+            );
         }
     }
 
@@ -290,11 +323,89 @@ impl OpsConsole {
         } else {
             s.push_str(&format!("\n{} alerts (latest 5):\n", self.alerts.len()));
             for a in self.alerts.iter().rev().take(5) {
-                s.push_str(&format!("  [{:?}] t={:.0}s {}\n", a.kind, a.t, a.detail));
+                let rep = if a.repeat > 1 {
+                    format!(" (x{})", a.repeat)
+                } else {
+                    String::new()
+                };
+                s.push_str(&format!(
+                    "  [{:?}] t={:.0}s {}{}\n",
+                    a.kind, a.t, a.detail, rep
+                ));
             }
         }
         s
     }
+
+    /// Renders the dashboard plus the per-stage timing table from an
+    /// observability snapshot (typically `summit_obs::global().snapshot()`
+    /// or a [`crate::pipeline::TelemetryRun::obs`]).
+    pub fn render_with_obs(&self, snap: &summit_obs::Snapshot) -> String {
+        let mut s = self.render();
+        s.push('\n');
+        s.push_str(&render_stage_timings(snap));
+        s
+    }
+}
+
+/// Formats a duration in seconds with an auto-scaled unit.
+fn dur(v: f64) -> String {
+    if !v.is_finite() {
+        "-".into()
+    } else if v >= 1.0 {
+        format!("{v:.2} s")
+    } else if v >= 1e-3 {
+        format!("{:.2} ms", v * 1e3)
+    } else {
+        format!("{:.1} us", v * 1e6)
+    }
+}
+
+/// Renders the per-stage timing table (every `<stage>_seconds` span
+/// histogram in the snapshot: calls, p50/p99/max, cumulative total)
+/// followed by the hot-path throughput gauges when present.
+pub fn render_stage_timings(snap: &summit_obs::Snapshot) -> String {
+    let mut t = Table::new(
+        "pipeline stage timings",
+        &["stage", "calls", "p50", "p99", "max", "total"],
+    );
+    let mut rows = 0;
+    for (name, h) in &snap.histograms {
+        let Some(stage) = name.strip_suffix("_seconds") else {
+            continue;
+        };
+        let calls = snap
+            .counter(&format!("{stage}_calls_total"))
+            .unwrap_or(h.count);
+        t.row(vec![
+            stage.to_string(),
+            calls.to_string(),
+            dur(h.p50),
+            dur(h.p99),
+            dur(h.max),
+            dur(h.sum),
+        ]);
+        rows += 1;
+    }
+    if rows == 0 {
+        return "no stage timings recorded\n".into();
+    }
+    let mut s = t.render();
+    for (gauge, label) in [
+        ("summit_core_frames_per_wall_second", "frames/s"),
+        ("summit_core_windows_per_wall_second", "windows/s"),
+        (
+            "summit_telemetry_ingest_metrics_per_second",
+            "metrics/s (sample time)",
+        ),
+    ] {
+        if let Some(v) = snap.gauge(gauge) {
+            if v.is_finite() {
+                s.push_str(&format!("  throughput: {v:.0} {label}\n"));
+            }
+        }
+    }
+    s
 }
 
 #[cfg(test)]
@@ -407,6 +518,51 @@ mod tests {
             .expect("degraded ingest must alert");
         assert_eq!(alert.t, 600.0);
         assert!(alert.detail.contains("20 of 100"), "{}", alert.detail);
+    }
+
+    #[test]
+    fn repeated_alerts_coalesce_within_cooldown() {
+        let mut console = OpsConsole::with_defaults();
+        // A GPU hot for 30 consecutive seconds: one alert, not 30.
+        for i in 0..30 {
+            console.observe(&tick_with(i as f64, 1.0e5, 0.973e5, 70.0, 1.1));
+        }
+        let hot: Vec<&Alert> = console
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::GpuOverTemp)
+            .collect();
+        assert_eq!(hot.len(), 1, "{:?}", console.alerts());
+        assert_eq!(hot[0].repeat, 30);
+        assert_eq!(hot[0].t, 29.0, "time tracks the latest occurrence");
+        assert!(console.render().contains("(x30)"), "{}", console.render());
+    }
+
+    #[test]
+    fn alerts_past_cooldown_start_fresh() {
+        let mut console = OpsConsole::with_defaults();
+        console.observe(&tick_with(0.0, 1.0e5, 0.973e5, 70.0, 1.1));
+        // Default cool-down is 60 s; 300 s later is a new incident.
+        console.observe(&tick_with(300.0, 1.0e5, 0.973e5, 70.0, 1.1));
+        let hot: Vec<&Alert> = console
+            .alerts()
+            .iter()
+            .filter(|a| a.kind == AlertKind::GpuOverTemp)
+            .collect();
+        assert_eq!(hot.len(), 2, "{:?}", console.alerts());
+        assert!(hot.iter().all(|a| a.repeat == 1));
+    }
+
+    #[test]
+    fn stage_timing_table_renders_spans() {
+        let r = summit_obs::registry::Registry::new();
+        let _scope = r.install();
+        drop(summit_obs::span("summit_core_demo_stage"));
+        let s = render_stage_timings(&r.snapshot());
+        assert!(s.contains("pipeline stage timings"), "{s}");
+        assert!(s.contains("summit_core_demo_stage"), "{s}");
+        let empty = render_stage_timings(&summit_obs::Snapshot::default());
+        assert!(empty.contains("no stage timings"));
     }
 
     #[test]

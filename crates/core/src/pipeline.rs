@@ -48,13 +48,17 @@ impl PopulationScenario {
 
     /// Generates the population.
     pub fn generate(&self) -> Vec<SyntheticJob> {
+        let _obs = summit_obs::span("summit_core_population_generate");
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut g = JobGenerator::new();
-        g.generate_population(&mut rng, self.job_count, 0.0, self.span_s)
+        let jobs = g.generate_population(&mut rng, self.job_count, 0.0, self.span_s);
+        summit_obs::counter("summit_core_jobs_generated_total").inc_by(jobs.len() as u64);
+        jobs
     }
 
     /// Generates the population together with its closed-form stats.
     pub fn generate_with_stats(&self) -> (Vec<JobStatsRow>, PowerModel) {
+        let _obs = summit_obs::span("summit_core_population_stats");
         let pm = PowerModel::new(self.seed);
         let jobs = self.generate();
         (population_stats(&jobs, &pm), pm)
@@ -67,6 +71,7 @@ impl PopulationScenario {
 /// This is the coarse path behind the Figure 5 yearly trend.
 pub fn cluster_power_sweep(rows: &[JobStatsRow], t0: f64, t1: f64, dt: f64) -> Series {
     assert!(t1 > t0 && dt > 0.0);
+    let _obs = summit_obs::span("summit_core_cluster_power_sweep");
     let idle_w = spec::SYSTEM_IDLE_POWER_W;
     let cap_w = spec::TOTAL_NODES as f64 * spec::NODE_MAX_POWER_W;
     let n = ((t1 - t0) / dt).ceil() as usize;
@@ -189,6 +194,7 @@ pub fn run_burst_schedule(
     duration_s: f64,
     bursts: &[Burst],
 ) -> DynamicsRun {
+    let _obs = summit_obs::span("summit_core_run_burst_schedule");
     let dt = config.dt_s;
     let seed = config.seed;
     let mut engine = Engine::new(config, t0);
@@ -209,8 +215,10 @@ pub fn run_burst_schedule(
         job.profile.checkpoint_interval_s = 0.0;
         engine.scheduler().submit(job);
     }
+    summit_obs::counter("summit_core_jobs_generated_total").inc_by(bursts.len() as u64);
     let n_ticks = (duration_s / dt).ceil() as usize;
     let ticks = engine.run(n_ticks);
+    summit_obs::counter("summit_core_engine_ticks_total").inc_by(ticks.len() as u64);
     DynamicsRun { ticks, dt_s: dt }
 }
 
@@ -224,6 +232,7 @@ pub fn summer_t0() -> f64 {
 /// Runs a small standard dynamics scenario (used by tests and the
 /// quickstart example): a few bursts on a scaled floor at 1 Hz.
 pub fn quick_dynamics(cabinets: usize, duration_s: f64) -> DynamicsRun {
+    let _obs = summit_obs::span("summit_core_quick_dynamics");
     let config = EngineConfig::small(cabinets);
     let nodes = (cabinets * 18) as u32;
     let bursts = vec![
@@ -254,6 +263,26 @@ pub struct TelemetryRun {
     pub stats: IngestStats,
     /// Faults the injector introduced (all zero for a clean run).
     pub injected: InjectedFaults,
+    /// Per-run observability snapshot: every counter, gauge and stage
+    /// timing the run recorded, isolated from other concurrent runs.
+    pub obs: summit_obs::Snapshot,
+    /// One-line run summary built from the registry (also printed).
+    pub summary: String,
+}
+
+/// Builds the end-of-run summary line from registry counters. All
+/// values except wall time are deterministic for a fixed seed.
+fn telemetry_summary(snap: &summit_obs::Snapshot, wall_s: f64) -> String {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    format!(
+        "[obs] run_telemetry: jobs={} frames offered={} admitted={} dropped={} windows={} wall={:.3}s",
+        c("summit_core_jobs_generated_total"),
+        c("summit_core_frames_offered_total"),
+        c("summit_telemetry_frames_accepted_total"),
+        c("summit_telemetry_frames_dropped_total"),
+        c("summit_telemetry_windows_total"),
+        wall_s,
+    )
 }
 
 /// Runs the telemetry path end to end on a scaled floor: engine frames
@@ -261,48 +290,88 @@ pub struct TelemetryRun {
 /// the given fault profile, if any), then fault-tolerant 10 s
 /// coarsening. Even a clean run delivers frames in arrival order, so
 /// the coarsener's reorder buffer is always exercised.
+///
+/// The run installs a private [`summit_obs`] registry so its metrics
+/// are isolated per run; the resulting [`TelemetryRun::obs`] snapshot
+/// is also absorbed into whatever registry was current at the call
+/// site (the process-global one by default), and a one-line summary is
+/// printed.
 pub fn run_telemetry(
     cabinets: usize,
     duration_s: f64,
     faults: Option<FaultConfig>,
 ) -> TelemetryRun {
-    let config = EngineConfig::small(cabinets);
-    let dt = config.dt_s;
-    let mut engine = Engine::new(config, 0.0);
-    let node_count = engine.topology().node_count();
-    let n_ticks = (duration_s / dt).ceil() as usize;
-    let mut frames_by_node: Vec<Vec<NodeFrame>> = vec![Vec::with_capacity(n_ticks); node_count];
-    let opts = StepOptions {
-        frames: true,
-        ..StepOptions::default()
-    };
-    for _ in 0..n_ticks {
-        if let Some(frames) = engine.step_opts(&opts).frames {
-            for f in frames {
-                if let Some(batch) = frames_by_node.get_mut(f.node.index()) {
-                    batch.push(f);
+    let parent = summit_obs::current();
+    let registry = summit_obs::registry::Registry::new();
+    let (windows_by_node, stats, injected, wall_s) = {
+        let _scope = registry.install();
+        let run_span = summit_obs::span("summit_core_run_telemetry");
+
+        let config = EngineConfig::small(cabinets);
+        let dt = config.dt_s;
+        let mut engine = Engine::new(config, 0.0);
+        let node_count = engine.topology().node_count();
+        let n_ticks = (duration_s / dt).ceil() as usize;
+        let mut frames_by_node: Vec<Vec<NodeFrame>> = vec![Vec::with_capacity(n_ticks); node_count];
+        {
+            let _obs = summit_obs::span("summit_core_frame_generation");
+            let opts = StepOptions {
+                frames: true,
+                ..StepOptions::default()
+            };
+            for _ in 0..n_ticks {
+                if let Some(frames) = engine.step_opts(&opts).frames {
+                    for f in frames {
+                        if let Some(batch) = frames_by_node.get_mut(f.node.index()) {
+                            batch.push(f);
+                        }
+                    }
                 }
             }
         }
-    }
+        summit_obs::counter("summit_core_engine_ticks_total").inc_by(n_ticks as u64);
+        let sched = engine.scheduler_ref();
+        let jobs = sched.running().len() + sched.completed().len();
+        summit_obs::counter("summit_core_jobs_generated_total").inc_by(jobs as u64);
+        let offered: usize = frames_by_node.iter().map(Vec::len).sum();
+        summit_obs::counter("summit_core_frames_offered_total").inc_by(offered as u64);
 
-    let mut injector = FaultInjector::new(faults.unwrap_or_default());
-    let delivered: Vec<Vec<NodeFrame>> = frames_by_node
-        .into_iter()
-        .map(|batch| injector.deliver(batch))
-        .collect();
-    let mut stats = IngestStats::default();
-    for batch in &delivered {
-        for f in batch {
-            stats.observe(f);
+        let mut injector = FaultInjector::new(faults.unwrap_or_default());
+        let delivered: Vec<Vec<NodeFrame>> = {
+            let _obs = summit_obs::span("summit_core_fault_injection");
+            frames_by_node
+                .into_iter()
+                .map(|batch| injector.deliver(batch))
+                .collect()
+        };
+        let mut stats = IngestStats::default();
+        for batch in &delivered {
+            for f in batch {
+                stats.observe(f);
+            }
         }
-    }
-    let (windows_by_node, health) = coarsen_parallel_with_health(&delivered, PAPER_WINDOW_S);
-    stats.health = health;
+        let (windows_by_node, health) = coarsen_parallel_with_health(&delivered, PAPER_WINDOW_S);
+        stats.health = health;
+        stats.publish_obs();
+
+        let wall_s = run_span.elapsed_s();
+        let windows: usize = windows_by_node.iter().map(Vec::len).sum();
+        if wall_s > 0.0 {
+            summit_obs::gauge("summit_core_frames_per_wall_second").set(offered as f64 / wall_s);
+            summit_obs::gauge("summit_core_windows_per_wall_second").set(windows as f64 / wall_s);
+        }
+        (windows_by_node, stats, injector.injected(), wall_s)
+    };
+    let obs = registry.snapshot();
+    parent.absorb(&obs);
+    let summary = telemetry_summary(&obs, wall_s);
+    println!("{summary}");
     TelemetryRun {
         windows_by_node,
         stats,
-        injected: injector.injected(),
+        injected,
+        obs,
+        summary,
     }
 }
 
@@ -313,9 +382,11 @@ pub fn run_detailed(
     n_ticks: usize,
     opts: StepOptions,
 ) -> (Vec<TickOutput>, f64) {
+    let _obs = summit_obs::span("summit_core_run_detailed");
     let dt = config.dt_s;
     let mut engine = Engine::new(config, t0);
     let ticks = (0..n_ticks).map(|_| engine.step_opts(&opts)).collect();
+    summit_obs::counter("summit_core_engine_ticks_total").inc_by(n_ticks as u64);
     (ticks, dt)
 }
 

@@ -1,0 +1,384 @@
+//! Snapshot sinks: Prometheus text exposition, JSON and CSV.
+//!
+//! [`write_prometheus`] emits the text exposition format (version 0.0.4)
+//! that Prometheus, VictoriaMetrics and friends scrape — `# TYPE` lines,
+//! cumulative `_bucket{le="…"}` series, `_sum`/`_count` per histogram.
+//! [`parse_prometheus`] is the matching reader used by the round-trip
+//! tests (and handy for asserting on exposed values without a scraper).
+//! [`write_json`] and [`write_csv`] are machine-readable snapshot dumps;
+//! the JSON shape is what `obs_report` persists as `BENCH_obs.json`.
+//! JSON is hand-assembled because the workspace's vendored `serde` is a
+//! no-op stub (see `compat/serde`).
+
+use crate::registry::Snapshot;
+use std::io::{self, Write};
+
+/// Formats an f64 the way the exposition format expects.
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Writes the snapshot in Prometheus text exposition format.
+pub fn write_prometheus<W: Write>(out: &mut W, snapshot: &Snapshot) -> io::Result<()> {
+    for (name, v) in &snapshot.counters {
+        writeln!(out, "# TYPE {name} counter")?;
+        writeln!(out, "{name} {v}")?;
+    }
+    for (name, v) in &snapshot.gauges {
+        writeln!(out, "# TYPE {name} gauge")?;
+        writeln!(out, "{name} {}", prom_f64(*v))?;
+    }
+    for (name, h) in &snapshot.histograms {
+        writeln!(out, "# TYPE {name} histogram")?;
+        let mut cumulative = 0u64;
+        for &(edge, count) in &h.buckets {
+            cumulative += count;
+            if edge.is_finite() {
+                writeln!(
+                    out,
+                    "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                    prom_f64(edge)
+                )?;
+            }
+        }
+        writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count)?;
+        writeln!(out, "{name}_sum {}", prom_f64(h.sum))?;
+        writeln!(out, "{name}_count {}", h.count)?;
+    }
+    Ok(())
+}
+
+/// One sample parsed back from exposition text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Sample name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// The `le` label for `_bucket` samples.
+    pub le: Option<f64>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// A malformed exposition line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "exposition line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_value(s: &str) -> Option<f64> {
+    match s {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        "NaN" => Some(f64::NAN),
+        _ => s.parse().ok(),
+    }
+}
+
+/// Parses text exposition output back into samples, validating the
+/// subset of the format [`write_prometheus`] emits (no exotic labels,
+/// no timestamps). Comment (`#`) and blank lines are skipped.
+pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ParseError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |message: &str| ParseError {
+            line: i + 1,
+            message: message.to_string(),
+        };
+        let (name_part, value_part) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| err("expected `name value`"))?;
+        let value = parse_value(value_part.trim()).ok_or_else(|| err("unparseable value"))?;
+        let (name, le) = if let Some((base, rest)) = name_part.split_once('{') {
+            let label = rest
+                .strip_suffix('}')
+                .ok_or_else(|| err("unclosed label set"))?;
+            let le_str = label
+                .strip_prefix("le=\"")
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| err("only the le label is supported"))?;
+            let le = parse_value(le_str).ok_or_else(|| err("unparseable le"))?;
+            (base.to_string(), Some(le))
+        } else {
+            (name_part.to_string(), None)
+        };
+        if name.is_empty()
+            || !name.chars().enumerate().all(|(j, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (j > 0 && c.is_ascii_digit())
+            })
+        {
+            return Err(err("invalid metric name"));
+        }
+        out.push(Sample { name, le, value });
+    }
+    Ok(out)
+}
+
+/// Formats an f64 as a JSON value (`null` for non-finite).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the snapshot as a JSON object:
+///
+/// ```json
+/// {
+///   "schema": "summit-obs/1",
+///   "counters": {"name": 123, …},
+///   "gauges": {"name": 1.5, …},
+///   "histograms": {"name": {"count": …, "sum": …, "min": …, "max": …,
+///                            "p50": …, "p90": …, "p99": …,
+///                            "buckets": [[le, count], …]}, …}
+/// }
+/// ```
+///
+/// Non-finite numbers (unset gauges, empty-histogram min/max, the
+/// `+Inf` bucket edge) serialize as `null`.
+pub fn write_json<W: Write>(out: &mut W, snapshot: &Snapshot) -> io::Result<()> {
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"schema\": \"summit-obs/1\",")?;
+    writeln!(out, "  \"counters\": {{")?;
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        let comma = if i + 1 < snapshot.counters.len() {
+            ","
+        } else {
+            ""
+        };
+        writeln!(out, "    \"{}\": {v}{comma}", json_escape(name))?;
+    }
+    writeln!(out, "  }},")?;
+    writeln!(out, "  \"gauges\": {{")?;
+    for (i, (name, v)) in snapshot.gauges.iter().enumerate() {
+        let comma = if i + 1 < snapshot.gauges.len() {
+            ","
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "    \"{}\": {}{comma}",
+            json_escape(name),
+            json_f64(*v)
+        )?;
+    }
+    writeln!(out, "  }},")?;
+    writeln!(out, "  \"histograms\": {{")?;
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        let buckets: Vec<String> = h
+            .buckets
+            .iter()
+            .map(|&(edge, count)| format!("[{}, {count}]", json_f64(edge)))
+            .collect();
+        let comma = if i + 1 < snapshot.histograms.len() {
+            ","
+        } else {
+            ""
+        };
+        writeln!(
+            out,
+            "    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+             \"p50\": {}, \"p90\": {}, \"p99\": {}, \"buckets\": [{}]}}{comma}",
+            json_escape(name),
+            h.count,
+            json_f64(h.sum),
+            json_f64(h.min),
+            json_f64(h.max),
+            json_f64(h.p50),
+            json_f64(h.p90),
+            json_f64(h.p99),
+            buckets.join(", ")
+        )?;
+    }
+    writeln!(out, "  }}")?;
+    writeln!(out, "}}")?;
+    Ok(())
+}
+
+/// Writes the snapshot as CSV, one metric per row. Histogram rows carry
+/// the summary columns; counter/gauge rows leave them empty.
+pub fn write_csv<W: Write>(out: &mut W, snapshot: &Snapshot) -> io::Result<()> {
+    fn cell(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            String::new() // empty cell = missing, matching telemetry::export
+        }
+    }
+    writeln!(out, "kind,name,value,count,sum,min,max,p50,p90,p99")?;
+    for (name, v) in &snapshot.counters {
+        writeln!(out, "counter,{name},{v},,,,,,,")?;
+    }
+    for (name, v) in &snapshot.gauges {
+        writeln!(out, "gauge,{name},{},,,,,,,", cell(*v))?;
+    }
+    for (name, h) in &snapshot.histograms {
+        writeln!(
+            out,
+            "histogram,{name},,{},{},{},{},{},{},{}",
+            h.count,
+            cell(h.sum),
+            cell(h.min),
+            cell(h.max),
+            cell(h.p50),
+            cell(h.p90),
+            cell(h.p99)
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("summit_test_frames_total").inc_by(42);
+        r.gauge("summit_test_rate").set(1.25);
+        let h = r.histogram("summit_test_latency_seconds");
+        for v in [0.001, 0.002, 0.004, 0.1, 2.0] {
+            h.observe(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_round_trip() {
+        let r = sample_registry();
+        let snap = r.snapshot();
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &snap).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let samples = parse_prometheus(&text).unwrap();
+
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.le.is_none())
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+                .value
+        };
+        assert_eq!(get("summit_test_frames_total"), 42.0);
+        assert_eq!(get("summit_test_rate"), 1.25);
+        assert_eq!(get("summit_test_latency_seconds_count"), 5.0);
+        assert!((get("summit_test_latency_seconds_sum") - 2.107).abs() < 1e-12);
+
+        // Buckets are cumulative and end at +Inf == count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "summit_test_latency_seconds_bucket")
+            .collect();
+        assert!(buckets.len() >= 2);
+        let mut last = -1.0;
+        for b in &buckets {
+            assert!(b.value >= last, "buckets must be cumulative");
+            last = b.value;
+        }
+        let inf = buckets
+            .iter()
+            .find(|b| b.le == Some(f64::INFINITY))
+            .unwrap();
+        assert_eq!(inf.value, 5.0);
+    }
+
+    #[test]
+    fn prometheus_output_is_well_formed() {
+        let r = sample_registry();
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &r.snapshot()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# TYPE summit_test_frames_total counter"));
+        assert!(text.contains("# TYPE summit_test_rate gauge"));
+        assert!(text.contains("# TYPE summit_test_latency_seconds histogram"));
+        assert!(text.contains("summit_test_latency_seconds_bucket{le=\"+Inf\"} 5"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_prometheus("no_value_here").is_err());
+        assert!(parse_prometheus("name{le=\"0.1\" 3").is_err());
+        assert!(parse_prometheus("name{job=\"x\"} 3").is_err());
+        assert!(parse_prometheus("bad-name 3").is_err());
+        assert!(parse_prometheus("# comment only\n\n").unwrap().is_empty());
+        let e = parse_prometheus("ok 1\nbroken").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn json_shape_and_null_handling() {
+        let r = sample_registry();
+        r.gauge("summit_test_unset"); // stays NaN -> null
+        let mut buf = Vec::new();
+        write_json(&mut buf, &r.snapshot()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"schema\": \"summit-obs/1\""));
+        assert!(s.contains("\"summit_test_frames_total\": 42"));
+        assert!(s.contains("\"summit_test_unset\": null"));
+        assert!(s.contains("\"count\": 5"));
+        assert!(s.contains("\"buckets\": ["));
+        // Balanced braces/brackets — cheap structural sanity check.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn csv_rows_per_metric() {
+        let r = sample_registry();
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &r.snapshot()).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "kind,name,value,count,sum,min,max,p50,p90,p99");
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("counter,summit_test_frames_total,42")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("gauge,summit_test_rate,1.25")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("histogram,summit_test_latency_seconds,,5")));
+    }
+}

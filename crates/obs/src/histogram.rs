@@ -1,0 +1,337 @@
+//! Log-bucketed histograms.
+//!
+//! The pipeline records stage latencies spanning microseconds (a single
+//! counter bump) to seconds (a full-floor coarsening pass) and sizes
+//! spanning single frames to hundred-thousand-frame batches. A
+//! fixed-layout power-of-two bucket grid covers that whole range with 64
+//! buckets and no per-histogram configuration, keeps merging trivial
+//! (bucket-wise addition), and makes bucket edges bit-exact across runs
+//! — the property the determinism tests lean on.
+//!
+//! Bucket `i` covers the half-open interval `(2^(k-1), 2^k]` with
+//! `k = MIN_EXP + i`; the first bucket absorbs everything at or below
+//! `2^MIN_EXP` (including zero and negatives, which real durations and
+//! sizes never produce but defensive code may), and the last bucket is
+//! the `+Inf` overflow. Quantiles are bucketed estimates: the upper edge
+//! of the bucket containing the requested rank, clamped to the exact
+//! observed `[min, max]`.
+
+/// Exponent of the smallest finite bucket edge: `2^-30` ≈ 0.93 ns.
+pub const MIN_EXP: i32 = -30;
+/// Exponent of the largest finite bucket edge: `2^32` ≈ 4.3e9.
+pub const MAX_EXP: i32 = 32;
+/// Finite buckets (one per exponent in `MIN_EXP..=MAX_EXP`) plus the
+/// `+Inf` overflow bucket.
+pub const BUCKET_COUNT: usize = (MAX_EXP - MIN_EXP + 1) as usize + 1;
+
+/// Index of the bucket a value falls into.
+fn bucket_index(v: f64) -> usize {
+    if v.is_nan() || v <= 0.0 {
+        return 0; // zero, negatives and NaN-guarded callers
+    }
+    let k = v.log2().ceil();
+    if k <= MIN_EXP as f64 {
+        0
+    } else if k > MAX_EXP as f64 {
+        BUCKET_COUNT - 1
+    } else {
+        (k as i32 - MIN_EXP) as usize
+    }
+}
+
+/// Upper edge of bucket `i` (`+Inf` for the overflow bucket).
+pub fn bucket_upper_edge(i: usize) -> f64 {
+    if i >= BUCKET_COUNT - 1 {
+        f64::INFINITY
+    } else {
+        ((MIN_EXP + i as i32) as f64).exp2()
+    }
+}
+
+/// The mutable histogram state held by a registry.
+#[derive(Debug, Clone)]
+pub struct HistogramCore {
+    counts: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HistogramCore {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation. Non-finite values are ignored — a NaN
+    /// duration or size carries no information and would poison `sum`.
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Bucketed quantile estimate: the upper edge of the bucket holding
+    /// the rank-`q` observation, clamped to the observed `[min, max]`.
+    /// `q >= 1` returns the exact max; an empty histogram returns NaN.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 || q.is_nan() {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_upper_edge(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds a snapshot back into this histogram: bucket counts map 1:1
+    /// (every layout shares the same fixed edge grid) and the summary
+    /// moments add exactly. Lets a parent registry absorb the metrics of
+    /// a completed scoped run without access to its live cores.
+    pub fn merge_snapshot(&mut self, snap: &HistogramSnapshot) {
+        for &(edge, count) in &snap.buckets {
+            let i = if edge.is_finite() {
+                // Edges are exact powers of two, so log2 is exact.
+                let k = edge.log2() as i32;
+                (k - MIN_EXP).clamp(0, BUCKET_COUNT as i32 - 1) as usize
+            } else {
+                BUCKET_COUNT - 1
+            };
+            self.counts[i] += count;
+        }
+        self.count += snap.count;
+        self.sum += snap.sum;
+        if snap.count > 0 {
+            self.min = self.min.min(snap.min);
+            self.max = self.max.max(snap.max);
+        }
+    }
+
+    /// Folds another histogram into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &HistogramCore) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Immutable snapshot: summary statistics plus the non-empty buckets
+    /// as `(upper_edge, count)` pairs in ascending edge order.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            buckets: self
+                .counts
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_upper_edge(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// Point-in-time view of a histogram, as captured by
+/// [`crate::registry::Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Exact smallest observation (NaN when empty).
+    pub min: f64,
+    /// Exact largest observation (NaN when empty).
+    pub max: f64,
+    /// Bucketed median estimate.
+    pub p50: f64,
+    /// Bucketed 90th-percentile estimate.
+    pub p90: f64,
+    /// Bucketed 99th-percentile estimate.
+    pub p99: f64,
+    /// Non-empty buckets as `(upper_edge, count)`, ascending; the edge is
+    /// `+Inf` for the overflow bucket.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation (NaN when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_powers_of_two() {
+        // (0.5, 1] -> edge 1; (1, 2] -> edge 2; etc.
+        let mut h = HistogramCore::new();
+        h.observe(1.0);
+        h.observe(1.5);
+        h.observe(2.0);
+        h.observe(0.5);
+        let s = h.snapshot();
+        assert_eq!(s.buckets, vec![(0.5, 1), (1.0, 1), (2.0, 2)]);
+    }
+
+    #[test]
+    fn exact_powers_land_on_closed_upper_edge() {
+        let mut h = HistogramCore::new();
+        h.observe(8.0); // (4, 8] — not (8, 16]
+        assert_eq!(h.snapshot().buckets, vec![(8.0, 1)]);
+        h.observe(8.0 + 1e-9); // nudged past the edge
+        assert_eq!(h.snapshot().buckets, vec![(8.0, 1), (16.0, 1)]);
+    }
+
+    #[test]
+    fn extremes_clamp_to_underflow_and_overflow() {
+        let mut h = HistogramCore::new();
+        h.observe(0.0);
+        h.observe(-3.0);
+        h.observe(1e-12); // below 2^-30
+        h.observe(1e12); // above 2^32
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets.len(), 2);
+        assert_eq!(s.buckets[0], (bucket_upper_edge(0), 3));
+        assert_eq!(s.buckets[1], (f64::INFINITY, 1));
+    }
+
+    #[test]
+    fn quantiles_on_known_distribution() {
+        // 1..=1000: rank-500 value 500 lives in (256, 512] -> p50 = 512;
+        // rank-990 value 990 lives in (512, 1024] -> p99 clamps to max.
+        let mut h = HistogramCore::new();
+        for i in 1..=1000 {
+            h.observe(i as f64);
+        }
+        assert_eq!(h.quantile(0.50), 512.0);
+        assert_eq!(h.quantile(0.90), 1000.0); // edge 1024 clamped to max
+        assert_eq!(h.quantile(0.99), 1000.0);
+        assert_eq!(h.quantile(1.0), 1000.0);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 1000.0);
+        assert_eq!(h.count(), 1000);
+        assert!((h.sum() - 500_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_lower_clamp_and_empty() {
+        let empty = HistogramCore::new();
+        assert!(empty.quantile(0.5).is_nan());
+        assert!(empty.min().is_nan() && empty.max().is_nan());
+
+        let mut h = HistogramCore::new();
+        h.observe(3.0); // (2, 4] — edge 4 clamps down to the exact max 3
+        assert_eq!(h.quantile(0.5), 3.0);
+    }
+
+    #[test]
+    fn non_finite_observations_are_ignored() {
+        let mut h = HistogramCore::new();
+        h.observe(f64::NAN);
+        h.observe(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        h.observe(2.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 2.0);
+    }
+
+    #[test]
+    fn merge_adds_bucketwise() {
+        let mut a = HistogramCore::new();
+        let mut b = HistogramCore::new();
+        for i in 1..=10 {
+            a.observe(i as f64);
+            b.observe((i * 100) as f64);
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), 20);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 1000.0);
+        let direct: u64 = m.snapshot().buckets.iter().map(|(_, c)| c).sum();
+        assert_eq!(direct, 20);
+    }
+
+    #[test]
+    fn snapshot_mean() {
+        let mut h = HistogramCore::new();
+        h.observe(2.0);
+        h.observe(4.0);
+        assert_eq!(h.snapshot().mean(), 3.0);
+        assert!(HistogramCore::new().snapshot().mean().is_nan());
+    }
+}

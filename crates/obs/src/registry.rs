@@ -1,0 +1,294 @@
+//! The metric registry: named counters, gauges and histograms.
+//!
+//! A [`Registry`] is a cheaply-cloneable handle to a shared metric
+//! table. Metrics are created on first use and interned — repeated
+//! `counter("x")` calls return handles to the same atomic cell, so hot
+//! paths should resolve a handle once and increment through it. Names
+//! follow the repo convention `summit_<crate>_<stage>_<unit>` and are
+//! sanitized to the Prometheus charset on registration.
+//!
+//! Storage is `BTreeMap`-backed so snapshots iterate in a deterministic
+//! (lexicographic) order: two identically-seeded runs produce
+//! byte-identical counter listings, which the determinism tests compare
+//! directly.
+
+use crate::histogram::{HistogramCore, HistogramSnapshot};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Maps a metric name onto the Prometheus charset
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): invalid characters become `_`, and a
+/// leading digit is prefixed with `_`. Sanitizing (rather than erroring)
+/// keeps metric registration infallible on every pipeline path.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// A monotonically-increasing counter handle.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n`.
+    pub fn inc_by(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A set-to-current-value gauge handle.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<Mutex<f64>>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        *self.0.lock() = v;
+    }
+
+    /// Current value (NaN until first set).
+    pub fn get(&self) -> f64 {
+        *self.0.lock()
+    }
+}
+
+/// A log-bucketed histogram handle (see [`crate::histogram`]).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<Mutex<HistogramCore>>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        self.0.lock().observe(v);
+    }
+
+    /// Snapshot of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.lock().snapshot()
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Mutex<f64>>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Mutex<HistogramCore>>>>,
+}
+
+/// A shared metric table; clones are handles to the same table.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Arc<Inner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let key = sanitize_name(name);
+        let mut map = self.inner.counters.lock();
+        Counter(Arc::clone(map.entry(key).or_default()))
+    }
+
+    /// Returns (creating on first use) the gauge `name`. Gauges start
+    /// at NaN — "never set" renders as a missing value, not a zero.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let key = sanitize_name(name);
+        let mut map = self.inner.gauges.lock();
+        Gauge(Arc::clone(
+            map.entry(key)
+                .or_insert_with(|| Arc::new(Mutex::new(f64::NAN))),
+        ))
+    }
+
+    /// Returns (creating on first use) the histogram `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let key = sanitize_name(name);
+        let mut map = self.inner.histograms.lock();
+        Histogram(Arc::clone(map.entry(key).or_default()))
+    }
+
+    /// Captures a point-in-time snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v.lock()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.lock().snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    /// Folds a snapshot into this registry: counters add, gauges take
+    /// the snapshot's value, histogram buckets add. Used by scoped runs
+    /// (e.g. `run_telemetry`) to publish their per-run metrics into the
+    /// long-lived parent registry after isolating them for a summary.
+    pub fn absorb(&self, snapshot: &Snapshot) {
+        for (name, v) in &snapshot.counters {
+            self.counter(name).inc_by(*v);
+        }
+        for (name, v) in &snapshot.gauges {
+            self.gauge(name).set(*v);
+        }
+        for (name, h) in &snapshot.histograms {
+            let handle = self.histogram(name);
+            handle.0.lock().merge_snapshot(h);
+        }
+    }
+}
+
+/// Point-in-time view of a whole registry, sorted by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Value of counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram summary `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn counters_intern_and_accumulate() {
+        let r = Registry::new();
+        let a = r.counter("summit_test_frames_total");
+        let b = r.counter("summit_test_frames_total");
+        a.inc();
+        b.inc_by(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(r.snapshot().counter("summit_test_frames_total"), Some(5));
+    }
+
+    #[test]
+    fn gauges_start_nan_and_set() {
+        let r = Registry::new();
+        let g = r.gauge("summit_test_rate");
+        assert!(g.get().is_nan());
+        g.set(3.5);
+        assert_eq!(r.snapshot().gauge("summit_test_rate"), Some(3.5));
+    }
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(sanitize_name("ok_name:v1"), "ok_name:v1");
+        assert_eq!(sanitize_name("bad name/été"), "bad_name__t_");
+        assert_eq!(sanitize_name("9lives"), "_9lives");
+        assert_eq!(sanitize_name(""), "_");
+        let r = Registry::new();
+        r.counter("bad name").inc();
+        assert_eq!(r.snapshot().counter("bad_name"), Some(1));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let r = Registry::new();
+        r.counter("zz").inc();
+        r.counter("aa").inc();
+        r.counter("mm").inc();
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, vec!["aa", "mm", "zz"]);
+    }
+
+    #[test]
+    fn absorb_adds_counters_and_merges_histograms() {
+        let child = Registry::new();
+        child.counter("summit_test_total").inc_by(7);
+        child.gauge("summit_test_rate").set(2.0);
+        let h = child.histogram("summit_test_size");
+        h.observe(3.0);
+        h.observe(300.0);
+
+        let parent = Registry::new();
+        parent.counter("summit_test_total").inc_by(1);
+        parent.absorb(&child.snapshot());
+        parent.absorb(&child.snapshot());
+
+        let snap = parent.snapshot();
+        assert_eq!(snap.counter("summit_test_total"), Some(15));
+        assert_eq!(snap.gauge("summit_test_rate"), Some(2.0));
+        let hs = snap.histogram("summit_test_size").unwrap();
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.min, 3.0);
+        assert_eq!(hs.max, 300.0);
+        assert!((hs.sum - 606.0).abs() < 1e-9);
+        assert_eq!(hs.buckets.len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Wall-clock stage timers.
+//!
+//! A span marks one pipeline stage: creating it increments the
+//! deterministic counter `<name>_calls_total` and starts a timer;
+//! dropping the guard records the elapsed wall-clock seconds into the
+//! histogram `<name>_seconds`. Call counters are bit-reproducible
+//! across identically-seeded runs; the `_seconds` histograms are the
+//! only nondeterministic metrics the layer produces, and every
+//! determinism comparison excludes them by construction (counters
+//! only).
+//!
+//! Spans nest: a thread-local stack tracks the active span names so
+//! tests (and debugging) can assert the instrumentation structure, e.g.
+//! `["summit_core_run_telemetry", "summit_telemetry_coarsen"]` while
+//! coarsening runs inside the telemetry path.
+
+use crate::registry::{Counter, Histogram};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static ACTIVE: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Starts a span named `name` on the current registry (see
+/// [`crate::current`]). Hold the returned guard for the duration of the
+/// stage: `let _obs = obs::span("summit_core_run_telemetry");`.
+#[must_use = "dropping the guard immediately records a ~zero duration"]
+pub fn span(name: &str) -> SpanGuard {
+    let registry = crate::current();
+    let calls = registry.counter(&format!("{name}_calls_total"));
+    calls.inc();
+    let seconds = registry.histogram(&format!("{name}_seconds"));
+    ACTIVE.with(|stack| stack.borrow_mut().push(name.to_string()));
+    SpanGuard {
+        _calls: calls,
+        seconds,
+        start: Instant::now(),
+        name: name.to_string(),
+    }
+}
+
+/// Names of the spans currently active on this thread, outermost first.
+pub fn active_spans() -> Vec<String> {
+    ACTIVE.with(|stack| stack.borrow().clone())
+}
+
+/// Nesting depth of the innermost active span on this thread.
+pub fn span_depth() -> usize {
+    ACTIVE.with(|stack| stack.borrow().len())
+}
+
+/// Live timer for one stage; records on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    _calls: Counter,
+    seconds: Histogram,
+    start: Instant,
+    name: String,
+}
+
+impl SpanGuard {
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Seconds elapsed since the span started (the guard keeps running
+    /// until dropped; this is a mid-flight reading).
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.seconds.observe(self.start.elapsed().as_secs_f64());
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards drop LIFO in straight-line code; tolerate an
+            // out-of-order drop by removing the matching name.
+            if let Some(i) = stack.iter().rposition(|n| n == &self.name) {
+                stack.remove(i);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn span_records_calls_and_duration() {
+        let r = Registry::new();
+        let _scope = r.install();
+        {
+            let g = span("summit_test_stage");
+            assert_eq!(g.name(), "summit_test_stage");
+            assert!(g.elapsed_s() >= 0.0);
+        }
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("summit_test_stage_calls_total"), Some(1));
+        let h = snap.histogram("summit_test_stage_seconds").unwrap();
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn spans_nest_and_unwind() {
+        let r = Registry::new();
+        let _scope = r.install();
+        assert_eq!(span_depth(), 0);
+        let outer = span("summit_test_outer");
+        {
+            let _inner = span("summit_test_inner");
+            assert_eq!(
+                active_spans(),
+                vec![
+                    "summit_test_outer".to_string(),
+                    "summit_test_inner".to_string()
+                ]
+            );
+            assert_eq!(span_depth(), 2);
+        }
+        assert_eq!(active_spans(), vec!["summit_test_outer".to_string()]);
+        drop(outer);
+        assert_eq!(span_depth(), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("summit_test_outer_calls_total"), Some(1));
+        assert_eq!(snap.counter("summit_test_inner_calls_total"), Some(1));
+    }
+
+    #[test]
+    fn out_of_order_drop_unwinds_by_name() {
+        let r = Registry::new();
+        let _scope = r.install();
+        let a = span("summit_test_a");
+        let b = span("summit_test_b");
+        drop(a); // dropped before the inner span
+        assert_eq!(active_spans(), vec!["summit_test_b".to_string()]);
+        drop(b);
+        assert_eq!(span_depth(), 0);
+    }
+}

@@ -30,8 +30,16 @@ fn fmt(v: f64) -> String {
     }
 }
 
+/// Starts the shared export span and counts `rows` into the registry;
+/// every writer below times itself under `summit_telemetry_export`.
+fn obs_export(rows: usize) -> summit_obs::SpanGuard {
+    summit_obs::counter("summit_telemetry_export_rows_total").inc_by(rows as u64);
+    summit_obs::span("summit_telemetry_export")
+}
+
 /// Writes Dataset-1-shaped cluster power rows.
 pub fn write_cluster_power<W: Write>(out: &mut W, rows: &[ClusterPowerRow]) -> io::Result<()> {
+    let _obs = obs_export(rows.len());
     writeln!(out, "timestamp,count_inp,sum_inp,mean_inp,max_inp")?;
     for r in rows {
         writeln!(
@@ -49,6 +57,7 @@ pub fn write_cluster_power<W: Write>(out: &mut W, rows: &[ClusterPowerRow]) -> i
 
 /// Writes Dataset-3-shaped per-job power rows.
 pub fn write_job_power<W: Write>(out: &mut W, rows: &[JobPowerRow]) -> io::Result<()> {
+    let _obs = obs_export(rows.len());
     writeln!(
         out,
         "allocation_id,timestamp,count_hostname,sum_inp,mean_inp,max_inp"
@@ -70,6 +79,7 @@ pub fn write_job_power<W: Write>(out: &mut W, rows: &[JobPowerRow]) -> io::Resul
 
 /// Writes Dataset-5-shaped job-level power rows.
 pub fn write_job_level<W: Write>(out: &mut W, rows: &[JobLevelPower]) -> io::Result<()> {
+    let _obs = obs_export(rows.len());
     writeln!(
         out,
         "allocation_id,max_sum_inp,mean_sum_inp,begin_time,end_time,energy_j"
@@ -91,6 +101,7 @@ pub fn write_job_level<W: Write>(out: &mut W, rows: &[JobLevelPower]) -> io::Res
 
 /// Writes Dataset-C-shaped scheduler allocation history.
 pub fn write_job_records<W: Write>(out: &mut W, rows: &[JobRecord]) -> io::Result<()> {
+    let _obs = obs_export(rows.len());
     writeln!(
         out,
         "allocation_id,class,node_count,project,domain,begin_time,end_time"
@@ -113,6 +124,7 @@ pub fn write_job_records<W: Write>(out: &mut W, rows: &[JobRecord]) -> io::Resul
 
 /// Writes Dataset-E-shaped XID events.
 pub fn write_xid_events<W: Write>(out: &mut W, rows: &[XidEvent]) -> io::Result<()> {
+    let _obs = obs_export(rows.len());
     writeln!(
         out,
         "time,kind,node,slot,allocation_id,gpu_core_temp,temp_zscore"
@@ -135,6 +147,7 @@ pub fn write_xid_events<W: Write>(out: &mut W, rows: &[XidEvent]) -> io::Result<
 
 /// Writes Dataset-8-shaped thermal rows (band counts flattened).
 pub fn write_thermal<W: Write>(out: &mut W, rows: &[ThermalRow]) -> io::Result<()> {
+    let _obs = obs_export(rows.len());
     writeln!(
         out,
         "timestamp,allocation_id,nodes_reporting,band0,band1,band2,band3,band4,\
@@ -168,6 +181,7 @@ pub fn write_thermal<W: Write>(out: &mut W, rows: &[ThermalRow]) -> io::Result<(
 /// Writes a one-row ingest-health report: throughput, delay, and the
 /// fault-tolerance counters of the run.
 pub fn write_ingest_health<W: Write>(out: &mut W, stats: &IngestStats) -> io::Result<()> {
+    let _obs = obs_export(1);
     writeln!(
         out,
         "frames,metrics,mean_delay_s,max_delay_s,metrics_per_s,\

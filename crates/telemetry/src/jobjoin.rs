@@ -132,6 +132,7 @@ pub fn join_jobs(
     windows_by_node: &[Vec<NodeWindow>],
     index: &AllocationIndex,
 ) -> (Vec<JobPowerRow>, Vec<JobComponentRow>) {
+    let _obs = summit_obs::span("summit_telemetry_jobjoin");
     let mut map: HashMap<(u64, i64), JoinAcc> = HashMap::new();
     for windows in windows_by_node {
         for w in windows {
@@ -209,6 +210,7 @@ pub fn join_jobs(
 /// Collapses Dataset-3 rows into whole-job aggregates (Dataset 5 + the
 /// Dataset-7 energy integral), one row per allocation.
 pub fn job_level_power(rows: &[JobPowerRow], window_s: f64) -> Vec<JobLevelPower> {
+    let _obs = summit_obs::span("summit_telemetry_job_level_power");
     let mut map: HashMap<u64, (f64, f64, f64, f64, u64)> = HashMap::new();
     // (max_sum, sum_of_sums, begin, end, n_windows)
     for r in rows {

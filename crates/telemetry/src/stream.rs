@@ -107,6 +107,34 @@ impl IngestStats {
             self.max_delay_s = d;
         }
     }
+
+    /// Publishes the accumulated statistics into the current
+    /// [`summit_obs`] registry. The struct remains the in-band API; the
+    /// registry carries the same values as `summit_telemetry_ingest_*`
+    /// counters (deterministic) and gauges (delay timings) so every
+    /// sink — Prometheus exposition, `BENCH_obs.json`, the run summary
+    /// line — reads one source of truth.
+    pub fn publish_obs(&self) {
+        let r = summit_obs::current();
+        r.counter("summit_telemetry_ingest_frames_total")
+            .inc_by(self.frames);
+        r.counter("summit_telemetry_ingest_metrics_total")
+            .inc_by(self.metrics);
+        r.counter("summit_telemetry_ingest_reordered_total")
+            .inc_by(self.health.reordered);
+        r.counter("summit_telemetry_ingest_duplicates_total")
+            .inc_by(self.health.duplicates);
+        r.counter("summit_telemetry_ingest_late_dropped_total")
+            .inc_by(self.health.late_dropped);
+        r.counter("summit_telemetry_ingest_gap_windows_total")
+            .inc_by(self.health.gap_windows);
+        r.gauge("summit_telemetry_ingest_mean_delay_seconds")
+            .set(self.mean_delay_s());
+        r.gauge("summit_telemetry_ingest_max_delay_seconds")
+            .set(self.max_delay_s);
+        r.gauge("summit_telemetry_ingest_metrics_per_second")
+            .set(self.metrics_per_second());
+    }
 }
 
 /// Delivery-fault probabilities for the simulated fan-in.
@@ -234,6 +262,8 @@ impl FaultInjector {
     /// frames in *arrival* order (the order the fan-in hands downstream),
     /// with any local reorder swaps applied on top.
     pub fn deliver(&mut self, frames: Vec<NodeFrame>) -> Vec<NodeFrame> {
+        let _obs = summit_obs::span("summit_telemetry_deliver");
+        summit_obs::histogram("summit_telemetry_deliver_batch_frames").observe(frames.len() as f64);
         let cfg = self.config;
         let mut arrivals: Vec<(f64, NodeFrame)> = Vec::with_capacity(frames.len());
         for mut frame in frames {

@@ -323,6 +323,7 @@ pub fn coarsen_parallel_with_health(
     frames_by_node: &[Vec<NodeFrame>],
     window_s: f64,
 ) -> (Vec<Vec<NodeWindow>>, IngestHealth) {
+    let _obs = summit_obs::span("summit_telemetry_coarsen");
     let per_node: Vec<(Vec<NodeWindow>, IngestHealth)> = frames_by_node
         .par_iter()
         .map(|frames| {
@@ -342,6 +343,10 @@ pub fn coarsen_parallel_with_health(
         health.merge(&h);
         windows.push(w);
     }
+    let emitted: usize = windows.iter().map(Vec::len).sum();
+    summit_obs::counter("summit_telemetry_windows_total").inc_by(emitted as u64);
+    summit_obs::counter("summit_telemetry_frames_accepted_total").inc_by(health.accepted);
+    summit_obs::counter("summit_telemetry_frames_dropped_total").inc_by(health.dropped());
     (windows, health)
 }
 

@@ -15,6 +15,7 @@
 //! | [`telemetry`] | metric catalog, 1 Hz frames, fan-in, codec, coarsening |
 //! | [`sim`] | node power/thermal models, facility, scheduler, failures |
 //! | [`core`] | per-figure experiment drivers and terminal rendering |
+//! | [`obs`] | self-observability: metric registry, spans, Prometheus text |
 //!
 //! ## Quickstart
 //!
@@ -31,6 +32,7 @@
 
 pub use summit_analysis as analysis;
 pub use summit_core as core;
+pub use summit_obs as obs;
 pub use summit_sim as sim;
 pub use summit_telemetry as telemetry;
 
@@ -38,6 +40,12 @@ pub use summit_telemetry as telemetry;
 pub mod prelude {
     pub use summit_analysis::prelude::*;
     pub use summit_core::prelude::*;
+    // Explicit list: the obs `Histogram` handle would otherwise shadow
+    // the statistical `analysis::histogram::Histogram`.
+    pub use summit_obs::prelude::{
+        parse_prometheus, span, write_csv, write_json, write_prometheus, Counter, Gauge,
+        Histogram as ObsHistogram, Registry, Snapshot, SpanGuard,
+    };
     pub use summit_sim::prelude::*;
     pub use summit_telemetry::prelude::*;
 }

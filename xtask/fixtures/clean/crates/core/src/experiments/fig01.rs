@@ -2,5 +2,6 @@
 
 /// Runs it.
 pub fn run() -> usize {
+    let _obs = summit_obs::span("summit_core_fig01");
     1
 }

@@ -1,0 +1,12 @@
+//! Pipeline with fully instrumented entry points.
+
+/// Instrumented entry point.
+pub fn run_scenario() -> usize {
+    let _obs = summit_obs::span("summit_core_run_scenario");
+    1
+}
+
+/// Helper that needs no span (not a `run_*` entry point).
+pub fn helper() -> usize {
+    2
+}

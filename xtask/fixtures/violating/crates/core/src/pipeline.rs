@@ -1,0 +1,12 @@
+//! Pipeline with one instrumented and one bare entry point.
+
+/// Instrumented entry point.
+pub fn run_good() -> usize {
+    let _obs = summit_obs::span("summit_core_run_good");
+    1
+}
+
+/// Uninstrumented entry point: the obs-coverage rule must flag it.
+pub fn run_bad() -> usize {
+    2
+}

@@ -1,7 +1,7 @@
 //! `cargo xtask` — repo-specific developer tooling.
 //!
 //! The only subcommand today is `lint`, a custom static-analysis pass
-//! enforcing four invariants the compiler cannot check:
+//! enforcing five invariants the compiler cannot check:
 //!
 //! 1. **determinism** — no wall-clock or entropy-seeded randomness in
 //!    the simulation/analysis crates that feed experiment outputs;
@@ -13,7 +13,11 @@
 //!    machine-readable `paper_constants.toml` (paper Tables 1/3), and
 //!    no spec value is duplicated as a magic literal elsewhere;
 //! 4. **registry** — every experiment module is registered in
-//!    `experiments/mod.rs`, has a bench binary, and smoke coverage.
+//!    `experiments/mod.rs`, has a bench binary, and smoke coverage;
+//! 5. **obs-coverage** — every public `run_*` entry point in
+//!    `core::pipeline` and every experiment module opens at least one
+//!    `summit_obs` span, so new stages cannot silently skip the
+//!    self-observability layer.
 //!
 //! Run as `cargo xtask lint` (see `.cargo/config.toml` for the alias).
 
@@ -24,8 +28,8 @@ use xtask::{rules, workspace};
 const USAGE: &str = "\
 usage: cargo xtask lint [--rule <name>]... [--strict-indexing]
 
-rules: determinism | panic-freedom | spec-constants | registry
-       (default: all four)
+rules: determinism | panic-freedom | spec-constants | registry | obs-coverage
+       (default: all five)
 
 --strict-indexing  also fail on literal slice indexing (`xs[0]`) in
                    non-test library code; advisory warnings otherwise
@@ -91,6 +95,9 @@ fn main() -> ExitCode {
     }
     if run("registry") {
         violations.extend(rules::registry::check(&root));
+    }
+    if run("obs-coverage") {
+        violations.extend(rules::obs_coverage::check(&root));
     }
 
     violations.sort();

@@ -1,6 +1,7 @@
-//! The four repo-specific lint rules.
+//! The five repo-specific lint rules.
 
 pub mod determinism;
+pub mod obs_coverage;
 pub mod panic_freedom;
 pub mod registry;
 pub mod spec_constants;

@@ -1,0 +1,180 @@
+//! Rule: the observability layer instruments every pipeline entry point.
+//!
+//! The self-observability contract (DESIGN.md "Observability") is that
+//! each pipeline path times itself: a stage that records no span is
+//! invisible in `BENCH_obs.json` and the stage-timing table, and the
+//! regression silently widens as the code grows. This rule requires:
+//!
+//! 1. every `pub fn run_*` entry point in `crates/core/src/pipeline.rs`
+//!    to create at least one obs span in its body;
+//! 2. every experiment module under `crates/core/src/experiments/` to
+//!    create at least one obs span.
+//!
+//! The check looks for the token `obs::span(` in masked, non-test
+//! source — `summit_obs::span(...)` and a `use summit_obs as obs;`
+//! alias both match.
+
+use crate::source;
+use crate::violation::Violation;
+use std::path::Path;
+
+const RULE: &str = "obs-coverage";
+
+/// Pipeline module whose public `run_*` entry points must open spans.
+pub const PIPELINE_FILE: &str = "crates/core/src/pipeline.rs";
+/// Experiment modules directory; every module must open a span.
+pub const EXPERIMENTS_DIR: &str = "crates/core/src/experiments";
+/// Span-creation token (suffix of `summit_obs::span(`).
+const SPAN_TOKEN: &str = "obs::span(";
+
+/// `(name, line, body)` of every `pub fn run_*` in masked source.
+fn pub_run_fns(masked: &str) -> Vec<(String, usize, &str)> {
+    const NEEDLE: &str = "pub fn run_";
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = masked[from..].find(NEEDLE) {
+        let abs = from + pos;
+        from = abs + NEEDLE.len();
+        let name: String = masked["pub fn ".len() + abs..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        let line = source::line_of(masked, masked[..abs].chars().count());
+        let Some(open_rel) = masked[abs..].find('{') else {
+            continue; // trait method signature; not an entry point
+        };
+        let open = abs + open_rel;
+        let mut depth = 0usize;
+        let mut close = masked.len();
+        for (i, c) in masked[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = open + i;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        out.push((name, line, &masked[open..close]));
+    }
+    out
+}
+
+/// Runs the rule over `root` and returns every finding.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+
+    match std::fs::read_to_string(root.join(PIPELINE_FILE)) {
+        Ok(text) => {
+            let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            for (name, line, body) in pub_run_fns(&masked) {
+                if !body.contains(SPAN_TOKEN) {
+                    out.push(Violation::new(
+                        RULE,
+                        PIPELINE_FILE,
+                        line,
+                        format!(
+                            "pipeline entry point `{name}` opens no obs span \
+                             (add `let _obs = summit_obs::span(\"summit_core_{name}\");`)"
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(e) => {
+            out.push(Violation::new(
+                RULE,
+                PIPELINE_FILE,
+                0,
+                format!("cannot read: {e}"),
+            ));
+        }
+    }
+
+    let dir = root.join(EXPERIMENTS_DIR);
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        out.push(Violation::new(
+            RULE,
+            EXPERIMENTS_DIR,
+            0,
+            "missing experiments directory",
+        ));
+        return out;
+    };
+    let mut files: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            (name.ends_with(".rs") && name != "mod.rs").then_some(name)
+        })
+        .collect();
+    files.sort();
+    for file in &files {
+        let rel = format!("{EXPERIMENTS_DIR}/{file}");
+        match std::fs::read_to_string(dir.join(file)) {
+            Ok(text) => {
+                let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+                if !masked.contains(SPAN_TOKEN) {
+                    out.push(Violation::new(
+                        RULE,
+                        rel,
+                        0,
+                        format!(
+                            "experiment `{}` records no obs span (every experiment \
+                             must time itself via `summit_obs::span`)",
+                            file.trim_end_matches(".rs")
+                        ),
+                    ));
+                }
+            }
+            Err(e) => {
+                out.push(Violation::new(RULE, rel, 0, format!("cannot read: {e}")));
+            }
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn extracts_pub_run_fn_bodies() {
+        let src = r#"
+pub fn run_alpha() {
+    let _obs = summit_obs::span("summit_core_run_alpha");
+}
+fn run_private() {}
+pub fn run_beta(x: usize) -> usize {
+    x + 1
+}
+"#;
+        let masked = source::mask_comments_and_strings(src);
+        let fns = pub_run_fns(&masked);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].0, "run_alpha");
+        assert_eq!(fns[0].1, 2);
+        assert!(fns[0].2.contains(SPAN_TOKEN));
+        assert_eq!(fns[1].0, "run_beta");
+        assert!(!fns[1].2.contains(SPAN_TOKEN));
+    }
+
+    #[test]
+    fn span_in_one_fn_does_not_cover_another() {
+        let src = r#"
+pub fn run_a() { let _obs = summit_obs::span("a"); }
+pub fn run_b() { let _x = 1; }
+"#;
+        let masked = source::mask_comments_and_strings(src);
+        let fns = pub_run_fns(&masked);
+        assert!(fns[0].2.contains(SPAN_TOKEN));
+        assert!(!fns[1].2.contains(SPAN_TOKEN));
+    }
+}

@@ -7,7 +7,7 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::path::{Path, PathBuf};
-use xtask::rules::{determinism, panic_freedom, registry, spec_constants};
+use xtask::rules::{determinism, obs_coverage, panic_freedom, registry, spec_constants};
 use xtask::violation::Violation;
 
 fn fixture(name: &str) -> PathBuf {
@@ -171,4 +171,28 @@ fn registry_requires_full_wiring() {
 fn registry_clean_fixture_passes() {
     // Includes the `tables` -> `table1_3` binary alias.
     assert_eq!(registry::check(&fixture("clean")), vec![]);
+}
+
+// --- obs-coverage ------------------------------------------------------
+
+#[test]
+fn obs_coverage_flags_bare_entry_points() {
+    let v = obs_coverage::check(&fixture("violating"));
+    // `run_bad` in pipeline.rs opens no span; the fig99 experiment file
+    // has none anywhere. `run_good` and fig01 are instrumented and must
+    // not be flagged.
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/core/src/experiments/fig99.rs".into(), 0),
+            ("crates/core/src/pipeline.rs".into(), 10),
+        ]
+    );
+    assert!(message_at(&v, "crates/core/src/pipeline.rs", 10).contains("run_bad"));
+    assert!(message_at(&v, "crates/core/src/experiments/fig99.rs", 0).contains("fig99"));
+}
+
+#[test]
+fn obs_coverage_clean_fixture_passes() {
+    assert_eq!(obs_coverage::check(&fixture("clean")), vec![]);
 }
