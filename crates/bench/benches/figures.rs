@@ -19,7 +19,7 @@ fn bench_tables(c: &mut Criterion) {
             duration_s: 60,
             producers: 2,
         };
-        b.iter(|| table2::run(&cfg))
+        b.iter(|| table2::run(&cfg).unwrap())
     });
     g.bench_function("table4_failures", |b| {
         let cfg = table4::Config {
@@ -61,7 +61,7 @@ fn bench_population_figures(c: &mut Criterion) {
             population_scale: 0.01,
             class: 2,
         };
-        b.iter(|| fig08::run(&cfg))
+        b.iter(|| fig08::run(&cfg).unwrap())
     });
     g.bench_function("fig09_cpu_gpu", |b| {
         let cfg = fig09::Config {

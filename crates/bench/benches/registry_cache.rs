@@ -1,0 +1,42 @@
+//! Measures what the shared scenario cache buys: a three-experiment
+//! suite (fig05 + fig07 + fig09, all backed by the same year-population
+//! scenario) run cold (fresh cache per iteration) vs warm (one cache
+//! pre-seeded before measurement, so only the per-study analysis runs).
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use summit_core::cache::ScenarioCache;
+use summit_core::experiments::registry::run_by_name;
+
+// At scale 0.01 all three studies resolve the identical population
+// scenario (fig07's floor is 0.01), so the warm suite shares one artifact.
+const SUITE: [&str; 3] = ["fig05", "fig07", "fig09"];
+const SCALE: f64 = 0.01;
+
+fn run_suite(cache: &ScenarioCache) {
+    for name in SUITE {
+        let report = run_by_name(cache, name, SCALE, None).unwrap();
+        assert!(!report.is_empty());
+    }
+}
+
+fn bench_cold_vs_warm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("registry_cache");
+    g.sample_size(10);
+    g.bench_function("suite3_cold_cache", |b| {
+        b.iter(|| {
+            let cache = ScenarioCache::new();
+            run_suite(&cache);
+        })
+    });
+    g.bench_function("suite3_warm_cache", |b| {
+        let cache = ScenarioCache::new();
+        run_suite(&cache); // seed the population artifact once
+        b.iter(|| run_suite(&cache))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cold_vs_warm);
+criterion_main!(benches);

@@ -1,172 +1,30 @@
-//! Runs every table/figure regeneration at the selected fidelity and
-//! prints the full report — the one-command reproduction of the paper's
-//! evaluation section.
-use summit_bench::{fidelity, header, Fidelity};
-use summit_core::experiments::*;
+//! Regenerates every table and figure in one run — a thin shim over the
+//! unified `experiments` driver (`--all`), kept for muscle memory.
+//!
+//! All studies share one scenario cache, so the year population, the
+//! burst engine sweep and the failure log are each generated once.
 
-fn main() {
+use std::process::ExitCode;
+use summit_bench::driver::{self, Invocation, SMOKE_SCALE};
+use summit_bench::{fidelity, header, Fidelity};
+
+fn main() -> ExitCode {
     let f = fidelity();
     header("ALL tables and figures", f);
-    let quick = f == Fidelity::Quick;
-
-    println!("{}", tables::render_table1());
-    println!("{}", tables::render_table3());
-    println!(
-        "{}",
-        table2::run(&if quick {
-            table2::Config {
-                cabinets: 6,
-                duration_s: 60,
-                producers: 4,
-            }
+    let inv = Invocation {
+        all: true,
+        scale: if f == Fidelity::Full {
+            1.0
         } else {
-            table2::Config {
-                cabinets: 257,
-                duration_s: 300,
-                producers: 16,
-            }
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig04::run(&if quick {
-            fig04::Config {
-                cabinets: 10,
-                duration_s: 300,
-                busy_fraction: 1.0,
-            }
-        } else {
-            fig04::Config {
-                cabinets: 257,
-                duration_s: 3600,
-                busy_fraction: 1.0,
-            }
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig05::run(&if quick {
-            fig05::Config {
-                population_scale: 0.25,
-                dt_s: 3600.0,
-                maintenance_days: Some((34.0, 41.0)),
-            }
-        } else {
-            fig05::Config::default()
-        })
-        .render()
-    );
-    let pop = if quick { 0.005 } else { 0.1 };
-    println!(
-        "{}",
-        fig06::run(&fig06::Config {
-            population_scale: pop,
-            grid: 48,
-            max_samples: 2000
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig07::run(&fig07::Config {
-            population_scale: pop.max(0.02)
-        })
-        .render()
-    );
-    for class in [1u8, 2] {
-        println!(
-            "{}",
-            fig08::run(&fig08::Config {
-                population_scale: pop.max(0.03),
-                class
-            })
-            .render()
-        );
-    }
-    println!(
-        "{}",
-        fig09::run(&fig09::Config {
-            population_scale: pop,
-            max_samples: 2000
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig10::run(&fig10::Config {
-            population_scale: if quick { 0.003 } else { 0.03 },
-            dt_s: 10.0
-        })
-        .render()
-    );
-    let burst = if quick {
-        fig11::Config {
-            cabinets: 24,
-            amplitudes_mw: vec![0.2, 0.4, 0.6],
-            repeats: 2,
-            burst_duration_s: 150.0,
-            spacing_s: 480.0,
-        }
-    } else {
-        fig11::Config::default()
+            SMOKE_SCALE
+        },
+        ..Invocation::default()
     };
-    println!("{}", fig11::run(&burst).render());
-    println!("{}", fig12::run(&fig12::Config { burst }).render());
-    let weeks = if quick { 8.0 } else { 52.3 };
-    println!(
-        "{}",
-        table4::run(&table4::Config { weeks, seed: 2020 }).render()
-    );
-    println!(
-        "{}",
-        fig13::run(&fig13::Config {
-            weeks,
-            alpha: 0.05,
-            seed: 2020
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig14::run(&fig14::Config {
-            weeks,
-            top: 15,
-            min_node_hours: 1000.0,
-            seed: 2020
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig15::run(&fig15::Config {
-            weeks: weeks.max(16.0),
-            seed: 2020
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig16::run(&fig16::Config {
-            weeks: weeks.max(16.0),
-            seed: 2020
-        })
-        .render()
-    );
-    println!(
-        "{}",
-        fig17::run(&if quick {
-            fig17::Config {
-                cabinets: 24,
-                job_duration_s: 420.0,
-                stride_s: 10.0,
-                missing_cabinet: Some(13),
-                seed: 2020,
-            }
-        } else {
-            fig17::Config::default()
-        })
-        .render()
-    );
+    match driver::run(&inv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
 }

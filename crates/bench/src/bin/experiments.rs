@@ -1,0 +1,30 @@
+//! Unified driver over the experiment registry.
+//!
+//! ```text
+//! cargo run --release -p summit-bench --bin experiments -- --list
+//! cargo run --release -p summit-bench --bin experiments -- --all
+//! cargo run --release -p summit-bench --bin experiments -- fig08 --scale 0.1
+//! cargo run --release -p summit-bench --bin experiments -- table4 --json \
+//!     --config '{"weeks": 12}'
+//! ```
+
+use std::process::ExitCode;
+use summit_bench::driver::{self, Invocation};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let inv = match Invocation::parse(args) {
+        Ok(inv) => inv,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", driver::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match driver::run(&inv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", driver::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! The unified `experiments` driver: list and run any registered study
+//! through one shared [`ScenarioCache`].
+//!
+//! This is the engine behind `cargo run -p summit-bench --bin
+//! experiments`. One invocation builds a single cache, so studies that
+//! share an acquisition scenario (the year population, the burst engine
+//! sweep, the failure log) generate it once and reuse it — `--all` runs
+//! the whole paper suite with each expensive artifact built exactly
+//! once.
+
+use summit_core::cache::{ScenarioCache, HITS_COUNTER, MISSES_COUNTER};
+use summit_core::experiments::registry;
+use summit_core::experiments::{Experiment, REGISTRY};
+use summit_core::json::Json;
+
+/// Default fidelity scale when `--scale` is not given: the CI smoke
+/// scale (seconds per study, shapes preserved).
+pub const SMOKE_SCALE: f64 = 0.05;
+
+/// Driver usage, printed on `--help` and argument errors.
+pub const USAGE: &str = "\
+usage: experiments [--list] [--all | <name>...] [options]
+
+  --list            list every registered study and exit
+  --all             run every registered study, sharing one scenario cache
+  <name>...         run the named studies (see --list)
+  --scale S         fidelity scale in (0, 1]; 1.0 = paper scale (default 0.05)
+  --full            shorthand for --scale 1.0
+  --config JSON     JSON object merged over each study's default config
+  --json            emit one JSON envelope per study instead of plain text
+  -h, --help        print this help";
+
+/// Parsed command line for the `experiments` driver.
+#[derive(Debug, Clone)]
+pub struct Invocation {
+    /// Print the registry and exit.
+    pub list: bool,
+    /// Run every registered study.
+    pub all: bool,
+    /// Studies named explicitly.
+    pub names: Vec<String>,
+    /// Print usage and exit.
+    pub help: bool,
+    /// Fidelity scale in `(0, 1]`.
+    pub scale: f64,
+    /// Emit JSON envelopes instead of plain reports.
+    pub json: bool,
+    /// JSON object merged over each study's default config.
+    pub overrides: Option<Json>,
+}
+
+impl Default for Invocation {
+    fn default() -> Self {
+        Self {
+            list: false,
+            all: false,
+            names: Vec::new(),
+            help: false,
+            scale: SMOKE_SCALE,
+            json: false,
+            overrides: None,
+        }
+    }
+}
+
+impl Invocation {
+    /// Parses driver arguments (everything after the binary name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut inv = Self::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--list" => inv.list = true,
+                "--all" => inv.all = true,
+                "--json" => inv.json = true,
+                "--full" => inv.scale = 1.0,
+                "-h" | "--help" => inv.help = true,
+                "--scale" => {
+                    let v = it.next().ok_or("--scale requires a value")?;
+                    let s: f64 = v
+                        .parse()
+                        .map_err(|_| format!("invalid --scale value `{v}`"))?;
+                    if !(s > 0.0 && s <= 1.0) {
+                        return Err(format!("--scale must be in (0, 1], got {s}"));
+                    }
+                    inv.scale = s;
+                }
+                "--config" => {
+                    let v = it.next().ok_or("--config requires a JSON object")?;
+                    let json = Json::parse(&v).map_err(|e| format!("--config: {e}"))?;
+                    if !matches!(json, Json::Obj(_)) {
+                        return Err(format!("--config must be a JSON object, got `{json}`"));
+                    }
+                    inv.overrides = Some(json);
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown flag `{other}`"));
+                }
+                name => inv.names.push(name.to_string()),
+            }
+        }
+        Ok(inv)
+    }
+}
+
+/// Renders the `--list` table.
+pub fn render_list() -> String {
+    let mut s = String::from("registered experiments (paper order):\n");
+    for exp in REGISTRY {
+        s.push_str(&format!("  {:<15} {}\n", exp.name(), exp.summary()));
+    }
+    s
+}
+
+/// Resolves the studies an invocation selects, in registry order for
+/// `--all` and argument order otherwise.
+pub fn select(inv: &Invocation) -> Result<Vec<&'static dyn Experiment>, String> {
+    if inv.all {
+        return Ok(REGISTRY.to_vec());
+    }
+    if inv.names.is_empty() {
+        return Err("nothing to run: pass --all, --list or an experiment name".into());
+    }
+    inv.names
+        .iter()
+        .map(|name| {
+            registry::find(name)
+                .ok_or_else(|| format!("unknown experiment `{name}` (run with --list)"))
+        })
+        .collect()
+}
+
+/// One study's outcome in a driver run.
+#[derive(Debug, Clone)]
+pub struct StudyReport {
+    /// Registry name.
+    pub name: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// The effective config the study ran with.
+    pub config: Json,
+    /// The rendered report.
+    pub report: String,
+}
+
+/// Cache traffic recorded over a driver run.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheTraffic {
+    /// Artifacts resident in the cache after the run.
+    pub artifacts: usize,
+    /// Cache hits (an artifact was reused).
+    pub hits: u64,
+    /// Cache misses (an artifact was built).
+    pub misses: u64,
+}
+
+/// Runs the selected studies through one shared cache, returning their
+/// reports plus the cache traffic. Fails on the first study error.
+pub fn run_selected(
+    selected: &[&'static dyn Experiment],
+    scale: f64,
+    overrides: Option<&Json>,
+) -> Result<(Vec<StudyReport>, CacheTraffic), String> {
+    let obs = summit_obs::registry::Registry::new();
+    let _guard = obs.install();
+    let cache = ScenarioCache::new();
+    let mut reports = Vec::with_capacity(selected.len());
+    for exp in selected {
+        let report = registry::run_by_name(&cache, exp.name(), scale, overrides)
+            .map_err(|e| e.to_string())?;
+        let mut config = exp.default_config(scale);
+        if let Some(over) = overrides {
+            config.merge(over);
+        }
+        reports.push(StudyReport {
+            name: exp.name(),
+            summary: exp.summary(),
+            config,
+            report,
+        });
+    }
+    let snap = obs.snapshot();
+    let traffic = CacheTraffic {
+        artifacts: cache.stats().total(),
+        hits: snap.counter(HITS_COUNTER).unwrap_or(0),
+        misses: snap.counter(MISSES_COUNTER).unwrap_or(0),
+    };
+    Ok((reports, traffic))
+}
+
+/// Renders the post-run scenario-cache summary line.
+pub fn render_traffic(t: &CacheTraffic) -> String {
+    format!(
+        "[scenario-cache] {} artifacts built ({} misses), {} reused (hits)",
+        t.artifacts, t.misses, t.hits
+    )
+}
+
+/// Writes a chunk to stdout, reporting whether the consumer is still
+/// listening. A closed pipe (e.g. `experiments -- --all | head`) is a normal
+/// way to stop reading reports, not an error worth panicking over.
+fn emit(text: &str) -> bool {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    out.write_all(text.as_bytes())
+        .and_then(|()| out.flush())
+        .is_ok()
+}
+
+/// Runs a full driver invocation, printing to stdout.
+pub fn run(inv: &Invocation) -> Result<(), String> {
+    if inv.help {
+        emit(&format!("{USAGE}\n"));
+        return Ok(());
+    }
+    if inv.list {
+        emit(&render_list());
+        return Ok(());
+    }
+    let selected = select(inv)?;
+    let (reports, traffic) = run_selected(&selected, inv.scale, inv.overrides.as_ref())?;
+    for r in &reports {
+        let block = if inv.json {
+            let envelope = Json::Obj(vec![
+                ("experiment".into(), Json::from(r.name)),
+                ("scale".into(), Json::Num(inv.scale)),
+                ("config".into(), r.config.clone()),
+                ("report".into(), Json::Str(r.report.clone())),
+            ]);
+            format!("{envelope}\n")
+        } else {
+            format!("== {} - {}\n\n{}\n", r.name, r.summary, r.report)
+        };
+        if !emit(&block) {
+            return Ok(());
+        }
+    }
+    if reports.len() > 1 {
+        if inv.json {
+            let summary = Json::Obj(vec![
+                (
+                    "scenario_cache_artifacts".into(),
+                    Json::from(traffic.artifacts),
+                ),
+                ("scenario_cache_hits".into(), Json::Num(traffic.hits as f64)),
+                (
+                    "scenario_cache_misses".into(),
+                    Json::Num(traffic.misses as f64),
+                ),
+            ]);
+            emit(&format!("{summary}\n"));
+        } else {
+            emit(&format!("{}\n", render_traffic(&traffic)));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Invocation, String> {
+        Invocation::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_flags_names_and_scale() {
+        let inv = parse(&["--all", "--scale", "0.2", "--json"]).unwrap();
+        assert!(inv.all && inv.json && !inv.list);
+        assert!((inv.scale - 0.2).abs() < 1e-12);
+
+        let inv = parse(&["fig08", "table4", "--full"]).unwrap();
+        assert_eq!(inv.names, vec!["fig08", "table4"]);
+        assert_eq!(inv.scale, 1.0);
+
+        let inv = parse(&["tables", "--config", r#"{"class": 2}"#]).unwrap();
+        assert!(inv.overrides.is_some());
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--scale", "2.0"]).is_err());
+        assert!(parse(&["--scale", "x"]).is_err());
+        assert!(parse(&["--config", "[1]"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(select(&parse(&[]).unwrap()).is_err());
+        assert!(select(&parse(&["fig99"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn list_covers_the_registry() {
+        let listing = render_list();
+        for exp in REGISTRY {
+            assert!(listing.contains(exp.name()), "{} missing", exp.name());
+        }
+    }
+
+    #[test]
+    fn selection_preserves_order() {
+        let inv = parse(&["table4", "tables"]).unwrap();
+        let sel = select(&inv).unwrap();
+        let names: Vec<&str> = sel.iter().map(|e| e.name()).collect();
+        assert_eq!(names, vec!["table4", "tables"]);
+        let all = select(&parse(&["--all"]).unwrap()).unwrap();
+        assert_eq!(all.len(), REGISTRY.len());
+    }
+}

@@ -1,11 +1,12 @@
-//! Shared plumbing for the figure/table regeneration binaries and the
-//! Criterion benchmarks.
+//! Shared plumbing for the experiment driver, the remaining standalone
+//! binaries and the Criterion benchmarks.
 //!
-//! Every figure binary accepts `--full` for paper-fidelity runs
-//! (full floor, year-scale populations — minutes of runtime) and defaults
-//! to a quick mode that regenerates the same rows at reduced scale in
-//! seconds.
+//! Figure/table regeneration goes through the unified [`driver`] (the
+//! `experiments` binary); `--full` selects paper-fidelity runs (full
+//! floor, year-scale populations — minutes of runtime) while the
+//! default smoke scale regenerates the same rows in seconds.
 
+pub mod driver;
 pub mod obs_report;
 
 /// Run fidelity selected on the command line.

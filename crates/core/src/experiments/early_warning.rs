@@ -10,7 +10,11 @@
 //! alert on every µC warning and score how well the alerts anticipate
 //! driver error-handling exceptions on the same node within a horizon.
 
-use crate::experiments::table4::{generate_events, Config as GenConfig};
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::experiments::table4;
+use crate::json::Json;
+use crate::pipeline::FailureScenario;
 use crate::report::{pct, Table};
 use serde::{Deserialize, Serialize};
 use summit_telemetry::records::{XidErrorKind, XidEvent};
@@ -58,18 +62,26 @@ pub struct EarlyWarningResult {
     pub median_lead_s: f64,
 }
 
-/// Runs the early-warning evaluation.
+/// Runs the early-warning evaluation against a private cache.
 pub fn run(config: &Config) -> EarlyWarningResult {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the early-warning evaluation, acquiring the failure log through
+/// `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> EarlyWarningResult {
     let _obs = summit_obs::span("summit_core_early_warning");
-    let events = generate_events(&GenConfig {
+    let art = cache.failures(&FailureScenario {
         weeks: config.weeks,
         seed: config.seed,
     });
-    let warnings: Vec<&XidEvent> = events
+    let warnings: Vec<&XidEvent> = art
+        .events
         .iter()
         .filter(|e| e.kind == XidErrorKind::InternalMicrocontrollerWarning)
         .collect();
-    let errors: Vec<&XidEvent> = events
+    let errors: Vec<&XidEvent> = art
+        .events
         .iter()
         .filter(|e| e.kind == XidErrorKind::DriverErrorHandlingException)
         .collect();
@@ -114,6 +126,45 @@ pub fn run(config: &Config) -> EarlyWarningResult {
         precision,
         recall,
         median_lead_s: summit_analysis::stats::median(&leads),
+    }
+}
+
+/// Registry adapter for the early-warning extension study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "early_warning"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Extension: uC warnings as early diagnostics for driver errors"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        Json::obj([
+            ("weeks", Json::Num(table4::default_weeks(scale))),
+            ("horizon_s", Json::Num(3600.0)),
+            ("seed", Json::Num(2020.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("early_warning", config)?;
+        let scenario = table4::scenario_from(&cfg)?;
+        let horizon_s = cfg.f64("horizon_s")?;
+        if !(horizon_s.is_finite() && horizon_s > 0.0) {
+            return Err(ExperimentError::invalid(
+                "early_warning",
+                format!("horizon_s must be a positive horizon, got {horizon_s}"),
+            ));
+        }
+        let config = Config {
+            weeks: scenario.weeks,
+            horizon_s,
+            seed: scenario.seed,
+        };
+        Ok(run_with(cache, &config).render())
     }
 }
 

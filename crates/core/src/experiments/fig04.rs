@@ -7,6 +7,9 @@
 //! and the per-MSB difference distributions are tight with subtly
 //! different means.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{clamp_scale, Cfg, Experiment, ExperimentError};
+use crate::json::Json;
 use crate::report::{pct, watts, Table};
 use serde::{Deserialize, Serialize};
 use summit_analysis::correlation::pearson;
@@ -163,6 +166,56 @@ pub fn run(config: &Config) -> Fig04Result {
         overall_mean_diff_w,
         overall_gap,
         gap_spread,
+    }
+}
+
+/// Registry adapter for the Figure 4 validation study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig04"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Validation: MSB power meters vs per-node sensor summation"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("cabinets", Json::Num(((257.0 * s) as usize).max(5) as f64)),
+            (
+                "duration_s",
+                Json::Num(((1800.0 * s) as usize).max(120) as f64),
+            ),
+            ("busy_fraction", Json::Num(1.0)),
+        ])
+    }
+
+    fn run(&self, _cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig04", config)?;
+        let config = Config {
+            cabinets: cfg.usize("cabinets")?,
+            duration_s: cfg.usize("duration_s")?,
+            busy_fraction: cfg.f64("busy_fraction")?,
+        };
+        if config.cabinets == 0 || config.duration_s < 10 {
+            return Err(ExperimentError::invalid(
+                "fig04",
+                "cabinets must be positive and duration_s at least one 10 s window",
+            ));
+        }
+        if !(0.0..=1.0).contains(&config.busy_fraction) {
+            return Err(ExperimentError::invalid(
+                "fig04",
+                format!(
+                    "busy_fraction must be in [0, 1], got {}",
+                    config.busy_fraction
+                ),
+            ));
+        }
+        Ok(run(&config).render())
     }
 }
 

@@ -6,6 +6,11 @@
 //! early February when cooling-tower maintenance forced 100 % chilled
 //! water; chilled water needed only ~20 % of the year.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{
+    clamp_scale, ensure_population_scale, Cfg, Experiment, ExperimentError,
+};
+use crate::json::Json;
 use crate::pipeline::PopulationScenario;
 use crate::report::{sparkline, Table};
 use serde::{Deserialize, Serialize};
@@ -77,15 +82,21 @@ pub struct Fig05Result {
     pub it_energy_j: f64,
 }
 
-/// Runs the yearly-trend experiment.
+/// Runs the yearly-trend experiment against a private cache.
 pub fn run(config: &Config) -> Fig05Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the yearly-trend experiment, acquiring the population through
+/// `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig05Result {
     let _obs = summit_obs::span("summit_core_fig05");
-    let scenario = PopulationScenario::paper_year(config.population_scale);
-    let (rows, _) = scenario.generate_with_stats();
+    let pop = cache.population(&PopulationScenario::paper_year(config.population_scale));
+    let rows = &pop.rows;
     // At full scale (the default; ~5 s of compute) the sweep lands in the
     // paper's 5-6 MW band directly. Sub-scaled test populations inflate
     // their above-idle contribution to stay in-band.
-    let sweep = crate::pipeline::cluster_power_sweep(&rows, 0.0, spec::YEAR_S, config.dt_s);
+    let sweep = crate::pipeline::cluster_power_sweep(rows, 0.0, spec::YEAR_S, config.dt_s);
     let inflate = 1.0 / config.population_scale;
     let idle = spec::SYSTEM_IDLE_POWER_W;
     let cap = spec::TOTAL_NODES as f64 * spec::NODE_MAX_POWER_W;
@@ -186,6 +197,48 @@ pub fn run(config: &Config) -> Fig05Result {
         max_power_w: summit_analysis::stats::nanmax(it_total.values()),
         mean_power_w: summit_analysis::stats::nanmean(it_total.values()),
         it_energy_j: summit_analysis::pue::integrate_energy(&it_total).energy_j,
+    }
+}
+
+/// Registry adapter for the Figure 5 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig05"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Yearly Summit power/PUE trend with chiller and maintenance anchors"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("population_scale", Json::Num(s.max(0.002))),
+            ("dt_s", Json::Num(if s < 0.5 { 7200.0 } else { 600.0 })),
+            (
+                "maintenance_days",
+                Json::Arr(vec![Json::from(34.0), Json::from(41.0)]),
+            ),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig05", config)?;
+        let config = Config {
+            population_scale: cfg.f64("population_scale")?,
+            dt_s: cfg.f64("dt_s")?,
+            maintenance_days: cfg.opt_f64_pair("maintenance_days")?,
+        };
+        ensure_population_scale("fig05", config.population_scale)?;
+        if !(config.dt_s.is_finite() && config.dt_s > 0.0) {
+            return Err(ExperimentError::invalid(
+                "fig05",
+                format!("dt_s must be a positive step, got {}", config.dt_s),
+            ));
+        }
+        Ok(run_with(cache, &config).render())
     }
 }
 

@@ -7,6 +7,11 @@
 //! strongly correlated with class) while the energy ranges overlap
 //! broadly.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{
+    clamp_scale, ensure_population_scale, Cfg, Experiment, ExperimentError,
+};
+use crate::json::Json;
 use crate::pipeline::PopulationScenario;
 use crate::report::{joules, watts, Table};
 use serde::{Deserialize, Serialize};
@@ -75,10 +80,16 @@ fn overlap(a: (f64, f64), b: (f64, f64)) -> f64 {
     (hi - lo) / span
 }
 
-/// Runs the Figure 6 study.
+/// Runs the Figure 6 study against a private cache.
 pub fn run(config: &Config) -> Fig06Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 6 study, acquiring the population through `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig06Result {
     let _obs = summit_obs::span("summit_core_fig06");
-    let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
+    let pop = cache.population(&PopulationScenario::paper_year(config.population_scale));
+    let rows = &pop.rows;
     let mut classes = Vec::new();
     for class in 1..=5u8 {
         let pts: Vec<(f64, f64)> = rows
@@ -133,6 +144,48 @@ pub fn run(config: &Config) -> Fig06Result {
         mean_power_overlap: mean(&p_overlaps),
         mean_energy_overlap: mean(&e_overlaps),
         classes,
+    }
+}
+
+/// Registry adapter for the Figure 6 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig06"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Energy vs max-power KDE density per scheduling class"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("population_scale", Json::Num(s.max(0.002))),
+            ("grid", Json::Num(if s < 0.5 { 32.0 } else { 64.0 })),
+            (
+                "max_samples",
+                Json::Num(if s < 0.5 { 1000.0 } else { 4000.0 }),
+            ),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig06", config)?;
+        let config = Config {
+            population_scale: cfg.f64("population_scale")?,
+            grid: cfg.usize("grid")?,
+            max_samples: cfg.usize("max_samples")?,
+        };
+        ensure_population_scale("fig06", config.population_scale)?;
+        if config.grid == 0 || config.max_samples == 0 {
+            return Err(ExperimentError::invalid(
+                "fig06",
+                "grid and max_samples must be positive",
+            ));
+        }
+        Ok(run_with(cache, &config).render())
     }
 }
 

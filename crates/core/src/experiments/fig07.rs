@@ -8,6 +8,11 @@
 //! P80 walltime ~3 h, P80 max power 1.6 MW (max 5.6 MW); class 1 shows
 //! much larger max-mean variation.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{
+    clamp_scale, ensure_population_scale, Cfg, Experiment, ExperimentError,
+};
+use crate::json::Json;
 use crate::pipeline::PopulationScenario;
 use crate::report::{watts, Table};
 use serde::{Deserialize, Serialize};
@@ -122,13 +127,45 @@ fn class_cdfs(rows: &[summit_sim::jobstats::JobStatsRow], class: u8) -> ClassCdf
     }
 }
 
-/// Runs the Figure 7 study.
+/// Runs the Figure 7 study against a private cache.
 pub fn run(config: &Config) -> Fig07Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 7 study, acquiring the population through `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig07Result {
     let _obs = summit_obs::span("summit_core_fig07");
-    let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
+    let pop = cache.population(&PopulationScenario::paper_year(config.population_scale));
     Fig07Result {
-        class1: class_cdfs(&rows, 1),
-        class2: class_cdfs(&rows, 2),
+        class1: class_cdfs(&pop.rows, 1),
+        class2: class_cdfs(&pop.rows, 2),
+    }
+}
+
+/// Registry adapter for the Figure 7 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig07"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Leadership-job CDFs: node count, duration, mean/max power"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([("population_scale", Json::Num(s.max(0.01)))])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig07", config)?;
+        let config = Config {
+            population_scale: cfg.f64("population_scale")?,
+        };
+        ensure_population_scale("fig07", config.population_scale)?;
+        Ok(run_with(cache, &config).render())
     }
 }
 

@@ -5,6 +5,11 @@
 //! (different codes/kernels), domain-dominating applications, ~10 MW
 //! class-1 peaks, and wide energy variation driven by run time.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{
+    clamp_scale, ensure_population_scale, Cfg, Experiment, ExperimentError,
+};
+use crate::json::Json;
 use crate::pipeline::PopulationScenario;
 use crate::report::{joules, watts, Table};
 use serde::{Deserialize, Serialize};
@@ -51,14 +56,26 @@ pub struct Fig08Result {
     pub rows: Vec<DomainRow>,
 }
 
-/// Runs the Figure 8 study for one class panel.
-pub fn run(config: &Config) -> Fig08Result {
+/// Runs the Figure 8 study for one class panel against a private cache.
+pub fn run(config: &Config) -> Result<Fig08Result, ExperimentError> {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 8 study, acquiring the population through `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Result<Fig08Result, ExperimentError> {
     let _obs = summit_obs::span("summit_core_fig08");
-    assert!(
-        config.class == 1 || config.class == 2,
-        "the paper's Figure 8 shows classes 1 and 2"
-    );
-    let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
+    if config.class != 1 && config.class != 2 {
+        return Err(ExperimentError::invalid(
+            "fig08",
+            format!(
+                "the paper's Figure 8 shows classes 1 and 2, got class {}",
+                config.class
+            ),
+        ));
+    }
+    ensure_population_scale("fig08", config.population_scale)?;
+    let pop = cache.population(&PopulationScenario::paper_year(config.population_scale));
+    let rows = &pop.rows;
     let mut out = Vec::new();
     for domain in ScienceDomain::ALL {
         let sel: Vec<_> = rows
@@ -84,9 +101,39 @@ pub fn run(config: &Config) -> Fig08Result {
     }
     // Sort by job count descending (the paper orders axes by traffic).
     out.sort_by_key(|d| std::cmp::Reverse(d.jobs));
-    Fig08Result {
+    Ok(Fig08Result {
         class: config.class,
         rows: out,
+    })
+}
+
+/// Registry adapter for the Figure 8 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig08"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Job-level max power and energy by science domain (class 1/2 boxplots)"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("population_scale", Json::Num(s.max(0.03))),
+            ("class", Json::Num(1.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig08", config)?;
+        let config = Config {
+            population_scale: cfg.f64("population_scale")?,
+            class: cfg.u8("class")?,
+        };
+        Ok(run_with(cache, &config)?.render())
     }
 }
 
@@ -132,6 +179,7 @@ mod tests {
             population_scale: 0.03,
             class,
         })
+        .unwrap()
     }
 
     #[test]
@@ -184,11 +232,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "classes 1 and 2")]
-    fn rejects_other_classes() {
-        run(&Config {
+    fn rejects_other_classes_with_typed_error() {
+        let err = run(&Config {
             population_scale: 0.01,
             class: 5,
-        });
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, ExperimentError::InvalidConfig(m) if m.contains("classes 1 and 2")),
+            "unexpected error: {err}"
+        );
+        let err = run(&Config {
+            population_scale: 0.0,
+            class: 1,
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, ExperimentError::InvalidConfig(m) if m.contains("population_scale"))
+        );
     }
 }

@@ -6,6 +6,11 @@
 //! heavily use both at once (empty upper-right corner); the maximum plots
 //! spread further along the GPU axis.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{
+    clamp_scale, ensure_population_scale, Cfg, Experiment, ExperimentError,
+};
+use crate::json::Json;
 use crate::pipeline::PopulationScenario;
 use crate::report::{pct, watts, Table};
 use serde::{Deserialize, Serialize};
@@ -101,10 +106,16 @@ fn build_panel(
     })
 }
 
-/// Runs the Figure 9 study.
+/// Runs the Figure 9 study against a private cache.
 pub fn run(config: &Config) -> Fig09Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 9 study, acquiring the population through `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig09Result {
     let _obs = summit_obs::span("summit_core_fig09");
-    let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
+    let pop = cache.population(&PopulationScenario::paper_year(config.population_scale));
+    let rows = &pop.rows;
     let leadership: Vec<_> = rows.iter().filter(|r| r.job.class() <= 2).collect();
     let small: Vec<_> = rows.iter().filter(|r| r.job.class() >= 3).collect();
     let mut panels = Vec::new();
@@ -117,6 +128,46 @@ pub fn run(config: &Config) -> Fig09Result {
         }
     }
     Fig09Result { panels }
+}
+
+/// Registry adapter for the Figure 9 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig09"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Per-node CPU vs GPU power density by class group"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("population_scale", Json::Num(s.max(0.002))),
+            (
+                "max_samples",
+                Json::Num(if s < 0.5 { 800.0 } else { 4000.0 }),
+            ),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig09", config)?;
+        let config = Config {
+            population_scale: cfg.f64("population_scale")?,
+            max_samples: cfg.usize("max_samples")?,
+        };
+        ensure_population_scale("fig09", config.population_scale)?;
+        if config.max_samples == 0 {
+            return Err(ExperimentError::invalid(
+                "fig09",
+                "max_samples must be positive",
+            ));
+        }
+        Ok(run_with(cache, &config).render())
+    }
 }
 
 impl Fig09Result {

@@ -8,6 +8,11 @@
 //! (200 s) across classes; amplitudes skew low with stair-stepping from
 //! popular node counts.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{
+    clamp_scale, ensure_population_scale, Cfg, Experiment, ExperimentError,
+};
+use crate::json::Json;
 use crate::pipeline::PopulationScenario;
 use crate::report::{pct, Table};
 use rayon::prelude::*;
@@ -80,14 +85,22 @@ struct JobDyn {
 
 /// Runs the Figure 10 study.
 pub fn run(config: &Config) -> Fig10Result {
-    let _obs = summit_obs::span("summit_core_fig10");
-    let scenario = PopulationScenario::paper_year(config.population_scale);
-    let jobs = scenario.generate();
-    let pm = PowerModel::new(scenario.seed);
+    run_with(&ScenarioCache::new(), config)
+}
 
-    let per_job: Vec<JobDyn> = jobs
+/// Runs the Figure 10 study, acquiring the population through `cache`.
+/// The cached rows carry their jobs and power model, so the replay uses
+/// the exact job stream `PopulationScenario::generate` would produce.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig10Result {
+    let _obs = summit_obs::span("summit_core_fig10");
+    let pop = cache.population(&PopulationScenario::paper_year(config.population_scale));
+    let pm: PowerModel = pop.power_model;
+
+    let per_job: Vec<JobDyn> = pop
+        .rows
         .par_iter()
-        .map(|job| {
+        .map(|row| {
+            let job = &row.job;
             let series = job_power_series(job, &pm, config.dt_s);
             let edges = detect_edges_for_job(&series, job.record.node_count as usize);
             let (freq, amp) = if edges.is_empty() {
@@ -154,6 +167,43 @@ pub fn run(config: &Config) -> Fig10Result {
     Fig10Result {
         classes,
         edge_free_fraction: edge_free,
+    }
+}
+
+/// Registry adapter for the Figure 10 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig10"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Intra-job power dynamics: edges, durations, dominant frequencies"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("population_scale", Json::Num((0.03 * s).clamp(0.001, 0.03))),
+            ("dt_s", Json::Num(10.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig10", config)?;
+        let config = Config {
+            population_scale: cfg.f64("population_scale")?,
+            dt_s: cfg.f64("dt_s")?,
+        };
+        ensure_population_scale("fig10", config.population_scale)?;
+        if !(config.dt_s.is_finite() && config.dt_s > 0.0) {
+            return Err(ExperimentError::invalid(
+                "fig10",
+                format!("dt_s must be a positive step, got {}", config.dt_s),
+            ));
+        }
+        Ok(run_with(cache, &config).render())
     }
 }
 

@@ -6,9 +6,13 @@
 //! PUE coincides with the largest swings; transitions complete within
 //! tens of seconds; behaviour is similar across magnitudes.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{clamp_scale, Cfg, Experiment, ExperimentError};
+use crate::json::Json;
 use crate::pipeline::{run_burst_schedule, summer_t0, Burst, DynamicsRun};
 use crate::report::{pct, watts, Table};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use summit_analysis::correlation::pearson;
 use summit_analysis::edges::{detect_edges, Edge, EdgeKind};
 use summit_analysis::snapshot::{superimpose, Superposition};
@@ -45,8 +49,33 @@ impl Default for Config {
 /// bursts for a target amplitude.
 pub const BURST_W_PER_NODE: f64 = 1500.0;
 
-/// Builds the burst schedule and runs the engine; shared with Figure 12.
+/// Builds the burst schedule and runs the engine against a private
+/// cache; shared with Figure 12.
 pub fn burst_run(config: &Config) -> (DynamicsRun, Vec<Edge>) {
+    let (run, edges) = burst_run_with(&ScenarioCache::new(), config);
+    ((*run).clone(), edges)
+}
+
+/// Builds the burst schedule and acquires the engine run through
+/// `cache`, so Figures 11 and 12 with the same burst config share one
+/// engine sweep. Edge detection is cheap and re-derived from the cached
+/// run.
+pub fn burst_run_with(cache: &ScenarioCache, config: &Config) -> (Arc<DynamicsRun>, Vec<Edge>) {
+    let run = cache.dynamics(&format!("fig11 bursts {config:?}"), || engine_run(config));
+    // Detect edges on the 10 s sensor power series, as the paper does.
+    let power10 = run.power_series().downsample_mean(10);
+    let min_mw = config
+        .amplitudes_mw
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    let threshold = (0.45 * min_mw * 1e6).max(1e4);
+    let edges = detect_edges(&power10, threshold);
+    (run, edges)
+}
+
+/// The raw engine sweep behind [`burst_run`].
+fn engine_run(config: &Config) -> DynamicsRun {
     let nodes_avail = (config.cabinets * 18) as u32;
     let mut bursts = Vec::new();
     let mut at = 120.0;
@@ -71,17 +100,7 @@ pub fn burst_run(config: &Config) -> (DynamicsRun, Vec<Edge>) {
     } else {
         EngineConfig::small(config.cabinets)
     };
-    let run = run_burst_schedule(engine_cfg, summer_t0(), duration, &bursts);
-    // Detect edges on the 10 s sensor power series, as the paper does.
-    let power10 = run.power_series().downsample_mean(10);
-    let min_mw = config
-        .amplitudes_mw
-        .iter()
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let threshold = (0.45 * min_mw * 1e6).max(1e4);
-    let edges = detect_edges(&power10, threshold);
-    (run, edges)
+    run_burst_schedule(engine_cfg, summer_t0(), duration, &bursts)
 }
 
 /// One amplitude class summary.
@@ -114,10 +133,15 @@ pub struct Fig11Result {
     pub pue_at_baseline: f64,
 }
 
-/// Runs the Figure 11 study.
+/// Runs the Figure 11 study against a private cache.
 pub fn run(config: &Config) -> Fig11Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 11 study, acquiring the engine run through `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig11Result {
     let _obs = summit_obs::span("summit_core_fig11");
-    let (run, edges) = burst_run(config);
+    let (run, edges) = burst_run_with(cache, config);
     let power10 = run.power_series().downsample_mean(10);
     let pue10 = run.pue_series().downsample_mean(10);
 
@@ -183,6 +207,103 @@ pub fn run(config: &Config) -> Fig11Result {
         classes,
         pue_at_peak,
         pue_at_baseline,
+    }
+}
+
+/// The default burst schedule at `scale`, as JSON (shared with the
+/// Figure 12 registry adapter so the two studies hit the same cached
+/// engine run).
+pub(crate) fn default_burst_json(scale: f64) -> Json {
+    let s = clamp_scale(scale);
+    if s < 0.5 {
+        // 12 cabinets = 216 nodes, enough for ~0.3 MW swings in seconds.
+        Json::obj([
+            ("cabinets", Json::Num(((257.0 * s) as usize).max(12) as f64)),
+            (
+                "amplitudes_mw",
+                Json::Arr(vec![Json::from(0.15), Json::from(0.3)]),
+            ),
+            ("repeats", Json::Num(2.0)),
+            ("burst_duration_s", Json::Num(120.0)),
+            ("spacing_s", Json::Num(420.0)),
+        ])
+    } else {
+        let d = Config::default();
+        Json::obj([
+            ("cabinets", Json::from(d.cabinets)),
+            (
+                "amplitudes_mw",
+                Json::Arr(d.amplitudes_mw.iter().map(|&m| Json::from(m)).collect()),
+            ),
+            ("repeats", Json::from(d.repeats)),
+            ("burst_duration_s", Json::Num(d.burst_duration_s)),
+            ("spacing_s", Json::Num(d.spacing_s)),
+        ])
+    }
+}
+
+/// Parses and validates a burst [`Config`] from a JSON config object
+/// (shared with the Figure 12 registry adapter).
+pub(crate) fn burst_config_from(cfg: &Cfg<'_>) -> Result<Config, ExperimentError> {
+    let config = Config {
+        cabinets: cfg.usize("cabinets")?,
+        amplitudes_mw: cfg.f64_list("amplitudes_mw")?,
+        repeats: cfg.usize("repeats")?,
+        burst_duration_s: cfg.f64("burst_duration_s")?,
+        spacing_s: cfg.f64("spacing_s")?,
+    };
+    let name = cfg.experiment();
+    if config.cabinets == 0 || config.repeats == 0 {
+        return Err(ExperimentError::invalid(
+            name,
+            "cabinets and repeats must be positive",
+        ));
+    }
+    if config.amplitudes_mw.is_empty()
+        || config
+            .amplitudes_mw
+            .iter()
+            .any(|&m| !(m.is_finite() && m > 0.0))
+    {
+        return Err(ExperimentError::invalid(
+            name,
+            "amplitudes_mw must be a non-empty list of positive MW values",
+        ));
+    }
+    for (key, v) in [
+        ("burst_duration_s", config.burst_duration_s),
+        ("spacing_s", config.spacing_s),
+    ] {
+        if !(v.is_finite() && v > 0.0) {
+            return Err(ExperimentError::invalid(
+                name,
+                format!("`{key}` must be a positive duration, got {v}"),
+            ));
+        }
+    }
+    Ok(config)
+}
+
+/// Registry adapter for the Figure 11 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig11"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Superimposed rising power edges per amplitude class with PUE response"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        default_burst_json(scale)
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig11", config)?;
+        let config = burst_config_from(&cfg)?;
+        Ok(run_with(cache, &config).render())
     }
 }
 

@@ -8,7 +8,10 @@
 //! falling edge is much slower than the ramp after a rising edge; PUE
 //! stays inversely proportional with oscillations after large falls.
 
-use crate::experiments::fig11::{burst_run, Config as BurstConfig};
+use crate::cache::ScenarioCache;
+use crate::experiments::fig11::{self, burst_run_with, Config as BurstConfig};
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::json::Json;
 use crate::report::Table;
 use serde::{Deserialize, Serialize};
 use summit_analysis::edges::EdgeKind;
@@ -100,10 +103,16 @@ fn panel(run: &crate::pipeline::DynamicsRun, times: &[f64], kind: EdgeKind) -> R
     }
 }
 
-/// Runs the Figure 12 study.
+/// Runs the Figure 12 study against a private cache.
 pub fn run(config: &Config) -> Fig12Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 12 study, acquiring the engine run through `cache`
+/// (the same cached run Figure 11 uses for an identical burst config).
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig12Result {
     let _obs = summit_obs::span("summit_core_fig12");
-    let (run, edges) = burst_run(&config.burst);
+    let (run, edges) = burst_run_with(cache, &config.burst);
     let rising_times: Vec<f64> = edges
         .iter()
         .filter(|e| e.kind == EdgeKind::Rising)
@@ -141,6 +150,37 @@ pub fn run(config: &Config) -> Fig12Result {
         cooling_half_response_s: half_t,
         gpu_swing_c: gpu_swing,
         cpu_swing_c: cpu_swing,
+    }
+}
+
+/// Registry adapter for the Figure 12 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig12"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Thermal and cooling response around rising/falling power edges"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        // Reuses Figure 11's burst schedule so a suite run shares one
+        // cached engine sweep between the two studies.
+        Json::obj([("burst", fig11::default_burst_json(scale))])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig12", config)?;
+        let burst_json = config.get("burst").ok_or_else(|| {
+            ExperimentError::invalid(cfg.experiment(), "missing `burst` config object")
+        })?;
+        let burst_cfg = Cfg::new("fig12", burst_json)?;
+        let config = Config {
+            burst: fig11::burst_config_from(&burst_cfg)?,
+        };
+        Ok(run_with(cache, &config).render())
     }
 }
 

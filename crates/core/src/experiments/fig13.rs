@@ -7,7 +7,11 @@
 //! correlation between internal micro-controller warnings and driver
 //! error handling exceptions (soft errors as early diagnostics).
 
-use crate::experiments::table4::{generate_events, Config as GenConfig};
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::experiments::table4;
+use crate::json::Json;
+use crate::pipeline::FailureScenario;
 use crate::report::Table;
 use serde::{Deserialize, Serialize};
 use summit_analysis::correlation::CorrelationMatrix;
@@ -60,14 +64,20 @@ pub struct Fig13Result {
     pub total_pairs: usize,
 }
 
-/// Runs the Figure 13 analysis.
+/// Runs the Figure 13 analysis against a private cache.
 pub fn run(config: &Config) -> Fig13Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 13 analysis, acquiring the failure log through
+/// `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig13Result {
     let _obs = summit_obs::span("summit_core_fig13");
-    let events = generate_events(&GenConfig {
+    let art = cache.failures(&FailureScenario {
         weeks: config.weeks,
         seed: config.seed,
     });
-    let matrix = node_count_matrix(&events, TOTAL_NODES);
+    let matrix = node_count_matrix(&art.events, TOTAL_NODES);
     let corr = CorrelationMatrix::compute(&matrix, config.alpha);
     let pairs = corr
         .significant_pairs()
@@ -83,6 +93,45 @@ pub fn run(config: &Config) -> Fig13Result {
         pairs,
         corrected_alpha: corr.corrected_alpha,
         total_pairs: corr.pairs.len(),
+    }
+}
+
+/// Registry adapter for the Figure 13 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Failure co-occurrence correlations (Bonferroni-corrected)"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        Json::obj([
+            ("weeks", Json::Num(table4::default_weeks(scale))),
+            ("alpha", Json::Num(0.05)),
+            ("seed", Json::Num(2020.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig13", config)?;
+        let scenario = table4::scenario_from(&cfg)?;
+        let alpha = cfg.f64("alpha")?;
+        if !(alpha.is_finite() && alpha > 0.0 && alpha < 1.0) {
+            return Err(ExperimentError::invalid(
+                "fig13",
+                format!("alpha must be a significance level in (0, 1), got {alpha}"),
+            ));
+        }
+        let config = Config {
+            weeks: scenario.weeks,
+            alpha,
+            seed: scenario.seed,
+        };
+        Ok(run_with(cache, &config).render())
     }
 }
 

@@ -6,14 +6,14 @@
 //! belongs to" — the top projects reach ~0.2 failures/node-hour while the
 //! long tail sits orders of magnitude lower.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::experiments::table4;
+use crate::json::Json;
+use crate::pipeline::FailureScenario;
 use crate::report::{bar, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use summit_sim::failures::FailureModel;
-use summit_sim::jobs::JobGenerator;
-use summit_sim::spec::{TOTAL_NODES, YEAR_S};
 use summit_telemetry::records::XidErrorKind;
 
 /// Experiment configuration.
@@ -66,27 +66,30 @@ pub struct Fig14Result {
     pub top_to_median_ratio: f64,
 }
 
-/// Runs the Figure 14 analysis.
+/// Runs the Figure 14 analysis against a private cache.
 pub fn run(config: &Config) -> Fig14Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 14 analysis, acquiring the failure log (jobs plus
+/// events) through `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig14Result {
     let _obs = summit_obs::span("summit_core_fig14");
-    let span = config.weeks * 7.0 * 86_400.0;
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut gen = JobGenerator::new();
-    let n_jobs = (840_000.0 * span / YEAR_S) as usize;
-    let jobs = gen.generate_population(&mut rng, n_jobs, 0.0, span);
-    let model = FailureModel::paper();
-    let events = model.generate(&mut rng, &jobs, TOTAL_NODES, 0.0, span);
+    let art = cache.failures(&FailureScenario {
+        weeks: config.weeks,
+        seed: config.seed,
+    });
 
     // Project node-hours and allocation -> project lookup.
     let mut node_hours: HashMap<String, f64> = HashMap::new();
     let mut by_alloc: HashMap<u64, String> = HashMap::new();
-    for j in &jobs {
+    for j in &art.jobs {
         *node_hours.entry(j.record.project.clone()).or_default() += j.record.node_hours();
         by_alloc.insert(j.record.allocation_id.0, j.record.project.clone());
     }
 
     let mut all_counts: HashMap<String, Vec<u64>> = HashMap::new();
-    for e in &events {
+    for e in &art.events {
         let Some(alloc) = e.allocation_id else {
             continue;
         };
@@ -159,6 +162,51 @@ pub fn run(config: &Config) -> Fig14Result {
         all_failures,
         hardware_failures,
         top_to_median_ratio,
+    }
+}
+
+/// Registry adapter for the Figure 14 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig14"
+    }
+
+    fn summary(&self) -> &'static str {
+        "GPU failures per node-hour by project (all vs hardware-only)"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = crate::experiments::registry::clamp_scale(scale);
+        Json::obj([
+            ("weeks", Json::Num(table4::default_weeks(scale))),
+            ("top", Json::Num(15.0)),
+            (
+                "min_node_hours",
+                Json::Num(if s < 0.5 { 500.0 } else { 2000.0 }),
+            ),
+            ("seed", Json::Num(2020.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig14", config)?;
+        let scenario = table4::scenario_from(&cfg)?;
+        let min_node_hours = cfg.f64("min_node_hours")?;
+        if !(min_node_hours.is_finite() && min_node_hours >= 0.0) {
+            return Err(ExperimentError::invalid(
+                "fig14",
+                format!("min_node_hours must be a non-negative floor, got {min_node_hours}"),
+            ));
+        }
+        let config = Config {
+            weeks: scenario.weeks,
+            top: cfg.usize("top")?,
+            min_node_hours,
+            seed: scenario.seed,
+        };
+        Ok(run_with(cache, &config).render())
     }
 }
 

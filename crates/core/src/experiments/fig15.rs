@@ -8,7 +8,11 @@
 //! warm up"); the only 60 °C+ failures were 1.4 % of NVLINK and 5.2 % of
 //! off-the-bus errors; the hottest double-bit error was 46.1 °C.
 
-use crate::experiments::table4::{generate_events, Config as GenConfig};
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::experiments::table4;
+use crate::json::Json;
+use crate::pipeline::FailureScenario;
 use crate::report::{pct, Table};
 use serde::{Deserialize, Serialize};
 use summit_analysis::zscore::ExtremitySummary;
@@ -57,18 +61,24 @@ pub struct Fig15Result {
     pub removed_super_offender: usize,
 }
 
-/// Runs the Figure 15 analysis.
+/// Runs the Figure 15 analysis against a private cache.
 pub fn run(config: &Config) -> Fig15Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 15 analysis, acquiring the failure log through
+/// `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig15Result {
     let _obs = summit_obs::span("summit_core_fig15");
-    let events = generate_events(&GenConfig {
+    let art = cache.failures(&FailureScenario {
         weeks: config.weeks,
         seed: config.seed,
     });
     // "We removed the data for a super-offender node accounting for 97 %
     // of all the NVLink errors."
     let offender = FailureModel::paper().super_offender();
-    let removed = events.iter().filter(|e| e.node == offender).count();
-    let kept: Vec<_> = events.iter().filter(|e| e.node != offender).collect();
+    let removed = art.events.iter().filter(|e| e.node == offender).count();
+    let kept: Vec<_> = art.events.iter().filter(|e| e.node != offender).collect();
 
     let mut kinds = Vec::new();
     for kind in XidErrorKind::ALL {
@@ -100,6 +110,36 @@ pub fn run(config: &Config) -> Fig15Result {
     Fig15Result {
         kinds,
         removed_super_offender: removed,
+    }
+}
+
+/// Registry adapter for the Figure 15 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig15"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Thermal extremity (z-scores) of GPU failures per kind"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        Json::obj([
+            ("weeks", Json::Num(table4::default_weeks(scale))),
+            ("seed", Json::Num(2020.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig15", config)?;
+        let scenario = table4::scenario_from(&cfg)?;
+        let config = Config {
+            weeks: scenario.weeks,
+            seed: scenario.seed,
+        };
+        Ok(run_with(cache, &config).render())
     }
 }
 

@@ -6,7 +6,11 @@
 //! retirement events are unexpectedly elevated on GPU 4; off-the-bus
 //! failures cluster on the CPU1-side GPUs.
 
-use crate::experiments::table4::{generate_events, Config as GenConfig};
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::experiments::table4;
+use crate::json::Json;
+use crate::pipeline::FailureScenario;
 use crate::report::{bar, Table};
 use serde::{Deserialize, Serialize};
 use summit_telemetry::records::XidErrorKind;
@@ -67,10 +71,16 @@ pub const PANEL_KINDS: [XidErrorKind; 4] = [
     XidErrorKind::FallenOffTheBus,
 ];
 
-/// Runs the Figure 16 analysis.
+/// Runs the Figure 16 analysis against a private cache.
 pub fn run(config: &Config) -> Fig16Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Figure 16 analysis, acquiring the failure log through
+/// `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Fig16Result {
     let _obs = summit_obs::span("summit_core_fig16");
-    let events = generate_events(&GenConfig {
+    let art = cache.failures(&FailureScenario {
         weeks: config.weeks,
         seed: config.seed,
     });
@@ -85,7 +95,7 @@ pub fn run(config: &Config) -> Fig16Result {
         kind: XidErrorKind::MemoryPageFault, // placeholder tag for "all"
         counts: [0; 6],
     };
-    for e in &events {
+    for e in &art.events {
         all.counts[e.slot.index()] += 1;
         if let Some(p) = panels.iter_mut().find(|p| p.kind == e.kind) {
             p.counts[e.slot.index()] += 1;
@@ -94,6 +104,36 @@ pub fn run(config: &Config) -> Fig16Result {
     Fig16Result {
         panels,
         all_kinds: all,
+    }
+}
+
+/// Registry adapter for the Figure 16 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig16"
+    }
+
+    fn summary(&self) -> &'static str {
+        "GPU failure counts by component placement (slot 0-5)"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        Json::obj([
+            ("weeks", Json::Num(table4::default_weeks(scale))),
+            ("seed", Json::Num(2020.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig16", config)?;
+        let scenario = table4::scenario_from(&cfg)?;
+        let config = Config {
+            weeks: scenario.weeks,
+            seed: scenario.seed,
+        };
+        Ok(run_with(cache, &config).render())
     }
 }
 

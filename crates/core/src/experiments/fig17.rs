@@ -12,6 +12,9 @@
 //! 60 °C; heat spreads evenly across the floor with slight spatial
 //! locality; one cabinet has no telemetry (bright green).
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{clamp_scale, Cfg, Experiment, ExperimentError};
+use crate::json::Json;
 use crate::report::{heatmap, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -281,6 +284,74 @@ pub fn run(config: &Config) -> Fig17Result {
         frac_over_60c: frac_over_60,
         transition_s,
         missing_cabinets: missing,
+    }
+}
+
+/// Registry adapter for the Figure 17 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig17"
+    }
+
+    fn summary(&self) -> &'static str {
+        "GPU power/thermal variability during one large compute-intense job"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        if s < 0.5 {
+            Json::obj([
+                ("cabinets", Json::Num(12.0)),
+                ("job_duration_s", Json::Num(300.0)),
+                ("stride_s", Json::Num(10.0)),
+                ("missing_cabinet", Json::Num(5.0)),
+                ("seed", Json::Num(2020.0)),
+            ])
+        } else {
+            let d = Config::default();
+            Json::obj([
+                ("cabinets", Json::from(d.cabinets)),
+                ("job_duration_s", Json::Num(d.job_duration_s)),
+                ("stride_s", Json::Num(d.stride_s)),
+                (
+                    "missing_cabinet",
+                    d.missing_cabinet
+                        .map_or(Json::Null, |c| Json::Num(f64::from(c))),
+                ),
+                ("seed", Json::Num(d.seed as f64)),
+            ])
+        }
+    }
+
+    fn run(&self, _cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("fig17", config)?;
+        let config = Config {
+            cabinets: cfg.usize("cabinets")?,
+            job_duration_s: cfg.f64("job_duration_s")?,
+            stride_s: cfg.f64("stride_s")?,
+            missing_cabinet: cfg.opt_u16("missing_cabinet")?,
+            seed: cfg.u64("seed")?,
+        };
+        if config.cabinets == 0 {
+            return Err(ExperimentError::invalid(
+                "fig17",
+                "cabinets must be positive",
+            ));
+        }
+        for (key, v) in [
+            ("job_duration_s", config.job_duration_s),
+            ("stride_s", config.stride_s),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ExperimentError::invalid(
+                    "fig17",
+                    format!("`{key}` must be a positive duration, got {v}"),
+                ));
+            }
+        }
+        Ok(run(&config).render())
     }
 }
 

@@ -1,10 +1,22 @@
-//! One module per table/figure of the paper's evaluation.
+//! One module per table/figure of the paper's evaluation, plus the
+//! unified registry that drives them all.
 //!
 //! Each module exposes a `Config` (with a `scale`/size knob so the same
 //! experiment runs in CI seconds or at bench fidelity), a `run` function
 //! returning a typed result, and a `render` on the result that prints the
 //! same rows/series the paper reports, annotated with the paper's own
 //! numbers for side-by-side comparison (recorded in EXPERIMENTS.md).
+//!
+//! Each module also registers a `Study` adapter in [`registry`]; the
+//! `experiments` driver binary (`cargo run -p summit-bench --bin
+//! experiments`) lists and runs the whole suite through one shared
+//! [`crate::cache::ScenarioCache`]. Cache-heavy modules expose a
+//! `run_with(cache, config)` variant; their plain `run(config)` keeps
+//! the historical behavior by running against a private cache.
+
+pub mod registry;
+
+pub use registry::{Experiment, ExperimentError, REGISTRY};
 
 pub mod early_warning;
 pub mod fig04;

@@ -8,6 +8,11 @@
 //! power-capped admission policy and measures the trade: peak/p99 cluster
 //! power shed vs added queue wait, at several cap levels.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{
+    clamp_scale, ensure_population_scale, Cfg, Experiment, ExperimentError,
+};
+use crate::json::Json;
 use crate::pipeline::PopulationScenario;
 use crate::report::{pct, watts, Table};
 use serde::{Deserialize, Serialize};
@@ -198,19 +203,78 @@ pub struct PowerAwareResult {
     pub outcomes: Vec<CapOutcome>,
 }
 
-/// Runs the power-aware scheduling sweep.
+/// Runs the power-aware scheduling sweep against a private cache.
 pub fn run(config: &Config) -> PowerAwareResult {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the power-aware scheduling sweep, acquiring the population
+/// through `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> PowerAwareResult {
     let _obs = summit_obs::span("summit_core_power_aware");
-    let (rows, _) = PopulationScenario::paper_year(config.population_scale).generate_with_stats();
+    let pop = cache.population(&PopulationScenario::paper_year(config.population_scale));
     // Sub-scaled populations under-fill the machine; horizon covers the
     // arrival span plus drain time.
     let horizon = spec::YEAR_S + 48.0 * 3600.0;
     let outcomes = config
         .caps_w
         .iter()
-        .map(|&cap| simulate_cap(&rows, cap, config.dt_s, horizon))
+        .map(|&cap| simulate_cap(&pop.rows, cap, config.dt_s, horizon))
         .collect();
     PowerAwareResult { outcomes }
+}
+
+/// Registry adapter for the power-aware scheduling study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "power_aware"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Extension: power-capped admission — peak shed vs queue wait"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        // `null` encodes "no cap" (infinity) — JSON has no infinity
+        // literal.
+        let caps: Vec<Json> = if s < 0.5 {
+            vec![Json::Null, Json::from(8.0e6)]
+        } else {
+            vec![
+                Json::Null,
+                Json::from(10.0e6),
+                Json::from(9.0e6),
+                Json::from(8.0e6),
+                Json::from(7.0e6),
+                Json::from(6.0e6),
+            ]
+        };
+        Json::obj([
+            ("population_scale", Json::Num(s.max(0.005))),
+            ("caps_w", Json::Arr(caps)),
+            ("dt_s", Json::Num(if s < 0.5 { 3600.0 } else { 600.0 })),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("power_aware", config)?;
+        let config = Config {
+            population_scale: cfg.f64("population_scale")?,
+            caps_w: cfg.f64_list("caps_w")?,
+            dt_s: cfg.f64("dt_s")?,
+        };
+        ensure_population_scale("power_aware", config.population_scale)?;
+        if !(config.dt_s.is_finite() && config.dt_s > 0.0) {
+            return Err(ExperimentError::invalid(
+                "power_aware",
+                format!("dt_s must be a positive tick, got {}", config.dt_s),
+            ));
+        }
+        Ok(run_with(cache, &config).render())
+    }
 }
 
 impl PowerAwareResult {

@@ -8,6 +8,9 @@
 //! lossless archive -> 10 s coarsening) over a measured window on a
 //! configurable floor and extrapolates to the full machine-year.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{clamp_scale, Cfg, Experiment, ExperimentError};
+use crate::json::Json;
 use crate::report::{eng, Table};
 use serde::{Deserialize, Serialize};
 use summit_sim::engine::{Engine, EngineConfig, StepOptions};
@@ -81,8 +84,20 @@ pub struct Table2Result {
 /// [`summit_obs`] registry for the duration so [`Table2Result::obs`]
 /// holds this run's stage timings in isolation; the snapshot is also
 /// absorbed into the caller's current registry.
-pub fn run(config: &Config) -> Table2Result {
-    assert!(config.duration_s >= 60 && config.duration_s.is_multiple_of(60));
+///
+/// Table 2 is a *measurement* of the live pipeline (throughput, wall
+/// time), so unlike the scenario-backed studies its acquisition is
+/// never cached — re-running it is the point.
+pub fn run(config: &Config) -> Result<Table2Result, ExperimentError> {
+    if config.duration_s < 60 || !config.duration_s.is_multiple_of(60) {
+        return Err(ExperimentError::invalid(
+            "table2",
+            format!(
+                "duration_s must be a multiple of 60 and at least 60, got {}",
+                config.duration_s
+            ),
+        ));
+    }
     let parent = summit_obs::current();
     let registry = summit_obs::registry::Registry::new();
     let mut result = {
@@ -189,7 +204,39 @@ pub fn run(config: &Config) -> Table2Result {
     };
     result.obs = registry.snapshot();
     parent.absorb(&result.obs);
-    result
+    Ok(result)
+}
+
+/// Registry adapter for the Table 2 measurement.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "table2"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Telemetry data specification: rows, footprint and ingest rates"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("cabinets", Json::from(((257.0 * s) as usize).max(2))),
+            ("duration_s", Json::from(60 * ((5.0 * s) as usize).max(1))),
+            ("producers", Json::from(((16.0 * s) as usize).clamp(2, 16))),
+        ])
+    }
+
+    fn run(&self, _cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("table2", config)?;
+        let config = Config {
+            cabinets: cfg.usize("cabinets")?,
+            duration_s: cfg.usize("duration_s")?,
+            producers: cfg.usize("producers")?,
+        };
+        Ok(run(&config)?.render())
+    }
 }
 
 fn merge_stats(
@@ -304,7 +351,7 @@ mod tests {
             duration_s: 60,
             producers: 4,
         };
-        let r = run(&cfg);
+        let r = run(&cfg).unwrap();
         assert_eq!(r.nodes, 54);
         assert_eq!(r.frames, 54 * 60);
         assert_eq!(r.metrics, r.frames * METRIC_COUNT as u64);
@@ -343,12 +390,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn rejects_non_minute_window() {
-        run(&Config {
+        let err = run(&Config {
             cabinets: 1,
             duration_s: 90,
             producers: 1,
-        });
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, ExperimentError::InvalidConfig(m) if m.contains("duration_s")),
+            "unexpected error: {err}"
+        );
     }
 }

@@ -5,14 +5,15 @@
 //! processing (22,649); 96.9 % of the 8,736 NVLINK errors came from one
 //! node; driver error handling exceptions were 100 % on one node.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::json::Json;
+use crate::pipeline::FailureScenario;
 use crate::report::{pct, Table};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use summit_sim::failures::{
-    count_by_kind, max_node_share, paper_annual_count, paper_node_concentration, FailureModel,
+    count_by_kind, max_node_share, paper_annual_count, paper_node_concentration,
 };
-use summit_sim::jobs::JobGenerator;
 use summit_sim::spec::{TOTAL_NODES, YEAR_S};
 use summit_telemetry::records::{XidErrorKind, XidEvent};
 
@@ -62,23 +63,34 @@ pub struct Table4Result {
     pub paper_total: u64,
 }
 
-/// Generates a failure log for `weeks` of paper-rate traffic.
-pub fn generate_events(config: &Config) -> Vec<XidEvent> {
-    let span = config.weeks * 7.0 * 86_400.0;
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut gen = JobGenerator::new();
-    let n_jobs = (840_000.0 * span / YEAR_S) as usize;
-    let jobs = gen.generate_population(&mut rng, n_jobs, 0.0, span);
-    let model = FailureModel::paper();
-    model.generate(&mut rng, &jobs, TOTAL_NODES, 0.0, span)
+/// The cacheable failure scenario behind a Table 4 config (also shared
+/// by Figures 13-16 and the early-warning study).
+pub fn scenario(config: &Config) -> FailureScenario {
+    FailureScenario {
+        weeks: config.weeks,
+        seed: config.seed,
+    }
 }
 
-/// Runs the Table 4 reproduction.
+/// Generates a failure log for `weeks` of paper-rate traffic
+/// (compatibility wrapper over [`FailureScenario::generate`]).
+pub fn generate_events(config: &Config) -> Vec<XidEvent> {
+    scenario(config).generate().events
+}
+
+/// Runs the Table 4 reproduction against a private cache.
 pub fn run(config: &Config) -> Table4Result {
+    run_with(&ScenarioCache::new(), config)
+}
+
+/// Runs the Table 4 reproduction, acquiring the failure log through
+/// `cache`.
+pub fn run_with(cache: &ScenarioCache, config: &Config) -> Table4Result {
     let _obs = summit_obs::span("summit_core_table4");
-    let events = generate_events(config);
-    let counts = count_by_kind(&events);
-    let shares = max_node_share(&events, TOTAL_NODES);
+    let art = cache.failures(&scenario(config));
+    let events = &art.events;
+    let counts = count_by_kind(events);
+    let shares = max_node_share(events, TOTAL_NODES);
     let inflate = YEAR_S / (config.weeks * 7.0 * 86_400.0);
     let rows: Vec<KindRow> = XidErrorKind::ALL
         .iter()
@@ -96,6 +108,60 @@ pub fn run(config: &Config) -> Table4Result {
         rows,
         total_annual,
         paper_total: 251_859,
+    }
+}
+
+/// The failure family's default observation span at `scale` (weeks).
+/// Every failure study (Table 4, Figures 13-16, early warning) uses the
+/// same span and the paper seed, so a suite run generates one failure
+/// log and shares it through the cache.
+pub(crate) fn default_weeks(scale: f64) -> f64 {
+    (52.3 * crate::experiments::registry::clamp_scale(scale)).max(8.0)
+}
+
+/// Parses and validates the shared `{weeks, seed}` scenario fields.
+pub(crate) fn scenario_from(cfg: &Cfg<'_>) -> Result<FailureScenario, ExperimentError> {
+    let scenario = FailureScenario {
+        weeks: cfg.f64("weeks")?,
+        seed: cfg.u64("seed")?,
+    };
+    if scenario.weeks.is_finite() && scenario.weeks > 0.0 && scenario.weeks <= 520.0 {
+        Ok(scenario)
+    } else {
+        Err(ExperimentError::invalid(
+            cfg.experiment(),
+            format!("weeks must be a span in (0, 520], got {}", scenario.weeks),
+        ))
+    }
+}
+
+/// Registry adapter for the Table 4 study.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "table4"
+    }
+
+    fn summary(&self) -> &'static str {
+        "GPU failure composition and per-node concentration (annualized)"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        Json::obj([
+            ("weeks", Json::Num(default_weeks(scale))),
+            ("seed", Json::Num(2020.0)),
+        ])
+    }
+
+    fn run(&self, cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("table4", config)?;
+        let scenario = scenario_from(&cfg)?;
+        let config = Config {
+            weeks: scenario.weeks,
+            seed: scenario.seed,
+        };
+        Ok(run_with(cache, &config).render())
     }
 }
 

@@ -3,8 +3,34 @@
 //! These are configuration tables; the reproduction prints the constants
 //! the simulator is built from so they can be diffed against the paper.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{Cfg, Experiment, ExperimentError};
+use crate::json::Json;
 use crate::report::Table;
 use summit_sim::spec;
+
+/// Registry adapter for the specification tables (Tables 1 and 3).
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "tables"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Tables 1 and 3: system specification and scheduling classes"
+    }
+
+    fn default_config(&self, _scale: f64) -> Json {
+        // Constants — nothing to scale.
+        Json::obj([])
+    }
+
+    fn run(&self, _cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        Cfg::new("tables", config)?;
+        Ok(format!("{}\n{}", render_table1(), render_table3()))
+    }
+}
 
 /// Renders Table 1 (Summit system specification).
 pub fn render_table1() -> String {

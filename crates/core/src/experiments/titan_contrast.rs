@@ -10,6 +10,10 @@
 //! the analysis toolkit *would have detected* Titan-style overheating had
 //! it been present.
 
+use crate::cache::ScenarioCache;
+use crate::experiments::registry::{clamp_scale, Cfg, Experiment, ExperimentError};
+use crate::experiments::table4;
+use crate::json::Json;
 use crate::report::{pct, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,6 +125,39 @@ pub fn run(config: &Config) -> TitanContrastResult {
     TitanContrastResult {
         summit: profile(config, ThermalRegime::SummitLiquidCooled),
         titan: profile(config, ThermalRegime::TitanAirCooled),
+    }
+}
+
+/// Registry adapter for the Summit-vs-Titan contrast study. The Titan
+/// regime re-generates events under air-cooled thermals, so this study
+/// never shares the cached Summit failure log.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "titan_contrast"
+    }
+
+    fn summary(&self) -> &'static str {
+        "Extension: liquid-cooled Summit vs air-cooled Titan failure thermals"
+    }
+
+    fn default_config(&self, scale: f64) -> Json {
+        let s = clamp_scale(scale);
+        Json::obj([
+            ("weeks", Json::Num((26.0 * s).max(6.0))),
+            ("seed", Json::Num(2020.0)),
+        ])
+    }
+
+    fn run(&self, _cache: &ScenarioCache, config: &Json) -> Result<String, ExperimentError> {
+        let cfg = Cfg::new("titan_contrast", config)?;
+        let scenario = table4::scenario_from(&cfg)?;
+        let config = Config {
+            weeks: scenario.weeks,
+            seed: scenario.seed,
+        };
+        Ok(run(&config).render())
     }
 }
 

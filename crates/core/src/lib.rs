@@ -6,10 +6,17 @@
 //! (`summit-analysis`).
 //!
 //! - [`pipeline`] — scenario presets (statistical year, burst dynamics,
-//!   telemetry measurement) shared across experiments.
+//!   telemetry measurement, failure year) shared across experiments.
+//! - [`cache`] — the shared [`cache::ScenarioCache`]: fingerprint-keyed
+//!   memoization of populations, dynamics runs, telemetry runs and
+//!   failure logs, so a full-suite run generates each artifact once.
 //! - [`experiments`] — one module per paper artifact (Tables 1-4,
 //!   Figures 4-17), each with a scalable `Config`, a typed result, and a
-//!   terminal rendering annotated with the paper's numbers.
+//!   terminal rendering annotated with the paper's numbers; all studies
+//!   register in [`experiments::registry`] behind the
+//!   [`experiments::Experiment`] trait.
+//! - [`json`] — the dependency-free JSON value the registry uses for
+//!   experiment configs.
 //! - [`report`] — text tables, sparklines, bars and floor heatmaps.
 //! - [`fingerprint`] — the paper's Section 9 future work: job power
 //!   fingerprints, k-means portraits, queued-job power prediction.
@@ -21,9 +28,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod experiments;
 pub mod failure_prediction;
 pub mod fingerprint;
+pub mod json;
 pub mod monitoring;
 pub mod pipeline;
 pub mod report;
@@ -49,13 +58,16 @@ pub(crate) fn weighted_pick<R: rand::Rng + ?Sized>(rng: &mut R, weights: &[f64])
 
 /// Convenient re-exports.
 pub mod prelude {
+    pub use crate::cache::ScenarioCache;
     pub use crate::experiments;
+    pub use crate::experiments::{Experiment, ExperimentError, REGISTRY};
     pub use crate::fingerprint::{
         evaluate as evaluate_fingerprints, extract, Fingerprint, KMeans, PortraitModel,
     };
+    pub use crate::json::Json;
     pub use crate::pipeline::{
         cluster_power_sweep, quick_dynamics, run_burst_schedule, summer_t0, Burst, DynamicsRun,
-        PopulationScenario,
+        FailureScenario, PopulationScenario,
     };
     pub use crate::report::{bar, eng, heatmap, joules, pct, sparkline, watts, Table};
 }

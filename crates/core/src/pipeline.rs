@@ -15,11 +15,12 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use summit_analysis::series::Series;
 use summit_sim::engine::{Engine, EngineConfig, StepOptions, TickOutput};
+use summit_sim::failures::FailureModel;
 use summit_sim::jobs::{JobGenerator, SyntheticJob};
 use summit_sim::jobstats::{population_stats, JobStatsRow};
 use summit_sim::power::PowerModel;
 use summit_sim::spec;
-use summit_telemetry::records::NodeFrame;
+use summit_telemetry::records::{NodeFrame, XidEvent};
 use summit_telemetry::stream::{FaultConfig, FaultInjector, IngestStats, InjectedFaults};
 use summit_telemetry::window::{coarsen_parallel_with_health, NodeWindow, PAPER_WINDOW_S};
 
@@ -63,6 +64,70 @@ impl PopulationScenario {
         let jobs = self.generate();
         (population_stats(&jobs, &pm), pm)
     }
+
+    /// Generates the population artifact the scenario cache memoizes —
+    /// the same rows as [`Self::generate_with_stats`], packaged with
+    /// the power model.
+    pub fn artifact(&self) -> PopulationArtifact {
+        let (rows, power_model) = self.generate_with_stats();
+        PopulationArtifact { rows, power_model }
+    }
+}
+
+/// The cached form of a generated population: per-job stats rows (each
+/// row carries its [`SyntheticJob`]) plus the power model they were
+/// derived with.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationArtifact {
+    /// Per-job statistics in generation order.
+    pub rows: Vec<JobStatsRow>,
+    /// The (seeded) power model the stats were computed with.
+    pub power_model: PowerModel,
+}
+
+/// The scaled failure-year scenario: paper-rate job traffic plus the
+/// paper's XID failure model over `weeks` of observation. Shared by
+/// Table 4, Figures 13-16 and the early-warning study, which is why the
+/// scenario cache treats it as a first-class artifact.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FailureScenario {
+    /// Observation span (weeks); 52+ reproduces the paper year.
+    pub weeks: f64,
+    /// Seed for both the job population and the failure draws.
+    pub seed: u64,
+}
+
+impl FailureScenario {
+    /// Observation span in seconds.
+    pub fn span_s(&self) -> f64 {
+        self.weeks * 7.0 * 86_400.0
+    }
+
+    /// Generates the job population and its failure log. The RNG
+    /// sequence (jobs first, then failures, one seeded stream) matches
+    /// the historical per-study generation exactly, so cached and
+    /// fresh artifacts are bit-identical.
+    pub fn generate(&self) -> FailureArtifact {
+        let _obs = summit_obs::span("summit_core_failure_scenario");
+        let span = self.span_s();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut gen = JobGenerator::new();
+        let n_jobs = (840_000.0 * span / spec::YEAR_S) as usize;
+        let jobs = gen.generate_population(&mut rng, n_jobs, 0.0, span);
+        summit_obs::counter("summit_core_jobs_generated_total").inc_by(jobs.len() as u64);
+        let model = FailureModel::paper();
+        let events = model.generate(&mut rng, &jobs, spec::TOTAL_NODES, 0.0, span);
+        FailureArtifact { jobs, events }
+    }
+}
+
+/// The cached form of a generated failure year.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FailureArtifact {
+    /// The job population the failures were drawn over.
+    pub jobs: Vec<SyntheticJob>,
+    /// XID events in generation order.
+    pub events: Vec<XidEvent>,
 }
 
 /// Builds the cluster power series over a window from a job population by

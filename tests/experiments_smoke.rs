@@ -1,181 +1,127 @@
-//! Smoke tests: every experiment runs at reduced scale and renders a
-//! non-trivial report mentioning its paper anchors.
+//! Smoke tests over the unified experiment registry: every registered
+//! study runs at smoke scale through one shared scenario cache and
+//! renders a non-trivial report mentioning its paper anchors, cached
+//! artifacts are bit-identical to fresh ones, and config validation
+//! returns typed errors instead of panicking.
 
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
-use summit_repro::core::experiments::*;
+use std::collections::BTreeMap;
+use summit_repro::core::cache::{ScenarioCache, HITS_COUNTER, MISSES_COUNTER};
+use summit_repro::core::experiments::registry::run_by_name;
+use summit_repro::core::experiments::{fig08, table2, ExperimentError, REGISTRY};
+use summit_repro::core::json::Json;
+use summit_repro::obs::registry::Registry;
+
+/// Small enough for CI seconds, large enough that every study produces
+/// populated reports.
+const SMOKE_SCALE: f64 = 0.01;
 
 #[test]
-fn tables_1_and_3_render() {
-    assert!(tables::render_table1().contains("4626"));
-    assert!(tables::render_table3().contains("2765 - 4608"));
-}
+fn registry_runs_every_study_at_smoke_scale() {
+    let obs = Registry::new();
+    let guard = obs.install();
+    let cache = ScenarioCache::new();
+    let mut reports: BTreeMap<&str, String> = BTreeMap::new();
+    for study in REGISTRY {
+        let report = run_by_name(&cache, study.name(), SMOKE_SCALE, None)
+            .unwrap_or_else(|e| panic!("{} failed at smoke scale: {e}", study.name()));
+        assert!(
+            report.trim().len() > 40,
+            "{} rendered a trivial report",
+            study.name()
+        );
+        assert!(!study.summary().is_empty());
+        assert!(
+            reports.insert(study.name(), report).is_none(),
+            "duplicate registry name {}",
+            study.name()
+        );
+    }
+    assert_eq!(reports.len(), REGISTRY.len());
 
-#[test]
-fn table2_renders() {
-    let r = table2::run(&table2::Config {
-        cabinets: 2,
-        duration_s: 60,
-        producers: 2,
-    });
-    let s = r.render();
-    assert!(s.contains("8.5 TB"));
-    assert!(s.contains("compression ratio"));
-}
-
-#[test]
-fn fig04_renders() {
-    let r = fig04::run(&fig04::Config {
-        cabinets: 5,
-        duration_s: 120,
-        busy_fraction: 1.0,
-    });
-    let s = r.render();
-    assert!(s.contains("MSB A"));
-    assert!(s.contains("128.83 kW"));
-}
-
-#[test]
-fn fig05_renders() {
-    let r = fig05::run(&fig05::Config {
-        population_scale: 0.002,
-        dt_s: 7200.0,
-        maintenance_days: Some((34.0, 41.0)),
-    });
-    let s = r.render();
-    assert!(s.contains("PUE"));
-    assert!(r.weeks.len() >= 52);
-}
-
-#[test]
-fn fig06_fig07_render() {
-    let r6 = fig06::run(&fig06::Config {
-        population_scale: 0.002,
-        grid: 32,
-        max_samples: 1000,
-    });
-    assert!(r6.render().contains("class"));
-    let r7 = fig07::run(&fig07::Config {
-        population_scale: 0.01,
-    });
-    assert!(r7.render().contains("80% under 1500"));
-}
-
-#[test]
-fn fig08_fig09_render() {
-    let r8 = fig08::run(&fig08::Config {
-        population_scale: 0.02,
-        class: 2,
-    });
-    assert!(r8.render().contains("class 2"));
-    let r9 = fig09::run(&fig09::Config {
-        population_scale: 0.002,
-        max_samples: 800,
-    });
-    assert!(r9.render().contains("GPU-focused"));
-}
-
-#[test]
-fn fig10_renders() {
-    let r = fig10::run(&fig10::Config {
-        population_scale: 0.001,
-        dt_s: 10.0,
-    });
-    let s = r.render();
-    assert!(s.contains("96.9%"));
-    assert!(s.contains("edge-free"));
-}
-
-#[test]
-fn fig11_fig12_render() {
-    let cfg = fig11::Config {
-        cabinets: 12,
-        amplitudes_mw: vec![0.15, 0.3],
-        repeats: 2,
-        burst_duration_s: 120.0,
-        spacing_s: 420.0,
-    };
-    let r11 = fig11::run(&cfg);
-    assert!(r11.render().contains("MW"));
-    let r12 = fig12::run(&fig12::Config { burst: cfg });
-    let s = r12.render();
-    assert!(s.contains("MTW return"));
-    assert!(s.contains("half-response"));
-}
-
-#[test]
-fn failure_experiments_render() {
-    let weeks = 6.0;
-    let t4 = table4::run(&table4::Config { weeks, seed: 1 });
-    assert!(t4.render().contains("NVLINK"));
-    let f13 = fig13::run(&fig13::Config {
-        weeks,
-        alpha: 0.05,
-        seed: 1,
-    });
-    assert!(f13.render().contains("Bonferroni"));
-    let f14 = fig14::run(&fig14::Config {
-        weeks,
-        top: 10,
-        min_node_hours: 500.0,
-        seed: 1,
-    });
-    assert!(f14.render().contains("node-hour"));
-    let f15 = fig15::run(&fig15::Config { weeks, seed: 1 });
-    assert!(f15.render().contains("46.1"));
-    let f16 = fig16::run(&fig16::Config { weeks, seed: 1 });
-    assert!(f16.render().contains("GPU slot"));
-}
-
-#[test]
-fn fig17_renders_with_heatmap() {
-    let r = fig17::run(&fig17::Config {
-        cabinets: 12,
-        job_duration_s: 300.0,
-        stride_s: 10.0,
-        missing_cabinet: Some(5),
-        seed: 2,
-    });
-    let s = r.render();
-    assert!(s.contains("62 W"));
-    assert!(s.contains("heatmap"));
+    // One shared cache across the suite must produce actual reuse: the
+    // year population, the burst sweep and the failure log are shared.
+    let snap = obs.snapshot();
+    drop(guard);
+    let hits = snap.counter(HITS_COUNTER).unwrap_or(0);
+    let misses = snap.counter(MISSES_COUNTER).unwrap_or(0);
+    assert!(misses >= 1, "shared artifacts were never built");
     assert!(
-        s.contains("·"),
-        "missing cabinet must appear in the heatmap"
+        hits >= 3,
+        "expected cross-study cache reuse, got {hits} hits"
     );
+
+    // Paper anchors survive the registry path.
+    assert!(reports["tables"].contains("4626"));
+    assert!(reports["tables"].contains("2765 - 4608"));
+    assert!(reports["table2"].contains("8.5 TB"));
+    assert!(reports["fig04"].contains("128.83 kW"));
+    assert!(reports["fig05"].contains("PUE"));
+    assert!(reports["fig07"].contains("80% under 1500"));
+    assert!(reports["fig10"].contains("96.9%"));
+    assert!(reports["fig12"].contains("MTW return"));
+    assert!(reports["table4"].contains("NVLINK"));
+    assert!(reports["fig13"].contains("Bonferroni"));
+    assert!(reports["fig15"].contains("46.1"));
+    assert!(reports["fig16"].contains("GPU slot"));
+    assert!(reports["fig17"].contains("heatmap"));
+    assert!(reports["early_warning"].contains("lead time"));
+    assert!(reports["titan_contrast"].contains("Titan"));
+    assert!(reports["power_aware"].contains("paper conclusion"));
 }
 
 #[test]
-fn early_warning_renders() {
-    let r = early_warning::run(&early_warning::Config {
-        weeks: 8.0,
-        horizon_s: 3600.0,
-        seed: 7,
-    });
-    let s = r.render();
-    assert!(s.contains("uC warnings"));
-    assert!(s.contains("lead time"));
+fn shared_cache_is_bit_identical_to_fresh_runs() {
+    // fig07 and fig09 resolve the identical population scenario at this
+    // scale (fig07's floor is 0.01), so one cache serves both.
+    const SCALE: f64 = 0.02;
+    let fresh07 = run_by_name(&ScenarioCache::new(), "fig07", SCALE, None).unwrap();
+    let fresh09 = run_by_name(&ScenarioCache::new(), "fig09", SCALE, None).unwrap();
+
+    let obs = Registry::new();
+    let guard = obs.install();
+    let cache = ScenarioCache::new();
+    let shared07 = run_by_name(&cache, "fig07", SCALE, None).unwrap();
+    let shared09 = run_by_name(&cache, "fig09", SCALE, None).unwrap();
+    let snap = obs.snapshot();
+    drop(guard);
+
+    // Reuse must not perturb results: byte-for-byte identical reports.
+    assert_eq!(fresh07, shared07);
+    assert_eq!(fresh09, shared09);
+    // Exactly one population build, one reuse.
+    assert_eq!(snap.counter(MISSES_COUNTER), Some(1));
+    assert_eq!(snap.counter(HITS_COUNTER), Some(1));
+    assert_eq!(cache.stats().total(), 1);
 }
 
 #[test]
-fn titan_contrast_renders() {
-    let r = titan_contrast::run(&titan_contrast::Config {
-        weeks: 6.0,
-        seed: 7,
-    });
-    let s = r.render();
-    assert!(s.contains("Summit"));
-    assert!(s.contains("Titan"));
-}
+fn config_validation_returns_typed_errors() {
+    // Direct typed API: the paper's Figure 8 has class-1 and class-2
+    // panels only.
+    let err = fig08::run(&fig08::Config {
+        population_scale: 0.01,
+        class: 3,
+    })
+    .unwrap_err();
+    assert!(matches!(err, ExperimentError::InvalidConfig(_)));
+    assert!(err.to_string().contains("class"));
 
-#[test]
-fn power_aware_renders() {
-    let r = power_aware::run(&power_aware::Config {
-        population_scale: 0.005,
-        caps_w: vec![f64::INFINITY, 8.0e6],
-        dt_s: 3600.0,
-    });
-    let s = r.render();
-    assert!(s.contains("Power-aware admission"));
-    assert!(s.contains("paper conclusion"));
+    let err = table2::run(&table2::Config {
+        cabinets: 2,
+        duration_s: 0,
+        producers: 2,
+    })
+    .unwrap_err();
+    assert!(matches!(err, ExperimentError::InvalidConfig(_)));
+
+    // Registry path: overrides are validated the same way.
+    let cache = ScenarioCache::new();
+    let overrides = Json::obj([("class", Json::Num(3.0))]);
+    let err = run_by_name(&cache, "fig08", 0.01, Some(&overrides)).unwrap_err();
+    assert!(matches!(err, ExperimentError::InvalidConfig(_)));
+
+    let err = run_by_name(&cache, "fig99", 1.0, None).unwrap_err();
+    assert!(matches!(err, ExperimentError::UnknownExperiment(_)));
 }

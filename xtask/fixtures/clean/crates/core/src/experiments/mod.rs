@@ -1,4 +1,6 @@
 //! Fixture experiment registry: fully wired.
 
+pub mod registry;
+
 pub mod fig01;
 pub mod tables;

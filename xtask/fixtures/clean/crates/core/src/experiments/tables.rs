@@ -1,7 +1,16 @@
-//! Aliased experiment: its runner binary is named `table1_3`.
+//! Wired experiment (renders constants; no `run` entry point).
 
-/// Runs it.
-pub fn run() -> usize {
+/// Renders it.
+pub fn render() -> usize {
     let _obs = summit_obs::span("summit_core_tables");
     13
+}
+
+/// Registry adapter.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "tables"
+    }
 }

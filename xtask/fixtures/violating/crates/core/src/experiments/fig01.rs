@@ -5,3 +5,12 @@ pub fn run() -> usize {
     let _obs = summit_obs::span("summit_core_fig01");
     1
 }
+
+/// Registry adapter.
+pub struct Study;
+
+impl Experiment for Study {
+    fn name(&self) -> &'static str {
+        "fig01"
+    }
+}

@@ -1,3 +1,5 @@
 //! Fixture experiment registry: fig99 is deliberately unregistered.
 
+pub mod registry;
+
 pub mod fig01;

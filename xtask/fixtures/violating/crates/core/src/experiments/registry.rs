@@ -1,0 +1,9 @@
+//! Fixture registry: fig99 is deliberately missing.
+
+pub static REGISTRY: &[&str] = &[];
+
+/// Entries (token-level stand-ins for `&fig01::Study`).
+pub fn entries() -> usize {
+    let _ = fig01::Study;
+    1
+}

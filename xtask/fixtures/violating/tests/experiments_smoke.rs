@@ -1,4 +1,5 @@
-//! Fixture smoke test: covers fig01 only.
+//! Fixture smoke test: hand-lists fig01 instead of iterating the
+//! registry — the registry rule must flag the missing iteration.
 
 #[test]
 fn fig01_runs() {

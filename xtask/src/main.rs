@@ -12,8 +12,10 @@
 //! 3. **spec-constants** — `crates/sim/src/spec.rs` matches the
 //!    machine-readable `paper_constants.toml` (paper Tables 1/3), and
 //!    no spec value is duplicated as a magic literal elsewhere;
-//! 4. **registry** — every experiment module is registered in
-//!    `experiments/mod.rs`, has a bench binary, and smoke coverage;
+//! 4. **registry** — every experiment module is declared in
+//!    `experiments/mod.rs`, implements the `Experiment` trait, and is
+//!    entered in the static `REGISTRY` that the unified `experiments`
+//!    driver and the registry-iterating smoke test run;
 //! 5. **obs-coverage** — every public `run_*` entry point in
 //!    `core::pipeline` and every experiment module opens at least one
 //!    `summit_obs` span, so new stages cannot silently skip the

@@ -1,14 +1,19 @@
-//! Rule: every experiment is wired end to end.
+//! Rule: every experiment is wired end to end through the registry.
 //!
 //! An experiment module that exists but is missing from the module
-//! registry, lacks a runner binary, or has no smoke coverage is dead
-//! weight that silently rots. For every
-//! `crates/core/src/experiments/<name>.rs` this rule requires:
+//! tree, implements no `Experiment` adapter, or never enters the
+//! static registry is dead weight that silently rots — the unified
+//! `experiments` driver cannot list or run it. For every
+//! `crates/core/src/experiments/<name>.rs` (excluding `mod.rs` and the
+//! registry itself) this rule requires:
 //!
 //! 1. a `mod <name>;` declaration in `experiments/mod.rs`;
-//! 2. a runner at `crates/bench/src/bin/<name>.rs` (a few modules have
-//!    historically-named binaries, see [`BIN_ALIASES`]);
-//! 3. a `<name>::` reference in `tests/experiments_smoke.rs`.
+//! 2. an `impl Experiment for` adapter in the module file;
+//! 3. a `<name>::` reference in `experiments/registry.rs` (the module's
+//!    `Study` must appear in `REGISTRY`);
+//! 4. the smoke test iterating the registry (a `REGISTRY` reference in
+//!    `tests/experiments_smoke.rs`), which covers every registered
+//!    study without per-module wiring.
 
 use crate::source;
 use crate::violation::Violation;
@@ -18,13 +23,10 @@ const RULE: &str = "registry";
 
 /// Experiment modules directory, relative to the workspace root.
 pub const EXPERIMENTS_DIR: &str = "crates/core/src/experiments";
-/// Runner binaries directory.
-pub const BIN_DIR: &str = "crates/bench/src/bin";
-/// Smoke-test file that must exercise every module.
+/// The static registry every module must be entered in.
+pub const REGISTRY_FILE: &str = "crates/core/src/experiments/registry.rs";
+/// Smoke-test file that must iterate the registry.
 pub const SMOKE_TEST: &str = "tests/experiments_smoke.rs";
-
-/// module name -> binary name, where they historically differ.
-pub const BIN_ALIASES: &[(&str, &str)] = &[("tables", "table1_3")];
 
 /// Runs the rule over `root` and returns every finding.
 pub fn check(root: &Path) -> Vec<Violation> {
@@ -45,7 +47,7 @@ pub fn check(root: &Path) -> Vec<Violation> {
         .filter_map(|e| {
             let name = e.file_name().to_string_lossy().into_owned();
             name.strip_suffix(".rs")
-                .filter(|stem| *stem != "mod")
+                .filter(|stem| *stem != "mod" && *stem != "registry")
                 .map(str::to_string)
         })
         .collect();
@@ -58,6 +60,18 @@ pub fn check(root: &Path) -> Vec<Violation> {
             out.push(Violation::new(
                 RULE,
                 format!("{EXPERIMENTS_DIR}/mod.rs"),
+                0,
+                format!("cannot read: {e}"),
+            ));
+            return out;
+        }
+    };
+    let registry_masked = match std::fs::read_to_string(root.join(REGISTRY_FILE)) {
+        Ok(t) => source::mask_cfg_test_items(&source::mask_comments_and_strings(&t)),
+        Err(e) => {
+            out.push(Violation::new(
+                RULE,
+                REGISTRY_FILE,
                 0,
                 format!("cannot read: {e}"),
             ));
@@ -86,28 +100,52 @@ pub fn check(root: &Path) -> Vec<Violation> {
                 format!("experiment `{name}` is not declared (`pub mod {name};`)"),
             ));
         }
-        let bin = BIN_ALIASES
-            .iter()
-            .find(|(m, _)| m == name)
-            .map(|&(_, b)| b)
-            .unwrap_or(name.as_str());
-        let bin_path = root.join(BIN_DIR).join(format!("{bin}.rs"));
-        if !bin_path.is_file() {
+        let module_rel = format!("{EXPERIMENTS_DIR}/{name}.rs");
+        match std::fs::read_to_string(dir.join(format!("{name}.rs"))) {
+            Ok(text) => {
+                let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+                if source::find_token_lines(&masked, "impl Experiment for", true).is_empty() {
+                    out.push(Violation::new(
+                        RULE,
+                        module_rel,
+                        0,
+                        format!(
+                            "experiment `{name}` has no registry adapter \
+                             (`impl Experiment for` missing)"
+                        ),
+                    ));
+                }
+            }
+            Err(e) => {
+                out.push(Violation::new(
+                    RULE,
+                    module_rel,
+                    0,
+                    format!("cannot read: {e}"),
+                ));
+            }
+        }
+        if source::find_token_lines(&registry_masked, &format!("{name}::"), true).is_empty() {
             out.push(Violation::new(
                 RULE,
-                format!("{BIN_DIR}/{bin}.rs"),
+                REGISTRY_FILE,
                 0,
-                format!("experiment `{name}` has no runner binary"),
+                format!(
+                    "experiment `{name}` is not entered in REGISTRY \
+                     (`{name}::` never referenced)"
+                ),
             ));
         }
-        if source::find_token_lines(&smoke_masked, &format!("{name}::"), true).is_empty() {
-            out.push(Violation::new(
-                RULE,
-                SMOKE_TEST,
-                0,
-                format!("experiment `{name}` has no smoke coverage (`{name}::` never referenced)"),
-            ));
-        }
+    }
+
+    if source::find_token_lines(&smoke_masked, "REGISTRY", true).is_empty() {
+        out.push(Violation::new(
+            RULE,
+            SMOKE_TEST,
+            0,
+            "smoke test does not iterate the experiment registry \
+             (`REGISTRY` never referenced)",
+        ));
     }
 
     out
