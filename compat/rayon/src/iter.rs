@@ -1,0 +1,599 @@
+//! The parallel-iterator traits and adaptors.
+//!
+//! A [`ParallelIterator`] here is a *description* of an indexed
+//! pipeline: a source (slice, vector or range) plus a stack of adaptors
+//! (`map`, `enumerate`, `flat_map_iter`, `fold`, …). Terminal methods
+//! ([`ParallelIterator::collect`], [`ParallelIterator::reduce`]) hand
+//! the description to the executor in [`crate::pool`], which cuts the
+//! input index space into contiguous chunks and fans them out over
+//! scoped worker threads.
+//!
+//! The determinism contract lives in the shapes of these adaptors:
+//! [`ParallelIterator::into_chunk_iters`] must decompose the pipeline
+//! into per-chunk iterators that, concatenated in chunk order, replay
+//! the exact sequential element order. Every adaptor below preserves
+//! that property, which is what makes `collect` (and the chunk-ordered
+//! `fold`/`reduce` combine) bit-identical to a single-threaded run.
+
+use crate::pool;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A description of a data-parallel pipeline over an indexed input.
+///
+/// The three `#[doc(hidden)]` methods are the executor interface; call
+/// sites use the adaptor and terminal methods, which mirror rayon's.
+pub trait ParallelIterator: Sized {
+    /// Element type the pipeline yields.
+    type Item: Send;
+    /// Per-chunk iterator type the pipeline decomposes into.
+    type ChunkIter: Iterator<Item = Self::Item> + Send;
+
+    /// Number of *input* indices the chunk grid is laid over.
+    #[doc(hidden)]
+    fn input_len(&self) -> usize;
+
+    /// Smallest chunk the call site will accept (see
+    /// [`ParallelIterator::with_min_len`]).
+    #[doc(hidden)]
+    fn min_chunk(&self) -> usize {
+        1
+    }
+
+    /// Decomposes the pipeline into per-chunk iterators covering input
+    /// indices `[k*chunk_size, (k+1)*chunk_size)` for chunk `k`, in
+    /// chunk order. Building the iterators must be cheap; the work runs
+    /// when a worker consumes them.
+    #[doc(hidden)]
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter>;
+
+    /// Applies `f` to every element in parallel (order-preserving).
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Pairs every element with its global index. Requires an indexed
+    /// (one output per input) pipeline so chunk offsets are exact.
+    fn enumerate(self) -> Enumerate<Self>
+    where
+        Self: IndexedParallelIterator,
+    {
+        Enumerate { base: self }
+    }
+
+    /// Maps every element to a *sequential* iterator and splices the
+    /// results in input order (rayon's `flat_map_iter`).
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        U::IntoIter: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        FlatMapIter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Guarantees at least `min` input elements per chunk — the
+    /// chunk-size knob for hot sites whose per-element work is tiny.
+    /// Chunk layout stays a pure function of `(input_len, min)`, so the
+    /// determinism contract is unaffected.
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min }
+    }
+
+    /// Folds each chunk into an accumulator seeded by `identity`,
+    /// yielding one accumulator per chunk (rayon's `fold`). Combine the
+    /// per-chunk accumulators with [`ParallelIterator::reduce`].
+    fn fold<A, ID, F>(self, identity: ID, fold_op: F) -> Fold<Self, ID, F>
+    where
+        A: Send,
+        ID: Fn() -> A + Send + Sync,
+        F: Fn(A, Self::Item) -> A + Send + Sync,
+    {
+        Fold {
+            base: self,
+            identity: Arc::new(identity),
+            fold_op: Arc::new(fold_op),
+        }
+    }
+
+    /// Reduces all elements to one value: each chunk folds its elements
+    /// left-to-right from `identity()`, then the per-chunk accumulators
+    /// combine in ascending chunk order. With an associative `op` this
+    /// equals the sequential reduction exactly; for non-associative
+    /// (floating-point) `op`s the grouping is fixed by the chunk layout
+    /// and therefore identical for every thread count.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Send + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
+    {
+        let identity = Arc::new(identity);
+        let op = Arc::new(op);
+        let folded = Fold {
+            base: self,
+            identity: Arc::clone(&identity),
+            fold_op: Arc::clone(&op),
+        };
+        let mut acc = identity();
+        for chunk_acc in pool::run(folded).into_iter().flatten() {
+            acc = op(acc, chunk_acc);
+        }
+        acc
+    }
+
+    /// Executes the pipeline and collects every element in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Executes the pipeline and counts the elements it yields.
+    fn count(self) -> usize {
+        pool::run(self).into_iter().map(|chunk| chunk.len()).sum()
+    }
+}
+
+/// Marker for pipelines that yield exactly one output per input index,
+/// so a chunk's global offset is `chunk_index * chunk_size`. Sources
+/// and element-wise adaptors are indexed; `flat_map_iter` and `fold`
+/// are not.
+pub trait IndexedParallelIterator: ParallelIterator {}
+
+/// Conversion into a [`ParallelIterator`] by shared reference
+/// (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Pipeline yielded by [`par_iter`](Self::par_iter).
+    type Iter: ParallelIterator;
+
+    /// Returns a parallel iterator over `&self`'s elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParSlice<'data, T>;
+
+    fn par_iter(&'data self) -> ParSlice<'data, T> {
+        ParSlice { data: self }
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] by value (`.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Pipeline yielded by [`into_par_iter`](Self::into_par_iter).
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVec<T>;
+
+    fn into_par_iter(self) -> ParVec<T> {
+        ParVec { data: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = ParRange;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Collection types buildable from a [`ParallelIterator`].
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Executes `iter` and assembles the result in input order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let chunks = pool::run(iter);
+        let total = chunks.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}
+
+// --- sources -----------------------------------------------------------
+
+/// Borrowing source over a slice (`.par_iter()`).
+#[derive(Debug)]
+pub struct ParSlice<'data, T> {
+    data: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ParSlice<'data, T> {
+    type Item = &'data T;
+    type ChunkIter = std::slice::Iter<'data, T>;
+
+    fn input_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        if self.data.is_empty() {
+            return Vec::new();
+        }
+        self.data
+            .chunks(chunk_size.max(1))
+            .map(<[T]>::iter)
+            .collect()
+    }
+}
+
+impl<'data, T: Sync + 'data> IndexedParallelIterator for ParSlice<'data, T> {}
+
+/// Owning source over a vector (`.into_par_iter()`).
+#[derive(Debug)]
+pub struct ParVec<T> {
+    data: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+    type ChunkIter = std::vec::IntoIter<T>;
+
+    fn input_len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        let chunk_size = chunk_size.max(1);
+        let mut out = Vec::with_capacity(self.data.len().div_ceil(chunk_size));
+        let mut source = self.data.into_iter();
+        loop {
+            let chunk: Vec<T> = source.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                return out;
+            }
+            out.push(chunk.into_iter());
+        }
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParVec<T> {}
+
+/// Source over a `usize` range (`.into_par_iter()`).
+#[derive(Debug)]
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+    type ChunkIter = Range<usize>;
+
+    fn input_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        let chunk_size = chunk_size.max(1);
+        let mut out = Vec::with_capacity(self.range.len().div_ceil(chunk_size));
+        let mut start = self.range.start;
+        while start < self.range.end {
+            let end = self.range.end.min(start.saturating_add(chunk_size));
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+}
+
+impl IndexedParallelIterator for ParRange {}
+
+// --- adaptors ----------------------------------------------------------
+
+/// Element-wise transformation (see [`ParallelIterator::map`]).
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    type ChunkIter = MapChunk<I::ChunkIter, F>;
+
+    fn input_len(&self) -> usize {
+        self.base.input_len()
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        let f = self.f;
+        self.base
+            .into_chunk_iters(chunk_size)
+            .into_iter()
+            .map(|base| MapChunk {
+                base,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+}
+
+impl<I, F, R> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Send + Sync,
+{
+}
+
+/// Per-chunk iterator of [`Map`].
+#[derive(Debug)]
+pub struct MapChunk<C, F> {
+    base: C,
+    f: Arc<F>,
+}
+
+impl<C, F, R> Iterator for MapChunk<C, F>
+where
+    C: Iterator,
+    F: Fn(C::Item) -> R,
+{
+    type Item = R;
+
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|x| (self.f)(x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+/// Global-index pairing (see [`ParallelIterator::enumerate`]).
+#[derive(Debug)]
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I> ParallelIterator for Enumerate<I>
+where
+    I: IndexedParallelIterator,
+{
+    type Item = (usize, I::Item);
+    type ChunkIter = EnumerateChunk<I::ChunkIter>;
+
+    fn input_len(&self) -> usize {
+        self.base.input_len()
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        let chunk_size = chunk_size.max(1);
+        self.base
+            .into_chunk_iters(chunk_size)
+            .into_iter()
+            .enumerate()
+            .map(|(k, base)| EnumerateChunk {
+                base,
+                next: k * chunk_size,
+            })
+            .collect()
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {}
+
+/// Per-chunk iterator of [`Enumerate`]; `next` starts at the chunk's
+/// global offset.
+#[derive(Debug)]
+pub struct EnumerateChunk<C> {
+    base: C,
+    next: usize,
+}
+
+impl<C: Iterator> Iterator for EnumerateChunk<C> {
+    type Item = (usize, C::Item);
+
+    fn next(&mut self) -> Option<(usize, C::Item)> {
+        let x = self.base.next()?;
+        let i = self.next;
+        self.next += 1;
+        Some((i, x))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.base.size_hint()
+    }
+}
+
+/// Order-preserving flatten of per-element sequential iterators (see
+/// [`ParallelIterator::flat_map_iter`]).
+#[derive(Debug)]
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+impl<I, F, U> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    U: IntoIterator,
+    U::Item: Send,
+    U::IntoIter: Send,
+    F: Fn(I::Item) -> U + Send + Sync,
+{
+    type Item = U::Item;
+    type ChunkIter = FlatMapIterChunk<I::ChunkIter, F, U>;
+
+    fn input_len(&self) -> usize {
+        self.base.input_len()
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        let f = self.f;
+        self.base
+            .into_chunk_iters(chunk_size)
+            .into_iter()
+            .map(|base| FlatMapIterChunk {
+                base,
+                f: Arc::clone(&f),
+                current: None,
+            })
+            .collect()
+    }
+}
+
+/// Per-chunk iterator of [`FlatMapIter`].
+#[derive(Debug)]
+pub struct FlatMapIterChunk<C, F, U: IntoIterator> {
+    base: C,
+    f: Arc<F>,
+    current: Option<U::IntoIter>,
+}
+
+impl<C, F, U> Iterator for FlatMapIterChunk<C, F, U>
+where
+    C: Iterator,
+    U: IntoIterator,
+    F: Fn(C::Item) -> U,
+{
+    type Item = U::Item;
+
+    fn next(&mut self) -> Option<U::Item> {
+        loop {
+            if let Some(current) = &mut self.current {
+                if let Some(x) = current.next() {
+                    return Some(x);
+                }
+            }
+            self.current = Some((self.f)(self.base.next()?).into_iter());
+        }
+    }
+}
+
+/// Chunk-size floor (see [`ParallelIterator::with_min_len`]).
+#[derive(Debug)]
+pub struct MinLen<I> {
+    base: I,
+    min: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
+    type Item = I::Item;
+    type ChunkIter = I::ChunkIter;
+
+    fn input_len(&self) -> usize {
+        self.base.input_len()
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk().max(self.min).max(1)
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        self.base.into_chunk_iters(chunk_size)
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for MinLen<I> {}
+
+/// Per-chunk accumulator pipeline (see [`ParallelIterator::fold`]).
+#[derive(Debug)]
+pub struct Fold<I, ID, F> {
+    pub(crate) base: I,
+    pub(crate) identity: Arc<ID>,
+    pub(crate) fold_op: Arc<F>,
+}
+
+impl<I, A, ID, F> ParallelIterator for Fold<I, ID, F>
+where
+    I: ParallelIterator,
+    A: Send,
+    ID: Fn() -> A + Send + Sync,
+    F: Fn(A, I::Item) -> A + Send + Sync,
+{
+    type Item = A;
+    type ChunkIter = FoldChunk<I::ChunkIter, ID, F>;
+
+    fn input_len(&self) -> usize {
+        self.base.input_len()
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+
+    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+        let identity = self.identity;
+        let fold_op = self.fold_op;
+        self.base
+            .into_chunk_iters(chunk_size)
+            .into_iter()
+            .map(|base| FoldChunk {
+                base: Some(base),
+                identity: Arc::clone(&identity),
+                fold_op: Arc::clone(&fold_op),
+            })
+            .collect()
+    }
+}
+
+/// Per-chunk iterator of [`Fold`]: yields the chunk's accumulator once,
+/// computed lazily on first `next` (i.e. on the worker thread).
+#[derive(Debug)]
+pub struct FoldChunk<C, ID, F> {
+    base: Option<C>,
+    identity: Arc<ID>,
+    fold_op: Arc<F>,
+}
+
+impl<C, A, ID, F> Iterator for FoldChunk<C, ID, F>
+where
+    C: Iterator,
+    ID: Fn() -> A,
+    F: Fn(A, C::Item) -> A,
+{
+    type Item = A;
+
+    fn next(&mut self) -> Option<A> {
+        let base = self.base.take()?;
+        let mut acc = (self.identity)();
+        for x in base {
+            acc = (self.fold_op)(acc, x);
+        }
+        Some(acc)
+    }
+}

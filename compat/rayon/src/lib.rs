@@ -1,86 +1,111 @@
-//! Offline stand-in for the `rayon` crate.
+//! Offline stand-in for the `rayon` crate, backed by a real thread pool.
 //!
-//! The build environment has no network access, so this crate maps the
-//! `par_iter`/`into_par_iter` entry points onto plain sequential
-//! iterators. All downstream adaptor chains (`map`, `collect`, …) are
-//! ordinary [`Iterator`] methods, so call sites compile unchanged and
-//! produce identical (deterministically ordered) results — just without
-//! the parallel speedup. Swap in real rayon by deleting the vendored
-//! crate from `[workspace.dependencies]` once a registry is available.
+//! The build environment has no network access, so this crate implements
+//! the `par_iter`/`into_par_iter` subset the workspace uses on top of
+//! [`std::thread::scope`] — no `unsafe`, no external dependencies. Unlike
+//! real rayon, execution is **deterministic by construction**:
+//!
+//! - Every pipeline decomposes its input into contiguous chunks whose
+//!   boundaries depend only on the input length and the call site's
+//!   [`with_min_len`](prelude::ParallelIterator::with_min_len) hint —
+//!   never on the thread count or on runtime scheduling.
+//! - `collect()` concatenates chunk outputs in chunk order, so
+//!   `par_iter().map(f).collect()` is bit-identical to the sequential
+//!   `iter().map(f).collect()`.
+//! - `fold()`/`reduce()` combine per-chunk accumulators in ascending
+//!   chunk order, so even non-associative floating-point reductions give
+//!   the same bits for every `SUMMIT_THREADS` value (the *grouping* is
+//!   fixed by the chunk layout, which the thread count cannot change).
+//!
+//! Workers claim chunk indices from per-worker contiguous bands through
+//! atomic cursors and steal from other bands once their own is drained,
+//! so an imbalanced chunk does not idle the rest of the pool.
+//!
+//! ## Pool sizing
+//!
+//! The pool size is resolved per execution:
+//!
+//! 1. a thread-local override installed by [`with_thread_count`]
+//!    (used by tests and the bench driver);
+//! 2. the `SUMMIT_THREADS` environment variable (a positive integer;
+//!    `1` forces the exact sequential path — no worker threads at all);
+//! 3. [`std::thread::available_parallelism`] otherwise.
+//!
+//! ## Observability
+//!
+//! Executions record into `summit-obs`: the deterministic
+//! `summit_par_tasks_total` chunk counter and `summit_par_threads`
+//! gauge go to the current (possibly scoped) registry along with a
+//! per-stage `summit_par_busy_<stage>_seconds` worker busy-time
+//! histogram; the scheduling-dependent `summit_par_steal_total`
+//! counter goes to the process-wide global registry only, so per-run
+//! scoped snapshots stay bit-reproducible.
 
-/// Parallel-iterator entry-point traits (sequential fallbacks).
+pub mod iter;
+pub(crate) mod pool;
+
+use std::cell::Cell;
+
+/// Parallel-iterator entry points, mirroring `rayon::prelude`.
 pub mod prelude {
-    /// By-reference parallel iteration (`.par_iter()`).
-    pub trait IntoParallelRefIterator<'data> {
-        /// Iterator yielded by [`par_iter`](Self::par_iter).
-        type Iter: Iterator;
+    pub use crate::iter::{
+        FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
+        IntoParallelRefIterator, ParallelIterator,
+    };
+}
 
-        /// Sequential stand-in for rayon's `par_iter`.
-        fn par_iter(&'data self) -> Self::Iter;
+thread_local! {
+    /// Per-thread pool-size override; `None` defers to the environment.
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads the next execution on this thread will
+/// use (before capping to the task count): the [`with_thread_count`]
+/// override if one is active, else `SUMMIT_THREADS`, else the machine's
+/// available parallelism.
+pub fn current_num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n.max(1);
     }
+    match std::env::var("SUMMIT_THREADS") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => default_threads(),
+        },
+        Err(_) => default_threads(),
+    }
+}
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+/// Runs `f` with the pool size pinned to `threads` on this thread
+/// (restored afterwards, panic-safe). `1` forces the exact sequential
+/// path. This is how the determinism tests and the `--bench` driver
+/// compare thread counts without mutating the process environment.
+pub fn with_thread_count<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
         }
     }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(threads.max(1)))));
+    f()
+}
 
-    /// By-value parallel iteration (`.into_par_iter()`).
-    pub trait IntoParallelIterator {
-        /// Element type.
-        type Item;
-        /// Iterator yielded by [`into_par_iter`](Self::into_par_iter).
-        type Iter: Iterator<Item = Self::Item>;
-
-        /// Sequential stand-in for rayon's `into_par_iter`.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Item = T;
-        type Iter = std::vec::IntoIter<T>;
-
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    impl IntoParallelIterator for std::ops::Range<usize> {
-        type Item = usize;
-        type Iter = std::ops::Range<usize>;
-
-        fn into_par_iter(self) -> Self::Iter {
-            self
-        }
-    }
-
-    /// Rayon-only adaptors mapped onto their sequential equivalents,
-    /// blanket-implemented so they are available on every iterator a
-    /// `par_iter()` call produces.
-    pub trait ParallelIterator: Iterator + Sized {
-        /// Sequential stand-in for rayon's `flat_map_iter`.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-
-        /// Sequential no-op stand-in for rayon's `with_min_len`.
-        fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
-    }
-
-    impl<I: Iterator> ParallelIterator for I {}
+/// Pins nested executions on the current (worker) thread to the
+/// sequential path: a `par_iter` inside a `par_iter` must not multiply
+/// the thread count.
+pub(crate) fn serialize_nested() {
+    THREAD_OVERRIDE.with(|c| c.set(Some(1)));
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn par_iter_on_vec_and_slice() {
@@ -88,15 +113,173 @@ mod tests {
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6]);
         let s: &[i32] = &v;
-        assert_eq!(s.par_iter().count(), 3);
+        let copied: Vec<i32> = s.par_iter().map(|&x| x).collect();
+        assert_eq!(copied, vec![1, 2, 3]);
     }
 
     #[test]
     fn into_par_iter_on_vec_and_range() {
         let v = vec![1, 2, 3];
-        let sum: i32 = v.into_par_iter().sum();
+        let sum: i32 = v.into_par_iter().reduce(|| 0, |a, b| a + b);
         assert_eq!(sum, 6);
         let idx: Vec<usize> = (0..4usize).into_par_iter().collect();
         assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn with_thread_count_restores_on_exit_and_panic() {
+        with_thread_count(3, || {
+            assert_eq!(current_num_threads(), 3);
+            with_thread_count(2, || assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+        let caught = std::panic::catch_unwind(|| with_thread_count(5, || panic!("boom")));
+        assert!(caught.is_err());
+        // The override must not leak out of the panicked scope.
+        assert!(THREAD_OVERRIDE.with(Cell::get).is_none());
+    }
+
+    #[test]
+    fn collect_is_bit_identical_across_thread_counts() {
+        let data: Vec<f64> = (0..1789).map(|i| (i as f64).sin() * 1e3).collect();
+        let run = |threads: usize| -> Vec<u64> {
+            with_thread_count(threads, || {
+                data.par_iter()
+                    .map(|&x| (x.sqrt().abs() + x * x).to_bits())
+                    .collect()
+            })
+        };
+        let sequential = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn enumerate_yields_global_indices() {
+        let v: Vec<u32> = (0..517).collect();
+        let pairs: Vec<(usize, u32)> = with_thread_count(4, || {
+            v.clone()
+                .into_par_iter()
+                .enumerate()
+                .map(|(i, x)| (i, x))
+                .collect()
+        });
+        for (i, (idx, x)) in pairs.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*x as usize, i);
+        }
+    }
+
+    #[test]
+    fn flat_map_iter_preserves_input_order() {
+        let rows: Vec<usize> = (0..97).collect();
+        let run = |threads: usize| -> Vec<(usize, usize)> {
+            with_thread_count(threads, || {
+                rows.par_iter()
+                    .flat_map_iter(|&r| (0..3).map(move |c| (r, c)))
+                    .collect()
+            })
+        };
+        let sequential = run(1);
+        assert_eq!(sequential.len(), 97 * 3);
+        assert_eq!(run(4), sequential);
+    }
+
+    #[test]
+    fn fold_reduce_fixes_float_grouping() {
+        // Summing floats is not associative; the chunk layout (not the
+        // thread count) decides the grouping, so every pool size gives
+        // the same bits.
+        let data: Vec<f64> = (0..4096).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let run = |threads: usize| -> u64 {
+            with_thread_count(threads, || {
+                data.par_iter()
+                    .fold(|| 0.0f64, |acc, &x| acc + x)
+                    .reduce(|| 0.0f64, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        let sequential = run(1);
+        for threads in [2, 5, 16] {
+            assert_eq!(run(threads), sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_of_empty_input_is_identity() {
+        let empty: Vec<f64> = Vec::new();
+        let total = with_thread_count(4, || empty.par_iter().map(|&x| x).reduce(|| -7.5, f64::max));
+        assert_eq!(total, -7.5);
+        let collected: Vec<f64> = with_thread_count(4, || empty.par_iter().map(|&x| x).collect());
+        assert!(collected.is_empty());
+    }
+
+    #[test]
+    fn with_min_len_coarsens_the_chunk_grid() {
+        let registry = summit_obs::registry::Registry::new();
+        let _scope = registry.install();
+        let n = 1000usize;
+        let v: Vec<usize> = (0..n).collect();
+        let _: Vec<usize> = v.par_iter().map(|&x| x).with_min_len(n).collect();
+        assert_eq!(
+            registry.snapshot().counter("summit_par_tasks_total"),
+            Some(1),
+            "min_len = input length must produce a single chunk"
+        );
+        let _: Vec<usize> = v.par_iter().map(|&x| x).collect();
+        let expected = 1 + (n as u64).div_ceil(crate::pool::chunk_size(n, 1) as u64);
+        assert_eq!(
+            registry.snapshot().counter("summit_par_tasks_total"),
+            Some(expected)
+        );
+    }
+
+    #[test]
+    fn task_counter_is_thread_count_independent() {
+        let count_tasks = |threads: usize| {
+            let registry = summit_obs::registry::Registry::new();
+            let _scope = registry.install();
+            let v: Vec<usize> = (0..333).collect();
+            let _: Vec<usize> = with_thread_count(threads, || v.par_iter().map(|&x| x).collect());
+            registry.snapshot().counter("summit_par_tasks_total")
+        };
+        assert_eq!(count_tasks(1), count_tasks(7));
+    }
+
+    #[test]
+    fn nested_parallelism_is_serialized() {
+        let outer: Vec<usize> = (0..64).collect();
+        let nested: Vec<usize> = with_thread_count(4, || {
+            outer
+                .par_iter()
+                .map(|&i| {
+                    let inner: Vec<usize> = (0..8usize).into_par_iter().collect();
+                    i + inner.len()
+                })
+                .collect()
+        });
+        assert!(nested.iter().enumerate().all(|(i, &x)| x == i + 8));
+    }
+
+    #[test]
+    fn scoped_registry_reaches_worker_threads() {
+        // Counters recorded inside worker closures must land in the
+        // registry installed on the *calling* thread.
+        let registry = summit_obs::registry::Registry::new();
+        let _scope = registry.install();
+        let v: Vec<usize> = (0..256).collect();
+        let _: Vec<usize> = with_thread_count(4, || {
+            v.par_iter()
+                .map(|&x| {
+                    summit_obs::counter("summit_par_test_worker_total").inc();
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(
+            registry.snapshot().counter("summit_par_test_worker_total"),
+            Some(256)
+        );
     }
 }

@@ -1,0 +1,241 @@
+//! The chunk executor: scoped worker threads with banded work-stealing.
+//!
+//! [`run`] is the single entry point every terminal adaptor method goes
+//! through. It lays a deterministic chunk grid over the pipeline (the
+//! grid depends only on the input length and the call site's
+//! `with_min_len` hint), fans the chunk iterators out over
+//! [`std::thread::scope`] workers, and returns the per-chunk outputs in
+//! ascending chunk order — which is all a caller needs to reassemble
+//! the exact sequential result.
+//!
+//! ## Scheduling
+//!
+//! Chunk indices are partitioned into one contiguous *band* per worker,
+//! each with an atomic cursor. A worker drains its own band first
+//! (`fetch_add` on the cursor), then sweeps the other bands and steals
+//! whatever indices remain. Scheduling decides only *which thread*
+//! computes a chunk, never what the chunk contains, so timing races
+//! cannot leak into results.
+//!
+//! ## Metrics
+//!
+//! Per execution, into the caller's [`summit_obs::current`] registry:
+//! `summit_par_tasks_total` (+= chunk count), `summit_par_threads`
+//! (pool size after capping to the task count) and a per-stage
+//! `summit_par_busy_<stage>_seconds` histogram of worker busy time,
+//! where `<stage>` is the innermost active obs span. The
+//! scheduling-dependent `summit_par_steal_total` goes to
+//! [`summit_obs::global`] only, keeping scoped snapshots deterministic.
+
+use crate::iter::ParallelIterator;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Upper bound on the number of chunks an execution creates. Small
+/// enough that per-chunk overhead (task slots, result vectors) stays
+/// negligible, large enough to give stealing room to smooth imbalanced
+/// chunks on any realistic core count.
+pub(crate) const MAX_CHUNKS: usize = 64;
+
+/// Default floor on elements per chunk when the call site gives no
+/// `with_min_len` hint: stops small inputs from shattering into
+/// micro-tasks whose claim/lock overhead exceeds their work.
+pub(crate) const DEFAULT_MIN_CHUNK: usize = 16;
+
+/// The deterministic chunk size for an input: aim for [`MAX_CHUNKS`]
+/// chunks, but never below the call site's `min_chunk` hint (floored
+/// at [`DEFAULT_MIN_CHUNK`]). A pure function of `(len, min_chunk)` —
+/// thread count plays no part.
+pub(crate) fn chunk_size(len: usize, min_chunk: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS)
+        .max(min_chunk)
+        .max(DEFAULT_MIN_CHUNK)
+}
+
+/// Executes a pipeline and returns its per-chunk outputs in ascending
+/// chunk order.
+pub(crate) fn run<I: ParallelIterator>(iter: I) -> Vec<Vec<I::Item>> {
+    let len = iter.input_len();
+    let cs = chunk_size(len, iter.min_chunk());
+    let chunks = iter.into_chunk_iters(cs);
+    let tasks = chunks.len();
+
+    let registry = summit_obs::current();
+    registry
+        .counter("summit_par_tasks_total")
+        .inc_by(tasks as u64);
+    let threads = crate::current_num_threads().min(tasks.max(1));
+    registry.gauge("summit_par_threads").set(threads as f64);
+
+    if threads <= 1 {
+        // The exact sequential path: same chunk grid, same order, no
+        // worker threads, no stealing.
+        return chunks.into_iter().map(Iterator::collect).collect();
+    }
+    run_parallel(chunks, threads, &registry)
+}
+
+/// One worker's contiguous range of chunk indices, with an atomic
+/// claim cursor. Cursors may overshoot `end` (a failed claim still
+/// bumps them); claimants discard values `>= end`.
+struct Band {
+    next: AtomicUsize,
+    end: usize,
+}
+
+/// Claims the next chunk index for worker `home`, scanning bands
+/// starting from its own. Returns `(chunk_index, was_steal)`.
+fn claim(bands: &[Band], home: usize) -> Option<(usize, bool)> {
+    for k in 0..bands.len() {
+        let band = &bands[(home + k) % bands.len()];
+        let i = band.next.fetch_add(1, Ordering::Relaxed);
+        if i < band.end {
+            return Some((i, k != 0));
+        }
+    }
+    None
+}
+
+/// Partitions chunk indices `0..tasks` into `threads` contiguous bands
+/// of near-equal size (the first `tasks % threads` bands get one
+/// extra).
+fn make_bands(tasks: usize, threads: usize) -> Vec<Band> {
+    let base = tasks / threads;
+    let rem = tasks % threads;
+    let mut bands = Vec::with_capacity(threads);
+    let mut start = 0;
+    for w in 0..threads {
+        let size = base + usize::from(w < rem);
+        bands.push(Band {
+            next: AtomicUsize::new(start),
+            end: start + size,
+        });
+        start += size;
+    }
+    bands
+}
+
+/// Recovers the inner value of a mutex even if a worker panicked while
+/// holding it; the panic itself resurfaces through the scope join.
+fn lock_lenient<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The histogram that buckets worker busy time for this execution,
+/// named after the innermost active obs span (`summit_` prefix
+/// stripped), or `unstaged` outside any span.
+fn busy_histogram_name() -> String {
+    let spans = summit_obs::active_spans();
+    let stage = spans
+        .last()
+        .map_or("unstaged", |s| s.strip_prefix("summit_").unwrap_or(s));
+    format!("summit_par_busy_{stage}_seconds")
+}
+
+fn run_parallel<C>(
+    chunks: Vec<C>,
+    threads: usize,
+    registry: &summit_obs::registry::Registry,
+) -> Vec<Vec<C::Item>>
+where
+    C: Iterator + Send,
+    C::Item: Send,
+{
+    let tasks = chunks.len();
+    let slots: Vec<Mutex<Option<C>>> = chunks.into_iter().map(|c| Mutex::new(Some(c))).collect();
+    let results: Vec<Mutex<Option<Vec<C::Item>>>> = (0..tasks).map(|_| Mutex::new(None)).collect();
+    let bands = make_bands(tasks, threads);
+    let steals = AtomicU64::new(0);
+    let busy = Mutex::new(Vec::with_capacity(threads));
+
+    std::thread::scope(|scope| {
+        for home in 0..threads {
+            let slots = &slots;
+            let results = &results;
+            let bands = &bands;
+            let steals = &steals;
+            let busy = &busy;
+            let registry = registry.clone();
+            scope.spawn(move || {
+                // Worker threads have a fresh thread-local state: route
+                // obs records to the caller's registry and pin any
+                // nested par_iter to the sequential path.
+                let _obs = registry.install();
+                crate::serialize_nested();
+                let started = Instant::now();
+                let mut stolen = 0u64;
+                while let Some((i, was_steal)) = claim(bands, home) {
+                    stolen += u64::from(was_steal);
+                    let chunk = lock_lenient(&slots[i]).take();
+                    if let Some(chunk) = chunk {
+                        let out: Vec<C::Item> = chunk.collect();
+                        *lock_lenient(&results[i]) = Some(out);
+                    }
+                }
+                steals.fetch_add(stolen, Ordering::Relaxed);
+                lock_lenient(busy).push(started.elapsed().as_secs_f64());
+            });
+        }
+    });
+
+    summit_obs::global()
+        .counter("summit_par_steal_total")
+        .inc_by(steals.load(Ordering::Relaxed));
+    let histogram = registry.histogram(&busy_histogram_name());
+    for &seconds in lock_lenient(&busy).iter() {
+        histogram.observe(seconds);
+    }
+
+    results
+        .into_iter()
+        .map(|slot| lock_lenient(&slot).take().unwrap_or_default())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_is_a_pure_function_of_len_and_min() {
+        assert_eq!(chunk_size(0, 1), DEFAULT_MIN_CHUNK);
+        assert_eq!(chunk_size(10, 1), DEFAULT_MIN_CHUNK);
+        assert_eq!(chunk_size(1000, 1), DEFAULT_MIN_CHUNK); // ceil(1000/64) == the floor
+        assert_eq!(chunk_size(10_000, 1), 157); // ceil(10000/64) dominates
+        assert_eq!(chunk_size(1000, 256), 256); // call-site hint dominates
+        assert_eq!(chunk_size(5, 0), DEFAULT_MIN_CHUNK);
+    }
+
+    #[test]
+    fn bands_cover_all_tasks_exactly_once() {
+        for (tasks, threads) in [(64, 4), (7, 3), (5, 8), (1, 2)] {
+            let bands = make_bands(tasks, threads);
+            assert_eq!(bands.len(), threads);
+            let mut covered = 0;
+            for band in &bands {
+                let start = band.next.load(Ordering::Relaxed);
+                assert!(start <= band.end);
+                covered += band.end - start;
+            }
+            assert_eq!(covered, tasks);
+        }
+    }
+
+    #[test]
+    fn claim_drains_every_index_and_flags_steals() {
+        let bands = make_bands(10, 3);
+        let mut seen = [false; 10];
+        let mut steals = 0;
+        // A single claimant with home band 0 drains bands 1 and 2 as
+        // steals once its own is empty.
+        while let Some((i, was_steal)) = claim(&bands, 0) {
+            assert!(!seen[i], "index {i} claimed twice");
+            seen[i] = true;
+            steals += u64::from(was_steal);
+        }
+        assert!(seen.iter().all(|&s| s));
+        let own = bands[0].end;
+        assert_eq!(steals, 10 - own as u64);
+    }
+}

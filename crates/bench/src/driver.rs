@@ -28,7 +28,13 @@ usage: experiments [--list] [--all | <name>...] [options]
   --full            shorthand for --scale 1.0
   --config JSON     JSON object merged over each study's default config
   --json            emit one JSON envelope per study instead of plain text
+  --bench           time the selected studies (default: all) sequentially
+                    vs with the default thread pool and write BENCH_perf.json
   -h, --help        print this help";
+
+/// Where `--bench` writes its machine-readable outcome (repo root when
+/// invoked through `cargo run`).
+pub const BENCH_PERF_PATH: &str = "BENCH_perf.json";
 
 /// Parsed command line for the `experiments` driver.
 #[derive(Debug, Clone)]
@@ -47,6 +53,8 @@ pub struct Invocation {
     pub json: bool,
     /// JSON object merged over each study's default config.
     pub overrides: Option<Json>,
+    /// Time sequential vs parallel and write [`BENCH_PERF_PATH`].
+    pub bench: bool,
 }
 
 impl Default for Invocation {
@@ -59,6 +67,7 @@ impl Default for Invocation {
             scale: SMOKE_SCALE,
             json: false,
             overrides: None,
+            bench: false,
         }
     }
 }
@@ -73,6 +82,7 @@ impl Invocation {
                 "--list" => inv.list = true,
                 "--all" => inv.all = true,
                 "--json" => inv.json = true,
+                "--bench" => inv.bench = true,
                 "--full" => inv.scale = 1.0,
                 "-h" | "--help" => inv.help = true,
                 "--scale" => {
@@ -115,7 +125,7 @@ pub fn render_list() -> String {
 /// Resolves the studies an invocation selects, in registry order for
 /// `--all` and argument order otherwise.
 pub fn select(inv: &Invocation) -> Result<Vec<&'static dyn Experiment>, String> {
-    if inv.all {
+    if inv.all || (inv.bench && inv.names.is_empty()) {
         return Ok(REGISTRY.to_vec());
     }
     if inv.names.is_empty() {
@@ -154,13 +164,24 @@ pub struct CacheTraffic {
     pub misses: u64,
 }
 
+/// Thread-pool traffic recorded over a driver run.
+#[derive(Debug, Clone, Copy)]
+pub struct ParTraffic {
+    /// Worker threads the pool resolves to (`SUMMIT_THREADS` or the
+    /// machine's available parallelism).
+    pub threads: usize,
+    /// Parallel chunk tasks executed (`summit_par_tasks_total`).
+    pub tasks: u64,
+}
+
 /// Runs the selected studies through one shared cache, returning their
-/// reports plus the cache traffic. Fails on the first study error.
+/// reports plus the cache and thread-pool traffic. Fails on the first
+/// study error.
 pub fn run_selected(
     selected: &[&'static dyn Experiment],
     scale: f64,
     overrides: Option<&Json>,
-) -> Result<(Vec<StudyReport>, CacheTraffic), String> {
+) -> Result<(Vec<StudyReport>, CacheTraffic, ParTraffic), String> {
     let obs = summit_obs::registry::Registry::new();
     let _guard = obs.install();
     let cache = ScenarioCache::new();
@@ -185,7 +206,11 @@ pub fn run_selected(
         hits: snap.counter(HITS_COUNTER).unwrap_or(0),
         misses: snap.counter(MISSES_COUNTER).unwrap_or(0),
     };
-    Ok((reports, traffic))
+    let par = ParTraffic {
+        threads: rayon::current_num_threads(),
+        tasks: snap.counter("summit_par_tasks_total").unwrap_or(0),
+    };
+    Ok((reports, traffic, par))
 }
 
 /// Renders the post-run scenario-cache summary line.
@@ -193,6 +218,96 @@ pub fn render_traffic(t: &CacheTraffic) -> String {
     format!(
         "[scenario-cache] {} artifacts built ({} misses), {} reused (hits)",
         t.artifacts, t.misses, t.hits
+    )
+}
+
+/// Renders the post-run thread-pool summary line.
+pub fn render_par(p: &ParTraffic) -> String {
+    format!(
+        "[par] {} worker thread{} over {} parallel tasks (SUMMIT_THREADS to change)",
+        p.threads,
+        if p.threads == 1 { "" } else { "s" },
+        p.tasks
+    )
+}
+
+/// Outcome of a `--bench` run: the same study selection timed twice,
+/// once pinned to one thread and once on the default pool.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOutcome {
+    /// Wall-clock seconds with the pool pinned to one thread.
+    pub sequential_s: f64,
+    /// Wall-clock seconds with the default pool.
+    pub parallel_s: f64,
+    /// Default pool size the parallel leg resolved to.
+    pub threads: usize,
+    /// `sequential_s / parallel_s`.
+    pub speedup: f64,
+}
+
+impl BenchOutcome {
+    /// The CI gate verdict: `"skip"` on one-core hosts (no parallelism
+    /// to measure), else `"pass"` when the parallel leg is at least as
+    /// fast as the sequential one and `"fail"` otherwise.
+    pub fn gate(&self) -> &'static str {
+        if self.threads <= 1 {
+            "skip"
+        } else if self.parallel_s <= self.sequential_s {
+            "pass"
+        } else {
+            "fail"
+        }
+    }
+
+    /// Serializes the outcome to the `BENCH_perf.json` document.
+    pub fn to_json(&self, scale: f64) -> String {
+        let doc = Json::Obj(vec![
+            ("schema".into(), Json::from("summit-perf/1")),
+            ("scale".into(), Json::Num(scale)),
+            ("threads".into(), Json::from(self.threads)),
+            ("sequential_seconds".into(), Json::Num(self.sequential_s)),
+            ("parallel_seconds".into(), Json::Num(self.parallel_s)),
+            ("speedup".into(), Json::Num(self.speedup)),
+            ("gate".into(), Json::from(self.gate())),
+        ]);
+        format!("{doc}\n")
+    }
+}
+
+/// Times the selected studies sequentially (pool pinned to one thread)
+/// and then on the default pool, each leg against a fresh scenario
+/// cache so both build every artifact from scratch.
+pub fn run_bench(
+    selected: &[&'static dyn Experiment],
+    scale: f64,
+    overrides: Option<&Json>,
+) -> Result<BenchOutcome, String> {
+    let time_leg = |f: &dyn Fn() -> Result<(), String>| -> Result<f64, String> {
+        let started = std::time::Instant::now();
+        f()?;
+        Ok(started.elapsed().as_secs_f64())
+    };
+    let sequential_s = time_leg(&|| {
+        rayon::with_thread_count(1, || run_selected(selected, scale, overrides)).map(|_| ())
+    })?;
+    let parallel_s = time_leg(&|| run_selected(selected, scale, overrides).map(|_| ()))?;
+    Ok(BenchOutcome {
+        sequential_s,
+        parallel_s,
+        threads: rayon::current_num_threads(),
+        speedup: sequential_s / parallel_s.max(f64::MIN_POSITIVE),
+    })
+}
+
+/// Renders the human-readable `--bench` summary.
+pub fn render_bench(b: &BenchOutcome) -> String {
+    format!(
+        "[bench] sequential {:.3}s, parallel {:.3}s on {} threads -> {:.2}x speedup (gate: {})",
+        b.sequential_s,
+        b.parallel_s,
+        b.threads,
+        b.speedup,
+        b.gate()
     )
 }
 
@@ -218,7 +333,19 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
         return Ok(());
     }
     let selected = select(inv)?;
-    let (reports, traffic) = run_selected(&selected, inv.scale, inv.overrides.as_ref())?;
+    if inv.bench {
+        let outcome = run_bench(&selected, inv.scale, inv.overrides.as_ref())?;
+        let json = outcome.to_json(inv.scale);
+        std::fs::write(BENCH_PERF_PATH, &json)
+            .map_err(|e| format!("failed to write {BENCH_PERF_PATH}: {e}"))?;
+        emit(&format!(
+            "{}\nwrote {BENCH_PERF_PATH} ({} bytes)\n",
+            render_bench(&outcome),
+            json.len()
+        ));
+        return Ok(());
+    }
+    let (reports, traffic, par) = run_selected(&selected, inv.scale, inv.overrides.as_ref())?;
     for r in &reports {
         let block = if inv.json {
             let envelope = Json::Obj(vec![
@@ -247,10 +374,16 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
                     "scenario_cache_misses".into(),
                     Json::Num(traffic.misses as f64),
                 ),
+                ("par_threads".into(), Json::from(par.threads)),
+                ("par_tasks".into(), Json::Num(par.tasks as f64)),
             ]);
             emit(&format!("{summary}\n"));
         } else {
-            emit(&format!("{}\n", render_traffic(&traffic)));
+            emit(&format!(
+                "{}\n{}\n",
+                render_traffic(&traffic),
+                render_par(&par)
+            ));
         }
     }
     Ok(())
@@ -288,6 +421,49 @@ mod tests {
         assert!(parse(&["--frobnicate"]).is_err());
         assert!(select(&parse(&[]).unwrap()).is_err());
         assert!(select(&parse(&["fig99"]).unwrap()).is_err());
+    }
+
+    #[test]
+    fn bench_flag_parses_and_selects_everything() {
+        let inv = parse(&["--bench"]).unwrap();
+        assert!(inv.bench && !inv.all);
+        // Bare --bench implies the full suite...
+        assert_eq!(select(&inv).unwrap().len(), REGISTRY.len());
+        // ...but explicit names narrow it.
+        let inv = parse(&["--bench", "table4"]).unwrap();
+        assert_eq!(select(&inv).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn bench_gate_verdicts() {
+        let outcome = |threads, seq, par| BenchOutcome {
+            sequential_s: seq,
+            parallel_s: par,
+            threads,
+            speedup: seq / par,
+        };
+        assert_eq!(outcome(1, 1.0, 1.0).gate(), "skip");
+        assert_eq!(outcome(4, 2.0, 1.0).gate(), "pass");
+        assert_eq!(outcome(4, 1.0, 2.0).gate(), "fail");
+    }
+
+    #[test]
+    fn bench_json_round_trips() {
+        let json = BenchOutcome {
+            sequential_s: 2.5,
+            parallel_s: 1.25,
+            threads: 4,
+            speedup: 2.0,
+        }
+        .to_json(0.05);
+        let doc = Json::parse(&json).unwrap();
+        let Json::Obj(fields) = &doc else {
+            panic!("expected object")
+        };
+        let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        assert_eq!(get("schema"), Some(&Json::from("summit-perf/1")));
+        assert_eq!(get("gate"), Some(&Json::from("pass")));
+        assert_eq!(get("threads"), Some(&Json::from(4usize)));
     }
 
     #[test]

@@ -167,6 +167,12 @@ struct NodeTick {
 }
 
 impl Engine {
+    /// Minimum nodes per parallel chunk in the per-node tick map: each
+    /// node tick is only a few closed-form model evaluations, so
+    /// chunks below this waste more time on task hand-off than they
+    /// recover through load balance.
+    const TICK_MIN_CHUNK: usize = 64;
+
     /// Builds an engine from config, starting at `t0` seconds.
     pub fn new(config: EngineConfig, t0: f64) -> Self {
         let topology = if config.cabinets == 257 {
@@ -274,8 +280,12 @@ impl Engine {
         let msb = self.msb_model;
         let thermals_in = std::mem::take(&mut self.thermals);
 
+        // Per-node tick work is light (a few model evaluations), so
+        // keep chunks at >= TICK_MIN_CHUNK nodes to amortize task
+        // hand-off; the chunk grid stays thread-count independent.
         let results: Vec<NodeTick> = thermals_in
             .into_par_iter()
+            .with_min_len(Self::TICK_MIN_CHUNK)
             .enumerate()
             .map(|(i, mut th)| {
                 let node = NodeId(i as u32);

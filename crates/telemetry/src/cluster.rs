@@ -65,7 +65,11 @@ struct InputAcc {
 /// time-series, sorted by window start. Node batches are reduced in
 /// parallel.
 pub fn cluster_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow> {
-    let maps: Vec<HashMap<i64, InputAcc>> = windows_by_node
+    // Per-node maps merge pairwise inside each worker chunk, and the
+    // chunk accumulators merge in chunk order — no barrier collect of
+    // all per-node maps. The merge grouping is fixed by the chunk
+    // layout, so results are identical for every thread count.
+    let merged: HashMap<i64, InputAcc> = windows_by_node
         .par_iter()
         .map(|windows| {
             let mut map: HashMap<i64, InputAcc> = HashMap::new();
@@ -79,14 +83,12 @@ pub fn cluster_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow
             }
             map
         })
-        .collect();
-
-    let mut merged: HashMap<i64, InputAcc> = HashMap::new();
-    for map in maps {
-        for (k, acc) in map {
-            merged.entry(k).or_default().w.merge(&acc.w);
-        }
-    }
+        .reduce(HashMap::new, |mut into, from| {
+            for (k, acc) in from {
+                into.entry(k).or_default().w.merge(&acc.w);
+            }
+            into
+        });
 
     let mut rows: Vec<ClusterPowerRow> = merged
         .into_iter()
@@ -110,7 +112,7 @@ struct ComponentAcc {
 
 /// Collapses per-node windows into the Dataset-2 component time-series.
 pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ComponentPowerRow> {
-    let maps: Vec<HashMap<i64, ComponentAcc>> = windows_by_node
+    let merged: HashMap<i64, ComponentAcc> = windows_by_node
         .par_iter()
         .map(|windows| {
             let mut map: HashMap<i64, ComponentAcc> = HashMap::new();
@@ -132,16 +134,14 @@ pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<Compo
             }
             map
         })
-        .collect();
-
-    let mut merged: HashMap<i64, ComponentAcc> = HashMap::new();
-    for map in maps {
-        for (k, acc) in map {
-            let m = merged.entry(k).or_default();
-            m.cpu.merge(&acc.cpu);
-            m.gpu.merge(&acc.gpu);
-        }
-    }
+        .reduce(HashMap::new, |mut into, from| {
+            for (k, acc) in from {
+                let m = into.entry(k).or_default();
+                m.cpu.merge(&acc.cpu);
+                m.gpu.merge(&acc.gpu);
+            }
+            into
+        });
 
     let mut rows: Vec<ComponentPowerRow> = merged
         .into_iter()

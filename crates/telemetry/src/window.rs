@@ -324,7 +324,11 @@ pub fn coarsen_parallel_with_health(
     window_s: f64,
 ) -> (Vec<Vec<NodeWindow>>, IngestHealth) {
     let _obs = summit_obs::span("summit_telemetry_coarsen");
-    let per_node: Vec<(Vec<NodeWindow>, IngestHealth)> = frames_by_node
+    // Fold each worker chunk into (windows, health) directly and merge
+    // the per-chunk accumulators in chunk order: no barrier collect of
+    // per-node pairs, and — since IngestHealth is integer counters —
+    // a merge tree that is exactly the sequential one.
+    let (windows, health): (Vec<Vec<NodeWindow>>, IngestHealth) = frames_by_node
         .par_iter()
         .map(|frames| {
             let Some(first) = frames.first() else {
@@ -336,13 +340,22 @@ pub fn coarsen_parallel_with_health(
             }
             agg.finish_with_health()
         })
-        .collect();
-    let mut health = IngestHealth::default();
-    let mut windows = Vec::with_capacity(per_node.len());
-    for (w, h) in per_node {
-        health.merge(&h);
-        windows.push(w);
-    }
+        .fold(
+            || (Vec::new(), IngestHealth::default()),
+            |(mut windows, mut health), (w, h)| {
+                health.merge(&h);
+                windows.push(w);
+                (windows, health)
+            },
+        )
+        .reduce(
+            || (Vec::new(), IngestHealth::default()),
+            |(mut windows, mut health), (chunk_windows, chunk_health)| {
+                health.merge(&chunk_health);
+                windows.extend(chunk_windows);
+                (windows, health)
+            },
+        );
     let emitted: usize = windows.iter().map(Vec::len).sum();
     summit_obs::counter("summit_telemetry_windows_total").inc_by(emitted as u64);
     summit_obs::counter("summit_telemetry_frames_accepted_total").inc_by(health.accepted);

@@ -1,0 +1,77 @@
+//! Thread-count bit-identity: the deterministic pool behind
+//! `compat/rayon` must make every parallel stage — engine tick map,
+//! window coarsening, cluster reduction, KDE grid, correlation — yield
+//! byte-identical results and identical obs counters whether it runs
+//! on 1, 2 or the machine's default number of threads. This is the
+//! regression gate for the determinism contract in DESIGN.md
+//! "Parallel execution model".
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use summit_repro::analysis::correlation::pearson;
+use summit_repro::analysis::kde::{Bandwidth, Kde2d};
+use summit_repro::core::pipeline::run_telemetry;
+use summit_repro::obs::registry::Registry;
+use summit_repro::telemetry::cluster::cluster_power;
+use summit_repro::telemetry::stream::FaultConfig;
+
+/// Renders one full pipeline pass — smoke-scale fault-injected
+/// telemetry run, cluster power reduction, KDE grid, correlation — as
+/// raw bytes (floats via `to_bits`, so "equal" means bit-identical),
+/// plus the counters the pass recorded.
+fn pipeline_fingerprint() -> (Vec<u8>, Vec<(String, u64)>) {
+    let registry = Registry::new();
+    let scope = registry.install();
+
+    let run = run_telemetry(1, 120.0, Some(FaultConfig::light(7)));
+    let rows = cluster_power(&run.windows_by_node);
+
+    let mut bytes = Vec::new();
+    for windows in &run.windows_by_node {
+        bytes.extend_from_slice(&(windows.len() as u64).to_le_bytes());
+    }
+    let mut xs = Vec::with_capacity(rows.len());
+    let mut ys = Vec::with_capacity(rows.len());
+    for r in &rows {
+        bytes.extend_from_slice(&r.window_start.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&u64::from(r.count_inp).to_le_bytes());
+        bytes.extend_from_slice(&r.sum_inp.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&r.mean_inp.to_bits().to_le_bytes());
+        bytes.extend_from_slice(&r.max_inp.to_bits().to_le_bytes());
+        xs.push(r.window_start);
+        ys.push(r.sum_inp);
+    }
+    let kde = Kde2d::fit(&xs, &ys, Bandwidth::Scott).expect("enough windows to fit a KDE");
+    for &d in &kde.grid(16, 16).density {
+        bytes.extend_from_slice(&d.to_bits().to_le_bytes());
+    }
+    bytes.extend_from_slice(&pearson(&xs, &ys).to_bits().to_le_bytes());
+
+    drop(scope);
+    (bytes, registry.snapshot().counters)
+}
+
+/// One pipeline pass per thread count; every pass must produce the
+/// same report bytes and the same counter values (timing gauges and
+/// `_seconds` histograms are outside the comparison by construction).
+#[test]
+fn pipeline_is_bit_identical_across_thread_counts() {
+    let (baseline_bytes, baseline_counters) = rayon::with_thread_count(1, pipeline_fingerprint);
+    assert!(!baseline_bytes.is_empty());
+    assert!(baseline_counters
+        .iter()
+        .any(|(name, v)| name == "summit_par_tasks_total" && *v > 0));
+
+    let default_threads = rayon::current_num_threads().max(3);
+    for threads in [2, default_threads] {
+        let (bytes, counters) = rayon::with_thread_count(threads, pipeline_fingerprint);
+        assert_eq!(
+            bytes, baseline_bytes,
+            "report bytes differ at threads={threads}"
+        );
+        assert_eq!(
+            counters, baseline_counters,
+            "obs counters differ at threads={threads}"
+        );
+    }
+}

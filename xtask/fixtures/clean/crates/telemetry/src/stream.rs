@@ -1,0 +1,13 @@
+//! Fixture: one direct-thread site, exactly covered by the allowlist.
+
+/// Fans frames in over a scoped collector thread.
+pub fn fan_in(frames: &[u32]) -> u32 {
+    let mut total = 0;
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| frames.iter().sum::<u32>());
+        if let Ok(sum) = handle.join() {
+            total = sum;
+        }
+    });
+    total
+}

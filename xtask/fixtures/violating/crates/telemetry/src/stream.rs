@@ -1,0 +1,22 @@
+//! Fixture: two unbudgeted direct-thread sites; the test-module site
+//! must not be counted.
+
+/// Spawns a detached worker — bypasses the pool.
+pub fn leak_a_thread() {
+    let handle = std::thread::spawn(|| ());
+    drop(handle);
+}
+
+/// Builds a named worker — also bypasses the pool.
+pub fn build_a_thread() {
+    let builder = std::thread::Builder::new();
+    drop(builder);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_in_tests_are_free() {
+        std::thread::scope(|_| ());
+    }
+}

@@ -1,7 +1,7 @@
 //! `cargo xtask` — repo-specific developer tooling.
 //!
 //! The only subcommand today is `lint`, a custom static-analysis pass
-//! enforcing five invariants the compiler cannot check:
+//! enforcing six invariants the compiler cannot check:
 //!
 //! 1. **determinism** — no wall-clock or entropy-seeded randomness in
 //!    the simulation/analysis crates that feed experiment outputs;
@@ -19,7 +19,12 @@
 //! 5. **obs-coverage** — every public `run_*` entry point in
 //!    `core::pipeline` and every experiment module opens at least one
 //!    `summit_obs` span, so new stages cannot silently skip the
-//!    self-observability layer.
+//!    self-observability layer;
+//! 6. **parallelism** — no direct `std::thread::spawn`/`scope`/
+//!    `Builder` in library crates outside a ratcheted allowlist: all
+//!    data-parallelism goes through the deterministic `compat/rayon`
+//!    pool so it honors `SUMMIT_THREADS` and the bit-reproducibility
+//!    contract.
 //!
 //! Run as `cargo xtask lint` (see `.cargo/config.toml` for the alias).
 
@@ -31,7 +36,7 @@ const USAGE: &str = "\
 usage: cargo xtask lint [--rule <name>]... [--strict-indexing]
 
 rules: determinism | panic-freedom | spec-constants | registry | obs-coverage
-       (default: all five)
+       | parallelism   (default: all six)
 
 --strict-indexing  also fail on literal slice indexing (`xs[0]`) in
                    non-test library code; advisory warnings otherwise
@@ -100,6 +105,9 @@ fn main() -> ExitCode {
     }
     if run("obs-coverage") {
         violations.extend(rules::obs_coverage::check(&root));
+    }
+    if run("parallelism") {
+        violations.extend(rules::parallelism::check(&root));
     }
 
     violations.sort();

@@ -1,7 +1,8 @@
-//! The five repo-specific lint rules.
+//! The six repo-specific lint rules.
 
 pub mod determinism;
 pub mod obs_coverage;
 pub mod panic_freedom;
+pub mod parallelism;
 pub mod registry;
 pub mod spec_constants;

@@ -157,7 +157,7 @@ pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violati
 /// budget (with `advice`) and when the allowlist overstates reality in
 /// either way (under-budget or orphaned entry).
 #[allow(clippy::too_many_arguments)]
-fn ratchet(
+pub(crate) fn ratchet(
     rule: &'static str,
     allowlist: &'static str,
     advice: &str,
@@ -210,7 +210,10 @@ fn ratchet(
 /// Parses an allowlist file: `<path> <count>` per line, `#` comments.
 /// Returned map borrows from a leaked string only within the call, so
 /// it is keyed by owned strings upstream via `found`.
-fn load_allowlist(root: &Path, list: &str) -> Result<BTreeMap<&'static str, usize>, String> {
+pub(crate) fn load_allowlist(
+    root: &Path,
+    list: &str,
+) -> Result<BTreeMap<&'static str, usize>, String> {
     // The allowlist is small and read once per run; leaking it gives the
     // map a simple lifetime without cloning every key twice.
     let text = std::fs::read_to_string(root.join(list))

@@ -1,0 +1,96 @@
+//! Rule: all data-parallelism goes through the `rayon` facade.
+//!
+//! The vendored `compat/rayon` pool is the one place where threads are
+//! created, sized (`SUMMIT_THREADS`) and made deterministic: chunk
+//! grids, ordered collection and chunk-ordered reductions live there.
+//! A direct `std::thread::spawn`/`scope`/`Builder` in a library crate
+//! sidesteps all of that — its scheduling is invisible to the pool's
+//! obs metrics, it ignores the thread budget, and any result it
+//! assembles concurrently can break the bit-reproducibility contract
+//! the determinism tests enforce.
+//!
+//! Existing non-facade sites (the ingest streaming machinery, which
+//! models an out-of-band delivery fabric rather than a data-parallel
+//! computation) are grandfathered in `xtask/thread_allowlist.txt` as
+//! exact per-file counts, ratcheted both ways like the panic budget.
+//!
+//! Scope: non-test code in every `crates/*/src` tree. `compat/` is
+//! deliberately out of scope — the facade itself must use threads.
+
+use crate::rules::panic_freedom::{load_allowlist, ratchet};
+use crate::source;
+use crate::violation::Violation;
+use crate::workspace::{rel, rust_files};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const RULE: &str = "parallelism";
+
+/// Allowlist location, relative to the workspace root.
+pub const ALLOWLIST: &str = "xtask/thread_allowlist.txt";
+
+/// Thread-creating tokens. All are matched at a word start, so a path
+/// prefix (`std::thread::scope`) still matches while identifiers that
+/// merely end in `thread` do not.
+const TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
+
+/// Runs the rule over `root` and returns every finding.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut errors = Vec::new();
+    let allowed = match load_allowlist(root, ALLOWLIST) {
+        Ok(a) => a,
+        Err(msg) => {
+            errors.push(Violation::new(RULE, ALLOWLIST, 0, msg));
+            return errors;
+        }
+    };
+
+    let mut found: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        errors.push(Violation::new(
+            RULE,
+            "crates",
+            0,
+            "missing crates/ directory",
+        ));
+        return errors;
+    };
+    let mut crate_srcs: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path().join("src"))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_srcs.sort();
+
+    for src_dir in crate_srcs {
+        for file in rust_files(&src_dir) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                errors.push(Violation::new(RULE, rel(root, &file), 0, "unreadable file"));
+                continue;
+            };
+            let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let rel_path = rel(root, &file).display().to_string();
+            for token in TOKENS {
+                for line in source::find_token_lines(&masked, token, true) {
+                    found
+                        .entry(rel_path.clone())
+                        .or_default()
+                        .push((line, (*token).to_string()));
+                }
+            }
+        }
+    }
+
+    ratchet(
+        RULE,
+        ALLOWLIST,
+        "use the rayon facade (par_iter/into_par_iter) so parallelism stays \
+         deterministic and observable",
+        "thread",
+        &found,
+        &allowed,
+        &mut errors,
+    );
+    errors
+}

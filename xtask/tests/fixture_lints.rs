@@ -7,7 +7,9 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::path::{Path, PathBuf};
-use xtask::rules::{determinism, obs_coverage, panic_freedom, registry, spec_constants};
+use xtask::rules::{
+    determinism, obs_coverage, panic_freedom, parallelism, registry, spec_constants,
+};
 use xtask::violation::Violation;
 
 fn fixture(name: &str) -> PathBuf {
@@ -202,4 +204,33 @@ fn obs_coverage_flags_bare_entry_points() {
 #[test]
 fn obs_coverage_clean_fixture_passes() {
     assert_eq!(obs_coverage::check(&fixture("clean")), vec![]);
+}
+
+// --- parallelism -------------------------------------------------------
+
+#[test]
+fn parallelism_flags_unbudgeted_thread_sites() {
+    let v = parallelism::check(&fixture("violating"));
+    // Two direct-thread sites over a zero budget plus one orphaned
+    // allowlist entry; the `#[cfg(test)]` scope site must NOT count.
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/telemetry/src/stream.rs".into(), 6),
+            ("crates/telemetry/src/stream.rs".into(), 12),
+            ("xtask/thread_allowlist.txt".into(), 0),
+        ]
+    );
+    assert!(message_at(&v, "crates/telemetry/src/stream.rs", 6).contains("thread::spawn"));
+    assert!(message_at(&v, "crates/telemetry/src/stream.rs", 12).contains("thread::Builder"));
+    assert!(
+        message_at(&v, "xtask/thread_allowlist.txt", 0).contains("crates/telemetry/src/gone.rs")
+    );
+}
+
+#[test]
+fn parallelism_clean_fixture_passes() {
+    // The clean fixture's stream.rs has exactly the one scoped-thread
+    // site its allowlist entry budgets — the exact-match ratchet path.
+    assert_eq!(parallelism::check(&fixture("clean")), vec![]);
 }
