@@ -132,6 +132,19 @@ pub trait ParallelIterator: Sized {
         acc
     }
 
+    /// Sums float elements through the exact merge tree: each chunk
+    /// accumulates left-to-right from `zero()`, then chunk sums combine
+    /// in ascending chunk order. The grouping is a pure function of the
+    /// chunk grid, so the result is bit-identical for every thread
+    /// count — unlike a re-associating `.sum::<f64>()`, which the
+    /// `float-reduction` lint bans inside parallel pipelines.
+    fn sum_stable(self) -> Self::Item
+    where
+        Self::Item: StableSum,
+    {
+        self.reduce(Self::Item::zero, StableSum::add)
+    }
+
     /// Executes the pipeline and collects every element in input order.
     fn collect<C>(self) -> C
     where
@@ -143,6 +156,35 @@ pub trait ParallelIterator: Sized {
     /// Executes the pipeline and counts the elements it yields.
     fn count(self) -> usize {
         pool::run(self).into_iter().map(|chunk| chunk.len()).sum()
+    }
+}
+
+/// Element types [`ParallelIterator::sum_stable`] can reduce through
+/// the exact merge tree. Implemented for the float types whose addition
+/// is non-associative; integers can keep using `fold`/`reduce` freely.
+pub trait StableSum: Send {
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Element addition (applied chunk-locally, then across chunks in
+    /// ascending chunk order).
+    fn add(self, rhs: Self) -> Self;
+}
+
+impl StableSum for f32 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+}
+
+impl StableSum for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
     }
 }
 
@@ -595,5 +637,38 @@ where
             acc = (self.fold_op)(acc, x);
         }
         Some(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::with_thread_count;
+
+    #[test]
+    fn sum_stable_is_bit_identical_across_thread_counts() {
+        // Magnitudes spread over ~12 orders so any re-association of
+        // the additions changes low-order mantissa bits.
+        let xs: Vec<f64> = (0..10_000)
+            .map(|i| 1.0 + (i as f64) * 1e-12 + ((i % 7) as f64) * 1e3)
+            .collect();
+        let baseline = with_thread_count(1, || xs.par_iter().map(|&x| x).sum_stable());
+        for threads in [2, 4, 0] {
+            let got = if threads == 0 {
+                xs.par_iter().map(|&x| x).sum_stable()
+            } else {
+                with_thread_count(threads, || xs.par_iter().map(|&x| x).sum_stable())
+            };
+            assert_eq!(baseline.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_stable_f32_zero_and_add() {
+        let xs: Vec<f32> = vec![0.1, 0.2, 0.3];
+        let a = with_thread_count(1, || xs.par_iter().map(|&x| x).sum_stable());
+        let b = with_thread_count(3, || xs.par_iter().map(|&x| x).sum_stable());
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }

@@ -50,7 +50,7 @@ use std::cell::Cell;
 pub mod prelude {
     pub use crate::iter::{
         FromParallelIterator, IndexedParallelIterator, IntoParallelIterator,
-        IntoParallelRefIterator, ParallelIterator,
+        IntoParallelRefIterator, ParallelIterator, StableSum,
     };
 }
 

@@ -158,7 +158,9 @@ pub fn detect_edges_for_job(power: &Series, node_count: usize) -> Vec<Edge> {
 pub fn amplitude_class_mw(edge: &Edge) -> Option<u32> {
     let mw = edge.amplitude() / 1e6;
     let class = (mw + 0.5).floor() as i64;
-    (class >= 1).then_some(class as u32)
+    // Checked narrowing: classes above u32::MAX cannot occur for real
+    // amplitudes, and a negative class means "below 0.5 MW" anyway.
+    u32::try_from(class).ok().filter(|&c| c >= 1)
 }
 
 /// Summary of edge behaviour across one job (one row of the population

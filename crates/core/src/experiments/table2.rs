@@ -133,7 +133,7 @@ pub fn run(config: &Config) -> Result<Table2Result, ExperimentError> {
             // Fan-in through the collector (delay model + rate accounting).
             let (collected, stats) = {
                 let _obs = summit_obs::span("summit_telemetry_fan_in");
-                fan_in_batches(frames_by_node, config.producers, 4096)
+                fan_in_batches(frames_by_node, config.producers)
             };
             merge_stats(&mut all_stats, &stats);
             // Re-shard by node for archival + coarsening.

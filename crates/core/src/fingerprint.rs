@@ -16,7 +16,7 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use summit_analysis::edges::detect_edges_for_job;
 use summit_analysis::fft::dominant_component;
 use summit_sim::jobs::SyntheticJob;
@@ -283,7 +283,9 @@ impl PortraitModel {
         let normalized: Vec<[f64; FEATURES]> = raw.iter().map(|x| normalizer.apply(x)).collect();
         let kmeans = KMeans::fit(rng, &normalized, k.min(jobs.len()), 50);
 
-        let mut acc: HashMap<String, (usize, f64, f64, Vec<usize>)> = HashMap::new();
+        // BTreeMap: portraits are built in project order, and the
+        // majority-cluster tie-break below is deterministic.
+        let mut acc: BTreeMap<String, (usize, f64, f64, Vec<usize>)> = BTreeMap::new();
         for ((job, print), norm) in jobs.iter().zip(prints).zip(&normalized) {
             let e = acc
                 .entry(job.record.project.clone())
@@ -296,8 +298,10 @@ impl PortraitModel {
         let portraits: HashMap<String, Portrait> = acc
             .into_iter()
             .map(|(project, (n, mean, max, clusters))| {
-                // Majority cluster.
-                let mut counts: HashMap<usize, usize> = HashMap::new();
+                // Majority cluster; `max_by_key` keeps the last max, so
+                // over a BTreeMap a count tie resolves to the highest
+                // cluster index — deterministically.
+                let mut counts: BTreeMap<usize, usize> = BTreeMap::new();
                 for c in clusters {
                     *counts.entry(c).or_default() += 1;
                 }

@@ -104,8 +104,10 @@ pub struct OpsConsole {
 
 impl OpsConsole {
     /// Creates a console keeping `history` samples of each signal.
+    /// Histories shorter than two samples cannot express a trend, so
+    /// the depth is clamped up to 2 instead of rejected.
     pub fn new(thresholds: Thresholds, history: usize) -> Self {
-        assert!(history >= 2, "history must hold at least two samples");
+        let history = history.max(2);
         Self {
             thresholds,
             history,

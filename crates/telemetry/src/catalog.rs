@@ -45,6 +45,15 @@ impl MetricId {
     }
 }
 
+/// Offsets a layout base by a bounded element index. Every caller
+/// asserts or type-bounds `idx`, so the checked conversion never
+/// saturates in practice; it exists so no bare narrowing cast can
+/// silently wrap if a bound and an offset ever drift apart
+/// (`lossy-cast` lint).
+fn at(base: u16, idx: usize) -> MetricId {
+    MetricId(base.saturating_add(u16::try_from(idx).unwrap_or(u16::MAX)))
+}
+
 // --- Dense layout offsets -------------------------------------------------
 const OFF_INPUT_POWER: u16 = 0;
 const OFF_PS_INPUT_POWER: u16 = 1; // +2
@@ -74,50 +83,50 @@ pub fn input_power() -> MetricId {
 /// Input power of power supply `ps` (0 or 1), watts.
 pub fn ps_input_power(ps: usize) -> MetricId {
     assert!(ps < 2, "power supply index must be 0 or 1");
-    MetricId(OFF_PS_INPUT_POWER + ps as u16)
+    at(OFF_PS_INPUT_POWER, ps)
 }
 
 /// Package power of a CPU socket, watts.
 pub fn cpu_power(socket: Socket) -> MetricId {
-    MetricId(OFF_CPU_POWER + socket.index() as u16)
+    at(OFF_CPU_POWER, socket.index())
 }
 
 /// Power of the GPU in `slot`, watts.
 pub fn gpu_power(slot: GpuSlot) -> MetricId {
-    MetricId(OFF_GPU_POWER + slot.index() as u16)
+    at(OFF_GPU_POWER, slot.index())
 }
 
 /// Core temperature of the GPU in `slot`, Celsius.
 pub fn gpu_core_temp(slot: GpuSlot) -> MetricId {
-    MetricId(OFF_GPU_CORE_TEMP + slot.index() as u16)
+    at(OFF_GPU_CORE_TEMP, slot.index())
 }
 
 /// HBM2 memory temperature of the GPU in `slot`, Celsius.
 pub fn gpu_mem_temp(slot: GpuSlot) -> MetricId {
-    MetricId(OFF_GPU_MEM_TEMP + slot.index() as u16)
+    at(OFF_GPU_MEM_TEMP, slot.index())
 }
 
 /// Package temperature of a CPU socket, Celsius.
 pub fn cpu_pkg_temp(socket: Socket) -> MetricId {
-    MetricId(OFF_CPU_PKG_TEMP + socket.index() as u16)
+    at(OFF_CPU_PKG_TEMP, socket.index())
 }
 
 /// Temperature of core `core` (0..22) on `socket`, Celsius.
 pub fn cpu_core_temp(socket: Socket, core: usize) -> MetricId {
     assert!(core < CORES_PER_SOCKET, "core index out of range: {core}");
-    MetricId(OFF_CPU_CORE_TEMP + (socket.index() * CORES_PER_SOCKET + core) as u16)
+    at(OFF_CPU_CORE_TEMP, socket.index() * CORES_PER_SOCKET + core)
 }
 
 /// Temperature of DIMM `dimm` (0..16), Celsius.
 pub fn dimm_temp(dimm: usize) -> MetricId {
     assert!(dimm < DIMMS_PER_NODE, "dimm index out of range: {dimm}");
-    MetricId(OFF_DIMM_TEMP + dimm as u16)
+    at(OFF_DIMM_TEMP, dimm)
 }
 
 /// Speed of chassis fan `fan` (0..4), RPM.
 pub fn fan_speed(fan: usize) -> MetricId {
     assert!(fan < FANS_PER_NODE, "fan index out of range: {fan}");
-    MetricId(OFF_FAN_SPEED + fan as u16)
+    at(OFF_FAN_SPEED, fan)
 }
 
 /// Aggregate fan power, watts.
@@ -127,7 +136,7 @@ pub fn fan_power() -> MetricId {
 
 /// DDR4 memory power for a socket's DIMM group, watts.
 pub fn mem_power(socket: Socket) -> MetricId {
-    MetricId(OFF_MEM_POWER + socket.index() as u16)
+    at(OFF_MEM_POWER, socket.index())
 }
 
 /// NVMe burst-buffer temperature, Celsius.
@@ -151,17 +160,17 @@ pub fn board_temp(position: usize) -> MetricId {
         position < 2,
         "board temp position must be 0 (inlet) or 1 (outlet)"
     );
-    MetricId(OFF_BOARD_TEMP + position as u16)
+    at(OFF_BOARD_TEMP, position)
 }
 
 /// CPU voltage-regulator temperature for a socket, Celsius.
 pub fn cpu_vrm_temp(socket: Socket) -> MetricId {
-    MetricId(OFF_CPU_VRM_TEMP + socket.index() as u16)
+    at(OFF_CPU_VRM_TEMP, socket.index())
 }
 
 /// GPU voltage-regulator temperature for a slot, Celsius.
 pub fn gpu_vrm_temp(slot: GpuSlot) -> MetricId {
-    MetricId(OFF_GPU_VRM_TEMP + slot.index() as u16)
+    at(OFF_GPU_VRM_TEMP, slot.index())
 }
 
 /// I/O subsystem power (HCA + NVMe + planar), watts.

@@ -8,11 +8,12 @@
 //! (`mean_cpu_power, std_cpu_power, ..., max_gpu_power`).
 
 use crate::catalog;
+use crate::convert;
 use crate::ids::{GpuSlot, Socket};
 use crate::window::NodeWindow;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use summit_analysis::series::Series;
 use summit_analysis::stats::Welford;
 
@@ -68,11 +69,13 @@ pub fn cluster_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow
     // Per-node maps merge pairwise inside each worker chunk, and the
     // chunk accumulators merge in chunk order — no barrier collect of
     // all per-node maps. The merge grouping is fixed by the chunk
-    // layout, so results are identical for every thread count.
-    let merged: HashMap<i64, InputAcc> = windows_by_node
+    // layout, so results are identical for every thread count; the
+    // BTreeMap keys make the final drain window-ordered by
+    // construction (hash-order lint).
+    let merged: BTreeMap<i64, InputAcc> = windows_by_node
         .par_iter()
         .map(|windows| {
-            let mut map: HashMap<i64, InputAcc> = HashMap::new();
+            let mut map: BTreeMap<i64, InputAcc> = BTreeMap::new();
             for w in windows {
                 let s = w.metric(catalog::input_power());
                 if s.count == 0 {
@@ -83,25 +86,24 @@ pub fn cluster_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow
             }
             map
         })
-        .reduce(HashMap::new, |mut into, from| {
+        .reduce(BTreeMap::new, |mut into, from| {
             for (k, acc) in from {
                 into.entry(k).or_default().w.merge(&acc.w);
             }
             into
         });
 
-    let mut rows: Vec<ClusterPowerRow> = merged
+    // BTreeMap drain order is ascending window start already.
+    merged
         .into_iter()
         .map(|(k, acc)| ClusterPowerRow {
             window_start: k as f64,
-            count_inp: acc.w.count() as u32,
+            count_inp: convert::count_u32(acc.w.count()),
             sum_inp: acc.w.sum(),
             mean_inp: acc.w.mean(),
             max_inp: acc.w.max(),
         })
-        .collect();
-    rows.sort_by(|a, b| a.window_start.total_cmp(&b.window_start));
-    rows
+        .collect()
 }
 
 #[derive(Clone, Default)]
@@ -112,10 +114,10 @@ struct ComponentAcc {
 
 /// Collapses per-node windows into the Dataset-2 component time-series.
 pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ComponentPowerRow> {
-    let merged: HashMap<i64, ComponentAcc> = windows_by_node
+    let merged: BTreeMap<i64, ComponentAcc> = windows_by_node
         .par_iter()
         .map(|windows| {
-            let mut map: HashMap<i64, ComponentAcc> = HashMap::new();
+            let mut map: BTreeMap<i64, ComponentAcc> = BTreeMap::new();
             for w in windows {
                 let key = w.window_start.round() as i64;
                 let acc = map.entry(key).or_default();
@@ -134,7 +136,7 @@ pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<Compo
             }
             map
         })
-        .reduce(HashMap::new, |mut into, from| {
+        .reduce(BTreeMap::new, |mut into, from| {
             for (k, acc) in from {
                 let m = into.entry(k).or_default();
                 m.cpu.merge(&acc.cpu);
@@ -143,7 +145,7 @@ pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<Compo
             into
         });
 
-    let mut rows: Vec<ComponentPowerRow> = merged
+    merged
         .into_iter()
         .map(|(k, acc)| ComponentPowerRow {
             window_start: k as f64,
@@ -157,9 +159,7 @@ pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<Compo
             sum_cpu_power: acc.cpu.sum(),
             sum_gpu_power: acc.gpu.sum(),
         })
-        .collect();
-    rows.sort_by(|a, b| a.window_start.total_cmp(&b.window_start));
-    rows
+        .collect()
 }
 
 /// Converts Dataset-1 rows into a uniform [`Series`] of cluster power

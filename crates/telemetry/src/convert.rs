@@ -1,0 +1,31 @@
+//! Checked narrowing conversions for the data path.
+//!
+//! The `lossy-cast` lint bans bare narrowing `as` casts in this crate:
+//! `as` silently wraps (`u64 as u32`) or rounds (`f64 as f32`), and a
+//! corrupted count or metric offset propagates into derived tables
+//! without any runtime signal. These helpers make the narrowing policy
+//! explicit at the call site instead.
+
+/// Narrows a sample count to the `u32` row fields. Counts in this
+/// workspace are bounded by samples-per-window times nodes (far below
+/// `u32::MAX`); the saturating policy means a pathological overflow
+/// shows up as a pinned maximum instead of a silently wrapped small
+/// number.
+pub fn count_u32(n: u64) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn count_narrowing_saturates() {
+        assert_eq!(count_u32(0), 0);
+        assert_eq!(count_u32(4_000_000), 4_000_000);
+        assert_eq!(count_u32(u64::from(u32::MAX)), u32::MAX);
+        assert_eq!(count_u32(u64::from(u32::MAX) + 1), u32::MAX);
+        assert_eq!(count_u32(u64::MAX), u32::MAX);
+    }
+}

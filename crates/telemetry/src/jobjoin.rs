@@ -6,11 +6,12 @@
 //! (Section 3). The join key is (node, time-window) -> allocation_id.
 
 use crate::catalog;
+use crate::convert;
 use crate::ids::{AllocationId, GpuSlot, Socket};
 use crate::records::NodeAllocation;
 use crate::window::NodeWindow;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use summit_analysis::series::Series;
 use summit_analysis::stats::Welford;
 
@@ -72,16 +73,18 @@ pub struct JobLevelPower {
     pub energy_j: f64,
 }
 
-/// An index from (node, time) to the allocation occupying it.
+/// An index from (node, time) to the allocation occupying it. Keyed by
+/// a `BTreeMap` so any iteration over it is in node order — hash-order
+/// nondeterminism cannot leak out of the index.
 pub struct AllocationIndex {
     /// Per node: (begin, end, allocation), sorted by begin.
-    by_node: HashMap<u32, Vec<(f64, f64, AllocationId)>>,
+    by_node: BTreeMap<u32, Vec<(f64, f64, AllocationId)>>,
 }
 
 impl AllocationIndex {
     /// Builds the index from per-node allocation records.
     pub fn build(allocations: &[NodeAllocation]) -> Self {
-        let mut by_node: HashMap<u32, Vec<(f64, f64, AllocationId)>> = HashMap::new();
+        let mut by_node: BTreeMap<u32, Vec<(f64, f64, AllocationId)>> = BTreeMap::new();
         for a in allocations {
             by_node
                 .entry(a.node.0)
@@ -133,7 +136,9 @@ pub fn join_jobs(
     index: &AllocationIndex,
 ) -> (Vec<JobPowerRow>, Vec<JobComponentRow>) {
     let _obs = summit_obs::span("summit_telemetry_jobjoin");
-    let mut map: HashMap<(u64, i64), JoinAcc> = HashMap::new();
+    // Keyed (allocation, window): draining the BTreeMap yields rows
+    // already in the output order, no post-sort required.
+    let mut map: BTreeMap<(u64, i64), JoinAcc> = BTreeMap::new();
     for windows in windows_by_node {
         for w in windows {
             // Gap windows synthesized for ingest outages carry no
@@ -184,7 +189,7 @@ pub fn join_jobs(
         power_rows.push(JobPowerRow {
             allocation_id,
             window_start,
-            count_hostname: acc.inp.count() as u32,
+            count_hostname: convert::count_u32(acc.inp.count()),
             sum_inp: acc.inp.sum(),
             mean_inp: acc.inp.mean(),
             max_inp: acc.inp.max(),
@@ -192,7 +197,7 @@ pub fn join_jobs(
         comp_rows.push(JobComponentRow {
             allocation_id,
             window_start,
-            count_hostname: acc.inp.count() as u32,
+            count_hostname: convert::count_u32(acc.inp.count()),
             mean_cpu_power: acc.cpu.mean(),
             max_cpu_power: acc.cpu.max(),
             mean_gpu_power: acc.gpu.mean(),
@@ -201,9 +206,6 @@ pub fn join_jobs(
             gpu_nans: acc.gpu_nans,
         });
     }
-    let sort_key = |a: &JobPowerRow| (a.allocation_id.0, a.window_start.round() as i64);
-    power_rows.sort_by_key(sort_key);
-    comp_rows.sort_by_key(|r| (r.allocation_id.0, r.window_start.round() as i64));
     (power_rows, comp_rows)
 }
 
@@ -211,7 +213,7 @@ pub fn join_jobs(
 /// Dataset-7 energy integral), one row per allocation.
 pub fn job_level_power(rows: &[JobPowerRow], window_s: f64) -> Vec<JobLevelPower> {
     let _obs = summit_obs::span("summit_telemetry_job_level_power");
-    let mut map: HashMap<u64, (f64, f64, f64, f64, u64)> = HashMap::new();
+    let mut map: BTreeMap<u64, (f64, f64, f64, f64, u64)> = BTreeMap::new();
     // (max_sum, sum_of_sums, begin, end, n_windows)
     for r in rows {
         let e = map.entry(r.allocation_id.0).or_insert((
@@ -227,8 +229,8 @@ pub fn job_level_power(rows: &[JobPowerRow], window_s: f64) -> Vec<JobLevelPower
         e.3 = e.3.max(r.window_start + window_s);
         e.4 += 1;
     }
-    let mut out: Vec<JobLevelPower> = map
-        .into_iter()
+    // BTreeMap drain order is allocation order — the output order.
+    map.into_iter()
         .map(|(alloc, (max, sum, begin, end, n))| JobLevelPower {
             allocation_id: AllocationId(alloc),
             max_sum_inp: max,
@@ -237,9 +239,7 @@ pub fn job_level_power(rows: &[JobPowerRow], window_s: f64) -> Vec<JobLevelPower
             end_time: end,
             energy_j: sum * window_s,
         })
-        .collect();
-    out.sort_by_key(|j| j.allocation_id.0);
-    out
+        .collect()
 }
 
 /// Extracts one job's power time-series (`sum_inp` per window) as a

@@ -3,8 +3,8 @@
 //! The out-of-band telemetry pipeline of the SC '21 Summit power study,
 //! rebuilt as a library: per-node metric catalog (106 metrics, mirroring
 //! the paper's "over 100 metrics at 1 Hz"), 1 Hz frame records with the
-//! 2.5 s-average propagation-delay model, a crossbeam-based fan-in
-//! collector, lossless delta/varint/RLE compression of the archived
+//! 2.5 s-average propagation-delay model, a thread-free deterministic
+//! fan-in collector, lossless delta/varint/RLE compression of the archived
 //! stream, the 10-second `count/min/max/mean/std` window coarsening, and
 //! the cluster-level and job-aware aggregations that produce the paper's
 //! derived Datasets 0-7.
@@ -24,6 +24,7 @@
 pub mod catalog;
 pub mod cluster;
 pub mod codec;
+pub mod convert;
 pub mod datasets;
 pub mod export;
 pub mod ids;

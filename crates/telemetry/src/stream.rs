@@ -4,17 +4,19 @@
 //! network through a websocket-based 288:1 fan-in into the monitoring
 //! cluster, reaching the point of analysis with an average 4.1-second
 //! delay at a 460k metrics/sec ingest rate. This module models that
-//! path with crossbeam channels: many producers (node BMC emitters)
-//! fan into one collector that timestamps frames at ingest, tracks
-//! rate/delay statistics, and hands ordered batches to a consumer.
+//! path without any dedicated threads: many producers (node BMC
+//! emitters) share one collector that timestamps frames at ingest,
+//! tracks rate/delay statistics, and forwards each frame to a sink.
+//! Batch fan-in parallelises the producer side through the
+//! deterministic [`rayon`] facade and sorts arrivals into a canonical
+//! ingest order, so replays are bit-identical at every thread count.
 
 use crate::ingest::IngestHealth;
 use crate::records::NodeFrame;
-use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// The paper's maximum propagation delay (s): payloads reach the
 /// aggregation point "after an average 2.5-second delay (max. 5
@@ -301,104 +303,101 @@ impl FaultInjector {
     }
 }
 
+/// Shared state behind a collector: statistics plus the consumer sink.
+struct CollectorShared {
+    stats: IngestStats,
+    sink: Box<dyn FnMut(NodeFrame) + Send>,
+    open: bool,
+}
+
 /// Handle used by producers (BMC emitters) to push frames into the fan-in.
 #[derive(Clone)]
 pub struct FrameSender {
-    tx: Sender<NodeFrame>,
+    shared: Arc<Mutex<CollectorShared>>,
 }
 
 impl FrameSender {
     /// Sends a frame, stamping its ingest time from the delay model.
+    /// The frame is observed and forwarded to the sink synchronously.
     /// Returns `false` if the collector has shut down.
     pub fn send(&self, mut frame: NodeFrame) -> bool {
         frame.t_ingest = frame.t_sample + propagation_delay_s(frame.node.0, frame.t_sample);
-        self.tx.send(frame).is_ok()
+        let mut shared = self.shared.lock();
+        if !shared.open {
+            return false;
+        }
+        shared.stats.observe(&frame);
+        (shared.sink)(frame);
+        true
     }
 }
 
-/// The fan-in collector: consumes frames on a dedicated thread, updates
-/// ingest statistics, and forwards each frame to the supplied sink.
+/// The fan-in collector: frames pushed through any [`FrameSender`] are
+/// observed into the ingest statistics and forwarded to the supplied
+/// sink under one lock — no dedicated thread, no channel, no shutdown
+/// race. Producers see `send` fail once [`Collector::join`] closes the
+/// intake.
 pub struct Collector {
-    stats: Arc<Mutex<IngestStats>>,
-    handle: Option<JoinHandle<()>>,
+    shared: Arc<Mutex<CollectorShared>>,
 }
 
 impl Collector {
-    /// Spawns a collector with a bounded channel of `capacity` frames.
-    /// `sink` is invoked for every frame, on the collector thread.
-    // A failed thread spawn is an unrecoverable infrastructure error;
-    // the panic is intentional (tracked in xtask/panic_allowlist.txt).
-    #[allow(clippy::expect_used)]
-    pub fn spawn<F>(capacity: usize, mut sink: F) -> (FrameSender, Collector)
+    /// Opens a collector. `sink` is invoked for every frame, on
+    /// whichever caller pushed it.
+    pub fn start<F>(sink: F) -> (FrameSender, Collector)
     where
         F: FnMut(NodeFrame) + Send + 'static,
     {
-        let (tx, rx): (Sender<NodeFrame>, Receiver<NodeFrame>) = bounded(capacity);
-        let stats = Arc::new(Mutex::new(IngestStats::default()));
-        let stats_thread = Arc::clone(&stats);
-        let handle = std::thread::Builder::new()
-            .name("telemetry-collector".into())
-            .spawn(move || {
-                for frame in rx {
-                    stats_thread.lock().observe(&frame);
-                    sink(frame);
-                }
-            })
-            .expect("spawn collector thread");
+        let shared = Arc::new(Mutex::new(CollectorShared {
+            stats: IngestStats::default(),
+            sink: Box::new(sink),
+            open: true,
+        }));
         (
-            FrameSender { tx },
-            Collector {
-                stats,
-                handle: Some(handle),
+            FrameSender {
+                shared: Arc::clone(&shared),
             },
+            Collector { shared },
         )
     }
 
     /// Snapshot of the ingest statistics.
     pub fn stats(&self) -> IngestStats {
-        *self.stats.lock()
+        self.shared.lock().stats
     }
 
-    /// Waits for all producers to disconnect and the queue to drain,
-    /// returning the final statistics.
-    ///
-    /// # Panics
-    /// Propagates a panic from the collector thread (intentional;
-    /// tracked in xtask/panic_allowlist.txt).
-    #[allow(clippy::expect_used)]
-    pub fn join(mut self) -> IngestStats {
-        if let Some(h) = self.handle.take() {
-            h.join().expect("collector thread panicked");
-        }
-        let stats = *self.stats.lock();
-        stats
+    /// Closes the intake (subsequent `send` calls return `false`) and
+    /// returns the final statistics.
+    pub fn join(self) -> IngestStats {
+        let mut shared = self.shared.lock();
+        shared.open = false;
+        shared.stats
     }
 }
 
-impl Drop for Collector {
-    fn drop(&mut self) {
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
+/// Canonical arrival order: ingest time, ties broken by node then
+/// sample time. Total for the frames one fan-in produces, so the sort
+/// below is a permutation fixed by frame content alone.
+fn arrival_order(a: &NodeFrame, b: &NodeFrame) -> std::cmp::Ordering {
+    a.t_ingest
+        .total_cmp(&b.t_ingest)
+        .then(a.node.0.cmp(&b.node.0))
+        .then(a.t_sample.total_cmp(&b.t_sample))
 }
 
-/// Runs a multi-producer fan-in over pre-generated per-node frame batches:
-/// `producers` worker threads each push a shard of the batches, mimicking
-/// the 288:1 BMC fan-in. Returns the collected frames (ingest order) and
-/// final statistics. Used by the Table 2 ingest benchmark.
+/// Runs a multi-producer fan-in over pre-generated per-node frame
+/// batches: the batches are sharded round-robin across `producers`
+/// logical producers (mimicking the 288:1 BMC fan-in) and stamped in
+/// parallel through the deterministic [`rayon`] facade, then sorted
+/// into the canonical arrival order and folded into the ingest
+/// statistics sequentially. Returns the collected frames (ingest
+/// order) and final statistics; both are bit-identical at every
+/// thread count. Used by the Table 2 ingest benchmark.
 pub fn fan_in_batches(
     frames_by_node: Vec<Vec<NodeFrame>>,
     producers: usize,
-    capacity: usize,
 ) -> (Vec<NodeFrame>, IngestStats) {
     let producers = producers.max(1); // zero producers degrades to one
-    let collected = Arc::new(Mutex::new(Vec::new()));
-    let collected_sink = Arc::clone(&collected);
-    let (sender, collector) = Collector::spawn(capacity, move |frame| {
-        collected_sink.lock().push(frame);
-    });
-
     let shards: Vec<Vec<Vec<NodeFrame>>> = {
         let mut shards: Vec<Vec<Vec<NodeFrame>>> = (0..producers).map(|_| Vec::new()).collect();
         for (i, batch) in frames_by_node.into_iter().enumerate() {
@@ -407,27 +406,21 @@ pub fn fan_in_batches(
         shards
     };
 
-    std::thread::scope(|scope| {
-        for shard in shards {
-            let sender = sender.clone();
-            scope.spawn(move || {
-                for batch in shard {
-                    for frame in batch {
-                        sender.send(frame);
-                    }
-                }
-            });
-        }
-    });
-    drop(sender); // disconnect producers so the collector drains and exits
+    let mut frames: Vec<NodeFrame> = shards
+        .into_par_iter()
+        .flat_map_iter(|shard| {
+            shard.into_iter().flatten().map(|mut frame| {
+                frame.t_ingest = frame.t_sample + propagation_delay_s(frame.node.0, frame.t_sample);
+                frame
+            })
+        })
+        .collect();
+    frames.sort_by(arrival_order);
 
-    let stats = collector.join();
-    // The collector thread has exited, so ours is the last Arc; clone
-    // defensively if a straggling reference ever survives.
-    let frames = match Arc::try_unwrap(collected) {
-        Ok(m) => m.into_inner(),
-        Err(arc) => arc.lock().clone(),
-    };
+    let mut stats = IngestStats::default();
+    for frame in &frames {
+        stats.observe(frame);
+    }
     (frames, stats)
 }
 
@@ -478,7 +471,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let (frames, stats) = fan_in_batches(frames_by_node, 4, 64);
+        let (frames, stats) = fan_in_batches(frames_by_node, 4);
         assert_eq!(frames.len(), 16 * 50);
         assert_eq!(stats.frames, 800);
         assert_eq!(stats.metrics, 800 * crate::catalog::METRIC_COUNT as u64);
@@ -486,6 +479,34 @@ mod tests {
         assert!(stats.max_delay_s < 5.0);
         assert_eq!(stats.t_first, 0.0);
         assert_eq!(stats.t_last, 49.0);
+        // Canonical arrival order: ingest-time ascending.
+        assert!(frames.windows(2).all(|w| w[0].t_ingest <= w[1].t_ingest));
+    }
+
+    #[test]
+    fn fan_in_is_invariant_across_thread_counts() {
+        let frames_by_node: Vec<Vec<NodeFrame>> = (0..8)
+            .map(|n| {
+                (0..40)
+                    .map(|t| NodeFrame::empty(NodeId(n), t as f64))
+                    .collect()
+            })
+            .collect();
+        let fingerprint = |threads: Option<usize>| {
+            let run = || fan_in_batches(frames_by_node.clone(), 4);
+            let (frames, stats) = match threads {
+                Some(n) => rayon::with_thread_count(n, run),
+                None => run(),
+            };
+            let order: Vec<(u64, u32, u64)> = frames
+                .iter()
+                .map(|f| (f.t_ingest.to_bits(), f.node.0, f.t_sample.to_bits()))
+                .collect();
+            (order, stats.total_delay_s.to_bits(), stats.frames)
+        };
+        let one = fingerprint(Some(1));
+        assert_eq!(one, fingerprint(Some(2)));
+        assert_eq!(one, fingerprint(None));
     }
 
     #[test]
@@ -505,12 +526,29 @@ mod tests {
     }
 
     #[test]
-    fn clean_shutdown_after_senders_disconnect() {
-        let (sender, collector) = Collector::spawn(4, |_frame| {});
+    fn join_closes_the_intake() {
+        let (sender, collector) = Collector::start(|_frame| {});
         assert!(sender.send(NodeFrame::empty(NodeId(0), 0.0)));
-        drop(sender); // disconnect => collector thread drains and exits
+        assert_eq!(collector.stats().frames, 1);
         let stats = collector.join();
         assert_eq!(stats.frames, 1);
+        // The collector is gone: further sends are rejected.
+        assert!(!sender.send(NodeFrame::empty(NodeId(0), 1.0)));
+    }
+
+    #[test]
+    fn sink_sees_every_accepted_frame() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen_sink = Arc::clone(&seen);
+        let (sender, collector) = Collector::start(move |frame| {
+            seen_sink.lock().push(frame.t_sample);
+        });
+        for t in 0..5 {
+            assert!(sender.send(NodeFrame::empty(NodeId(0), t as f64)));
+        }
+        let stats = collector.join();
+        assert_eq!(stats.frames, 5);
+        assert_eq!(*seen.lock(), vec![0.0, 1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
@@ -535,7 +573,7 @@ mod tests {
     #[test]
     fn zero_producers_degrades_to_one() {
         let frames_by_node = vec![vec![NodeFrame::empty(NodeId(0), 0.0)]];
-        let (frames, stats) = fan_in_batches(frames_by_node, 0, 4);
+        let (frames, stats) = fan_in_batches(frames_by_node, 0);
         assert_eq!(frames.len(), 1);
         assert_eq!(stats.frames, 1);
     }

@@ -42,7 +42,7 @@ fn main() {
             }
         }
         // Fan them in through the 288:1-style collector.
-        let (collected, stats) = fan_in_batches(frames_by_node, 8, 4096);
+        let (collected, stats) = fan_in_batches(frames_by_node, 8);
         // Archive + coarsen per node.
         let mut by_node = vec![Vec::with_capacity(60); nodes];
         for f in collected {

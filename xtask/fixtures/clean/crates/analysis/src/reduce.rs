@@ -1,0 +1,13 @@
+//! Fixture: parallel reductions with order-stable float handling.
+
+use rayon::prelude::*;
+
+/// Float totals go through the exact merge tree.
+pub fn total_power(values: &[f64]) -> f64 {
+    values.par_iter().map(|v| v * 2.0).sum_stable()
+}
+
+/// Integer sums are associative; plain `sum` is fine.
+pub fn total_count(ids: &[u64]) -> u64 {
+    ids.par_iter().map(|v| v + 1).sum::<u64>()
+}

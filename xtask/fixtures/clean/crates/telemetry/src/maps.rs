@@ -1,0 +1,20 @@
+//! Fixture: hash-container use with every iteration properly ordered.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Draining into a BTreeMap fixes the order in the same statement.
+pub fn ordered(map: HashMap<u32, u32>) -> BTreeMap<u32, u32> {
+    map.into_iter().collect::<BTreeMap<u32, u32>>()
+}
+
+/// Collect-then-sort: the binding is sorted before anything reads it.
+pub fn sorted_keys(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = map.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Order-free terminals never depend on visit order.
+pub fn occupancy(map: &HashMap<u32, u32>) -> (usize, bool) {
+    (map.values().count(), map.keys().all(|k| *k < 1000))
+}

@@ -1,0 +1,11 @@
+//! Fixture: narrowing conversions with an explicit policy.
+
+/// The one budgeted quantization cast (cast_allowlist.txt).
+pub fn quantize(v: f64) -> f32 {
+    v as f32
+}
+
+/// Checked narrowing: out-of-range indexes surface as `None`.
+pub fn index_u16(i: usize) -> Option<u16> {
+    u16::try_from(i).ok()
+}

@@ -1,0 +1,13 @@
+//! Fixture: non-associative float reductions in parallel pipelines.
+
+use rayon::prelude::*;
+
+/// Bare float `sum` over a parallel iterator: grouping-dependent.
+pub fn total_power(values: &[f64]) -> f64 {
+    values.par_iter().copied().sum()
+}
+
+/// A float fold is just as grouping-dependent as a float sum.
+pub fn folded_power(values: &[f64]) -> f64 {
+    values.par_iter().map(|v| *v).fold(|| 0.0f64, |acc, v| acc + v)
+}

@@ -1,0 +1,24 @@
+//! Fixture: iteration-order hazards over hash containers.
+
+use std::collections::HashMap;
+
+/// A for-loop walks the map in hash order straight into the output.
+pub fn totals(map: HashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for v in map.values() {
+        out.push(*v);
+    }
+    out
+}
+
+/// An unsorted chain leaks hash order into the returned vector.
+pub fn keys(map: &HashMap<u32, u32>) -> Vec<u32> {
+    map.keys().copied().collect()
+}
+
+/// Sanitized control: sorted after collect, must NOT be flagged.
+pub fn sorted_keys(map: &HashMap<u32, u32>) -> Vec<u32> {
+    let mut keys: Vec<u32> = map.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}

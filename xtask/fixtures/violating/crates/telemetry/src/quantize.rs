@@ -1,0 +1,11 @@
+//! Fixture: bare narrowing casts with no budget behind them.
+
+/// Silently rounds: `f64` to `f32` loses half the mantissa.
+pub fn quantize(v: f64) -> f32 {
+    v as f32
+}
+
+/// Silently wraps: a count past 65535 comes back small.
+pub fn index(i: usize) -> u16 {
+    i as u16
+}

@@ -1,0 +1,337 @@
+//! Item-level AST-lite recovered from the token stream.
+//!
+//! This layer sits between [`crate::lex`] and the expression-aware
+//! rules (`hash-order`, `float-reduction`, `lossy-cast`,
+//! `obs-coverage`): it recovers `fn` items with their signature and
+//! body token ranges, struct fields, method-call chains (with turbofish
+//! and argument extents) and `as` cast expressions. It is *not* a
+//! parser — precedence, types and name resolution are out of scope —
+//! but token ranges are exact, which is all a lint that reports
+//! `file:line` needs.
+
+use crate::lex::{self, Kind, Tok};
+use std::ops::Range;
+
+/// One `fn` item: name, declaration line, and token ranges.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item is `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// Tokens between the name and the body brace: generics, the
+    /// parameter list, return type and where-clause.
+    pub sig: Range<usize>,
+    /// Body tokens, outer braces excluded. Empty for bodyless
+    /// trait-method signatures.
+    pub body: Range<usize>,
+}
+
+/// Recovers every `fn` item (including nested and `impl`-block
+/// methods) by linear scan: `fn <name> <sig> { <body> }`.
+pub fn fn_items(toks: &[Tok]) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1).filter(|t| t.kind == Kind::Ident) else {
+            continue; // `Fn(..)` bounds lex as idents too, but lack a name
+        };
+        // Find the body `{` (or `;` for a bodyless signature). Braces
+        // cannot appear in a signature's generics or return type.
+        let mut j = i + 2;
+        while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+            j += 1;
+        }
+        let sig = i + 2..j;
+        let body = if j < toks.len() && toks[j].is_punct('{') {
+            j + 1..lex::skip_group(toks, j).saturating_sub(1)
+        } else {
+            j..j
+        };
+        out.push(FnItem {
+            name: name_tok.text.clone(),
+            line: toks[i].line,
+            is_pub: has_pub_qualifier(toks, i),
+            sig,
+            body,
+        });
+    }
+    out
+}
+
+/// Walks back from the `fn` keyword over qualifier tokens (`pub`,
+/// `pub(crate)`, `const`, `unsafe`, `async`, `extern`) looking for
+/// `pub`.
+fn has_pub_qualifier(toks: &[Tok], fn_idx: usize) -> bool {
+    const QUALIFIERS: &[&str] = &[
+        "pub", "crate", "super", "self", "in", "const", "unsafe", "async", "extern",
+    ];
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        let t = &toks[k];
+        if t.is_ident("pub") {
+            return true;
+        }
+        let qualifier = (t.kind == Kind::Ident && QUALIFIERS.contains(&t.text.as_str()))
+            || t.is_punct('(')
+            || t.is_punct(')');
+        if !qualifier {
+            return false;
+        }
+    }
+    false
+}
+
+/// One link of a method-call chain: `.name::<turbofish>(args)`.
+#[derive(Debug, Clone)]
+pub struct ChainLink {
+    /// Method or field name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: usize,
+    /// Token range of the turbofish generic arguments (empty if none).
+    pub turbofish: Range<usize>,
+    /// Token range of the call arguments (empty for field access).
+    pub args: Range<usize>,
+}
+
+/// Parses the method links continuing a chain at `pos` (the index of a
+/// `.` token): `.name`, optional `::<...>`, optional `(args)`,
+/// repeated. Tuple-field hops (`.0`) are skipped; the walk stops at the
+/// first token that does not continue the chain.
+pub fn chain_at(toks: &[Tok], mut pos: usize) -> Vec<ChainLink> {
+    let mut out = Vec::new();
+    while pos < toks.len() && toks[pos].is_punct('.') {
+        let Some(name_tok) = toks.get(pos + 1) else {
+            break;
+        };
+        if name_tok.kind == Kind::Num {
+            pos += 2; // tuple-field access, chain continues
+            continue;
+        }
+        if name_tok.kind != Kind::Ident {
+            break;
+        }
+        let mut p = pos + 2;
+        let mut turbofish = p..p;
+        if toks.get(p).is_some_and(|t| t.is_punct(':'))
+            && toks.get(p + 1).is_some_and(|t| t.is_punct(':'))
+        {
+            if !toks.get(p + 2).is_some_and(|t| t.is_punct('<')) {
+                break; // `.name::ident` is a path, not a chain link
+            }
+            let close = lex::skip_angles(toks, p + 2);
+            turbofish = p + 3..close.saturating_sub(1);
+            p = close;
+        }
+        let mut args = p..p;
+        if toks.get(p).is_some_and(|t| t.is_punct('(')) {
+            let close = lex::skip_group(toks, p);
+            args = p + 1..close.saturating_sub(1);
+            p = close;
+        }
+        out.push(ChainLink {
+            name: name_tok.text.clone(),
+            line: name_tok.line,
+            turbofish,
+            args,
+        });
+        pos = p;
+    }
+    out
+}
+
+/// Every `as <Type>` cast expression: `(target type name, line)`.
+/// `use x as y` aliases never collide because the rules filter on
+/// primitive target names.
+pub fn casts(toks: &[Tok]) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].is_ident("as") && toks[i + 1].kind == Kind::Ident {
+            out.push((toks[i + 1].text.clone(), toks[i + 1].line));
+        }
+    }
+    out
+}
+
+/// Struct fields whose declared type mentions any of `type_names`.
+/// Scans `struct Name { field: Type, ... }` items; tuple structs have
+/// no named fields and are skipped.
+pub fn struct_fields_of_type(toks: &[Tok], type_names: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") {
+            i += 1;
+            continue;
+        }
+        // `struct Name<generics> {` — skip to the brace, bail at `;`/`(`.
+        let mut j = i + 1;
+        while j < toks.len()
+            && !toks[j].is_punct('{')
+            && !toks[j].is_punct(';')
+            && !toks[j].is_punct('(')
+        {
+            j += 1;
+        }
+        if j >= toks.len() || !toks[j].is_punct('{') {
+            i = j + 1;
+            continue;
+        }
+        let close = lex::skip_group(toks, j);
+        // Fields: `name :` at brace depth 1, type runs to the `,` at
+        // depth 1 (angle and group depths tracked).
+        let mut k = j + 1;
+        while k + 1 < close.saturating_sub(1) {
+            if toks[k].kind == Kind::Ident && toks[k + 1].is_punct(':') {
+                let name = toks[k].text.clone();
+                let mut t = k + 2;
+                let mut mentions = false;
+                while t < close.saturating_sub(1) {
+                    let tok = &toks[t];
+                    if tok.is_punct(',') {
+                        break;
+                    }
+                    if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+                        t = lex::skip_group(toks, t);
+                        continue;
+                    }
+                    if tok.kind == Kind::Ident && type_names.contains(&tok.text.as_str()) {
+                        mentions = true;
+                    }
+                    t += 1;
+                }
+                if mentions {
+                    out.push(name);
+                }
+                k = t + 1;
+            } else {
+                k += 1;
+            }
+        }
+        i = close;
+    }
+    out
+}
+
+/// Extent of the statement containing token `at` within `body`:
+/// scans backward to the previous `;`/`{`/`}` and forward to the next
+/// `;` at the same group depth (so closure bodies and nested calls stay
+/// inside the statement).
+pub fn statement_around(toks: &[Tok], body: &Range<usize>, at: usize) -> Range<usize> {
+    let mut start = at;
+    while start > body.start {
+        let t = &toks[start - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let mut end = at;
+    let mut depth = 0usize;
+    while end < body.end {
+        let t = &toks[end];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(';') && depth == 0 {
+            end += 1;
+            break;
+        }
+        end += 1;
+    }
+    start..end
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::lex::lex;
+    use crate::source::mask_comments_and_strings;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(&mask_comments_and_strings(src))
+    }
+
+    #[test]
+    fn recovers_fn_items_with_bodies() {
+        let t = toks("pub fn run_a(x: u8) -> u8 { x + 1 }\nfn helper() {}\ntrait T { fn sig(); }");
+        let fns = fn_items(&t);
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].name, "run_a");
+        assert!(fns[0].is_pub);
+        assert_eq!(fns[0].line, 1);
+        assert!(!fns[0].body.is_empty());
+        assert!(!fns[1].is_pub);
+        assert_eq!(fns[2].name, "sig");
+        assert!(fns[2].body.is_empty(), "bodyless trait signature");
+    }
+
+    #[test]
+    fn pub_crate_counts_as_pub() {
+        let t = toks("pub(crate) fn f() {} impl X { pub const fn g() {} }");
+        let fns = fn_items(&t);
+        assert!(fns[0].is_pub);
+        assert!(fns[1].is_pub);
+    }
+
+    #[test]
+    fn chains_with_turbofish_and_args() {
+        let t = toks("xs.iter().map(|v| v * 2).sum::<f64>();");
+        let dot = t.iter().position(|x| x.is_punct('.')).unwrap();
+        let links = chain_at(&t, dot);
+        let names: Vec<&str> = links.iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["iter", "map", "sum"]);
+        assert!(lex::range_has_ident(&t, links[2].turbofish.clone(), "f64"));
+        assert!(!links[1].args.is_empty());
+    }
+
+    #[test]
+    fn tuple_field_hops_do_not_break_chains() {
+        let t = toks("pair.0.iter().count();");
+        let dot = t.iter().position(|x| x.is_punct('.')).unwrap();
+        let names: Vec<String> = chain_at(&t, dot).into_iter().map(|l| l.name).collect();
+        assert_eq!(names, vec!["iter", "count"]);
+    }
+
+    #[test]
+    fn finds_casts() {
+        let t = toks("let a = x as u16; let b = (y + 1.0) as f32; use std::fmt as f;");
+        let cs = casts(&t);
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0].0, "u16");
+        assert_eq!(cs[1].0, "f32");
+        assert_eq!(cs[2].0, "f"); // alias; rules filter on primitives
+    }
+
+    #[test]
+    fn struct_fields_by_type() {
+        let t = toks(
+            "pub struct S { by_node: HashMap<u32, Vec<u8>>, names: Vec<String>, set: HashSet<u64> }",
+        );
+        let fields = struct_fields_of_type(&t, &["HashMap", "HashSet"]);
+        assert_eq!(fields, vec!["by_node", "set"]);
+    }
+
+    #[test]
+    fn statement_extent_spans_closures() {
+        let src =
+            "fn f() { let v = m.iter().map(|(k, v)| { k + v }).collect::<Vec<_>>(); v.sort(); }";
+        let t = toks(src);
+        let fns = fn_items(&t);
+        let m = t.iter().position(|x| x.is_ident("m")).unwrap();
+        let stmt = statement_around(&t, &fns[0].body, m);
+        let text: Vec<&str> = t[stmt.clone()].iter().map(|x| x.text.as_str()).collect();
+        assert_eq!(text.first(), Some(&"let"));
+        assert_eq!(text.last(), Some(&";"));
+        assert!(text.contains(&"collect"));
+        assert!(!text.contains(&"sort"), "next statement excluded");
+    }
+}

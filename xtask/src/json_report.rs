@@ -1,0 +1,198 @@
+//! Machine-readable lint report (`summit-lint/1`).
+//!
+//! `cargo xtask lint --json` writes `BENCH_lint.json` at the workspace
+//! root so CI can track the lint surface as a trajectory: per-rule
+//! violation/warning counts, per-rule wall time, and the ratchet debt
+//! still budgeted in each `xtask/*_allowlist.txt`. The JSON is rendered
+//! by hand — xtask is dependency-free by design — and the schema is
+//! append-only: consumers must ignore unknown keys.
+//!
+//! ```json
+//! {
+//!   "schema": "summit-lint/1",
+//!   "rules": [
+//!     {"name": "determinism", "violations": 0, "warnings": 0, "wall_ms": 1.42}
+//!   ],
+//!   "allowlists": [
+//!     {"file": "xtask/panic_allowlist.txt", "entries": 1, "budget": 2}
+//!   ],
+//!   "totals": {"violations": 0, "warnings": 0, "wall_ms": 9.1, "allowlist_budget": 29}
+//! }
+//! ```
+
+use std::path::{Path, PathBuf};
+
+/// Outcome of one rule for the report.
+#[derive(Debug, Clone)]
+pub struct RuleStat {
+    /// Rule name as printed by the CLI.
+    pub name: &'static str,
+    /// Error-level findings (internal failures included).
+    pub violations: usize,
+    /// Advisory warnings.
+    pub warnings: usize,
+    /// Wall time spent in the rule's `check`.
+    pub wall_ms: f64,
+}
+
+/// Remaining ratchet debt recorded in one allowlist file.
+#[derive(Debug, Clone)]
+pub struct AllowlistDebt {
+    /// Repo-relative allowlist path.
+    pub file: String,
+    /// Number of budgeted file entries.
+    pub entries: usize,
+    /// Sum of all per-file budgets (total grandfathered sites).
+    pub budget: usize,
+}
+
+/// Scans `xtask/*_allowlist.txt` and totals each file's budget.
+/// Returns files in sorted order; a malformed allowlist is an error
+/// (the lint rules will have reported it too).
+pub fn allowlist_debt(root: &Path) -> Result<Vec<AllowlistDebt>, String> {
+    let dir = root.join("xtask");
+    let entries =
+        std::fs::read_dir(&dir).map_err(|e| format!("cannot read xtask/ directory: {e}"))?;
+    let mut names: Vec<String> = entries
+        .flatten()
+        .filter_map(|e| {
+            let name = e.file_name().to_string_lossy().into_owned();
+            name.ends_with("_allowlist.txt").then_some(name)
+        })
+        .collect();
+    names.sort();
+
+    let mut out = Vec::new();
+    for name in names {
+        let rel = format!("xtask/{name}");
+        let text = std::fs::read_to_string(dir.join(&name))
+            .map_err(|e| format!("cannot read {rel}: {e}"))?;
+        let mut entries = 0usize;
+        let mut budget = 0usize;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(_path), Some(count), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!("{rel} line {}: expected `<path> <count>`", idx + 1));
+            };
+            let count: usize = count
+                .parse()
+                .map_err(|_| format!("{rel} line {}: bad count `{count}`", idx + 1))?;
+            entries += 1;
+            budget += count;
+        }
+        out.push(AllowlistDebt {
+            file: rel,
+            entries,
+            budget,
+        });
+    }
+    Ok(out)
+}
+
+/// Renders the `summit-lint/1` document.
+pub fn render(rules: &[RuleStat], allowlists: &[AllowlistDebt]) -> String {
+    let mut s = String::from("{\n  \"schema\": \"summit-lint/1\",\n  \"rules\": [\n");
+    for (i, r) in rules.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": {}, \"violations\": {}, \"warnings\": {}, \"wall_ms\": {:.3}}}{}\n",
+            quote(r.name),
+            r.violations,
+            r.warnings,
+            r.wall_ms,
+            if i + 1 < rules.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n  \"allowlists\": [\n");
+    for (i, a) in allowlists.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"file\": {}, \"entries\": {}, \"budget\": {}}}{}\n",
+            quote(&a.file),
+            a.entries,
+            a.budget,
+            if i + 1 < allowlists.len() { "," } else { "" }
+        ));
+    }
+    let violations: usize = rules.iter().map(|r| r.violations).sum();
+    let warnings: usize = rules.iter().map(|r| r.warnings).sum();
+    let wall_ms: f64 = rules.iter().map(|r| r.wall_ms).sum();
+    let budget: usize = allowlists.iter().map(|a| a.budget).sum();
+    s.push_str(&format!(
+        "  ],\n  \"totals\": {{\"violations\": {violations}, \"warnings\": {warnings}, \
+         \"wall_ms\": {wall_ms:.3}, \"allowlist_budget\": {budget}}}\n}}\n"
+    ));
+    s
+}
+
+/// Writes the report to `<root>/BENCH_lint.json` and returns the path.
+pub fn write(
+    root: &Path,
+    rules: &[RuleStat],
+    allowlists: &[AllowlistDebt],
+) -> std::io::Result<PathBuf> {
+    let path = root.join("BENCH_lint.json");
+    std::fs::write(&path, render(rules, allowlists))?;
+    Ok(path)
+}
+
+/// Minimal JSON string quoting; report fields are repo paths and rule
+/// names, so only the JSON-critical escapes are needed.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    #[test]
+    fn renders_schema_rules_and_totals() {
+        let rules = vec![
+            RuleStat {
+                name: "determinism",
+                violations: 0,
+                warnings: 0,
+                wall_ms: 1.5,
+            },
+            RuleStat {
+                name: "hash-order",
+                violations: 2,
+                warnings: 1,
+                wall_ms: 0.25,
+            },
+        ];
+        let lists = vec![AllowlistDebt {
+            file: "xtask/panic_allowlist.txt".to_string(),
+            entries: 1,
+            budget: 2,
+        }];
+        let doc = render(&rules, &lists);
+        assert!(doc.contains("\"schema\": \"summit-lint/1\""));
+        assert!(doc.contains("\"name\": \"hash-order\", \"violations\": 2"));
+        assert!(doc.contains("\"budget\": 2"));
+        assert!(doc.contains("\"totals\": {\"violations\": 2, \"warnings\": 1"));
+        assert!(doc.contains("\"allowlist_budget\": 2"));
+    }
+
+    #[test]
+    fn quoting_escapes_json_criticals() {
+        assert_eq!(quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+}

@@ -1,0 +1,273 @@
+//! Token stream over masked Rust source.
+//!
+//! [`lex`] turns the output of [`crate::source::mask_comments_and_strings`]
+//! (usually also test-stripped via
+//! [`crate::source::mask_cfg_test_items`]) into a flat token stream of
+//! identifiers, numeric literals and single-character punctuation.
+//! Masking has already removed comment and literal *contents*, so the
+//! lexer needs no escape or string handling, and a token can never come
+//! from prose. Every token carries its 1-based source line, which the
+//! rules report directly.
+//!
+//! This is deliberately not a full Rust lexer: multi-character
+//! operators arrive as consecutive punctuation tokens (`::` is two
+//! `:`), and lifetimes lex as a `'` punct followed by an identifier.
+//! Token-sequence matching (see [`find_path`]) absorbs both, and the
+//! simplicity keeps xtask dependency-free and the scanner obviously
+//! line-exact.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`let`, `HashMap`, `r#raw` minus the `r#`).
+    Ident,
+    /// Numeric literal, including suffixes (`1_000`, `0.5f32`, `0xFF`).
+    Num,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token class.
+    pub kind: Kind,
+    /// Exact source text (one character for punctuation).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// True when the token is exactly the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// True when the token is exactly the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.chars().eq(std::iter::once(c))
+    }
+
+    /// True for numeric literals that are floating-point: a decimal
+    /// point or an explicit `f32`/`f64` suffix.
+    pub fn is_float_literal(&self) -> bool {
+        self.kind == Kind::Num
+            && (self.text.contains('.') || self.text.ends_with("f32") || self.text.ends_with("f64"))
+    }
+}
+
+/// Lexes masked source into tokens.
+pub fn lex(masked: &str) -> Vec<Tok> {
+    let chars: Vec<char> = masked.chars().collect();
+    let mut toks = Vec::new();
+    let mut line = 1;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: Kind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut seen_dot = false;
+            while i < chars.len() {
+                let d = chars[i];
+                if d.is_alphanumeric() || d == '_' {
+                    i += 1;
+                } else if d == '.'
+                    && !seen_dot
+                    && i + 1 < chars.len()
+                    && chars[i + 1].is_ascii_digit()
+                {
+                    // Decimal point of a float literal; `0..n` ranges
+                    // and `pair.0` tuple fields keep their `.` puncts.
+                    seen_dot = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: Kind::Num,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+        toks.push(Tok {
+            kind: Kind::Punct,
+            text: c.to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Token indices where the `::`-separated path `pattern` (e.g.
+/// `"thread::spawn"`) occurs as consecutive tokens. Matching is
+/// suffix-friendly: `std::thread::spawn` contains `thread::spawn`, but
+/// a *longer identifier* never matches (`mythread::spawn` does not).
+pub fn find_path(toks: &[Tok], pattern: &str) -> Vec<usize> {
+    let segs: Vec<&str> = pattern.split("::").collect();
+    let mut out = Vec::new();
+    'scan: for i in 0..toks.len() {
+        if !toks[i].is_ident(segs[0]) {
+            continue;
+        }
+        let mut j = i + 1;
+        for seg in &segs[1..] {
+            if toks.get(j).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(j + 2).is_some_and(|t| t.is_ident(seg))
+            {
+                j += 3;
+            } else {
+                continue 'scan;
+            }
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// Index just past the delimiter that closes the group opened at
+/// `open` (`(` → `)`, `[` → `]`, `{` → `}`). Returns `toks.len()` when
+/// the group never closes (truncated input). Only the opener's own
+/// bracket pair is depth-counted; mixed pairs nest without confusion
+/// because each pair balances independently in valid Rust.
+pub fn skip_group(toks: &[Tok], open: usize) -> usize {
+    let (oc, cc) = match toks.get(open).map(|t| t.text.as_str()) {
+        Some("(") => ('(', ')'),
+        Some("[") => ('[', ']'),
+        Some("{") => ('{', '}'),
+        _ => return open + 1,
+    };
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(oc) {
+            depth += 1;
+        } else if t.is_punct(cc) {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Index just past the `>` that closes the generic-argument list opened
+/// by the `<` at `open`. A `>` preceded by `-` (the `->` arrow inside
+/// function-type arguments) does not close the list. Returns
+/// `toks.len()` when unbalanced.
+pub fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    if !toks.get(open).is_some_and(|t| t.is_punct('<')) {
+        return open + 1;
+    }
+    let mut depth = 0isize;
+    let mut k = open;
+    while k < toks.len() {
+        let t = &toks[k];
+        if t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct('>') && !(k > 0 && toks[k - 1].is_punct('-')) {
+            depth -= 1;
+            if depth == 0 {
+                return k + 1;
+            }
+        } else if t.is_punct('(') {
+            k = skip_group(toks, k);
+            continue;
+        }
+        k += 1;
+    }
+    toks.len()
+}
+
+/// True when any token in `range` is the identifier `name`.
+pub fn range_has_ident(toks: &[Tok], range: std::ops::Range<usize>, name: &str) -> bool {
+    toks[range.start.min(toks.len())..range.end.min(toks.len())]
+        .iter()
+        .any(|t| t.is_ident(name))
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    fn texts(toks: &[Tok]) -> Vec<&str> {
+        toks.iter().map(|t| t.text.as_str()).collect()
+    }
+
+    #[test]
+    fn lexes_idents_numbers_and_puncts() {
+        let toks = lex("let x = ys[0] + 1.5f64;");
+        assert_eq!(
+            texts(&toks),
+            vec!["let", "x", "=", "ys", "[", "0", "]", "+", "1.5f64", ";"]
+        );
+        assert!(toks[8].is_float_literal());
+        assert!(!toks[5].is_float_literal());
+    }
+
+    #[test]
+    fn ranges_and_tuple_fields_keep_their_dots() {
+        assert_eq!(texts(&lex("0..10")), vec!["0", ".", ".", "10"]);
+        assert_eq!(texts(&lex("pair.0")), vec!["pair", ".", "0"]);
+        assert_eq!(texts(&lex("1.25")), vec!["1.25"]);
+    }
+
+    #[test]
+    fn lines_are_exact() {
+        let toks = lex("a\nb c\n\nd");
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 2, 4]);
+    }
+
+    #[test]
+    fn path_matching_is_suffix_friendly_but_ident_exact() {
+        let toks = lex("std::thread::spawn(f); mythread::spawn(g); thread::spawner(h);");
+        let hits = find_path(&toks, "thread::spawn");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(toks[hits[0]].line, 1);
+    }
+
+    #[test]
+    fn group_and_angle_skipping() {
+        let toks = lex("f(a, (b, c))[0] g::<Vec<f64>>(x)");
+        let close = skip_group(&toks, 1); // `(` after f
+        assert!(toks[close].is_punct('['));
+        let lt = toks.iter().position(|t| t.is_punct('<')).unwrap();
+        let after = skip_angles(&toks, lt);
+        assert!(toks[after].is_punct('('));
+    }
+
+    #[test]
+    fn arrow_inside_angles_does_not_close() {
+        let toks = lex("c::<fn() -> u8>(x)");
+        let lt = toks.iter().position(|t| t.is_punct('<')).unwrap();
+        let after = skip_angles(&toks, lt);
+        assert!(toks[after].is_punct('('), "skipped past the fn-type arrow");
+    }
+}

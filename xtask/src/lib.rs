@@ -5,7 +5,11 @@
 //! miniature violating/clean workspace and assert exactly where it
 //! fires. See `src/main.rs` for the CLI.
 
+pub mod ast;
 pub mod expr;
+pub mod json_report;
+pub mod lex;
+pub mod ratchet;
 pub mod rules;
 pub mod source;
 pub mod toml_lite;

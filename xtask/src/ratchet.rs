@@ -1,0 +1,77 @@
+//! Allowlist-growth gate (`cargo xtask ratchet`).
+//!
+//! Every lint allowlist is supposed to shrink monotonically: new debt
+//! must be fixed, not budgeted. The committed baseline
+//! `xtask/ratchet_baseline.txt` records the *total* budget of each
+//! `xtask/*_allowlist.txt` (`<allowlist path> <total>` per line, zero
+//! totals allowed for emptied lists). CI runs `cargo xtask ratchet`
+//! and fails when any live allowlist total exceeds its baseline — and,
+//! symmetrically, when the baseline overstates a shrunken list, so the
+//! recorded trajectory can never drift from reality.
+
+use crate::json_report;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Baseline location, relative to the workspace root.
+pub const BASELINE: &str = "xtask/ratchet_baseline.txt";
+
+/// Compares live allowlist totals against the committed baseline.
+/// `Ok(errors)` lists every mismatch (empty = gate passes);
+/// `Err` means the workspace itself was unreadable (exit 2).
+pub fn check(root: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(root.join(BASELINE))
+        .map_err(|e| format!("cannot read {BASELINE}: {e}"))?;
+    let mut baseline: BTreeMap<String, usize> = BTreeMap::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(path), Some(total), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "{BASELINE} line {}: expected `<allowlist> <total>`",
+                idx + 1
+            ));
+        };
+        let total: usize = total
+            .parse()
+            .map_err(|_| format!("{BASELINE} line {}: bad total `{total}`", idx + 1))?;
+        if baseline.insert(path.to_string(), total).is_some() {
+            return Err(format!(
+                "{BASELINE} line {}: duplicate entry `{path}`",
+                idx + 1
+            ));
+        }
+    }
+
+    let live = json_report::allowlist_debt(root)?;
+    let mut errors = Vec::new();
+    for debt in &live {
+        match baseline.remove(&debt.file) {
+            Some(base) if debt.budget > base => errors.push(format!(
+                "{} grew: total budget {} exceeds baseline {} — fix the new site instead \
+                 of widening the allowlist",
+                debt.file, debt.budget, base
+            )),
+            Some(base) if debt.budget < base => errors.push(format!(
+                "{} shrank: total budget {} is below baseline {} — ratchet {BASELINE} down \
+                 to lock in the progress",
+                debt.file, debt.budget, base
+            )),
+            Some(_) => {}
+            None => errors.push(format!(
+                "{} is not recorded in {BASELINE} — add `{} {}`",
+                debt.file, debt.file, debt.budget
+            )),
+        }
+    }
+    for (path, total) in baseline {
+        errors.push(format!(
+            "{BASELINE} lists `{path}` (total {total}) but the allowlist does not exist — \
+             remove the stale entry"
+        ));
+    }
+    Ok(errors)
+}

@@ -12,6 +12,7 @@
 //!
 //! Scope: non-test code in `crates/sim/src` and `crates/analysis/src`.
 
+use crate::lex;
 use crate::source;
 use crate::violation::Violation;
 use crate::workspace::{rel, rust_files};
@@ -19,8 +20,9 @@ use std::path::Path;
 
 const RULE: &str = "determinism";
 
-/// Token → why it is banned. Tokens are matched at word boundaries in
-/// comment/string-stripped, test-stripped source.
+/// Path → why it is banned. Paths are matched as token sequences via
+/// [`lex::find_path`] over comment/string-stripped, test-stripped
+/// source, so a longer identifier (`my_thread_rng`) never matches.
 const BANNED: &[(&str, &str)] = &[
     (
         "thread_rng",
@@ -55,16 +57,22 @@ pub fn check(root: &Path) -> Vec<Violation> {
         let dir_path = root.join(dir);
         for file in rust_files(&dir_path) {
             let Ok(text) = std::fs::read_to_string(&file) else {
-                out.push(Violation::new(RULE, rel(root, &file), 0, "unreadable file"));
+                out.push(Violation::internal(
+                    RULE,
+                    rel(root, &file),
+                    0,
+                    "unreadable file",
+                ));
                 continue;
             };
             let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let toks = lex::lex(&masked);
             for (token, why) in BANNED {
-                for line in source::find_token_lines(&masked, token, true) {
+                for idx in lex::find_path(&toks, token) {
                     out.push(Violation::new(
                         RULE,
                         rel(root, &file),
-                        line,
+                        toks[idx].line,
                         format!("`{token}` in deterministic crate: {why}"),
                     ));
                 }

@@ -1,0 +1,200 @@
+//! Rule: no non-associative float reductions inside parallel pipelines.
+//!
+//! The compat/rayon facade guarantees bit-identical results across any
+//! thread count by combining per-chunk accumulators in a fixed chunk
+//! order — but only for reductions expressed through its exact merge
+//! tree. A bare `.sum::<f64>()`, or a `fold`/`reduce` carrying a float
+//! accumulator, re-associates additions differently per grouping and
+//! breaks the PR 5 determinism contract the moment chunking changes.
+//!
+//! The rule lexes each file, finds every `.par_iter()` /
+//! `.into_par_iter()` chain, and walks its links until the pipeline
+//! goes sequential (`collect`, `count`):
+//! - `sum` with a `f32`/`f64` turbofish (or none, where inference can
+//!   pick a float) is an error — use `sum_stable()` from the facade;
+//! - `fold` / `reduce` whose arguments mention `f32`/`f64` or contain a
+//!   float literal is an error — move the merge into an approved
+//!   exact-merge-tree helper;
+//! - `sum_stable` is the approved spelling and passes.
+//!
+//! There is no allowlist: a nondeterministic parallel reduction is
+//! never grandfatherable, it is a bug.
+//!
+//! Scope: non-test code in every `crates/*/src` tree (compat/rayon
+//! itself is the approved implementation and lives outside `crates/`).
+
+use crate::ast;
+use crate::lex::{self, Tok};
+use crate::source;
+use crate::violation::Violation;
+use crate::workspace::{rel, rust_files};
+use std::path::Path;
+
+const RULE: &str = "float-reduction";
+
+/// Chain entry points into parallel iteration.
+const PAR_ENTRIES: &[&str] = &["par_iter", "into_par_iter"];
+
+/// Links after which the pipeline is sequential again.
+const SEQUENTIAL_AFTER: &[&str] = &["collect", "count"];
+
+/// Runs the rule over `root` and returns every finding.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let crates_dir = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates_dir) else {
+        out.push(Violation::internal(
+            RULE,
+            "crates",
+            0,
+            "missing crates/ directory",
+        ));
+        return out;
+    };
+    let mut crate_srcs: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path().join("src"))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_srcs.sort();
+
+    for src_dir in crate_srcs {
+        for file in rust_files(&src_dir) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                out.push(Violation::internal(
+                    RULE,
+                    rel(root, &file),
+                    0,
+                    "unreadable file",
+                ));
+                continue;
+            };
+            let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let toks = lex::lex(&masked);
+            for (line, msg) in file_sites(&toks) {
+                out.push(Violation::new(RULE, rel(root, &file), line, msg));
+            }
+        }
+    }
+    out
+}
+
+/// All float-reduction sites in one file: `(line, message)`.
+fn file_sites(toks: &[Tok]) -> Vec<(usize, String)> {
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        // A parallel entry is always a method call: `.par_iter()`.
+        if !(PAR_ENTRIES.iter().any(|m| toks[i].is_ident(m)) && i > 0 && toks[i - 1].is_punct('.'))
+        {
+            continue;
+        }
+        let links = ast::chain_at(toks, i - 1);
+        for link in &links {
+            if SEQUENTIAL_AFTER.contains(&link.name.as_str()) {
+                break;
+            }
+            match link.name.as_str() {
+                "sum" => {
+                    let tf = link.turbofish.clone();
+                    let float_tf = lex::range_has_ident(toks, tf.clone(), "f32")
+                        || lex::range_has_ident(toks, tf.clone(), "f64");
+                    if float_tf || tf.is_empty() {
+                        sites.push((
+                            link.line,
+                            "float `sum()` in a parallel pipeline re-associates additions; \
+                             use `sum_stable()` (compat/rayon exact merge tree)"
+                                .to_string(),
+                        ));
+                    }
+                }
+                "fold" | "reduce" => {
+                    let args = link.args.clone();
+                    let float_args = lex::range_has_ident(toks, args.clone(), "f32")
+                        || lex::range_has_ident(toks, args.clone(), "f64")
+                        || toks[args.start.min(toks.len())..args.end.min(toks.len())]
+                            .iter()
+                            .any(Tok::is_float_literal);
+                    if float_args {
+                        sites.push((
+                            link.line,
+                            format!(
+                                "float-accumulator `{}()` in a parallel pipeline; move the \
+                                 merge into an exact-merge-tree helper (`sum_stable()`), or \
+                                 accumulate integers/fixed-point",
+                                link.name
+                            ),
+                        ));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    sites.sort();
+    sites.dedup();
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::lex::lex;
+    use crate::source::mask_comments_and_strings;
+
+    fn sites(src: &str) -> Vec<(usize, String)> {
+        file_sites(&lex(&mask_comments_and_strings(src)))
+    }
+
+    #[test]
+    fn flags_par_float_sum() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|x| x * 2.0).sum::<f64>() }";
+        let s = sites(src);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].1.contains("sum_stable"));
+    }
+
+    #[test]
+    fn flags_untyped_par_sum() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.par_iter().copied().sum() }";
+        assert_eq!(sites(src).len(), 1);
+    }
+
+    #[test]
+    fn integer_par_sum_is_clean() {
+        let src = "fn f(xs: &[u64]) -> u64 { xs.par_iter().copied().sum::<u64>() }";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn flags_float_fold_in_par_chain() {
+        let src = "fn f(xs: &[f64]) -> Vec<f64> {\n xs.par_iter().fold(|| 0.0f64, |a, x| a + x).collect() }";
+        let s = sites(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, 2);
+    }
+
+    #[test]
+    fn sequential_sum_after_collect_is_clean() {
+        let src = "fn f(xs: &[f64]) -> f64 {\n let v: Vec<f64> = xs.par_iter().map(|x| x + 1.0).collect();\n v.iter().sum::<f64>() }";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn sum_stable_is_approved() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.par_iter().map(|&x| x).sum_stable() }";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn sequential_float_sum_is_clean() {
+        let src = "fn f(xs: &[f64]) -> f64 { xs.iter().sum::<f64>() }";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn integer_fold_in_par_chain_is_clean() {
+        let src = "fn f(xs: &[u64]) -> Vec<u64> {\n xs.par_iter().fold(|| 0u64, |a, x| a + x).collect() }";
+        assert!(sites(src).is_empty());
+    }
+}

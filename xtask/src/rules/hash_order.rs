@@ -1,0 +1,438 @@
+//! Rule: no order-sensitive iteration over `HashMap`/`HashSet`.
+//!
+//! Hash iteration order is unspecified and (with a seeded-but-distinct
+//! hasher state per process) can differ between runs, threads and
+//! platforms. Any figure pipeline that iterates a hash container and
+//! lets the visit order reach its output — row order, tie-breaking,
+//! float accumulation order — silently breaks the repo's bit-identity
+//! contract without failing a smoke-scale test.
+//!
+//! Detection works on the token stream: per `fn` body, the rule
+//! collects hash-typed bindings (locals whose `let` statement mentions
+//! `HashMap`/`HashSet`, parameters whose declared type does, and
+//! `self.field` receivers whose struct field type does), then flags
+//! - `for … in <hash binding> { … }` loops, and
+//! - method chains entering iteration (`.iter()`, `.keys()`,
+//!   `.values()`, `.drain()`, `.into_iter()`, …)
+//!
+//! unless the *statement* is visibly order-insensitive: it drains into
+//! a `BTreeMap`/`BTreeSet`, ends in an order-insensitive terminal
+//! (`count`, `len`, `is_empty`, `all`, `any`, `contains`), or the
+//! bound result is later sorted (`v.sort*()` appears in the same body).
+//!
+//! Grandfathered sites live in `xtask/hash_order_allowlist.txt` with
+//! the same shrink-only ratchet as the panic allowlist.
+//!
+//! Scope: non-test code in `crates/{telemetry,sim,core,analysis}/src`.
+
+use crate::ast;
+use crate::lex::{self, Kind, Tok};
+use crate::rules::panic_freedom::{load_allowlist, ratchet};
+use crate::source;
+use crate::violation::Violation;
+use crate::workspace::{rel, rust_files};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+const RULE: &str = "hash-order";
+
+/// Allowlist location, relative to the workspace root.
+pub const ALLOWLIST: &str = "xtask/hash_order_allowlist.txt";
+
+/// Directories scanned (non-test code only).
+pub const SCOPED_DIRS: &[&str] = &[
+    "crates/telemetry/src",
+    "crates/sim/src",
+    "crates/core/src",
+    "crates/analysis/src",
+];
+
+/// Hash container type names.
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Methods that enter unordered iteration on a hash container.
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+    "par_iter",
+    "into_par_iter",
+];
+
+/// Chain terminals whose result cannot depend on visit order.
+const ORDER_FREE_TERMINALS: &[&str] = &["count", "len", "is_empty", "all", "any", "contains"];
+
+/// Runs the rule over `root` and returns every finding.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut errors = Vec::new();
+    let allowed = match load_allowlist(root, ALLOWLIST) {
+        Ok(a) => a,
+        Err(msg) => {
+            errors.push(Violation::internal(RULE, ALLOWLIST, 0, msg));
+            return errors;
+        }
+    };
+
+    let mut found: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    for dir in SCOPED_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                errors.push(Violation::internal(
+                    RULE,
+                    rel(root, &file),
+                    0,
+                    "unreadable file",
+                ));
+                continue;
+            };
+            let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let toks = lex::lex(&masked);
+            let rel_path = rel(root, &file).display().to_string();
+            for (line, what) in file_sites(&toks) {
+                found
+                    .entry(rel_path.clone())
+                    .or_default()
+                    .push((line, what));
+            }
+        }
+    }
+
+    ratchet(
+        RULE,
+        ALLOWLIST,
+        "sort the result, drain into a BTreeMap/BTreeSet, or switch the container",
+        "hash-order",
+        &found,
+        &allowed,
+        &mut errors,
+    );
+    errors
+}
+
+/// All unordered-iteration sites in one file: `(line, description)`.
+fn file_sites(toks: &[Tok]) -> Vec<(usize, String)> {
+    let hash_fields: BTreeSet<String> = ast::struct_fields_of_type(toks, HASH_TYPES)
+        .into_iter()
+        .collect();
+    let mut sites = Vec::new();
+    for item in ast::fn_items(toks) {
+        let bindings = hash_bindings(toks, &item);
+        scan_for_loops(toks, &item, &bindings, &hash_fields, &mut sites);
+        scan_chains(toks, &item, &bindings, &hash_fields, &mut sites);
+    }
+    sites.sort();
+    // One finding per line: a for-loop over `map.values()` is a single
+    // site, not a loop finding plus a chain finding.
+    sites.dedup_by_key(|(line, _)| *line);
+    sites
+}
+
+/// Names bound to hash containers inside one fn: typed parameters and
+/// `let` statements whose initializer or type mentions a hash type.
+fn hash_bindings(toks: &[Tok], item: &ast::FnItem) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+
+    // Parameters: inside the sig's paren group, `name :` at depth 1
+    // followed by a type running to the `,` at depth 1.
+    if let Some(open) = (item.sig.clone()).find(|&i| toks[i].is_punct('(')) {
+        let close = lex::skip_group(toks, open).saturating_sub(1);
+        let mut i = open + 1;
+        while i + 1 < close {
+            if toks[i].kind == Kind::Ident && toks[i + 1].is_punct(':') {
+                let name = toks[i].text.clone();
+                let mut j = i + 2;
+                let mut mentions = false;
+                while j < close {
+                    if toks[j].is_punct(',') {
+                        break;
+                    }
+                    if toks[j].is_punct('(') || toks[j].is_punct('[') || toks[j].is_punct('{') {
+                        j = lex::skip_group(toks, j);
+                        continue;
+                    }
+                    if toks[j].kind == Kind::Ident && HASH_TYPES.contains(&toks[j].text.as_str()) {
+                        mentions = true;
+                    }
+                    j += 1;
+                }
+                if mentions {
+                    names.insert(name);
+                }
+                i = j + 1;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    // Locals: a `let [mut] name` whose statement mentions a hash type.
+    let body = item.body.clone();
+    for i in body.clone() {
+        if !toks[i].is_ident("let") {
+            continue;
+        }
+        let mut n = i + 1;
+        if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+            n += 1;
+        }
+        let Some(name_tok) = toks.get(n).filter(|t| t.kind == Kind::Ident) else {
+            continue; // destructuring pattern; the parts are not the map
+        };
+        let stmt = ast::statement_around(toks, &body, i);
+        if HASH_TYPES
+            .iter()
+            .any(|ty| lex::range_has_ident(toks, stmt.clone(), ty))
+        {
+            names.insert(name_tok.text.clone());
+        }
+    }
+    names
+}
+
+/// Flags `for <pat> in <hash expr> { … }` loops. A for-loop consumes
+/// visit order in its body, so it is flagged whenever the header names
+/// a hash binding and the header itself shows no BTree drain.
+fn scan_for_loops(
+    toks: &[Tok],
+    item: &ast::FnItem,
+    bindings: &BTreeSet<String>,
+    hash_fields: &BTreeSet<String>,
+    sites: &mut Vec<(usize, String)>,
+) {
+    let body = item.body.clone();
+    for i in body.clone() {
+        if !toks[i].is_ident("for") {
+            continue;
+        }
+        // `for<'a>` higher-ranked bounds are not loops.
+        if toks.get(i + 1).is_some_and(|t| t.is_punct('<')) {
+            continue;
+        }
+        // Find the `in` keyword at pattern depth 0, then the loop `{`.
+        let mut j = i + 1;
+        let mut in_idx = None;
+        while j < body.end {
+            let t = &toks[j];
+            if t.is_punct('(') || t.is_punct('[') {
+                j = lex::skip_group(toks, j);
+                continue;
+            }
+            if t.is_punct('{') {
+                break;
+            }
+            if t.is_ident("in") {
+                in_idx = Some(j);
+                break;
+            }
+            j += 1;
+        }
+        let Some(in_idx) = in_idx else { continue };
+        let mut k = in_idx + 1;
+        while k < body.end && !toks[k].is_punct('{') {
+            if toks[k].is_punct('(') || toks[k].is_punct('[') {
+                k = lex::skip_group(toks, k);
+                continue;
+            }
+            k += 1;
+        }
+        let header = in_idx + 1..k;
+        if !header_names_hash(toks, header.clone(), bindings, hash_fields) {
+            continue;
+        }
+        // A header that drains into a BTree first is ordered.
+        if lex::range_has_ident(toks, header.clone(), "BTreeMap")
+            || lex::range_has_ident(toks, header.clone(), "BTreeSet")
+        {
+            continue;
+        }
+        sites.push((
+            toks[i].line,
+            "for-loop over HashMap/HashSet iteration order".to_string(),
+        ));
+    }
+}
+
+/// Flags `binding.iter()…` / `self.field.keys()…` chains that are not
+/// visibly order-insensitive.
+fn scan_chains(
+    toks: &[Tok],
+    item: &ast::FnItem,
+    bindings: &BTreeSet<String>,
+    hash_fields: &BTreeSet<String>,
+    sites: &mut Vec<(usize, String)>,
+) {
+    let body = item.body.clone();
+    for i in body.clone() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        // A receiver position: not itself a method/field name.
+        if i > 0 && toks[i - 1].is_punct('.') {
+            continue;
+        }
+        let is_receiver = (t.text == "self" && hash_fields_receiver(toks, i, hash_fields))
+            || (bindings.contains(&t.text) && toks.get(i + 1).is_some_and(|x| x.is_punct('.')));
+        if !is_receiver {
+            continue;
+        }
+        let links = ast::chain_at(toks, i + 1);
+        let Some(entry) = links
+            .iter()
+            .find(|l| ITER_METHODS.contains(&l.name.as_str()))
+        else {
+            continue;
+        };
+        if chain_is_sanitized(toks, &body, i, &links) {
+            continue;
+        }
+        sites.push((
+            entry.line,
+            format!(".{}() over HashMap/HashSet without ordering", entry.name),
+        ));
+    }
+}
+
+/// True when token `i` is `self` and the next link is a hash field:
+/// `self . field …`.
+fn hash_fields_receiver(toks: &[Tok], i: usize, hash_fields: &BTreeSet<String>) -> bool {
+    toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+        && toks
+            .get(i + 2)
+            .is_some_and(|t| t.kind == Kind::Ident && hash_fields.contains(&t.text))
+}
+
+/// Order-insensitivity checks for a flagged chain: BTree drain in the
+/// statement, an order-free terminal link, or a later sort of the
+/// bound result.
+fn chain_is_sanitized(
+    toks: &[Tok],
+    body: &std::ops::Range<usize>,
+    receiver: usize,
+    links: &[ast::ChainLink],
+) -> bool {
+    let stmt = ast::statement_around(toks, body, receiver);
+    if lex::range_has_ident(toks, stmt.clone(), "BTreeMap")
+        || lex::range_has_ident(toks, stmt.clone(), "BTreeSet")
+    {
+        return true;
+    }
+    if links
+        .last()
+        .is_some_and(|l| ORDER_FREE_TERMINALS.contains(&l.name.as_str()))
+    {
+        return true;
+    }
+    // `let v = map.iter()…collect();` followed by `v.sort*(…)` later in
+    // the same body: the sort re-establishes a total order.
+    if toks.get(stmt.start).is_some_and(|t| t.is_ident("let")) {
+        let mut n = stmt.start + 1;
+        if toks.get(n).is_some_and(|t| t.is_ident("mut")) {
+            n += 1;
+        }
+        if let Some(bound) = toks.get(n).filter(|t| t.kind == Kind::Ident) {
+            for k in stmt.end..body.end {
+                if toks[k].is_ident(&bound.text)
+                    && toks.get(k + 1).is_some_and(|t| t.is_punct('.'))
+                    && toks
+                        .get(k + 2)
+                        .is_some_and(|t| t.kind == Kind::Ident && t.text.starts_with("sort"))
+                {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// True when the for-loop header expression names a hash binding or a
+/// `self.field` hash field.
+fn header_names_hash(
+    toks: &[Tok],
+    header: std::ops::Range<usize>,
+    bindings: &BTreeSet<String>,
+    hash_fields: &BTreeSet<String>,
+) -> bool {
+    for i in header.clone() {
+        let t = &toks[i];
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        if i > 0 && toks[i - 1].is_punct('.') {
+            // `.field` — only hash fields of self count.
+            if hash_fields.contains(&t.text) && i >= 2 && toks[i - 2].is_ident("self") {
+                return true;
+            }
+            continue;
+        }
+        if bindings.contains(&t.text) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::lex::lex;
+    use crate::source::mask_comments_and_strings;
+
+    fn sites(src: &str) -> Vec<(usize, String)> {
+        file_sites(&lex(&mask_comments_and_strings(src)))
+    }
+
+    #[test]
+    fn flags_for_loop_over_hash_local() {
+        let src = "fn f() { let mut m: HashMap<u32, u8> = HashMap::new();\nfor (k, v) in &m { use_it(k, v); } }";
+        let s = sites(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, 2);
+    }
+
+    #[test]
+    fn flags_unsorted_iter_chain_on_param() {
+        let src = "fn f(m: &HashMap<u32, u8>) -> Vec<u8> { m.values().copied().collect() }";
+        assert_eq!(sites(src).len(), 1);
+    }
+
+    #[test]
+    fn btree_collect_is_clean() {
+        let src = "fn f(m: &HashMap<u32, u8>) -> BTreeMap<u32, u8> {\n m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>() }";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn later_sort_is_clean() {
+        let src = "fn f(m: HashMap<u32, u8>) -> Vec<(u32, u8)> {\n let mut rows: Vec<_> = m.into_iter().collect();\n rows.sort_by_key(|r| r.0);\n rows }";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn order_free_terminal_is_clean() {
+        let src = "fn f(m: &HashMap<u32, u8>) -> usize { m.values().count() }";
+        assert!(sites(src).is_empty());
+    }
+
+    #[test]
+    fn self_hash_field_is_tracked() {
+        let src = "struct S { by_node: HashMap<u32, u8> }\nimpl S {\n fn g(&self) -> Vec<u8> { self.by_node.values().copied().collect() }\n fn h(&self, k: u32) -> Option<&u8> { self.by_node.get(&k) }\n}";
+        let s = sites(src);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, 3);
+    }
+
+    #[test]
+    fn non_hash_containers_are_free() {
+        let src = "fn f(v: &[u8]) -> Vec<u8> { let xs: Vec<u8> = v.to_vec(); xs.iter().copied().collect() }";
+        assert!(sites(src).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Rule: no unreviewed narrowing `as` casts in the data-path crates.
+//!
+//! `f64 as f32`, `u64 as u16` and friends silently truncate, wrap or
+//! round: a power reading cast to a too-small metric offset, or a
+//! sample count wrapped through `u32`, corrupts derived tables without
+//! any runtime signal. In `crates/telemetry` and `crates/analysis` —
+//! the crates that carry measured values end-to-end — every cast whose
+//! *target* is a narrow primitive must either go through a checked
+//! conversion (`u16::try_from(idx)`, `u32::try_from(n)` with an
+//! explicit saturation/error policy, see `crates/telemetry/src/convert.rs`)
+//! or be budgeted in `xtask/cast_allowlist.txt` with the usual
+//! shrink-only ratchet (reserved for documented quantization points
+//! such as the varint codec and f32 frame storage).
+//!
+//! Without type inference the rule over-approximates: any `as u32` is
+//! flagged even when the source type is `u8`. That is deliberate — a
+//! widening cast is trivially rewritten as `u32::from(x)`, which is
+//! self-documenting and stays correct when the source type changes.
+//!
+//! Scope: non-test code in `crates/telemetry/src` and
+//! `crates/analysis/src`.
+
+use crate::ast;
+use crate::lex;
+use crate::rules::panic_freedom::{load_allowlist, ratchet};
+use crate::source;
+use crate::violation::Violation;
+use crate::workspace::{rel, rust_files};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const RULE: &str = "lossy-cast";
+
+/// Allowlist location, relative to the workspace root.
+pub const ALLOWLIST: &str = "xtask/cast_allowlist.txt";
+
+/// Directories scanned (non-test code only).
+pub const SCOPED_DIRS: &[&str] = &["crates/telemetry/src", "crates/analysis/src"];
+
+/// Cast targets considered narrowing. `usize`/`u64`/`i64`/`f64` are
+/// wide enough for every value this workspace moves.
+const NARROW_TARGETS: &[&str] = &["f32", "u8", "i8", "u16", "i16", "u32", "i32"];
+
+/// Runs the rule over `root` and returns every finding.
+pub fn check(root: &Path) -> Vec<Violation> {
+    let mut errors = Vec::new();
+    let allowed = match load_allowlist(root, ALLOWLIST) {
+        Ok(a) => a,
+        Err(msg) => {
+            errors.push(Violation::internal(RULE, ALLOWLIST, 0, msg));
+            return errors;
+        }
+    };
+
+    let mut found: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
+    for dir in SCOPED_DIRS {
+        for file in rust_files(&root.join(dir)) {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                errors.push(Violation::internal(
+                    RULE,
+                    rel(root, &file),
+                    0,
+                    "unreadable file",
+                ));
+                continue;
+            };
+            let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let toks = lex::lex(&masked);
+            let rel_path = rel(root, &file).display().to_string();
+            for (target, line) in ast::casts(&toks) {
+                if NARROW_TARGETS.contains(&target.as_str()) {
+                    found
+                        .entry(rel_path.clone())
+                        .or_default()
+                        .push((line, format!("as {target}")));
+                }
+            }
+        }
+    }
+
+    ratchet(
+        RULE,
+        ALLOWLIST,
+        "use a checked conversion (`try_from`, `convert::count_u32`) with an explicit policy",
+        "narrowing-cast",
+        &found,
+        &allowed,
+        &mut errors,
+    );
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+    use crate::lex::lex;
+    use crate::source::mask_comments_and_strings;
+
+    fn narrow_casts(src: &str) -> Vec<(String, usize)> {
+        ast::casts(&lex(&mask_comments_and_strings(src)))
+            .into_iter()
+            .filter(|(t, _)| NARROW_TARGETS.contains(&t.as_str()))
+            .collect()
+    }
+
+    #[test]
+    fn narrow_targets_flagged_wide_targets_free() {
+        let cs = narrow_casts(
+            "let a = x as f32;\nlet b = y as u16;\nlet c = z as f64;\nlet d = w as usize;",
+        );
+        assert_eq!(cs.len(), 2);
+        assert_eq!(cs[0], ("f32".to_string(), 1));
+        assert_eq!(cs[1], ("u16".to_string(), 2));
+    }
+
+    #[test]
+    fn use_aliases_do_not_fire() {
+        assert!(narrow_casts("use std::fmt as f; use x::y as z;").is_empty());
+    }
+}

@@ -1,6 +1,9 @@
-//! The six repo-specific lint rules.
+//! The nine repo-specific lint rules.
 
 pub mod determinism;
+pub mod float_reduction;
+pub mod hash_order;
+pub mod lossy_cast;
 pub mod obs_coverage;
 pub mod panic_freedom;
 pub mod parallelism;

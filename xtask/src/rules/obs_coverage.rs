@@ -12,10 +12,14 @@
 //!    dispatch plumbing, not a pipeline stage; the modules it routes
 //!    to open their own spans).
 //!
-//! The check looks for the token `obs::span(` in masked, non-test
-//! source — `summit_obs::span(...)` and a `use summit_obs as obs;`
-//! alias both match.
+//! Entry points are recovered with [`ast::fn_items`], so a span in one
+//! fn never covers its neighbour; span creation matches the token
+//! sequences `summit_obs::span(` and `obs::span(` (the conventional
+//! `use summit_obs as obs;` alias) exactly — an identifier that merely
+//! *ends* in `obs` does not count.
 
+use crate::ast;
+use crate::lex::{self, Tok};
 use crate::source;
 use crate::violation::Violation;
 use std::path::Path;
@@ -26,44 +30,26 @@ const RULE: &str = "obs-coverage";
 pub const PIPELINE_FILE: &str = "crates/core/src/pipeline.rs";
 /// Experiment modules directory; every module must open a span.
 pub const EXPERIMENTS_DIR: &str = "crates/core/src/experiments";
-/// Span-creation token (suffix of `summit_obs::span(`).
-const SPAN_TOKEN: &str = "obs::span(";
+/// Accepted span-creating path heads (`<head>::span(`).
+const SPAN_HEADS: &[&str] = &["summit_obs", "obs"];
 
-/// `(name, line, body)` of every `pub fn run_*` in masked source.
-fn pub_run_fns(masked: &str) -> Vec<(String, usize, &str)> {
-    const NEEDLE: &str = "pub fn run_";
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = masked[from..].find(NEEDLE) {
-        let abs = from + pos;
-        from = abs + NEEDLE.len();
-        let name: String = masked["pub fn ".len() + abs..]
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        let line = source::line_of(masked, masked[..abs].chars().count());
-        let Some(open_rel) = masked[abs..].find('{') else {
-            continue; // trait method signature; not an entry point
-        };
-        let open = abs + open_rel;
-        let mut depth = 0usize;
-        let mut close = masked.len();
-        for (i, c) in masked[open..].char_indices() {
-            match c {
-                '{' => depth += 1,
-                '}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        close = open + i;
-                        break;
-                    }
-                }
-                _ => {}
-            }
+/// True when `range` contains a `summit_obs::span(` / `obs::span(`
+/// call as exact tokens.
+fn range_has_span(toks: &[Tok], range: std::ops::Range<usize>) -> bool {
+    let end = range.end.min(toks.len());
+    for i in range.start..end {
+        if !SPAN_HEADS.iter().any(|h| toks[i].is_ident(h)) {
+            continue;
         }
-        out.push((name, line, &masked[open..close]));
+        let call = toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 3).is_some_and(|t| t.is_ident("span"))
+            && toks.get(i + 4).is_some_and(|t| t.is_punct('('));
+        if call && i + 4 < end {
+            return true;
+        }
     }
-    out
+    false
 }
 
 /// Runs the rule over `root` and returns every finding.
@@ -73,12 +59,17 @@ pub fn check(root: &Path) -> Vec<Violation> {
     match std::fs::read_to_string(root.join(PIPELINE_FILE)) {
         Ok(text) => {
             let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
-            for (name, line, body) in pub_run_fns(&masked) {
-                if !body.contains(SPAN_TOKEN) {
+            let toks = lex::lex(&masked);
+            for item in ast::fn_items(&toks) {
+                if !(item.is_pub && item.name.starts_with("run_")) || item.body.is_empty() {
+                    continue;
+                }
+                if !range_has_span(&toks, item.body.clone()) {
+                    let name = &item.name;
                     out.push(Violation::new(
                         RULE,
                         PIPELINE_FILE,
-                        line,
+                        item.line,
                         format!(
                             "pipeline entry point `{name}` opens no obs span \
                              (add `let _obs = summit_obs::span(\"summit_core_{name}\");`)"
@@ -88,7 +79,7 @@ pub fn check(root: &Path) -> Vec<Violation> {
             }
         }
         Err(e) => {
-            out.push(Violation::new(
+            out.push(Violation::internal(
                 RULE,
                 PIPELINE_FILE,
                 0,
@@ -99,7 +90,7 @@ pub fn check(root: &Path) -> Vec<Violation> {
 
     let dir = root.join(EXPERIMENTS_DIR);
     let Ok(entries) = std::fs::read_dir(&dir) else {
-        out.push(Violation::new(
+        out.push(Violation::internal(
             RULE,
             EXPERIMENTS_DIR,
             0,
@@ -120,7 +111,8 @@ pub fn check(root: &Path) -> Vec<Violation> {
         match std::fs::read_to_string(dir.join(file)) {
             Ok(text) => {
                 let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
-                if !masked.contains(SPAN_TOKEN) {
+                let toks = lex::lex(&masked);
+                if !range_has_span(&toks, 0..toks.len()) {
                     out.push(Violation::new(
                         RULE,
                         rel,
@@ -134,7 +126,12 @@ pub fn check(root: &Path) -> Vec<Violation> {
                 }
             }
             Err(e) => {
-                out.push(Violation::new(RULE, rel, 0, format!("cannot read: {e}")));
+                out.push(Violation::internal(
+                    RULE,
+                    rel,
+                    0,
+                    format!("cannot read: {e}"),
+                ));
             }
         }
     }
@@ -147,8 +144,12 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
+    fn toks(src: &str) -> Vec<Tok> {
+        lex::lex(&source::mask_comments_and_strings(src))
+    }
+
     #[test]
-    fn extracts_pub_run_fn_bodies() {
+    fn span_detection_is_fn_scoped() {
         let src = r#"
 pub fn run_alpha() {
     let _obs = summit_obs::span("summit_core_run_alpha");
@@ -158,25 +159,26 @@ pub fn run_beta(x: usize) -> usize {
     x + 1
 }
 "#;
-        let masked = source::mask_comments_and_strings(src);
-        let fns = pub_run_fns(&masked);
+        let t = toks(src);
+        let fns: Vec<_> = ast::fn_items(&t)
+            .into_iter()
+            .filter(|f| f.is_pub && f.name.starts_with("run_"))
+            .collect();
         assert_eq!(fns.len(), 2);
-        assert_eq!(fns[0].0, "run_alpha");
-        assert_eq!(fns[0].1, 2);
-        assert!(fns[0].2.contains(SPAN_TOKEN));
-        assert_eq!(fns[1].0, "run_beta");
-        assert!(!fns[1].2.contains(SPAN_TOKEN));
+        assert_eq!(fns[0].name, "run_alpha");
+        assert_eq!(fns[0].line, 2);
+        assert!(range_has_span(&t, fns[0].body.clone()));
+        assert_eq!(fns[1].name, "run_beta");
+        assert!(!range_has_span(&t, fns[1].body.clone()));
     }
 
     #[test]
-    fn span_in_one_fn_does_not_cover_another() {
-        let src = r#"
-pub fn run_a() { let _obs = summit_obs::span("a"); }
-pub fn run_b() { let _x = 1; }
-"#;
-        let masked = source::mask_comments_and_strings(src);
-        let fns = pub_run_fns(&masked);
-        assert!(fns[0].2.contains(SPAN_TOKEN));
-        assert!(!fns[1].2.contains(SPAN_TOKEN));
+    fn alias_matches_but_suffix_identifier_does_not() {
+        let t = toks("fn a() { let _g = obs::span(\"x\"); }");
+        assert!(range_has_span(&t, 0..t.len()));
+        let t = toks("fn a() { let _g = my_obs::span(\"x\"); }");
+        assert!(!range_has_span(&t, 0..t.len()));
+        let t = toks("fn a() { let _g = summit_obs::span(\"x\"); }");
+        assert!(range_has_span(&t, 0..t.len()));
     }
 }

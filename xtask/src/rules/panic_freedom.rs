@@ -20,6 +20,7 @@
 //!
 //! Scope: non-test code in every `crates/*/src` tree.
 
+use crate::lex::{self, Kind, Tok};
 use crate::source;
 use crate::violation::Violation;
 use crate::workspace::{rel, rust_files};
@@ -36,18 +37,14 @@ pub const ALLOWLIST: &str = "xtask/panic_allowlist.txt";
 /// Assert-budget allowlist location, relative to the workspace root.
 pub const ASSERT_ALLOWLIST: &str = "xtask/assert_allowlist.txt";
 
-/// Panic-introducing tokens. `word_start` avoids matching
-/// `.unwrap_or()` via the `(` terminator and `dont_panic!` via the
-/// boundary check.
-const TOKENS: &[(&str, bool)] = &[(".unwrap()", false), (".expect(", false), ("panic!(", true)];
+/// Panic-introducing method calls: `.unwrap()` / `.expect(…)`. Exact
+/// identifier matching means `.unwrap_or()` never fires.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
 
-/// Budgeted assertion tokens. All require a word start, so the
-/// `debug_assert!` family (preceded by `_`) never matches.
-const ASSERT_TOKENS: &[(&str, bool)] = &[
-    ("assert!(", true),
-    ("assert_eq!(", true),
-    ("assert_ne!(", true),
-];
+/// Budgeted panic/assert macros. Identifiers are exact, so the
+/// `debug_assert!` family and `dont_panic!` never match.
+const PANIC_MACROS: &[&str] = &["panic"];
+const ASSERT_MACROS: &[&str] = &["assert", "assert_eq", "assert_ne"];
 
 /// Runs the rule. Returns `(errors, warnings)`.
 pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violation>) {
@@ -97,24 +94,18 @@ pub fn check(root: &Path, strict_indexing: bool) -> (Vec<Violation>, Vec<Violati
                 continue;
             };
             let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let toks = lex::lex(&masked);
             let rel_path = rel(root, &file).display().to_string();
-            for (token, word_start) in TOKENS {
-                for line in source::find_token_lines(&masked, token, *word_start) {
-                    found
-                        .entry(rel_path.clone())
-                        .or_default()
-                        .push((line, (*token).to_string()));
-                }
+            for site in panic_sites(&toks) {
+                found.entry(rel_path.clone()).or_default().push(site);
             }
-            for (token, word_start) in ASSERT_TOKENS {
-                for line in source::find_token_lines(&masked, token, *word_start) {
-                    found_asserts
-                        .entry(rel_path.clone())
-                        .or_default()
-                        .push((line, (*token).to_string()));
-                }
+            for site in assert_sites(&toks) {
+                found_asserts
+                    .entry(rel_path.clone())
+                    .or_default()
+                    .push(site);
             }
-            for line in literal_index_lines(&masked) {
+            for line in literal_index_lines(&toks) {
                 let v = Violation::new(
                     RULE_IDX,
                     rel(root, &file),
@@ -251,33 +242,81 @@ pub(crate) fn load_allowlist(
     Ok(map)
 }
 
+/// `.unwrap()` / `.expect(` / `panic!(` sites as `(line, token)`.
+/// Token strings mirror the historical substring spellings so ratchet
+/// messages stay stable.
+fn panic_sites(toks: &[Tok]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_punct('.')
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| PANIC_METHODS.iter().any(|m| t.is_ident(m)))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            let name = &toks[i + 1].text;
+            // `.unwrap()` only counts with an empty argument list —
+            // `.unwrap_or()` is a distinct identifier already, but
+            // `Option::unwrap` take no args by definition.
+            let spelled = if name == "unwrap" {
+                if !toks.get(i + 3).is_some_and(|t| t.is_punct(')')) {
+                    continue;
+                }
+                ".unwrap()".to_string()
+            } else {
+                ".expect(".to_string()
+            };
+            out.push((toks[i + 1].line, spelled));
+        }
+        if toks[i].kind == Kind::Ident
+            && PANIC_MACROS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            out.push((toks[i].line, "panic!(".to_string()));
+        }
+    }
+    out
+}
+
+/// `assert!(` / `assert_eq!(` / `assert_ne!(` sites as `(line, token)`.
+fn assert_sites(toks: &[Tok]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].kind == Kind::Ident
+            && ASSERT_MACROS.contains(&toks[i].text.as_str())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            out.push((toks[i].line, format!("{}!(", toks[i].text)));
+        }
+    }
+    out
+}
+
 /// Lines containing `expr[<integer literal>]` — an index expression
-/// that panics when the slice is shorter than expected.
-fn literal_index_lines(masked: &str) -> Vec<usize> {
-    let chars: Vec<char> = masked.chars().collect();
+/// that panics when the slice is shorter than expected. The preceding
+/// token must be indexable (identifier, `)` or `]`), and the content
+/// a bare integer literal without suffix.
+fn literal_index_lines(toks: &[Tok]) -> Vec<usize> {
     let mut lines = Vec::new();
-    for (i, &c) in chars.iter().enumerate() {
-        if c != '[' {
+    for i in 1..toks.len() {
+        if !toks[i].is_punct('[') {
             continue;
         }
-        // Preceded by something indexable: identifier, `)`, or `]`.
-        let Some(&prev) = chars[..i].last() else {
-            continue;
-        };
-        if !(prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']') {
+        let prev = &toks[i - 1];
+        let indexable = prev.kind == Kind::Ident
+            || prev.kind == Kind::Num
+            || prev.is_punct(')')
+            || prev.is_punct(']');
+        if !indexable {
             continue;
         }
-        // Content must be pure digits (underscores allowed) up to `]`.
-        let mut j = i + 1;
-        let mut digits = 0;
-        while j < chars.len() && (chars[j].is_ascii_digit() || chars[j] == '_') {
-            if chars[j].is_ascii_digit() {
-                digits += 1;
-            }
-            j += 1;
-        }
-        if digits > 0 && j < chars.len() && chars[j] == ']' {
-            lines.push(source::line_of(masked, i));
+        let literal = toks.get(i + 1).is_some_and(|t| {
+            t.kind == Kind::Num && t.text.chars().all(|c| c.is_ascii_digit() || c == '_')
+        });
+        if literal && toks.get(i + 2).is_some_and(|t| t.is_punct(']')) {
+            lines.push(toks[i].line);
         }
     }
     lines
@@ -288,16 +327,33 @@ mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
 
+    fn toks(src: &str) -> Vec<Tok> {
+        lex::lex(&source::mask_comments_and_strings(src))
+    }
+
     #[test]
     fn literal_index_detection() {
-        let src = "let a = xs[0]; let b = ys[i]; let c = [0u8; 32]; let d = m[ 1 ];";
-        let m = source::mask_comments_and_strings(src);
-        assert_eq!(literal_index_lines(&m), vec![1]); // only xs[0]
+        let src = "let a = xs[0];\nlet b = ys[i];\nlet c = [0u8; 32];\nlet d = arr[0u8];";
+        assert_eq!(literal_index_lines(&toks(src)), vec![1]); // only xs[0]
     }
 
     #[test]
     fn tuple_fields_not_flagged() {
-        let m = source::mask_comments_and_strings("let x = pair.0; let y = arr[12];");
-        assert_eq!(literal_index_lines(&m).len(), 1);
+        let t = toks("let x = pair.0; let y = arr[12];");
+        assert_eq!(literal_index_lines(&t).len(), 1);
+    }
+
+    #[test]
+    fn panic_tokens_are_ident_exact() {
+        let src = "a.unwrap(); b.unwrap_or(0); c.expect(\"x\"); dont_panic!(); panic!(\"y\");";
+        let sites = panic_sites(&toks(src));
+        let spellings: Vec<&str> = sites.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(spellings, vec![".unwrap()", ".expect(", "panic!("]);
+    }
+
+    #[test]
+    fn debug_asserts_are_free() {
+        let src = "assert!(a); assert_eq!(a, b); debug_assert!(c); debug_assert_ne!(d, e);";
+        assert_eq!(assert_sites(&toks(src)).len(), 2);
     }
 }

@@ -17,6 +17,7 @@
 //! Scope: non-test code in every `crates/*/src` tree. `compat/` is
 //! deliberately out of scope — the facade itself must use threads.
 
+use crate::lex;
 use crate::rules::panic_freedom::{load_allowlist, ratchet};
 use crate::source;
 use crate::violation::Violation;
@@ -29,9 +30,9 @@ const RULE: &str = "parallelism";
 /// Allowlist location, relative to the workspace root.
 pub const ALLOWLIST: &str = "xtask/thread_allowlist.txt";
 
-/// Thread-creating tokens. All are matched at a word start, so a path
-/// prefix (`std::thread::scope`) still matches while identifiers that
-/// merely end in `thread` do not.
+/// Thread-creating paths, matched as token sequences via
+/// [`lex::find_path`]: a path prefix (`std::thread::scope`) still
+/// matches while identifiers that merely end in `thread` do not.
 const TOKENS: &[&str] = &["thread::spawn", "thread::scope", "thread::Builder"];
 
 /// Runs the rule over `root` and returns every finding.
@@ -40,7 +41,7 @@ pub fn check(root: &Path) -> Vec<Violation> {
     let allowed = match load_allowlist(root, ALLOWLIST) {
         Ok(a) => a,
         Err(msg) => {
-            errors.push(Violation::new(RULE, ALLOWLIST, 0, msg));
+            errors.push(Violation::internal(RULE, ALLOWLIST, 0, msg));
             return errors;
         }
     };
@@ -48,7 +49,7 @@ pub fn check(root: &Path) -> Vec<Violation> {
     let mut found: BTreeMap<String, Vec<(usize, String)>> = BTreeMap::new();
     let crates_dir = root.join("crates");
     let Ok(entries) = std::fs::read_dir(&crates_dir) else {
-        errors.push(Violation::new(
+        errors.push(Violation::internal(
             RULE,
             "crates",
             0,
@@ -66,17 +67,23 @@ pub fn check(root: &Path) -> Vec<Violation> {
     for src_dir in crate_srcs {
         for file in rust_files(&src_dir) {
             let Ok(text) = std::fs::read_to_string(&file) else {
-                errors.push(Violation::new(RULE, rel(root, &file), 0, "unreadable file"));
+                errors.push(Violation::internal(
+                    RULE,
+                    rel(root, &file),
+                    0,
+                    "unreadable file",
+                ));
                 continue;
             };
             let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let toks = lex::lex(&masked);
             let rel_path = rel(root, &file).display().to_string();
             for token in TOKENS {
-                for line in source::find_token_lines(&masked, token, true) {
+                for idx in lex::find_path(&toks, token) {
                     found
                         .entry(rel_path.clone())
                         .or_default()
-                        .push((line, (*token).to_string()));
+                        .push((toks[idx].line, (*token).to_string()));
                 }
             }
         }

@@ -14,10 +14,14 @@ pub struct Violation {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// True when the finding reports a broken lint run (unreadable
+    /// file, malformed allowlist) rather than a code violation. The
+    /// CLI exits 2 instead of 1 when any internal finding is present.
+    pub internal: bool,
 }
 
 impl Violation {
-    /// Convenience constructor.
+    /// Convenience constructor for an ordinary code finding.
     pub fn new(
         rule: &'static str,
         path: impl Into<PathBuf>,
@@ -29,6 +33,20 @@ impl Violation {
             line,
             rule,
             message: message.into(),
+            internal: false,
+        }
+    }
+
+    /// Constructor for an internal lint failure (exit code 2).
+    pub fn internal(
+        rule: &'static str,
+        path: impl Into<PathBuf>,
+        line: usize,
+        message: impl Into<String>,
+    ) -> Self {
+        Self {
+            internal: true,
+            ..Self::new(rule, path, line, message)
         }
     }
 }

@@ -8,7 +8,8 @@
 
 use std::path::{Path, PathBuf};
 use xtask::rules::{
-    determinism, obs_coverage, panic_freedom, parallelism, registry, spec_constants,
+    determinism, float_reduction, hash_order, lossy_cast, obs_coverage, panic_freedom, parallelism,
+    registry, spec_constants,
 };
 use xtask::violation::Violation;
 
@@ -233,4 +234,75 @@ fn parallelism_clean_fixture_passes() {
     // The clean fixture's stream.rs has exactly the one scoped-thread
     // site its allowlist entry budgets — the exact-match ratchet path.
     assert_eq!(parallelism::check(&fixture("clean")), vec![]);
+}
+
+// --- hash-order --------------------------------------------------------
+
+#[test]
+fn hash_order_flags_unordered_iteration() {
+    let v = hash_order::check(&fixture("violating"));
+    // `totals` walks the map with a for-loop, `keys` leaks hash order
+    // through an unsorted chain; `sorted_keys` sorts after collect and
+    // must NOT be flagged. The allowlist also carries a stale entry.
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/telemetry/src/maps.rs".into(), 8),
+            ("crates/telemetry/src/maps.rs".into(), 16),
+            ("xtask/hash_order_allowlist.txt".into(), 0),
+        ]
+    );
+    assert!(message_at(&v, "crates/telemetry/src/maps.rs", 8).contains(".values()"));
+    assert!(message_at(&v, "crates/telemetry/src/maps.rs", 16).contains(".keys()"));
+    assert!(message_at(&v, "xtask/hash_order_allowlist.txt", 0)
+        .contains("crates/telemetry/src/gone.rs"));
+}
+
+#[test]
+fn hash_order_clean_fixture_passes() {
+    assert_eq!(hash_order::check(&fixture("clean")), vec![]);
+}
+
+// --- float-reduction ---------------------------------------------------
+
+#[test]
+fn float_reduction_flags_par_float_sums_and_folds() {
+    let v = float_reduction::check(&fixture("violating"));
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/analysis/src/reduce.rs".into(), 7),
+            ("crates/analysis/src/reduce.rs".into(), 12),
+        ]
+    );
+    assert!(message_at(&v, "crates/analysis/src/reduce.rs", 7).contains("sum_stable"));
+    assert!(message_at(&v, "crates/analysis/src/reduce.rs", 12).contains("fold"));
+}
+
+#[test]
+fn float_reduction_clean_fixture_passes() {
+    // `sum_stable()` and integer sums are both approved.
+    assert_eq!(float_reduction::check(&fixture("clean")), vec![]);
+}
+
+// --- lossy-cast --------------------------------------------------------
+
+#[test]
+fn lossy_cast_flags_unbudgeted_narrowing() {
+    let v = lossy_cast::check(&fixture("violating"));
+    assert_eq!(
+        locations(&v),
+        vec![
+            ("crates/telemetry/src/quantize.rs".into(), 5),
+            ("crates/telemetry/src/quantize.rs".into(), 10),
+        ]
+    );
+    assert!(message_at(&v, "crates/telemetry/src/quantize.rs", 5).contains("f32"));
+    assert!(message_at(&v, "crates/telemetry/src/quantize.rs", 10).contains("u16"));
+}
+
+#[test]
+fn lossy_cast_clean_fixture_passes() {
+    // The one quantization cast is exactly covered by its budget.
+    assert_eq!(lossy_cast::check(&fixture("clean")), vec![]);
 }

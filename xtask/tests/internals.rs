@@ -1,0 +1,179 @@
+//! Edge-case tests for the lint engine's text-processing internals:
+//! the comment/string masker every rule depends on, the const-expression
+//! evaluator, and the TOML-subset parser.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::collections::BTreeMap;
+use xtask::source::mask_comments_and_strings;
+use xtask::{expr, toml_lite};
+
+// --- source::mask_comments_and_strings ---------------------------------
+
+#[test]
+fn mask_preserves_line_structure() {
+    let src = "a // one\nb /* two\nthree */ c\n\"four\nfive\"";
+    let masked = mask_comments_and_strings(src);
+    assert_eq!(masked.lines().count(), src.lines().count());
+    for (m, s) in masked.lines().zip(src.lines()) {
+        assert_eq!(m.len(), s.len(), "masking must not shift columns");
+    }
+}
+
+#[test]
+fn mask_blanks_raw_strings_with_hash_depth() {
+    let src = r####"let a = r#"HashMap"#; let b = r##"as u16 "# still"##;"####;
+    let masked = mask_comments_and_strings(src);
+    assert!(!masked.contains("HashMap"), "raw string payload must go");
+    assert!(
+        !masked.contains("as u16"),
+        "deep raw string payload must go"
+    );
+    assert!(
+        !masked.contains("still"),
+        "a lone `\"#` must not close an `r##` string"
+    );
+    assert!(masked.contains("let a"), "code around the strings survives");
+    assert!(masked.contains("let b"));
+}
+
+#[test]
+fn mask_handles_nested_block_comments() {
+    let src = "before /* outer /* inner */ still-comment */ after";
+    let masked = mask_comments_and_strings(src);
+    assert!(masked.contains("before"));
+    assert!(masked.contains("after"), "nesting must track depth");
+    assert!(!masked.contains("still-comment"));
+    assert!(!masked.contains("inner"));
+}
+
+#[test]
+fn mask_keeps_char_and_byte_literals_from_confusing_strings() {
+    // A '"' char literal must not open a string; lifetimes must not be
+    // treated as unterminated char literals.
+    let src = "let q = '\"'; let b = b'\\''; fn f<'a>(x: &'a str) { iter() }";
+    let masked = mask_comments_and_strings(src);
+    assert!(masked.contains("iter"), "code after the literals survives");
+    assert!(masked.contains("fn f"));
+}
+
+#[test]
+fn mask_survives_unterminated_string() {
+    // A file that ends inside a string literal must still mask cleanly
+    // (the rest of the file is string content, not code).
+    let src = "let ok = 1;\nlet s = \"unterminated HashMap";
+    let masked = mask_comments_and_strings(src);
+    assert!(masked.contains("let ok"));
+    assert!(!masked.contains("HashMap"));
+    assert_eq!(masked.lines().count(), 2);
+}
+
+#[test]
+fn mask_handles_escaped_quotes() {
+    let src = r#"let s = "he said \"HashMap\" loudly"; tail()"#;
+    let masked = mask_comments_and_strings(src);
+    assert!(!masked.contains("HashMap"));
+    assert!(masked.contains("tail"), "escape must not eat the closer");
+}
+
+// --- expr::eval --------------------------------------------------------
+
+#[test]
+fn expr_evaluates_arithmetic_with_precedence() {
+    let env = BTreeMap::new();
+    assert_eq!(expr::eval("1 + 2 * 3", &env), Some(7.0));
+    assert_eq!(expr::eval("(1 + 2) * 3", &env), Some(9.0));
+    assert_eq!(expr::eval("-4 / 2", &env), Some(-2.0));
+    assert_eq!(expr::eval("10 - 2 - 3", &env), Some(5.0), "left assoc");
+}
+
+#[test]
+fn expr_resolves_identifiers_and_casts() {
+    let mut env = BTreeMap::new();
+    env.insert("TOTAL_NODES".to_string(), 4608.0);
+    env.insert("GPUS_PER_NODE".to_string(), 6.0);
+    assert_eq!(
+        expr::eval("TOTAL_NODES * GPUS_PER_NODE", &env),
+        Some(27_648.0)
+    );
+    assert_eq!(
+        expr::eval("TOTAL_NODES as f64 / 2.0", &env),
+        Some(2304.0),
+        "`as <type>` casts are transparent"
+    );
+}
+
+#[test]
+fn expr_parses_literal_shapes() {
+    let env = BTreeMap::new();
+    assert_eq!(expr::eval("1_000_000", &env), Some(1e6));
+    assert_eq!(expr::eval("2.5e3", &env), Some(2500.0));
+    assert_eq!(expr::eval("42u64", &env), Some(42.0), "type suffix");
+}
+
+#[test]
+fn expr_rejects_what_it_cannot_evaluate() {
+    let env = BTreeMap::new();
+    assert_eq!(expr::eval("UNKNOWN + 1", &env), None, "unbound ident");
+    assert_eq!(expr::eval("[1, 2, 3]", &env), None, "array literal");
+    assert_eq!(expr::eval("1 +", &env), None, "trailing operator");
+    assert_eq!(expr::eval("", &env), None);
+}
+
+// --- toml_lite ---------------------------------------------------------
+
+#[test]
+fn toml_round_trips_every_value_shape() {
+    let text = "\
+top = 1\n\
+[paper]\n\
+nodes = 4_608 # Summit\n\
+power_mw = 13.0\n\
+peak = 2.0e2\n\
+name = \"summit\"\n\
+active = true\n\
+[paper.sub]\n\
+deep = -3\n";
+    let entries = toml_lite::parse(text).unwrap();
+    let view: Vec<(&str, &str, toml_lite::Value)> = entries
+        .iter()
+        .map(|e| (e.section.as_str(), e.key.as_str(), e.value.clone()))
+        .collect();
+    assert_eq!(
+        view,
+        vec![
+            ("", "top", toml_lite::Value::Int(1)),
+            ("paper", "nodes", toml_lite::Value::Int(4608)),
+            ("paper", "power_mw", toml_lite::Value::Float(13.0)),
+            ("paper", "peak", toml_lite::Value::Float(200.0)),
+            ("paper", "name", toml_lite::Value::Str("summit".into())),
+            ("paper", "active", toml_lite::Value::Bool(true)),
+            ("paper.sub", "deep", toml_lite::Value::Int(-3)),
+        ]
+    );
+    // Line numbers point at the source (comments and headers counted).
+    assert_eq!(entries[0].line, 1);
+    assert_eq!(entries[1].line, 3);
+    assert_eq!(entries.last().unwrap().line, 9);
+}
+
+#[test]
+fn toml_rejects_malformed_input() {
+    assert!(toml_lite::parse("no_equals_sign").is_err());
+    assert!(toml_lite::parse("[unclosed\nk = 1").is_err());
+    assert!(
+        toml_lite::parse("k = [1, 2]").is_err(),
+        "arrays unsupported"
+    );
+    assert!(toml_lite::parse("k = 'single'").is_err(), "single quotes");
+}
+
+#[test]
+fn toml_value_views() {
+    let entries = toml_lite::parse("i = 2\nf = 2.5\ns = \"x\"").unwrap();
+    assert_eq!(entries[0].value.as_f64(), Some(2.0));
+    assert!(entries[0].value.is_integral());
+    assert_eq!(entries[1].value.as_f64(), Some(2.5));
+    assert!(!entries[1].value.is_integral());
+    assert_eq!(entries[2].value.as_f64(), None);
+}
