@@ -5,19 +5,28 @@
 //! (`map`, `enumerate`, `flat_map_iter`, `fold`, …). Terminal methods
 //! ([`ParallelIterator::collect`], [`ParallelIterator::reduce`]) hand
 //! the description to the executor in [`crate::pool`], which cuts the
-//! input index space into contiguous chunks and fans them out over
-//! scoped worker threads.
+//! input index space into contiguous chunks and fans them out over the
+//! persistent worker pool.
+//!
+//! The executor interface is [`Source`]: a pipeline freezes into one
+//! shared, immutable chunk source (`into_source`), and every worker
+//! materializes the chunks it claims straight from `&Source` via
+//! [`Source::chunk_iter`]. Because the source is borrowed — never
+//! moved, split or handed over — workers need no per-chunk slots and
+//! no locks to pick up work; the atomic band cursors in the pool are
+//! the only scheduling state.
 //!
 //! The determinism contract lives in the shapes of these adaptors:
-//! [`ParallelIterator::into_chunk_iters`] must decompose the pipeline
-//! into per-chunk iterators that, concatenated in chunk order, replay
-//! the exact sequential element order. Every adaptor below preserves
-//! that property, which is what makes `collect` (and the chunk-ordered
-//! `fold`/`reduce` combine) bit-identical to a single-threaded run.
+//! `chunk_iter(range)` must replay exactly the elements a sequential
+//! run would produce for those input indices, so the chunks
+//! concatenated in ascending chunk order equal the sequential result.
+//! Every adaptor below preserves that property, which is what makes
+//! `collect` (and the chunk-ordered `fold`/`reduce` combine)
+//! bit-identical to a single-threaded run.
 
 use crate::pool;
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A description of a data-parallel pipeline over an indexed input.
 ///
@@ -26,8 +35,8 @@ use std::sync::Arc;
 pub trait ParallelIterator: Sized {
     /// Element type the pipeline yields.
     type Item: Send;
-    /// Per-chunk iterator type the pipeline decomposes into.
-    type ChunkIter: Iterator<Item = Self::Item> + Send;
+    /// Frozen chunk source the pipeline executes through.
+    type Source: Source<Item = Self::Item>;
 
     /// Number of *input* indices the chunk grid is laid over.
     #[doc(hidden)]
@@ -40,12 +49,12 @@ pub trait ParallelIterator: Sized {
         1
     }
 
-    /// Decomposes the pipeline into per-chunk iterators covering input
-    /// indices `[k*chunk_size, (k+1)*chunk_size)` for chunk `k`, in
-    /// chunk order. Building the iterators must be cheap; the work runs
-    /// when a worker consumes them.
+    /// Freezes the pipeline into a [`Source`] all workers share by
+    /// reference. `chunk_size` is the executor's (deterministic) grid
+    /// pitch; only by-value sources need it (to pre-split their
+    /// elements into per-chunk bins).
     #[doc(hidden)]
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter>;
+    fn into_source(self, chunk_size: usize) -> Self::Source;
 
     /// Applies `f` to every element in parallel (order-preserving).
     fn map<R, F>(self, f: F) -> Map<Self, F>
@@ -53,10 +62,7 @@ pub trait ParallelIterator: Sized {
         R: Send,
         F: Fn(Self::Item) -> R + Send + Sync,
     {
-        Map {
-            base: self,
-            f: Arc::new(f),
-        }
+        Map { base: self, f }
     }
 
     /// Pairs every element with its global index. Requires an indexed
@@ -74,13 +80,9 @@ pub trait ParallelIterator: Sized {
     where
         U: IntoIterator,
         U::Item: Send,
-        U::IntoIter: Send,
         F: Fn(Self::Item) -> U + Send + Sync,
     {
-        FlatMapIter {
-            base: self,
-            f: Arc::new(f),
-        }
+        FlatMapIter { base: self, f }
     }
 
     /// Guarantees at least `min` input elements per chunk — the
@@ -102,8 +104,8 @@ pub trait ParallelIterator: Sized {
     {
         Fold {
             base: self,
-            identity: Arc::new(identity),
-            fold_op: Arc::new(fold_op),
+            identity,
+            fold_op,
         }
     }
 
@@ -118,12 +120,10 @@ pub trait ParallelIterator: Sized {
         ID: Fn() -> Self::Item + Send + Sync,
         OP: Fn(Self::Item, Self::Item) -> Self::Item + Send + Sync,
     {
-        let identity = Arc::new(identity);
-        let op = Arc::new(op);
         let folded = Fold {
             base: self,
-            identity: Arc::clone(&identity),
-            fold_op: Arc::clone(&op),
+            identity: &identity,
+            fold_op: &op,
         };
         let mut acc = identity();
         for chunk_acc in pool::run(folded).into_iter().flatten() {
@@ -157,6 +157,29 @@ pub trait ParallelIterator: Sized {
     fn count(self) -> usize {
         pool::run(self).into_iter().map(|chunk| chunk.len()).sum()
     }
+}
+
+/// A frozen pipeline every worker reads chunks from by shared
+/// reference.
+///
+/// `Sync` is the load-bearing bound: the persistent pool hands the
+/// *same* `&Source` to every participating thread, and a chunk's
+/// content must depend only on its index range — never on which worker
+/// asks, or in what order. The executor calls
+/// [`chunk_iter`](Source::chunk_iter) exactly once per chunk (the
+/// atomic band cursors guarantee exactly-once claims).
+pub trait Source: Sync {
+    /// Element type the chunks yield.
+    type Item: Send;
+    /// Iterator over one chunk's elements, borrowing the source.
+    type ChunkIter<'s>: Iterator<Item = Self::Item>
+    where
+        Self: 's;
+
+    /// Materializes the elements for input indices `range`. Building
+    /// the iterator must be cheap; the work runs as the caller drains
+    /// it.
+    fn chunk_iter(&self, range: Range<usize>) -> Self::ChunkIter<'_>;
 }
 
 /// Element types [`ParallelIterator::sum_stable`] can reduce through
@@ -261,7 +284,8 @@ impl<T: Send> FromParallelIterator<T> for Vec<T> {
 
 // --- sources -----------------------------------------------------------
 
-/// Borrowing source over a slice (`.par_iter()`).
+/// Borrowing source over a slice (`.par_iter()`). Doubles as its own
+/// [`Source`]: a chunk is just a subslice iterator.
 #[derive(Debug)]
 pub struct ParSlice<'data, T> {
     data: &'data [T],
@@ -269,20 +293,27 @@ pub struct ParSlice<'data, T> {
 
 impl<'data, T: Sync + 'data> ParallelIterator for ParSlice<'data, T> {
     type Item = &'data T;
-    type ChunkIter = std::slice::Iter<'data, T>;
+    type Source = Self;
 
     fn input_len(&self) -> usize {
         self.data.len()
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
-        if self.data.is_empty() {
-            return Vec::new();
-        }
-        self.data
-            .chunks(chunk_size.max(1))
-            .map(<[T]>::iter)
-            .collect()
+    fn into_source(self, _chunk_size: usize) -> Self {
+        self
+    }
+}
+
+impl<'data, T: Sync + 'data> Source for ParSlice<'data, T> {
+    type Item = &'data T;
+    type ChunkIter<'s>
+        = std::slice::Iter<'data, T>
+    where
+        Self: 's;
+
+    fn chunk_iter(&self, range: Range<usize>) -> std::slice::Iter<'data, T> {
+        let end = range.end.min(self.data.len());
+        self.data[range.start.min(end)..end].iter()
     }
 }
 
@@ -296,29 +327,64 @@ pub struct ParVec<T> {
 
 impl<T: Send> ParallelIterator for ParVec<T> {
     type Item = T;
-    type ChunkIter = std::vec::IntoIter<T>;
+    type Source = VecSource<T>;
 
     fn input_len(&self) -> usize {
         self.data.len()
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
+    fn into_source(self, chunk_size: usize) -> VecSource<T> {
         let chunk_size = chunk_size.max(1);
-        let mut out = Vec::with_capacity(self.data.len().div_ceil(chunk_size));
+        let mut bins = Vec::with_capacity(self.data.len().div_ceil(chunk_size));
         let mut source = self.data.into_iter();
         loop {
-            let chunk: Vec<T> = source.by_ref().take(chunk_size).collect();
-            if chunk.is_empty() {
-                return out;
+            let bin: Vec<T> = source.by_ref().take(chunk_size).collect();
+            if bin.is_empty() {
+                break;
             }
-            out.push(chunk.into_iter());
+            bins.push(Mutex::new(Some(bin.into_iter())));
         }
+        VecSource { chunk_size, bins }
     }
 }
 
 impl<T: Send> IndexedParallelIterator for ParVec<T> {}
 
-/// Source over a `usize` range (`.into_par_iter()`).
+/// Frozen by-value source: elements pre-split into per-chunk bins at
+/// freeze time (preserving move semantics — no `Clone` bound on
+/// `into_par_iter`). Each bin sits behind its own `Mutex<Option<..>>`
+/// so a `&self` chunk claim can move it out; the lock is an ownership
+/// formality, never contended — the pool's band cursors already
+/// guarantee each chunk index is claimed by exactly one worker.
+#[derive(Debug)]
+pub struct VecSource<T> {
+    chunk_size: usize,
+    bins: Vec<Mutex<Option<std::vec::IntoIter<T>>>>,
+}
+
+impl<T: Send> Source for VecSource<T> {
+    type Item = T;
+    type ChunkIter<'s>
+        = std::vec::IntoIter<T>
+    where
+        Self: 's;
+
+    fn chunk_iter(&self, range: Range<usize>) -> std::vec::IntoIter<T> {
+        let k = range.start / self.chunk_size;
+        self.bins
+            .get(k)
+            .and_then(|bin| {
+                bin.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Source over a `usize` range (`.into_par_iter()`). Doubles as its
+/// own [`Source`]: a chunk is the sub-range shifted to the global
+/// origin.
 #[derive(Debug)]
 pub struct ParRange {
     range: Range<usize>,
@@ -326,22 +392,28 @@ pub struct ParRange {
 
 impl ParallelIterator for ParRange {
     type Item = usize;
-    type ChunkIter = Range<usize>;
+    type Source = Self;
 
     fn input_len(&self) -> usize {
         self.range.len()
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
-        let chunk_size = chunk_size.max(1);
-        let mut out = Vec::with_capacity(self.range.len().div_ceil(chunk_size));
-        let mut start = self.range.start;
-        while start < self.range.end {
-            let end = self.range.end.min(start.saturating_add(chunk_size));
-            out.push(start..end);
-            start = end;
-        }
-        out
+    fn into_source(self, _chunk_size: usize) -> Self {
+        self
+    }
+}
+
+impl Source for ParRange {
+    type Item = usize;
+    type ChunkIter<'s>
+        = Range<usize>
+    where
+        Self: 's;
+
+    fn chunk_iter(&self, range: Range<usize>) -> Range<usize> {
+        let start = self.range.start.saturating_add(range.start);
+        let end = self.range.start.saturating_add(range.end);
+        start..end.min(self.range.end)
     }
 }
 
@@ -353,7 +425,7 @@ impl IndexedParallelIterator for ParRange {}
 #[derive(Debug)]
 pub struct Map<I, F> {
     base: I,
-    f: Arc<F>,
+    f: F,
 }
 
 impl<I, F, R> ParallelIterator for Map<I, F>
@@ -363,7 +435,7 @@ where
     F: Fn(I::Item) -> R + Send + Sync,
 {
     type Item = R;
-    type ChunkIter = MapChunk<I::ChunkIter, F>;
+    type Source = MapSource<I::Source, F>;
 
     fn input_len(&self) -> usize {
         self.base.input_len()
@@ -373,16 +445,11 @@ where
         self.base.min_chunk()
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
-        let f = self.f;
-        self.base
-            .into_chunk_iters(chunk_size)
-            .into_iter()
-            .map(|base| MapChunk {
-                base,
-                f: Arc::clone(&f),
-            })
-            .collect()
+    fn into_source(self, chunk_size: usize) -> MapSource<I::Source, F> {
+        MapSource {
+            base: self.base.into_source(chunk_size),
+            f: self.f,
+        }
     }
 }
 
@@ -394,14 +461,41 @@ where
 {
 }
 
-/// Per-chunk iterator of [`Map`].
+/// Frozen [`Map`]: shares one closure across all chunks by reference.
 #[derive(Debug)]
-pub struct MapChunk<C, F> {
-    base: C,
-    f: Arc<F>,
+pub struct MapSource<S, F> {
+    base: S,
+    f: F,
 }
 
-impl<C, F, R> Iterator for MapChunk<C, F>
+impl<S, F, R> Source for MapSource<S, F>
+where
+    S: Source,
+    R: Send,
+    F: Fn(S::Item) -> R + Send + Sync,
+{
+    type Item = R;
+    type ChunkIter<'s>
+        = MapChunk<'s, S::ChunkIter<'s>, F>
+    where
+        Self: 's;
+
+    fn chunk_iter(&self, range: Range<usize>) -> MapChunk<'_, S::ChunkIter<'_>, F> {
+        MapChunk {
+            base: self.base.chunk_iter(range),
+            f: &self.f,
+        }
+    }
+}
+
+/// Per-chunk iterator of [`MapSource`].
+#[derive(Debug)]
+pub struct MapChunk<'s, C, F> {
+    base: C,
+    f: &'s F,
+}
+
+impl<C, F, R> Iterator for MapChunk<'_, C, F>
 where
     C: Iterator,
     F: Fn(C::Item) -> R,
@@ -428,7 +522,7 @@ where
     I: IndexedParallelIterator,
 {
     type Item = (usize, I::Item);
-    type ChunkIter = EnumerateChunk<I::ChunkIter>;
+    type Source = EnumerateSource<I::Source>;
 
     fn input_len(&self) -> usize {
         self.base.input_len()
@@ -438,24 +532,39 @@ where
         self.base.min_chunk()
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
-        let chunk_size = chunk_size.max(1);
-        self.base
-            .into_chunk_iters(chunk_size)
-            .into_iter()
-            .enumerate()
-            .map(|(k, base)| EnumerateChunk {
-                base,
-                next: k * chunk_size,
-            })
-            .collect()
+    fn into_source(self, chunk_size: usize) -> EnumerateSource<I::Source> {
+        EnumerateSource {
+            base: self.base.into_source(chunk_size),
+        }
     }
 }
 
 impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {}
 
-/// Per-chunk iterator of [`Enumerate`]; `next` starts at the chunk's
-/// global offset.
+/// Frozen [`Enumerate`]: the chunk's input range *is* its global index
+/// range (indexed pipelines are one-output-per-input).
+#[derive(Debug)]
+pub struct EnumerateSource<S> {
+    base: S,
+}
+
+impl<S: Source> Source for EnumerateSource<S> {
+    type Item = (usize, S::Item);
+    type ChunkIter<'s>
+        = EnumerateChunk<S::ChunkIter<'s>>
+    where
+        Self: 's;
+
+    fn chunk_iter(&self, range: Range<usize>) -> EnumerateChunk<S::ChunkIter<'_>> {
+        EnumerateChunk {
+            next: range.start,
+            base: self.base.chunk_iter(range),
+        }
+    }
+}
+
+/// Per-chunk iterator of [`EnumerateSource`]; `next` starts at the
+/// chunk's global offset.
 #[derive(Debug)]
 pub struct EnumerateChunk<C> {
     base: C,
@@ -482,7 +591,7 @@ impl<C: Iterator> Iterator for EnumerateChunk<C> {
 #[derive(Debug)]
 pub struct FlatMapIter<I, F> {
     base: I,
-    f: Arc<F>,
+    f: F,
 }
 
 impl<I, F, U> ParallelIterator for FlatMapIter<I, F>
@@ -490,11 +599,10 @@ where
     I: ParallelIterator,
     U: IntoIterator,
     U::Item: Send,
-    U::IntoIter: Send,
     F: Fn(I::Item) -> U + Send + Sync,
 {
     type Item = U::Item;
-    type ChunkIter = FlatMapIterChunk<I::ChunkIter, F, U>;
+    type Source = FlatMapSource<I::Source, F>;
 
     fn input_len(&self) -> usize {
         self.base.input_len()
@@ -504,29 +612,52 @@ where
         self.base.min_chunk()
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
-        let f = self.f;
-        self.base
-            .into_chunk_iters(chunk_size)
-            .into_iter()
-            .map(|base| FlatMapIterChunk {
-                base,
-                f: Arc::clone(&f),
-                current: None,
-            })
-            .collect()
+    fn into_source(self, chunk_size: usize) -> FlatMapSource<I::Source, F> {
+        FlatMapSource {
+            base: self.base.into_source(chunk_size),
+            f: self.f,
+        }
     }
 }
 
-/// Per-chunk iterator of [`FlatMapIter`].
+/// Frozen [`FlatMapIter`].
 #[derive(Debug)]
-pub struct FlatMapIterChunk<C, F, U: IntoIterator> {
+pub struct FlatMapSource<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, U> Source for FlatMapSource<S, F>
+where
+    S: Source,
+    U: IntoIterator,
+    U::Item: Send,
+    F: Fn(S::Item) -> U + Send + Sync,
+{
+    type Item = U::Item;
+    type ChunkIter<'s>
+        = FlatMapChunk<'s, S::ChunkIter<'s>, F, U>
+    where
+        Self: 's;
+
+    fn chunk_iter(&self, range: Range<usize>) -> FlatMapChunk<'_, S::ChunkIter<'_>, F, U> {
+        FlatMapChunk {
+            base: self.base.chunk_iter(range),
+            f: &self.f,
+            current: None,
+        }
+    }
+}
+
+/// Per-chunk iterator of [`FlatMapSource`].
+#[derive(Debug)]
+pub struct FlatMapChunk<'s, C, F, U: IntoIterator> {
     base: C,
-    f: Arc<F>,
+    f: &'s F,
     current: Option<U::IntoIter>,
 }
 
-impl<C, F, U> Iterator for FlatMapIterChunk<C, F, U>
+impl<C, F, U> Iterator for FlatMapChunk<'_, C, F, U>
 where
     C: Iterator,
     U: IntoIterator,
@@ -555,7 +686,7 @@ pub struct MinLen<I> {
 
 impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
     type Item = I::Item;
-    type ChunkIter = I::ChunkIter;
+    type Source = I::Source;
 
     fn input_len(&self) -> usize {
         self.base.input_len()
@@ -565,8 +696,8 @@ impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
         self.base.min_chunk().max(self.min).max(1)
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
-        self.base.into_chunk_iters(chunk_size)
+    fn into_source(self, chunk_size: usize) -> I::Source {
+        self.base.into_source(chunk_size)
     }
 }
 
@@ -575,9 +706,9 @@ impl<I: IndexedParallelIterator> IndexedParallelIterator for MinLen<I> {}
 /// Per-chunk accumulator pipeline (see [`ParallelIterator::fold`]).
 #[derive(Debug)]
 pub struct Fold<I, ID, F> {
-    pub(crate) base: I,
-    pub(crate) identity: Arc<ID>,
-    pub(crate) fold_op: Arc<F>,
+    base: I,
+    identity: ID,
+    fold_op: F,
 }
 
 impl<I, A, ID, F> ParallelIterator for Fold<I, ID, F>
@@ -588,7 +719,7 @@ where
     F: Fn(A, I::Item) -> A + Send + Sync,
 {
     type Item = A;
-    type ChunkIter = FoldChunk<I::ChunkIter, ID, F>;
+    type Source = FoldSource<I::Source, ID, F>;
 
     fn input_len(&self) -> usize {
         self.base.input_len()
@@ -598,45 +729,44 @@ where
         self.base.min_chunk()
     }
 
-    fn into_chunk_iters(self, chunk_size: usize) -> Vec<Self::ChunkIter> {
-        let identity = self.identity;
-        let fold_op = self.fold_op;
-        self.base
-            .into_chunk_iters(chunk_size)
-            .into_iter()
-            .map(|base| FoldChunk {
-                base: Some(base),
-                identity: Arc::clone(&identity),
-                fold_op: Arc::clone(&fold_op),
-            })
-            .collect()
+    fn into_source(self, chunk_size: usize) -> FoldSource<I::Source, ID, F> {
+        FoldSource {
+            base: self.base.into_source(chunk_size),
+            identity: self.identity,
+            fold_op: self.fold_op,
+        }
     }
 }
 
-/// Per-chunk iterator of [`Fold`]: yields the chunk's accumulator once,
-/// computed lazily on first `next` (i.e. on the worker thread).
+/// Frozen [`Fold`]: a chunk yields its accumulator once. The fold runs
+/// inside [`Source::chunk_iter`], i.e. on the worker that claimed the
+/// chunk.
 #[derive(Debug)]
-pub struct FoldChunk<C, ID, F> {
-    base: Option<C>,
-    identity: Arc<ID>,
-    fold_op: Arc<F>,
+pub struct FoldSource<S, ID, F> {
+    base: S,
+    identity: ID,
+    fold_op: F,
 }
 
-impl<C, A, ID, F> Iterator for FoldChunk<C, ID, F>
+impl<S, A, ID, F> Source for FoldSource<S, ID, F>
 where
-    C: Iterator,
-    ID: Fn() -> A,
-    F: Fn(A, C::Item) -> A,
+    S: Source,
+    A: Send,
+    ID: Fn() -> A + Send + Sync,
+    F: Fn(A, S::Item) -> A + Send + Sync,
 {
     type Item = A;
+    type ChunkIter<'s>
+        = std::iter::Once<A>
+    where
+        Self: 's;
 
-    fn next(&mut self) -> Option<A> {
-        let base = self.base.take()?;
+    fn chunk_iter(&self, range: Range<usize>) -> std::iter::Once<A> {
         let mut acc = (self.identity)();
-        for x in base {
+        for x in self.base.chunk_iter(range) {
             acc = (self.fold_op)(acc, x);
         }
-        Some(acc)
+        std::iter::once(acc)
     }
 }
 
@@ -670,5 +800,38 @@ mod tests {
         let a = with_thread_count(1, || xs.par_iter().map(|&x| x).sum_stable());
         let b = with_thread_count(3, || xs.par_iter().map(|&x| x).sum_stable());
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn vec_source_moves_elements_without_cloning() {
+        // A type without `Clone`: by-value pipelines must still work,
+        // proving the frozen source hands elements over by move.
+        #[derive(Debug, PartialEq)]
+        struct NoClone(usize);
+        let data: Vec<NoClone> = (0..100).map(NoClone).collect();
+        let out: Vec<usize> =
+            with_thread_count(4, || data.into_par_iter().map(|x| x.0 * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sources_replay_exact_ranges() {
+        let v: Vec<u32> = (0..50).collect();
+        let slice_src = v.par_iter().into_source(16);
+        let got: Vec<&u32> = slice_src.chunk_iter(16..32).collect();
+        assert_eq!(got, v[16..32].iter().collect::<Vec<_>>());
+        // Out-of-grid tails clamp instead of panicking.
+        assert_eq!(slice_src.chunk_iter(48..64).count(), 2);
+
+        let range_src = (10..60usize).into_par_iter().into_source(16);
+        let got: Vec<usize> = range_src.chunk_iter(32..48).collect();
+        assert_eq!(got, (42..58).collect::<Vec<_>>());
+        assert_eq!(range_src.chunk_iter(48..64).count(), 2);
+
+        let vec_src = v.clone().into_par_iter().into_source(16);
+        let got: Vec<u32> = vec_src.chunk_iter(16..32).collect();
+        assert_eq!(got, (16..32).collect::<Vec<_>>());
+        // A bin is consumable exactly once; re-claims come back empty.
+        assert_eq!(vec_src.chunk_iter(16..32).count(), 0);
     }
 }

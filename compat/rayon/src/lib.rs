@@ -1,9 +1,16 @@
-//! Offline stand-in for the `rayon` crate, backed by a real thread pool.
+//! Offline stand-in for the `rayon` crate, backed by a persistent
+//! thread pool.
 //!
-//! The build environment has no network access, so this crate implements
-//! the `par_iter`/`into_par_iter` subset the workspace uses on top of
-//! [`std::thread::scope`] — no `unsafe`, no external dependencies. Unlike
-//! real rayon, execution is **deterministic by construction**:
+//! The build environment has no network access, so this crate
+//! implements the `par_iter`/`into_par_iter` subset the workspace uses
+//! on its own worker pool: threads are spawned once (named
+//! `summit-par-N`), park on a condvar between executions, and each
+//! execution is dispatched to them as an *epoch*. Jobs borrow the
+//! caller's stack while workers are `'static`, so dispatch erases the
+//! job through one audited `unsafe` point (see `pool.rs`) made sound
+//! by a compile-time `Sync` check and an unwind-safe completion
+//! barrier. Unlike real rayon, execution is **deterministic by
+//! construction**:
 //!
 //! - Every pipeline decomposes its input into contiguous chunks whose
 //!   boundaries depend only on the input length and the call site's
@@ -28,8 +35,13 @@
 //! 1. a thread-local override installed by [`with_thread_count`]
 //!    (used by tests and the bench driver);
 //! 2. the `SUMMIT_THREADS` environment variable (a positive integer;
-//!    `1` forces the exact sequential path — no worker threads at all);
+//!    `1` forces the exact sequential path — no epoch at all), parsed
+//!    once per process and cached;
 //! 3. [`std::thread::available_parallelism`] otherwise.
+//!
+//! Growing the pool spawns only the missing workers and bumps the
+//! counter behind [`pool_generation`], which tests read to prove a
+//! warm pool is reused rather than respawned.
 //!
 //! ## Observability
 //!
@@ -44,7 +56,10 @@
 pub mod iter;
 pub(crate) mod pool;
 
+pub use pool::pool_generation;
+
 use std::cell::Cell;
+use std::sync::OnceLock;
 
 /// Parallel-iterator entry points, mirroring `rayon::prelude`.
 pub mod prelude {
@@ -67,13 +82,18 @@ pub fn current_num_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
-    match std::env::var("SUMMIT_THREADS") {
-        Ok(raw) => match raw.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => default_threads(),
-        },
-        Err(_) => default_threads(),
-    }
+    // The environment cannot change mid-process, so the lookup and
+    // parse happen once instead of on every parallel execution.
+    static ENV_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+    ENV_THREADS
+        .get_or_init(|| parse_env_threads(std::env::var("SUMMIT_THREADS").ok().as_deref()))
+        .unwrap_or_else(default_threads)
+}
+
+/// Parses a `SUMMIT_THREADS` value; anything but a positive integer
+/// defers to the machine default.
+fn parse_env_threads(raw: Option<&str>) -> Option<usize> {
+    raw?.trim().parse::<usize>().ok().filter(|&n| n >= 1)
 }
 
 fn default_threads() -> usize {
@@ -137,6 +157,29 @@ mod tests {
         assert!(caught.is_err());
         // The override must not leak out of the panicked scope.
         assert!(THREAD_OVERRIDE.with(Cell::get).is_none());
+    }
+
+    #[test]
+    fn env_thread_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_env_threads(Some("4")), Some(4));
+        assert_eq!(parse_env_threads(Some(" 12 ")), Some(12));
+        assert_eq!(parse_env_threads(Some("0")), None);
+        assert_eq!(parse_env_threads(Some("-3")), None);
+        assert_eq!(parse_env_threads(Some("lots")), None);
+        assert_eq!(parse_env_threads(Some("")), None);
+        assert_eq!(parse_env_threads(None), None);
+    }
+
+    #[test]
+    fn thread_override_wins_over_the_cached_env_value() {
+        // Prime the process-wide cache first, then check the override
+        // still takes precedence and restores cleanly.
+        let ambient = current_num_threads();
+        assert!(ambient >= 1);
+        with_thread_count(ambient + 3, || {
+            assert_eq!(current_num_threads(), ambient + 3);
+        });
+        assert_eq!(current_num_threads(), ambient);
     }
 
     #[test]

@@ -13,11 +13,11 @@ fn main() -> ExitCode {
     header("ALL tables and figures", f);
     let inv = Invocation {
         all: true,
-        scale: if f == Fidelity::Full {
+        scale: Some(if f == Fidelity::Full {
             1.0
         } else {
             SMOKE_SCALE
-        },
+        }),
         ..Invocation::default()
     };
     match driver::run(&inv) {

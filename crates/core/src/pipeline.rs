@@ -385,7 +385,11 @@ pub fn run_telemetry(
                 ..StepOptions::default()
             };
             for _ in 0..n_ticks {
-                if let Some(frames) = engine.step_opts(&opts).frames {
+                let tick = {
+                    let _tick_obs = summit_obs::span("summit_core_engine_tick");
+                    engine.step_opts(&opts)
+                };
+                if let Some(frames) = tick.frames {
                     for f in frames {
                         if let Some(batch) = frames_by_node.get_mut(f.node.index()) {
                             batch.push(f);

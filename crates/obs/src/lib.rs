@@ -59,7 +59,7 @@ use std::cell::RefCell;
 use std::sync::OnceLock;
 
 pub use registry::{Counter, Gauge, Histogram, Snapshot};
-pub use span::{active_spans, span, span_depth, SpanGuard};
+pub use span::{active_spans, span, span_depth, with_innermost_span, SpanGuard};
 
 static GLOBAL: OnceLock<Registry> = OnceLock::new();
 

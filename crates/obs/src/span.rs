@@ -45,6 +45,17 @@ pub fn active_spans() -> Vec<String> {
     ACTIVE.with(|stack| stack.borrow().clone())
 }
 
+/// Calls `f` with the innermost active span name on this thread (or
+/// `None` outside any span) without cloning the stack — the
+/// allocation-free variant of [`active_spans`] for per-execution hot
+/// paths such as the thread pool's busy-time attribution.
+pub fn with_innermost_span<R>(f: impl FnOnce(Option<&str>) -> R) -> R {
+    ACTIVE.with(|stack| {
+        let stack = stack.borrow();
+        f(stack.last().map(String::as_str))
+    })
+}
+
 /// Nesting depth of the innermost active span on this thread.
 pub fn span_depth() -> usize {
     ACTIVE.with(|stack| stack.borrow().len())
@@ -131,6 +142,20 @@ mod tests {
         let snap = r.snapshot();
         assert_eq!(snap.counter("summit_test_outer_calls_total"), Some(1));
         assert_eq!(snap.counter("summit_test_inner_calls_total"), Some(1));
+    }
+
+    #[test]
+    fn with_innermost_span_sees_the_deepest_active_span() {
+        let r = Registry::new();
+        let _scope = r.install();
+        with_innermost_span(|name| assert_eq!(name, None));
+        let _outer = span("summit_test_outer");
+        with_innermost_span(|name| assert_eq!(name, Some("summit_test_outer")));
+        {
+            let _inner = span("summit_test_inner");
+            with_innermost_span(|name| assert_eq!(name, Some("summit_test_inner")));
+        }
+        with_innermost_span(|name| assert_eq!(name, Some("summit_test_outer")));
     }
 
     #[test]

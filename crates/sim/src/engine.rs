@@ -170,8 +170,11 @@ impl Engine {
     /// Minimum nodes per parallel chunk in the per-node tick map: each
     /// node tick is only a few closed-form model evaluations, so
     /// chunks below this waste more time on task hand-off than they
-    /// recover through load balance.
-    const TICK_MIN_CHUNK: usize = 64;
+    /// recover through load balance. With the persistent pool a
+    /// hand-off is one atomic claim (no spawn), so smaller chunks pay
+    /// off: at sub-full scales the tick map still splits into enough
+    /// tasks to keep every worker busy through the tail.
+    const TICK_MIN_CHUNK: usize = 32;
 
     /// Builds an engine from config, starting at `t0` seconds.
     pub fn new(config: EngineConfig, t0: f64) -> Self {

@@ -75,3 +75,23 @@ fn pipeline_is_bit_identical_across_thread_counts() {
         );
     }
 }
+
+/// The pool is spawn-once: after a first parallel pass has grown the
+/// worker set, repeated passes at the same thread count must not spawn
+/// again (the generation counter only moves when workers are added).
+#[test]
+fn repeated_runs_reuse_the_persistent_pool() {
+    // Matches the widest request the bit-identity test can make, so a
+    // concurrently running test can never grow the pool under us.
+    let threads = rayon::current_num_threads().max(3);
+    rayon::with_thread_count(threads, pipeline_fingerprint);
+    let generation = rayon::pool_generation();
+    for _ in 0..3 {
+        rayon::with_thread_count(threads, pipeline_fingerprint);
+        assert_eq!(
+            rayon::pool_generation(),
+            generation,
+            "a warm pool must not respawn workers"
+        );
+    }
+}

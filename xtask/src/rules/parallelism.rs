@@ -9,13 +9,18 @@
 //! assembles concurrently can break the bit-reproducibility contract
 //! the determinism tests enforce.
 //!
-//! Existing non-facade sites (the ingest streaming machinery, which
-//! models an out-of-band delivery fabric rather than a data-parallel
-//! computation) are grandfathered in `xtask/thread_allowlist.txt` as
-//! exact per-file counts, ratcheted both ways like the panic budget.
+//! Non-facade sites are grandfathered in `xtask/thread_allowlist.txt`
+//! as exact per-file counts, ratcheted both ways like the panic
+//! budget.
 //!
-//! Scope: non-test code in every `crates/*/src` tree. `compat/` is
-//! deliberately out of scope — the facade itself must use threads.
+//! Scope: non-test code in every `crates/*/src` tree AND every
+//! `compat/*/src` tree. The facade itself must create threads, but
+//! only at its single audited spawn site (the persistent pool's
+//! `thread::Builder` call) — putting `compat/` in scope with a
+//! one-site budget means any second spawn path added to the facade
+//! trips the ratchet instead of slipping in silently. A missing
+//! `compat/` directory is tolerated (lint fixtures only model
+//! `crates/`).
 
 use crate::lex;
 use crate::rules::panic_freedom::{load_allowlist, ratchet};
@@ -62,6 +67,16 @@ pub fn check(root: &Path) -> Vec<Violation> {
         .map(|e| e.path().join("src"))
         .filter(|p| p.is_dir())
         .collect();
+    // The facade's own spawn site is budgeted too; fixtures without a
+    // compat/ tree simply contribute nothing here.
+    if let Ok(entries) = std::fs::read_dir(root.join("compat")) {
+        crate_srcs.extend(
+            entries
+                .flatten()
+                .map(|e| e.path().join("src"))
+                .filter(|p| p.is_dir()),
+        );
+    }
     crate_srcs.sort();
 
     for src_dir in crate_srcs {
