@@ -83,6 +83,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
+use summit_obs::trace::{TraceClock, TraceCollector};
 
 /// Upper bound on the number of chunks an execution creates. Small
 /// enough that per-chunk overhead stays negligible, large enough to
@@ -239,6 +240,18 @@ fn with_busy_metric_name<R>(f: impl FnOnce(&str) -> R) -> R {
     })
 }
 
+/// Trace context for one epoch, captured at dispatch time: the
+/// caller's installed collector, the epoch id it allocated, and the
+/// event names pre-composed from the dispatching stage ("par_epoch
+/// <stage>" / "par_chunk <stage>") so workers never format on the hot
+/// path.
+struct TraceHandles {
+    tc: TraceCollector,
+    epoch: u64,
+    epoch_name: String,
+    chunk_name: String,
+}
+
 /// What one participant sends back when it retires from an epoch.
 struct WorkerReport<T> {
     home: usize,
@@ -259,6 +272,13 @@ struct EpochJob<'a, S: Source> {
     bands: Vec<Band>,
     registry: summit_obs::registry::Registry,
     reports: Sender<WorkerReport<S::Item>>,
+    /// The dispatching thread's innermost obs span at dispatch time;
+    /// workers push it as a stage label so spans (and nested busy-time
+    /// attribution) opened inside chunks see the dispatching stage as
+    /// their parent rather than an orphan root.
+    stage: Option<String>,
+    /// Trace context when the dispatcher had a collector installed.
+    trace: Option<TraceHandles>,
     /// First panic payload (smallest chunk index wins, so the surfaced
     /// panic does not depend on worker timing when one site panics).
     panic: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>>,
@@ -303,18 +323,46 @@ unsafe fn epoch_trampoline<S: Source>(data: *const (), home: usize) {
 fn epoch_worker<S: Source>(job: &EpochJob<'_, S>, home: usize) {
     // Workers have a fresh thread-local registry stack: route obs
     // records from user closures to the caller's registry. The
-    // dispatcher (home 0) already has it current.
+    // dispatcher (home 0) already has it current — and already carries
+    // the stage label and any installed trace collector.
     let _obs = (home != 0).then(|| job.registry.install());
+    let _stage = (home != 0)
+        .then(|| job.stage.as_deref().map(summit_obs::span::stage_scope))
+        .flatten();
+    let _trace = (home != 0)
+        .then(|| job.trace.as_ref().and_then(|t| t.tc.install_worker()))
+        .flatten();
+    // Live pool events are wall-clock-only: under the virtual clock the
+    // interleaving of claims is scheduling-dependent, so the dispatcher
+    // synthesizes the canonical epoch post-barrier instead.
+    let wall = job
+        .trace
+        .as_ref()
+        .filter(|t| t.tc.clock() == TraceClock::Wall);
+    if let Some(t) = wall {
+        t.tc.instant("unpark", t.epoch);
+    }
     let started = Instant::now();
     let mut steals = 0u64;
     let mut pairs = Vec::new();
     while let Some((k, was_steal)) = claim(&job.bands, home) {
         steals += u64::from(was_steal);
+        if was_steal {
+            if let Some(t) = wall {
+                t.tc.instant("steal", t.epoch);
+            }
+        }
+        let chunk_t0 = wall.map(|t| t.tc.now());
         let range = chunk_range(k, job.chunk_size, job.len);
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             job.source.chunk_iter(range).collect::<Vec<_>>()
         })) {
-            Ok(items) => pairs.push((k, items)),
+            Ok(items) => {
+                if let (Some(t), Some(t0)) = (wall, chunk_t0) {
+                    t.tc.complete(&t.chunk_name, t0, t.epoch, k as i64);
+                }
+                pairs.push((k, items));
+            }
             Err(payload) => {
                 let mut slot = lock_lenient(&job.panic);
                 match slot.as_ref() {
@@ -324,6 +372,9 @@ fn epoch_worker<S: Source>(job: &EpochJob<'_, S>, home: usize) {
                 break;
             }
         }
+    }
+    if let Some(t) = wall {
+        t.tc.instant("park", t.epoch);
     }
     let _ = job.reports.send(WorkerReport {
         home,
@@ -533,6 +584,20 @@ fn run_parallel<S: Source>(
     // executions never touch it.
     registry.gauge("summit_par_threads").set(threads as f64);
 
+    let stage = summit_obs::with_innermost_span(|s| s.map(String::from));
+    let trace = summit_obs::trace::current().map(|tc| {
+        let epoch = tc.begin_epoch();
+        let label = stage
+            .as_deref()
+            .map_or("unstaged", |s| s.strip_prefix("summit_").unwrap_or(s));
+        TraceHandles {
+            tc,
+            epoch,
+            epoch_name: format!("par_epoch {label}"),
+            chunk_name: format!("par_chunk {label}"),
+        }
+    });
+
     let (reports_tx, reports_rx) = std::sync::mpsc::channel();
     let job = EpochJob {
         source,
@@ -541,16 +606,55 @@ fn run_parallel<S: Source>(
         bands: make_bands(tasks, threads),
         registry: registry.clone(),
         reports: reports_tx,
+        stage,
+        trace,
         panic: Mutex::new(None),
     };
     assert_sync(&job);
-    pool.dispatch(&job, threads);
+    // Band sizes before any cursor moves: the canonical schedule the
+    // virtual-clock synthesis replays post-barrier.
+    let band_sizes: Option<Vec<usize>> = job
+        .trace
+        .as_ref()
+        .filter(|t| t.tc.clock() == TraceClock::Virtual)
+        .map(|_| job.bands.iter().map(Band::remaining).collect());
+    let epoch_t0 = job
+        .trace
+        .as_ref()
+        .filter(|t| t.tc.clock() == TraceClock::Wall)
+        .map(|t| t.tc.now());
+    {
+        // Under the virtual clock, spans opened inside the epoch on the
+        // dispatching thread would stamp scheduling-dependent ticks;
+        // suppress capture for the dispatch and record the canonical
+        // schedule below instead. (The job's own handle bypasses this.)
+        let _suppress = job
+            .trace
+            .as_ref()
+            .filter(|t| t.tc.clock() == TraceClock::Virtual)
+            .map(|_| summit_obs::trace::suppress());
+        pool.dispatch(&job, threads);
+    }
     drop(door);
 
     // Barrier passed: every participant has retired and sent its
     // report; the channel drains without blocking.
     if let Some((_, payload)) = lock_lenient(&job.panic).take() {
         std::panic::resume_unwind(payload);
+    }
+    if let Some(t) = &job.trace {
+        match t.tc.clock() {
+            TraceClock::Virtual => {
+                if let Some(sizes) = &band_sizes {
+                    t.tc.pool_epoch_virtual(&t.epoch_name, &t.chunk_name, t.epoch, sizes);
+                }
+            }
+            TraceClock::Wall => {
+                if let Some(t0) = epoch_t0 {
+                    t.tc.complete(&t.epoch_name, t0, t.epoch, -1);
+                }
+            }
+        }
     }
     let mut reports: Vec<WorkerReport<S::Item>> = reports_rx.try_iter().collect();
     reports.sort_unstable_by_key(|r| r.home);
@@ -706,6 +810,74 @@ mod tests {
         let out: Vec<usize> = with_thread_count(4, || v.par_iter().map(|&x| x + 1).collect());
         assert_eq!(out, (1..=2048).collect::<Vec<usize>>());
         assert_eq!(pool_generation(), generation);
+    }
+
+    #[test]
+    fn workers_inherit_the_dispatching_stage() {
+        let registry = summit_obs::registry::Registry::new();
+        let _scope = registry.install();
+        let _stage = summit_obs::span("summit_test_dispatch_stage");
+        let v: Vec<usize> = (0..4096).collect();
+        let out: Vec<usize> = with_thread_count(4, || {
+            v.par_iter()
+                .map(|&x| {
+                    // Asserts run on dispatcher and workers alike; a
+                    // failure resurfaces through the panic barrier.
+                    summit_obs::with_innermost_span(|name| {
+                        assert_eq!(name, Some("summit_test_dispatch_stage"));
+                    });
+                    x
+                })
+                .collect()
+        });
+        assert_eq!(out.len(), 4096);
+    }
+
+    #[test]
+    fn virtual_trace_synthesizes_the_canonical_epoch() {
+        use summit_obs::trace::{span_stats, TraceClock, TraceCollector};
+        let registry = summit_obs::registry::Registry::new();
+        let _scope = registry.install();
+        let tc = TraceCollector::new(TraceClock::Virtual);
+        let trace_scope = tc.install();
+        let stage = summit_obs::span("summit_test_virtual_epoch");
+        let v: Vec<usize> = (0..4096).collect();
+        let out: Vec<usize> = with_thread_count(2, || v.par_iter().map(|&x| x).collect());
+        assert_eq!(out.len(), 4096);
+        drop(stage);
+        drop(trace_scope);
+        let snap = tc.snapshot();
+        let labels: Vec<&str> = snap.tracks().iter().map(|(_, l)| l.as_str()).collect();
+        assert!(labels.contains(&"summit-par-0"), "worker track present");
+        let stats = span_stats(&snap);
+        // 4096 elements -> 64 chunks on the deterministic grid, every
+        // one synthesized exactly once regardless of real scheduling.
+        let chunks = stats
+            .stages
+            .iter()
+            .find(|s| s.name == "par_chunk test_virtual_epoch")
+            .expect("chunk stage recorded");
+        assert_eq!(chunks.count, 64);
+    }
+
+    #[test]
+    fn wall_trace_records_live_pool_events() {
+        use summit_obs::trace::{write_chrome_json, TraceClock, TraceCollector};
+        let tc = TraceCollector::new(TraceClock::Wall);
+        let trace_scope = tc.install();
+        let v: Vec<usize> = (0..4096).collect();
+        let out: Vec<usize> = with_thread_count(2, || v.par_iter().map(|&x| x).collect());
+        assert_eq!(out.len(), 4096);
+        drop(trace_scope);
+        let mut buf = Vec::new();
+        write_chrome_json(&mut buf, &tc.snapshot()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        // The dispatcher participates as home 0, so these exist even if
+        // the workers never woke before the epoch drained.
+        assert!(text.contains("\"unpark\""));
+        assert!(text.contains("\"park\""));
+        assert!(text.contains("par_chunk"));
+        assert!(text.contains("par_epoch"));
     }
 
     #[test]

@@ -31,15 +31,15 @@ fn main() {
             duration_s: 300.0,
         },
     };
-    let snapshot = build_report(&config);
+    let report = build_report(&config);
 
     let mut prom = Vec::new();
-    if summit_obs::expose::write_prometheus(&mut prom, &snapshot).is_ok() {
+    if summit_obs::expose::write_prometheus(&mut prom, &report.snapshot).is_ok() {
         println!("{}", String::from_utf8_lossy(&prom));
     }
 
     let path = out_path();
-    let json = to_json(&snapshot);
+    let json = to_json(&report);
     match std::fs::File::create(&path).and_then(|mut f| f.write_all(json.as_bytes())) {
         Ok(()) => println!("wrote {path} ({} bytes)", json.len()),
         Err(e) => {

@@ -53,6 +53,12 @@ usage: experiments [--list] [--all | <name>...] [options]
                     ticks -> coarsening -> job join -> analysis
                     kernels) with 1 thread vs the default pool and
                     write BENCH_perf.json; study names are ignored
+  --trace PATH      record a deterministic (virtual-clock) trace of the
+                    run and write Chrome/Perfetto Trace Event JSON to
+                    PATH (load at chrome://tracing or ui.perfetto.dev);
+                    incompatible with --bench
+  --trace-folded PATH
+                    also write flamegraph-compatible folded stacks
   -h, --help        print this help";
 
 /// Where `--bench` writes its machine-readable outcome (repo root when
@@ -79,6 +85,10 @@ pub struct Invocation {
     pub overrides: Option<Json>,
     /// Time sequential vs parallel and write [`BENCH_PERF_PATH`].
     pub bench: bool,
+    /// Write a Chrome/Perfetto Trace Event JSON of the run here.
+    pub trace: Option<String>,
+    /// Write flamegraph-compatible folded stacks of the run here.
+    pub trace_folded: Option<String>,
 }
 
 impl Invocation {
@@ -103,6 +113,14 @@ impl Invocation {
                         return Err(format!("--scale must be in (0, 1], got {s}"));
                     }
                     inv.scale = Some(s);
+                }
+                "--trace" => {
+                    let v = it.next().ok_or("--trace requires a path")?;
+                    inv.trace = Some(v);
+                }
+                "--trace-folded" => {
+                    let v = it.next().ok_or("--trace-folded requires a path")?;
+                    inv.trace_folded = Some(v);
                 }
                 "--config" => {
                     let v = it.next().ok_or("--config requires a JSON object")?;
@@ -318,6 +336,10 @@ pub struct BenchOutcome {
     pub threads: usize,
     /// `sequential_s / parallel_s`.
     pub speedup: f64,
+    /// [`rayon::pool_generation`] after the timed legs: constant across
+    /// CI runs' legs exactly when the persistent pool reused its
+    /// workers (warm-pool reuse, provable from the artifact).
+    pub pool_generation: u64,
     /// Per-stage kernel timings (stages that ran in either leg).
     pub stages: Vec<StageTiming>,
 }
@@ -360,6 +382,10 @@ impl BenchOutcome {
             ("parallel_seconds".into(), Json::Num(self.parallel_s)),
             ("speedup".into(), Json::Num(self.speedup)),
             ("speedup_threshold".into(), Json::Num(SPEEDUP_THRESHOLD)),
+            (
+                "pool_generation".into(),
+                Json::Num(self.pool_generation as f64),
+            ),
             ("gate".into(), Json::from(self.gate())),
             ("stages".into(), Json::Arr(stages)),
         ]);
@@ -499,8 +525,18 @@ pub fn run_bench(scale: f64) -> Result<BenchOutcome, String> {
         parallel_s,
         threads: rayon::current_num_threads(),
         speedup: sequential_s / parallel_s.max(f64::MIN_POSITIVE),
+        pool_generation: rayon::pool_generation(),
         stages: stage_table(&seq_obs, &par_obs),
     })
+}
+
+/// True when writing a `"skip"` `BENCH_perf.json` would mask a
+/// misconfiguration: nothing pinned the pool (`SUMMIT_THREADS` unset)
+/// and the host has cores to parallelize on, so "no parallelism to
+/// measure" cannot be the real story. CI requires `"pass"`; refusing
+/// to write the artifact turns a silent inconsistency into a loud one.
+pub fn refuse_skip(gate: &str, summit_threads_set: bool, cpus: usize) -> bool {
+    gate == "skip" && !summit_threads_set && cpus >= 2
 }
 
 /// Renders the human-readable `--bench` summary (one line per stage,
@@ -550,8 +586,27 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
         return Ok(());
     }
     let scale = inv.effective_scale();
+    if inv.bench && (inv.trace.is_some() || inv.trace_folded.is_some()) {
+        return Err(
+            "--trace cannot be combined with --bench: trace hooks would \
+             perturb the timing legs"
+                .into(),
+        );
+    }
     if inv.bench {
         let outcome = run_bench(scale)?;
+        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if refuse_skip(
+            outcome.gate(),
+            std::env::var_os("SUMMIT_THREADS").is_some(),
+            cpus,
+        ) {
+            return Err(format!(
+                "refusing to write a \"skip\" {BENCH_PERF_PATH}: SUMMIT_THREADS is \
+                 unset and {cpus} CPUs are available, so the pool resolving to one \
+                 thread is a bug, not a one-core host"
+            ));
+        }
         let json = outcome.to_json(scale);
         std::fs::write(BENCH_PERF_PATH, &json)
             .map_err(|e| format!("failed to write {BENCH_PERF_PATH}: {e}"))?;
@@ -563,12 +618,40 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
         return Ok(());
     }
     let selected = select(inv)?;
+    let tracing = inv.trace.is_some() || inv.trace_folded.is_some();
+    let collector = tracing
+        .then(|| summit_obs::trace::TraceCollector::new(summit_obs::trace::TraceClock::Virtual));
+    let output = {
+        let _trace_scope = collector.as_ref().map(|tc| tc.install());
+        run_selected(&selected, scale, inv.overrides.as_ref())?
+    };
+    if let Some(tc) = &collector {
+        let snap = tc.snapshot();
+        if let Some(path) = &inv.trace {
+            let mut buf = Vec::new();
+            summit_obs::trace::write_chrome_json(&mut buf, &snap)
+                .map_err(|e| format!("failed to render trace: {e}"))?;
+            std::fs::write(path, &buf).map_err(|e| format!("failed to write {path}: {e}"))?;
+            emit(&format!(
+                "[trace] {} events ({} dropped) -> {path}\n",
+                snap.events_total(),
+                snap.dropped_total
+            ));
+        }
+        if let Some(path) = &inv.trace_folded {
+            let mut buf = Vec::new();
+            summit_obs::trace::write_folded(&mut buf, &snap)
+                .map_err(|e| format!("failed to render folded trace: {e}"))?;
+            std::fs::write(path, &buf).map_err(|e| format!("failed to write {path}: {e}"))?;
+            emit(&format!("[trace] folded stacks -> {path}\n"));
+        }
+    }
     let RunOutput {
         reports,
         traffic,
         par,
         ..
-    } = run_selected(&selected, scale, inv.overrides.as_ref())?;
+    } = output;
     for r in &reports {
         let block = if inv.json {
             let envelope = Json::Obj(vec![
@@ -675,6 +758,7 @@ mod tests {
             parallel_s: par,
             threads,
             speedup: seq / par,
+            pool_generation: 1,
             stages: Vec::new(),
         };
         assert_eq!(outcome(1, 1.0, 1.0).gate(), "skip");
@@ -692,6 +776,7 @@ mod tests {
             parallel_s: 1.25,
             threads: 4,
             speedup: 2.0,
+            pool_generation: 3,
             stages: vec![StageTiming {
                 name: "engine_tick",
                 sequential_s: 1.5,
@@ -711,6 +796,7 @@ mod tests {
             get("speedup_threshold"),
             Some(&Json::Num(SPEEDUP_THRESHOLD))
         );
+        assert_eq!(get("pool_generation"), Some(&Json::Num(3.0)));
         let Some(Json::Arr(stages)) = get("stages") else {
             panic!("expected stages array")
         };
@@ -743,6 +829,32 @@ mod tests {
         assert_eq!(table[0].sequential_s, 2.0);
         assert_eq!(table[0].parallel_s, 0.0);
         assert_eq!(table[1].speedup(), 0.0);
+    }
+
+    #[test]
+    fn trace_flags_parse_and_reject_bench() {
+        let inv = parse(&["table2", "--trace", "out.trace.json"]).unwrap();
+        assert_eq!(inv.trace.as_deref(), Some("out.trace.json"));
+        assert!(inv.trace_folded.is_none());
+        let inv = parse(&["table2", "--trace-folded", "out.folded"]).unwrap();
+        assert_eq!(inv.trace_folded.as_deref(), Some("out.folded"));
+        assert!(parse(&["--trace"]).is_err());
+        // --bench + --trace is a run()-time error, not a parse error.
+        let inv = parse(&["--bench", "--trace", "x.json"]).unwrap();
+        assert!(run(&inv).unwrap_err().contains("--bench"));
+    }
+
+    #[test]
+    fn skip_refusal_requires_unpinned_multicore() {
+        // The inconsistency: skip artifact, nothing pinned, cores idle.
+        assert!(refuse_skip("skip", false, 2));
+        assert!(refuse_skip("skip", false, 48));
+        // Legitimate skips: one core, or the user pinned the pool.
+        assert!(!refuse_skip("skip", false, 1));
+        assert!(!refuse_skip("skip", true, 8));
+        // Non-skip gates always write.
+        assert!(!refuse_skip("pass", false, 8));
+        assert!(!refuse_skip("fail", false, 8));
     }
 
     #[test]

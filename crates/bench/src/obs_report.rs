@@ -13,6 +13,7 @@ use summit_analysis::fft::amplitude_spectrum;
 use summit_analysis::kde::{Bandwidth, Kde1d};
 use summit_core::pipeline::run_telemetry;
 use summit_obs::registry::Registry;
+use summit_obs::trace::{span_stats, TraceClock, TraceCollector, TraceStats};
 use summit_obs::Snapshot;
 use summit_telemetry::cluster::cluster_power;
 use summit_telemetry::export::write_cluster_power;
@@ -36,12 +37,25 @@ impl Default for ReportConfig {
     }
 }
 
+/// One observability baseline: the metric snapshot plus the trace
+/// summary of the same run (virtual clock, so both are deterministic).
+#[derive(Debug, Clone)]
+pub struct ObsReport {
+    /// Every counter, gauge and histogram the run recorded.
+    pub snapshot: Snapshot,
+    /// Per-stage self/child time and event accounting from the trace.
+    pub trace: TraceStats,
+}
+
 /// Runs the default telemetry scenario plus the analysis kernels under
-/// a fresh registry and returns the resulting snapshot.
-pub fn build_report(config: &ReportConfig) -> Snapshot {
+/// a fresh registry (and a virtual-clock trace collector) and returns
+/// the resulting report.
+pub fn build_report(config: &ReportConfig) -> ObsReport {
     let registry = Registry::new();
+    let collector = TraceCollector::new(TraceClock::Virtual);
     {
         let _scope = registry.install();
+        let _trace = collector.install();
         let run = run_telemetry(config.cabinets, config.duration_s, None);
 
         // Cluster aggregation + CSV export exercise the export stage.
@@ -59,14 +73,19 @@ pub fn build_report(config: &ReportConfig) -> Snapshot {
             let _ = CorrelationMatrix::compute(&[values.clone(), lagged], 0.05);
         }
     }
-    registry.snapshot()
+    ObsReport {
+        snapshot: registry.snapshot(),
+        trace: span_stats(&collector.snapshot()),
+    }
 }
 
-/// Serializes a snapshot to the `BENCH_obs.json` shape.
-pub fn to_json(snapshot: &Snapshot) -> String {
+/// Serializes a report to the `BENCH_obs.json` shape (`summit-obs/2`,
+/// with the trace section filled in).
+pub fn to_json(report: &ObsReport) -> String {
     let mut buf = Vec::new();
     // Writing into a Vec<u8> cannot fail.
-    let _ = summit_obs::expose::write_json(&mut buf, snapshot);
+    let _ =
+        summit_obs::expose::write_json_with_trace(&mut buf, &report.snapshot, Some(&report.trace));
     String::from_utf8_lossy(&buf).into_owned()
 }
 
@@ -77,10 +96,11 @@ mod tests {
 
     #[test]
     fn report_covers_every_pipeline_stage() {
-        let snap = build_report(&ReportConfig {
+        let report = build_report(&ReportConfig {
             cabinets: 1,
             duration_s: 60.0,
         });
+        let snap = &report.snapshot;
         for counter in [
             "summit_core_run_telemetry_calls_total",
             "summit_core_frame_generation_calls_total",
@@ -97,8 +117,18 @@ mod tests {
                 "missing stage counter {counter}"
             );
         }
-        let json = to_json(&snap);
+        let json = to_json(&report);
         assert!(json.contains("\"summit_core_run_telemetry_seconds\""));
-        assert!(json.contains("\"schema\""));
+        assert!(json.contains("\"schema\": \"summit-obs/2\""));
+        // The trace section summarizes the same run's stage structure.
+        assert!(json.contains("\"trace\": {"));
+        assert!(json.contains("\"schema\": \"summit-trace/1\""));
+        assert!(report.trace.events_total > 0);
+        assert_eq!(report.trace.dropped_total, 0);
+        assert!(report
+            .trace
+            .stages
+            .iter()
+            .any(|s| s.name == "summit_core_run_telemetry"));
     }
 }

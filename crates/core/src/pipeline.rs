@@ -350,6 +350,56 @@ fn telemetry_summary(snap: &summit_obs::Snapshot, wall_s: f64) -> String {
     )
 }
 
+/// Frame→window→alert latencies (seconds) of a delivered frame stream.
+///
+/// An alert can fire no earlier than the moment its 10 s window closes,
+/// and the coarsener closes a window once the per-node watermark (max
+/// `t_sample` seen) has advanced `horizon_s` past the window's end. This
+/// replays each node's batch in delivery order and, for every window,
+/// records `t_close - window_start`, where `t_close` is the ingest time
+/// of the frame whose arrival closed the window (windows still open at
+/// end of stream close at the node's last ingest time). Deterministic
+/// for a fixed seed: only simulated timestamps enter the computation.
+fn frame_to_alert_latencies(
+    delivered: &[Vec<NodeFrame>],
+    window_s: f64,
+    horizon_s: f64,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    for batch in delivered {
+        let mut open: std::collections::BTreeSet<i64> = std::collections::BTreeSet::new();
+        let mut wm = f64::NEG_INFINITY;
+        let mut last_ingest = f64::NEG_INFINITY;
+        for f in batch {
+            wm = wm.max(f.t_sample);
+            last_ingest = last_ingest.max(f.t_ingest);
+            let cutoff = wm - horizon_s;
+            while let Some(&k) = open.first() {
+                let start = k as f64 * window_s;
+                if start + window_s <= cutoff {
+                    open.remove(&k);
+                    out.push((f.t_ingest - start).max(0.0));
+                } else {
+                    break;
+                }
+            }
+            let key = (f.t_sample / window_s).floor() as i64;
+            // A frame past the horizon would be dropped as late by the
+            // ingester; don't let it re-open a closed window.
+            if key as f64 * window_s + window_s > cutoff {
+                open.insert(key);
+            }
+        }
+        if last_ingest.is_finite() {
+            for k in open {
+                let start = k as f64 * window_s;
+                out.push((last_ingest - start).max(0.0));
+            }
+        }
+    }
+    out
+}
+
 /// Runs the telemetry path end to end on a scaled floor: engine frames
 /// at 1 Hz, per-node delivery through the propagation-delay model (plus
 /// the given fault profile, if any), then fault-tolerant 10 s
@@ -423,11 +473,54 @@ pub fn run_telemetry(
         stats.health = health;
         stats.publish_obs();
 
+        {
+            // ROADMAP item 2: SLO-style frame→alert latency, recorded as
+            // both a histogram and (when a trace is live) counter tracks.
+            let _obs = summit_obs::span("summit_core_alert_latency");
+            let horizon_s = summit_telemetry::ingest::IngestPolicy::default().lateness_horizon_s;
+            let mut latencies = frame_to_alert_latencies(&delivered, PAPER_WINDOW_S, horizon_s);
+            let histogram = summit_obs::histogram("summit_core_frame_to_alert_latency_seconds");
+            for &v in &latencies {
+                histogram.observe(v);
+            }
+            latencies.sort_by(f64::total_cmp);
+            let pct = |q: f64| {
+                if latencies.is_empty() {
+                    f64::NAN
+                } else {
+                    let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+                    latencies.get(idx).copied().unwrap_or(f64::NAN)
+                }
+            };
+            let (p50, p99) = (pct(0.50), pct(0.99));
+            summit_obs::gauge("summit_core_frame_to_alert_p50_seconds").set(p50);
+            summit_obs::gauge("summit_core_frame_to_alert_p99_seconds").set(p99);
+            if let Some(tc) = summit_obs::trace::current() {
+                // Simulated-time values: deterministic under any clock.
+                tc.counter("summit_core_frame_to_alert_p50_seconds", p50);
+                tc.counter("summit_core_frame_to_alert_p99_seconds", p99);
+                tc.counter(
+                    "summit_telemetry_ingest_mean_delay_seconds",
+                    stats.mean_delay_s(),
+                );
+            }
+        }
+
         let wall_s = run_span.elapsed_s();
         let windows: usize = windows_by_node.iter().map(Vec::len).sum();
         if wall_s > 0.0 {
             summit_obs::gauge("summit_core_frames_per_wall_second").set(offered as f64 / wall_s);
             summit_obs::gauge("summit_core_windows_per_wall_second").set(windows as f64 / wall_s);
+            if let Some(tc) = summit_obs::trace::current() {
+                // Wall-derived rate: only meaningful (and only allowed —
+                // byte-identity would break) under the wall clock.
+                if tc.clock() == summit_obs::trace::TraceClock::Wall {
+                    tc.counter(
+                        "summit_core_frames_per_wall_second",
+                        offered as f64 / wall_s,
+                    );
+                }
+            }
         }
         (windows_by_node, stats, injector.injected(), wall_s)
     };
@@ -552,6 +645,51 @@ mod tests {
         assert_eq!(h.wrong_node, 0);
         // The pipeline still produces a full window grid per node.
         assert!(run.windows_by_node.iter().all(|w| !w.is_empty()));
+    }
+
+    #[test]
+    fn frame_to_alert_latency_closes_windows_at_the_horizon() {
+        use summit_telemetry::ids::NodeId;
+        // One node, 1 Hz frames with a constant 1 s propagation delay.
+        let frames: Vec<NodeFrame> = (0..40)
+            .map(|i| {
+                let mut f = NodeFrame::empty(NodeId(0), i as f64);
+                f.t_ingest = i as f64 + 1.0;
+                f
+            })
+            .collect();
+        let lat = frame_to_alert_latencies(&[frames], 10.0, 5.0);
+        // Windows [0,10), [10,20), [20,30) close when the watermark
+        // clears start + window + horizon: at t_sample = start + 15,
+        // ingested one second later => latency = 16 s each. The last
+        // window is still open at end of stream and closes at the final
+        // ingest time (40 s) => latency = 10 s.
+        assert_eq!(lat, vec![16.0, 16.0, 16.0, 10.0]);
+    }
+
+    #[test]
+    fn frame_to_alert_gauges_are_recorded() {
+        let registry = summit_obs::registry::Registry::new();
+        let _scope = registry.install();
+        let run = run_telemetry(2, 120.0, None);
+        let h = run
+            .obs
+            .histogram("summit_core_frame_to_alert_latency_seconds")
+            .expect("latency histogram present");
+        assert!(h.count > 0);
+        let p50 = run
+            .obs
+            .gauge("summit_core_frame_to_alert_p50_seconds")
+            .expect("p50 gauge present");
+        let p99 = run
+            .obs
+            .gauge("summit_core_frame_to_alert_p99_seconds")
+            .expect("p99 gauge present");
+        // The alert path cannot beat the window length, and the p-order
+        // must hold.
+        assert!(p50 >= PAPER_WINDOW_S, "p50 {p50} below window length");
+        assert!(p99 >= p50);
+        assert!(p99.is_finite());
     }
 
     #[test]

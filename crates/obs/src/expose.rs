@@ -11,7 +11,11 @@
 //! no-op stub (see `compat/serde`).
 
 use crate::registry::Snapshot;
+use crate::trace::TraceStats;
 use std::io::{self, Write};
+
+/// Schema tag written at the top of every JSON snapshot report.
+pub const OBS_SCHEMA: &str = "summit-obs/2";
 
 /// Formats an f64 the way the exposition format expects.
 fn prom_f64(v: f64) -> String {
@@ -137,7 +141,7 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<Sample>, ParseError> {
 }
 
 /// Formats an f64 as a JSON value (`null` for non-finite).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -145,7 +149,7 @@ fn json_f64(v: f64) -> String {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -162,20 +166,34 @@ fn json_escape(s: &str) -> String {
 ///
 /// ```json
 /// {
-///   "schema": "summit-obs/1",
+///   "schema": "summit-obs/2",
 ///   "counters": {"name": 123, …},
 ///   "gauges": {"name": 1.5, …},
 ///   "histograms": {"name": {"count": …, "sum": …, "min": …, "max": …,
 ///                            "p50": …, "p90": …, "p99": …,
-///                            "buckets": [[le, count], …]}, …}
+///                            "buckets": [[le, count], …]}, …},
+///   "trace": null
 /// }
 /// ```
 ///
 /// Non-finite numbers (unset gauges, empty-histogram min/max, the
-/// `+Inf` bucket edge) serialize as `null`.
+/// `+Inf` bucket edge) serialize as `null`. The `trace` section is
+/// `null` here; [`write_json_with_trace`] fills it from a
+/// [`TraceStats`] summary.
 pub fn write_json<W: Write>(out: &mut W, snapshot: &Snapshot) -> io::Result<()> {
+    write_json_with_trace(out, snapshot, None)
+}
+
+/// [`write_json`] with an optional `trace` section: event totals,
+/// ring-drop count and per-stage self-time vs child-time from
+/// [`crate::trace::span_stats`].
+pub fn write_json_with_trace<W: Write>(
+    out: &mut W,
+    snapshot: &Snapshot,
+    trace: Option<&TraceStats>,
+) -> io::Result<()> {
     writeln!(out, "{{")?;
-    writeln!(out, "  \"schema\": \"summit-obs/1\",")?;
+    writeln!(out, "  \"schema\": \"{}\",", OBS_SCHEMA)?;
     writeln!(out, "  \"counters\": {{")?;
     for (i, (name, v)) in snapshot.counters.iter().enumerate() {
         let comma = if i + 1 < snapshot.counters.len() {
@@ -228,7 +246,34 @@ pub fn write_json<W: Write>(out: &mut W, snapshot: &Snapshot) -> io::Result<()> 
             buckets.join(", ")
         )?;
     }
-    writeln!(out, "  }}")?;
+    writeln!(out, "  }},")?;
+    match trace {
+        None => writeln!(out, "  \"trace\": null")?,
+        Some(stats) => {
+            writeln!(out, "  \"trace\": {{")?;
+            writeln!(out, "    \"schema\": \"{}\",", crate::trace::TRACE_SCHEMA)?;
+            writeln!(out, "    \"clock\": \"{}\",", stats.clock.label())?;
+            writeln!(out, "    \"unit\": \"{}\",", stats.clock.unit())?;
+            writeln!(out, "    \"events\": {},", stats.events_total)?;
+            writeln!(out, "    \"dropped\": {},", stats.dropped_total)?;
+            writeln!(out, "    \"stages\": [")?;
+            for (i, s) in stats.stages.iter().enumerate() {
+                let comma = if i + 1 < stats.stages.len() { "," } else { "" };
+                writeln!(
+                    out,
+                    "      {{\"name\": \"{}\", \"count\": {}, \"total\": {}, \
+                     \"self\": {}, \"child\": {}}}{comma}",
+                    json_escape(&s.name),
+                    s.count,
+                    s.total,
+                    s.self_time,
+                    s.child_time
+                )?;
+            }
+            writeln!(out, "    ]")?;
+            writeln!(out, "  }}")?;
+        }
+    }
     writeln!(out, "}}")?;
     Ok(())
 }
@@ -353,14 +398,98 @@ mod tests {
         let mut buf = Vec::new();
         write_json(&mut buf, &r.snapshot()).unwrap();
         let s = String::from_utf8(buf).unwrap();
-        assert!(s.contains("\"schema\": \"summit-obs/1\""));
+        assert!(s.contains("\"schema\": \"summit-obs/2\""));
         assert!(s.contains("\"summit_test_frames_total\": 42"));
         assert!(s.contains("\"summit_test_unset\": null"));
         assert!(s.contains("\"count\": 5"));
         assert!(s.contains("\"buckets\": ["));
+        assert!(s.contains("\"trace\": null"));
         // Balanced braces/brackets — cheap structural sanity check.
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn json_trace_section_carries_stage_stats() {
+        use crate::trace::{span_stats, TraceClock, TraceCollector};
+        let r = sample_registry();
+        let tc = TraceCollector::new(TraceClock::Virtual);
+        let scope = tc.install();
+        {
+            let _g = crate::span::span("summit_test_traced_stage");
+        }
+        drop(scope);
+        let stats = span_stats(&tc.snapshot());
+        let mut buf = Vec::new();
+        write_json_with_trace(&mut buf, &r.snapshot(), Some(&stats)).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.contains("\"trace\": {"));
+        assert!(s.contains("\"schema\": \"summit-trace/1\""));
+        assert!(s.contains("\"unit\": \"ticks\""));
+        assert!(s.contains("\"name\": \"summit_test_traced_stage\""));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn single_sample_histogram_round_trips() {
+        // The degenerate case visible in BENCH_obs.json: one observation,
+        // so p50 == p90 == p99 and count == 1.
+        let r = Registry::new();
+        r.histogram("summit_test_single_seconds").observe(0.125);
+        let snap = r.snapshot();
+        let h = snap.histogram("summit_test_single_seconds").unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.p50, h.p90);
+        assert_eq!(h.p90, h.p99);
+
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &snap).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let samples = parse_prometheus(&text).unwrap();
+        let get = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.le.is_none())
+                .unwrap_or_else(|| panic!("missing sample {name}"))
+                .value
+        };
+        assert_eq!(get("summit_test_single_seconds_count"), 1.0);
+        assert_eq!(get("summit_test_single_seconds_sum"), 0.125);
+        // Cumulative buckets: every bucket at or above the sample's edge
+        // reads 1, and +Inf reads the full count.
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "summit_test_single_seconds_bucket")
+            .collect();
+        assert!(!buckets.is_empty());
+        let mut last = 0.0;
+        for b in &buckets {
+            assert!(b.value == 0.0 || b.value == 1.0);
+            assert!(b.value >= last);
+            last = b.value;
+        }
+        let inf = buckets
+            .iter()
+            .find(|b| b.le == Some(f64::INFINITY))
+            .unwrap();
+        assert_eq!(inf.value, 1.0);
+    }
+
+    #[test]
+    fn nan_default_gauge_round_trips() {
+        let r = Registry::new();
+        r.gauge("summit_test_never_set"); // registered but never set -> NaN
+        let mut buf = Vec::new();
+        write_prometheus(&mut buf, &r.snapshot()).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("summit_test_never_set NaN"));
+        let samples = parse_prometheus(&text).unwrap();
+        let g = samples
+            .iter()
+            .find(|s| s.name == "summit_test_never_set")
+            .unwrap();
+        assert!(g.value.is_nan());
     }
 
     #[test]

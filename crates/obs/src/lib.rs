@@ -21,6 +21,12 @@
 //!   `BENCH_obs.json` shape) and CSV ([`expose::write_csv`]).
 //! - [`histogram`] — the fixed power-of-two bucket grid shared by every
 //!   histogram (bit-identical edges across runs).
+//! - [`trace`] — structured tracing: an installable
+//!   [`trace::TraceCollector`] records span open/close (and pool-epoch
+//!   activity from `compat/rayon`) into bounded per-thread rings, with
+//!   deterministic Chrome/Perfetto JSON, folded-stack and span-stats
+//!   exporters. When no collector is installed the span hooks cost one
+//!   thread-local read.
 //!
 //! ## Metric naming
 //!
@@ -53,6 +59,7 @@ pub mod expose;
 pub mod histogram;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 use registry::Registry;
 use std::cell::RefCell;

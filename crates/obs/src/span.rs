@@ -32,6 +32,7 @@ pub fn span(name: &str) -> SpanGuard {
     calls.inc();
     let seconds = registry.histogram(&format!("{name}_seconds"));
     ACTIVE.with(|stack| stack.borrow_mut().push(name.to_string()));
+    crate::trace::span_open(name);
     SpanGuard {
         _calls: calls,
         seconds,
@@ -61,6 +62,36 @@ pub fn span_depth() -> usize {
     ACTIVE.with(|stack| stack.borrow().len())
 }
 
+/// Pushes `name` onto this thread's active-span stack without recording
+/// any metric or trace event. The thread pool uses this on worker threads
+/// so that spans opened inside parallel chunks (and the pool's own
+/// busy-time attribution) see the dispatching stage as their parent
+/// instead of an orphan root.
+#[must_use = "the stage label pops when the guard drops"]
+pub fn stage_scope(name: &str) -> StageScope {
+    ACTIVE.with(|stack| stack.borrow_mut().push(name.to_string()));
+    StageScope {
+        name: name.to_string(),
+    }
+}
+
+/// RAII guard returned by [`stage_scope`]; pops the label on drop.
+#[derive(Debug)]
+pub struct StageScope {
+    name: String,
+}
+
+impl Drop for StageScope {
+    fn drop(&mut self) {
+        ACTIVE.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(i) = stack.iter().rposition(|n| n == &self.name) {
+                stack.remove(i);
+            }
+        });
+    }
+}
+
 /// Live timer for one stage; records on drop.
 #[derive(Debug)]
 pub struct SpanGuard {
@@ -86,6 +117,7 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         self.seconds.observe(self.start.elapsed().as_secs_f64());
+        crate::trace::span_close(&self.name);
         ACTIVE.with(|stack| {
             let mut stack = stack.borrow_mut();
             // Guards drop LIFO in straight-line code; tolerate an
@@ -156,6 +188,20 @@ mod tests {
             with_innermost_span(|name| assert_eq!(name, Some("summit_test_inner")));
         }
         with_innermost_span(|name| assert_eq!(name, Some("summit_test_outer")));
+    }
+
+    #[test]
+    fn stage_scope_labels_without_metrics() {
+        let r = Registry::new();
+        let _scope = r.install();
+        {
+            let _stage = stage_scope("summit_test_dispatched");
+            with_innermost_span(|name| assert_eq!(name, Some("summit_test_dispatched")));
+        }
+        assert_eq!(span_depth(), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("summit_test_dispatched_calls_total"), None);
+        assert!(snap.histogram("summit_test_dispatched_seconds").is_none());
     }
 
     #[test]

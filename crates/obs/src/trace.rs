@@ -1,0 +1,944 @@
+//! Structured tracing: deterministic, low-overhead event capture with
+//! Perfetto-compatible export.
+//!
+//! A [`TraceCollector`] records every [`crate::span::span`] open/close as a
+//! timestamped duration event into a bounded per-thread ring buffer. The
+//! buffer is preallocated at registration time, so the hot path performs no
+//! allocation after warm-up; each thread owns its buffer exclusively, so the
+//! guarding mutex is uncontended (exporters only read after all recording
+//! threads have quiesced at the pool barrier).
+//!
+//! Two clock modes:
+//!
+//! - [`TraceClock::Virtual`] — timestamps are deterministic ticks drawn from
+//!   a shared atomic counter. Same-seed runs produce byte-identical traces.
+//!   Pool activity is synthesized post-barrier from the deterministic chunk
+//!   grid (the canonical schedule), never from live worker scheduling.
+//! - [`TraceClock::Wall`] — timestamps are microseconds since collector
+//!   creation. Real scheduling, real durations, not deterministic.
+//!
+//! Exporters: [`write_chrome_json`] (Chrome Trace Event JSON, loads in
+//! Perfetto and `chrome://tracing`), [`write_folded`] (flamegraph-compatible
+//! folded stacks) and [`span_stats`] (compact per-stage self/child time,
+//! merged into the `summit-obs/2` report by [`crate::expose`]).
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Schema tag written by every trace exporter.
+pub const TRACE_SCHEMA: &str = "summit-trace/1";
+
+/// Default per-thread ring capacity (events), preallocated at registration.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// The single process id used for every exported event.
+const TRACE_PID: u32 = 1;
+
+/// Track id assigned to the main thread.
+pub const MAIN_TID: u32 = 1;
+
+/// Track id of worker `summit-par-0`; worker `N` gets `WORKER_TID_BASE + N`.
+pub const WORKER_TID_BASE: u32 = 101;
+
+/// Timestamp source for a collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceClock {
+    /// Deterministic tick counter; same-seed traces are byte-identical.
+    Virtual,
+    /// Microseconds since collector creation; not deterministic.
+    Wall,
+}
+
+impl TraceClock {
+    /// Lowercase label used in exported artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            TraceClock::Virtual => "virtual",
+            TraceClock::Wall => "wall",
+        }
+    }
+
+    /// Unit of exported timestamps under this clock.
+    pub fn unit(self) -> &'static str {
+        match self {
+            TraceClock::Virtual => "ticks",
+            TraceClock::Wall => "us",
+        }
+    }
+}
+
+/// Event kinds mirroring the Chrome Trace Event phases we emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// `ph: "B"` — span opened.
+    Begin,
+    /// `ph: "E"` — span closed.
+    End,
+    /// `ph: "X"` — complete event with a duration.
+    Complete,
+    /// `ph: "i"` — instant marker.
+    Mark,
+    /// `ph: "C"` — counter sample.
+    Counter,
+}
+
+impl Kind {
+    fn ph(self) -> &'static str {
+        match self {
+            Kind::Begin => "B",
+            Kind::End => "E",
+            Kind::Complete => "X",
+            Kind::Mark => "i",
+            Kind::Counter => "C",
+        }
+    }
+}
+
+/// One recorded event. `track == 0` means "the recording thread's tid";
+/// synthesized pool events override it to place events on worker tracks.
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    ts: u64,
+    dur: u64,
+    name: u32,
+    kind: Kind,
+    track: u32,
+    epoch: u64,
+    chunk: i64,
+    value: f64,
+}
+
+struct BufState {
+    events: Vec<Event>,
+    dropped: u64,
+}
+
+struct ThreadBuf {
+    tid: u32,
+    state: Mutex<BufState>,
+}
+
+impl ThreadBuf {
+    fn record(&self, capacity: usize, ev: Event) {
+        let mut st = self.state.lock();
+        if st.events.len() < capacity {
+            st.events.push(ev);
+        } else {
+            st.dropped += 1;
+        }
+    }
+}
+
+#[derive(Default)]
+struct Names {
+    by_name: BTreeMap<String, u32>,
+    list: Vec<String>,
+}
+
+struct Inner {
+    id: usize,
+    clock: TraceClock,
+    capacity: usize,
+    ticks: AtomicU64,
+    epochs: AtomicU64,
+    origin: Instant,
+    names: Mutex<Names>,
+    threads: Mutex<Vec<Arc<ThreadBuf>>>,
+    tracks: Mutex<BTreeMap<u32, String>>,
+    anon_tids: AtomicU64,
+}
+
+static COLLECTOR_IDS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TRACE_STACK: RefCell<Vec<TraceCollector>> = const { RefCell::new(Vec::new()) };
+    static THREAD_BUF: RefCell<Vec<(usize, Arc<ThreadBuf>)>> = const { RefCell::new(Vec::new()) };
+    static SUPPRESS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// A handle to a shared trace buffer; cheap to clone.
+#[derive(Clone)]
+pub struct TraceCollector {
+    inner: Arc<Inner>,
+}
+
+impl TraceCollector {
+    /// Create a collector with [`DEFAULT_RING_CAPACITY`] events per thread.
+    pub fn new(clock: TraceClock) -> Self {
+        Self::with_capacity(clock, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Create a collector with an explicit per-thread ring capacity.
+    pub fn with_capacity(clock: TraceClock, capacity: usize) -> Self {
+        let id = COLLECTOR_IDS.fetch_add(1, Ordering::Relaxed) as usize;
+        TraceCollector {
+            inner: Arc::new(Inner {
+                id,
+                clock,
+                capacity: capacity.max(1),
+                ticks: AtomicU64::new(0),
+                epochs: AtomicU64::new(0),
+                origin: Instant::now(),
+                names: Mutex::new(Names::default()),
+                threads: Mutex::new(Vec::new()),
+                tracks: Mutex::new(BTreeMap::new()),
+                anon_tids: AtomicU64::new(2),
+            }),
+        }
+    }
+
+    /// The clock mode this collector stamps events with.
+    pub fn clock(&self) -> TraceClock {
+        self.inner.clock
+    }
+
+    /// Install this collector on the current thread; spans opened while the
+    /// returned guard lives are recorded. Guards nest like scoped registries.
+    #[must_use = "dropping the scope immediately uninstalls the collector"]
+    pub fn install(&self) -> TraceScope {
+        TRACE_STACK.with(|s| s.borrow_mut().push(self.clone()));
+        TraceScope { _priv: () }
+    }
+
+    /// Install on a pool worker thread. Under the virtual clock this returns
+    /// `None`: live worker events are scheduling-dependent, so pool activity
+    /// is synthesized post-barrier from the canonical chunk grid instead.
+    pub fn install_worker(&self) -> Option<TraceScope> {
+        match self.inner.clock {
+            TraceClock::Virtual => None,
+            TraceClock::Wall => Some(self.install()),
+        }
+    }
+
+    /// Allocate the next 1-based pool-epoch id.
+    pub fn begin_epoch(&self) -> u64 {
+        self.inner.epochs.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Current timestamp: a fresh tick (virtual) or µs since creation (wall).
+    pub fn now(&self) -> u64 {
+        match self.inner.clock {
+            TraceClock::Virtual => self.inner.ticks.fetch_add(1, Ordering::Relaxed),
+            TraceClock::Wall => self.inner.origin.elapsed().as_micros() as u64,
+        }
+    }
+
+    fn intern(&self, name: &str) -> u32 {
+        let mut names = self.inner.names.lock();
+        if let Some(&id) = names.by_name.get(name) {
+            return id;
+        }
+        let id = names.list.len() as u32;
+        names.list.push(name.to_string());
+        names.by_name.insert(name.to_string(), id);
+        id
+    }
+
+    fn thread_buf(&self) -> Arc<ThreadBuf> {
+        let id = self.inner.id;
+        THREAD_BUF.with(|cache| {
+            if let Some((_, buf)) = cache.borrow().iter().find(|(cid, _)| *cid == id) {
+                return Arc::clone(buf);
+            }
+            let buf = self.register_current_thread();
+            cache.borrow_mut().push((id, Arc::clone(&buf)));
+            buf
+        })
+    }
+
+    fn register_current_thread(&self) -> Arc<ThreadBuf> {
+        let current = std::thread::current();
+        let name = current.name().unwrap_or("");
+        let (tid, label) = if name == "main" {
+            (MAIN_TID, "main".to_string())
+        } else if let Some(n) = name
+            .strip_prefix("summit-par-")
+            .and_then(|n| n.parse::<u32>().ok())
+        {
+            (WORKER_TID_BASE + n, name.to_string())
+        } else {
+            let tid = self.inner.anon_tids.fetch_add(1, Ordering::Relaxed) as u32;
+            let label = if name.is_empty() {
+                format!("thread-{tid}")
+            } else {
+                name.to_string()
+            };
+            (tid, label)
+        };
+        self.inner.tracks.lock().entry(tid).or_insert(label);
+        let buf = Arc::new(ThreadBuf {
+            tid,
+            state: Mutex::new(BufState {
+                events: Vec::with_capacity(self.inner.capacity),
+                dropped: 0,
+            }),
+        });
+        self.inner.threads.lock().push(Arc::clone(&buf));
+        buf
+    }
+
+    fn record(&self, ev: Event) {
+        self.thread_buf().record(self.inner.capacity, ev);
+    }
+
+    pub(crate) fn span_open(&self, name: &str) {
+        let name = self.intern(name);
+        let ts = self.now();
+        self.record(Event {
+            ts,
+            dur: 0,
+            name,
+            kind: Kind::Begin,
+            track: 0,
+            epoch: 0,
+            chunk: -1,
+            value: 0.0,
+        });
+    }
+
+    pub(crate) fn span_close(&self, name: &str) {
+        let name = self.intern(name);
+        let ts = self.now();
+        self.record(Event {
+            ts,
+            dur: 0,
+            name,
+            kind: Kind::End,
+            track: 0,
+            epoch: 0,
+            chunk: -1,
+            value: 0.0,
+        });
+    }
+
+    /// Record a counter sample (rendered as a counter track in Perfetto).
+    pub fn counter(&self, name: &str, value: f64) {
+        let name = self.intern(name);
+        let ts = self.now();
+        self.record(Event {
+            ts,
+            dur: 0,
+            name,
+            kind: Kind::Counter,
+            track: 0,
+            epoch: 0,
+            chunk: -1,
+            value,
+        });
+    }
+
+    /// Record an instant marker, optionally tagged with a pool epoch.
+    pub fn instant(&self, name: &str, epoch: u64) {
+        let name = self.intern(name);
+        let ts = self.now();
+        self.record(Event {
+            ts,
+            dur: 0,
+            name,
+            kind: Kind::Mark,
+            track: 0,
+            epoch,
+            chunk: -1,
+            value: 0.0,
+        });
+    }
+
+    /// Record a complete (duration) event that started at `start_ts`.
+    /// `chunk < 0` marks an epoch summary rather than a single chunk; the
+    /// folded/stats exporters skip those to avoid double-counting.
+    pub fn complete(&self, name: &str, start_ts: u64, epoch: u64, chunk: i64) {
+        let name = self.intern(name);
+        let end = self.now();
+        self.record(Event {
+            ts: start_ts,
+            dur: end.saturating_sub(start_ts),
+            name,
+            kind: Kind::Complete,
+            track: 0,
+            epoch,
+            chunk,
+            value: 0.0,
+        });
+    }
+
+    /// Synthesize one pool epoch from the canonical schedule: band `b >= 1`
+    /// of the deterministic chunk grid maps to worker track `100 + b`
+    /// (labelled `summit-par-{b-1}`), band 0 stays on the calling thread.
+    /// Used under the virtual clock, where live worker events would be
+    /// scheduling-dependent; mirrors how `summit_par_steal_total` stays
+    /// global-only for the same reason.
+    pub fn pool_epoch_virtual(
+        &self,
+        epoch_name: &str,
+        chunk_name: &str,
+        epoch: u64,
+        band_sizes: &[usize],
+    ) {
+        let tasks: usize = band_sizes.iter().sum();
+        let active: Vec<usize> = (1..band_sizes.len())
+            .filter(|&b| band_sizes[b] > 0)
+            .collect();
+        let total = 2 + tasks as u64 + 2 * active.len() as u64;
+        let base = self.inner.ticks.fetch_add(total, Ordering::Relaxed);
+        {
+            let mut tracks = self.inner.tracks.lock();
+            for &b in &active {
+                let tid = 100 + b as u32;
+                tracks
+                    .entry(tid)
+                    .or_insert_with(|| format!("summit-par-{}", b - 1));
+            }
+        }
+        let epoch_id = self.intern(epoch_name);
+        let chunk_id = self.intern(chunk_name);
+        let unpark = self.intern("unpark");
+        let park = self.intern("park");
+        let buf = self.thread_buf();
+        let cap = self.inner.capacity;
+        let mut t = base;
+        let epoch_start = t;
+        t += 1;
+        for &b in &active {
+            buf.record(
+                cap,
+                Event {
+                    ts: t,
+                    dur: 0,
+                    name: unpark,
+                    kind: Kind::Mark,
+                    track: 100 + b as u32,
+                    epoch,
+                    chunk: -1,
+                    value: 0.0,
+                },
+            );
+            t += 1;
+        }
+        let mut chunk = 0i64;
+        for (b, &size) in band_sizes.iter().enumerate() {
+            let track = if b == 0 { 0 } else { 100 + b as u32 };
+            for _ in 0..size {
+                buf.record(
+                    cap,
+                    Event {
+                        ts: t,
+                        dur: 1,
+                        name: chunk_id,
+                        kind: Kind::Complete,
+                        track,
+                        epoch,
+                        chunk,
+                        value: 0.0,
+                    },
+                );
+                t += 1;
+                chunk += 1;
+            }
+        }
+        for &b in &active {
+            buf.record(
+                cap,
+                Event {
+                    ts: t,
+                    dur: 0,
+                    name: park,
+                    kind: Kind::Mark,
+                    track: 100 + b as u32,
+                    epoch,
+                    chunk: -1,
+                    value: 0.0,
+                },
+            );
+            t += 1;
+        }
+        buf.record(
+            cap,
+            Event {
+                ts: epoch_start,
+                dur: total,
+                name: epoch_id,
+                kind: Kind::Complete,
+                track: 0,
+                epoch,
+                chunk: -1,
+                value: 0.0,
+            },
+        );
+    }
+
+    /// Drain a consistent view of everything recorded so far. Call after all
+    /// recording threads have quiesced (e.g. past the pool barrier).
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let names = self.inner.names.lock().list.clone();
+        let tracks: Vec<(u32, String)> = self
+            .inner
+            .tracks
+            .lock()
+            .iter()
+            .map(|(tid, label)| (*tid, label.clone()))
+            .collect();
+        let mut events = Vec::new();
+        let mut dropped_total = 0u64;
+        for buf in self.inner.threads.lock().iter() {
+            let st = buf.state.lock();
+            dropped_total += st.dropped;
+            for ev in &st.events {
+                let mut ev = *ev;
+                if ev.track == 0 {
+                    ev.track = buf.tid;
+                }
+                events.push(ev);
+            }
+        }
+        events.sort_by_key(|e| (e.ts, e.track));
+        TraceSnapshot {
+            clock: self.inner.clock,
+            names,
+            tracks,
+            events,
+            dropped_total,
+        }
+    }
+}
+
+/// RAII guard returned by [`TraceCollector::install`].
+pub struct TraceScope {
+    _priv: (),
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        TRACE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// RAII guard returned by [`suppress`]; while alive, [`current`] returns
+/// `None` on this thread.
+pub struct SuppressGuard {
+    _priv: (),
+}
+
+impl Drop for SuppressGuard {
+    fn drop(&mut self) {
+        SUPPRESS.with(|s| s.set(s.get().saturating_sub(1)));
+    }
+}
+
+/// Suppress trace capture on this thread until the guard drops. The pool
+/// dispatcher uses this under the virtual clock so that spans opened inside
+/// epoch execution (whose interleaving is scheduling-dependent) stay out of
+/// the deterministic trace; the pool records the canonical schedule instead.
+#[must_use = "suppression ends when the guard drops"]
+pub fn suppress() -> SuppressGuard {
+    SUPPRESS.with(|s| s.set(s.get() + 1));
+    SuppressGuard { _priv: () }
+}
+
+/// The collector installed innermost on this thread, unless suppressed.
+pub fn current() -> Option<TraceCollector> {
+    if SUPPRESS.with(Cell::get) > 0 {
+        return None;
+    }
+    TRACE_STACK.with(|s| s.borrow().last().cloned())
+}
+
+/// Hook called by [`crate::span::span`] on open.
+pub(crate) fn span_open(name: &str) {
+    if let Some(tc) = current() {
+        tc.span_open(name);
+    }
+}
+
+/// Hook called by `SpanGuard::drop` on close.
+pub(crate) fn span_close(name: &str) {
+    if let Some(tc) = current() {
+        tc.span_close(name);
+    }
+}
+
+/// An immutable, export-ready view of a trace.
+pub struct TraceSnapshot {
+    /// Clock mode the events were stamped with.
+    pub clock: TraceClock,
+    names: Vec<String>,
+    tracks: Vec<(u32, String)>,
+    events: Vec<Event>,
+    /// Events discarded because a per-thread ring was full.
+    pub dropped_total: u64,
+}
+
+impl TraceSnapshot {
+    /// Number of events captured (excluding dropped ones).
+    pub fn events_total(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Thread tracks `(tid, label)` registered during capture, tid-sorted.
+    pub fn tracks(&self) -> &[(u32, String)] {
+        &self.tracks
+    }
+
+    fn name(&self, id: u32) -> &str {
+        self.names.get(id as usize).map_or("?", String::as_str)
+    }
+}
+
+/// Write a Chrome Trace Event JSON document (loads in Perfetto and
+/// `chrome://tracing`). Deterministic for a deterministic snapshot.
+pub fn write_chrome_json<W: Write>(out: &mut W, snap: &TraceSnapshot) -> io::Result<()> {
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"schema\": \"{}\",", TRACE_SCHEMA)?;
+    writeln!(out, "  \"displayTimeUnit\": \"ms\",")?;
+    writeln!(out, "  \"clock\": \"{}\",", snap.clock.label())?;
+    writeln!(out, "  \"dropped_events\": {},", snap.dropped_total)?;
+    writeln!(out, "  \"traceEvents\": [")?;
+    let mut first = true;
+    let sep = |out: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+        } else {
+            writeln!(out, ",")?;
+        }
+        Ok(())
+    };
+    sep(out, &mut first)?;
+    write!(
+        out,
+        "    {{\"ph\": \"M\", \"pid\": {TRACE_PID}, \"tid\": 0, \"name\": \"process_name\", \"args\": {{\"name\": \"summit-repro\"}}}}"
+    )?;
+    for (tid, label) in &snap.tracks {
+        sep(out, &mut first)?;
+        write!(
+            out,
+            "    {{\"ph\": \"M\", \"pid\": {TRACE_PID}, \"tid\": {tid}, \"name\": \"thread_name\", \"args\": {{\"name\": \"{}\"}}}}",
+            crate::expose::json_escape(label)
+        )?;
+    }
+    for ev in &snap.events {
+        sep(out, &mut first)?;
+        write!(
+            out,
+            "    {{\"ph\": \"{}\", \"pid\": {TRACE_PID}, \"tid\": {}, \"ts\": {}, \"name\": \"{}\"",
+            ev.kind.ph(),
+            ev.track,
+            ev.ts,
+            crate::expose::json_escape(snap.name(ev.name))
+        )?;
+        match ev.kind {
+            Kind::Complete => write!(out, ", \"dur\": {}", ev.dur)?,
+            Kind::Mark => write!(out, ", \"s\": \"t\"")?,
+            _ => {}
+        }
+        if ev.kind == Kind::Counter {
+            write!(
+                out,
+                ", \"args\": {{\"value\": {}}}",
+                crate::expose::json_f64(ev.value)
+            )?;
+        } else if ev.epoch > 0 {
+            if ev.chunk >= 0 {
+                write!(
+                    out,
+                    ", \"args\": {{\"epoch\": {}, \"chunk\": {}}}",
+                    ev.epoch, ev.chunk
+                )?;
+            } else {
+                write!(out, ", \"args\": {{\"epoch\": {}}}", ev.epoch)?;
+            }
+        }
+        write!(out, "}}")?;
+    }
+    writeln!(out)?;
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    Ok(())
+}
+
+struct Frame {
+    name: u32,
+    start: u64,
+    child: u64,
+}
+
+/// Replay one track's events through a span stack, reporting every closed
+/// frame to `emit(stack_without_frame, frame_name, self_time, total_time)`.
+fn replay_track<F: FnMut(&[u32], u32, u64, u64)>(events: &[&Event], emit: &mut F) {
+    let mut stack: Vec<Frame> = Vec::new();
+    for ev in events {
+        match ev.kind {
+            Kind::Begin => stack.push(Frame {
+                name: ev.name,
+                start: ev.ts,
+                child: 0,
+            }),
+            Kind::End => {
+                if let Some(pos) = stack.iter().rposition(|f| f.name == ev.name) {
+                    // Anything opened above a mismatched close is abandoned.
+                    stack.truncate(pos + 1);
+                    if let Some(frame) = stack.pop() {
+                        let total = ev.ts.saturating_sub(frame.start);
+                        let self_time = total.saturating_sub(frame.child);
+                        let names: Vec<u32> = stack.iter().map(|f| f.name).collect();
+                        emit(&names, frame.name, self_time, total);
+                        if let Some(parent) = stack.last_mut() {
+                            parent.child += total;
+                        }
+                    }
+                }
+            }
+            Kind::Complete => {
+                // Epoch summaries (chunk < 0 with an epoch tag) overlap their
+                // chunk events; skip them so time is not double-counted.
+                if ev.epoch > 0 && ev.chunk < 0 {
+                    continue;
+                }
+                let names: Vec<u32> = stack.iter().map(|f| f.name).collect();
+                emit(&names, ev.name, ev.dur, ev.dur);
+                if let Some(parent) = stack.last_mut() {
+                    parent.child += ev.dur;
+                }
+            }
+            Kind::Mark | Kind::Counter => {}
+        }
+    }
+}
+
+fn per_track(snap: &TraceSnapshot) -> BTreeMap<u32, Vec<&Event>> {
+    let mut by_track: BTreeMap<u32, Vec<&Event>> = BTreeMap::new();
+    for ev in &snap.events {
+        by_track.entry(ev.track).or_default().push(ev);
+    }
+    by_track
+}
+
+/// Write flamegraph-compatible folded stacks: one `track;span;... value`
+/// line per unique stack, value in self-time units of the snapshot's clock.
+pub fn write_folded<W: Write>(out: &mut W, snap: &TraceSnapshot) -> io::Result<()> {
+    writeln!(
+        out,
+        "# {} folded self-time ({})",
+        TRACE_SCHEMA,
+        snap.clock.unit()
+    )?;
+    let labels: BTreeMap<u32, &str> = snap
+        .tracks
+        .iter()
+        .map(|(tid, label)| (*tid, label.as_str()))
+        .collect();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for (tid, events) in per_track(snap) {
+        let label = labels.get(&tid).copied().unwrap_or("unknown");
+        replay_track(&events, &mut |stack, name, self_time, _total| {
+            if self_time == 0 {
+                return;
+            }
+            let mut line = String::from(label);
+            for &id in stack {
+                line.push(';');
+                line.push_str(snap.name(id));
+            }
+            line.push(';');
+            line.push_str(snap.name(name));
+            *folded.entry(line).or_insert(0) += self_time;
+        });
+    }
+    for (line, value) in folded {
+        writeln!(out, "{line} {value}")?;
+    }
+    Ok(())
+}
+
+/// Per-stage timing aggregated from a snapshot.
+#[derive(Debug, Clone)]
+pub struct StageStats {
+    /// Span or event name.
+    pub name: String,
+    /// Number of closed occurrences.
+    pub count: u64,
+    /// Total time across occurrences (clock units).
+    pub total: u64,
+    /// Time not attributed to child spans or pool chunks.
+    pub self_time: u64,
+    /// Time attributed to nested spans / pool chunks.
+    pub child_time: u64,
+}
+
+/// Compact trace summary merged into the `summit-obs/2` report.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Clock mode of the underlying snapshot.
+    pub clock: TraceClock,
+    /// Events captured.
+    pub events_total: u64,
+    /// Events dropped on ring wrap.
+    pub dropped_total: u64,
+    /// Per-stage aggregates, name-sorted.
+    pub stages: Vec<StageStats>,
+}
+
+/// Aggregate per-stage self/child time from a snapshot.
+pub fn span_stats(snap: &TraceSnapshot) -> TraceStats {
+    let mut by_name: BTreeMap<String, StageStats> = BTreeMap::new();
+    for (_tid, events) in per_track(snap) {
+        replay_track(&events, &mut |_stack, name, self_time, total| {
+            let name = snap.name(name);
+            let entry = by_name
+                .entry(name.to_string())
+                .or_insert_with(|| StageStats {
+                    name: name.to_string(),
+                    count: 0,
+                    total: 0,
+                    self_time: 0,
+                    child_time: 0,
+                });
+            entry.count += 1;
+            entry.total += total;
+            entry.self_time += self_time;
+            entry.child_time += total.saturating_sub(self_time);
+        });
+    }
+    TraceStats {
+        clock: snap.clock,
+        events_total: snap.events_total(),
+        dropped_total: snap.dropped_total,
+        stages: by_name.into_values().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    fn collector() -> TraceCollector {
+        TraceCollector::new(TraceClock::Virtual)
+    }
+
+    #[test]
+    fn interner_dedups_names() {
+        let tc = collector();
+        assert_eq!(tc.intern("a"), tc.intern("a"));
+        assert_ne!(tc.intern("a"), tc.intern("b"));
+    }
+
+    #[test]
+    fn virtual_clock_is_monotonic_and_distinct() {
+        let tc = collector();
+        let a = tc.now();
+        let b = tc.now();
+        let c = tc.now();
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn ring_wrap_accounts_for_every_dropped_event() {
+        let tc = TraceCollector::with_capacity(TraceClock::Virtual, 8);
+        let _scope = tc.install();
+        for _ in 0..20 {
+            let _g = crate::span::span("summit_test_wrap");
+        }
+        drop(_scope);
+        let snap = tc.snapshot();
+        assert_eq!(snap.events_total(), 8);
+        assert_eq!(snap.dropped_total, 40 - 8);
+    }
+
+    #[test]
+    fn suppress_hides_the_collector() {
+        let tc = collector();
+        let _scope = tc.install();
+        assert!(current().is_some());
+        {
+            let _s = suppress();
+            assert!(current().is_none());
+            {
+                let _s2 = suppress();
+                assert!(current().is_none());
+            }
+            assert!(current().is_none());
+        }
+        assert!(current().is_some());
+    }
+
+    #[test]
+    fn span_stats_split_self_and_child_time() {
+        let tc = collector();
+        let _scope = tc.install();
+        {
+            let _outer = crate::span::span("summit_test_outer");
+            let _ = tc.now(); // outer self-time
+            {
+                let _inner = crate::span::span("summit_test_inner");
+                let _ = tc.now(); // inner self-time
+            }
+            let _ = tc.now(); // more outer self-time
+        }
+        drop(_scope);
+        let stats = span_stats(&tc.snapshot());
+        let outer = stats
+            .stages
+            .iter()
+            .find(|s| s.name == "summit_test_outer")
+            .expect("outer stage present");
+        let inner = stats
+            .stages
+            .iter()
+            .find(|s| s.name == "summit_test_inner")
+            .expect("inner stage present");
+        assert_eq!(outer.child_time, inner.total);
+        assert_eq!(outer.total, outer.self_time + outer.child_time);
+        assert!(inner.child_time == 0);
+        assert!(outer.self_time > 0 && inner.self_time > 0);
+    }
+
+    #[test]
+    fn chrome_json_is_schema_tagged_and_balanced() {
+        let tc = collector();
+        let _scope = tc.install();
+        {
+            let _g = crate::span::span("summit_test_chrome");
+        }
+        tc.counter("frames_per_s", 12.5);
+        tc.instant("marker", 0);
+        drop(_scope);
+        let mut out = Vec::new();
+        write_chrome_json(&mut out, &tc.snapshot()).expect("write ok");
+        let text = String::from_utf8(out).expect("utf8");
+        assert!(text.contains(TRACE_SCHEMA));
+        assert!(text.contains("\"traceEvents\""));
+        let opens = text.matches('{').count();
+        let closes = text.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn virtual_pool_epoch_is_synthesized_on_worker_tracks() {
+        let tc = collector();
+        let _scope = tc.install();
+        tc.pool_epoch_virtual("par_epoch test", "par_chunk test", 1, &[2, 2, 1]);
+        drop(_scope);
+        let snap = tc.snapshot();
+        let labels: Vec<&str> = snap.tracks().iter().map(|(_, l)| l.as_str()).collect();
+        assert!(labels.contains(&"summit-par-0"));
+        assert!(labels.contains(&"summit-par-1"));
+        // 2 unpark + 5 chunks + 2 park + 1 epoch summary = 10 events.
+        assert_eq!(snap.events_total(), 10);
+        let stats = span_stats(&snap);
+        let chunks = stats
+            .stages
+            .iter()
+            .find(|s| s.name == "par_chunk test")
+            .expect("chunk stage");
+        assert_eq!(chunks.count, 5);
+        // The epoch summary must not double-count into stats.
+        assert!(stats.stages.iter().all(|s| s.name != "par_epoch test"));
+    }
+}

@@ -61,6 +61,27 @@ fn fault_injection_shows_up_in_counters() {
     assert_ne!(clean.obs.counters, faulty.obs.counters);
 }
 
+/// Worker-thread span attribution: when the parallel coarsen stage
+/// dispatches to pool workers, their busy time must land in the
+/// stage-labelled histogram — not in the `unstaged` bucket a worker
+/// with no propagated span context would fall into.
+#[test]
+fn parallel_coarsen_attributes_busy_time_to_the_coarsen_stage() {
+    let run = rayon::with_thread_count(2, || run_telemetry(2, 120.0, None));
+
+    let coarsen = run
+        .obs
+        .histogram("summit_par_busy_telemetry_coarsen_seconds")
+        .expect("parallel coarsen must record stage-labelled busy time");
+    assert!(coarsen.count > 0);
+    assert!(
+        run.obs
+            .histogram("summit_par_busy_unstaged_seconds")
+            .is_none(),
+        "no pool dispatch in this pipeline should lose its stage label"
+    );
+}
+
 /// Exposition produced from a real pipeline run must parse back as
 /// valid Prometheus text, with every counter surviving the round trip
 /// and histogram bucket counts cumulative and capped by `_count`.

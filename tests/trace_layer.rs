@@ -1,0 +1,172 @@
+//! Trace-layer integration: the full fault-injected telemetry pipeline,
+//! run under a virtual-clock [`TraceCollector`] and the deterministic
+//! worker pool, must emit byte-identical Chrome traces across same-seed
+//! runs, and those traces must round-trip through the repo's own
+//! `core::json` parser with balanced B/E spans, named worker tracks,
+//! synthesized pool epochs and the latency counter tracks present.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use summit_repro::core::json::Json;
+use summit_repro::core::pipeline::run_telemetry;
+use summit_repro::obs::registry::Registry;
+use summit_repro::obs::trace::{
+    write_chrome_json, write_folded, TraceClock, TraceCollector, TRACE_SCHEMA,
+};
+use summit_repro::telemetry::stream::FaultConfig;
+
+/// Runs the default fault-injected scenario on a 2-thread pool under a
+/// fresh registry + virtual-clock collector; returns both exports.
+fn traced_run() -> (String, String) {
+    rayon::with_thread_count(2, || {
+        let registry = Registry::new();
+        let collector = TraceCollector::new(TraceClock::Virtual);
+        {
+            let _scope = registry.install();
+            let _trace = collector.install();
+            let _run = run_telemetry(2, 120.0, Some(FaultConfig::light(7)));
+        }
+        let snapshot = collector.snapshot();
+        let mut chrome = Vec::new();
+        write_chrome_json(&mut chrome, &snapshot).unwrap();
+        let mut folded = Vec::new();
+        write_folded(&mut folded, &snapshot).unwrap();
+        (
+            String::from_utf8(chrome).unwrap(),
+            String::from_utf8(folded).unwrap(),
+        )
+    })
+}
+
+/// The determinism contract extends to the trace itself: with the
+/// virtual clock, two same-seed runs must serialize byte-for-byte
+/// identically in both export formats.
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let (chrome_a, folded_a) = traced_run();
+    let (chrome_b, folded_b) = traced_run();
+    assert_eq!(chrome_a, chrome_b, "chrome export must be reproducible");
+    assert_eq!(folded_a, folded_b, "folded export must be reproducible");
+    assert!(folded_a.contains("summit_core_run_telemetry"));
+}
+
+/// The Chrome export must parse with the repo's own JSON reader and be
+/// structurally sound: schema-tagged, every `B` closed by a same-name
+/// `E` on its tid, worker tracks named, at least one synthesized pool
+/// epoch and at least one counter track.
+#[test]
+fn chrome_trace_round_trips_through_core_json() {
+    let (chrome, _) = traced_run();
+    let root = Json::parse(&chrome).expect("trace must be valid JSON");
+
+    assert_eq!(
+        root.get("schema").and_then(Json::as_str),
+        Some(TRACE_SCHEMA)
+    );
+    assert_eq!(root.get("clock").and_then(Json::as_str), Some("virtual"));
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty());
+
+    let mut stacks: std::collections::BTreeMap<u64, Vec<String>> =
+        std::collections::BTreeMap::new();
+    let mut tracks: Vec<String> = Vec::new();
+    let mut pool_epochs = 0usize;
+    let mut counters = 0usize;
+    for event in events {
+        let ph = event.get("ph").and_then(Json::as_str).expect("ph");
+        let name = event.get("name").and_then(Json::as_str).expect("name");
+        let tid = match event.get("tid") {
+            Some(Json::Num(v)) => v.to_bits(),
+            other => panic!("tid must be numeric, got {other:?}"),
+        };
+        match ph {
+            "B" => stacks.entry(tid).or_default().push(name.to_owned()),
+            "E" => {
+                let open = stacks.entry(tid).or_default().pop();
+                assert_eq!(open.as_deref(), Some(name), "E must close matching B");
+            }
+            "M" if name == "thread_name" => {
+                let label = event
+                    .get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(Json::as_str)
+                    .expect("thread_name args.name");
+                tracks.push(label.to_owned());
+            }
+            "C" => counters += 1,
+            _ => {}
+        }
+        if name.starts_with("par_epoch") {
+            pool_epochs += 1;
+        }
+    }
+    for (tid, stack) in &stacks {
+        assert!(
+            stack.is_empty(),
+            "unclosed B events on tid {tid}: {stack:?}"
+        );
+    }
+    // Under `cargo test` the dispatching thread carries the test's
+    // name (the driver names it `main`); either way it must have a
+    // track distinct from the workers'.
+    assert!(
+        tracks.iter().any(|t| !t.starts_with("summit-par-")),
+        "dispatcher track named, got {tracks:?}"
+    );
+    assert!(
+        tracks.iter().any(|t| t == "summit-par-0"),
+        "every pool worker gets a named track, got {tracks:?}"
+    );
+    assert!(
+        pool_epochs > 0,
+        "pool dispatch must synthesize epoch events"
+    );
+    assert!(counters > 0, "latency/throughput counter tracks expected");
+    assert!(
+        events.iter().any(|e| {
+            e.get("name").and_then(Json::as_str) == Some("summit_core_frame_to_alert_p99_seconds")
+        }),
+        "frame-to-alert latency counter track expected"
+    );
+}
+
+/// A tiny ring drops the overflow with exact accounting, and the drop
+/// total survives into the export header.
+#[test]
+fn ring_overflow_is_reported_in_the_export() {
+    let collector = TraceCollector::with_capacity(TraceClock::Virtual, 8);
+    {
+        let _trace = collector.install();
+        for _ in 0..20 {
+            let _g = summit_repro::obs::span("summit_trace_layer_overflow");
+        }
+    }
+    let snapshot = collector.snapshot();
+    assert!(snapshot.dropped_total > 0);
+    let mut out = Vec::new();
+    write_chrome_json(&mut out, &snapshot).unwrap();
+    let root = Json::parse(&String::from_utf8(out).unwrap()).unwrap();
+    assert_eq!(
+        root.get("dropped_events").and_then(Json::as_f64),
+        Some(snapshot.dropped_total as f64)
+    );
+}
+
+/// With no collector installed the span layer still records metrics —
+/// tracing is strictly opt-in and must not perturb the default path.
+#[test]
+fn spans_record_metrics_without_an_installed_collector() {
+    let registry = Registry::new();
+    {
+        let _scope = registry.install();
+        let _g = summit_repro::obs::span("summit_trace_layer_untraced");
+    }
+    let snapshot = registry.snapshot();
+    assert_eq!(
+        snapshot.counter("summit_trace_layer_untraced_calls_total"),
+        Some(1)
+    );
+}

@@ -1,0 +1,16 @@
+//! Fixture: every public exporter references the schema constant.
+
+pub const TRACE_SCHEMA: &str = "summit-trace/1";
+
+pub fn write_chrome_json(out: &mut String) {
+    out.push_str(TRACE_SCHEMA);
+}
+
+pub fn write_folded(out: &mut String) {
+    out.push('#');
+    out.push_str(TRACE_SCHEMA);
+}
+
+fn write_helper(_out: &mut String) {
+    // Private helpers are exempt from the schema-tag requirement.
+}

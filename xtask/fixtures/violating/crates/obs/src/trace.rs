@@ -1,0 +1,13 @@
+//! Fixture: `write_untagged` respells the schema literal instead of
+//! referencing `TRACE_SCHEMA`, so its output cannot be version-gated.
+
+pub const TRACE_SCHEMA: &str = "summit-trace/1";
+
+pub fn write_tagged(out: &mut String) {
+    out.push_str(TRACE_SCHEMA);
+}
+
+pub fn write_untagged(out: &mut String) {
+    // Strings are masked before lexing: this must still be flagged.
+    out.push_str("summit-trace/1");
+}

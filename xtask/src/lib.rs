@@ -13,5 +13,6 @@ pub mod ratchet;
 pub mod rules;
 pub mod source;
 pub mod toml_lite;
+pub mod trace_validate;
 pub mod violation;
 pub mod workspace;

@@ -20,7 +20,9 @@
 //! 5. **obs-coverage** — every public `run_*` entry point in
 //!    `core::pipeline` and every experiment module opens at least one
 //!    `summit_obs` span, so new stages cannot silently skip the
-//!    self-observability layer;
+//!    self-observability layer; and every public `write_*` exporter in
+//!    `obs::trace` references `TRACE_SCHEMA`, so each trace output is
+//!    schema-tagged (`summit-trace/1`);
 //! 6. **parallelism** — no direct `std::thread::spawn`/`scope`/
 //!    `Builder` in library crates: all data-parallelism goes through
 //!    the deterministic `compat/rayon` pool so it honors
@@ -39,6 +41,12 @@
 //! committed `xtask/ratchet_baseline.txt` so allowlist debt can only
 //! shrink.
 //!
+//! `trace-validate <path>` parses an emitted `summit-trace/1` Chrome
+//! trace with the repo's own `core::json` reader and checks the event
+//! structure — legal phases, numeric `pid`/`tid`/`ts`, per-tid B/E
+//! span balance, named thread tracks — so CI catches a malformed trace
+//! before a human ever loads it in Perfetto.
+//!
 //! Exit codes: 0 clean, 1 violations found, 2 internal lint error
 //! (unreadable workspace, malformed allowlist/baseline, bad usage).
 //!
@@ -52,6 +60,7 @@ use xtask::{json_report, ratchet, rules, workspace};
 const USAGE: &str = "\
 usage: cargo xtask lint [--rule <name>]... [--strict-indexing] [--json]
        cargo xtask ratchet
+       cargo xtask trace-validate <trace.json>
 
 rules: determinism | panic-freedom | spec-constants | registry | obs-coverage
        | parallelism | hash-order | float-reduction | lossy-cast
@@ -65,6 +74,10 @@ rules: determinism | panic-freedom | spec-constants | registry | obs-coverage
 ratchet            fail when any xtask/*_allowlist.txt total grows (or
                    silently shrinks) relative to xtask/ratchet_baseline.txt
 
+trace-validate     parse a summit-trace/1 Chrome trace with core::json and
+                   check phases, pid/tid/ts fields, per-tid B/E balance and
+                   thread_name track metadata
+
 exit codes: 0 clean · 1 violations · 2 internal lint error
 ";
 
@@ -77,6 +90,7 @@ fn main() -> ExitCode {
     match iter.next().map(String::as_str) {
         Some("lint") => {}
         Some("ratchet") => return run_ratchet(),
+        Some("trace-validate") => return run_trace_validate(iter.next().map(String::as_str)),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -232,6 +246,37 @@ fn main() -> ExitCode {
     } else {
         println!("xtask lint: {} violation(s)", violations.len());
         ExitCode::FAILURE
+    }
+}
+
+/// `cargo xtask trace-validate <path>` — the trace-structure gate.
+fn run_trace_validate(path: Option<&str>) -> ExitCode {
+    let Some(path) = path else {
+        eprintln!("trace-validate requires a trace path\n{USAGE}");
+        return ExitCode::from(EXIT_INTERNAL);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask trace-validate: cannot read {path}: {e}");
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    };
+    match xtask::trace_validate::validate(&text) {
+        Ok(report) => {
+            println!(
+                "xtask trace-validate: {path}: {}",
+                xtask::trace_validate::summary(&report)
+            );
+            ExitCode::SUCCESS
+        }
+        Err(errors) => {
+            for e in &errors {
+                println!("error: [trace] {path}: {e}");
+            }
+            println!("xtask trace-validate: {} error(s)", errors.len());
+            ExitCode::FAILURE
+        }
     }
 }
 

@@ -10,13 +10,19 @@
 //! 2. every experiment module under `crates/core/src/experiments/` to
 //!    create at least one obs span (`registry.rs` is exempt — it is
 //!    dispatch plumbing, not a pipeline stage; the modules it routes
-//!    to open their own spans).
+//!    to open their own spans);
+//! 3. every public `write_*` exporter in `crates/obs/src/trace.rs` to
+//!    reference the `TRACE_SCHEMA` constant, so each trace format a
+//!    tool can ingest is tagged with the `summit-trace/1` schema and
+//!    `cargo xtask trace-validate` can reject stale files.
 //!
 //! Entry points are recovered with [`ast::fn_items`], so a span in one
 //! fn never covers its neighbour; span creation matches the token
 //! sequences `summit_obs::span(` and `obs::span(` (the conventional
 //! `use summit_obs as obs;` alias) exactly — an identifier that merely
-//! *ends* in `obs` does not count.
+//! *ends* in `obs` does not count. The schema check matches the ident
+//! token `TRACE_SCHEMA` (strings are masked before lexing, so writers
+//! must pass the constant, not respell the literal).
 
 use crate::ast;
 use crate::lex::{self, Tok};
@@ -30,6 +36,10 @@ const RULE: &str = "obs-coverage";
 pub const PIPELINE_FILE: &str = "crates/core/src/pipeline.rs";
 /// Experiment modules directory; every module must open a span.
 pub const EXPERIMENTS_DIR: &str = "crates/core/src/experiments";
+/// Trace module whose public `write_*` exporters must tag the schema.
+pub const TRACE_FILE: &str = "crates/obs/src/trace.rs";
+/// Schema constant every trace exporter must reference.
+const TRACE_SCHEMA_IDENT: &str = "TRACE_SCHEMA";
 /// Accepted span-creating path heads (`<head>::span(`).
 const SPAN_HEADS: &[&str] = &["summit_obs", "obs"];
 
@@ -50,6 +60,12 @@ fn range_has_span(toks: &[Tok], range: std::ops::Range<usize>) -> bool {
         }
     }
     false
+}
+
+/// True when `range` contains `ident` as an exact identifier token.
+fn range_has_ident(toks: &[Tok], range: std::ops::Range<usize>, ident: &str) -> bool {
+    let end = range.end.min(toks.len());
+    toks[range.start..end].iter().any(|t| t.is_ident(ident))
 }
 
 /// Runs the rule over `root` and returns every finding.
@@ -82,6 +98,39 @@ pub fn check(root: &Path) -> Vec<Violation> {
             out.push(Violation::internal(
                 RULE,
                 PIPELINE_FILE,
+                0,
+                format!("cannot read: {e}"),
+            ));
+        }
+    }
+
+    match std::fs::read_to_string(root.join(TRACE_FILE)) {
+        Ok(text) => {
+            let masked = source::mask_cfg_test_items(&source::mask_comments_and_strings(&text));
+            let toks = lex::lex(&masked);
+            for item in ast::fn_items(&toks) {
+                if !(item.is_pub && item.name.starts_with("write_")) || item.body.is_empty() {
+                    continue;
+                }
+                if !range_has_ident(&toks, item.body.clone(), TRACE_SCHEMA_IDENT) {
+                    let name = &item.name;
+                    out.push(Violation::new(
+                        RULE,
+                        TRACE_FILE,
+                        item.line,
+                        format!(
+                            "trace exporter `{name}` never references `TRACE_SCHEMA` \
+                             (every exporter must tag its output with the \
+                             summit-trace schema so stale files are rejectable)"
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(e) => {
+            out.push(Violation::internal(
+                RULE,
+                TRACE_FILE,
                 0,
                 format!("cannot read: {e}"),
             ));
@@ -170,6 +219,28 @@ pub fn run_beta(x: usize) -> usize {
         assert!(range_has_span(&t, fns[0].body.clone()));
         assert_eq!(fns[1].name, "run_beta");
         assert!(!range_has_span(&t, fns[1].body.clone()));
+    }
+
+    #[test]
+    fn schema_ident_detection_is_fn_scoped_and_string_masked() {
+        let src = r#"
+pub fn write_chrome_json() {
+    let tag = TRACE_SCHEMA;
+}
+pub fn write_folded() {
+    let tag = "summit-trace/1";
+}
+fn write_private() {}
+"#;
+        let t = toks(src);
+        let fns: Vec<_> = ast::fn_items(&t)
+            .into_iter()
+            .filter(|f| f.is_pub && f.name.starts_with("write_"))
+            .collect();
+        assert_eq!(fns.len(), 2);
+        assert!(range_has_ident(&t, fns[0].body.clone(), "TRACE_SCHEMA"));
+        // A respelled literal is masked away and must NOT satisfy the rule.
+        assert!(!range_has_ident(&t, fns[1].body.clone(), "TRACE_SCHEMA"));
     }
 
     #[test]
