@@ -50,12 +50,16 @@ pub mod zscore;
 pub mod prelude {
     pub use crate::cdf::Ecdf;
     pub use crate::correlation::{pearson, CorrelationMatrix};
-    pub use crate::edges::{detect_edges, detect_edges_for_job, Edge, EdgeKind};
+    pub use crate::edges::{
+        detect_edges, detect_edges_for_job, Edge, EdgeKind, OnlineEdgeDetector,
+    };
     pub use crate::fft::{amplitude_spectrum, dominant_component, DominantComponent};
     pub use crate::histogram::{Histogram, Histogram2d};
     pub use crate::kde::{Bandwidth, Kde1d, Kde2d};
     pub use crate::pue::{average_pue, integrate_energy, pue, pue_series};
-    pub use crate::rolling::{autocorrelation, rolling_max, rolling_mean, rolling_min};
+    pub use crate::rolling::{
+        autocorrelation, rolling_max, rolling_mean, rolling_min, RollingSketch, RollingStats,
+    };
     pub use crate::series::{sum_aligned, Series};
     pub use crate::snapshot::{superimpose, superimpose_paper_window, Superposition};
     pub use crate::stats::{BoxStats, Summary, Welford, WindowStats};

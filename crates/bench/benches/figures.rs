@@ -18,6 +18,7 @@ fn bench_tables(c: &mut Criterion) {
             cabinets: 2,
             duration_s: 60,
             producers: 2,
+            stream: false,
         };
         b.iter(|| table2::run(&cfg).unwrap())
     });

@@ -16,12 +16,13 @@ use summit_core::cache::{ScenarioCache, HITS_COUNTER, MISSES_COUNTER};
 use summit_core::experiments::registry;
 use summit_core::experiments::{Experiment, REGISTRY};
 use summit_core::json::Json;
-use summit_core::pipeline::run_telemetry;
+use summit_core::pipeline::{run_streaming, run_telemetry, StreamConfig};
 use summit_telemetry::cluster::cluster_power;
 use summit_telemetry::ids::{AllocationId, NodeId};
 use summit_telemetry::jobjoin::{join_jobs, AllocationIndex};
 use summit_telemetry::records::NodeAllocation;
 use summit_telemetry::stream::FaultConfig;
+use summit_telemetry::window::NodeWindow;
 
 /// Default fidelity scale when `--scale` is not given: the CI smoke
 /// scale (seconds per study, shapes preserved).
@@ -59,6 +60,17 @@ usage: experiments [--list] [--all | <name>...] [options]
                     incompatible with --bench
   --trace-folded PATH
                     also write flamegraph-compatible folded stacks
+  --stream          run table2-class studies online: frames are
+                    generated on a producer thread and processed as
+                    they arrive over a bounded, backpressured channel
+                    (bit-identical output to the batch replay);
+                    incompatible with --bench (which always times a
+                    streaming leg)
+  --export-windows PATH
+                    run the telemetry pipeline at the effective scale
+                    and write its coarsened 10 s windows as CSV to
+                    PATH; honors --stream (same seed -> byte-identical
+                    file either way); incompatible with --bench
   -h, --help        print this help";
 
 /// Where `--bench` writes its machine-readable outcome (repo root when
@@ -89,6 +101,11 @@ pub struct Invocation {
     pub trace: Option<String>,
     /// Write flamegraph-compatible folded stacks of the run here.
     pub trace_folded: Option<String>,
+    /// Run streaming-capable studies online (merges `"stream": true`
+    /// over each study's config) and stream the `--export-windows` run.
+    pub stream: bool,
+    /// Write the pipeline's coarsened windows as CSV to this path.
+    pub export_windows: Option<String>,
 }
 
 impl Invocation {
@@ -121,6 +138,11 @@ impl Invocation {
                 "--trace-folded" => {
                     let v = it.next().ok_or("--trace-folded requires a path")?;
                     inv.trace_folded = Some(v);
+                }
+                "--stream" => inv.stream = true,
+                "--export-windows" => {
+                    let v = it.next().ok_or("--export-windows requires a path")?;
+                    inv.export_windows = Some(v);
                 }
                 "--config" => {
                     let v = it.next().ok_or("--config requires a JSON object")?;
@@ -323,9 +345,27 @@ impl StageTiming {
     }
 }
 
+/// Measurements from the online (streaming) pipeline leg of `--bench`:
+/// one smoke-scale [`run_streaming`] pass, cross-checked bit-for-bit
+/// against the batch replay before any number is reported.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingBench {
+    /// Wall-clock seconds of the streaming pass.
+    pub wall_s: f64,
+    /// Sustained ingest rate: frames offered per wall-clock second.
+    pub frames_per_s: f64,
+    /// Live frame-to-alert latency, 99th percentile (simulated s).
+    pub frame_to_alert_p99_s: f64,
+    /// Producer stalls on the full channel (blocking backpressure).
+    pub backpressure_stalls: u64,
+    /// Peak frames resident in the pipeline (bounded-memory witness).
+    pub peak_resident_frames: usize,
+}
+
 /// Outcome of a `--bench` run: the same study selection timed twice,
 /// once pinned to one thread and once on the default pool, with the
-/// per-stage kernel trajectory alongside the end-to-end wall clock.
+/// per-stage kernel trajectory alongside the end-to-end wall clock,
+/// plus one streaming-pipeline leg.
 #[derive(Debug, Clone)]
 pub struct BenchOutcome {
     /// Wall-clock seconds with the pool pinned to one thread.
@@ -342,6 +382,8 @@ pub struct BenchOutcome {
     pub pool_generation: u64,
     /// Per-stage kernel timings (stages that ran in either leg).
     pub stages: Vec<StageTiming>,
+    /// Streaming-pipeline leg measurements.
+    pub streaming: StreamingBench,
 }
 
 impl BenchOutcome {
@@ -388,6 +430,28 @@ impl BenchOutcome {
             ),
             ("gate".into(), Json::from(self.gate())),
             ("stages".into(), Json::Arr(stages)),
+            (
+                "streaming".into(),
+                Json::Obj(vec![
+                    ("wall_seconds".into(), Json::Num(self.streaming.wall_s)),
+                    (
+                        "frames_per_second".into(),
+                        Json::Num(self.streaming.frames_per_s),
+                    ),
+                    (
+                        "frame_to_alert_p99_seconds".into(),
+                        Json::Num(self.streaming.frame_to_alert_p99_s),
+                    ),
+                    (
+                        "backpressure_stalls".into(),
+                        Json::Num(self.streaming.backpressure_stalls as f64),
+                    ),
+                    (
+                        "peak_resident_frames".into(),
+                        Json::from(self.streaming.peak_resident_frames),
+                    ),
+                ]),
+            ),
         ]);
         format!("{doc}\n")
     }
@@ -484,6 +548,52 @@ fn trajectory_leg(scale: f64) -> Result<(summit_obs::Snapshot, usize), String> {
     Ok((obs.snapshot(), fingerprint))
 }
 
+/// The streaming leg of `--bench`: one smoke-scale online pass timed
+/// end-to-end, reporting the sustained frame rate and the live
+/// frame-to-alert p99. Before any number is reported the leg re-runs
+/// the same capture through the batch replay and demands bit-identical
+/// results — a diverging streaming refactor fails the bench instead of
+/// shipping wrong numbers with good latency.
+fn streaming_leg() -> Result<StreamingBench, String> {
+    let (cabinets, _) = trajectory_shape(SMOKE_SCALE);
+    let duration_s = 120.0;
+    let faults = Some(FaultConfig::light(7));
+    let started = std::time::Instant::now();
+    let stream = run_streaming(StreamConfig::new(cabinets, duration_s, faults));
+    let wall_s = started.elapsed().as_secs_f64();
+
+    let obs = summit_obs::registry::Registry::new();
+    let guard = obs.install();
+    let batch = run_telemetry(cabinets, duration_s, faults);
+    drop(guard);
+    let windows = |w: &[Vec<NodeWindow>]| w.iter().map(Vec::len).sum::<usize>();
+    if stream.stats.frames != batch.stats.frames
+        || stream.stats.total_delay_s.to_bits() != batch.stats.total_delay_s.to_bits()
+        || stream.stats.health != batch.stats.health
+        || windows(&stream.windows_by_node) != windows(&batch.windows_by_node)
+    {
+        return Err(
+            "streaming bench leg diverged from the batch replay (bit-identity violated)".into(),
+        );
+    }
+
+    let offered = stream
+        .obs
+        .counter("summit_core_frames_offered_total")
+        .unwrap_or(0);
+    let p99 = stream
+        .obs
+        .gauge("summit_core_frame_to_alert_p99_seconds")
+        .unwrap_or(f64::NAN);
+    Ok(StreamingBench {
+        wall_s,
+        frames_per_s: offered as f64 / wall_s.max(f64::MIN_POSITIVE),
+        frame_to_alert_p99_s: p99,
+        backpressure_stalls: stream.backpressure_stalls,
+        peak_resident_frames: stream.peak_resident_frames,
+    })
+}
+
 /// Times the bench trajectory twice — pool pinned to one thread, then
 /// on the default pool — and assembles the per-stage table from the
 /// two legs' registry snapshots.
@@ -520,6 +630,7 @@ pub fn run_bench(scale: f64) -> Result<BenchOutcome, String> {
              (thread-count determinism violated)"
         ));
     }
+    let streaming = streaming_leg()?;
     Ok(BenchOutcome {
         sequential_s,
         parallel_s,
@@ -527,6 +638,7 @@ pub fn run_bench(scale: f64) -> Result<BenchOutcome, String> {
         speedup: sequential_s / parallel_s.max(f64::MIN_POSITIVE),
         pool_generation: rayon::pool_generation(),
         stages: stage_table(&seq_obs, &par_obs),
+        streaming,
     })
 }
 
@@ -553,6 +665,14 @@ pub fn render_bench(b: &BenchOutcome) -> String {
         ));
     }
     s.push_str(&format!(
+        "[bench] streaming leg    {:.3}s wall, {:.0} frames/s sustained, frame->alert p99 {:.2}s, {} stalls, {} peak resident frames\n",
+        b.streaming.wall_s,
+        b.streaming.frames_per_s,
+        b.streaming.frame_to_alert_p99_s,
+        b.streaming.backpressure_stalls,
+        b.streaming.peak_resident_frames,
+    ));
+    s.push_str(&format!(
         "[bench] end-to-end sequential {:.3}s, parallel {:.3}s on {} threads -> {:.2}x speedup (gate: {}, threshold {:.2}x)",
         b.sequential_s,
         b.parallel_s,
@@ -562,6 +682,44 @@ pub fn render_bench(b: &BenchOutcome) -> String {
         SPEEDUP_THRESHOLD
     ));
     s
+}
+
+/// Runs the telemetry pipeline at `scale` and writes its coarsened
+/// 10 s windows as CSV to `path`, streaming when `stream` is set.
+/// Floats print with Rust's shortest round-trip representation, so the
+/// file is a deterministic function of the data — CI byte-compares the
+/// `--stream` and batch files to prove the online pipeline's output is
+/// bit-identical end to end. Returns the summary line to print.
+fn export_windows(path: &str, scale: f64, stream: bool) -> Result<String, String> {
+    let (cabinets, _) = trajectory_shape(scale);
+    let duration_s = 120.0;
+    let faults = Some(FaultConfig::light(7));
+    let windows_by_node = if stream {
+        run_streaming(StreamConfig::new(cabinets, duration_s, faults)).windows_by_node
+    } else {
+        let obs = summit_obs::registry::Registry::new();
+        let _guard = obs.install();
+        run_telemetry(cabinets, duration_s, faults).windows_by_node
+    };
+    let mut csv = String::from("node,window_start,metric,count,min,max,mean,std\n");
+    let mut count = 0usize;
+    for (node, windows) in windows_by_node.iter().enumerate() {
+        for w in windows {
+            count += 1;
+            for (m, s) in w.stats.iter().enumerate() {
+                csv.push_str(&format!(
+                    "{node},{},{m},{},{},{},{},{}\n",
+                    w.window_start, s.count, s.min, s.max, s.mean, s.std
+                ));
+            }
+        }
+    }
+    std::fs::write(path, &csv).map_err(|e| format!("failed to write {path}: {e}"))?;
+    Ok(format!(
+        "[stream-export] {count} windows ({} mode, {} bytes) -> {path}\n",
+        if stream { "streaming" } else { "batch" },
+        csv.len()
+    ))
 }
 
 /// Writes a chunk to stdout, reporting whether the consumer is still
@@ -593,6 +751,13 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
                 .into(),
         );
     }
+    if inv.bench && (inv.stream || inv.export_windows.is_some()) {
+        return Err(
+            "--stream/--export-windows cannot be combined with --bench: the \
+             bench already times a dedicated streaming leg"
+                .into(),
+        );
+    }
     if inv.bench {
         let outcome = run_bench(scale)?;
         let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
@@ -617,13 +782,34 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
         ));
         return Ok(());
     }
-    let selected = select(inv)?;
+    // A bare `--export-windows` invocation is complete on its own; with
+    // study names (or --all) the export rides along after the reports.
+    let export_only = inv.export_windows.is_some() && inv.names.is_empty() && !inv.all;
+    let selected = if export_only {
+        Vec::new()
+    } else {
+        select(inv)?
+    };
+    // `--stream` switches every streaming-capable study to online mode
+    // by merging over its config; studies without a `stream` key ignore
+    // the extra field.
+    let overrides = {
+        let mut over = inv.overrides.clone();
+        if inv.stream {
+            let stream_on = Json::obj([("stream", Json::Bool(true))]);
+            match &mut over {
+                Some(o) => o.merge(&stream_on),
+                None => over = Some(stream_on),
+            }
+        }
+        over
+    };
     let tracing = inv.trace.is_some() || inv.trace_folded.is_some();
     let collector = tracing
         .then(|| summit_obs::trace::TraceCollector::new(summit_obs::trace::TraceClock::Virtual));
     let output = {
         let _trace_scope = collector.as_ref().map(|tc| tc.install());
-        run_selected(&selected, scale, inv.overrides.as_ref())?
+        run_selected(&selected, scale, overrides.as_ref())?
     };
     if let Some(tc) = &collector {
         let snap = tc.snapshot();
@@ -692,6 +878,9 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
             ));
         }
     }
+    if let Some(path) = &inv.export_windows {
+        emit(&export_windows(path, scale, inv.stream)?);
+    }
     Ok(())
 }
 
@@ -751,6 +940,16 @@ mod tests {
         assert_eq!(select(&inv).unwrap().len(), 1);
     }
 
+    fn idle_streaming() -> StreamingBench {
+        StreamingBench {
+            wall_s: 0.5,
+            frames_per_s: 4000.0,
+            frame_to_alert_p99_s: 12.5,
+            backpressure_stalls: 0,
+            peak_resident_frames: 1000,
+        }
+    }
+
     #[test]
     fn bench_gate_verdicts() {
         let outcome = |threads, seq: f64, par: f64| BenchOutcome {
@@ -760,6 +959,7 @@ mod tests {
             speedup: seq / par,
             pool_generation: 1,
             stages: Vec::new(),
+            streaming: idle_streaming(),
         };
         assert_eq!(outcome(1, 1.0, 1.0).gate(), "skip");
         assert_eq!(outcome(4, 2.0, 1.0).gate(), "pass");
@@ -782,6 +982,7 @@ mod tests {
                 sequential_s: 1.5,
                 parallel_s: 0.5,
             }],
+            streaming: idle_streaming(),
         }
         .to_json(0.05);
         let doc = Json::parse(&json).unwrap();
@@ -810,6 +1011,32 @@ mod tests {
         assert!(stage
             .iter()
             .any(|(k, v)| k == "speedup" && *v == Json::Num(3.0)));
+        // The streaming leg rides in the same schema.
+        let Some(Json::Obj(streaming)) = get("streaming") else {
+            panic!("expected streaming object")
+        };
+        let sget = |name: &str| streaming.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        assert_eq!(sget("frames_per_second"), Some(&Json::Num(4000.0)));
+        assert_eq!(sget("frame_to_alert_p99_seconds"), Some(&Json::Num(12.5)));
+        assert_eq!(sget("backpressure_stalls"), Some(&Json::Num(0.0)));
+        assert_eq!(sget("peak_resident_frames"), Some(&Json::from(1000usize)));
+    }
+
+    #[test]
+    fn stream_and_export_flags_parse_and_reject_bench() {
+        let inv = parse(&["table2", "--stream"]).unwrap();
+        assert!(inv.stream && inv.export_windows.is_none());
+        let inv = parse(&["--stream", "--export-windows", "w.csv"]).unwrap();
+        assert_eq!(inv.export_windows.as_deref(), Some("w.csv"));
+        assert!(parse(&["--export-windows"]).is_err());
+        // A bare export needs no study names to be a complete run.
+        let inv = parse(&["--export-windows", "w.csv"]).unwrap();
+        assert!(inv.names.is_empty() && !inv.all);
+        // --bench runs its own streaming leg; mixing modes is an error.
+        let inv = parse(&["--bench", "--stream"]).unwrap();
+        assert!(run(&inv).unwrap_err().contains("--bench"));
+        let inv = parse(&["--bench", "--export-windows", "w.csv"]).unwrap();
+        assert!(run(&inv).unwrap_err().contains("--bench"));
     }
 
     #[test]

@@ -190,6 +190,12 @@ impl<'a> Cfg<'a> {
         u8::try_from(v).map_err(|_| self.bad(key, "an integer in 0..=255", &Json::from(v)))
     }
 
+    /// A required boolean field.
+    pub fn bool(&self, key: &str) -> Result<bool, ExperimentError> {
+        let v = self.field(key)?;
+        v.as_bool().ok_or_else(|| self.bad(key, "a boolean", v))
+    }
+
     /// A required list-of-numbers field; `null` items read as infinity
     /// (the "no cap" encoding — JSON has no infinity literal).
     pub fn f64_list(&self, key: &str) -> Result<Vec<f64>, ExperimentError> {

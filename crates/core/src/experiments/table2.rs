@@ -11,14 +11,16 @@
 use crate::cache::ScenarioCache;
 use crate::experiments::registry::{clamp_scale, Cfg, Experiment, ExperimentError};
 use crate::json::Json;
+use crate::pipeline::stream_batches;
 use crate::report::{eng, Table};
 use serde::{Deserialize, Serialize};
 use summit_sim::engine::{Engine, EngineConfig, StepOptions};
 use summit_telemetry::catalog::METRIC_COUNT;
 use summit_telemetry::ids::NodeId;
 use summit_telemetry::ingest::IngestHealth;
+use summit_telemetry::records::NodeFrame;
 use summit_telemetry::store::TelemetryStore;
-use summit_telemetry::stream::fan_in_batches;
+use summit_telemetry::stream::{fan_in_batches, IngestStats};
 
 /// Experiment configuration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -29,6 +31,9 @@ pub struct Config {
     pub duration_s: usize,
     /// Fan-in producer threads.
     pub producers: usize,
+    /// Run online: generate minutes on a producer thread and process
+    /// them as they arrive over a bounded channel (backpressured).
+    pub stream: bool,
 }
 
 impl Default for Config {
@@ -37,6 +42,7 @@ impl Default for Config {
             cabinets: 40,
             duration_s: 120,
             producers: 8,
+            stream: false,
         }
     }
 }
@@ -78,6 +84,71 @@ pub struct Table2Result {
     pub windows_per_wall_s: f64,
     /// Per-run observability snapshot (stage timings and counters).
     pub obs: summit_obs::Snapshot,
+    /// True when the run executed in streaming (online) mode.
+    pub streamed: bool,
+}
+
+/// Steps the engine through one minute of simulated time and shards the
+/// emitted frames by node. Shared by the batch loop and the streaming
+/// producer thread so both modes generate identical frames.
+fn generate_minute(engine: &mut Engine, nodes: usize) -> Vec<Vec<NodeFrame>> {
+    let mut frames_by_node: Vec<Vec<NodeFrame>> = vec![Vec::with_capacity(60); nodes];
+    {
+        let _obs = summit_obs::span("summit_core_frame_generation");
+        for _ in 0..60 {
+            let out = engine.step_opts(&StepOptions {
+                frames: true,
+                ..Default::default()
+            });
+            for f in out.frames.unwrap_or_default() {
+                frames_by_node[f.node.index()].push(f);
+            }
+        }
+    }
+    summit_obs::counter("summit_core_engine_ticks_total").inc_by(60);
+    let offered: usize = frames_by_node.iter().map(Vec::len).sum();
+    summit_obs::counter("summit_core_frames_offered_total").inc_by(offered as u64);
+    frames_by_node
+}
+
+/// Fans one minute of frames through the collector, archives and
+/// coarsens it, and folds its accounting into `all_stats`; returns the
+/// windows closed. Both execution modes call this exact function, so
+/// streaming output is bit-identical to batch by construction.
+fn process_minute(
+    frames_by_node: Vec<Vec<NodeFrame>>,
+    producers: usize,
+    nodes: usize,
+    store: &TelemetryStore,
+    all_stats: &mut IngestStats,
+) -> usize {
+    // Fan-in through the collector (delay model + rate accounting).
+    let (collected, stats) = {
+        let _obs = summit_obs::span("summit_telemetry_fan_in");
+        fan_in_batches(frames_by_node, producers)
+    };
+    all_stats.merge(&stats);
+    // Re-shard by node for archival + coarsening.
+    let _obs = summit_obs::span("summit_core_archive_coarsen");
+    let mut by_node: Vec<Vec<NodeFrame>> = vec![Vec::with_capacity(60); nodes];
+    for f in collected {
+        by_node[f.node.index()].push(f);
+    }
+    let mut minute_windows = 0usize;
+    for (n, frames) in by_node.into_iter().enumerate() {
+        // The store sorts internally and the aggregator reorders
+        // within its lateness horizon, so no pre-sort is needed.
+        store.archive_partition(NodeId(n as u32), &frames);
+        let mut agg = summit_telemetry::window::WindowAggregator::paper(NodeId(n as u32));
+        for f in &frames {
+            let _ = agg.push(f);
+        }
+        let (windows, health) = agg.finish_with_health();
+        minute_windows += windows.len();
+        all_stats.health.merge(&health);
+    }
+    summit_obs::counter("summit_telemetry_windows_total").inc_by(minute_windows as u64);
+    minute_windows
 }
 
 /// Runs the Table 2 pipeline measurement. Installs a private
@@ -107,57 +178,42 @@ pub fn run(config: &Config) -> Result<Table2Result, ExperimentError> {
         let nodes = engine.topology().node_count();
         let store = TelemetryStore::new();
         let mut total_windows = 0usize;
-        let mut all_stats = summit_telemetry::stream::IngestStats::default();
+        let mut all_stats = IngestStats::default();
 
         // Stream minute-by-minute: generate frames, fan them in, archive and
         // coarsen, then drop — bounding memory like the real pipeline.
         let minutes = config.duration_s / 60;
-        for _ in 0..minutes {
-            let mut frames_by_node: Vec<Vec<summit_telemetry::records::NodeFrame>> =
-                vec![Vec::with_capacity(60); nodes];
-            {
-                let _obs = summit_obs::span("summit_core_frame_generation");
-                for _ in 0..60 {
-                    let out = engine.step_opts(&StepOptions {
-                        frames: true,
-                        ..Default::default()
-                    });
-                    for f in out.frames.unwrap_or_default() {
-                        frames_by_node[f.node.index()].push(f);
+        if config.stream {
+            // Online mode: a producer thread generates minutes and ships
+            // them over a bounded channel while the consumer runs the
+            // same per-minute processing inline — blocking backpressure
+            // keeps at most two minutes of frames in flight.
+            let producers = config.producers;
+            stream_batches(
+                2,
+                move |send: &dyn Fn(Vec<Vec<NodeFrame>>) -> bool| {
+                    for _ in 0..minutes {
+                        if !send(generate_minute(&mut engine, nodes)) {
+                            break;
+                        }
                     }
-                }
+                },
+                |frames_by_node, _depth| {
+                    total_windows +=
+                        process_minute(frames_by_node, producers, nodes, &store, &mut all_stats);
+                },
+            );
+        } else {
+            for _ in 0..minutes {
+                let frames_by_node = generate_minute(&mut engine, nodes);
+                total_windows += process_minute(
+                    frames_by_node,
+                    config.producers,
+                    nodes,
+                    &store,
+                    &mut all_stats,
+                );
             }
-            summit_obs::counter("summit_core_engine_ticks_total").inc_by(60);
-            let offered: usize = frames_by_node.iter().map(Vec::len).sum();
-            summit_obs::counter("summit_core_frames_offered_total").inc_by(offered as u64);
-            // Fan-in through the collector (delay model + rate accounting).
-            let (collected, stats) = {
-                let _obs = summit_obs::span("summit_telemetry_fan_in");
-                fan_in_batches(frames_by_node, config.producers)
-            };
-            merge_stats(&mut all_stats, &stats);
-            // Re-shard by node for archival + coarsening.
-            let _obs = summit_obs::span("summit_core_archive_coarsen");
-            let mut by_node: Vec<Vec<summit_telemetry::records::NodeFrame>> =
-                vec![Vec::with_capacity(60); nodes];
-            for f in collected {
-                by_node[f.node.index()].push(f);
-            }
-            let mut minute_windows = 0usize;
-            for (n, frames) in by_node.into_iter().enumerate() {
-                // The store sorts internally and the aggregator reorders
-                // within its lateness horizon, so no pre-sort is needed.
-                store.archive_partition(NodeId(n as u32), &frames);
-                let mut agg = summit_telemetry::window::WindowAggregator::paper(NodeId(n as u32));
-                for f in &frames {
-                    let _ = agg.push(f);
-                }
-                let (windows, health) = agg.finish_with_health();
-                minute_windows += windows.len();
-                all_stats.health.merge(&health);
-            }
-            summit_obs::counter("summit_telemetry_windows_total").inc_by(minute_windows as u64);
-            total_windows += minute_windows;
         }
         all_stats.publish_obs();
 
@@ -200,6 +256,7 @@ pub fn run(config: &Config) -> Result<Table2Result, ExperimentError> {
             frames_per_wall_s,
             windows_per_wall_s,
             obs: summit_obs::Snapshot::default(),
+            streamed: config.stream,
         }
     };
     result.obs = registry.snapshot();
@@ -225,6 +282,7 @@ impl Experiment for Study {
             ("cabinets", Json::from(((257.0 * s) as usize).max(2))),
             ("duration_s", Json::from(60 * ((5.0 * s) as usize).max(1))),
             ("producers", Json::from(((16.0 * s) as usize).clamp(2, 16))),
+            ("stream", Json::Bool(false)),
         ])
     }
 
@@ -234,29 +292,10 @@ impl Experiment for Study {
             cabinets: cfg.usize("cabinets")?,
             duration_s: cfg.usize("duration_s")?,
             producers: cfg.usize("producers")?,
+            stream: cfg.bool("stream")?,
         };
         Ok(run(&config)?.render())
     }
-}
-
-fn merge_stats(
-    into: &mut summit_telemetry::stream::IngestStats,
-    other: &summit_telemetry::stream::IngestStats,
-) {
-    if other.frames == 0 {
-        return;
-    }
-    if into.frames == 0 {
-        *into = *other;
-        return;
-    }
-    into.frames += other.frames;
-    into.metrics += other.metrics;
-    into.total_delay_s += other.total_delay_s;
-    into.max_delay_s = into.max_delay_s.max(other.max_delay_s);
-    into.t_first = into.t_first.min(other.t_first);
-    into.t_last = into.t_last.max(other.t_last);
-    into.health.merge(&other.health);
 }
 
 impl Table2Result {
@@ -332,6 +371,13 @@ impl Table2Result {
             ),
             "-".into(),
         ]);
+        if self.streamed {
+            t.row(vec![
+                "execution mode".into(),
+                "streaming (bounded channel, online coarsening)".into(),
+                "-".into(),
+            ]);
+        }
         let mut s = t.render();
         s.push('\n');
         s.push_str(&crate::monitoring::render_stage_timings(&self.obs));
@@ -350,6 +396,7 @@ mod tests {
             cabinets: 3,
             duration_s: 60,
             producers: 4,
+            stream: false,
         };
         let r = run(&cfg).unwrap();
         assert_eq!(r.nodes, 54);
@@ -390,11 +437,57 @@ mod tests {
     }
 
     #[test]
+    fn streaming_mode_is_bit_identical_to_batch() {
+        let cfg = Config {
+            cabinets: 2,
+            duration_s: 120,
+            producers: 2,
+            stream: false,
+        };
+        let batch = run(&cfg).unwrap();
+        let streamed = run(&Config {
+            stream: true,
+            ..cfg
+        })
+        .unwrap();
+        assert!(streamed.streamed && !batch.streamed);
+        assert_eq!(streamed.nodes, batch.nodes);
+        assert_eq!(streamed.frames, batch.frames);
+        assert_eq!(streamed.metrics, batch.metrics);
+        assert_eq!(
+            streamed.mean_delay_s.to_bits(),
+            batch.mean_delay_s.to_bits()
+        );
+        assert_eq!(streamed.max_delay_s.to_bits(), batch.max_delay_s.to_bits());
+        assert_eq!(
+            streamed.metrics_per_s.to_bits(),
+            batch.metrics_per_s.to_bits()
+        );
+        assert_eq!(streamed.archive_bytes, batch.archive_bytes);
+        assert_eq!(
+            streamed.compression_ratio.to_bits(),
+            batch.compression_ratio.to_bits()
+        );
+        assert_eq!(streamed.coarsened_windows, batch.coarsened_windows);
+        assert_eq!(streamed.ingest_health, batch.ingest_health);
+        // Obs totals agree even though the producer side runs on its
+        // own thread (the registry is shared).
+        assert_eq!(
+            streamed.obs.counter("summit_core_frames_offered_total"),
+            batch.obs.counter("summit_core_frames_offered_total")
+        );
+        // The streaming row only appears in streaming mode.
+        assert!(streamed.render().contains("execution mode"));
+        assert!(!batch.render().contains("execution mode"));
+    }
+
+    #[test]
     fn rejects_non_minute_window() {
         let err = run(&Config {
             cabinets: 1,
             duration_s: 90,
             producers: 1,
+            stream: false,
         })
         .unwrap_err();
         assert!(

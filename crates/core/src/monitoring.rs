@@ -9,9 +9,13 @@
 
 use crate::report::{pct, sparkline, watts, Table};
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
+use summit_analysis::edges::{OnlineEdgeDetector, EDGE_THRESHOLD_W_PER_NODE};
+use summit_analysis::rolling::{RollingSketch, RollingStats};
+use summit_analysis::stats::Welford;
 use summit_sim::engine::TickOutput;
 use summit_telemetry::stream::IngestStats;
+use summit_telemetry::window::{NodeWindow, PAPER_WINDOW_S};
 
 /// Alert kinds the console raises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -100,6 +104,18 @@ pub struct OpsConsole {
     last_minute_power: VecDeque<(f64, f64)>,
     alerts: Vec<Alert>,
     ticks_seen: u64,
+    // Live view over the closed-window stream (streaming pipeline).
+    win_open: BTreeMap<i64, Welford>,
+    win_watermark: f64,
+    win_folded_through: Option<i64>,
+    win_next_start: f64,
+    win_edges: Option<OnlineEdgeDetector>,
+    win_power: RollingStats,
+    win_sketch: RollingSketch,
+    win_spark: VecDeque<f64>,
+    win_last: Option<(f64, f64)>,
+    windows_seen: u64,
+    win_late_folds: u64,
 }
 
 impl OpsConsole {
@@ -119,6 +135,17 @@ impl OpsConsole {
             last_minute_power: VecDeque::new(),
             alerts: Vec::new(),
             ticks_seen: 0,
+            win_open: BTreeMap::new(),
+            win_watermark: f64::NEG_INFINITY,
+            win_folded_through: None,
+            win_next_start: 0.0,
+            win_edges: None,
+            win_power: RollingStats::new(history),
+            win_sketch: RollingSketch::new(history),
+            win_spark: VecDeque::new(),
+            win_last: None,
+            windows_seen: 0,
+            win_late_folds: 0,
         }
     }
 
@@ -253,6 +280,123 @@ impl OpsConsole {
         }
     }
 
+    /// Finalizes one cluster window row into the live rolling view:
+    /// rolling stats, distribution sketch, sparkline and the online
+    /// power-edge detector (NaN-padded over window gaps so edge times
+    /// stay aligned).
+    fn fold_row(&mut self, key: i64, acc: &Welford) {
+        let sum = acc.sum();
+        if self.win_edges.is_none() {
+            // Paper threshold scaled by the nodes reporting in the
+            // first folded window (868 W per node per interval).
+            let threshold = (EDGE_THRESHOLD_W_PER_NODE * acc.count() as f64).max(1.0);
+            self.win_edges = Some(OnlineEdgeDetector::new(
+                key as f64,
+                PAPER_WINDOW_S,
+                threshold,
+            ));
+            self.win_next_start = key as f64;
+        }
+        if let Some(det) = &mut self.win_edges {
+            while self.win_next_start + PAPER_WINDOW_S / 2.0 < key as f64 {
+                det.push(f64::NAN);
+                self.win_next_start += PAPER_WINDOW_S;
+            }
+            det.push(sum);
+            self.win_next_start += PAPER_WINDOW_S;
+        }
+        self.win_folded_through = Some(key);
+        self.win_power.push(sum);
+        self.win_sketch.push(sum);
+        Self::push_capped(&mut self.win_spark, self.history, sum);
+        self.win_last = Some((key as f64, sum));
+    }
+
+    fn publish_window_gauges(&self) {
+        if self.win_watermark.is_finite() {
+            summit_obs::gauge("summit_core_live_window_watermark_s").set(self.win_watermark);
+        }
+        if let Some((_, p)) = self.win_last {
+            summit_obs::gauge("summit_core_live_cluster_power_w").set(p);
+        }
+        if !self.win_sketch.is_empty() {
+            summit_obs::gauge("summit_core_live_cluster_power_p99_w")
+                .set(self.win_sketch.percentile(0.99));
+        }
+        if let Some(det) = &self.win_edges {
+            summit_obs::gauge("summit_core_live_power_edges").set(det.detected() as f64);
+        }
+    }
+
+    /// Feeds a batch of closed coarsened windows (the streaming
+    /// pipeline's per-drain output). Rows collapse per window start
+    /// across nodes; a row folds into the rolling view once the
+    /// observed watermark is two windows past it, so slow nodes still
+    /// land in the right row. Stragglers arriving after their row
+    /// folded are counted, not retrofitted — the authoritative datasets
+    /// come from the pipeline output, this view is the live console.
+    pub fn observe_windows(&mut self, windows: &[NodeWindow]) {
+        for w in windows {
+            self.windows_seen += 1;
+            summit_obs::counter("summit_core_live_windows_total").inc();
+            let start = w.window_start;
+            if start > self.win_watermark {
+                self.win_watermark = start;
+            }
+            let s = w.metric(summit_telemetry::catalog::input_power());
+            if s.count == 0 {
+                continue;
+            }
+            let key = start.round() as i64;
+            if self.win_folded_through.is_some_and(|b| key <= b) {
+                self.win_late_folds += 1;
+                summit_obs::counter("summit_core_live_window_late_folds_total").inc();
+                continue;
+            }
+            self.win_open.entry(key).or_default().push(s.mean);
+        }
+        let cutoff = self.win_watermark - 2.0 * PAPER_WINDOW_S;
+        while let Some((&key, _)) = self.win_open.first_key_value() {
+            if key as f64 > cutoff {
+                break;
+            }
+            if let Some(acc) = self.win_open.remove(&key) {
+                self.fold_row(key, &acc);
+            }
+        }
+        self.publish_window_gauges();
+    }
+
+    /// Folds every still-open cluster row at end of stream, exactly as
+    /// the batch view would close its trailing windows.
+    pub fn finish_windows(&mut self) {
+        let open = std::mem::take(&mut self.win_open);
+        for (key, acc) in open {
+            self.fold_row(key, &acc);
+        }
+        self.publish_window_gauges();
+    }
+
+    /// Closed coarsened windows observed so far.
+    pub fn windows_seen(&self) -> u64 {
+        self.windows_seen
+    }
+
+    /// Latest closed-window start observed, if any.
+    pub fn window_watermark(&self) -> Option<f64> {
+        self.win_watermark.is_finite().then_some(self.win_watermark)
+    }
+
+    /// Cluster-power edges detected by the live view so far.
+    pub fn live_edges(&self) -> usize {
+        self.win_edges.as_ref().map_or(0, |d| d.detected())
+    }
+
+    /// Windows that arrived after their cluster row had already folded.
+    pub fn window_late_folds(&self) -> u64 {
+        self.win_late_folds
+    }
+
     /// Alerts raised so far.
     pub fn alerts(&self) -> &[Alert] {
         &self.alerts
@@ -319,6 +463,41 @@ impl OpsConsole {
             ),
             String::new(),
         ]);
+        if self.windows_seen > 0 {
+            let now = self.win_last.map_or_else(|| "-".into(), |(_, p)| watts(p));
+            t.row(vec!["cluster power (10 s windows)".into(), now, {
+                let v: Vec<f64> = self.win_spark.iter().copied().collect();
+                let step = (v.len() / 40).max(1);
+                sparkline(&v.iter().step_by(step).copied().collect::<Vec<_>>())
+            }]);
+            let roll = self.win_power.stats();
+            t.row(vec![
+                "window power (rolling)".into(),
+                format!(
+                    "mean {} / p99 {}",
+                    watts(roll.mean),
+                    watts(self.win_sketch.percentile(0.99))
+                ),
+                String::new(),
+            ]);
+            let wm = if self.win_watermark.is_finite() {
+                format!("watermark t={:.0}s", self.win_watermark)
+            } else {
+                "no watermark".into()
+            };
+            t.row(vec![
+                "windows".into(),
+                format!("{} closed / {wm}", self.windows_seen),
+                String::new(),
+            ]);
+            if let Some(det) = &self.win_edges {
+                t.row(vec![
+                    "power edges".into(),
+                    format!("{} detected / {} tracking", det.detected(), det.tracking()),
+                    String::new(),
+                ]);
+            }
+        }
         let mut s = t.render();
         if self.alerts.is_empty() {
             s.push_str("\nno active alerts\n");
@@ -565,6 +744,85 @@ mod tests {
         assert!(s.contains("summit_core_demo_stage"), "{s}");
         let empty = render_stage_timings(&summit_obs::Snapshot::default());
         assert!(empty.contains("no stage timings"));
+    }
+
+    fn power_window(node: u32, start: f64, mean_w: f64) -> NodeWindow {
+        use summit_analysis::stats::WindowStats;
+        use summit_telemetry::catalog::{input_power, METRIC_COUNT};
+        use summit_telemetry::ids::NodeId;
+        let mut stats = vec![WindowStats::empty(); METRIC_COUNT];
+        stats[input_power().index()] = WindowStats {
+            count: 10,
+            min: mean_w,
+            max: mean_w,
+            mean: mean_w,
+            std: 0.0,
+        };
+        NodeWindow {
+            node: NodeId(node),
+            window_start: start,
+            stats,
+        }
+    }
+
+    #[test]
+    fn window_stream_view_folds_and_renders() {
+        let mut console = OpsConsole::with_defaults();
+        assert_eq!(console.windows_seen(), 0);
+        assert!(console.window_watermark().is_none());
+        // Two nodes, ten windows each, arriving per window start.
+        for k in 0..10 {
+            let start = k as f64 * 10.0;
+            console
+                .observe_windows(&[power_window(0, start, 300.0), power_window(1, start, 320.0)]);
+        }
+        console.finish_windows();
+        assert_eq!(console.windows_seen(), 20);
+        assert_eq!(console.window_watermark(), Some(90.0));
+        assert_eq!(console.window_late_folds(), 0);
+        // Ten folded cluster rows of 620 W each.
+        let roll = console.win_power.stats();
+        assert_eq!(roll.count, 10);
+        assert!((roll.mean - 620.0).abs() < 1e-9, "mean {}", roll.mean);
+        // Render needs at least one tick for the header.
+        console.observe(&tick_with(95.0, 1.0e5, 0.973e5, 45.0, 1.1));
+        let s = console.render();
+        assert!(s.contains("windows"), "{s}");
+        assert!(s.contains("watermark t=90s"), "{s}");
+    }
+
+    #[test]
+    fn window_stream_view_detects_cluster_power_edges() {
+        let mut console = OpsConsole::with_defaults();
+        // 2 nodes -> edge threshold 2 x 868 W. Step the cluster from
+        // 600 W to 20 kW and back: a rise and a fall.
+        for k in 0..20 {
+            let start = k as f64 * 10.0;
+            let mean = if (8..12).contains(&k) {
+                10_000.0
+            } else {
+                300.0
+            };
+            console.observe_windows(&[power_window(0, start, mean), power_window(1, start, mean)]);
+        }
+        console.finish_windows();
+        assert!(console.live_edges() >= 2, "edges {}", console.live_edges());
+    }
+
+    #[test]
+    fn straggler_after_fold_is_counted_not_retrofitted() {
+        let mut console = OpsConsole::with_defaults();
+        for k in 0..6 {
+            console.observe_windows(&[power_window(0, k as f64 * 10.0, 300.0)]);
+        }
+        // Watermark 50: rows through start 30 have folded.
+        assert!(console.window_late_folds() == 0);
+        console.observe_windows(&[power_window(1, 0.0, 900.0)]);
+        assert_eq!(console.window_late_folds(), 1);
+        console.finish_windows();
+        // The straggler did not distort the folded history.
+        let roll = console.win_power.stats();
+        assert!((roll.max - 300.0).abs() < 1e-9, "max {}", roll.max);
     }
 
     #[test]

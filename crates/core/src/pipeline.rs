@@ -10,19 +10,23 @@
 //! 3. **Telemetry path** — frame generation, fan-in, compression and
 //!    coarsening measurements (Table 2).
 
+use crate::monitoring::{Alert, OpsConsole};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use summit_analysis::series::Series;
 use summit_sim::engine::{Engine, EngineConfig, StepOptions, TickOutput};
-use summit_sim::failures::FailureModel;
+use summit_sim::failures::{CabinetOutage, FailureModel};
 use summit_sim::jobs::{JobGenerator, SyntheticJob};
 use summit_sim::jobstats::{population_stats, JobStatsRow};
 use summit_sim::power::PowerModel;
 use summit_sim::spec;
+use summit_telemetry::delivery::NodeDelivery;
 use summit_telemetry::records::{NodeFrame, XidEvent};
 use summit_telemetry::stream::{FaultConfig, FaultInjector, IngestStats, InjectedFaults};
-use summit_telemetry::window::{coarsen_parallel_with_health, NodeWindow, PAPER_WINDOW_S};
+use summit_telemetry::window::{
+    coarsen_parallel_with_health, NodeWindow, StreamingCoarsener, PAPER_WINDOW_S,
+};
 
 /// The scaled statistical-year scenario.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -367,37 +371,77 @@ fn frame_to_alert_latencies(
 ) -> Vec<f64> {
     let mut out = Vec::new();
     for batch in delivered {
-        let mut open: std::collections::BTreeSet<i64> = std::collections::BTreeSet::new();
-        let mut wm = f64::NEG_INFINITY;
-        let mut last_ingest = f64::NEG_INFINITY;
+        let mut tracker = AlertLatencyTracker::new(window_s, horizon_s);
         for f in batch {
-            wm = wm.max(f.t_sample);
-            last_ingest = last_ingest.max(f.t_ingest);
-            let cutoff = wm - horizon_s;
-            while let Some(&k) = open.first() {
-                let start = k as f64 * window_s;
-                if start + window_s <= cutoff {
-                    open.remove(&k);
-                    out.push((f.t_ingest - start).max(0.0));
-                } else {
-                    break;
-                }
-            }
-            let key = (f.t_sample / window_s).floor() as i64;
-            // A frame past the horizon would be dropped as late by the
-            // ingester; don't let it re-open a closed window.
-            if key as f64 * window_s + window_s > cutoff {
-                open.insert(key);
-            }
+            tracker.observe(f);
         }
-        if last_ingest.is_finite() {
-            for k in open {
-                let start = k as f64 * window_s;
-                out.push((last_ingest - start).max(0.0));
-            }
-        }
+        out.extend(tracker.finish());
     }
     out
+}
+
+/// Incremental per-node frame→alert latency accounting: the exact loop
+/// body of [`frame_to_alert_latencies`], fed one delivered frame at a
+/// time so the streaming pipeline records the same latency multiset the
+/// batch replay would, live.
+struct AlertLatencyTracker {
+    window_s: f64,
+    horizon_s: f64,
+    open: std::collections::BTreeSet<i64>,
+    wm: f64,
+    last_ingest: f64,
+    closed: Vec<f64>,
+}
+
+impl AlertLatencyTracker {
+    fn new(window_s: f64, horizon_s: f64) -> Self {
+        Self {
+            window_s,
+            horizon_s,
+            open: std::collections::BTreeSet::new(),
+            wm: f64::NEG_INFINITY,
+            last_ingest: f64::NEG_INFINITY,
+            closed: Vec::new(),
+        }
+    }
+
+    /// Latencies closed so far (delivery order within the node).
+    fn closed(&self) -> &[f64] {
+        &self.closed
+    }
+
+    fn observe(&mut self, f: &NodeFrame) {
+        self.wm = self.wm.max(f.t_sample);
+        self.last_ingest = self.last_ingest.max(f.t_ingest);
+        let cutoff = self.wm - self.horizon_s;
+        while let Some(&k) = self.open.first() {
+            let start = k as f64 * self.window_s;
+            if start + self.window_s <= cutoff {
+                self.open.remove(&k);
+                self.closed.push((f.t_ingest - start).max(0.0));
+            } else {
+                break;
+            }
+        }
+        let key = (f.t_sample / self.window_s).floor() as i64;
+        // A frame past the horizon would be dropped as late by the
+        // ingester; don't let it re-open a closed window.
+        if key as f64 * self.window_s + self.window_s > cutoff {
+            self.open.insert(key);
+        }
+    }
+
+    /// Closes every still-open window at the node's last ingest time.
+    fn finish(mut self) -> Vec<f64> {
+        if self.last_ingest.is_finite() {
+            let open = std::mem::take(&mut self.open);
+            for k in open {
+                let start = k as f64 * self.window_s;
+                self.closed.push((self.last_ingest - start).max(0.0));
+            }
+        }
+        self.closed
+    }
 }
 
 /// Runs the telemetry path end to end on a scaled floor: engine frames
@@ -463,11 +507,16 @@ pub fn run_telemetry(
                 .map(|batch| injector.deliver(batch))
                 .collect()
         };
+        // Canonical stats association: accumulate per node, merge in
+        // node-index order. The streaming pipeline uses the same
+        // grouping, so the float delay sums agree to the bit.
         let mut stats = IngestStats::default();
         for batch in &delivered {
+            let mut node_stats = IngestStats::default();
             for f in batch {
-                stats.observe(f);
+                node_stats.observe(f);
             }
+            stats.merge(&node_stats);
         }
         let (windows_by_node, health) = coarsen_parallel_with_health(&delivered, PAPER_WINDOW_S);
         stats.health = health;
@@ -535,6 +584,386 @@ pub fn run_telemetry(
         obs,
         summary,
     }
+}
+
+/// Configuration of the streaming telemetry pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamConfig {
+    /// Scaled floor size (18 nodes per cabinet).
+    pub cabinets: usize,
+    /// Simulated run length (s).
+    pub duration_s: f64,
+    /// Fault profile for the simulated fabric (`None` = clean).
+    pub faults: Option<FaultConfig>,
+    /// Scheduled whole-cabinet outage bursts (simulated seconds).
+    pub cabinet_outages: Vec<CabinetOutage>,
+    /// Bounded channel capacity (tick batches) between the producer and
+    /// the consumer; the producer blocks when the consumer lags.
+    pub channel_capacity: usize,
+    /// Engine ticks per channel batch.
+    pub ticks_per_batch: usize,
+}
+
+impl StreamConfig {
+    /// Streaming run with the default channel shape (8 batches of 16
+    /// ticks in flight at most).
+    pub fn new(cabinets: usize, duration_s: f64, faults: Option<FaultConfig>) -> Self {
+        Self {
+            cabinets,
+            duration_s,
+            faults,
+            cabinet_outages: Vec::new(),
+            channel_capacity: 8,
+            ticks_per_batch: 16,
+        }
+    }
+}
+
+/// A completed streaming telemetry run. The data outputs
+/// (`windows_by_node`, `stats`, `injected`) are bit-identical to the
+/// [`run_telemetry`] batch replay at the same seed; the streaming-only
+/// fields report live behaviour (alerts as they fired, backpressure,
+/// peak residency).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamingRun {
+    /// Coarsened 10 s windows per node (bit-identical to batch).
+    pub windows_by_node: Vec<Vec<NodeWindow>>,
+    /// Ingest statistics (bit-identical to batch).
+    pub stats: IngestStats,
+    /// Faults injected by the simulated fabric (identical to batch).
+    pub injected: InjectedFaults,
+    /// Operations-console alerts in the order they fired.
+    pub alerts: Vec<Alert>,
+    /// Closed windows the live console view observed.
+    pub live_windows: u64,
+    /// Peak frames resident in the pipeline (reorder heaps, swap holds
+    /// and coarsener buffers) — bounded by the fabric delay and the
+    /// lateness horizon, not the run length.
+    pub peak_resident_frames: usize,
+    /// Peak tick batches in the channel (≤ capacity).
+    pub peak_channel_depth: usize,
+    /// Producer stalls on a full channel (blocking backpressure).
+    pub backpressure_stalls: u64,
+    /// Per-run observability snapshot.
+    pub obs: summit_obs::Snapshot,
+    /// One-line run summary (also printed).
+    pub summary: String,
+}
+
+/// Builds the end-of-run summary line for a streaming run.
+fn streaming_summary(snap: &summit_obs::Snapshot, stalls: u64, wall_s: f64) -> String {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    format!(
+        "[obs] run_streaming: jobs={} frames offered={} admitted={} dropped={} windows={} stalls={stalls} wall={:.3}s",
+        c("summit_core_jobs_generated_total"),
+        c("summit_core_frames_offered_total"),
+        c("summit_telemetry_frames_accepted_total"),
+        c("summit_telemetry_frames_dropped_total"),
+        c("summit_telemetry_windows_total"),
+        wall_s,
+    )
+}
+
+/// Runs `produce` on a dedicated producer thread shipping batches over
+/// a bounded channel to the inline `consume` closure. The producer's
+/// `send` callback returns `false` once the consumer is gone; a full
+/// channel counts a `summit_core_stream_backpressure_stalls_total`
+/// stall, then blocks until a slot frees — backpressure, never loss.
+/// `consume` receives each batch with the channel depth observed right
+/// after the receive. The producer thread inherits the caller's
+/// observability registry; under a wall-clock trace it also joins the
+/// trace as a worker (virtual-clock traces decline workers so traces
+/// stay byte-stable).
+pub fn stream_batches<T, R, P, C>(capacity: usize, produce: P, mut consume: C) -> R
+where
+    T: Send,
+    R: Send + Default,
+    P: FnOnce(&dyn Fn(T) -> bool) -> R + Send,
+    C: FnMut(T, usize),
+{
+    let registry = summit_obs::current();
+    let trace = summit_obs::trace::current();
+    let (tx, rx) = crossbeam::channel::bounded::<T>(capacity.max(1));
+    std::thread::scope(|s| {
+        let producer = s.spawn(move || {
+            let _install = registry.install();
+            let _worker = trace.as_ref().and_then(|t| t.install_worker());
+            let send = |batch: T| -> bool {
+                match tx.try_send(batch) {
+                    Ok(()) => true,
+                    Err(crossbeam::channel::TrySendError::Full(batch)) => {
+                        summit_obs::counter("summit_core_stream_backpressure_stalls_total").inc();
+                        tx.send(batch).is_ok()
+                    }
+                    Err(crossbeam::channel::TrySendError::Disconnected(_)) => false,
+                }
+            };
+            produce(&send)
+        });
+        while let Ok(batch) = rx.recv() {
+            let depth = rx.len();
+            consume(batch, depth);
+        }
+        producer.join().unwrap_or_default()
+    })
+}
+
+/// Runs the telemetry path as a long-running online pipeline: a
+/// producer thread steps the engine and ships tick batches over a
+/// bounded channel (blocking when the consumer lags — backpressure,
+/// not loss), while the consumer routes each node's frames through the
+/// incremental fault fabric ([`NodeDelivery`]), the incremental
+/// coarsener ([`StreamingCoarsener`]), live frame→alert latency
+/// accounting and the continuously-updating [`OpsConsole`].
+///
+/// **Determinism:** every data output is computed from simulated
+/// timestamps in a fixed per-node order, so the run is bit-identical
+/// to [`run_telemetry`] at the same seed — windows, ingest stats,
+/// injected-fault counts and the p50/p99 alert-latency gauges all
+/// match to the bit (asserted in tests). Under a virtual-clock trace
+/// the producer records no trace events (worker installation is
+/// declined), keeping traces byte-stable; under a wall clock the
+/// producer joins the trace and wall-rate counters appear.
+///
+/// **Bounded memory:** resident state is the reorder heaps (bounded by
+/// the fabric's maximum delay), one held frame per node, the
+/// coarsener's in-horizon pending buffers and at most
+/// `channel_capacity` tick batches — independent of `duration_s`.
+pub fn run_streaming(config: StreamConfig) -> StreamingRun {
+    let parent = summit_obs::current();
+    let registry = summit_obs::registry::Registry::new();
+    let (mut run, stalls, wall_s) = {
+        let _scope = registry.install();
+        let run_span = summit_obs::span("summit_core_run_streaming");
+
+        let mut engine_config = EngineConfig::small(config.cabinets);
+        engine_config.cabinet_outages = config.cabinet_outages.clone();
+        let dt = engine_config.dt_s;
+        let n_ticks = (config.duration_s / dt).ceil() as usize;
+        let ticks_per_batch = config.ticks_per_batch.max(1);
+
+        let fault_cfg = config.faults.unwrap_or_default();
+        let horizon_s = summit_telemetry::ingest::IngestPolicy::default().lateness_horizon_s;
+
+        let mut deliveries: Vec<NodeDelivery> = Vec::new();
+        let mut trackers: Vec<AlertLatencyTracker> = Vec::new();
+        let mut node_stats: Vec<IngestStats> = Vec::new();
+        let mut coarsener = StreamingCoarsener::new(0, PAPER_WINDOW_S);
+        let mut console = OpsConsole::with_defaults();
+        let mut windows_by_node: Vec<Vec<NodeWindow>> = Vec::new();
+        let mut scratch: Vec<NodeFrame> = Vec::new();
+        let histogram = summit_obs::histogram("summit_core_frame_to_alert_latency_seconds");
+        let mut offered = 0u64;
+        let mut live_windows = 0u64;
+        let mut peak_resident = 0usize;
+        let mut peak_depth = 0usize;
+
+        let jobs = stream_batches(
+            config.channel_capacity,
+            move |send: &dyn Fn(Vec<TickOutput>) -> bool| {
+                let _gen = summit_obs::span("summit_core_frame_generation");
+                let opts = StepOptions {
+                    frames: true,
+                    ..StepOptions::default()
+                };
+                let mut engine = Engine::new(engine_config, 0.0);
+                let mut sent = 0usize;
+                while sent < n_ticks {
+                    let n = ticks_per_batch.min(n_ticks - sent);
+                    let mut batch = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let _tick_obs = summit_obs::span("summit_core_engine_tick");
+                        batch.push(engine.step_opts(&opts));
+                    }
+                    sent += n;
+                    if !send(batch) {
+                        break;
+                    }
+                }
+                let sched = engine.scheduler_ref();
+                sched.running().len() + sched.completed().len()
+            },
+            |batch, depth| {
+                peak_depth = peak_depth.max(depth + 1);
+                summit_obs::gauge("summit_core_stream_channel_depth").set(depth as f64);
+                let _obs = summit_obs::span("summit_core_stream_consume");
+                for mut tick in batch {
+                    let frames = tick.frames.take();
+                    console.observe(&tick);
+                    let Some(frames) = frames else { continue };
+                    for f in frames {
+                        offered += 1;
+                        let idx = f.node.index();
+                        if deliveries.len() <= idx {
+                            deliveries.resize_with(idx + 1, || NodeDelivery::new(fault_cfg));
+                            trackers.resize_with(idx + 1, || {
+                                AlertLatencyTracker::new(PAPER_WINDOW_S, horizon_s)
+                            });
+                            node_stats.resize_with(idx + 1, IngestStats::default);
+                        }
+                        scratch.clear();
+                        deliveries[idx].offer(f, &mut scratch);
+                        for df in scratch.drain(..) {
+                            let before = trackers[idx].closed().len();
+                            trackers[idx].observe(&df);
+                            for &lat in &trackers[idx].closed()[before..] {
+                                histogram.observe(lat);
+                            }
+                            node_stats[idx].observe(&df);
+                            if coarsener.push(idx, &df).is_err() {
+                                summit_obs::counter("summit_core_stream_frames_rejected_total")
+                                    .inc();
+                            }
+                        }
+                    }
+                }
+                let closed = coarsener.drain_completed();
+                if !closed.is_empty() {
+                    live_windows += closed.len() as u64;
+                    console.observe_windows(&closed);
+                    for w in closed {
+                        let idx = w.node.index();
+                        if windows_by_node.len() <= idx {
+                            windows_by_node.resize_with(idx + 1, Vec::new);
+                        }
+                        windows_by_node[idx].push(w);
+                    }
+                }
+                let resident = coarsener.resident_frames()
+                    + deliveries.iter().map(NodeDelivery::resident).sum::<usize>();
+                peak_resident = peak_resident.max(resident);
+            },
+        );
+        summit_obs::counter("summit_core_engine_ticks_total").inc_by(n_ticks as u64);
+        summit_obs::counter("summit_core_jobs_generated_total").inc_by(jobs as u64);
+        summit_obs::counter("summit_core_frames_offered_total").inc_by(offered);
+
+        // Tail: drain the reorder heaps and swap holds, then close the
+        // remaining windows — per node, in node-index order, exactly
+        // the batch association.
+        let mut injected = InjectedFaults::default();
+        let mut stats = IngestStats::default();
+        let mut latencies: Vec<f64> = Vec::new();
+        {
+            let _obs = summit_obs::span("summit_core_stream_finish");
+            let trackers_tail = trackers;
+            for (idx, (delivery, (mut tracker, nstats))) in deliveries
+                .into_iter()
+                .zip(trackers_tail.into_iter().zip(node_stats))
+                .enumerate()
+            {
+                let mut nstats = nstats;
+                scratch.clear();
+                let counts = delivery.finish(&mut scratch);
+                injected.merge(&counts);
+                for df in scratch.drain(..) {
+                    let before = tracker.closed().len();
+                    tracker.observe(&df);
+                    for &lat in &tracker.closed()[before..] {
+                        histogram.observe(lat);
+                    }
+                    nstats.observe(&df);
+                    if coarsener.push(idx, &df).is_err() {
+                        summit_obs::counter("summit_core_stream_frames_rejected_total").inc();
+                    }
+                }
+                let before = tracker.closed().len();
+                let node_latencies = tracker.finish();
+                for &lat in &node_latencies[before..] {
+                    histogram.observe(lat);
+                }
+                latencies.extend(node_latencies);
+                stats.merge(&nstats);
+            }
+            let (tail_windows, health) = coarsener.finish_with_health();
+            for (idx, ws) in tail_windows.into_iter().enumerate() {
+                if ws.is_empty() {
+                    continue;
+                }
+                live_windows += ws.len() as u64;
+                console.observe_windows(&ws);
+                if windows_by_node.len() <= idx {
+                    windows_by_node.resize_with(idx + 1, Vec::new);
+                }
+                windows_by_node[idx].extend(ws);
+            }
+            console.finish_windows();
+            stats.health = health;
+        }
+        stats.publish_obs();
+        let windows: usize = windows_by_node.iter().map(Vec::len).sum();
+        summit_obs::counter("summit_telemetry_windows_total").inc_by(windows as u64);
+        summit_obs::counter("summit_telemetry_frames_accepted_total").inc_by(stats.health.accepted);
+        summit_obs::counter("summit_telemetry_frames_dropped_total").inc_by(stats.health.dropped());
+        console.observe_ingest(&stats);
+
+        {
+            // Live SLO gauges from the actual streaming path: the
+            // latency multiset equals the batch one, so the sorted
+            // percentiles agree to the bit.
+            let _obs = summit_obs::span("summit_core_alert_latency");
+            latencies.sort_by(f64::total_cmp);
+            let pct = |q: f64| {
+                if latencies.is_empty() {
+                    f64::NAN
+                } else {
+                    let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+                    latencies.get(idx).copied().unwrap_or(f64::NAN)
+                }
+            };
+            let (p50, p99) = (pct(0.50), pct(0.99));
+            summit_obs::gauge("summit_core_frame_to_alert_p50_seconds").set(p50);
+            summit_obs::gauge("summit_core_frame_to_alert_p99_seconds").set(p99);
+            if let Some(tc) = summit_obs::trace::current() {
+                tc.counter("summit_core_frame_to_alert_p50_seconds", p50);
+                tc.counter("summit_core_frame_to_alert_p99_seconds", p99);
+                tc.counter(
+                    "summit_telemetry_ingest_mean_delay_seconds",
+                    stats.mean_delay_s(),
+                );
+            }
+        }
+
+        summit_obs::gauge("summit_core_stream_peak_channel_depth").set(peak_depth as f64);
+        summit_obs::gauge("summit_core_stream_peak_resident_frames").set(peak_resident as f64);
+        let wall_s = run_span.elapsed_s();
+        if wall_s > 0.0 {
+            summit_obs::gauge("summit_core_frames_per_wall_second").set(offered as f64 / wall_s);
+            summit_obs::gauge("summit_core_windows_per_wall_second").set(windows as f64 / wall_s);
+            if let Some(tc) = summit_obs::trace::current() {
+                if tc.clock() == summit_obs::trace::TraceClock::Wall {
+                    tc.counter(
+                        "summit_core_frames_per_wall_second",
+                        offered as f64 / wall_s,
+                    );
+                }
+            }
+        }
+        let stalls = registry
+            .snapshot()
+            .counter("summit_core_stream_backpressure_stalls_total")
+            .unwrap_or(0);
+        let run = StreamingRun {
+            windows_by_node,
+            stats,
+            injected,
+            alerts: console.drain_alerts(),
+            live_windows,
+            peak_resident_frames: peak_resident,
+            peak_channel_depth: peak_depth,
+            backpressure_stalls: stalls,
+            obs: summit_obs::Snapshot::default(),
+            summary: String::new(),
+        };
+        (run, stalls, wall_s)
+    };
+    let obs = registry.snapshot();
+    parent.absorb(&obs);
+    let summary = streaming_summary(&obs, stalls, wall_s);
+    println!("{summary}");
+    run.obs = obs;
+    run.summary = summary;
+    run
 }
 
 /// Collects per-step detailed outputs for one engine run with options.
@@ -690,6 +1119,120 @@ mod tests {
         assert!(p50 >= PAPER_WINDOW_S, "p50 {p50} below window length");
         assert!(p99 >= p50);
         assert!(p99.is_finite());
+    }
+
+    fn assert_windows_bitwise_eq(a: &[Vec<NodeWindow>], b: &[Vec<NodeWindow>]) {
+        assert_eq!(a.len(), b.len(), "node count");
+        for (node, (wa, wb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(wa.len(), wb.len(), "window count for node {node}");
+            for (x, y) in wa.iter().zip(wb) {
+                assert_eq!(x.node, y.node);
+                assert_eq!(x.window_start.to_bits(), y.window_start.to_bits());
+                assert_eq!(x.stats.len(), y.stats.len());
+                for (s, t) in x.stats.iter().zip(&y.stats) {
+                    assert_eq!(s.count, t.count);
+                    if s.count > 0 {
+                        assert_eq!(s.min.to_bits(), t.min.to_bits());
+                        assert_eq!(s.max.to_bits(), t.max.to_bits());
+                        assert_eq!(s.mean.to_bits(), t.mean.to_bits());
+                        assert_eq!(s.std.to_bits(), t.std.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    fn assert_stream_matches_batch(cabinets: usize, duration_s: f64, faults: Option<FaultConfig>) {
+        let batch = run_telemetry(cabinets, duration_s, faults);
+        let stream = run_streaming(StreamConfig::new(cabinets, duration_s, faults));
+        assert_windows_bitwise_eq(&stream.windows_by_node, &batch.windows_by_node);
+        assert_eq!(stream.injected, batch.injected, "fault accounting");
+        let (s, b) = (&stream.stats, &batch.stats);
+        assert_eq!(s.frames, b.frames);
+        assert_eq!(s.metrics, b.metrics);
+        assert_eq!(s.t_first.to_bits(), b.t_first.to_bits());
+        assert_eq!(s.t_last.to_bits(), b.t_last.to_bits());
+        assert_eq!(s.total_delay_s.to_bits(), b.total_delay_s.to_bits());
+        assert_eq!(s.max_delay_s.to_bits(), b.max_delay_s.to_bits());
+        assert_eq!(s.health, b.health);
+        for gauge in [
+            "summit_core_frame_to_alert_p50_seconds",
+            "summit_core_frame_to_alert_p99_seconds",
+        ] {
+            let sv = stream.obs.gauge(gauge).expect("stream gauge");
+            let bv = batch.obs.gauge(gauge).expect("batch gauge");
+            assert_eq!(sv.to_bits(), bv.to_bits(), "{gauge}");
+        }
+        // Deterministic counters agree too.
+        for counter in [
+            "summit_core_frames_offered_total",
+            "summit_telemetry_windows_total",
+            "summit_telemetry_frames_accepted_total",
+            "summit_telemetry_frames_dropped_total",
+        ] {
+            assert_eq!(
+                stream.obs.counter(counter),
+                batch.obs.counter(counter),
+                "{counter}"
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_clean_run_is_bit_identical_to_batch() {
+        assert_stream_matches_batch(2, 120.0, None);
+    }
+
+    #[test]
+    fn streaming_faulty_run_is_bit_identical_to_batch() {
+        let faults = FaultConfig {
+            drop_p: 0.05,
+            duplicate_p: 0.05,
+            delay_p: 0.10,
+            reorder_p: 0.02,
+            ..FaultConfig::default()
+        };
+        assert_stream_matches_batch(2, 120.0, Some(faults));
+    }
+
+    #[test]
+    fn streaming_memory_is_bounded_by_horizon_not_run_length() {
+        let short = run_streaming(StreamConfig::new(1, 120.0, None));
+        let long = run_streaming(StreamConfig::new(1, 480.0, None));
+        assert!(short.peak_resident_frames > 0);
+        // Peak residency is set by the fabric delay + lateness horizon,
+        // so a 4x longer replay must not grow it meaningfully.
+        assert!(
+            long.peak_resident_frames <= short.peak_resident_frames + 64,
+            "resident grew with run length: {} -> {}",
+            short.peak_resident_frames,
+            long.peak_resident_frames
+        );
+        let cfg = StreamConfig::new(1, 480.0, None);
+        assert!(long.peak_channel_depth <= cfg.channel_capacity);
+        // The live console saw every closed window.
+        let total: usize = long.windows_by_node.iter().map(Vec::len).sum();
+        assert_eq!(long.live_windows, total as u64);
+    }
+
+    #[test]
+    fn streaming_run_records_live_console_and_channel_metrics() {
+        let run = run_streaming(StreamConfig::new(2, 120.0, None));
+        assert!(run
+            .obs
+            .gauge("summit_core_stream_peak_channel_depth")
+            .is_some());
+        assert!(run
+            .obs
+            .gauge("summit_core_stream_peak_resident_frames")
+            .is_some());
+        assert!(
+            run.obs
+                .counter("summit_core_live_windows_total")
+                .unwrap_or(0)
+                > 0
+        );
+        assert!(run.summary.contains("run_streaming"), "{}", run.summary);
     }
 
     #[test]

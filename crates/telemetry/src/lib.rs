@@ -26,6 +26,7 @@ pub mod cluster;
 pub mod codec;
 pub mod convert;
 pub mod datasets;
+pub mod delivery;
 pub mod export;
 pub mod ids;
 pub mod ingest;
@@ -41,6 +42,7 @@ pub mod prelude {
     pub use crate::cluster::{cluster_component_power, cluster_power, cluster_power_series};
     pub use crate::codec::{ColumnBlock, CompressionStats};
     pub use crate::datasets::{thermal_cluster, thermal_per_job, ThermalRow};
+    pub use crate::delivery::NodeDelivery;
     pub use crate::ids::{AllocationId, CabinetId, GpuId, GpuSlot, Msb, NodeId, Socket};
     pub use crate::ingest::{IngestError, IngestHealth, IngestPolicy};
     pub use crate::jobjoin::{job_level_power, job_power_series, join_jobs, AllocationIndex};
@@ -49,7 +51,7 @@ pub mod prelude {
     };
     pub use crate::store::TelemetryStore;
     pub use crate::stream::{
-        Collector, FaultConfig, FaultInjector, FrameSender, IngestStats, InjectedFaults,
+        Collector, FaultConfig, FaultInjector, FrameFate, FrameSender, IngestStats, InjectedFaults,
     };
-    pub use crate::window::{NodeWindow, WindowAggregator, PAPER_WINDOW_S};
+    pub use crate::window::{NodeWindow, StreamingCoarsener, WindowAggregator, PAPER_WINDOW_S};
 }

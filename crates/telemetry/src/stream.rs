@@ -110,6 +110,33 @@ impl IngestStats {
         }
     }
 
+    /// Folds another accumulator into this one. Counters and extremes
+    /// are order-independent; the float delay sum is associated as
+    /// `(…(node₀ + node₁) + …)`, so any two consumers that accumulate
+    /// per node and merge in node-index order — the batch replay and
+    /// the streaming consumer both do — agree to the bit. Health
+    /// counters merge unconditionally; the frame-derived fields only
+    /// when the other side actually saw frames.
+    pub fn merge(&mut self, other: &IngestStats) {
+        self.health.merge(&other.health);
+        if other.frames == 0 {
+            return;
+        }
+        if self.frames == 0 {
+            self.t_first = other.t_first;
+            self.t_last = other.t_last;
+        } else {
+            self.t_first = self.t_first.min(other.t_first);
+            self.t_last = self.t_last.max(other.t_last);
+        }
+        self.frames += other.frames;
+        self.metrics += other.metrics;
+        self.total_delay_s += other.total_delay_s;
+        if other.max_delay_s > self.max_delay_s {
+            self.max_delay_s = other.max_delay_s;
+        }
+    }
+
     /// Publishes the accumulated statistics into the current
     /// [`summit_obs`] registry. The struct remains the in-band API; the
     /// registry carries the same values as `summit_telemetry_ingest_*`
@@ -189,6 +216,62 @@ impl FaultConfig {
             ..Self::default()
         }
     }
+
+    fn draw(&self, node: u32, t_sample: f64, salt: u64) -> f64 {
+        let h = mix64(
+            self.seed
+                .wrapping_mul(0xd1342543de82ef95)
+                .wrapping_add(salt)
+                ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
+                ^ t_sample.to_bits().wrapping_mul(0xbf58476d1ce4e5b9),
+        );
+        unit_f64(h)
+    }
+
+    /// Deterministic per-frame fate: a pure hash of `(seed, node,
+    /// t_sample)`, independent of arrival and processing order, so the
+    /// batch and streaming delivery paths classify every frame
+    /// identically. A duplicate's copy shares the original's sample
+    /// timestamp and therefore its fate draws.
+    pub fn fate(&self, node: u32, t_sample: f64) -> FrameFate {
+        let u = self.draw(node, t_sample, 1);
+        if u < self.drop_p {
+            return FrameFate::Drop;
+        }
+        if u < self.drop_p + self.duplicate_p {
+            return FrameFate::Duplicate;
+        }
+        if u < self.drop_p + self.duplicate_p + self.delay_p {
+            return FrameFate::Delay {
+                extra_s: self.draw(node, t_sample, 2) * self.max_extra_delay_s,
+            };
+        }
+        FrameFate::Deliver
+    }
+
+    /// Whether a delivered frame draws an adjacent arrival-order swap
+    /// with its predecessor. Same hash family as [`FaultConfig::fate`]
+    /// (salt 3), so both delivery paths agree per frame.
+    pub fn draws_reorder(&self, node: u32, t_sample: f64) -> bool {
+        self.draw(node, t_sample, 3) < self.reorder_p
+    }
+}
+
+/// Fate a single frame draws from the faulty fabric (mutually
+/// exclusive; a single uniform draw picks at most one class).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FrameFate {
+    /// Delivered at its modelled ingest time.
+    Deliver,
+    /// Lost in flight.
+    Drop,
+    /// Delivered twice: the copy trails the original by 0.25 s.
+    Duplicate,
+    /// Delivered with extra delay beyond the propagation model.
+    Delay {
+        /// Injected extra delay (s), itself a deterministic draw.
+        extra_s: f64,
+    },
 }
 
 /// Exact counts of the faults a [`FaultInjector`] introduced.
@@ -246,23 +329,13 @@ impl FaultInjector {
         self.counts
     }
 
-    fn draw(&self, node: u32, t_sample: f64, salt: u64) -> f64 {
-        let h = mix64(
-            self.config
-                .seed
-                .wrapping_mul(0xd1342543de82ef95)
-                .wrapping_add(salt)
-                ^ (node as u64).wrapping_mul(0x9e3779b97f4a7c15)
-                ^ t_sample.to_bits().wrapping_mul(0xbf58476d1ce4e5b9),
-        );
-        unit_f64(h)
-    }
-
     /// Delivers one node's frame batch through the faulty fabric:
     /// stamps arrival times from the propagation-delay model, applies
     /// drop / duplicate / extra-delay faults, and returns the surviving
     /// frames in *arrival* order (the order the fan-in hands downstream),
-    /// with any local reorder swaps applied on top.
+    /// with any local reorder swaps applied on top. Every decision is a
+    /// pure [`FaultConfig::fate`] / [`FaultConfig::draws_reorder`] draw,
+    /// the same hashes the incremental streaming stage consults.
     pub fn deliver(&mut self, frames: Vec<NodeFrame>) -> Vec<NodeFrame> {
         let _obs = summit_obs::span("summit_telemetry_deliver");
         summit_obs::histogram("summit_telemetry_deliver_batch_frames").observe(frames.len() as f64);
@@ -272,29 +345,30 @@ impl FaultInjector {
             let node = frame.node.0;
             let t = frame.t_sample;
             frame.t_ingest = t + propagation_delay_s(node, t);
-            let u = self.draw(node, t, 1);
-            if u < cfg.drop_p {
-                self.counts.dropped += 1;
-                continue;
+            match cfg.fate(node, t) {
+                FrameFate::Drop => {
+                    self.counts.dropped += 1;
+                    continue;
+                }
+                FrameFate::Duplicate => {
+                    self.counts.duplicated += 1;
+                    // The copy trails the original by a fraction of a second.
+                    arrivals.push((frame.t_ingest + 0.25, frame.clone()));
+                    arrivals.push((frame.t_ingest, frame));
+                    continue;
+                }
+                FrameFate::Delay { extra_s } => {
+                    self.counts.delayed += 1;
+                    frame.t_ingest += extra_s;
+                    arrivals.push((frame.t_ingest, frame));
+                }
+                FrameFate::Deliver => arrivals.push((frame.t_ingest, frame)),
             }
-            if u < cfg.drop_p + cfg.duplicate_p {
-                self.counts.duplicated += 1;
-                // The copy trails the original by a fraction of a second.
-                arrivals.push((frame.t_ingest + 0.25, frame.clone()));
-                arrivals.push((frame.t_ingest, frame));
-                continue;
-            }
-            if u < cfg.drop_p + cfg.duplicate_p + cfg.delay_p {
-                self.counts.delayed += 1;
-                let extra = self.draw(node, t, 2) * cfg.max_extra_delay_s;
-                frame.t_ingest += extra;
-            }
-            arrivals.push((frame.t_ingest, frame));
         }
         arrivals.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut out: Vec<NodeFrame> = arrivals.into_iter().map(|(_, f)| f).collect();
         for i in 1..out.len() {
-            if self.draw(out[i].node.0, out[i].t_sample, 3) < cfg.reorder_p {
+            if cfg.draws_reorder(out[i].node.0, out[i].t_sample) {
                 out.swap(i - 1, i);
                 self.counts.reordered += 1;
             }
@@ -620,6 +694,97 @@ mod tests {
         assert!(delivered.windows(2).all(|w| w[0].t_ingest <= w[1].t_ingest));
         // Propagation delay alone already reorders some sample times.
         assert!(delivered.windows(2).any(|w| w[0].t_sample > w[1].t_sample));
+    }
+
+    #[test]
+    fn merged_stats_account_exactly_and_are_reproducible() {
+        // Merging per-node accumulators in node order is the canonical
+        // association both the batch and streaming paths use: counters
+        // and extremes match a flat sequential replay exactly, the
+        // (order-sensitive) delay sum matches it numerically, and two
+        // per-node merges agree to the bit.
+        let batches: Vec<Vec<NodeFrame>> = (0..5u32)
+            .map(|n| {
+                (0..40)
+                    .map(|t| {
+                        let mut f = NodeFrame::empty(NodeId(n), t as f64);
+                        f.t_ingest = f.t_sample + propagation_delay_s(n, f.t_sample);
+                        f
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut sequential = IngestStats::default();
+        for batch in &batches {
+            for f in batch {
+                sequential.observe(f);
+            }
+        }
+        let per_node_merge = || {
+            let mut merged = IngestStats::default();
+            for batch in &batches {
+                let mut per_node = IngestStats::default();
+                for f in batch {
+                    per_node.observe(f);
+                }
+                merged.merge(&per_node);
+            }
+            merged
+        };
+        let merged = per_node_merge();
+        assert_eq!(merged.frames, sequential.frames);
+        assert_eq!(merged.metrics, sequential.metrics);
+        assert!((merged.total_delay_s - sequential.total_delay_s).abs() < 1e-9);
+        assert_eq!(
+            merged.max_delay_s.to_bits(),
+            sequential.max_delay_s.to_bits()
+        );
+        assert_eq!(merged.t_first.to_bits(), sequential.t_first.to_bits());
+        assert_eq!(merged.t_last.to_bits(), sequential.t_last.to_bits());
+        let again = per_node_merge();
+        assert_eq!(
+            again.total_delay_s.to_bits(),
+            merged.total_delay_s.to_bits()
+        );
+    }
+
+    #[test]
+    fn merge_with_empty_side_is_identity() {
+        let mut stats = IngestStats::default();
+        let mut f = NodeFrame::empty(NodeId(1), 3.0);
+        f.t_ingest = 5.0;
+        stats.observe(&f);
+        let mut merged = IngestStats::default();
+        merged.merge(&stats);
+        assert_eq!(merged, stats);
+        merged.merge(&IngestStats::default());
+        assert_eq!(merged, stats);
+    }
+
+    #[test]
+    fn fate_draws_match_batch_delivery_accounting() {
+        // Summing pure per-frame fates reproduces the injector's
+        // mutable accounting exactly.
+        let cfg = FaultConfig {
+            drop_p: 0.1,
+            duplicate_p: 0.1,
+            delay_p: 0.15,
+            reorder_p: 0.0,
+            ..FaultConfig::default()
+        };
+        let frames = batch(9, 800);
+        let mut expect = InjectedFaults::default();
+        for f in &frames {
+            match cfg.fate(f.node.0, f.t_sample) {
+                FrameFate::Drop => expect.dropped += 1,
+                FrameFate::Duplicate => expect.duplicated += 1,
+                FrameFate::Delay { .. } => expect.delayed += 1,
+                FrameFate::Deliver => {}
+            }
+        }
+        let mut inj = FaultInjector::new(cfg);
+        inj.deliver(frames);
+        assert_eq!(inj.injected(), expect);
     }
 
     #[test]

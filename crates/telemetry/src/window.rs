@@ -308,6 +308,114 @@ impl WindowAggregator {
     pub fn drain_completed(&mut self) -> Vec<NodeWindow> {
         std::mem::take(&mut self.out)
     }
+
+    /// Number of frames currently resident in the reorder buffer. At a
+    /// 1 Hz cadence this is bounded by one lateness horizon plus one
+    /// window regardless of how long the stream runs — the quantity the
+    /// streaming pipeline's bounded-memory assertion samples.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// Incremental multi-node coarsener for the streaming pipeline.
+///
+/// One [`WindowAggregator`] per node slot, created lazily from the
+/// first frame routed to that slot. Frames are offered in delivery
+/// order as they arrive; completed windows are drained continuously via
+/// [`StreamingCoarsener::drain_completed`], so resident state stays
+/// bounded by the reorder buffers (one lateness horizon plus one open
+/// window per node) independent of run length. Because each node's
+/// frames pass through the identical `WindowAggregator` admission logic
+/// in the identical per-node order, the concatenation of every drained
+/// window with the [`StreamingCoarsener::finish_with_health`] tail is
+/// bit-identical to the batch [`coarsen_parallel_with_health`] over the
+/// same per-node sequences.
+#[derive(Debug)]
+pub struct StreamingCoarsener {
+    window_s: f64,
+    policy: IngestPolicy,
+    slots: Vec<Option<WindowAggregator>>,
+}
+
+impl StreamingCoarsener {
+    /// Creates a coarsener with `slots` node slots (more are grown on
+    /// demand) and the default ingest policy.
+    pub fn new(slots: usize, window_s: f64) -> Self {
+        Self::with_policy(slots, window_s, IngestPolicy::default())
+    }
+
+    /// Creates a coarsener with an explicit ingest policy.
+    pub fn with_policy(slots: usize, window_s: f64, policy: IngestPolicy) -> Self {
+        let mut v = Vec::new();
+        v.resize_with(slots, || None);
+        Self {
+            window_s,
+            policy,
+            slots: v,
+        }
+    }
+
+    /// Offers one frame to the given node slot, lazily creating that
+    /// slot's aggregator keyed to the frame's node id. Fault outcomes
+    /// are typed [`IngestError`]s, counted in the slot's health.
+    pub fn push(&mut self, slot: usize, frame: &NodeFrame) -> Result<(), IngestError> {
+        if slot >= self.slots.len() {
+            self.slots.resize_with(slot + 1, || None);
+        }
+        let agg = self.slots[slot].get_or_insert_with(|| {
+            WindowAggregator::with_policy(frame.node, self.window_s, self.policy)
+        });
+        agg.push(frame)
+    }
+
+    /// Drains every window completed since the last drain, in slot
+    /// order (each window carries its node id for routing).
+    pub fn drain_completed(&mut self) -> Vec<NodeWindow> {
+        let mut out = Vec::new();
+        for slot in self.slots.iter_mut().flatten() {
+            out.append(&mut slot.drain_completed());
+        }
+        out
+    }
+
+    /// Frames currently resident in the reorder buffers across all
+    /// nodes — the streaming pipeline's peak-memory metric.
+    pub fn resident_frames(&self) -> usize {
+        self.slots
+            .iter()
+            .flatten()
+            .map(WindowAggregator::pending_len)
+            .sum()
+    }
+
+    /// Merged ingest-health counters accumulated so far (live view).
+    pub fn health(&self) -> IngestHealth {
+        let mut health = IngestHealth::default();
+        for slot in self.slots.iter().flatten() {
+            health.merge(&slot.health());
+        }
+        health
+    }
+
+    /// Closes every remaining window and returns the per-slot tail
+    /// windows (those not yet drained) plus the merged health, merging
+    /// per-slot health in slot order exactly like the batch path.
+    pub fn finish_with_health(self) -> (Vec<Vec<NodeWindow>>, IngestHealth) {
+        let mut windows = Vec::with_capacity(self.slots.len());
+        let mut health = IngestHealth::default();
+        for slot in self.slots {
+            match slot {
+                Some(agg) => {
+                    let (w, h) = agg.finish_with_health();
+                    health.merge(&h);
+                    windows.push(w);
+                }
+                None => windows.push(Vec::new()),
+            }
+        }
+        (windows, health)
+    }
 }
 
 /// Coarsens per-node frame batches in parallel: `frames_by_node[i]` is
@@ -646,6 +754,74 @@ mod tests {
         assert_eq!(health.accepted, 40);
         assert_eq!(health.duplicates, 1);
         assert_eq!(health.wrong_node, 1);
+    }
+
+    #[test]
+    fn streaming_coarsener_matches_batch_bitwise_with_bounded_residency() {
+        // Interleave 4 nodes' frames tick by tick (the streaming arrival
+        // shape); drained + tail windows must equal the batch coarsener
+        // on the same per-node sequences to the bit, and the reorder
+        // buffers must never hold more than horizon + window per node.
+        let nodes = 4u32;
+        let seconds = 120usize;
+        let batches: Vec<Vec<NodeFrame>> = (0..nodes)
+            .map(|n| {
+                (0..seconds)
+                    .map(|i| frame(n, i as f64, (n as usize * 1000 + i) as f64))
+                    .collect()
+            })
+            .collect();
+        let (batch_windows, batch_health) = coarsen_parallel_with_health(&batches, 10.0);
+
+        let mut sc = StreamingCoarsener::new(nodes as usize, 10.0);
+        let mut drained: Vec<Vec<NodeWindow>> = vec![Vec::new(); nodes as usize];
+        let mut peak_resident = 0usize;
+        for i in 0..seconds {
+            for (n, node_frames) in batches.iter().enumerate() {
+                sc.push(n, &node_frames[i]).unwrap();
+            }
+            peak_resident = peak_resident.max(sc.resident_frames());
+            for w in sc.drain_completed() {
+                drained[w.node.index()].push(w);
+            }
+        }
+        let (tail, stream_health) = sc.finish_with_health();
+        for (n, t) in tail.into_iter().enumerate() {
+            drained[n].extend(t);
+        }
+
+        assert_eq!(stream_health, batch_health);
+        assert!(
+            peak_resident <= nodes as usize * 16,
+            "reorder residency must stay bounded, got {peak_resident}"
+        );
+        assert_eq!(drained.len(), batch_windows.len());
+        for (s, b) in drained.iter().zip(&batch_windows) {
+            assert_eq!(s.len(), b.len());
+            for (sw, bw) in s.iter().zip(b) {
+                assert_eq!(sw.node, bw.node);
+                assert_eq!(sw.window_start.to_bits(), bw.window_start.to_bits());
+                for (ss, bs) in sw.stats.iter().zip(&bw.stats) {
+                    assert_eq!(ss.count, bs.count);
+                    assert_eq!(ss.mean.to_bits(), bs.mean.to_bits());
+                    assert_eq!(ss.min.to_bits(), bs.min.to_bits());
+                    assert_eq!(ss.max.to_bits(), bs.max.to_bits());
+                    assert_eq!(ss.std.to_bits(), bs.std.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_coarsener_grows_slots_and_reports_empty_tail() {
+        let mut sc = StreamingCoarsener::new(1, 10.0);
+        sc.push(3, &frame(3, 0.0, 1.0)).unwrap();
+        assert_eq!(sc.health().accepted, 1);
+        let (windows, health) = sc.finish_with_health();
+        assert_eq!(windows.len(), 4);
+        assert!(windows[0].is_empty() && windows[1].is_empty() && windows[2].is_empty());
+        assert_eq!(windows[3].len(), 1);
+        assert_eq!(health.accepted, 1);
     }
 
     #[test]

@@ -112,6 +112,7 @@ fn config_validation_returns_typed_errors() {
         cabinets: 2,
         duration_s: 0,
         producers: 2,
+        stream: false,
     })
     .unwrap_err();
     assert!(matches!(err, ExperimentError::InvalidConfig(_)));

@@ -11,11 +11,17 @@
 #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
 
 use std::collections::BTreeSet;
+use summit_repro::core::pipeline::{run_detailed, run_streaming, StreamConfig};
+use summit_repro::sim::engine::{EngineConfig, StepOptions};
+use summit_repro::sim::failures::CabinetOutage;
 use summit_repro::telemetry::catalog;
-use summit_repro::telemetry::ids::NodeId;
+use summit_repro::telemetry::ids::{CabinetId, NodeId};
+use summit_repro::telemetry::ingest::IngestError;
 use summit_repro::telemetry::records::NodeFrame;
-use summit_repro::telemetry::stream::{FaultConfig, FaultInjector};
-use summit_repro::telemetry::window::{NodeWindow, WindowAggregator};
+use summit_repro::telemetry::stream::{FaultConfig, FaultInjector, IngestStats};
+use summit_repro::telemetry::window::{
+    coarsen_parallel_with_health, NodeWindow, WindowAggregator, PAPER_WINDOW_S,
+};
 
 const HORIZON_S: f64 = 5.0; // default IngestPolicy lateness horizon
 
@@ -181,6 +187,191 @@ fn clean_stream_is_untouched_by_zero_probability_injector() {
     assert!(windows
         .iter()
         .all(|w| w.metric(catalog::input_power()).count == 10));
+}
+
+/// The streaming pipeline under whole-cabinet outage bursts must match
+/// a batch reference built from the same public primitives: generate
+/// the tick stream once ([`run_detailed`]), inject the same fault
+/// profile per node, coarsen in parallel — windows, ingest statistics
+/// and injected-fault counts all agree to the bit.
+#[test]
+fn streaming_with_cabinet_outage_bursts_matches_batch_reference() {
+    let outages = vec![
+        CabinetOutage {
+            cabinet: CabinetId(0),
+            start_s: 30.0,
+            end_s: 70.0,
+        },
+        CabinetOutage {
+            cabinet: CabinetId(1),
+            start_s: 100.0,
+            end_s: 140.0,
+        },
+    ];
+    let faults = FaultConfig::light(11);
+    let duration_s = 240.0;
+
+    // Batch reference, mirroring run_telemetry's association exactly.
+    let mut config = EngineConfig::small(2);
+    config.cabinet_outages = outages.clone();
+    let dt = config.dt_s;
+    let n_ticks = (duration_s / dt).ceil() as usize;
+    let (ticks, _) = run_detailed(
+        config,
+        0.0,
+        n_ticks,
+        StepOptions {
+            frames: true,
+            ..Default::default()
+        },
+    );
+    let mut frames_by_node: Vec<Vec<NodeFrame>> = Vec::new();
+    for tick in ticks {
+        if let Some(frames) = tick.frames {
+            for f in frames {
+                let idx = f.node.index();
+                if frames_by_node.len() <= idx {
+                    frames_by_node.resize_with(idx + 1, Vec::new);
+                }
+                frames_by_node[idx].push(f);
+            }
+        }
+    }
+    // The bursts took effect: a cabinet-0 node reports NaN during its
+    // outage window and real power outside it.
+    let in_outage = |f: &&NodeFrame| f.t_sample >= 30.0 && f.t_sample < 70.0;
+    assert!(frames_by_node[0]
+        .iter()
+        .filter(in_outage)
+        .all(|f| f.get(catalog::input_power()).is_nan()));
+    assert!(frames_by_node[0]
+        .iter()
+        .filter(|f| !in_outage(f))
+        .all(|f| !f.get(catalog::input_power()).is_nan()));
+
+    let mut injector = FaultInjector::new(faults);
+    let delivered: Vec<Vec<NodeFrame>> = frames_by_node
+        .into_iter()
+        .map(|batch| injector.deliver(batch))
+        .collect();
+    let mut ref_stats = IngestStats::default();
+    for batch in &delivered {
+        let mut node_stats = IngestStats::default();
+        for f in batch {
+            node_stats.observe(f);
+        }
+        ref_stats.merge(&node_stats);
+    }
+    let (ref_windows, ref_health) = coarsen_parallel_with_health(&delivered, PAPER_WINDOW_S);
+
+    // The online pipeline over the same outage schedule.
+    let mut cfg = StreamConfig::new(2, duration_s, Some(faults));
+    cfg.cabinet_outages = outages;
+    let run = run_streaming(cfg);
+
+    // Exact fault accounting: injected counts and the coarsener's
+    // health ledger agree with the reference integer for integer.
+    assert_eq!(run.injected, injector.injected());
+    assert_eq!(run.stats.health, ref_health);
+    assert_eq!(run.stats.frames, ref_stats.frames);
+    assert_eq!(run.stats.metrics, ref_stats.metrics);
+    assert_eq!(
+        run.stats.total_delay_s.to_bits(),
+        ref_stats.total_delay_s.to_bits()
+    );
+    assert_eq!(
+        run.stats.max_delay_s.to_bits(),
+        ref_stats.max_delay_s.to_bits()
+    );
+
+    // Bit-identical coarsening, node by node (either side may omit
+    // trailing all-silent nodes; absent means no windows).
+    let nodes = run.windows_by_node.len().max(ref_windows.len());
+    for i in 0..nodes {
+        let stream_windows = run.windows_by_node.get(i).map_or(&[][..], Vec::as_slice);
+        let batch_windows = ref_windows.get(i).map_or(&[][..], Vec::as_slice);
+        assert!(
+            windows_bitwise_eq(stream_windows, batch_windows),
+            "node {i}: streaming and batch coarsenings diverge under outage bursts"
+        );
+    }
+}
+
+/// A duplicate arriving after its window has already closed (watermark
+/// beyond the lateness horizon) must classify as `Late` — the pending
+/// dedup set no longer remembers the key, and re-admitting the frame
+/// would corrupt an already-emitted window.
+#[test]
+fn duplicate_after_window_close_is_late_never_a_wrong_window() {
+    let node = NodeId(5);
+    let mut agg = WindowAggregator::paper(node);
+    let base = frames_for(node, 30);
+    for f in &base {
+        agg.push(f).unwrap();
+    }
+    // t=2 s: its 0-10 s window closed when the watermark hit 29 s.
+    let err = agg.push(&base[2]).unwrap_err();
+    assert!(matches!(err, IngestError::Late { .. }), "got {err}");
+    let (windows, health) = agg.finish_with_health();
+    assert_eq!(health.accepted, 30);
+    assert_eq!(health.late_dropped, 1);
+    assert_eq!(health.duplicates, 0);
+    assert_eq!(windows.len(), 3);
+    // The closed window the duplicate aimed at is untouched.
+    assert!(windows
+        .iter()
+        .all(|w| w.metric(catalog::input_power()).count == 10));
+}
+
+/// A rogue first frame far in the future seeds the watermark; every
+/// honest frame afterwards is beyond the horizon and must drop as
+/// `Late` with exact accounting — never panic, never a wrong window.
+#[test]
+fn all_late_node_after_rogue_watermark_seed_accounts_exactly() {
+    let node = NodeId(6);
+    let mut agg = WindowAggregator::paper(node);
+    let mut rogue = NodeFrame::empty(node, 1e6);
+    rogue.set(catalog::input_power(), 1500.0);
+    agg.push(&rogue).unwrap();
+    for f in &frames_for(node, 50) {
+        assert!(
+            matches!(agg.push(f), Err(IngestError::Late { .. })),
+            "frame at t={} admitted past a 1e6 s watermark",
+            f.t_sample
+        );
+    }
+    let (windows, health) = agg.finish_with_health();
+    assert_eq!(health.accepted, 1);
+    assert_eq!(health.late_dropped, 50);
+    assert_eq!(health.duplicates + health.reordered, 0);
+    assert_eq!(windows.len(), 1);
+    assert_eq!(windows[0].window_start, 1e6);
+}
+
+/// The lateness boundary is inclusive: a frame at exactly
+/// `watermark - horizon` is admitted (and counted reordered), one
+/// strictly below it drops as late.
+#[test]
+fn frame_exactly_at_horizon_boundary_is_admitted() {
+    let node = NodeId(7);
+    let mut agg = WindowAggregator::paper(node);
+    let at = |t: f64| {
+        let mut f = NodeFrame::empty(node, t);
+        f.set(catalog::input_power(), 1500.0);
+        f
+    };
+    agg.push(&at(10.0)).unwrap();
+    // Exactly watermark - horizon: inclusive accept, counted reordered.
+    agg.push(&at(10.0 - HORIZON_S)).unwrap();
+    // Strictly beyond the horizon: late.
+    assert!(matches!(
+        agg.push(&at(10.0 - HORIZON_S - 1.0)),
+        Err(IngestError::Late { .. })
+    ));
+    let (_, health) = agg.finish_with_health();
+    assert_eq!(health.accepted, 2);
+    assert_eq!(health.reordered, 1);
+    assert_eq!(health.late_dropped, 1);
 }
 
 #[test]

@@ -10,3 +10,9 @@ pub fn run_scenario() -> usize {
 pub fn helper() -> usize {
     2
 }
+
+/// Streaming entry point, instrumented like every `run_*`.
+pub fn run_streaming() -> usize {
+    let _obs = summit_obs::span("summit_core_run_streaming");
+    3
+}

@@ -10,3 +10,8 @@ pub fn run_good() -> usize {
 pub fn run_bad() -> usize {
     2
 }
+
+/// Uninstrumented streaming entry point: flagged like any `run_*`.
+pub fn run_streaming_bad() -> usize {
+    3
+}

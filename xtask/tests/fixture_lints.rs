@@ -188,19 +188,22 @@ fn registry_clean_fixture_passes() {
 #[test]
 fn obs_coverage_flags_bare_entry_points() {
     let v = obs_coverage::check(&fixture("violating"));
-    // `run_bad` in pipeline.rs opens no span; the fig99 experiment file
-    // has none anywhere; `write_untagged` respells the trace schema
-    // instead of referencing `TRACE_SCHEMA`. `run_good`, fig01 and
-    // `write_tagged` are correct and must not be flagged.
+    // `run_bad` and `run_streaming_bad` in pipeline.rs open no span;
+    // the fig99 experiment file has none anywhere; `write_untagged`
+    // respells the trace schema instead of referencing `TRACE_SCHEMA`.
+    // `run_good`, fig01 and `write_tagged` are correct and must not be
+    // flagged.
     assert_eq!(
         locations(&v),
         vec![
             ("crates/core/src/experiments/fig99.rs".into(), 0),
             ("crates/core/src/pipeline.rs".into(), 10),
+            ("crates/core/src/pipeline.rs".into(), 15),
             ("crates/obs/src/trace.rs".into(), 10),
         ]
     );
     assert!(message_at(&v, "crates/core/src/pipeline.rs", 10).contains("run_bad"));
+    assert!(message_at(&v, "crates/core/src/pipeline.rs", 15).contains("run_streaming_bad"));
     assert!(message_at(&v, "crates/core/src/experiments/fig99.rs", 0).contains("fig99"));
     assert!(message_at(&v, "crates/obs/src/trace.rs", 10).contains("write_untagged"));
 }
