@@ -49,6 +49,13 @@ pub trait ParallelIterator: Sized {
         1
     }
 
+    /// Input-size floor below which the execution runs inline on the
+    /// calling thread (see [`ParallelIterator::seq_below`]).
+    #[doc(hidden)]
+    fn seq_floor(&self) -> usize {
+        0
+    }
+
     /// Freezes the pipeline into a [`Source`] all workers share by
     /// reference. `chunk_size` is the executor's (deterministic) grid
     /// pitch; only by-value sources need it (to pre-split their
@@ -91,6 +98,20 @@ pub trait ParallelIterator: Sized {
     /// determinism contract is unaffected.
     fn with_min_len(self, min: usize) -> MinLen<Self> {
         MinLen { base: self, min }
+    }
+
+    /// Dispatches inline — no pool wakeup, no epoch — whenever the
+    /// input holds fewer than `n` elements, and in parallel otherwise.
+    /// The size-aware dispatch knob for kernels whose total work at
+    /// small sizes is cheaper than waking the pool (a handful of
+    /// correlation pairs, a short KDE grid).
+    ///
+    /// The inline path replays the exact chunk grid in ascending chunk
+    /// order, so every result — including non-associative float
+    /// reductions — is bit-identical to the parallel path; only the
+    /// dispatch mechanism changes.
+    fn seq_below(self, n: usize) -> SeqBelow<Self> {
+        SeqBelow { base: self, n }
     }
 
     /// Folds each chunk into an accumulator seeded by `identity`,
@@ -445,6 +466,10 @@ where
         self.base.min_chunk()
     }
 
+    fn seq_floor(&self) -> usize {
+        self.base.seq_floor()
+    }
+
     fn into_source(self, chunk_size: usize) -> MapSource<I::Source, F> {
         MapSource {
             base: self.base.into_source(chunk_size),
@@ -532,6 +557,10 @@ where
         self.base.min_chunk()
     }
 
+    fn seq_floor(&self) -> usize {
+        self.base.seq_floor()
+    }
+
     fn into_source(self, chunk_size: usize) -> EnumerateSource<I::Source> {
         EnumerateSource {
             base: self.base.into_source(chunk_size),
@@ -610,6 +639,10 @@ where
 
     fn min_chunk(&self) -> usize {
         self.base.min_chunk()
+    }
+
+    fn seq_floor(&self) -> usize {
+        self.base.seq_floor()
     }
 
     fn into_source(self, chunk_size: usize) -> FlatMapSource<I::Source, F> {
@@ -696,12 +729,48 @@ impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
         self.base.min_chunk().max(self.min).max(1)
     }
 
+    fn seq_floor(&self) -> usize {
+        self.base.seq_floor()
+    }
+
     fn into_source(self, chunk_size: usize) -> I::Source {
         self.base.into_source(chunk_size)
     }
 }
 
 impl<I: IndexedParallelIterator> IndexedParallelIterator for MinLen<I> {}
+
+/// Size-aware dispatch floor (see [`ParallelIterator::seq_below`]).
+/// Pass-through in every respect except [`ParallelIterator::seq_floor`]:
+/// the chunk grid, the source and the element stream are untouched.
+#[derive(Debug)]
+pub struct SeqBelow<I> {
+    base: I,
+    n: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for SeqBelow<I> {
+    type Item = I::Item;
+    type Source = I::Source;
+
+    fn input_len(&self) -> usize {
+        self.base.input_len()
+    }
+
+    fn min_chunk(&self) -> usize {
+        self.base.min_chunk()
+    }
+
+    fn seq_floor(&self) -> usize {
+        self.base.seq_floor().max(self.n)
+    }
+
+    fn into_source(self, chunk_size: usize) -> I::Source {
+        self.base.into_source(chunk_size)
+    }
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for SeqBelow<I> {}
 
 /// Per-chunk accumulator pipeline (see [`ParallelIterator::fold`]).
 #[derive(Debug)]
@@ -727,6 +796,10 @@ where
 
     fn min_chunk(&self) -> usize {
         self.base.min_chunk()
+    }
+
+    fn seq_floor(&self) -> usize {
+        self.base.seq_floor()
     }
 
     fn into_source(self, chunk_size: usize) -> FoldSource<I::Source, ID, F> {

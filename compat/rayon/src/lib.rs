@@ -279,6 +279,66 @@ mod tests {
     }
 
     #[test]
+    fn seq_below_skips_the_pool_for_small_inputs() {
+        // The gauge is written only by parallel (pool) executions, so
+        // it doubles as a dispatch probe: under the floor it must stay
+        // unset, at or above the floor the pool runs.
+        let registry = summit_obs::registry::Registry::new();
+        let _scope = registry.install();
+        let small: Vec<usize> = (0..40).collect();
+        let out: Vec<usize> = with_thread_count(4, || {
+            small.par_iter().map(|&x| x * 3).seq_below(64).collect()
+        });
+        assert_eq!(out, (0..40).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(registry.snapshot().gauge("summit_par_threads"), None);
+
+        let big: Vec<usize> = (0..64).collect();
+        let out: Vec<usize> =
+            with_thread_count(4, || big.par_iter().map(|&x| x * 3).seq_below(64).collect());
+        assert_eq!(out.len(), 64);
+        assert!(
+            registry.snapshot().gauge("summit_par_threads").is_some(),
+            "at the floor the pool must dispatch"
+        );
+    }
+
+    #[test]
+    fn seq_below_is_bit_identical_to_the_pool_path() {
+        // Same floor, both sides of it, across adaptor stacks: the
+        // inline dispatch must replay the exact chunk grid.
+        let data: Vec<f64> = (0..200).map(|i| (i as f64).cos() * 1e6 + 1e-9).collect();
+        for n in [0usize, 150, 100_000] {
+            let gated = with_thread_count(4, || {
+                data.par_iter()
+                    .map(|&x| x * 1.000001)
+                    .seq_below(n)
+                    .fold(|| 0.0f64, |acc, x| acc + x)
+                    .reduce(|| 0.0f64, |a, b| a + b)
+            });
+            let plain = with_thread_count(4, || {
+                data.par_iter()
+                    .map(|&x| x * 1.000001)
+                    .fold(|| 0.0f64, |acc, x| acc + x)
+                    .reduce(|| 0.0f64, |a, b| a + b)
+            });
+            assert_eq!(gated.to_bits(), plain.to_bits(), "floor={n}");
+        }
+        // The floor survives being buried under later adaptors.
+        let registry = summit_obs::registry::Registry::new();
+        let _scope = registry.install();
+        let idx: Vec<(usize, f64)> = with_thread_count(4, || {
+            data.clone()
+                .into_par_iter()
+                .seq_below(1000)
+                .enumerate()
+                .map(|(i, x)| (i, x))
+                .collect()
+        });
+        assert_eq!(idx.len(), data.len());
+        assert_eq!(registry.snapshot().gauge("summit_par_threads"), None);
+    }
+
+    #[test]
     fn task_counter_is_thread_count_independent() {
         let count_tasks = |threads: usize| {
             let registry = summit_obs::registry::Registry::new();

@@ -132,7 +132,11 @@ pub(crate) fn run<I: ParallelIterator>(iter: I) -> Vec<Vec<I::Item>> {
     registry
         .counter("summit_par_tasks_total")
         .inc_by(tasks as u64);
-    let threads = if IN_EPOCH.with(Cell::get) {
+    // An input under the pipeline's `seq_below` floor dispatches
+    // inline: the pool wakeup would cost more than the whole kernel.
+    // The grid above is already fixed, so the inline replay is
+    // bit-identical to what the pool would have produced.
+    let threads = if IN_EPOCH.with(Cell::get) || len < iter.seq_floor() {
         1
     } else {
         crate::current_num_threads().min(tasks.max(1))

@@ -105,7 +105,10 @@ impl Kde1d {
         let xs: Vec<f64> = (0..points)
             .map(|i| lo + (hi - lo) * i as f64 / (points - 1) as f64)
             .collect();
-        let ds: Vec<f64> = xs.par_iter().map(|&x| self.eval(x)).collect();
+        // Tiny grids run inline — the pool wakeup costs more than a
+        // few dozen evals; the chunk grid (and thus every bit of the
+        // output) is the same on both dispatch paths.
+        let ds: Vec<f64> = xs.par_iter().seq_below(32).map(|&x| self.eval(x)).collect();
         (xs, ds)
     }
 
@@ -290,8 +293,11 @@ impl Kde2d {
         let y_axis: Vec<f64> = (0..ny)
             .map(|i| y_lo + (y_hi - y_lo) * i as f64 / (ny - 1) as f64)
             .collect();
+        // A handful of rows is cheaper inline than dispatched (each
+        // row still costs nx * n_samples flops, so the floor is low).
         let density: Vec<f64> = y_axis
             .par_iter()
+            .seq_below(8)
             .flat_map_iter(|&y| x_axis.iter().map(move |&x| (x, y)))
             .map(|(x, y)| self.eval(x, y))
             .collect();

@@ -83,6 +83,51 @@ impl Welford {
         self.max = self.max.max(other.max);
     }
 
+    /// Folds a whole column of samples into the accumulator in one tight
+    /// loop — the batched form of calling [`Welford::push`] on every
+    /// element in order, bit-identical to that sequence for every input
+    /// (including NaN/±0.0/infinity patterns).
+    ///
+    /// The loop keeps the running state in locals and handles non-finite
+    /// samples branch-free: the update is always computed, and a
+    /// conditional select keeps the old state when the sample is not
+    /// finite. Selects compile to conditional moves, so a column with
+    /// scattered NaNs (missing sensors) costs the same as a clean one.
+    ///
+    /// ```
+    /// use summit_analysis::stats::Welford;
+    /// let xs = [2.0, f64::NAN, 4.0, 9.0];
+    /// let mut a = Welford::new();
+    /// a.merge_column(&xs);
+    /// let mut b = Welford::new();
+    /// for &x in &xs { b.push(x); }
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn merge_column(&mut self, xs: &[f64]) {
+        let mut count = self.count;
+        let mut mean = self.mean;
+        let mut m2 = self.m2;
+        let mut min = self.min;
+        let mut max = self.max;
+        for &x in xs {
+            let finite = x.is_finite();
+            let n = count + u64::from(finite);
+            let delta = x - mean;
+            let mean_new = mean + delta / n.max(1) as f64;
+            let m2_new = m2 + delta * (x - mean_new);
+            count = n;
+            mean = if finite { mean_new } else { mean };
+            m2 = if finite { m2_new } else { m2 };
+            min = if finite && x < min { x } else { min };
+            max = if finite && x > max { x } else { max };
+        }
+        self.count = count;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = min;
+        self.max = max;
+    }
+
     /// Number of (finite) samples seen.
     pub fn count(&self) -> u64 {
         self.count
@@ -151,6 +196,292 @@ impl Welford {
             max: self.max(),
             mean: self.mean(),
             std: if self.count < 2 { 0.0 } else { self.std() },
+        }
+    }
+}
+
+/// A structure-of-arrays bank of [`Welford`] accumulators — one lane
+/// per column of a fixed-width record stream (e.g. the 106 metrics of
+/// a telemetry frame).
+///
+/// [`WelfordColumns::push_row`] updates every lane in one pass over
+/// the row. Lanes are independent, so unlike a single Welford fold
+/// (whose running mean is a loop-carried chain) the lane axis has no
+/// serial dependency: the counts, means, m2s and min/max live in
+/// parallel `f64` arrays and the update is branch-free (non-finite
+/// samples are masked out with selects), which lets the compiler
+/// vectorize the whole quintuple update across lanes.
+///
+/// Counts are tracked as `f64` so the entire update stays in one SIMD
+/// domain; they are exact integers far below 2^53, and every lane is
+/// bit-identical to calling [`Welford::push`] with the same samples:
+///
+/// ```
+/// use summit_analysis::stats::{Welford, WelfordColumns};
+/// let rows: [[f32; 2]; 3] = [[1.0, 10.0], [2.0, f32::NAN], [3.0, 30.0]];
+/// let mut bank = WelfordColumns::new(2);
+/// for row in &rows {
+///     bank.push_row(row);
+/// }
+/// let mut by_hand = Welford::new();
+/// for row in &rows {
+///     by_hand.push(f64::from(row[0]));
+/// }
+/// assert_eq!(bank.lane(0), by_hand);
+/// assert_eq!(bank.lane(1).count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WelfordColumns {
+    count: Vec<f64>,
+    mean: Vec<f64>,
+    m2: Vec<f64>,
+    min: Vec<f64>,
+    max: Vec<f64>,
+}
+
+/// Lane-block width of [`WelfordColumns::push_row`]: the all-NaN skip
+/// and the vectorized update both operate on blocks of this many
+/// lanes (two 4-wide f64 vectors at AVX2).
+const LANE_BLOCK: usize = 8;
+
+impl WelfordColumns {
+    /// Creates a bank of `width` empty accumulators.
+    pub fn new(width: usize) -> Self {
+        Self {
+            count: vec![0.0; width],
+            mean: vec![0.0; width],
+            m2: vec![0.0; width],
+            min: vec![f64::INFINITY; width],
+            max: vec![f64::NEG_INFINITY; width],
+        }
+    }
+
+    /// Number of lanes.
+    pub fn width(&self) -> usize {
+        self.count.len()
+    }
+
+    /// Folds one row into the bank: lane `m` receives `row[m]`. The
+    /// row must match the bank's width.
+    ///
+    /// Lanes are processed in blocks of [`LANE_BLOCK`]: a block whose
+    /// samples are all non-finite is skipped outright (a non-finite
+    /// sample leaves every field of its lane unchanged, so skipping is
+    /// exact), which makes sparsely-populated rows — telemetry frames
+    /// where most catalog metrics have no sensor — as cheap as they
+    /// are in the branchy row path, while populated blocks take the
+    /// vectorized select path.
+    pub fn push_row(&mut self, row: &[f32]) {
+        let w = self.count.len();
+        debug_assert_eq!(row.len(), w, "row width must match the bank");
+        // Pin the row to the bank width up front: a short row still
+        // fails loudly here, and the equal-length slices let the block
+        // loop below run without per-slice bounds checks.
+        let row = &row[..w];
+        let mut blocks = row.chunks_exact(LANE_BLOCK);
+        let mut at = 0;
+        for chunk in &mut blocks {
+            let to = at + LANE_BLOCK;
+            match <&[f32; LANE_BLOCK]>::try_from(chunk) {
+                Ok(block) => {
+                    let mut any = false;
+                    let mut all = true;
+                    for v in block {
+                        let finite = v.is_finite();
+                        any |= finite;
+                        all &= finite;
+                    }
+                    if all {
+                        // Fully-populated block: the branch-free
+                        // update over a constant-length block, which
+                        // vectorizes across the lanes.
+                        update_lanes(
+                            &mut self.count[at..to],
+                            &mut self.mean[at..to],
+                            &mut self.m2[at..to],
+                            &mut self.min[at..to],
+                            &mut self.max[at..to],
+                            block,
+                        );
+                    } else if any {
+                        // Mixed block: per-lane skips beat paying the
+                        // full quintuple (division included) on lanes
+                        // a missing sensor leaves unchanged anyway.
+                        update_lanes_sparse(
+                            &mut self.count[at..to],
+                            &mut self.mean[at..to],
+                            &mut self.m2[at..to],
+                            &mut self.min[at..to],
+                            &mut self.max[at..to],
+                            block,
+                        );
+                    }
+                }
+                // chunks_exact only yields LANE_BLOCK-sized chunks;
+                // fall back to the width-generic path rather than
+                // panic if that ever stops holding.
+                Err(_) => update_lanes_sparse(
+                    &mut self.count[at..to],
+                    &mut self.mean[at..to],
+                    &mut self.m2[at..to],
+                    &mut self.min[at..to],
+                    &mut self.max[at..to],
+                    chunk,
+                ),
+            }
+            at = to;
+        }
+        let tail = blocks.remainder();
+        update_lanes_sparse(
+            &mut self.count[at..w],
+            &mut self.mean[at..w],
+            &mut self.m2[at..w],
+            &mut self.min[at..w],
+            &mut self.max[at..w],
+            tail,
+        );
+    }
+
+    /// Reads lane `m` out as an ordinary [`Welford`] accumulator.
+    pub fn lane(&self, m: usize) -> Welford {
+        Welford {
+            // Counts are integral and far below 2^53, so the cast is
+            // exact.
+            count: self.count[m] as u64,
+            mean: self.mean[m],
+            m2: self.m2[m],
+            min: self.min[m],
+            max: self.max[m],
+        }
+    }
+
+    /// Empties every lane, keeping the allocations.
+    pub fn reset(&mut self) {
+        self.count.fill(0.0);
+        self.mean.fill(0.0);
+        self.m2.fill(0.0);
+        self.min.fill(f64::INFINITY);
+        self.max.fill(f64::NEG_INFINITY);
+    }
+
+    /// Freezes every lane into its compact window record, appending
+    /// `width()` entries to `out` in lane order — one pass over the
+    /// bank, bit-identical to [`WelfordColumns::lane`] followed by
+    /// [`Welford::finish`] on each lane.
+    pub fn finish_into(&self, out: &mut Vec<WindowStats>) {
+        out.reserve(self.count.len());
+        for m in 0..self.count.len() {
+            // Counts are exact integers far below 2^53, so both the
+            // u64 cast and the `count - 1.0` divisor match the u64
+            // arithmetic in `Welford::finish` to the bit.
+            let count = self.count[m];
+            let empty = count == 0.0;
+            out.push(WindowStats {
+                count: count as u64,
+                min: if empty { f64::NAN } else { self.min[m] },
+                max: if empty { f64::NAN } else { self.max[m] },
+                mean: if empty { f64::NAN } else { self.mean[m] },
+                std: if count < 2.0 {
+                    0.0
+                } else {
+                    (self.m2[m] / (count - 1.0)).sqrt()
+                },
+            });
+        }
+    }
+
+    /// [`WelfordColumns::finish_into`] fused with
+    /// [`WelfordColumns::reset`]: each lane is frozen and emptied in
+    /// the same traversal, touching the five column arrays once
+    /// instead of twice. Identical output and post-state to calling
+    /// the two separately.
+    pub fn finish_reset_into(&mut self, out: &mut Vec<WindowStats>) {
+        out.reserve(self.count.len());
+        for m in 0..self.count.len() {
+            let count = self.count[m];
+            let empty = count == 0.0;
+            out.push(WindowStats {
+                count: count as u64,
+                min: if empty { f64::NAN } else { self.min[m] },
+                max: if empty { f64::NAN } else { self.max[m] },
+                mean: if empty { f64::NAN } else { self.mean[m] },
+                std: if count < 2.0 {
+                    0.0
+                } else {
+                    (self.m2[m] / (count - 1.0)).sqrt()
+                },
+            });
+            self.count[m] = 0.0;
+            self.mean[m] = 0.0;
+            self.m2[m] = 0.0;
+            self.min[m] = f64::INFINITY;
+            self.max[m] = f64::NEG_INFINITY;
+        }
+    }
+}
+
+/// The branch-free quintuple update for one fully-populated row block
+/// applied to the matching lane slices. Callers must have verified
+/// every sample in `row` is finite: with that precondition the
+/// non-finite masking of [`Welford::push`] reduces to no-ops, so this
+/// unmasked body is bit-identical to it while doing strictly less
+/// work. All six slices must share a length; the caller slices them
+/// at the call site so that, for the [`LANE_BLOCK`]-sized array
+/// block, the trip count is a compile-time constant and the whole
+/// body vectorizes across lanes.
+#[inline(always)]
+fn update_lanes(
+    count: &mut [f64],
+    mean: &mut [f64],
+    m2: &mut [f64],
+    min: &mut [f64],
+    max: &mut [f64],
+    row: &[f32],
+) {
+    for m in 0..row.len() {
+        let x = f64::from(row[m]);
+        let n = count[m] + 1.0;
+        let delta = x - mean[m];
+        let mean_new = mean[m] + delta / n;
+        m2[m] += delta * (x - mean_new);
+        count[m] = n;
+        mean[m] = mean_new;
+        min[m] = if x < min[m] { x } else { min[m] };
+        max[m] = if x > max[m] { x } else { max[m] };
+    }
+}
+
+/// The per-lane branchy variant of [`update_lanes`] for blocks where
+/// some lanes have no sample: a non-finite lane is skipped before any
+/// arithmetic, so a mostly-missing block costs its finite lanes only.
+/// Finite lanes execute the identical operation sequence to
+/// [`update_lanes`] (`n >= 1`, so its `n.max(1.0)` guard is the same
+/// division), keeping the two variants bit-identical.
+#[inline(always)]
+fn update_lanes_sparse(
+    count: &mut [f64],
+    mean: &mut [f64],
+    m2: &mut [f64],
+    min: &mut [f64],
+    max: &mut [f64],
+    row: &[f32],
+) {
+    for m in 0..row.len() {
+        let x = f64::from(row[m]);
+        if !x.is_finite() {
+            continue;
+        }
+        let n = count[m] + 1.0;
+        let delta = x - mean[m];
+        let mean_new = mean[m] + delta / n;
+        m2[m] += delta * (x - mean_new);
+        count[m] = n;
+        mean[m] = mean_new;
+        if x < min[m] {
+            min[m] = x;
+        }
+        if x > max[m] {
+            max[m] = x;
         }
     }
 }
@@ -418,6 +749,103 @@ pub fn nanmin(data: &[f64]) -> f64 {
 mod tests {
     #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
     use super::*;
+
+    /// Deterministic pseudo-random stream for the column property tests
+    /// (no external RNG dependency; splitmix64).
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn assert_bitwise_eq(a: &Welford, b: &Welford, ctx: &str) {
+        let (fa, fb) = (a.finish(), b.finish());
+        assert_eq!(a.count(), b.count(), "count {ctx}");
+        assert_eq!(fa.mean.to_bits(), fb.mean.to_bits(), "mean {ctx}");
+        assert_eq!(fa.min.to_bits(), fb.min.to_bits(), "min {ctx}");
+        assert_eq!(fa.max.to_bits(), fb.max.to_bits(), "max {ctx}");
+        assert_eq!(fa.std.to_bits(), fb.std.to_bits(), "std {ctx}");
+        // finish() hides m2 behind std; compare the raw accumulator too.
+        assert_eq!(a.m2.to_bits(), b.m2.to_bits(), "m2 {ctx}");
+        assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "raw mean {ctx}");
+    }
+
+    #[test]
+    fn merge_column_is_bit_identical_to_push_sequence() {
+        // Columns mixing magnitudes, signs, NaN, infinities and ±0.0:
+        // the masked column loop must replay the branchy push exactly.
+        let specials = [
+            f64::NAN,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            1e300,
+            -1e300,
+        ];
+        let mut state = 0x5EED_2021u64;
+        for round in 0..64 {
+            let len = (splitmix64(&mut state) % 40) as usize;
+            let col: Vec<f64> = (0..len)
+                .map(|_| {
+                    let r = splitmix64(&mut state);
+                    if r.is_multiple_of(5) {
+                        specials[(r / 5) as usize % specials.len()]
+                    } else {
+                        // Spread over ~12 orders of magnitude, both signs.
+                        let mag = (r % 1_000_000) as f64 * 1e-3;
+                        let exp = ((r >> 20) % 13) as i32 - 6;
+                        let sign = if (r >> 40) & 1 == 0 { 1.0 } else { -1.0 };
+                        sign * mag * 10f64.powi(exp)
+                    }
+                })
+                .collect();
+            let mut batched = Welford::new();
+            batched.merge_column(&col);
+            let mut reference = Welford::new();
+            for &x in &col {
+                reference.push(x);
+            }
+            assert_bitwise_eq(&batched, &reference, &format!("round {round}"));
+        }
+    }
+
+    #[test]
+    fn merge_column_resumes_from_nonempty_state() {
+        // Folding a column into an accumulator that already holds
+        // samples must equal continuing the push sequence.
+        let head = [3.5, -2.0, f64::NAN, 7.25];
+        let tail = [f64::NEG_INFINITY, 0.0, -0.0, 11.0, 1e-12];
+        let mut batched = Welford::new();
+        batched.merge_column(&head);
+        batched.merge_column(&tail);
+        let mut reference = Welford::new();
+        for &x in head.iter().chain(&tail) {
+            reference.push(x);
+        }
+        assert_bitwise_eq(&batched, &reference, "resume");
+    }
+
+    #[test]
+    fn merge_column_all_non_finite_stays_empty() {
+        let mut w = Welford::new();
+        w.merge_column(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(w.count(), 0);
+        assert!(w.mean().is_nan());
+        assert!(w.finish().is_empty());
+    }
+
+    #[test]
+    fn merge_column_empty_is_identity() {
+        let mut w = Welford::new();
+        w.push(5.0);
+        let before = w;
+        w.merge_column(&[]);
+        assert_bitwise_eq(&w, &before, "empty column");
+    }
 
     #[test]
     fn welford_matches_two_pass() {

@@ -12,17 +12,24 @@ use summit_analysis::cdf::Ecdf;
 use summit_analysis::correlation::CorrelationMatrix;
 use summit_analysis::fft::fft_padded;
 use summit_analysis::kde::{Bandwidth, Kde1d, Kde2d};
+use summit_analysis::stats::WindowStats;
 use summit_core::cache::{ScenarioCache, HITS_COUNTER, MISSES_COUNTER};
 use summit_core::experiments::registry;
 use summit_core::experiments::{Experiment, REGISTRY};
 use summit_core::json::Json;
 use summit_core::pipeline::{run_streaming, run_telemetry, StreamConfig};
+use summit_sim::engine::{Engine, EngineConfig, StepOptions};
+use summit_telemetry::batch::FrameBatch;
+use summit_telemetry::catalog::METRIC_COUNT;
 use summit_telemetry::cluster::cluster_power;
 use summit_telemetry::ids::{AllocationId, NodeId};
+use summit_telemetry::ingest::IngestHealth;
 use summit_telemetry::jobjoin::{join_jobs, AllocationIndex};
-use summit_telemetry::records::NodeAllocation;
+use summit_telemetry::records::{NodeAllocation, NodeFrame};
 use summit_telemetry::stream::FaultConfig;
-use summit_telemetry::window::NodeWindow;
+use summit_telemetry::window::{
+    coarsen_parallel_layout, CoarsenLayout, NodeWindow, PAPER_WINDOW_S,
+};
 
 /// Default fidelity scale when `--scale` is not given: the CI smoke
 /// scale (seconds per study, shapes preserved).
@@ -37,6 +44,28 @@ pub const BENCH_SCALE: f64 = 0.25;
 /// Minimum end-to-end speedup (1 thread vs the default pool) the
 /// `--bench` gate demands on a multi-core host.
 pub const SPEEDUP_THRESHOLD: f64 = 1.15;
+
+/// Minimum per-kernel speedup the gate tolerates on a multi-core host:
+/// a stage may not profit from the pool (it runs inline under its
+/// `seq_below` floor), but it must never pay for it. Anything below
+/// this is a parallel regression of that kernel.
+pub const PER_KERNEL_FLOOR: f64 = 0.95;
+
+/// Per-stage sequential seconds below which the per-kernel gate treats
+/// the timing as noise and abstains: a sub-5 ms histogram sum is timer
+/// jitter, not a measurement, even after [`KERNEL_REPS`] repetitions.
+pub const STAGE_NOISE_FLOOR_S: f64 = 0.005;
+
+/// Minimum rows/columns coarsening-time ratio the AoS-vs-SoA leg
+/// demands of the columnar layout on a multi-core host.
+pub const AOS_SOA_THRESHOLD: f64 = 1.3;
+
+/// Repetitions of the µs-scale analysis kernels (FFT, KDE fits, ECDF,
+/// correlation) per trajectory pass: one call is far below timer
+/// resolution at bench scale, so each leg repeats the kernel on the
+/// same input and the per-stage histogram sums the repetitions. Both
+/// legs repeat identically, leaving speedups unbiased.
+const KERNEL_REPS: usize = 25;
 
 /// Driver usage, printed on `--help` and argument errors.
 pub const USAGE: &str = "\
@@ -323,7 +352,8 @@ pub const BENCH_STAGES: &[(&str, &str)] = &[
 ];
 
 /// One pipeline stage's seconds in each `--bench` leg (histogram sums
-/// over every call of that stage across the selected studies).
+/// over every call of that stage across the selected studies), plus the
+/// work it processed so the artifact carries real throughput numbers.
 #[derive(Debug, Clone, Copy)]
 pub struct StageTiming {
     /// Stage label (first column of [`BENCH_STAGES`]).
@@ -332,6 +362,11 @@ pub struct StageTiming {
     pub sequential_s: f64,
     /// Total seconds in the default-pool leg.
     pub parallel_s: f64,
+    /// Elements the stage processed in one leg, kernel repetitions
+    /// included (0 when the stage's work is untracked).
+    pub elements: u64,
+    /// Bytes the stage read in one leg (0 when untracked).
+    pub bytes: u64,
 }
 
 impl StageTiming {
@@ -339,6 +374,71 @@ impl StageTiming {
     pub fn speedup(&self) -> f64 {
         if self.parallel_s > 0.0 {
             self.sequential_s / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Parallel-leg throughput in elements per second (0 when the
+    /// stage never ran or its work is untracked).
+    pub fn elements_per_s(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.elements as f64 / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Parallel-leg throughput in bytes per second.
+    pub fn bytes_per_s(&self) -> f64 {
+        if self.parallel_s > 0.0 {
+            self.bytes as f64 / self.parallel_s
+        } else {
+            0.0
+        }
+    }
+
+    /// True when the timing is strong enough for the per-kernel gate
+    /// to judge: the stage ran in both legs and its sequential time is
+    /// above the noise floor.
+    pub fn gated(&self) -> bool {
+        self.sequential_s >= STAGE_NOISE_FLOOR_S && self.parallel_s > 0.0
+    }
+}
+
+/// Work one trajectory stage processed, computed from the leg's actual
+/// data shapes (frame counts, window counts, series lengths) so the
+/// per-stage throughput in the artifact is a measurement, not a guess.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageWork {
+    /// Stage label (matches [`BENCH_STAGES`]).
+    pub name: &'static str,
+    /// Elements processed (kernel repetitions included).
+    pub elements: u64,
+    /// Bytes read (kernel repetitions included).
+    pub bytes: u64,
+}
+
+/// The AoS-vs-SoA comparison leg: the same fault-free capture coarsened
+/// once with the row-structured reference layout and once with the
+/// columnar hot path, results cross-checked bit-for-bit before either
+/// time is reported.
+#[derive(Debug, Clone, Copy)]
+pub struct LayoutBench {
+    /// Seconds coarsening with [`CoarsenLayout::Rows`] (AoS reference).
+    pub rows_s: f64,
+    /// Seconds coarsening with [`CoarsenLayout::Columns`] (SoA path).
+    pub columns_s: f64,
+    /// Windows each layout produced (bitwise-identical by check).
+    pub windows: usize,
+}
+
+impl LayoutBench {
+    /// `rows_s / columns_s`: how much faster the columnar layout
+    /// coarsens the identical capture (0 when unmeasured).
+    pub fn ratio(&self) -> f64 {
+        if self.columns_s > 0.0 {
+            self.rows_s / self.columns_s
         } else {
             0.0
         }
@@ -374,6 +474,11 @@ pub struct BenchOutcome {
     pub parallel_s: f64,
     /// Default pool size the parallel leg resolved to.
     pub threads: usize,
+    /// CPUs the host reports (`available_parallelism`).
+    pub host_cpus: usize,
+    /// The raw `SUMMIT_THREADS` value, when set: distinguishes a pool
+    /// pinned by configuration from a genuinely single-core host.
+    pub summit_threads: Option<String>,
     /// `sequential_s / parallel_s`.
     pub speedup: f64,
     /// [`rayon::pool_generation`] after the timed legs: constant across
@@ -382,6 +487,8 @@ pub struct BenchOutcome {
     pub pool_generation: u64,
     /// Per-stage kernel timings (stages that ran in either leg).
     pub stages: Vec<StageTiming>,
+    /// AoS-vs-SoA coarsening comparison leg.
+    pub aos_soa: LayoutBench,
     /// Streaming-pipeline leg measurements.
     pub streaming: StreamingBench,
 }
@@ -389,20 +496,45 @@ pub struct BenchOutcome {
 impl BenchOutcome {
     /// The CI gate verdict: `"skip"` on one-core hosts (no parallelism
     /// to measure), else `"pass"` when the end-to-end speedup clears
-    /// [`SPEEDUP_THRESHOLD`] and `"fail"` otherwise.
+    /// [`SPEEDUP_THRESHOLD`], every measurable kernel holds
+    /// [`PER_KERNEL_FLOOR`], and the columnar layout beats the AoS
+    /// reference by [`AOS_SOA_THRESHOLD`]; `"fail"` otherwise.
     pub fn gate(&self) -> &'static str {
         if self.threads <= 1 {
             "skip"
-        } else if self.speedup >= SPEEDUP_THRESHOLD {
-            "pass"
-        } else {
+        } else if self.speedup < SPEEDUP_THRESHOLD
+            || self
+                .stages
+                .iter()
+                .any(|s| s.gated() && s.speedup() < PER_KERNEL_FLOOR)
+            || self.aos_soa.ratio() < AOS_SOA_THRESHOLD
+        {
             "fail"
+        } else {
+            "pass"
         }
     }
 
+    /// Why a `"skip"` gate skipped, for the artifact: a pool pinned by
+    /// `SUMMIT_THREADS` or a genuinely single-core host. `None` when
+    /// the gate did not skip.
+    pub fn skip_reason(&self) -> Option<String> {
+        if self.threads > 1 {
+            return None;
+        }
+        Some(match &self.summit_threads {
+            Some(v) => format!("SUMMIT_THREADS={v} pins the pool to one thread"),
+            None => format!(
+                "single-core host ({} CPU): no parallelism to measure",
+                self.host_cpus
+            ),
+        })
+    }
+
     /// Serializes the outcome to the `BENCH_perf.json` document
-    /// (schema `summit-perf/2`: adds the threshold and the per-stage
-    /// table to `summit-perf/1`).
+    /// (schema `summit-perf/3`: adds host provenance, an explicit skip
+    /// reason, per-stage throughput and the AoS-vs-SoA leg to
+    /// `summit-perf/2`).
     pub fn to_json(&self, scale: f64) -> String {
         let stages = self
             .stages
@@ -413,23 +545,49 @@ impl BenchOutcome {
                     ("sequential_seconds".into(), Json::Num(s.sequential_s)),
                     ("parallel_seconds".into(), Json::Num(s.parallel_s)),
                     ("speedup".into(), Json::Num(s.speedup())),
+                    ("elements".into(), Json::Num(s.elements as f64)),
+                    ("bytes".into(), Json::Num(s.bytes as f64)),
+                    ("elements_per_second".into(), Json::Num(s.elements_per_s())),
+                    ("bytes_per_second".into(), Json::Num(s.bytes_per_s())),
                 ])
             })
             .collect();
         let doc = Json::Obj(vec![
-            ("schema".into(), Json::from("summit-perf/2")),
+            ("schema".into(), Json::from("summit-perf/3")),
             ("scale".into(), Json::Num(scale)),
             ("threads".into(), Json::from(self.threads)),
+            ("host_cpus".into(), Json::from(self.host_cpus)),
+            (
+                "summit_threads".into(),
+                self.summit_threads
+                    .as_ref()
+                    .map_or(Json::Null, |v| Json::Str(v.clone())),
+            ),
             ("sequential_seconds".into(), Json::Num(self.sequential_s)),
             ("parallel_seconds".into(), Json::Num(self.parallel_s)),
             ("speedup".into(), Json::Num(self.speedup)),
             ("speedup_threshold".into(), Json::Num(SPEEDUP_THRESHOLD)),
+            ("per_kernel_floor".into(), Json::Num(PER_KERNEL_FLOOR)),
             (
                 "pool_generation".into(),
                 Json::Num(self.pool_generation as f64),
             ),
             ("gate".into(), Json::from(self.gate())),
+            (
+                "skip_reason".into(),
+                self.skip_reason().map_or(Json::Null, Json::Str),
+            ),
             ("stages".into(), Json::Arr(stages)),
+            (
+                "aos_soa".into(),
+                Json::Obj(vec![
+                    ("rows_seconds".into(), Json::Num(self.aos_soa.rows_s)),
+                    ("columns_seconds".into(), Json::Num(self.aos_soa.columns_s)),
+                    ("ratio".into(), Json::Num(self.aos_soa.ratio())),
+                    ("ratio_threshold".into(), Json::Num(AOS_SOA_THRESHOLD)),
+                    ("windows".into(), Json::from(self.aos_soa.windows)),
+                ]),
+            ),
             (
                 "streaming".into(),
                 Json::Obj(vec![
@@ -463,15 +621,24 @@ fn stage_seconds(snap: &summit_obs::Snapshot, metric: &str) -> f64 {
     snap.histogram(metric).map_or(0.0, |h| h.sum)
 }
 
-/// Builds the per-stage table from the two legs' snapshots, keeping
-/// stages that ran in either leg.
-fn stage_table(seq: &summit_obs::Snapshot, par: &summit_obs::Snapshot) -> Vec<StageTiming> {
+/// Builds the per-stage table from the two legs' snapshots and the
+/// trajectory's work profile, keeping stages that ran in either leg.
+fn stage_table(
+    seq: &summit_obs::Snapshot,
+    par: &summit_obs::Snapshot,
+    work: &[StageWork],
+) -> Vec<StageTiming> {
     BENCH_STAGES
         .iter()
-        .map(|&(name, metric)| StageTiming {
-            name,
-            sequential_s: stage_seconds(seq, metric),
-            parallel_s: stage_seconds(par, metric),
+        .map(|&(name, metric)| {
+            let w = work.iter().find(|w| w.name == name);
+            StageTiming {
+                name,
+                sequential_s: stage_seconds(seq, metric),
+                parallel_s: stage_seconds(par, metric),
+                elements: w.map_or(0, |w| w.elements),
+                bytes: w.map_or(0, |w| w.bytes),
+            }
         })
         .filter(|s| s.sequential_s > 0.0 || s.parallel_s > 0.0)
         .collect()
@@ -510,14 +677,20 @@ fn synthetic_allocations(node_count: usize, duration_s: f64) -> Vec<NodeAllocati
     allocations
 }
 
+/// What one trajectory pass returns: the leg's private registry
+/// snapshot, a small data fingerprint used to check the two legs
+/// processed identical data, and the per-stage work profile.
+type TrajectoryLeg = (summit_obs::Snapshot, usize, Vec<StageWork>);
+
 /// One pass of the `--bench` trajectory: the telemetry capture (engine
 /// tick map, frame generation, fault injection, fault-tolerant
 /// coarsening), the scheduler join, the cluster reduction, then the
 /// analysis kernels the paper's figures lean on (FFT, 1-D/2-D KDE,
-/// ECDF, correlation matrix). Records into a private registry and
-/// returns its snapshot plus a small data fingerprint used to check
-/// the two legs processed identical data.
-fn trajectory_leg(scale: f64) -> Result<(summit_obs::Snapshot, usize), String> {
+/// ECDF, correlation matrix), each repeated [`KERNEL_REPS`] times so
+/// their histogram sums rise above timer noise. Records into a private
+/// registry and returns its snapshot, the fingerprint, and the work
+/// profile the throughput columns are computed from.
+fn trajectory_leg(scale: f64) -> Result<TrajectoryLeg, String> {
     let obs = summit_obs::registry::Registry::new();
     let guard = obs.install();
     let (cabinets, duration_s) = trajectory_shape(scale);
@@ -532,20 +705,216 @@ fn trajectory_leg(scale: f64) -> Result<(summit_obs::Snapshot, usize), String> {
     let cluster = cluster_power(&run.windows_by_node);
     let (xs, ys): (Vec<f64>, Vec<f64>) =
         cluster.iter().map(|r| (r.window_start, r.sum_inp)).unzip();
-    let spectrum = fft_padded(&ys);
-    let kde = Kde1d::fit(&ys, Bandwidth::Scott);
-    let kde2 = Kde2d::fit(&xs, &ys, Bandwidth::Scott);
-    let cdf = Ecdf::new(&ys);
-    let means = cluster.iter().map(|r| r.mean_inp).collect();
-    let maxes = cluster.iter().map(|r| r.max_inp).collect();
-    let corr = CorrelationMatrix::compute(&[xs, ys, means, maxes], 0.05);
+    let means: Vec<f64> = cluster.iter().map(|r| r.mean_inp).collect();
+    let maxes: Vec<f64> = cluster.iter().map(|r| r.max_inp).collect();
+    let vars = [xs.clone(), ys.clone(), means, maxes];
+    // The kernels are deterministic, so every repetition returns the
+    // same values; only the per-stage histogram sums accumulate.
+    let mut spectrum = Vec::new();
+    let (mut kde, mut kde2, mut cdf, mut corr) = (None, None, None, None);
+    for _ in 0..KERNEL_REPS {
+        spectrum = fft_padded(&ys);
+        kde = Kde1d::fit(&ys, Bandwidth::Scott);
+        kde2 = Kde2d::fit(&xs, &ys, Bandwidth::Scott);
+        cdf = Ecdf::new(&ys);
+        corr = Some(CorrelationMatrix::compute(&vars, 0.05));
+    }
     drop(guard);
 
+    let Some(corr) = corr else {
+        return Err("bench trajectory ran zero kernel repetitions".into());
+    };
     if kde.is_none() || kde2.is_none() || cdf.is_none() {
         return Err("bench trajectory produced too few cluster windows for the kernels".into());
     }
     let fingerprint = job_rows.len() + component_rows.len() + spectrum.len() + corr.pairs.len();
-    Ok((obs.snapshot(), fingerprint))
+
+    let frame_bytes = (METRIC_COUNT * std::mem::size_of::<f32>()) as u64;
+    let frames = run.stats.frames;
+    let accepted = run.stats.health.accepted;
+    let windows: u64 = run.windows_by_node.iter().map(|w| w.len() as u64).sum();
+    let window_bytes = (METRIC_COUNT * std::mem::size_of::<WindowStats>()) as u64;
+    let reps = KERNEL_REPS as u64;
+    let series = ys.len() as u64;
+    let f64s = std::mem::size_of::<f64>() as u64;
+    let work = vec![
+        StageWork {
+            name: "engine_tick",
+            elements: frames,
+            bytes: frames * frame_bytes,
+        },
+        StageWork {
+            name: "frame_generation",
+            elements: frames,
+            bytes: frames * frame_bytes,
+        },
+        StageWork {
+            name: "coarsen",
+            elements: accepted,
+            bytes: accepted * frame_bytes,
+        },
+        StageWork {
+            name: "jobjoin",
+            elements: windows,
+            bytes: windows * window_bytes,
+        },
+        StageWork {
+            name: "fft",
+            elements: spectrum.len() as u64 * reps,
+            bytes: spectrum.len() as u64 * reps * 2 * f64s,
+        },
+        StageWork {
+            name: "kde_fit",
+            elements: series * reps,
+            bytes: series * reps * f64s,
+        },
+        StageWork {
+            name: "kde2_fit",
+            elements: 2 * series * reps,
+            bytes: 2 * series * reps * f64s,
+        },
+        StageWork {
+            name: "cdf_build",
+            elements: series * reps,
+            bytes: series * reps * f64s,
+        },
+        StageWork {
+            name: "correlation",
+            elements: corr.pairs.len() as u64 * series * reps,
+            bytes: corr.pairs.len() as u64 * series * reps * 2 * f64s,
+        },
+    ];
+    Ok((obs.snapshot(), fingerprint, work))
+}
+
+/// FNV-1a over every bit of every window — node ids, window starts and
+/// the full statistic quintuples (NaN bit patterns included). Two
+/// layouts that coarsen identically produce equal digests; any
+/// single-bit divergence changes the hash. Digesting instead of
+/// holding both outputs keeps the leg's resident set to one window set
+/// at a time, so neither layout is timed under the other's heap.
+fn windows_digest(windows: &[Vec<NodeWindow>]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+    };
+    for node in windows {
+        eat(node.len() as u64);
+        for w in node {
+            eat(u64::from(w.node.0));
+            eat(w.window_start.to_bits());
+            eat(w.stats.len() as u64);
+            for s in &w.stats {
+                eat(s.count);
+                eat(s.min.to_bits());
+                eat(s.max.to_bits());
+                eat(s.mean.to_bits());
+                eat(s.std.to_bits());
+            }
+        }
+    }
+    h
+}
+
+/// The AoS-vs-SoA leg of `--bench`: generates one fault-free capture
+/// with the engine's columnar tick batches, then coarsens the identical
+/// per-node frame sequences once with the row-structured reference
+/// layout and once with the columnar hot path (best of two passes
+/// each). The two outputs are cross-checked to the bit before either
+/// time is reported — a columnar layout that wins by computing
+/// something different fails the bench instead of shipping the win.
+fn layout_leg(scale: f64) -> Result<LayoutBench, String> {
+    let obs = summit_obs::registry::Registry::new();
+    let _guard = obs.install();
+    let (cabinets, duration_s) = trajectory_shape(scale);
+    // Long-stream shape: the same frame volume as the trajectory leg,
+    // carried by fewer nodes over a proportionally longer capture.
+    // Coarsening serves multi-hour per-node streams (the paper's
+    // telemetry is a year of 10 s windows per node), so the leg
+    // measures the steady-state window cadence rather than the
+    // 24-windows-per-node startup transient a 240 s burst would time.
+    let shrink = (cabinets / 2).clamp(1, 16);
+    let cabinets = cabinets.div_ceil(shrink);
+    let duration_s = duration_s * shrink as f64;
+    let config = EngineConfig::small(cabinets);
+    let dt = config.dt_s;
+    let mut engine = Engine::new(config, 0.0);
+    let node_count = engine.topology().node_count();
+    let n_ticks = (duration_s / dt).ceil() as usize;
+    let mut frames_by_node: Vec<Vec<NodeFrame>> = vec![Vec::with_capacity(n_ticks); node_count];
+    let opts = StepOptions {
+        frames: true,
+        ..StepOptions::default()
+    };
+    let mut tick = FrameBatch::with_capacity(node_count);
+    for _ in 0..n_ticks {
+        let _ = engine.step_batch(&opts, &mut tick);
+        for row in 0..tick.len() {
+            let f = tick.read_frame(row);
+            if let Some(node) = frames_by_node.get_mut(f.node.index()) {
+                node.push(f);
+            }
+        }
+    }
+
+    // Best of four passes per layout, interleaved rows/columns so a
+    // slow scheduling epoch lands on both layouts instead of skewing
+    // whichever happened to run during it — the A/B ratio gate needs
+    // tighter minima than a pass/fail wall-clock check does. Each
+    // pass is digested (outside the timed region) and dropped before
+    // the next starts, so no layout is ever timed while the other
+    // layout's 100+ MB window set is still resident.
+    struct LegState {
+        layout: CoarsenLayout,
+        secs: f64,
+        digest: u64,
+        health: IngestHealth,
+        emitted: usize,
+    }
+    let mut legs = [CoarsenLayout::Rows, CoarsenLayout::Columns].map(|layout| LegState {
+        layout,
+        secs: f64::INFINITY,
+        digest: 0,
+        health: IngestHealth::default(),
+        emitted: 0,
+    });
+    for pass in 0..4 {
+        for leg in &mut legs {
+            let started = std::time::Instant::now();
+            let (windows, pass_health) =
+                coarsen_parallel_layout(&frames_by_node, PAPER_WINDOW_S, leg.layout);
+            leg.secs = leg.secs.min(started.elapsed().as_secs_f64());
+            let pass_digest = windows_digest(&windows);
+            if pass == 0 {
+                leg.digest = pass_digest;
+                leg.health = pass_health;
+                leg.emitted = windows.iter().map(Vec::len).sum();
+            } else if pass_digest != leg.digest {
+                return Err(format!(
+                    "AoS-vs-SoA bench leg is nondeterministic: two {:?} passes \
+                     over the same capture disagree",
+                    leg.layout
+                ));
+            }
+        }
+    }
+    let [rows, columns] = legs;
+    if rows.health != columns.health || rows.digest != columns.digest {
+        return Err(
+            "AoS-vs-SoA bench leg diverged: the columnar coarsener is not bit-identical \
+             to the row-structured reference"
+                .into(),
+        );
+    }
+    Ok(LayoutBench {
+        rows_s: rows.secs,
+        columns_s: columns.secs,
+        windows: rows.emitted,
+    })
 }
 
 /// The streaming leg of `--bench`: one smoke-scale online pass timed
@@ -603,41 +972,45 @@ fn streaming_leg() -> Result<StreamingBench, String> {
 /// buffers, worker spawning) that would otherwise be billed entirely
 /// to the sequential leg and inflate the measured speedup.
 pub fn run_bench(scale: f64) -> Result<BenchOutcome, String> {
-    type Leg = (summit_obs::Snapshot, usize);
     // Best of two repetitions per leg: the min discards transient
     // noise (residual allocator growth, scheduler hiccups) that a
     // single sample would fold straight into the gate verdict.
-    let time_leg = |f: &dyn Fn() -> Result<Leg, String>| -> Result<(f64, Leg), String> {
-        let started = std::time::Instant::now();
-        let mut out = f()?;
-        let mut wall = started.elapsed().as_secs_f64();
-        let started = std::time::Instant::now();
-        let rerun = f()?;
-        let rerun_wall = started.elapsed().as_secs_f64();
-        if rerun_wall < wall {
-            wall = rerun_wall;
-            out = rerun;
-        }
-        Ok((wall, out))
-    };
+    let time_leg =
+        |f: &dyn Fn() -> Result<TrajectoryLeg, String>| -> Result<(f64, TrajectoryLeg), String> {
+            let started = std::time::Instant::now();
+            let mut out = f()?;
+            let mut wall = started.elapsed().as_secs_f64();
+            let started = std::time::Instant::now();
+            let rerun = f()?;
+            let rerun_wall = started.elapsed().as_secs_f64();
+            if rerun_wall < wall {
+                wall = rerun_wall;
+                out = rerun;
+            }
+            Ok((wall, out))
+        };
     trajectory_leg(scale)?;
-    let (sequential_s, (seq_obs, seq_fp)) =
+    let (sequential_s, (seq_obs, seq_fp, seq_work)) =
         time_leg(&|| rayon::with_thread_count(1, || trajectory_leg(scale)))?;
-    let (parallel_s, (par_obs, par_fp)) = time_leg(&|| trajectory_leg(scale))?;
-    if seq_fp != par_fp {
+    let (parallel_s, (par_obs, par_fp, par_work)) = time_leg(&|| trajectory_leg(scale))?;
+    if seq_fp != par_fp || seq_work != par_work {
         return Err(format!(
             "bench legs diverged: sequential fingerprint {seq_fp} != parallel {par_fp} \
              (thread-count determinism violated)"
         ));
     }
+    let aos_soa = layout_leg(scale)?;
     let streaming = streaming_leg()?;
     Ok(BenchOutcome {
         sequential_s,
         parallel_s,
         threads: rayon::current_num_threads(),
+        host_cpus: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        summit_threads: std::env::var("SUMMIT_THREADS").ok(),
         speedup: sequential_s / parallel_s.max(f64::MIN_POSITIVE),
         pool_generation: rayon::pool_generation(),
-        stages: stage_table(&seq_obs, &par_obs),
+        stages: stage_table(&seq_obs, &par_obs, &par_work),
+        aos_soa,
         streaming,
     })
 }
@@ -657,12 +1030,25 @@ pub fn render_bench(b: &BenchOutcome) -> String {
     let mut s = String::new();
     for stage in &b.stages {
         s.push_str(&format!(
-            "[bench] {:<16} sequential {:>8.3}s, parallel {:>8.3}s -> {:.2}x\n",
+            "[bench] {:<16} sequential {:>8.3}s, parallel {:>8.3}s -> {:.2}x ({:.2} Melem/s, {:.1} MB/s)\n",
             stage.name,
             stage.sequential_s,
             stage.parallel_s,
-            stage.speedup()
+            stage.speedup(),
+            stage.elements_per_s() / 1e6,
+            stage.bytes_per_s() / 1e6,
         ));
+    }
+    s.push_str(&format!(
+        "[bench] aos-vs-soa       rows {:.3}s, columns {:.3}s -> {:.2}x columnar over {} windows (threshold {:.1}x)\n",
+        b.aos_soa.rows_s,
+        b.aos_soa.columns_s,
+        b.aos_soa.ratio(),
+        b.aos_soa.windows,
+        AOS_SOA_THRESHOLD,
+    ));
+    if let Some(reason) = b.skip_reason() {
+        s.push_str(&format!("[bench] gate skipped: {reason}\n"));
     }
     s.push_str(&format!(
         "[bench] streaming leg    {:.3}s wall, {:.0} frames/s sustained, frame->alert p99 {:.2}s, {} stalls, {} peak resident frames\n",
@@ -760,16 +1146,16 @@ pub fn run(inv: &Invocation) -> Result<(), String> {
     }
     if inv.bench {
         let outcome = run_bench(scale)?;
-        let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
         if refuse_skip(
             outcome.gate(),
-            std::env::var_os("SUMMIT_THREADS").is_some(),
-            cpus,
+            outcome.summit_threads.is_some(),
+            outcome.host_cpus,
         ) {
             return Err(format!(
                 "refusing to write a \"skip\" {BENCH_PERF_PATH}: SUMMIT_THREADS is \
-                 unset and {cpus} CPUs are available, so the pool resolving to one \
-                 thread is a bug, not a one-core host"
+                 unset and {} CPUs are available, so the pool resolving to one \
+                 thread is a bug, not a one-core host",
+                outcome.host_cpus
             ));
         }
         let json = outcome.to_json(scale);
@@ -950,17 +1336,31 @@ mod tests {
         }
     }
 
-    #[test]
-    fn bench_gate_verdicts() {
-        let outcome = |threads, seq: f64, par: f64| BenchOutcome {
+    fn healthy_aos_soa() -> LayoutBench {
+        LayoutBench {
+            rows_s: 2.0,
+            columns_s: 1.0,
+            windows: 500,
+        }
+    }
+
+    fn outcome(threads: usize, seq: f64, par: f64) -> BenchOutcome {
+        BenchOutcome {
             sequential_s: seq,
             parallel_s: par,
             threads,
+            host_cpus: threads.max(1),
+            summit_threads: None,
             speedup: seq / par,
             pool_generation: 1,
             stages: Vec::new(),
+            aos_soa: healthy_aos_soa(),
             streaming: idle_streaming(),
-        };
+        }
+    }
+
+    #[test]
+    fn bench_gate_verdicts() {
         assert_eq!(outcome(1, 1.0, 1.0).gate(), "skip");
         assert_eq!(outcome(4, 2.0, 1.0).gate(), "pass");
         assert_eq!(outcome(4, 1.0, 2.0).gate(), "fail");
@@ -970,33 +1370,106 @@ mod tests {
     }
 
     #[test]
+    fn gate_fails_on_a_per_kernel_regression() {
+        let stage = |seq: f64, par: f64| StageTiming {
+            name: "correlation",
+            sequential_s: seq,
+            parallel_s: par,
+            elements: 1000,
+            bytes: 16_000,
+        };
+        // A kernel 2x slower on the pool fails even when the end-to-end
+        // speedup passes.
+        let mut bad = outcome(4, 2.0, 1.0);
+        bad.stages = vec![stage(0.1, 0.2)];
+        assert_eq!(bad.gate(), "fail");
+        // At or above the floor passes...
+        let mut ok = outcome(4, 2.0, 1.0);
+        ok.stages = vec![stage(0.095, 0.1)];
+        assert_eq!(ok.gate(), "pass");
+        // ...and sub-noise-floor timings abstain rather than judge.
+        let mut noisy = outcome(4, 2.0, 1.0);
+        noisy.stages = vec![stage(STAGE_NOISE_FLOOR_S / 2.0, STAGE_NOISE_FLOOR_S)];
+        assert_eq!(noisy.gate(), "pass");
+    }
+
+    #[test]
+    fn gate_fails_when_the_columnar_layout_stops_winning() {
+        let mut slow = outcome(4, 2.0, 1.0);
+        slow.aos_soa = LayoutBench {
+            rows_s: 1.0,
+            columns_s: 1.0,
+            windows: 500,
+        };
+        assert_eq!(slow.gate(), "fail");
+        // On a one-core host the layout ratio still reports but the
+        // gate stays "skip".
+        let mut single = outcome(1, 1.0, 1.0);
+        single.aos_soa = slow.aos_soa;
+        assert_eq!(single.gate(), "skip");
+    }
+
+    #[test]
+    fn skip_reason_distinguishes_pin_from_single_core() {
+        let mut pinned = outcome(1, 1.0, 1.0);
+        pinned.summit_threads = Some("1".into());
+        pinned.host_cpus = 8;
+        assert!(pinned.skip_reason().unwrap().contains("SUMMIT_THREADS=1"));
+        let mut one_core = outcome(1, 1.0, 1.0);
+        one_core.host_cpus = 1;
+        assert!(one_core.skip_reason().unwrap().contains("single-core"));
+        assert!(outcome(4, 2.0, 1.0).skip_reason().is_none());
+    }
+
+    #[test]
+    fn stage_throughput_is_computed_from_the_parallel_leg() {
+        let s = StageTiming {
+            name: "coarsen",
+            sequential_s: 4.0,
+            parallel_s: 2.0,
+            elements: 1_000_000,
+            bytes: 424_000_000,
+        };
+        assert_eq!(s.elements_per_s(), 500_000.0);
+        assert_eq!(s.bytes_per_s(), 212_000_000.0);
+        let never_ran = StageTiming {
+            parallel_s: 0.0,
+            ..s
+        };
+        assert_eq!(never_ran.elements_per_s(), 0.0);
+        assert_eq!(never_ran.bytes_per_s(), 0.0);
+        assert!(!never_ran.gated());
+    }
+
+    #[test]
     fn bench_json_round_trips() {
-        let json = BenchOutcome {
-            sequential_s: 2.5,
-            parallel_s: 1.25,
-            threads: 4,
-            speedup: 2.0,
-            pool_generation: 3,
-            stages: vec![StageTiming {
-                name: "engine_tick",
-                sequential_s: 1.5,
-                parallel_s: 0.5,
-            }],
-            streaming: idle_streaming(),
-        }
-        .to_json(0.05);
+        let mut out = outcome(4, 2.5, 1.25);
+        out.pool_generation = 3;
+        out.stages = vec![StageTiming {
+            name: "engine_tick",
+            sequential_s: 1.5,
+            parallel_s: 0.5,
+            elements: 1000,
+            bytes: 424_000,
+        }];
+        let json = out.to_json(0.05);
         let doc = Json::parse(&json).unwrap();
         let Json::Obj(fields) = &doc else {
             panic!("expected object")
         };
         let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
-        assert_eq!(get("schema"), Some(&Json::from("summit-perf/2")));
+        assert_eq!(get("schema"), Some(&Json::from("summit-perf/3")));
         assert_eq!(get("gate"), Some(&Json::from("pass")));
         assert_eq!(get("threads"), Some(&Json::from(4usize)));
+        assert_eq!(get("host_cpus"), Some(&Json::from(4usize)));
+        // Unpinned pool and a passing gate serialize as explicit nulls.
+        assert_eq!(get("summit_threads"), Some(&Json::Null));
+        assert_eq!(get("skip_reason"), Some(&Json::Null));
         assert_eq!(
             get("speedup_threshold"),
             Some(&Json::Num(SPEEDUP_THRESHOLD))
         );
+        assert_eq!(get("per_kernel_floor"), Some(&Json::Num(PER_KERNEL_FLOOR)));
         assert_eq!(get("pool_generation"), Some(&Json::Num(3.0)));
         let Some(Json::Arr(stages)) = get("stages") else {
             panic!("expected stages array")
@@ -1011,6 +1484,25 @@ mod tests {
         assert!(stage
             .iter()
             .any(|(k, v)| k == "speedup" && *v == Json::Num(3.0)));
+        assert!(stage
+            .iter()
+            .any(|(k, v)| k == "elements" && *v == Json::Num(1000.0)));
+        assert!(stage
+            .iter()
+            .any(|(k, v)| k == "elements_per_second" && *v == Json::Num(2000.0)));
+        assert!(stage
+            .iter()
+            .any(|(k, v)| k == "bytes_per_second" && *v == Json::Num(848_000.0)));
+        // The AoS-vs-SoA leg rides in the same schema.
+        let Some(Json::Obj(aos)) = get("aos_soa") else {
+            panic!("expected aos_soa object")
+        };
+        let aget = |name: &str| aos.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        assert_eq!(aget("rows_seconds"), Some(&Json::Num(2.0)));
+        assert_eq!(aget("columns_seconds"), Some(&Json::Num(1.0)));
+        assert_eq!(aget("ratio"), Some(&Json::Num(2.0)));
+        assert_eq!(aget("ratio_threshold"), Some(&Json::Num(AOS_SOA_THRESHOLD)));
+        assert_eq!(aget("windows"), Some(&Json::from(500usize)));
         // The streaming leg rides in the same schema.
         let Some(Json::Obj(streaming)) = get("streaming") else {
             panic!("expected streaming object")
@@ -1048,7 +1540,12 @@ mod tests {
         };
         let seq = record("summit_core_engine_tick_seconds", 2.0);
         let par = record("summit_analysis_fft_seconds", 0.5);
-        let table = stage_table(&seq, &par);
+        let work = [StageWork {
+            name: "fft",
+            elements: 100,
+            bytes: 1600,
+        }];
+        let table = stage_table(&seq, &par, &work);
         let names: Vec<&str> = table.iter().map(|s| s.name).collect();
         assert_eq!(names, vec!["engine_tick", "fft"]);
         // engine_tick ran only sequentially, fft only in parallel;
@@ -1056,6 +1553,10 @@ mod tests {
         assert_eq!(table[0].sequential_s, 2.0);
         assert_eq!(table[0].parallel_s, 0.0);
         assert_eq!(table[1].speedup(), 0.0);
+        // Work joins by stage name; untracked stages report zero.
+        assert_eq!(table[0].elements, 0);
+        assert_eq!(table[1].elements, 100);
+        assert_eq!(table[1].elements_per_s(), 200.0);
     }
 
     #[test]

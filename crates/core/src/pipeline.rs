@@ -21,6 +21,7 @@ use summit_sim::jobs::{JobGenerator, SyntheticJob};
 use summit_sim::jobstats::{population_stats, JobStatsRow};
 use summit_sim::power::PowerModel;
 use summit_sim::spec;
+use summit_telemetry::batch::FrameBatch;
 use summit_telemetry::delivery::NodeDelivery;
 use summit_telemetry::records::{NodeFrame, XidEvent};
 use summit_telemetry::stream::{FaultConfig, FaultInjector, IngestStats, InjectedFaults};
@@ -478,16 +479,20 @@ pub fn run_telemetry(
                 frames: true,
                 ..StepOptions::default()
             };
+            // One columnar tick batch, reset (never reallocated) every
+            // tick: the engine writes metric columns in place and the
+            // router reads back the exact row frames the old path
+            // built — the steady-state tick loop touches no allocator.
+            let mut tick_batch = FrameBatch::with_capacity(node_count);
             for _ in 0..n_ticks {
-                let tick = {
+                {
                     let _tick_obs = summit_obs::span("summit_core_engine_tick");
-                    engine.step_opts(&opts)
-                };
-                if let Some(frames) = tick.frames {
-                    for f in frames {
-                        if let Some(batch) = frames_by_node.get_mut(f.node.index()) {
-                            batch.push(f);
-                        }
+                    let _ = engine.step_batch(&opts, &mut tick_batch);
+                }
+                for row in 0..tick_batch.len() {
+                    let f = tick_batch.read_frame(row);
+                    if let Some(batch) = frames_by_node.get_mut(f.node.index()) {
+                        batch.push(f);
                     }
                 }
             }
@@ -760,20 +765,26 @@ pub fn run_streaming(config: StreamConfig) -> StreamingRun {
 
         let jobs = stream_batches(
             config.channel_capacity,
-            move |send: &dyn Fn(Vec<TickOutput>) -> bool| {
+            move |send: &dyn Fn(Vec<(TickOutput, FrameBatch)>) -> bool| {
                 let _gen = summit_obs::span("summit_core_frame_generation");
                 let opts = StepOptions {
                     frames: true,
                     ..StepOptions::default()
                 };
                 let mut engine = Engine::new(engine_config, 0.0);
+                let node_count = engine.topology().node_count();
                 let mut sent = 0usize;
                 while sent < n_ticks {
                     let n = ticks_per_batch.min(n_ticks - sent);
                     let mut batch = Vec::with_capacity(n);
                     for _ in 0..n {
                         let _tick_obs = summit_obs::span("summit_core_engine_tick");
-                        batch.push(engine.step_opts(&opts));
+                        // Ownership of each tick's columns crosses the
+                        // channel, so the buffer is per tick here; the
+                        // engine still writes columns, not row frames.
+                        let mut frames = FrameBatch::with_capacity(node_count);
+                        let tick = engine.step_batch(&opts, &mut frames);
+                        batch.push((tick, frames));
                     }
                     sent += n;
                     if !send(batch) {
@@ -784,14 +795,17 @@ pub fn run_streaming(config: StreamConfig) -> StreamingRun {
                 sched.running().len() + sched.completed().len()
             },
             |batch, depth| {
-                peak_depth = peak_depth.max(depth + 1);
+                // `depth + 1` counts the just-received batch back in,
+                // but the producer may already have refilled its slot
+                // by the time `depth` was read; the channel itself
+                // never holds more than its capacity, so clamp.
+                peak_depth = peak_depth.max((depth + 1).min(config.channel_capacity.max(1)));
                 summit_obs::gauge("summit_core_stream_channel_depth").set(depth as f64);
                 let _obs = summit_obs::span("summit_core_stream_consume");
-                for mut tick in batch {
-                    let frames = tick.frames.take();
+                for (tick, frames) in batch {
                     console.observe(&tick);
-                    let Some(frames) = frames else { continue };
-                    for f in frames {
+                    for row in 0..frames.len() {
+                        let f = frames.read_frame(row);
                         offered += 1;
                         let idx = f.node.index();
                         if deliveries.len() <= idx {

@@ -1,0 +1,136 @@
+//! Cross-layer bit-identity for the columnar (SoA) hot path.
+//!
+//! The columnar refactor promises that layout changes memory and
+//! instruction scheduling only, never results: the SoA coarsener must
+//! match the row-structured reference to the bit, on the same frames,
+//! for every thread count, in both the batch replay and the streaming
+//! pipeline. These tests drive the full pipeline (engine → delivery →
+//! coarsening) rather than unit inputs, so a divergence anywhere along
+//! the hot path fails here even if each layer's own tests still pass.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use summit_core::pipeline::{run_streaming, run_telemetry, StreamConfig};
+use summit_sim::engine::{Engine, EngineConfig, StepOptions};
+use summit_telemetry::batch::FrameBatch;
+use summit_telemetry::records::NodeFrame;
+use summit_telemetry::stream::FaultConfig;
+use summit_telemetry::window::{
+    coarsen_parallel_layout, CoarsenLayout, NodeWindow, PAPER_WINDOW_S,
+};
+
+fn assert_windows_bitwise_eq(a: &[Vec<NodeWindow>], b: &[Vec<NodeWindow>], context: &str) {
+    assert_eq!(a.len(), b.len(), "{context}: node count differs");
+    for (node, (wa, wb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            wa.len(),
+            wb.len(),
+            "{context}: window count differs at node {node}"
+        );
+        for (x, y) in wa.iter().zip(wb) {
+            assert_eq!(x.node, y.node, "{context}");
+            assert_eq!(
+                x.window_start.to_bits(),
+                y.window_start.to_bits(),
+                "{context}: window start diverged at node {node}"
+            );
+            assert_eq!(x.stats.len(), y.stats.len(), "{context}");
+            for (m, (sx, sy)) in x.stats.iter().zip(&y.stats).enumerate() {
+                assert_eq!(sx.count, sy.count, "{context}: node {node} metric {m}");
+                for (fx, fy) in [
+                    (sx.min, sy.min),
+                    (sx.max, sy.max),
+                    (sx.mean, sy.mean),
+                    (sx.std, sy.std),
+                ] {
+                    assert_eq!(
+                        fx.to_bits(),
+                        fy.to_bits(),
+                        "{context}: node {node} metric {m}: {fx} != {fy}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A fault-free capture generated through the engine's columnar tick
+/// batches, grouped per node — the same shape the pipeline feeds the
+/// coarsener.
+fn engine_frames(cabinets: usize, duration_s: f64) -> Vec<Vec<NodeFrame>> {
+    let config = EngineConfig::small(cabinets);
+    let dt = config.dt_s;
+    let mut engine = Engine::new(config, 0.0);
+    let node_count = engine.topology().node_count();
+    let n_ticks = (duration_s / dt).ceil() as usize;
+    let mut frames_by_node: Vec<Vec<NodeFrame>> = vec![Vec::with_capacity(n_ticks); node_count];
+    let opts = StepOptions {
+        frames: true,
+        ..StepOptions::default()
+    };
+    let mut tick = FrameBatch::with_capacity(node_count);
+    for _ in 0..n_ticks {
+        let _ = engine.step_batch(&opts, &mut tick);
+        for row in 0..tick.len() {
+            let f = tick.read_frame(row);
+            frames_by_node[f.node.index()].push(f);
+        }
+    }
+    frames_by_node
+}
+
+#[test]
+fn columnar_coarsening_matches_rows_reference_across_thread_counts() {
+    let frames = engine_frames(2, 120.0);
+    let (rows_ref, rows_health) =
+        coarsen_parallel_layout(&frames, PAPER_WINDOW_S, CoarsenLayout::Rows);
+    for threads in [1usize, 2, 4] {
+        let (cols, cols_health) = rayon::with_thread_count(threads, || {
+            coarsen_parallel_layout(&frames, PAPER_WINDOW_S, CoarsenLayout::Columns)
+        });
+        assert_eq!(cols_health, rows_health, "threads={threads}");
+        assert_windows_bitwise_eq(
+            &rows_ref,
+            &cols,
+            &format!("columns vs rows, threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn faulty_telemetry_run_is_thread_count_invariant_to_the_bit() {
+    // The full batch pipeline — tick batches, fault injection, SoA
+    // coarsening, health merge — must not see the thread count at all.
+    let faults = Some(FaultConfig::light(7));
+    let base = run_telemetry(2, 120.0, faults);
+    for threads in [1usize, 2] {
+        let got = rayon::with_thread_count(threads, || run_telemetry(2, 120.0, faults));
+        assert_eq!(got.stats.frames, base.stats.frames, "threads={threads}");
+        assert_eq!(
+            got.stats.total_delay_s.to_bits(),
+            base.stats.total_delay_s.to_bits(),
+            "threads={threads}"
+        );
+        assert_eq!(got.stats.health, base.stats.health, "threads={threads}");
+        assert_windows_bitwise_eq(
+            &base.windows_by_node,
+            &got.windows_by_node,
+            &format!("batch run, threads={threads}"),
+        );
+    }
+}
+
+#[test]
+fn streaming_windows_match_batch_to_the_bit() {
+    // Same capture online (producer thread, bounded channel, columnar
+    // tick batches crossing it) and as a batch replay.
+    let faults = Some(FaultConfig::light(7));
+    let stream = run_streaming(StreamConfig::new(2, 120.0, faults));
+    let batch = run_telemetry(2, 120.0, faults);
+    assert_eq!(stream.stats.health, batch.stats.health);
+    assert_windows_bitwise_eq(
+        &batch.windows_by_node,
+        &stream.windows_by_node,
+        "streaming vs batch",
+    );
+}

@@ -8,6 +8,7 @@
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use summit_telemetry::batch::FrameBatch;
 use summit_telemetry::catalog;
 use summit_telemetry::ids::{CabinetId, GpuSlot, NodeId, Socket};
 use summit_telemetry::records::{CepRecord, NodeFrame};
@@ -151,6 +152,10 @@ pub struct Engine {
     msb_model: MsbMeterModel,
     scheduler: Scheduler,
     thermals: Vec<NodeThermals>,
+    /// Tick-loop arenas, reused every tick so the steady-state tick
+    /// path performs no per-tick (let alone per-frame) heap allocation.
+    assignment_scratch: Vec<Option<(WorkloadSignal, f64, u32)>>,
+    node_power_scratch: Vec<f64>,
     t: f64,
     tick: u64,
 }
@@ -200,6 +205,8 @@ impl Engine {
             msb_model: MsbMeterModel::with_seed(0x1157),
             scheduler: Scheduler::new(node_count),
             thermals: vec![NodeThermals::at_water(supply + 8.0); node_count],
+            assignment_scratch: Vec::new(),
+            node_power_scratch: Vec::new(),
             topology,
             t: t0,
             tick: 0,
@@ -261,14 +268,35 @@ impl Engine {
 
     /// Advances one tick collecting the requested detail.
     pub fn step_opts(&mut self, opts: &StepOptions) -> TickOutput {
+        self.step_impl(opts, None)
+    }
+
+    /// Advances one tick like [`Engine::step_opts`], but writes this
+    /// tick's telemetry frames into the caller's columnar [`FrameBatch`]
+    /// (reset to the floor's node count) instead of allocating a
+    /// per-frame row vector; [`TickOutput::frames`] stays `None`. The
+    /// batch rows are bit-identical to the frames [`Engine::step_opts`]
+    /// would emit with `opts.frames` set.
+    pub fn step_batch(&mut self, opts: &StepOptions, batch: &mut FrameBatch) -> TickOutput {
+        self.step_impl(opts, Some(batch))
+    }
+
+    fn step_impl(
+        &mut self,
+        opts: &StepOptions,
+        frame_batch: Option<&mut FrameBatch>,
+    ) -> TickOutput {
         let dt = self.config.dt_s;
         let t = self.t;
         let tick = self.tick;
         self.scheduler.advance(t);
 
-        // node -> (signal, t_rel, rank) assignment table.
+        // node -> (signal, t_rel, rank) assignment table (arena: the
+        // table is reused across ticks, refilled in place).
         let node_count = self.topology.node_count();
-        let mut assignment: Vec<Option<(WorkloadSignal, f64, u32)>> = vec![None; node_count];
+        let mut assignment = std::mem::take(&mut self.assignment_scratch);
+        assignment.clear();
+        assignment.resize(node_count, None);
         for p in self.scheduler.running() {
             let sig = p.signal();
             let t_rel = t - p.start_time;
@@ -281,16 +309,20 @@ impl Engine {
         let tm = self.thermal_model;
         let supply_c = crate::spec::MTW_SUPPLY_NOMINAL_C;
         let msb = self.msb_model;
-        let thermals_in = std::mem::take(&mut self.thermals);
+        let thermals_in = &self.thermals;
 
         // Per-node tick work is light (a few model evaluations), so
         // keep chunks at >= TICK_MIN_CHUNK nodes to amortize task
         // hand-off; the chunk grid stays thread-count independent.
-        let results: Vec<NodeTick> = thermals_in
+        // Iterating the index range over the *borrowed* thermal state
+        // (instead of taking the vector by value) keeps the identical
+        // chunk grid while avoiding the per-tick source binning and
+        // thermal-vector rebuild.
+        let results: Vec<NodeTick> = (0..node_count)
             .into_par_iter()
             .with_min_len(Self::TICK_MIN_CHUNK)
-            .enumerate()
-            .map(|(i, mut th)| {
+            .map(|i| {
+                let mut th = thermals_in[i];
                 let node = NodeId(i as u32);
                 let (util, busy) = match &assignment[i] {
                     Some((sig, t_rel, rank)) => (sig.node_utilization(*t_rel, *rank), true),
@@ -311,8 +343,11 @@ impl Engine {
                 }
             })
             .collect();
+        self.assignment_scratch = assignment;
 
-        self.thermals = results.iter().map(|r| r.thermals).collect();
+        for (slot, r) in self.thermals.iter_mut().zip(&results) {
+            *slot = r.thermals;
+        }
 
         let true_compute: f64 = results.iter().map(|r| r.true_power).sum();
         let temps_ok = self.temps_available();
@@ -350,23 +385,42 @@ impl Engine {
         let wet_bulb = self.weather.wet_bulb_c(t);
         let cep = self.facility.step(t, it_power, wet_bulb, dt);
 
-        // MSB meters read the true power plus distribution overheads.
-        let true_node_power: Vec<f64> = results.iter().map(|r| r.true_power).collect();
+        // MSB meters read the true power plus distribution overheads
+        // (arena: the per-node power vector is reused across ticks).
+        let mut true_node_power = std::mem::take(&mut self.node_power_scratch);
+        true_node_power.clear();
+        true_node_power.extend(results.iter().map(|r| r.true_power));
         let mut msb_meter_w = [0.0f64; 5];
         for m in summit_telemetry::ids::Msb::ALL {
             msb_meter_w[m.index()] =
                 self.msb_model
                     .meter_reading(&self.topology, m, &true_node_power);
         }
+        self.node_power_scratch = true_node_power;
 
         // Optional payloads.
-        let frames = opts.frames.then(|| {
-            results
-                .iter()
-                .enumerate()
-                .map(|(i, r)| self.build_frame(NodeId(i as u32), r, temps_ok))
-                .collect()
-        });
+        let frames = match frame_batch {
+            Some(batch) => {
+                batch.reset(node_count);
+                for (i, r) in results.iter().enumerate() {
+                    let node = NodeId(i as u32);
+                    let row = batch.push_row(node, self.t);
+                    if !self.cabinet_missing(node) {
+                        // All-NaN rows stay as reset left them: the
+                        // bright-green cabinet.
+                        write_frame_metrics(r, temps_ok, &mut |m, v| batch.set(row, m, v));
+                    }
+                }
+                None
+            }
+            None => opts.frames.then(|| {
+                results
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| self.build_frame(NodeId(i as u32), r, temps_ok))
+                    .collect()
+            }),
+        };
         let node_sensor_power_w = opts.node_power.then(|| {
             results
                 .iter()
@@ -447,30 +501,39 @@ impl Engine {
         if self.cabinet_missing(node) {
             return f; // all-NaN frame: the bright-green cabinet
         }
-        f.set(catalog::input_power(), r.sensor_power);
-        f.set(catalog::ps_input_power(0), r.sensor_power * 0.5);
-        f.set(catalog::ps_input_power(1), r.sensor_power * 0.5);
-        for s in Socket::ALL {
-            f.set(catalog::cpu_power(s), r.cpu_power[s.index()]);
-        }
-        for g in GpuSlot::ALL {
-            f.set(catalog::gpu_power(g), r.gpu_power[g.index()]);
-            if temps_ok {
-                f.set(catalog::gpu_core_temp(g), r.gpu_temp[g.index()]);
-                f.set(catalog::gpu_mem_temp(g), r.thermals.gpu_mem_c[g.index()]);
-            }
-        }
-        if temps_ok {
-            for s in Socket::ALL {
-                f.set(catalog::cpu_pkg_temp(s), r.cpu_temp[s.index()]);
-            }
-        }
+        write_frame_metrics(r, temps_ok, &mut |m, v| f.set(m, v));
         f
     }
 
     /// Runs `n` ticks, returning their outputs (summary level).
     pub fn run(&mut self, n: usize) -> Vec<TickOutput> {
         (0..n).map(|_| self.step()).collect()
+    }
+}
+
+/// Writes one node tick's metric readings through `set` — the single
+/// source of frame content shared by the row path
+/// ([`Engine::step_opts`] building [`NodeFrame`]s) and the columnar
+/// path ([`Engine::step_batch`] filling a [`FrameBatch`]), so the two
+/// layouts cannot drift.
+fn write_frame_metrics(r: &NodeTick, temps_ok: bool, set: &mut dyn FnMut(catalog::MetricId, f64)) {
+    set(catalog::input_power(), r.sensor_power);
+    set(catalog::ps_input_power(0), r.sensor_power * 0.5);
+    set(catalog::ps_input_power(1), r.sensor_power * 0.5);
+    for s in Socket::ALL {
+        set(catalog::cpu_power(s), r.cpu_power[s.index()]);
+    }
+    for g in GpuSlot::ALL {
+        set(catalog::gpu_power(g), r.gpu_power[g.index()]);
+        if temps_ok {
+            set(catalog::gpu_core_temp(g), r.gpu_temp[g.index()]);
+            set(catalog::gpu_mem_temp(g), r.thermals.gpu_mem_c[g.index()]);
+        }
+    }
+    if temps_ok {
+        for s in Socket::ALL {
+            set(catalog::cpu_pkg_temp(s), r.cpu_temp[s.index()]);
+        }
     }
 }
 
@@ -648,6 +711,44 @@ mod tests {
         assert!(f.get(catalog::input_power()) > 100.0);
         assert!(f.get(catalog::gpu_core_temp(GpuSlot(0))) > 15.0);
         assert!(f.get(catalog::gpu_power(GpuSlot(3))) > 10.0);
+    }
+
+    #[test]
+    fn step_batch_matches_step_opts_frames_bitwise() {
+        // The columnar tick path must reproduce the row path exactly,
+        // dark cabinet and all.
+        let mut cfg = EngineConfig::small(3);
+        cfg.missing_cabinet = Some(CabinetId(1));
+        let mut rows_engine = Engine::new(cfg.clone(), 0.0);
+        let mut cols_engine = Engine::new(cfg, 0.0);
+        let opts = StepOptions {
+            frames: true,
+            ..StepOptions::default()
+        };
+        let mut batch = FrameBatch::new();
+        for _ in 0..5 {
+            let row_out = rows_engine.step_opts(&opts);
+            let col_out = cols_engine.step_batch(&opts, &mut batch);
+            assert!(col_out.frames.is_none(), "batch path keeps frames out");
+            assert_eq!(
+                row_out.true_compute_power_w.to_bits(),
+                col_out.true_compute_power_w.to_bits()
+            );
+            assert_eq!(
+                row_out.sensor_compute_power_w.to_bits(),
+                col_out.sensor_compute_power_w.to_bits()
+            );
+            let frames = row_out.frames.unwrap();
+            assert_eq!(batch.len(), frames.len());
+            for (i, f) in frames.iter().enumerate() {
+                let g = batch.read_frame(i);
+                assert_eq!(g.node, f.node);
+                assert_eq!(g.t_sample.to_bits(), f.t_sample.to_bits());
+                for (a, b) in g.values.iter().zip(&f.values) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+        }
     }
 
     #[test]

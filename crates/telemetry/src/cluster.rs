@@ -13,7 +13,6 @@ use crate::ids::{GpuSlot, Socket};
 use crate::window::NodeWindow;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
 use summit_analysis::series::Series;
 use summit_analysis::stats::Welford;
 
@@ -57,51 +56,136 @@ pub struct ComponentPowerRow {
     pub sum_gpu_power: f64,
 }
 
-#[derive(Clone, Default)]
-struct InputAcc {
-    w: Welford,
+/// Window-keyed accumulator table kept sorted by window key.
+///
+/// Per-node windows arrive in ascending window order, so the hot
+/// admission path is a tail hit or a tail append — no tree walk and no
+/// per-window node allocation — and the parallel reduce is one linear
+/// two-way merge per chunk pair. Same-key accumulators combine with
+/// exactly the grouping the previous `BTreeMap` formulation used
+/// (per-node push order, then chunk-order merges), so the collapse is
+/// bit-identical to that reference for every thread count, and the
+/// drain is window-ordered by construction (hash-order lint).
+struct WindowTable<T> {
+    rows: Vec<(i64, T)>,
+}
+
+impl<T: Default> WindowTable<T> {
+    fn new() -> Self {
+        Self { rows: Vec::new() }
+    }
+
+    /// Accumulator slot for `key`, created default if absent. O(1) for
+    /// the in-order case (key at or past the tail); a late
+    /// out-of-order window falls back to a binary-search insert.
+    fn slot(&mut self, key: i64) -> &mut T {
+        let at = match self.rows.last() {
+            Some(&(last, _)) if last == key => self.rows.len() - 1,
+            Some(&(last, _)) if last < key => {
+                self.rows.push((key, T::default()));
+                self.rows.len() - 1
+            }
+            _ => {
+                let at = self.rows.partition_point(|&(k, _)| k < key);
+                if self.rows.get(at).map(|&(k, _)| k) != Some(key) {
+                    self.rows.insert(at, (key, T::default()));
+                }
+                at
+            }
+        };
+        &mut self.rows[at].1
+    }
+
+    /// Merges `from` into `self` with a linear two-way merge on window
+    /// key; same-key accumulators combine via `combine(into, from)`.
+    /// A key present on one side only moves its accumulator across
+    /// unchanged — bitwise the same as merging it into a default
+    /// accumulator, because [`Welford::merge`] copies `other` wholesale
+    /// when `self` is empty.
+    fn merge(&mut self, from: Self, mut combine: impl FnMut(&mut T, T)) {
+        if self.rows.is_empty() {
+            self.rows = from.rows;
+            return;
+        }
+        if from.rows.is_empty() {
+            return;
+        }
+        let mut merged = Vec::with_capacity(self.rows.len().max(from.rows.len()));
+        let mut a = std::mem::take(&mut self.rows).into_iter();
+        let mut b = from.rows.into_iter();
+        let (mut na, mut nb) = (a.next(), b.next());
+        loop {
+            match (na, nb) {
+                (Some((ka, xa)), Some((kb, xb))) => match ka.cmp(&kb) {
+                    std::cmp::Ordering::Less => {
+                        merged.push((ka, xa));
+                        (na, nb) = (a.next(), Some((kb, xb)));
+                    }
+                    std::cmp::Ordering::Greater => {
+                        merged.push((kb, xb));
+                        (na, nb) = (Some((ka, xa)), b.next());
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let mut x = xa;
+                        combine(&mut x, xb);
+                        merged.push((ka, x));
+                        (na, nb) = (a.next(), b.next());
+                    }
+                },
+                (Some(row), None) => {
+                    merged.push(row);
+                    merged.extend(a);
+                    break;
+                }
+                (None, Some(row)) => {
+                    merged.push(row);
+                    merged.extend(b);
+                    break;
+                }
+                (None, None) => break,
+            }
+        }
+        self.rows = merged;
+    }
 }
 
 /// Collapses per-node windows into the Dataset-1 cluster input-power
 /// time-series, sorted by window start. Node batches are reduced in
 /// parallel.
 pub fn cluster_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow> {
-    // Per-node maps merge pairwise inside each worker chunk, and the
+    // Per-node tables merge pairwise inside each worker chunk, and the
     // chunk accumulators merge in chunk order — no barrier collect of
-    // all per-node maps. The merge grouping is fixed by the chunk
-    // layout, so results are identical for every thread count; the
-    // BTreeMap keys make the final drain window-ordered by
-    // construction (hash-order lint).
-    let merged: BTreeMap<i64, InputAcc> = windows_by_node
+    // all per-node tables. The merge grouping is fixed by the chunk
+    // layout, so results are identical for every thread count.
+    let merged: WindowTable<Welford> = windows_by_node
         .par_iter()
         .map(|windows| {
-            let mut map: BTreeMap<i64, InputAcc> = BTreeMap::new();
+            let mut table: WindowTable<Welford> = WindowTable::new();
             for w in windows {
                 let s = w.metric(catalog::input_power());
                 if s.count == 0 {
                     continue;
                 }
                 let key = w.window_start.round() as i64;
-                map.entry(key).or_default().w.push(s.mean);
+                table.slot(key).push(s.mean);
             }
-            map
+            table
         })
-        .reduce(BTreeMap::new, |mut into, from| {
-            for (k, acc) in from {
-                into.entry(k).or_default().w.merge(&acc.w);
-            }
+        .reduce(WindowTable::new, |mut into, from| {
+            into.merge(from, |w: &mut Welford, other| w.merge(&other));
             into
         });
 
-    // BTreeMap drain order is ascending window start already.
+    // Table rows are ascending window start already.
     merged
+        .rows
         .into_iter()
-        .map(|(k, acc)| ClusterPowerRow {
+        .map(|(k, w)| ClusterPowerRow {
             window_start: k as f64,
-            count_inp: convert::count_u32(acc.w.count()),
-            sum_inp: acc.w.sum(),
-            mean_inp: acc.w.mean(),
-            max_inp: acc.w.max(),
+            count_inp: convert::count_u32(w.count()),
+            sum_inp: w.sum(),
+            mean_inp: w.mean(),
+            max_inp: w.max(),
         })
         .collect()
 }
@@ -114,13 +198,13 @@ struct ComponentAcc {
 
 /// Collapses per-node windows into the Dataset-2 component time-series.
 pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ComponentPowerRow> {
-    let merged: BTreeMap<i64, ComponentAcc> = windows_by_node
+    let merged: WindowTable<ComponentAcc> = windows_by_node
         .par_iter()
         .map(|windows| {
-            let mut map: BTreeMap<i64, ComponentAcc> = BTreeMap::new();
+            let mut table: WindowTable<ComponentAcc> = WindowTable::new();
             for w in windows {
                 let key = w.window_start.round() as i64;
-                let acc = map.entry(key).or_default();
+                let acc = table.slot(key);
                 for s in Socket::ALL {
                     let st = w.metric(catalog::cpu_power(s));
                     if st.count > 0 {
@@ -134,18 +218,18 @@ pub fn cluster_component_power(windows_by_node: &[Vec<NodeWindow>]) -> Vec<Compo
                     }
                 }
             }
-            map
+            table
         })
-        .reduce(BTreeMap::new, |mut into, from| {
-            for (k, acc) in from {
-                let m = into.entry(k).or_default();
+        .reduce(WindowTable::new, |mut into, from| {
+            into.merge(from, |m: &mut ComponentAcc, acc| {
                 m.cpu.merge(&acc.cpu);
                 m.gpu.merge(&acc.gpu);
-            }
+            });
             into
         });
 
     merged
+        .rows
         .into_iter()
         .map(|(k, acc)| ComponentPowerRow {
             window_start: k as f64,
@@ -270,5 +354,186 @@ mod tests {
         assert!(cluster_power(&[]).is_empty());
         assert!(cluster_component_power(&[]).is_empty());
         assert!(cluster_power_series(&[], 10.0).is_none());
+    }
+
+    /// Row-based reference: the exact `BTreeMap` formulation the sorted
+    /// [`WindowTable`] replaced — same `par_iter().map().reduce()`
+    /// shape, so the merge tree (per-node push order, chunk-order
+    /// combines) is identical and any table divergence shows up as a
+    /// bit difference.
+    fn cluster_power_reference(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ClusterPowerRow> {
+        use std::collections::BTreeMap;
+        let merged: BTreeMap<i64, Welford> = windows_by_node
+            .par_iter()
+            .map(|windows| {
+                let mut map: BTreeMap<i64, Welford> = BTreeMap::new();
+                for w in windows {
+                    let s = w.metric(catalog::input_power());
+                    if s.count == 0 {
+                        continue;
+                    }
+                    let key = w.window_start.round() as i64;
+                    map.entry(key).or_default().push(s.mean);
+                }
+                map
+            })
+            .reduce(BTreeMap::new, |mut into, from| {
+                for (k, acc) in from {
+                    into.entry(k).or_default().merge(&acc);
+                }
+                into
+            });
+        merged
+            .into_iter()
+            .map(|(k, w)| ClusterPowerRow {
+                window_start: k as f64,
+                count_inp: convert::count_u32(w.count()),
+                sum_inp: w.sum(),
+                mean_inp: w.mean(),
+                max_inp: w.max(),
+            })
+            .collect()
+    }
+
+    fn cluster_component_reference(windows_by_node: &[Vec<NodeWindow>]) -> Vec<ComponentPowerRow> {
+        use std::collections::BTreeMap;
+        let merged: BTreeMap<i64, ComponentAcc> = windows_by_node
+            .par_iter()
+            .map(|windows| {
+                let mut map: BTreeMap<i64, ComponentAcc> = BTreeMap::new();
+                for w in windows {
+                    let key = w.window_start.round() as i64;
+                    let acc = map.entry(key).or_default();
+                    for s in Socket::ALL {
+                        let st = w.metric(catalog::cpu_power(s));
+                        if st.count > 0 {
+                            acc.cpu.push(st.mean);
+                        }
+                    }
+                    for g in GpuSlot::ALL {
+                        let st = w.metric(catalog::gpu_power(g));
+                        if st.count > 0 {
+                            acc.gpu.push(st.mean);
+                        }
+                    }
+                }
+                map
+            })
+            .reduce(BTreeMap::new, |mut into, from| {
+                for (k, acc) in from {
+                    let m = into.entry(k).or_default();
+                    m.cpu.merge(&acc.cpu);
+                    m.gpu.merge(&acc.gpu);
+                }
+                into
+            });
+        merged
+            .into_iter()
+            .map(|(k, acc)| ComponentPowerRow {
+                window_start: k as f64,
+                mean_cpu_power: acc.cpu.mean(),
+                std_cpu_power: acc.cpu.std(),
+                min_cpu_power: acc.cpu.min(),
+                max_cpu_power: acc.cpu.max(),
+                mean_gpu_power: acc.gpu.mean(),
+                std_gpu_power: acc.gpu.std(),
+                max_gpu_power: acc.gpu.max(),
+                sum_cpu_power: acc.cpu.sum(),
+                sum_gpu_power: acc.gpu.sum(),
+            })
+            .collect()
+    }
+
+    /// Many nodes with irregular, partially-disjoint window coverage
+    /// and missing metrics — enough structure to catch any divergence
+    /// in push order or merge grouping.
+    fn adversarial_windows(nodes: u32) -> Vec<Vec<NodeWindow>> {
+        (0..nodes)
+            .map(|n| {
+                let mut agg = WindowAggregator::paper(NodeId(n));
+                // Each node starts at a different window and skips
+                // frames on its own stride; every 5th node never
+                // reports input power (count_inp == 0 windows).
+                let start = (n as i64 % 7) * 10;
+                for i in 0..120i64 {
+                    let t = (start + i) as f64;
+                    if (i + n as i64) % 11 == 0 {
+                        continue; // dropped frame
+                    }
+                    let mut f = NodeFrame::empty(NodeId(n), t);
+                    if n % 5 != 0 {
+                        f.set(
+                            catalog::input_power(),
+                            500.0 + f64::from(n) * 3.5 + (i % 13) as f64 * 0.01,
+                        );
+                    }
+                    if n % 3 != 2 {
+                        f.set(catalog::cpu_power(Socket::P0), 150.0 + (i % 7) as f64);
+                        f.set(catalog::cpu_power(Socket::P1), 140.0 - (i % 5) as f64);
+                    }
+                    f.set(
+                        catalog::gpu_power(GpuSlot((n % 6) as u8)),
+                        200.0 + f64::from(n % 4) * 25.0,
+                    );
+                    agg.push(&f).unwrap();
+                }
+                agg.finish()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorted_table_matches_btreemap_reference_bitwise() {
+        let windows = adversarial_windows(23);
+        let want_power = cluster_power_reference(&windows);
+        let want_comp = cluster_component_reference(&windows);
+        for threads in [1usize, 2, 4] {
+            let (got_power, got_comp) = rayon::with_thread_count(threads, || {
+                (cluster_power(&windows), cluster_component_power(&windows))
+            });
+            assert_eq!(got_power.len(), want_power.len(), "threads={threads}");
+            for (g, w) in got_power.iter().zip(&want_power) {
+                assert_eq!(g.window_start.to_bits(), w.window_start.to_bits());
+                assert_eq!(g.count_inp, w.count_inp);
+                assert_eq!(
+                    g.sum_inp.to_bits(),
+                    w.sum_inp.to_bits(),
+                    "threads={threads}"
+                );
+                assert_eq!(g.mean_inp.to_bits(), w.mean_inp.to_bits());
+                assert_eq!(g.max_inp.to_bits(), w.max_inp.to_bits());
+            }
+            assert_eq!(got_comp.len(), want_comp.len(), "threads={threads}");
+            for (g, w) in got_comp.iter().zip(&want_comp) {
+                for (a, b) in [
+                    (g.window_start, w.window_start),
+                    (g.mean_cpu_power, w.mean_cpu_power),
+                    (g.std_cpu_power, w.std_cpu_power),
+                    (g.min_cpu_power, w.min_cpu_power),
+                    (g.max_cpu_power, w.max_cpu_power),
+                    (g.mean_gpu_power, w.mean_gpu_power),
+                    (g.std_gpu_power, w.std_gpu_power),
+                    (g.max_gpu_power, w.max_gpu_power),
+                    (g.sum_cpu_power, w.sum_cpu_power),
+                    (g.sum_gpu_power, w.sum_gpu_power),
+                ] {
+                    assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_table_slot_handles_out_of_order_keys() {
+        let mut table: WindowTable<Welford> = WindowTable::new();
+        for key in [10i64, 20, 20, 5, 15, 30, 5] {
+            table.slot(key).push(key as f64);
+        }
+        let keys: Vec<i64> = table.rows.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![5, 10, 15, 20, 30]);
+        let at_20 = &table.rows[3].1;
+        assert_eq!(at_20.count(), 2);
+        let at_5 = &table.rows[0].1;
+        assert_eq!(at_5.count(), 2);
     }
 }

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod catalog;
 pub mod cluster;
 pub mod codec;
@@ -38,6 +39,7 @@ pub mod window;
 
 /// Convenient re-exports of the most-used types.
 pub mod prelude {
+    pub use crate::batch::FrameBatch;
     pub use crate::catalog::{self, MetricDef, MetricId, Unit, METRIC_COUNT};
     pub use crate::cluster::{cluster_component_power, cluster_power, cluster_power_series};
     pub use crate::codec::{ColumnBlock, CompressionStats};
@@ -53,5 +55,7 @@ pub mod prelude {
     pub use crate::stream::{
         Collector, FaultConfig, FaultInjector, FrameFate, FrameSender, IngestStats, InjectedFaults,
     };
-    pub use crate::window::{NodeWindow, StreamingCoarsener, WindowAggregator, PAPER_WINDOW_S};
+    pub use crate::window::{
+        CoarsenLayout, NodeWindow, StreamingCoarsener, WindowAggregator, PAPER_WINDOW_S,
+    };
 }

@@ -12,6 +12,11 @@ use serde::{Deserialize, Serialize};
 /// metrics sampled at `t_sample`, timestamped at the aggregation point at
 /// `t_ingest` (the paper: payloads "timestamped later at the aggregation
 /// point after an average 2.5-second delay (max. 5 seconds)").
+///
+/// The metric vector is an inline `[f32; METRIC_COUNT]`, not a boxed
+/// slice: a frame is plain value data, so routing, fault delivery and
+/// window buffering move it with a memcpy instead of a per-frame heap
+/// allocation — the hot paths stay allocation-free in steady state.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeFrame {
     /// Compute node identifier.
@@ -21,7 +26,17 @@ pub struct NodeFrame {
     /// Seconds since epoch at which the frame reached the aggregator.
     pub t_ingest: f64,
     /// Dense metric values in catalog order; NaN = missing sensor.
-    pub values: Box<[f32]>,
+    pub values: [f32; METRIC_COUNT],
+}
+
+/// Quantizes a metric sample to the f32 width frames are stored at.
+/// This is the single budgeted narrowing point (`lossy-cast`) for
+/// frame values: every path that writes a measured value into f32
+/// frame storage — row frames and the columnar [`crate::batch`] alike
+/// — funnels through here, so the rounding policy lives in one place.
+#[inline]
+pub fn frame_value(value: f64) -> f32 {
+    value as f32
 }
 
 impl NodeFrame {
@@ -31,7 +46,7 @@ impl NodeFrame {
             node,
             t_sample,
             t_ingest: t_sample,
-            values: vec![f32::NAN; METRIC_COUNT].into_boxed_slice(),
+            values: [f32::NAN; METRIC_COUNT],
         }
     }
 
@@ -44,7 +59,7 @@ impl NodeFrame {
     /// Sets a metric value.
     #[inline]
     pub fn set(&mut self, metric: crate::catalog::MetricId, value: f64) {
-        self.values[metric.index()] = value as f32;
+        self.values[metric.index()] = frame_value(value);
     }
 
     /// Ingest delay in seconds.

@@ -19,8 +19,8 @@ use crate::ingest::{IngestError, IngestHealth, IngestPolicy};
 use crate::records::NodeFrame;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
-use summit_analysis::stats::{Welford, WindowStats};
+use std::collections::{BTreeMap, VecDeque};
+use summit_analysis::stats::{Welford, WelfordColumns, WindowStats};
 
 /// The paper's coarsening window in seconds.
 pub const PAPER_WINDOW_S: f64 = 10.0;
@@ -78,18 +78,175 @@ pub struct WindowAggregator {
     node: NodeId,
     window_s: f64,
     policy: IngestPolicy,
+    layout: CoarsenLayout,
     health: IngestHealth,
     /// Newest accepted sample timestamp.
     watermark: Option<f64>,
     /// Reorder buffer: sample time (ms grain) -> metric values. Holds at
     /// most one horizon plus one window of frames at 1 Hz.
-    pending: BTreeMap<i64, Box<[f32]>>,
+    pending: PendingStore,
     current_start: Option<f64>,
     /// Start of the most recently closed window, for gap emission when
     /// the next frame opens a non-adjacent window.
     last_closed: Option<f64>,
-    acc: Vec<Welford>,
+    acc: Accum,
     out: Vec<NodeWindow>,
+}
+
+/// Memory layout of the coarsener's accumulation path.
+///
+/// Both layouts share every admission decision (lateness, dedup,
+/// watermark, window and gap arithmetic) and produce bit-identical
+/// statistics: every lane of the columnar bank replays the exact
+/// per-sample update sequence of the row path's [`Welford::push`].
+/// [`CoarsenLayout::Columns`] is the default hot path;
+/// [`CoarsenLayout::Rows`] is the row-structured reference kept for the
+/// bench AoS leg and the bit-identity tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoarsenLayout {
+    /// Row-structured reference: one boxed value row per buffered frame
+    /// and [`METRIC_COUNT`] branchy Welford pushes per accumulated
+    /// frame (the pre-columnar layout).
+    Rows,
+    /// Columnar hot path: buffered rows live in a recycled slab arena
+    /// and the open window accumulates in a structure-of-arrays
+    /// [`WelfordColumns`] bank — one vectorizable pass across the
+    /// metric lanes per frame — so steady-state ingest performs no
+    /// heap allocation.
+    #[default]
+    Columns,
+}
+
+/// Reorder-buffer storage, chosen by [`CoarsenLayout`].
+#[derive(Debug)]
+enum PendingStore {
+    /// One heap allocation per buffered frame (reference layout).
+    Boxes(BTreeMap<i64, Box<[f32]>>),
+    /// Slab arena: value rows live in one contiguous `Vec<f32>` and
+    /// freed rows are recycled through a free list, so the buffer
+    /// reaches a steady state with zero allocation per frame. The key
+    /// order lives in a sorted ring: frames almost always arrive in
+    /// time order, so insertion is an O(1) `push_back` (binary
+    /// insertion for the rare out-of-order frame) and dedup lookup is
+    /// a binary search over contiguous memory — far cheaper than
+    /// B-tree node hops at reorder-buffer sizes.
+    Slab {
+        order: VecDeque<(i64, u32)>,
+        slab: Vec<f32>,
+        free: Vec<u32>,
+    },
+}
+
+impl Default for PendingStore {
+    /// An empty store — the placeholder left behind while
+    /// [`WindowAggregator::flush_ready`] borrows the real one.
+    fn default() -> Self {
+        Self::Boxes(BTreeMap::new())
+    }
+}
+
+impl PendingStore {
+    fn for_layout(layout: CoarsenLayout) -> Self {
+        match layout {
+            CoarsenLayout::Rows => Self::Boxes(BTreeMap::new()),
+            CoarsenLayout::Columns => Self::Slab {
+                order: VecDeque::new(),
+                slab: Vec::new(),
+                free: Vec::new(),
+            },
+        }
+    }
+
+    fn contains_key(&self, key: i64) -> bool {
+        match self {
+            Self::Boxes(map) => map.contains_key(&key),
+            Self::Slab { order, .. } => match order.back() {
+                // In-order streams land past the newest buffered key,
+                // so the common case never searches the ring.
+                Some(&(back, _)) if key > back => false,
+                Some(_) => order.binary_search_by_key(&key, |&(k, _)| k).is_ok(),
+                None => false,
+            },
+        }
+    }
+
+    /// Inserts a new entry. The caller has already rejected duplicate
+    /// keys via [`PendingStore::contains_key`].
+    fn insert(&mut self, key: i64, values: &[f32; METRIC_COUNT]) {
+        match self {
+            Self::Boxes(map) => {
+                map.insert(key, Box::from(&values[..]));
+            }
+            Self::Slab { order, slab, free } => {
+                let row = match free.pop() {
+                    Some(row) => {
+                        let at = row as usize * METRIC_COUNT;
+                        slab[at..at + METRIC_COUNT].copy_from_slice(values);
+                        row
+                    }
+                    None => {
+                        let row = crate::convert::count_u32((slab.len() / METRIC_COUNT) as u64);
+                        slab.extend_from_slice(values);
+                        row
+                    }
+                };
+                match order.back() {
+                    Some(&(back, _)) if back < key => order.push_back((key, row)),
+                    _ => {
+                        let pos = order.partition_point(|&(k, _)| k < key);
+                        order.insert(pos, (key, row));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Removes the oldest entry, copying its values into `row`.
+    fn pop_first_into(&mut self, row: &mut [f32; METRIC_COUNT]) -> Option<i64> {
+        match self {
+            Self::Boxes(map) => {
+                let (k, values) = map.pop_first()?;
+                row.copy_from_slice(&values);
+                Some(k)
+            }
+            Self::Slab { order, slab, free } => {
+                let (k, idx) = order.pop_front()?;
+                let at = idx as usize * METRIC_COUNT;
+                row.copy_from_slice(&slab[at..at + METRIC_COUNT]);
+                free.push(idx);
+                Some(k)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Boxes(map) => map.len(),
+            Self::Slab { order, .. } => order.len(),
+        }
+    }
+}
+
+/// Open-window accumulator, chosen by [`CoarsenLayout`].
+#[derive(Debug)]
+enum Accum {
+    /// Per-metric Welford states updated on every accumulated frame.
+    Rows(Vec<Welford>),
+    /// Structure-of-arrays Welford bank: count/mean/m2/min/max live in
+    /// parallel `f64` arrays and every frame updates all 106 lanes in
+    /// one branch-free, vectorizable pass ([`WelfordColumns`]). Reset
+    /// keeps the allocations, so a steady-state window touches no
+    /// allocator at all.
+    Columns(WelfordColumns),
+}
+
+impl Accum {
+    fn for_layout(layout: CoarsenLayout) -> Self {
+        match layout {
+            CoarsenLayout::Rows => Self::Rows(vec![Welford::new(); METRIC_COUNT]),
+            CoarsenLayout::Columns => Self::Columns(WelfordColumns::new(METRIC_COUNT)),
+        }
+    }
 }
 
 /// Sample timestamps are compared at millisecond grain for dedup and
@@ -108,6 +265,19 @@ impl WindowAggregator {
 
     /// Creates a coarsener with an explicit ingest policy.
     pub fn with_policy(node: NodeId, window_s: f64, policy: IngestPolicy) -> Self {
+        Self::with_layout(node, window_s, policy, CoarsenLayout::default())
+    }
+
+    /// Creates a coarsener with an explicit ingest policy and
+    /// accumulation layout. The layout only changes memory layout and
+    /// instruction scheduling, never results: both layouts are
+    /// bit-identical on every input.
+    pub fn with_layout(
+        node: NodeId,
+        window_s: f64,
+        policy: IngestPolicy,
+        layout: CoarsenLayout,
+    ) -> Self {
         debug_assert!(
             window_s.is_finite() && window_s > 0.0,
             "window length must be positive"
@@ -125,12 +295,13 @@ impl WindowAggregator {
             node,
             window_s,
             policy,
+            layout,
             health: IngestHealth::default(),
             watermark: None,
-            pending: BTreeMap::new(),
+            pending: PendingStore::for_layout(layout),
             current_start: None,
             last_closed: None,
-            acc: vec![Welford::new(); METRIC_COUNT],
+            acc: Accum::for_layout(layout),
             out: Vec::new(),
         }
     }
@@ -150,6 +321,11 @@ impl WindowAggregator {
         &self.policy
     }
 
+    /// The accumulation layout this aggregator runs.
+    pub fn layout(&self) -> CoarsenLayout {
+        self.layout
+    }
+
     /// Ingest-health counters accumulated so far.
     pub fn health(&self) -> IngestHealth {
         self.health
@@ -161,10 +337,23 @@ impl WindowAggregator {
 
     fn flush_current(&mut self) {
         if let Some(start) = self.current_start.take() {
-            let stats: Vec<WindowStats> = self.acc.iter().map(Welford::finish).collect();
-            for a in &mut self.acc {
-                *a = Welford::new();
-            }
+            let stats: Vec<WindowStats> = match &mut self.acc {
+                Accum::Rows(acc) => {
+                    let stats = acc.iter().map(Welford::finish).collect();
+                    for a in acc.iter_mut() {
+                        *a = Welford::new();
+                    }
+                    stats
+                }
+                Accum::Columns(bank) => {
+                    // Each lane replayed the row path's per-frame
+                    // pushes exactly, so the columnar freeze finishes
+                    // to the same bits as per-lane Welford reads.
+                    let mut stats = Vec::new();
+                    bank.finish_reset_into(&mut stats);
+                    stats
+                }
+            };
             self.out.push(NodeWindow {
                 node: self.node,
                 window_start: start,
@@ -211,8 +400,15 @@ impl WindowAggregator {
             }
             self.current_start = Some(ws);
         }
-        for (a, &v) in self.acc.iter_mut().zip(values) {
-            a.push(v as f64); // Welford ignores NaN (missing sensors)
+        match &mut self.acc {
+            Accum::Rows(acc) => {
+                for (a, &v) in acc.iter_mut().zip(values) {
+                    a.push(v as f64); // Welford ignores NaN (missing sensors)
+                }
+            }
+            // One vectorized pass over the 106 lanes; NaN handling is
+            // branch-free (masked selects) inside the bank.
+            Accum::Columns(bank) => bank.push_row(values),
         }
     }
 
@@ -223,13 +419,32 @@ impl WindowAggregator {
         let Some(wm) = self.watermark else { return };
         let cutoff_start = self.window_start_of(wm - self.policy.lateness_horizon_s);
         let cutoff = time_key(cutoff_start);
-        while let Some(entry) = self.pending.first_entry() {
-            if *entry.key() >= cutoff {
-                break;
+        // Accumulate straight out of the reorder buffer: the store is
+        // moved aside so its rows can be borrowed across the
+        // `accumulate` call without a per-frame row copy. Nothing on
+        // the accumulate path touches `self.pending`.
+        let mut pending = std::mem::take(&mut self.pending);
+        match &mut pending {
+            PendingStore::Boxes(map) => {
+                while map.first_key_value().is_some_and(|(&k, _)| k < cutoff) {
+                    if let Some((k, values)) = map.pop_first() {
+                        self.accumulate(k as f64 / 1000.0, &values);
+                    }
+                }
             }
-            let (k, values) = entry.remove_entry();
-            self.accumulate(k as f64 / 1000.0, &values);
+            PendingStore::Slab { order, slab, free } => {
+                while let Some(&(k, idx)) = order.front() {
+                    if k >= cutoff {
+                        break;
+                    }
+                    order.pop_front();
+                    let at = idx as usize * METRIC_COUNT;
+                    self.accumulate(k as f64 / 1000.0, &slab[at..at + METRIC_COUNT]);
+                    free.push(idx);
+                }
+            }
         }
+        self.pending = pending;
         if let Some(cur) = self.current_start {
             // No frame at or before the cutoff can arrive any more, so a
             // current window entirely behind it is complete.
@@ -266,14 +481,14 @@ impl WindowAggregator {
             });
         }
         let key = time_key(t);
-        if self.pending.contains_key(&key) {
+        if self.pending.contains_key(key) {
             self.health.duplicates += 1;
             return Err(IngestError::Duplicate { t_sample: t });
         }
         if t < wm {
             self.health.reordered += 1;
         }
-        self.pending.insert(key, frame.values.clone());
+        self.pending.insert(key, &frame.values);
         self.health.accepted += 1;
         self.watermark = Some(wm.max(t));
         self.flush_ready();
@@ -281,8 +496,9 @@ impl WindowAggregator {
     }
 
     fn drain_pending(&mut self) {
-        while let Some((k, values)) = self.pending.pop_first() {
-            self.accumulate(k as f64 / 1000.0, &values);
+        let mut row = [0.0f32; METRIC_COUNT];
+        while let Some(k) = self.pending.pop_first_into(&mut row) {
+            self.accumulate(k as f64 / 1000.0, &row);
         }
     }
 
@@ -335,6 +551,7 @@ impl WindowAggregator {
 pub struct StreamingCoarsener {
     window_s: f64,
     policy: IngestPolicy,
+    layout: CoarsenLayout,
     slots: Vec<Option<WindowAggregator>>,
 }
 
@@ -347,11 +564,23 @@ impl StreamingCoarsener {
 
     /// Creates a coarsener with an explicit ingest policy.
     pub fn with_policy(slots: usize, window_s: f64, policy: IngestPolicy) -> Self {
+        Self::with_layout(slots, window_s, policy, CoarsenLayout::default())
+    }
+
+    /// Creates a coarsener with an explicit ingest policy and
+    /// per-slot accumulation layout.
+    pub fn with_layout(
+        slots: usize,
+        window_s: f64,
+        policy: IngestPolicy,
+        layout: CoarsenLayout,
+    ) -> Self {
         let mut v = Vec::new();
         v.resize_with(slots, || None);
         Self {
             window_s,
             policy,
+            layout,
             slots: v,
         }
     }
@@ -364,7 +593,7 @@ impl StreamingCoarsener {
             self.slots.resize_with(slot + 1, || None);
         }
         let agg = self.slots[slot].get_or_insert_with(|| {
-            WindowAggregator::with_policy(frame.node, self.window_s, self.policy)
+            WindowAggregator::with_layout(frame.node, self.window_s, self.policy, self.layout)
         });
         agg.push(frame)
     }
@@ -431,6 +660,18 @@ pub fn coarsen_parallel_with_health(
     frames_by_node: &[Vec<NodeFrame>],
     window_s: f64,
 ) -> (Vec<Vec<NodeWindow>>, IngestHealth) {
+    coarsen_parallel_layout(frames_by_node, window_s, CoarsenLayout::default())
+}
+
+/// Like [`coarsen_parallel_with_health`] with an explicit accumulation
+/// layout — the bench AoS-vs-SoA leg and the bit-identity tests call
+/// this with [`CoarsenLayout::Rows`] to compare the row-structured
+/// reference against the columnar default.
+pub fn coarsen_parallel_layout(
+    frames_by_node: &[Vec<NodeFrame>],
+    window_s: f64,
+    layout: CoarsenLayout,
+) -> (Vec<Vec<NodeWindow>>, IngestHealth) {
     let _obs = summit_obs::span("summit_telemetry_coarsen");
     // Fold each worker chunk into (windows, health) directly and merge
     // the per-chunk accumulators in chunk order: no barrier collect of
@@ -442,7 +683,12 @@ pub fn coarsen_parallel_with_health(
             let Some(first) = frames.first() else {
                 return (Vec::new(), IngestHealth::default());
             };
-            let mut agg = WindowAggregator::new(first.node, window_s);
+            let mut agg = WindowAggregator::with_layout(
+                first.node,
+                window_s,
+                IngestPolicy::default(),
+                layout,
+            );
             for f in frames {
                 let _ = agg.push(f); // faults are counted in health
             }
@@ -822,6 +1068,107 @@ mod tests {
         assert!(windows[0].is_empty() && windows[1].is_empty() && windows[2].is_empty());
         assert_eq!(windows[3].len(), 1);
         assert_eq!(health.accepted, 1);
+    }
+
+    fn assert_windows_bitwise_eq(a: &[Vec<NodeWindow>], b: &[Vec<NodeWindow>]) {
+        assert_eq!(a.len(), b.len());
+        for (wa, wb) in a.iter().zip(b) {
+            assert_eq!(wa.len(), wb.len());
+            for (x, y) in wa.iter().zip(wb) {
+                assert_eq!(x.node, y.node);
+                assert_eq!(x.window_start.to_bits(), y.window_start.to_bits());
+                for (sx, sy) in x.stats.iter().zip(&y.stats) {
+                    assert_eq!(sx.count, sy.count);
+                    assert_eq!(sx.mean.to_bits(), sy.mean.to_bits());
+                    assert_eq!(sx.min.to_bits(), sy.min.to_bits());
+                    assert_eq!(sx.max.to_bits(), sy.max.to_bits());
+                    assert_eq!(sx.std.to_bits(), sy.std.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Adversarial per-node sequences: mixed magnitudes, missing
+    /// sensors (NaN), reordering, duplicates, late frames and gaps.
+    fn adversarial_batches(nodes: u32) -> Vec<Vec<NodeFrame>> {
+        (0..nodes)
+            .map(|n| {
+                let mut frames: Vec<NodeFrame> = (0..90)
+                    .map(|i| {
+                        let mut f = frame(n, i as f64, (n as usize * 977 + i * 31) as f64 * 0.37);
+                        if i % 7 == 0 {
+                            f.set(catalog::input_power(), f64::NAN); // dark sensor
+                        }
+                        f.set(
+                            catalog::cpu_power(crate::ids::Socket::P0),
+                            ((i * 13) % 29) as f64 * 1e6,
+                        );
+                        f
+                    })
+                    .collect();
+                // Swap adjacent frames (in-horizon reorder), inject a
+                // duplicate and a beyond-horizon straggler.
+                for i in (0..frames.len() - 1).step_by(5) {
+                    frames.swap(i, i + 1);
+                }
+                frames.push(frame(n, 42.0, 1.0)); // duplicate of t=42
+                frames.push(frame(n, 3.0, 1.0)); // far beyond horizon: dropped
+                frames
+            })
+            .collect()
+    }
+
+    #[test]
+    fn columns_layout_matches_rows_reference_bitwise() {
+        let batches = adversarial_batches(5);
+        let (rows, rows_health) = coarsen_parallel_layout(&batches, 10.0, CoarsenLayout::Rows);
+        let (cols, cols_health) = coarsen_parallel_layout(&batches, 10.0, CoarsenLayout::Columns);
+        assert_eq!(rows_health, cols_health);
+        assert_windows_bitwise_eq(&rows, &cols);
+    }
+
+    #[test]
+    fn streaming_layouts_match_bitwise() {
+        let batches = adversarial_batches(3);
+        let run = |layout: CoarsenLayout| {
+            let mut sc = StreamingCoarsener::with_layout(3, 10.0, IngestPolicy::default(), layout);
+            let mut drained: Vec<Vec<NodeWindow>> = vec![Vec::new(); 3];
+            for i in 0..batches[0].len() {
+                for (n, node_frames) in batches.iter().enumerate() {
+                    let _ = sc.push(n, &node_frames[i]);
+                }
+                for w in sc.drain_completed() {
+                    drained[w.node.index()].push(w);
+                }
+            }
+            let (tail, health) = sc.finish_with_health();
+            for (n, t) in tail.into_iter().enumerate() {
+                drained[n].extend(t);
+            }
+            (drained, health)
+        };
+        let (rows, rows_health) = run(CoarsenLayout::Rows);
+        let (cols, cols_health) = run(CoarsenLayout::Columns);
+        assert_eq!(rows_health, cols_health);
+        assert_windows_bitwise_eq(&rows, &cols);
+    }
+
+    #[test]
+    fn slab_reorder_buffer_recycles_rows() {
+        // After the first horizon fills, the slab must stop growing:
+        // freed rows are recycled instead of re-allocated.
+        let mut agg = WindowAggregator::paper(NodeId(0));
+        for i in 0..200 {
+            agg.push(&frame(0, i as f64, i as f64)).unwrap();
+        }
+        let PendingStore::Slab { slab, .. } = &agg.pending else {
+            panic!("columns layout must use the slab store");
+        };
+        assert!(
+            slab.len() / METRIC_COUNT <= 32,
+            "slab rows must stay bounded by horizon + window, got {}",
+            slab.len() / METRIC_COUNT
+        );
     }
 
     #[test]

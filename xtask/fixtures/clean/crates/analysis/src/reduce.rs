@@ -11,3 +11,9 @@ pub fn total_power(values: &[f64]) -> f64 {
 pub fn total_count(ids: &[u64]) -> u64 {
     ids.par_iter().map(|v| v + 1).sum::<u64>()
 }
+
+/// Columnar reducers gather each metric column and fold it through
+/// the facade's exact merge tree.
+pub fn fold_column(column: &[f32]) -> f64 {
+    column.par_iter().map(|v| f64::from(*v)).sum_stable()
+}

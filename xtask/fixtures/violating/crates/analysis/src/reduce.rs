@@ -11,3 +11,9 @@ pub fn total_power(values: &[f64]) -> f64 {
 pub fn folded_power(values: &[f64]) -> f64 {
     values.par_iter().map(|v| *v).fold(|| 0.0f64, |acc, v| acc + v)
 }
+
+/// Columnar hot path gone wrong: folding one metric column into a
+/// float accumulator on the pool is grouping-dependent too.
+pub fn fold_column(column: &[f32]) -> f64 {
+    column.par_iter().fold(|| 0.0f64, |acc, v| acc + f64::from(*v))
+}

@@ -1,0 +1,318 @@
+//! `cargo xtask bench-compare` — the per-stage perf-regression gate.
+//!
+//! Compares a freshly produced `BENCH_perf.json` against the committed
+//! baseline, stage by stage, on the *dimensionless* per-stage speedups
+//! (sequential / parallel seconds): raw wall-clock differs across
+//! hosts, but how much a kernel gains from the pool should not silently
+//! collapse between commits. A fresh stage whose speedup falls more
+//! than [`TOLERANCE`] below the baseline's fails the gate; stages whose
+//! sequential time sits under [`NOISE_FLOOR_S`] in either artifact are
+//! reported as skipped rather than judged (a sub-5 ms histogram sum is
+//! timer jitter, not a measurement); and a `"skip"` gate in either
+//! artifact (one-core host, pinned pool) tolerates the whole
+//! comparison — there is no parallelism to regress. The end-to-end
+//! speedup and the AoS-vs-SoA coarsening ratio are judged by the same
+//! tolerance, since both are dimensionless.
+
+use summit_core::json::Json;
+
+/// The bench schema this comparator accepts.
+pub const PERF_SCHEMA: &str = "summit-perf/3";
+
+/// Fractional speedup loss tolerated per stage (and end to end).
+pub const TOLERANCE: f64 = 0.10;
+
+/// Sequential seconds below which a stage's speedup is timer noise.
+pub const NOISE_FLOOR_S: f64 = 0.005;
+
+/// Outcome of a tolerated or passing comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompareReport {
+    /// Quantities judged against the tolerance (stages plus the
+    /// end-to-end speedup and the AoS-vs-SoA ratio when present).
+    pub compared: usize,
+    /// Stage names skipped under the noise floor.
+    pub skipped: Vec<String>,
+    /// When set, the comparison was tolerated wholesale: one
+    /// artifact's gate is `"skip"`, with the recorded reason.
+    pub tolerated: Option<String>,
+}
+
+/// Extracts a numeric field, refusing `null`/string/bool (the repo's
+/// `as_f64` deliberately maps `null` to `+inf` for the figure readers,
+/// which must not validate here).
+fn num(doc: &Json, key: &str) -> Option<f64> {
+    match doc.get(key) {
+        Some(Json::Num(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn str_field<'a>(doc: &'a Json, key: &str) -> Option<&'a str> {
+    doc.get(key).and_then(Json::as_str)
+}
+
+fn check_schema(doc: &Json, which: &str, errors: &mut Vec<String>) {
+    match str_field(doc, "schema") {
+        Some(s) if s == PERF_SCHEMA => {}
+        Some(s) => errors.push(format!(
+            "{which}: schema is {s:?}, expected {PERF_SCHEMA:?} (regenerate with --bench)"
+        )),
+        None => errors.push(format!("{which}: missing top-level \"schema\"")),
+    }
+}
+
+/// Per-stage `(name, speedup, sequential_seconds)` rows of an artifact.
+fn stage_rows(doc: &Json, which: &str, errors: &mut Vec<String>) -> Vec<(String, f64, f64)> {
+    let Some(arr) = doc.get("stages").and_then(Json::as_arr) else {
+        errors.push(format!("{which}: missing \"stages\" array"));
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for (idx, stage) in arr.iter().enumerate() {
+        match (
+            str_field(stage, "name"),
+            num(stage, "speedup"),
+            num(stage, "sequential_seconds"),
+        ) {
+            (Some(name), Some(speedup), Some(seq)) => out.push((name.to_owned(), speedup, seq)),
+            _ => errors.push(format!(
+                "{which}: stage #{idx} is missing name/speedup/sequential_seconds"
+            )),
+        }
+    }
+    out
+}
+
+/// Compares `fresh` against `baseline` (both `BENCH_perf.json` texts).
+/// Returns the report on pass or tolerated skip, every failure
+/// otherwise.
+pub fn compare(baseline: &str, fresh: &str) -> Result<CompareReport, Vec<String>> {
+    let base = match Json::parse(baseline) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("baseline: not valid JSON: {e}")]),
+    };
+    let new = match Json::parse(fresh) {
+        Ok(v) => v,
+        Err(e) => return Err(vec![format!("fresh: not valid JSON: {e}")]),
+    };
+    let mut errors: Vec<String> = Vec::new();
+    check_schema(&base, "baseline", &mut errors);
+    check_schema(&new, "fresh", &mut errors);
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    // A one-core host (or a pool pinned by SUMMIT_THREADS) measures no
+    // parallelism; either artifact gating "skip" tolerates the run.
+    for (doc, which) in [(&base, "baseline"), (&new, "fresh")] {
+        if str_field(doc, "gate") == Some("skip") {
+            let reason = str_field(doc, "skip_reason").unwrap_or("no skip_reason recorded");
+            return Ok(CompareReport {
+                compared: 0,
+                skipped: Vec::new(),
+                tolerated: Some(format!("{which} gate is \"skip\": {reason}")),
+            });
+        }
+    }
+
+    let base_stages = stage_rows(&base, "baseline", &mut errors);
+    let new_stages = stage_rows(&new, "fresh", &mut errors);
+    if !errors.is_empty() {
+        return Err(errors);
+    }
+
+    let floor = 1.0 - TOLERANCE;
+    let mut compared = 0usize;
+    let mut skipped: Vec<String> = Vec::new();
+    for (name, base_speedup, base_seq) in &base_stages {
+        let Some((_, new_speedup, new_seq)) = new_stages.iter().find(|(n, ..)| n == name) else {
+            errors.push(format!(
+                "fresh artifact lost stage \"{name}\" (present in baseline)"
+            ));
+            continue;
+        };
+        if *base_seq < NOISE_FLOOR_S || *new_seq < NOISE_FLOOR_S {
+            skipped.push(name.clone());
+            continue;
+        }
+        compared += 1;
+        if *new_speedup < base_speedup * floor {
+            errors.push(format!(
+                "stage \"{name}\" regressed: speedup {new_speedup:.3}x < {:.3}x \
+                 (baseline {base_speedup:.3}x minus {:.0}% tolerance)",
+                base_speedup * floor,
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+
+    if let (Some(b), Some(n)) = (num(&base, "speedup"), num(&new, "speedup")) {
+        compared += 1;
+        if n < b * floor {
+            errors.push(format!(
+                "end-to-end speedup regressed: {n:.3}x < {:.3}x \
+                 (baseline {b:.3}x minus {:.0}% tolerance)",
+                b * floor,
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    let ratio = |doc: &Json| match doc.get("aos_soa") {
+        Some(aos) => num(aos, "ratio"),
+        None => None,
+    };
+    if let (Some(b), Some(n)) = (ratio(&base), ratio(&new)) {
+        compared += 1;
+        if n < b * floor {
+            errors.push(format!(
+                "AoS-vs-SoA coarsening ratio regressed: {n:.3}x < {:.3}x \
+                 (baseline {b:.3}x minus {:.0}% tolerance)",
+                b * floor,
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(CompareReport {
+            compared,
+            skipped,
+            tolerated: None,
+        })
+    } else {
+        Err(errors)
+    }
+}
+
+/// One-line human summary of a passing/tolerated comparison.
+pub fn summary(report: &CompareReport) -> String {
+    match &report.tolerated {
+        Some(reason) => format!("tolerated: {reason}"),
+        None if report.skipped.is_empty() => {
+            format!("{} quantities within tolerance", report.compared)
+        }
+        None => format!(
+            "{} quantities within tolerance ({} stage(s) under the noise floor: {})",
+            report.compared,
+            report.skipped.len(),
+            report.skipped.join(", ")
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+    use super::*;
+
+    /// A minimal summit-perf/3 artifact with one engine stage and one
+    /// kernel stage under the noise floor.
+    fn artifact(gate: &str, engine_speedup: f64, speedup: f64, ratio: f64) -> String {
+        format!(
+            r#"{{
+  "schema": "summit-perf/3",
+  "gate": "{gate}",
+  "skip_reason": {reason},
+  "speedup": {speedup},
+  "aos_soa": {{"rows_seconds": 2.0, "columns_seconds": 1.0, "ratio": {ratio}}},
+  "stages": [
+    {{"name": "engine_tick", "speedup": {engine_speedup}, "sequential_seconds": 1.5}},
+    {{"name": "fft", "speedup": 0.3, "sequential_seconds": 0.0001}}
+  ]
+}}"#,
+            reason = if gate == "skip" {
+                "\"single-core host (1 CPU): no parallelism to measure\""
+            } else {
+                "null"
+            },
+        )
+    }
+
+    #[test]
+    fn identical_artifacts_pass() {
+        let doc = artifact("pass", 3.0, 2.0, 1.8);
+        let report = compare(&doc, &doc).unwrap();
+        // engine_tick + end-to-end + aos ratio; fft sits under the floor.
+        assert_eq!(report.compared, 3);
+        assert_eq!(report.skipped, vec!["fft".to_string()]);
+        assert!(report.tolerated.is_none());
+        assert!(summary(&report).contains("noise floor"));
+    }
+
+    #[test]
+    fn small_drift_is_within_tolerance() {
+        let base = artifact("pass", 3.0, 2.0, 1.8);
+        let fresh = artifact("pass", 2.75, 1.85, 1.65);
+        assert!(compare(&base, &fresh).is_ok());
+    }
+
+    #[test]
+    fn per_stage_regression_fails() {
+        let base = artifact("pass", 3.0, 2.0, 1.8);
+        let fresh = artifact("pass", 1.0, 2.0, 1.8);
+        let errors = compare(&base, &fresh).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("engine_tick")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn noise_floor_stage_never_judged() {
+        // fft's speedup is 0.3x in both artifacts; it must be skipped,
+        // not failed, because its timing is sub-noise-floor.
+        let doc = artifact("pass", 3.0, 2.0, 1.8);
+        let report = compare(&doc, &doc).unwrap();
+        assert!(report.skipped.contains(&"fft".to_string()));
+    }
+
+    #[test]
+    fn end_to_end_and_ratio_regressions_fail() {
+        let base = artifact("pass", 3.0, 2.0, 1.8);
+        let slow = artifact("pass", 3.0, 1.0, 1.8);
+        assert!(compare(&base, &slow)
+            .unwrap_err()
+            .iter()
+            .any(|e| e.contains("end-to-end")));
+        let unranked = artifact("pass", 3.0, 2.0, 1.0);
+        assert!(compare(&base, &unranked)
+            .unwrap_err()
+            .iter()
+            .any(|e| e.contains("AoS-vs-SoA")));
+    }
+
+    #[test]
+    fn skip_gate_tolerates_either_side() {
+        let base = artifact("pass", 3.0, 2.0, 1.8);
+        let skip = artifact("skip", 1.0, 1.0, 1.8);
+        for (a, b, which) in [(&base, &skip, "fresh"), (&skip, &base, "baseline")] {
+            let report = compare(a, b).unwrap();
+            let reason = report.tolerated.unwrap();
+            assert!(reason.contains(which), "{reason}");
+            assert!(reason.contains("single-core host"), "{reason}");
+        }
+    }
+
+    #[test]
+    fn lost_stage_fails() {
+        let base = artifact("pass", 3.0, 2.0, 1.8);
+        let fresh = base.replace("engine_tick", "renamed_tick");
+        let errors = compare(&base, &fresh).unwrap_err();
+        assert!(
+            errors.iter().any(|e| e.contains("lost stage")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn wrong_schema_and_bad_json_fail() {
+        let base = artifact("pass", 3.0, 2.0, 1.8);
+        let old = base.replace("summit-perf/3", "summit-perf/2");
+        assert!(compare(&old, &base)
+            .unwrap_err()
+            .iter()
+            .any(|e| e.contains("summit-perf/2")));
+        assert!(compare(&base, "not json").unwrap_err()[0].contains("not valid JSON"));
+    }
+}

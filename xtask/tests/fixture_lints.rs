@@ -279,15 +279,20 @@ fn float_reduction_flags_par_float_sums_and_folds() {
         vec![
             ("crates/analysis/src/reduce.rs".into(), 7),
             ("crates/analysis/src/reduce.rs".into(), 12),
+            ("crates/analysis/src/reduce.rs".into(), 18),
         ]
     );
     assert!(message_at(&v, "crates/analysis/src/reduce.rs", 7).contains("sum_stable"));
     assert!(message_at(&v, "crates/analysis/src/reduce.rs", 12).contains("fold"));
+    // The columnar reducer (a per-metric-column float fold) is just as
+    // grouping-dependent as the row-structured ones.
+    assert!(message_at(&v, "crates/analysis/src/reduce.rs", 18).contains("fold"));
 }
 
 #[test]
 fn float_reduction_clean_fixture_passes() {
-    // `sum_stable()` and integer sums are both approved.
+    // `sum_stable()`, integer sums, and the columnar gather-then-
+    // sum_stable reducer are all approved.
     assert_eq!(float_reduction::check(&fixture("clean")), vec![]);
 }
 
